@@ -1,0 +1,71 @@
+// Figure 4: static zonemaps need their zone size tuned per workload —
+// too coarse skips little, too fine pays probe cost — while the adaptive
+// zonemap self-tunes to (or beats) the best static configuration without
+// a knob.
+
+#include "bench/common/bench_util.h"
+
+namespace adaskip {
+namespace bench {
+namespace {
+
+void Run() {
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Figure 4 — static zone-size sweep vs self-tuning adaptive",
+              "static zonemaps need per-workload zone-size tuning; the "
+              "untuned adaptive lands in the good region and keeps "
+              "improving with the workload",
+              config);
+
+  std::vector<int64_t> data = MakeData(config, DataOrder::kClustered);
+  std::vector<Query> queries =
+      MakeQueries(config, data, QueryPattern::kUniform);
+  ArmResult scan = RunArm(data, IndexOptions::FullScan(), queries, "scan");
+
+  std::printf("  %-20s | %10s | %12s | %10s | %10s\n", "configuration",
+              "total (s)", "skipped (%)", "zones", "speedup");
+  std::printf("  ---------------------+------------+--------------+------"
+              "------+-----------\n");
+  double best_static = 1e300;
+  double default_static = 0.0;
+  for (int64_t zone_size = 256; zone_size <= (1 << 20); zone_size *= 4) {
+    ArmResult arm = RunArm(data, IndexOptions::ZoneMap(zone_size), queries,
+                           "static/" + std::to_string(zone_size));
+    CheckSameAnswers(scan, arm);
+    best_static = std::min(best_static, arm.total_seconds());
+    if (zone_size == 4096) default_static = arm.total_seconds();
+    std::printf("  %-20s | %10.3f | %12.2f | %10lld | %9.2fx\n",
+                arm.label.c_str(), arm.total_seconds(),
+                arm.stats.MeanSkippedFraction() * 100.0,
+                static_cast<long long>(arm.final_zone_count),
+                Speedup(scan, arm));
+  }
+  AdaptiveOptions adaptive;  // Untuned defaults; refinement floor lowered.
+  adaptive.min_zone_size = 256;
+  ArmResult adapt =
+      RunArm(data, IndexOptions::Adaptive(adaptive), queries, "adaptive");
+  CheckSameAnswers(scan, adapt);
+  std::printf("  %-20s | %10.3f | %12.2f | %10lld | %9.2fx\n", "adaptive",
+              adapt.total_seconds(),
+              adapt.stats.MeanSkippedFraction() * 100.0,
+              static_cast<long long>(adapt.final_zone_count),
+              Speedup(scan, adapt));
+  std::printf("\n  best static: %.3f s; adaptive (untuned): %.3f s — %.2fx "
+              "of the best hand-tuned\n  static and %.2fx over the untuned "
+              "static default (4096). Note the fine static\n  settings that "
+              "win here are exactly the ones Figure 5 shows losing hardest "
+              "on\n  hostile data; the adaptive configuration is the same "
+              "in both experiments.\n\n",
+              best_static, adapt.total_seconds(),
+              best_static / adapt.total_seconds(),
+              default_static / adapt.total_seconds());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace adaskip
+
+int main() {
+  adaskip::bench::Run();
+  return 0;
+}

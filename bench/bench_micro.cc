@@ -1,0 +1,199 @@
+// Micro benchmarks (google-benchmark): throughput of the scan kernels and
+// latency of each skipping structure's probe path, isolated from query
+// execution. These calibrate the cost model's probe-vs-scan cost ratio.
+
+#include <benchmark/benchmark.h>
+
+#include "adaskip/adaptive/adaptive_zone_map.h"
+#include "adaskip/scan/scan_kernel.h"
+#include "adaskip/skipping/column_imprints.h"
+#include "adaskip/skipping/zone_map.h"
+#include "adaskip/skipping/zone_tree.h"
+#include "adaskip/workload/data_generator.h"
+#include "adaskip/workload/zipf.h"
+
+namespace adaskip {
+namespace {
+
+std::vector<int64_t> BenchData(int64_t rows, DataOrder order) {
+  DataGenOptions gen;
+  gen.order = order;
+  gen.num_rows = rows;
+  gen.value_range = 1 << 26;
+  gen.seed = 7;
+  return GenerateData<int64_t>(gen);
+}
+
+void BM_CountMatches(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  std::vector<int64_t> data = BenchData(rows, DataOrder::kUniform);
+  ValueInterval<int64_t> interval{1 << 20, 1 << 24};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CountMatches(std::span<const int64_t>(data), {0, rows}, interval));
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+  state.SetBytesProcessed(state.iterations() * rows *
+                          static_cast<int64_t>(sizeof(int64_t)));
+}
+BENCHMARK(BM_CountMatches)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SumMatchesCounted(benchmark::State& state) {
+  const int64_t rows = state.range(0);
+  std::vector<int64_t> data = BenchData(rows, DataOrder::kUniform);
+  ValueInterval<int64_t> interval{1 << 20, 1 << 24};
+  for (auto _ : state) {
+    SumCount<int64_t> sc =
+        SumMatchesCounted(std::span<const int64_t>(data), {0, rows}, interval);
+    benchmark::DoNotOptimize(sc);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_SumMatchesCounted)->Arg(1 << 20);
+
+void BM_MaterializeMatches(benchmark::State& state) {
+  const int64_t rows = 1 << 20;
+  std::vector<int64_t> data = BenchData(rows, DataOrder::kUniform);
+  // ~1% match rate.
+  ValueInterval<int64_t> interval{0, (1 << 26) / 100};
+  SelectionVector out;
+  for (auto _ : state) {
+    out.Clear();
+    benchmark::DoNotOptimize(MaterializeMatches(
+        std::span<const int64_t>(data), {0, rows}, interval, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_MaterializeMatches);
+
+void BM_ComputeMinMax(benchmark::State& state) {
+  const int64_t rows = 1 << 20;
+  std::vector<int64_t> data = BenchData(rows, DataOrder::kUniform);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ComputeMinMax(std::span<const int64_t>(data), 0, rows));
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_ComputeMinMax);
+
+void BM_ZoneMapProbe(benchmark::State& state) {
+  const int64_t zones = state.range(0);
+  const int64_t rows = zones * 64;
+  TypedColumn<int64_t> column(BenchData(rows, DataOrder::kSorted));
+  ZoneMapT<int64_t> map(column, ZoneMapOptions{.zone_size = 64});
+  Predicate pred = Predicate::Between<int64_t>("x", 1 << 20, (1 << 20) + 1000);
+  std::vector<RowRange> candidates;
+  for (auto _ : state) {
+    candidates.clear();
+    ProbeStats stats;
+    map.Probe(pred, &candidates, &stats);
+    benchmark::DoNotOptimize(candidates.data());
+  }
+  state.SetItemsProcessed(state.iterations() * zones);
+}
+BENCHMARK(BM_ZoneMapProbe)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_ZoneTreeProbe(benchmark::State& state) {
+  const int64_t zones = state.range(0);
+  const int64_t rows = zones * 64;
+  TypedColumn<int64_t> column(BenchData(rows, DataOrder::kSorted));
+  ZoneTreeT<int64_t> tree(column,
+                          ZoneTreeOptions{.zone_size = 64, .fanout = 8});
+  Predicate pred = Predicate::Between<int64_t>("x", 1 << 20, (1 << 20) + 1000);
+  std::vector<RowRange> candidates;
+  for (auto _ : state) {
+    candidates.clear();
+    ProbeStats stats;
+    tree.Probe(pred, &candidates, &stats);
+    benchmark::DoNotOptimize(candidates.data());
+  }
+  state.SetItemsProcessed(state.iterations() * zones);
+}
+BENCHMARK(BM_ZoneTreeProbe)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_ImprintsProbe(benchmark::State& state) {
+  const int64_t rows = 1 << 20;
+  TypedColumn<int64_t> column(BenchData(rows, DataOrder::kKSorted));
+  ColumnImprintsT<int64_t> imprints(column, {});
+  Predicate pred = Predicate::Between<int64_t>("x", 1 << 20, (1 << 20) + 5000);
+  std::vector<RowRange> candidates;
+  for (auto _ : state) {
+    candidates.clear();
+    ProbeStats stats;
+    imprints.Probe(pred, &candidates, &stats);
+    benchmark::DoNotOptimize(candidates.data());
+  }
+}
+BENCHMARK(BM_ImprintsProbe);
+
+void BM_AdaptiveProbeConverged(benchmark::State& state) {
+  // Probe cost of an adaptive map after convergence on clustered data.
+  const int64_t rows = 1 << 20;
+  TypedColumn<int64_t> column(BenchData(rows, DataOrder::kClustered));
+  AdaptiveOptions options;
+  options.initial_zone_size = 4096;
+  options.min_zone_size = 256;
+  AdaptiveZoneMapT<int64_t> index(column, options);
+  Predicate pred =
+      Predicate::Between<int64_t>("x", 1 << 22, (1 << 22) + 100000);
+  // Converge first.
+  ValueInterval<int64_t> interval = pred.ToInterval<int64_t>();
+  for (int i = 0; i < 32; ++i) {
+    std::vector<RowRange> candidates;
+    ProbeStats stats;
+    index.Probe(pred, &candidates, &stats);
+    for (const RowRange& r : candidates) {
+      int64_t matches = CountMatches(column.data(), r, interval);
+      index.OnRangeScanned(pred, {r, matches});
+    }
+  }
+  std::vector<RowRange> candidates;
+  for (auto _ : state) {
+    candidates.clear();
+    ProbeStats stats;
+    index.Probe(pred, &candidates, &stats);
+    benchmark::DoNotOptimize(candidates.data());
+  }
+  state.counters["zones"] = static_cast<double>(index.ZoneCount());
+}
+BENCHMARK(BM_AdaptiveProbeConverged);
+
+void BM_BoundarySplit(benchmark::State& state) {
+  // Cost of one boundary refinement of a zone of `range(0)` rows,
+  // including the FindMatchBounds pass and children min/max.
+  const int64_t zone_rows = state.range(0);
+  TypedColumn<int64_t> column(BenchData(zone_rows, DataOrder::kSorted));
+  Predicate pred = Predicate::Between<int64_t>(
+      "x", 1 << 20, (1 << 20) + (1 << 18));
+  ValueInterval<int64_t> interval = pred.ToInterval<int64_t>();
+  for (auto _ : state) {
+    state.PauseTiming();
+    AdaptiveOptions options;
+    options.initial_zone_size = 0;
+    AdaptiveZoneMapT<int64_t> index(column, options);
+    std::vector<RowRange> candidates;
+    ProbeStats stats;
+    index.Probe(pred, &candidates, &stats);
+    int64_t matches = CountMatches(column.data(), candidates[0], interval);
+    state.ResumeTiming();
+    index.OnRangeScanned(pred, {candidates[0], matches});
+    benchmark::DoNotOptimize(index.ZoneCount());
+  }
+  state.SetItemsProcessed(state.iterations() * zone_rows);
+}
+BENCHMARK(BM_BoundarySplit)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_ZipfNext(benchmark::State& state) {
+  ZipfGenerator zipf(1 << 20, 0.8);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(&rng));
+  }
+}
+BENCHMARK(BM_ZipfNext);
+
+}  // namespace
+}  // namespace adaskip
+
+BENCHMARK_MAIN();

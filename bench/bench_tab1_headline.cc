@@ -1,0 +1,68 @@
+// Table 1 (headline): total workload runtime of full scan vs static
+// zonemap vs adaptive zonemap, per data order. Reproduces the abstract's
+// claim that "adaptive data skipping has potential for 1.4X speedup" —
+// the adaptive-vs-static ratio on skip-friendly but not perfectly sorted
+// data (clustered / semi-sorted), while never losing on hostile data.
+
+#include "bench/common/bench_util.h"
+
+namespace adaskip {
+namespace bench {
+namespace {
+
+void Run() {
+  BenchConfig config = BenchConfig::FromEnv();
+  config.num_queries = std::max(64, config.num_queries);
+  PrintHeader("Table 1 — headline: adaptive vs static data skipping",
+              "adaptive zonemaps give ~1.4X over static zonemaps on "
+              "clustered/semi-sorted data",
+              config);
+
+  const DataOrder orders[] = {DataOrder::kSorted, DataOrder::kAlmostSorted,
+                              DataOrder::kKSorted, DataOrder::kClustered,
+                              DataOrder::kRandomWalk, DataOrder::kUniform};
+  // "med" ratios compare median per-query latencies, which shrug off the
+  // scheduler noise that totals of millisecond-scale arms pick up.
+  std::printf("  %-14s | %10s | %10s | %10s | %17s | %17s\n", "data order",
+              "scan (s)", "static (s)", "adapt (s)", "adapt/static (med)",
+              "adapt/scan (med)");
+  std::printf("  ---------------+------------+------------+------------+-"
+              "------------------+------------------\n");
+  for (DataOrder order : orders) {
+    std::vector<int64_t> data = MakeData(config, order);
+    std::vector<Query> queries =
+        MakeQueries(config, data, QueryPattern::kUniform);
+
+    ArmResult scan = RunArm(data, IndexOptions::FullScan(), queries, "scan");
+    ArmResult zonemap =
+        RunArm(data, IndexOptions::ZoneMap(4096), queries, "static");
+    AdaptiveOptions adaptive;
+    adaptive.initial_zone_size = 4096;
+    ArmResult adapt =
+        RunArm(data, IndexOptions::Adaptive(adaptive), queries, "adaptive");
+    CheckSameAnswers(scan, zonemap);
+    CheckSameAnswers(scan, adapt);
+
+    const double scan_med = scan.stats.latency_histogram().Percentile(50);
+    const double static_med =
+        zonemap.stats.latency_histogram().Percentile(50);
+    const double adapt_med = adapt.stats.latency_histogram().Percentile(50);
+    std::printf("  %-14s | %10.3f | %10.3f | %10.3f | %16.2fx | %16.2fx\n",
+                std::string(DataOrderToString(order)).c_str(),
+                scan.total_seconds(), zonemap.total_seconds(),
+                adapt.total_seconds(), static_med / adapt_med,
+                scan_med / adapt_med);
+  }
+  std::printf("\n  expected shape: adaptive > static on clustered/k-sorted "
+              "(paper: ~1.4X);\n  adaptive ~= scan on uniform (cost-model "
+              "bypass), both >> scan when sorted.\n\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace adaskip
+
+int main() {
+  adaskip::bench::Run();
+  return 0;
+}

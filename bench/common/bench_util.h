@@ -1,0 +1,143 @@
+#ifndef ADASKIP_BENCH_COMMON_BENCH_UTIL_H_
+#define ADASKIP_BENCH_COMMON_BENCH_UTIL_H_
+
+// Shared harness for the per-table/figure experiment binaries. Each
+// binary builds one or more "arms" (index configurations), replays the
+// same deterministic query stream against each, validates that all arms
+// produced identical answers, and prints the paper-style rows.
+//
+// Header-only so every bench stays a single self-contained executable in
+// build/bench/ (the top-level runner simply executes everything there).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "adaskip/engine/session.h"
+#include "adaskip/util/logging.h"
+#include "adaskip/workload/data_generator.h"
+#include "adaskip/workload/query_generator.h"
+#include "adaskip/workload/workload_runner.h"
+
+namespace adaskip {
+namespace bench {
+
+/// Common knobs; experiments override per table/figure. ADASKIP_BENCH_ROWS
+/// and ADASKIP_BENCH_QUERIES environment variables scale every experiment
+/// (e.g. for quick smoke runs).
+struct BenchConfig {
+  int64_t num_rows = 2'000'000;
+  int num_queries = 256;
+  double selectivity = 0.01;
+  int64_t value_range = 1 << 26;
+  uint64_t data_seed = 42;
+  uint64_t query_seed = 4242;
+
+  static BenchConfig FromEnv() {
+    BenchConfig config;
+    if (const char* rows = std::getenv("ADASKIP_BENCH_ROWS")) {
+      config.num_rows = std::atoll(rows);
+    }
+    if (const char* queries = std::getenv("ADASKIP_BENCH_QUERIES")) {
+      config.num_queries = std::atoi(queries);
+    }
+    return config;
+  }
+};
+
+/// Generates the column for one experiment.
+inline std::vector<int64_t> MakeData(const BenchConfig& config,
+                                     DataOrder order) {
+  DataGenOptions gen;
+  gen.order = order;
+  gen.num_rows = config.num_rows;
+  gen.value_range = config.value_range;
+  gen.seed = config.data_seed;
+  // Clusters sized near the zonemap granularity (the regime the paper
+  // motivates: zone/cluster misalignment is what adaptation fixes).
+  gen.num_clusters = std::max<int64_t>(config.num_rows / 8192, 8);
+  return GenerateData<int64_t>(gen);
+}
+
+/// Generates the deterministic COUNT(*) query stream for one experiment.
+inline std::vector<Query> MakeQueries(const BenchConfig& config,
+                                      const std::vector<int64_t>& data,
+                                      QueryPattern pattern,
+                                      double drift_per_query = 0.0) {
+  QueryGenOptions qgen;
+  qgen.pattern = pattern;
+  qgen.selectivity = config.selectivity;
+  qgen.seed = config.query_seed;
+  qgen.drift_per_query = drift_per_query;
+  QueryGenerator<int64_t> generator("x", std::span<const int64_t>(data),
+                                    qgen);
+  std::vector<Query> queries;
+  queries.reserve(static_cast<size_t>(config.num_queries));
+  for (int i = 0; i < config.num_queries; ++i) {
+    queries.push_back(Query::Count(generator.Next()));
+  }
+  return queries;
+}
+
+/// Builds a fresh session around `data` with `index` on column x and runs
+/// the query stream. Each arm gets its own session so adaptation state
+/// never leaks across arms.
+inline ArmResult RunArm(const std::vector<int64_t>& data,
+                        const IndexOptions& index,
+                        const std::vector<Query>& queries,
+                        const std::string& label) {
+  Session session;
+  ADASKIP_CHECK_OK(session.CreateTable("t"));
+  ADASKIP_CHECK_OK(session.AddColumn<int64_t>("t", "x", data));
+  ADASKIP_CHECK_OK(session.AttachIndex("t", "x", index));
+  Result<ArmResult> arm = RunWorkload(&session, "t", "x", queries, label);
+  ADASKIP_CHECK_OK(arm);
+  return std::move(arm).value();
+}
+
+/// Aborts if two arms answered the query stream differently — a bench
+/// must never report timings for wrong answers.
+inline void CheckSameAnswers(const ArmResult& a, const ArmResult& b) {
+  ADASKIP_CHECK(a.result_checksum == b.result_checksum)
+      << "arms '" << a.label << "' and '" << b.label
+      << "' disagree: " << a.result_checksum << " vs " << b.result_checksum;
+}
+
+inline double Speedup(const ArmResult& baseline, const ArmResult& arm) {
+  return baseline.total_seconds() / arm.total_seconds();
+}
+
+/// Standard experiment banner.
+inline void PrintHeader(const char* experiment_id, const char* claim,
+                        const BenchConfig& config) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", experiment_id);
+  std::printf("  claim: %s\n", claim);
+  std::printf("  setup: %lld rows, %d queries, selectivity %.4f%%\n",
+              static_cast<long long>(config.num_rows), config.num_queries,
+              config.selectivity * 100.0);
+  std::printf("  note : reconstructed experiment (abstract-only source); "
+              "see EXPERIMENTS.md\n");
+  std::printf("==============================================================================\n");
+}
+
+/// One standard result row.
+inline void PrintArmRow(const ArmResult& arm, const ArmResult* baseline) {
+  std::printf("  %-22s total %8.3f s  mean %9.1f us  p99 %9.1f us  "
+              "skip %6.2f%%  zones %7lld",
+              arm.label.c_str(), arm.total_seconds(),
+              arm.stats.MeanLatencyMicros(),
+              arm.stats.latency_histogram().Percentile(99),
+              arm.stats.MeanSkippedFraction() * 100.0,
+              static_cast<long long>(arm.final_zone_count));
+  if (baseline != nullptr) {
+    std::printf("  speedup %5.2fx", Speedup(*baseline, arm));
+  }
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace adaskip
+
+#endif  // ADASKIP_BENCH_COMMON_BENCH_UTIL_H_

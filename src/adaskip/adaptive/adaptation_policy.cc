@@ -1,0 +1,19 @@
+#include "adaskip/adaptive/adaptation_policy.h"
+
+namespace adaskip {
+
+std::string_view SplitPolicyToString(SplitPolicy policy) {
+  switch (policy) {
+    case SplitPolicy::kNone:
+      return "none";
+    case SplitPolicy::kHalve:
+      return "halve";
+    case SplitPolicy::kBoundary:
+      return "boundary";
+    case SplitPolicy::kBudgeted:
+      return "budgeted";
+  }
+  return "unknown";
+}
+
+}  // namespace adaskip

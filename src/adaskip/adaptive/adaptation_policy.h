@@ -1,0 +1,96 @@
+#ifndef ADASKIP_ADAPTIVE_ADAPTATION_POLICY_H_
+#define ADASKIP_ADAPTIVE_ADAPTATION_POLICY_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace adaskip {
+
+/// How an adaptive zonemap refines a zone whose scan was mostly wasted.
+enum class SplitPolicy : int8_t {
+  /// Never split; the zonemap stays at its initial layout (turns the
+  /// structure into a static zonemap — the ablation baseline).
+  kNone = 0,
+  /// Split the zone into two equal halves, tightening both bounds.
+  kHalve = 1,
+  /// Split at the first/last qualifying positions (cracking-style): up to
+  /// three children, isolating the qualifying run. Falls back to halving
+  /// when the zone held no qualifying rows at all.
+  kBoundary = 2,
+  /// kHalve, but refinement stops once the zone budget is reached instead
+  /// of relying on merging to stay under it.
+  kBudgeted = 3,
+};
+
+std::string_view SplitPolicyToString(SplitPolicy policy);
+
+/// Tuning knobs of the adaptive zonemap. Defaults follow DESIGN.md; all
+/// experiments state explicitly which knobs they override.
+struct AdaptiveOptions {
+  /// Initial zone width in rows; 0 means "one zone covering everything"
+  /// (fully lazy, first queries pay for all refinement). The default
+  /// starts from the standard static-zonemap granularity and refines
+  /// from there, so the adaptive structure never does worse than an
+  /// untuned zonemap while it warms up.
+  int64_t initial_zone_size = 4096;
+
+  /// Never split a zone below this many rows: the point where per-zone
+  /// bookkeeping costs more than scanning the zone.
+  int64_t min_zone_size = 1024;
+
+  /// A scanned zone is split when the fraction of its rows that did NOT
+  /// qualify is at least this threshold (wasted work worth eliminating).
+  double split_waste_threshold = 0.5;
+
+  SplitPolicy policy = SplitPolicy::kBoundary;
+
+  /// Hard cap on the number of zones (metadata budget).
+  int64_t max_zones = 1 << 16;
+
+  /// Refinement ceiling: when a probe already skips at least this
+  /// fraction of the column, the query triggers no splits — there is no
+  /// headroom left to pay for the refinement work. Keeps the adaptive
+  /// structure from taxing data that is already skip-optimal (fully
+  /// sorted columns behave exactly like a static zonemap).
+  double refine_skip_ceiling = 0.98;
+
+  /// Cap on zone splits per query. Keeps per-query adaptation overhead
+  /// bounded (the cracking-style "pay a little per query" contract) and
+  /// prevents split storms on hostile data during the cost model's
+  /// warmup, where every candidate zone looks wasteful.
+  int64_t max_splits_per_query = 16;
+
+  /// Merge cold zones back together to reclaim metadata budget.
+  bool enable_merging = true;
+  /// Queries between merge sweeps.
+  int64_t merge_check_interval = 64;
+  /// A zone is "cold" if it was not a probe candidate within this many
+  /// queries.
+  int64_t merge_cold_age = 256;
+  /// Start merging when the zone count exceeds this fraction of
+  /// max_zones.
+  double merge_trigger_fraction = 0.75;
+  /// Never grow a merged zone beyond this many rows.
+  int64_t merge_max_zone_size = 1 << 16;
+
+  /// Cost model (the bypass "kill switch"); see CostModelOptions.
+  bool enable_cost_model = true;
+  /// Relative cost of reading one metadata entry vs. scanning one row.
+  /// Both are a compare-and-branch over in-cache data, so ~1.
+  double probe_entry_cost_ratio = 1.0;
+  /// Queries observed before the cost model may engage.
+  int64_t cost_model_warmup_queries = 8;
+  /// While bypassed, run a real probe every this many queries so a
+  /// changed workload can re-enable skipping.
+  int64_t explore_interval = 32;
+  /// EWMA smoothing factor for the effectiveness tracker.
+  double ewma_alpha = 0.2;
+  /// Hysteresis: the net benefit per row an exploration probe must show
+  /// before a bypassed index resumes probing. Prevents noise-driven
+  /// flapping on hostile data.
+  double reactivation_benefit_threshold = 0.02;
+};
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_ADAPTIVE_ADAPTATION_POLICY_H_

@@ -1,0 +1,213 @@
+#include "adaskip/adaptive/adaptive_imprints.h"
+
+#include <algorithm>
+
+#include "adaskip/scan/predicate.h"
+#include "adaskip/storage/type_dispatch.h"
+#include "adaskip/util/stopwatch.h"
+
+namespace adaskip {
+
+template <typename T>
+AdaptiveImprintsT<T>::AdaptiveImprintsT(const TypedColumn<T>& column,
+                                        const AdaptiveImprintsOptions& options)
+    : num_rows_(column.size()),
+      values_(column.data()),
+      options_(options),
+      tracker_(options.ewma_alpha),
+      cost_model_(options.enable_cost_model, options.probe_entry_cost_ratio,
+                  options.cost_model_warmup_queries,
+                  options.reactivation_benefit_threshold),
+      rng_(/*seed=*/0xADA5C1B) {
+  ADASKIP_CHECK_GT(options_.block_size, 0);
+  ADASKIP_CHECK(options_.num_bins > 1 && options_.num_bins <= 64);
+  if (num_rows_ == 0) return;
+
+  // Initial equi-depth bins from a uniform data sample — the same start
+  // as static imprints; the workload refines from here.
+  int64_t sample_size = std::min(options_.sample_size, num_rows_);
+  std::vector<T> sample;
+  sample.reserve(static_cast<size_t>(sample_size));
+  for (int64_t i = 0; i < sample_size; ++i) {
+    sample.push_back(values_[static_cast<size_t>(rng_.NextInt64(num_rows_))]);
+  }
+  std::sort(sample.begin(), sample.end());
+  for (int64_t b = 1; b < options_.num_bins; ++b) {
+    size_t idx = static_cast<size_t>(b * sample_size / options_.num_bins);
+    idx = std::min(idx, sample.size() - 1);
+    T split = sample[idx];
+    if (split_points_.empty() || split > split_points_.back()) {
+      split_points_.push_back(split);
+    }
+  }
+  RebuildImprints();
+}
+
+template <typename T>
+int64_t AdaptiveImprintsT<T>::BinOf(T v) const {
+  auto it = std::lower_bound(split_points_.begin(), split_points_.end(), v);
+  return static_cast<int64_t>(it - split_points_.begin());
+}
+
+template <typename T>
+void AdaptiveImprintsT<T>::RebuildImprints() {
+  int64_t num_blocks = (num_rows_ + options_.block_size - 1) /
+                       options_.block_size;
+  imprints_.assign(static_cast<size_t>(num_blocks), 0);
+  for (int64_t block = 0; block < num_blocks; ++block) {
+    int64_t begin = block * options_.block_size;
+    int64_t end = std::min(begin + options_.block_size, num_rows_);
+    uint64_t mask = 0;
+    for (int64_t i = begin; i < end; ++i) {
+      mask |= uint64_t{1} << BinOf(values_[static_cast<size_t>(i)]);
+    }
+    imprints_[static_cast<size_t>(block)] = mask;
+  }
+}
+
+template <typename T>
+void AdaptiveImprintsT<T>::Probe(const Predicate& pred,
+                                 std::vector<RowRange>* candidates,
+                                 ProbeStats* stats) {
+  ++query_seq_;
+  if (num_rows_ == 0) return;
+
+  ValueInterval<T> interval = pred.ToInterval<T>();
+  // Record the query's cut points regardless of mode: they are what a
+  // rebin aligns to. Reservoir-sample so long workloads stay bounded.
+  for (T endpoint : {interval.lo, interval.hi}) {
+    ++endpoints_seen_;
+    if (static_cast<int64_t>(endpoints_.size()) <
+        options_.endpoint_reservoir) {
+      endpoints_.push_back(endpoint);
+    } else {
+      int64_t slot = rng_.NextInt64(endpoints_seen_);
+      if (slot < options_.endpoint_reservoir) {
+        endpoints_[static_cast<size_t>(slot)] = endpoint;
+      }
+    }
+  }
+
+  const bool explore_tick =
+      options_.explore_interval > 0 &&
+      query_seq_ % options_.explore_interval == 0;
+  if (mode_ == SkippingMode::kBypass && !explore_tick) {
+    last_probe_bypassed_ = true;
+    candidates->push_back({0, num_rows_});
+    stats->entries_read += 1;
+    stats->zones_candidate += 1;
+    return;
+  }
+  last_probe_bypassed_ = false;
+
+  int64_t bin_lo = BinOf(interval.lo);
+  int64_t bin_hi = BinOf(interval.hi);
+  uint64_t query_mask = 0;
+  for (int64_t b = bin_lo; b <= bin_hi; ++b) query_mask |= uint64_t{1} << b;
+
+  stats->entries_read += static_cast<int64_t>(imprints_.size());
+  for (size_t block = 0; block < imprints_.size(); ++block) {
+    if ((imprints_[block] & query_mask) != 0) {
+      ++stats->zones_candidate;
+      int64_t begin = static_cast<int64_t>(block) * options_.block_size;
+      int64_t end = std::min(begin + options_.block_size, num_rows_);
+      if (!candidates->empty() && candidates->back().end == begin) {
+        candidates->back().end = end;
+      } else {
+        candidates->push_back({begin, end});
+      }
+    } else {
+      ++stats->zones_skipped;
+    }
+  }
+}
+
+template <typename T>
+void AdaptiveImprintsT<T>::OnQueryComplete(const Predicate& pred,
+                                           const QueryFeedback& feedback) {
+  (void)pred;
+  if (num_rows_ == 0) return;
+  if (!last_probe_bypassed_) {
+    tracker_.Record(feedback.rows_total, feedback.rows_scanned,
+                    feedback.probe.entries_read);
+    mode_ = cost_model_.Decide(tracker_, mode_);
+    double fp = feedback.rows_scanned > 0
+                    ? static_cast<double>(feedback.rows_scanned -
+                                          feedback.rows_matched) /
+                          static_cast<double>(feedback.rows_scanned)
+                    : 0.0;
+    false_positive_ewma_ = tracker_.num_recorded() <= 1
+                               ? fp
+                               : options_.ewma_alpha * fp +
+                                     (1.0 - options_.ewma_alpha) *
+                                         false_positive_ewma_;
+  }
+
+  if (mode_ == SkippingMode::kActive &&
+      options_.rebin_check_interval > 0 &&
+      query_seq_ % options_.rebin_check_interval == 0 &&
+      query_seq_ - last_rebin_seq_ >= options_.rebin_cooldown &&
+      false_positive_ewma_ > options_.rebin_false_positive_threshold &&
+      tracker_.skipped_fraction() < options_.rebin_min_skip &&
+      static_cast<int64_t>(endpoints_.size()) >= options_.num_bins) {
+    Rebin();
+  }
+}
+
+template <typename T>
+void AdaptiveImprintsT<T>::Rebin() {
+  Stopwatch timer;
+  // New boundaries: quantiles of the observed query endpoints, so bin
+  // resolution follows where predicates cut. Blend in the global min/max
+  // via the old extreme splits so out-of-focus values still spread over
+  // the edge bins.
+  std::vector<T> sorted = endpoints_;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<T> splits;
+  int64_t n = static_cast<int64_t>(sorted.size());
+  for (int64_t b = 1; b < options_.num_bins; ++b) {
+    size_t idx = static_cast<size_t>(b * n / options_.num_bins);
+    idx = std::min(idx, sorted.size() - 1);
+    T split = sorted[idx];
+    if (splits.empty() || split > splits.back()) splits.push_back(split);
+  }
+  if (splits.empty()) return;  // Degenerate workload (single cut point).
+  split_points_ = std::move(splits);
+  RebuildImprints();
+  last_rebin_seq_ = query_seq_;
+  ++rebin_count_;
+  // Give the new layout a fresh read on effectiveness.
+  false_positive_ewma_ = 0.0;
+  adapt_nanos_ += timer.ElapsedNanos();
+}
+
+template <typename T>
+int64_t AdaptiveImprintsT<T>::TakeAdaptationNanos() {
+  int64_t out = adapt_nanos_;
+  adapt_nanos_ = 0;
+  return out;
+}
+
+template <typename T>
+int64_t AdaptiveImprintsT<T>::MemoryUsageBytes() const {
+  return static_cast<int64_t>(imprints_.capacity() * sizeof(uint64_t) +
+                              split_points_.capacity() * sizeof(T) +
+                              endpoints_.capacity() * sizeof(T));
+}
+
+std::unique_ptr<SkipIndex> MakeAdaptiveImprints(
+    const Column& column, const AdaptiveImprintsOptions& options) {
+  return DispatchDataType(
+      column.type(), [&](auto tag) -> std::unique_ptr<SkipIndex> {
+        using T = typename decltype(tag)::type;
+        return std::make_unique<AdaptiveImprintsT<T>>(*column.As<T>(),
+                                                      options);
+      });
+}
+
+template class AdaptiveImprintsT<int32_t>;
+template class AdaptiveImprintsT<int64_t>;
+template class AdaptiveImprintsT<float>;
+template class AdaptiveImprintsT<double>;
+
+}  // namespace adaskip

@@ -1,0 +1,122 @@
+#ifndef ADASKIP_ADAPTIVE_ADAPTIVE_IMPRINTS_H_
+#define ADASKIP_ADAPTIVE_ADAPTIVE_IMPRINTS_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "adaskip/adaptive/adaptation_policy.h"
+#include "adaskip/adaptive/cost_model.h"
+#include "adaskip/adaptive/effectiveness_tracker.h"
+#include "adaskip/skipping/skip_index.h"
+#include "adaskip/storage/column.h"
+#include "adaskip/util/rng.h"
+
+namespace adaskip {
+
+/// Tuning knobs of the adaptive imprints index.
+struct AdaptiveImprintsOptions {
+  int64_t block_size = 64;   // Rows per imprint word.
+  int64_t num_bins = 64;     // Value bins (bits per imprint), max 64.
+  int64_t sample_size = 4096;  // Data sample for the initial equi-depth bins.
+
+  /// Re-binning: when the EWMA fraction of scanned rows that did not
+  /// qualify exceeds this while skipping stays poor, the bin boundaries
+  /// are rebuilt from the observed *query endpoints* (concentrating bin
+  /// resolution where predicates actually cut) and the imprints are
+  /// recomputed in one column pass.
+  double rebin_false_positive_threshold = 0.5;
+  /// Only rebin while the skipped fraction is below this — at or above
+  /// it the structure is already effective (same rationale as the
+  /// adaptive zonemap's refine_skip_ceiling).
+  double rebin_min_skip = 0.98;
+  int64_t rebin_check_interval = 32; // Queries between rebin decisions.
+  int64_t rebin_cooldown = 64;       // Min queries between rebuilds.
+  int64_t endpoint_reservoir = 1024; // Retained query endpoints.
+
+  /// Cost-model bypass (same machinery as the adaptive zonemap).
+  bool enable_cost_model = true;
+  double probe_entry_cost_ratio = 1.0;
+  int64_t cost_model_warmup_queries = 8;
+  int64_t explore_interval = 32;
+  double ewma_alpha = 0.2;
+  double reactivation_benefit_threshold = 0.02;
+};
+
+/// The framework's second structure instantiation: column imprints whose
+/// bin boundaries adapt to the query workload, with the same
+/// effectiveness-tracker + cost-model kill switch as the adaptive
+/// zonemap. Static imprints place equi-depth bins over the *data*; under
+/// a focused workload most predicate cuts land inside one coarse bin and
+/// every nearby block false-positives. Re-binning at the quantiles of
+/// the observed query endpoints concentrates resolution where the
+/// workload cuts, shrinking the candidate set without touching the
+/// block layout.
+///
+/// Holds a span over the column payload; same lifetime rules as
+/// AdaptiveZoneMapT.
+template <typename T>
+class AdaptiveImprintsT final : public SkipIndex {
+ public:
+  AdaptiveImprintsT(const TypedColumn<T>& column,
+                    const AdaptiveImprintsOptions& options);
+
+  std::string_view name() const override { return "adaptive_imprints"; }
+  int64_t num_rows() const override { return num_rows_; }
+
+  void Probe(const Predicate& pred, std::vector<RowRange>* candidates,
+             ProbeStats* stats) override;
+  void OnQueryComplete(const Predicate& pred,
+                       const QueryFeedback& feedback) override;
+
+  int64_t TakeAdaptationNanos() override;
+  int64_t MemoryUsageBytes() const override;
+  int64_t ZoneCount() const override {
+    return static_cast<int64_t>(imprints_.size());
+  }
+
+  // --- Introspection ---
+  SkippingMode mode() const { return mode_; }
+  int64_t rebin_count() const { return rebin_count_; }
+  int64_t query_count() const { return query_seq_; }
+  const std::vector<T>& split_points() const { return split_points_; }
+
+  /// Bin of `v` under the current boundaries (exposed for tests).
+  int64_t BinOf(T v) const;
+
+ private:
+  /// Rebuilds split points from the endpoint reservoir and recomputes
+  /// every imprint word (one column pass).
+  void Rebin();
+
+  /// Recomputes imprints_ for the current split_points_.
+  void RebuildImprints();
+
+  int64_t num_rows_;
+  std::span<const T> values_;
+  AdaptiveImprintsOptions options_;
+  EffectivenessTracker tracker_;
+  CostModel cost_model_;
+  Rng rng_;
+
+  std::vector<T> split_points_;   // Strictly increasing bin boundaries.
+  std::vector<uint64_t> imprints_;
+  std::vector<T> endpoints_;      // Reservoir of observed query endpoints.
+  int64_t endpoints_seen_ = 0;
+
+  SkippingMode mode_ = SkippingMode::kActive;
+  bool last_probe_bypassed_ = false;
+  double false_positive_ewma_ = 0.0;
+  int64_t query_seq_ = 0;
+  int64_t last_rebin_seq_ = 0;
+  int64_t rebin_count_ = 0;
+  int64_t adapt_nanos_ = 0;
+};
+
+/// Builds an adaptive imprints index for `column`.
+std::unique_ptr<SkipIndex> MakeAdaptiveImprints(
+    const Column& column, const AdaptiveImprintsOptions& options = {});
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_ADAPTIVE_ADAPTIVE_IMPRINTS_H_

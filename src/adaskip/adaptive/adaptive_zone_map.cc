@@ -1,0 +1,291 @@
+#include "adaskip/adaptive/adaptive_zone_map.h"
+
+#include <algorithm>
+
+#include "adaskip/scan/scan_kernel.h"
+#include "adaskip/storage/type_dispatch.h"
+#include "adaskip/util/stopwatch.h"
+
+namespace adaskip {
+
+template <typename T>
+AdaptiveZoneMapT<T>::AdaptiveZoneMapT(const TypedColumn<T>& column,
+                                      const AdaptiveOptions& options)
+    : num_rows_(column.size()),
+      values_(column.data()),
+      options_(options),
+      tracker_(options.ewma_alpha),
+      cost_model_(options) {
+  ADASKIP_CHECK_GE(options_.min_zone_size, 1);
+  ADASKIP_CHECK_GT(options_.max_zones, 0);
+  if (num_rows_ == 0) return;
+  int64_t zone_size =
+      options_.initial_zone_size > 0 ? options_.initial_zone_size : num_rows_;
+  for (int64_t begin = 0; begin < num_rows_; begin += zone_size) {
+    int64_t end = std::min(begin + zone_size, num_rows_);
+    MinMax<T> mm = ComputeMinMax(values_, begin, end);
+    zones_.push_back(AdaptiveZone{begin, end, mm.min, mm.max,
+                                  /*last_candidate_seq=*/0});
+  }
+}
+
+template <typename T>
+void AdaptiveZoneMapT<T>::Probe(const Predicate& pred,
+                                std::vector<RowRange>* candidates,
+                                ProbeStats* stats) {
+  ++query_seq_;
+  if (num_rows_ == 0) return;
+
+  const bool explore_tick =
+      options_.explore_interval > 0 &&
+      query_seq_ % options_.explore_interval == 0;
+  if (mode_ == SkippingMode::kBypass && !explore_tick) {
+    // Kill switch engaged: skip the metadata entirely and scan.
+    last_probe_bypassed_ = true;
+    ++bypassed_probe_count_;
+    candidates->push_back({0, num_rows_});
+    stats->entries_read += 1;  // The mode flag itself.
+    stats->zones_candidate += 1;
+    return;
+  }
+  last_probe_bypassed_ = false;
+  splits_this_query_ = 0;
+
+  ValueInterval<T> interval = pred.ToInterval<T>();
+  stats->entries_read += static_cast<int64_t>(zones_.size());
+  int64_t candidate_rows = 0;
+  for (AdaptiveZone& zone : zones_) {
+    if (zone.max >= interval.lo && zone.min <= interval.hi) {
+      ++stats->zones_candidate;
+      zone.last_candidate_seq = query_seq_;
+      candidate_rows += zone.end - zone.begin;
+      // One candidate per zone — no coalescing — so that OnRangeScanned
+      // feedback identifies the zone exactly.
+      candidates->push_back({zone.begin, zone.end});
+    } else {
+      ++stats->zones_skipped;
+    }
+  }
+  // Refinement is worth paying for only when this probe left scan work on
+  // the table: at or above the skip ceiling the structure is already
+  // effective for this query shape.
+  allow_splits_this_query_ =
+      static_cast<double>(candidate_rows) >
+      (1.0 - options_.refine_skip_ceiling) * static_cast<double>(num_rows_);
+}
+
+template <typename T>
+int64_t AdaptiveZoneMapT<T>::FindZoneIndex(int64_t begin) const {
+  auto it = std::lower_bound(
+      zones_.begin(), zones_.end(), begin,
+      [](const AdaptiveZone& z, int64_t b) { return z.begin < b; });
+  if (it == zones_.end() || it->begin != begin) return -1;
+  return static_cast<int64_t>(it - zones_.begin());
+}
+
+template <typename T>
+void AdaptiveZoneMapT<T>::SplitZoneAt(int64_t index,
+                                      std::span<const int64_t> cuts) {
+  const AdaptiveZone parent = zones_[static_cast<size_t>(index)];
+  std::vector<AdaptiveZone> children;
+  children.reserve(cuts.size() + 1);
+  int64_t prev = parent.begin;
+  auto emit = [&](int64_t begin, int64_t end) {
+    MinMax<T> mm = ComputeMinMax(values_, begin, end);
+    children.push_back(AdaptiveZone{begin, end, mm.min, mm.max,
+                                    parent.last_candidate_seq});
+  };
+  for (int64_t cut : cuts) {
+    ADASKIP_DCHECK(cut > prev && cut < parent.end);
+    emit(prev, cut);
+    prev = cut;
+  }
+  emit(prev, parent.end);
+  zones_.erase(zones_.begin() + index);
+  zones_.insert(zones_.begin() + index, children.begin(), children.end());
+  split_count_ += static_cast<int64_t>(children.size()) - 1;
+}
+
+template <typename T>
+void AdaptiveZoneMapT<T>::OnRangeScanned(const Predicate& pred,
+                                         const RangeFeedback& feedback) {
+  if (last_probe_bypassed_) return;
+  if (!allow_splits_this_query_) return;
+  if (options_.policy == SplitPolicy::kNone) return;
+  // Exploration probes while bypassed are pure measurement: refining zones
+  // the cost model says are useless would grow metadata for nothing.
+  if (mode_ == SkippingMode::kBypass) return;
+  const int64_t zone_rows = feedback.scanned.size();
+  if (zone_rows <= options_.min_zone_size) return;
+  if (static_cast<int64_t>(zones_.size()) >= options_.max_zones) return;
+  if (splits_this_query_ >= options_.max_splits_per_query) return;
+
+  const double wasted =
+      static_cast<double>(zone_rows - feedback.matches) /
+      static_cast<double>(zone_rows);
+  if (wasted < options_.split_waste_threshold) return;
+
+  Stopwatch timer;
+  int64_t index = FindZoneIndex(feedback.scanned.begin);
+  if (index < 0 ||
+      zones_[static_cast<size_t>(index)].end != feedback.scanned.end) {
+    // The zone was already restructured this query (should not happen —
+    // feedback is per probe — but stay safe).
+    return;
+  }
+
+  const AdaptiveZone zone = zones_[static_cast<size_t>(index)];
+  switch (options_.policy) {
+    case SplitPolicy::kNone:
+      return;
+    case SplitPolicy::kHalve:
+    case SplitPolicy::kBudgeted: {
+      int64_t cut = zone.begin + zone_rows / 2;
+      SplitZoneAt(index, std::span<const int64_t>(&cut, 1));
+      break;
+    }
+    case SplitPolicy::kBoundary: {
+      if (feedback.matches == 0) {
+        // Pure false positive — no qualifying run to isolate; halve so
+        // the children at least get tighter bounds. The executor already
+        // told us there is nothing to find, so skip the boundary scan.
+        int64_t cut = zone.begin + zone_rows / 2;
+        SplitZoneAt(index, std::span<const int64_t>(&cut, 1));
+        break;
+      }
+      // One fused pass yields the qualifying run's bounds and the exact
+      // min/max of every child, so the zone is re-read exactly once.
+      ValueInterval<T> interval = pred.ToInterval<T>();
+      BoundaryScan<T> scan =
+          BoundarySplitScan(values_, feedback.scanned, interval);
+      ADASKIP_DCHECK(scan.match_bounds.begin >= 0);
+      if (scan.match_bounds.begin == zone.begin &&
+          scan.match_bounds.end == zone.end) {
+        // The run spans the zone, yet the scan was wasteful (that is why
+        // we are here) — the matches are sparse. Boundary cuts cannot
+        // make progress, so halve; recursion isolates the sparse hits.
+        int64_t cut = zone.begin + zone_rows / 2;
+        SplitZoneAt(index, std::span<const int64_t>(&cut, 1));
+        break;
+      }
+      std::vector<AdaptiveZone> children;
+      if (scan.match_bounds.begin > zone.begin) {
+        children.push_back(AdaptiveZone{zone.begin, scan.match_bounds.begin,
+                                        scan.prefix.min, scan.prefix.max,
+                                        zone.last_candidate_seq});
+      }
+      children.push_back(AdaptiveZone{scan.match_bounds.begin,
+                                      scan.match_bounds.end, scan.run.min,
+                                      scan.run.max, zone.last_candidate_seq});
+      if (scan.match_bounds.end < zone.end) {
+        children.push_back(AdaptiveZone{scan.match_bounds.end, zone.end,
+                                        scan.suffix.min, scan.suffix.max,
+                                        zone.last_candidate_seq});
+      }
+      ReplaceZone(index, children);
+      break;
+    }
+  }
+  ++splits_this_query_;
+  adapt_nanos_ += timer.ElapsedNanos();
+}
+
+template <typename T>
+void AdaptiveZoneMapT<T>::ReplaceZone(int64_t index,
+                                      const std::vector<AdaptiveZone>& children) {
+  ADASKIP_DCHECK(!children.empty());
+  zones_.erase(zones_.begin() + index);
+  zones_.insert(zones_.begin() + index, children.begin(), children.end());
+  split_count_ += static_cast<int64_t>(children.size()) - 1;
+}
+
+template <typename T>
+void AdaptiveZoneMapT<T>::OnQueryComplete(const Predicate& pred,
+                                          const QueryFeedback& feedback) {
+  (void)pred;
+  if (!last_probe_bypassed_) {
+    tracker_.Record(feedback.rows_total, feedback.rows_scanned,
+                    feedback.probe.entries_read);
+    mode_ = cost_model_.Decide(tracker_, mode_);
+  }
+  if (options_.enable_merging && options_.merge_check_interval > 0 &&
+      query_seq_ % options_.merge_check_interval == 0) {
+    MergeSweep();
+  }
+}
+
+template <typename T>
+void AdaptiveZoneMapT<T>::MergeSweep() {
+  const int64_t trigger = static_cast<int64_t>(
+      options_.merge_trigger_fraction * static_cast<double>(options_.max_zones));
+  if (static_cast<int64_t>(zones_.size()) <= trigger) return;
+
+  Stopwatch timer;
+  std::vector<AdaptiveZone> merged;
+  merged.reserve(zones_.size());
+  auto is_cold = [&](const AdaptiveZone& z) {
+    return z.last_candidate_seq + options_.merge_cold_age < query_seq_;
+  };
+  for (const AdaptiveZone& zone : zones_) {
+    if (!merged.empty()) {
+      AdaptiveZone& prev = merged.back();
+      if (is_cold(prev) && is_cold(zone) &&
+          prev.end - prev.begin + zone.end - zone.begin <=
+              options_.merge_max_zone_size) {
+        // Union bounds stay sound (possibly conservative) with no data
+        // reads — merging is metadata-only.
+        prev.end = zone.end;
+        prev.min = std::min(prev.min, zone.min);
+        prev.max = std::max(prev.max, zone.max);
+        prev.last_candidate_seq =
+            std::max(prev.last_candidate_seq, zone.last_candidate_seq);
+        ++merge_count_;
+        continue;
+      }
+    }
+    merged.push_back(zone);
+  }
+  zones_ = std::move(merged);
+  adapt_nanos_ += timer.ElapsedNanos();
+}
+
+template <typename T>
+int64_t AdaptiveZoneMapT<T>::MemoryUsageBytes() const {
+  return static_cast<int64_t>(zones_.capacity() * sizeof(AdaptiveZone));
+}
+
+template <typename T>
+int64_t AdaptiveZoneMapT<T>::TakeAdaptationNanos() {
+  int64_t out = adapt_nanos_;
+  adapt_nanos_ = 0;
+  return out;
+}
+
+template <typename T>
+bool AdaptiveZoneMapT<T>::CheckInvariants() const {
+  if (num_rows_ == 0) return zones_.empty();
+  int64_t cursor = 0;
+  for (const AdaptiveZone& zone : zones_) {
+    if (zone.begin != cursor || zone.end <= zone.begin) return false;
+    MinMax<T> mm = ComputeMinMax(values_, zone.begin, zone.end);
+    if (zone.min > mm.min || zone.max < mm.max) return false;
+    cursor = zone.end;
+  }
+  return cursor == num_rows_;
+}
+
+std::unique_ptr<SkipIndex> MakeAdaptiveZoneMap(const Column& column,
+                                               const AdaptiveOptions& options) {
+  return DispatchDataType(
+      column.type(), [&](auto tag) -> std::unique_ptr<SkipIndex> {
+        using T = typename decltype(tag)::type;
+        return std::make_unique<AdaptiveZoneMapT<T>>(*column.As<T>(), options);
+      });
+}
+
+template class AdaptiveZoneMapT<int32_t>;
+template class AdaptiveZoneMapT<int64_t>;
+template class AdaptiveZoneMapT<float>;
+template class AdaptiveZoneMapT<double>;
+
+}  // namespace adaskip

@@ -1,0 +1,125 @@
+#ifndef ADASKIP_ADAPTIVE_ADAPTIVE_ZONE_MAP_H_
+#define ADASKIP_ADAPTIVE_ADAPTIVE_ZONE_MAP_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "adaskip/adaptive/adaptation_policy.h"
+#include "adaskip/adaptive/cost_model.h"
+#include "adaskip/adaptive/effectiveness_tracker.h"
+#include "adaskip/skipping/skip_index.h"
+#include "adaskip/storage/column.h"
+
+namespace adaskip {
+
+/// The paper's core contribution: a zonemap whose zones are refined,
+/// merged, and — when hostile data makes skipping pointless — bypassed,
+/// all as a side effect of query execution.
+///
+/// Mechanics (see DESIGN.md for the full treatment):
+///  * Zones are variable-width and always exactly tile [0, num_rows).
+///  * `Probe` emits one candidate range per overlapping zone (deliberately
+///    not coalesced, so per-zone scan feedback stays exact).
+///  * `OnRangeScanned` splits zones whose scans were mostly wasted,
+///    per the configured SplitPolicy; children get exact min/max bounds
+///    computed while the zone is cache-hot. The time spent is accumulated
+///    and drained by the executor via `TakeAdaptationNanos()` so
+///    experiments charge adaptation honestly.
+///  * `OnQueryComplete` feeds the effectiveness tracker, lets the cost
+///    model flip between kActive and kBypass, and periodically merges
+///    cold zones to respect the metadata budget.
+///
+/// The index holds a span over the column's payload: it must not outlive
+/// the column, and appending to the column after construction invalidates
+/// the index (build indexes after loading).
+template <typename T>
+class AdaptiveZoneMapT final : public SkipIndex {
+ public:
+  AdaptiveZoneMapT(const TypedColumn<T>& column,
+                   const AdaptiveOptions& options);
+
+  std::string_view name() const override { return "adaptive"; }
+  int64_t num_rows() const override { return num_rows_; }
+
+  void Probe(const Predicate& pred, std::vector<RowRange>* candidates,
+             ProbeStats* stats) override;
+  void OnRangeScanned(const Predicate& pred,
+                      const RangeFeedback& feedback) override;
+  void OnQueryComplete(const Predicate& pred,
+                       const QueryFeedback& feedback) override;
+
+  int64_t MemoryUsageBytes() const override;
+  int64_t ZoneCount() const override {
+    return static_cast<int64_t>(zones_.size());
+  }
+
+  // --- Introspection (tests, experiments, examples) ---
+
+  /// One zone of the adaptive map; bounds may be conservative after a
+  /// merge but are always correct.
+  struct AdaptiveZone {
+    int64_t begin;
+    int64_t end;
+    T min;
+    T max;
+    int64_t last_candidate_seq;  // Query sequence of the last candidacy.
+  };
+
+  const std::vector<AdaptiveZone>& zones() const { return zones_; }
+  const AdaptiveOptions& options() const { return options_; }
+  SkippingMode mode() const { return mode_; }
+  int64_t split_count() const { return split_count_; }
+  int64_t merge_count() const { return merge_count_; }
+  int64_t bypassed_probe_count() const { return bypassed_probe_count_; }
+  int64_t query_count() const { return query_seq_; }
+  const EffectivenessTracker& tracker() const { return tracker_; }
+
+  /// Returns and resets the nanoseconds spent on refinement/merging since
+  /// the last call.
+  int64_t TakeAdaptationNanos() override;
+
+  /// Verifies the structural invariants (tiling, sortedness, bound
+  /// soundness against the column payload). O(num_rows); tests only.
+  bool CheckInvariants() const;
+
+ private:
+  /// Index of the zone starting exactly at `begin`, or -1.
+  int64_t FindZoneIndex(int64_t begin) const;
+
+  /// Splits zones_[index] at the (strictly interior, sorted) cut
+  /// positions, computing exact child bounds from the data.
+  void SplitZoneAt(int64_t index, std::span<const int64_t> cuts);
+
+  /// Replaces zones_[index] with pre-computed children (which must tile
+  /// it exactly).
+  void ReplaceZone(int64_t index, const std::vector<AdaptiveZone>& children);
+
+  /// Merges runs of cold adjacent zones; called from OnQueryComplete.
+  void MergeSweep();
+
+  int64_t num_rows_;
+  std::span<const T> values_;
+  AdaptiveOptions options_;
+  EffectivenessTracker tracker_;
+  CostModel cost_model_;
+
+  std::vector<AdaptiveZone> zones_;
+  SkippingMode mode_ = SkippingMode::kActive;
+  bool last_probe_bypassed_ = false;
+  bool allow_splits_this_query_ = true;
+  int64_t query_seq_ = 0;
+  int64_t splits_this_query_ = 0;
+  int64_t split_count_ = 0;
+  int64_t merge_count_ = 0;
+  int64_t bypassed_probe_count_ = 0;
+  int64_t adapt_nanos_ = 0;
+};
+
+/// Builds an adaptive zonemap for `column`, dispatching on its type.
+std::unique_ptr<SkipIndex> MakeAdaptiveZoneMap(
+    const Column& column, const AdaptiveOptions& options = {});
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_ADAPTIVE_ADAPTIVE_ZONE_MAP_H_

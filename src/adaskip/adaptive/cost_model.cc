@@ -1,0 +1,17 @@
+#include "adaskip/adaptive/cost_model.h"
+
+namespace adaskip {
+
+SkippingMode CostModel::Decide(const EffectivenessTracker& tracker,
+                               SkippingMode current) const {
+  if (!enabled_) return SkippingMode::kActive;
+  if (tracker.num_recorded() < warmup_queries_) return SkippingMode::kActive;
+  double benefit = NetBenefitPerRow(tracker);
+  if (current == SkippingMode::kBypass) {
+    return benefit > reactivation_threshold_ ? SkippingMode::kActive
+                                             : SkippingMode::kBypass;
+  }
+  return benefit > 0.0 ? SkippingMode::kActive : SkippingMode::kBypass;
+}
+
+}  // namespace adaskip

@@ -1,0 +1,67 @@
+#ifndef ADASKIP_ADAPTIVE_COST_MODEL_H_
+#define ADASKIP_ADAPTIVE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "adaskip/adaptive/adaptation_policy.h"
+#include "adaskip/adaptive/effectiveness_tracker.h"
+
+namespace adaskip {
+
+/// Whether the adaptive structure currently probes its metadata or
+/// bypasses straight to a full scan.
+enum class SkippingMode : int8_t {
+  kActive = 0,
+  kBypass = 1,
+};
+
+/// The "kill switch" of adaptive data skipping. Static zonemaps on
+/// adversarial (e.g. uniformly shuffled) data make every query pay
+/// metadata reads that never skip anything — the abstract's motivating
+/// failure. This model compares the EWMA benefit of probing (rows
+/// skipped) against its cost (metadata entries read, weighted by their
+/// relative per-item cost) and switches to bypass when probing loses.
+/// While bypassed, the owner is expected to run an exploratory real probe
+/// every `explore_interval` queries so the model can observe whether the
+/// workload/data mix has become skippable again.
+class CostModel {
+ public:
+  CostModel(bool enabled, double cost_ratio, int64_t warmup_queries,
+            double reactivation_threshold)
+      : enabled_(enabled),
+        cost_ratio_(cost_ratio),
+        warmup_queries_(warmup_queries),
+        reactivation_threshold_(reactivation_threshold) {}
+
+  explicit CostModel(const AdaptiveOptions& options)
+      : CostModel(options.enable_cost_model, options.probe_entry_cost_ratio,
+                  options.cost_model_warmup_queries,
+                  options.reactivation_benefit_threshold) {}
+
+  /// Decides the mode after a query was recorded into `tracker`, with
+  /// hysteresis: entering bypass needs the net benefit to drop to zero,
+  /// but leaving it needs clear positive evidence (the reactivation
+  /// threshold), so measurement noise on hostile data cannot flap the
+  /// switch.
+  SkippingMode Decide(const EffectivenessTracker& tracker,
+                      SkippingMode current) const;
+
+  /// Net benefit per row of probing: skipped fraction minus weighted
+  /// metadata reads per row. Positive means probing pays.
+  double NetBenefitPerRow(const EffectivenessTracker& tracker) const {
+    return tracker.skipped_fraction() -
+           cost_ratio_ * tracker.entries_per_row();
+  }
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  bool enabled_;
+  double cost_ratio_;
+  int64_t warmup_queries_;
+  double reactivation_threshold_;
+};
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_ADAPTIVE_COST_MODEL_H_

@@ -1,0 +1,30 @@
+#include "adaskip/adaptive/effectiveness_tracker.h"
+
+#include "adaskip/util/logging.h"
+
+namespace adaskip {
+
+void EffectivenessTracker::Record(int64_t rows_total, int64_t rows_scanned,
+                                  int64_t entries_read) {
+  if (rows_total <= 0) return;
+  double skipped = static_cast<double>(rows_total - rows_scanned) /
+                   static_cast<double>(rows_total);
+  double per_row =
+      static_cast<double>(entries_read) / static_cast<double>(rows_total);
+  if (num_recorded_ == 0) {
+    skipped_fraction_ = skipped;
+    entries_per_row_ = per_row;
+  } else {
+    skipped_fraction_ = alpha_ * skipped + (1.0 - alpha_) * skipped_fraction_;
+    entries_per_row_ = alpha_ * per_row + (1.0 - alpha_) * entries_per_row_;
+  }
+  ++num_recorded_;
+}
+
+void EffectivenessTracker::Reset() {
+  skipped_fraction_ = 0.0;
+  entries_per_row_ = 0.0;
+  num_recorded_ = 0;
+}
+
+}  // namespace adaskip

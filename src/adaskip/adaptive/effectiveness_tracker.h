@@ -1,0 +1,38 @@
+#ifndef ADASKIP_ADAPTIVE_EFFECTIVENESS_TRACKER_H_
+#define ADASKIP_ADAPTIVE_EFFECTIVENESS_TRACKER_H_
+
+#include <cstdint>
+
+namespace adaskip {
+
+/// Exponentially weighted moving averages of how much good the skipping
+/// metadata is doing: the fraction of rows skipped per query and the
+/// metadata entries read per row of the column. The cost model reads
+/// these to decide whether probing still pays for itself.
+class EffectivenessTracker {
+ public:
+  explicit EffectivenessTracker(double alpha) : alpha_(alpha) {}
+
+  /// Records one completed (non-bypassed) query.
+  void Record(int64_t rows_total, int64_t rows_scanned, int64_t entries_read);
+
+  /// EWMA of (rows skipped / rows total); 0 until the first Record.
+  double skipped_fraction() const { return skipped_fraction_; }
+
+  /// EWMA of (metadata entries read / rows total).
+  double entries_per_row() const { return entries_per_row_; }
+
+  int64_t num_recorded() const { return num_recorded_; }
+
+  void Reset();
+
+ private:
+  double alpha_;
+  double skipped_fraction_ = 0.0;
+  double entries_per_row_ = 0.0;
+  int64_t num_recorded_ = 0;
+};
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_ADAPTIVE_EFFECTIVENESS_TRACKER_H_

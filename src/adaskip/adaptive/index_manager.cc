@@ -1,0 +1,88 @@
+#include "adaskip/adaptive/index_manager.h"
+
+#include "adaskip/adaptive/adaptive_zone_map.h"
+
+namespace adaskip {
+
+std::string_view IndexKindToString(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kFullScan:
+      return "fullscan";
+    case IndexKind::kZoneMap:
+      return "zonemap";
+    case IndexKind::kZoneTree:
+      return "zonetree";
+    case IndexKind::kImprints:
+      return "imprints";
+    case IndexKind::kBloomZoneMap:
+      return "bloomzonemap";
+    case IndexKind::kAdaptive:
+      return "adaptive";
+    case IndexKind::kAdaptiveImprints:
+      return "adaptive_imprints";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SkipIndex> MakeSkipIndex(const Column& column,
+                                         const IndexOptions& options) {
+  switch (options.kind) {
+    case IndexKind::kFullScan:
+      return std::make_unique<FullScanIndex>(column.size());
+    case IndexKind::kZoneMap:
+      return MakeZoneMap(column, options.zone_map);
+    case IndexKind::kZoneTree:
+      return MakeZoneTree(column, options.zone_tree);
+    case IndexKind::kImprints:
+      return MakeColumnImprints(column, options.imprints);
+    case IndexKind::kBloomZoneMap:
+      return MakeBloomZoneMap(column, options.bloom);
+    case IndexKind::kAdaptive:
+      return MakeAdaptiveZoneMap(column, options.adaptive);
+    case IndexKind::kAdaptiveImprints:
+      return MakeAdaptiveImprints(column, options.adaptive_imprints);
+  }
+  ADASKIP_LOG(Fatal) << "unknown IndexKind "
+                     << static_cast<int>(options.kind);
+  __builtin_unreachable();
+}
+
+Status IndexManager::AttachIndex(std::string_view column_name,
+                                 const IndexOptions& options) {
+  ADASKIP_ASSIGN_OR_RETURN(const Column* column,
+                           table_->ColumnByName(column_name));
+  indexes_[std::string(column_name)] = MakeSkipIndex(*column, options);
+  return Status::OK();
+}
+
+Status IndexManager::DetachIndex(std::string_view column_name) {
+  auto it = indexes_.find(column_name);
+  if (it == indexes_.end()) {
+    return Status::NotFound("no index on column '" +
+                            std::string(column_name) + "'");
+  }
+  indexes_.erase(it);
+  return Status::OK();
+}
+
+SkipIndex* IndexManager::GetIndex(std::string_view column_name) const {
+  auto it = indexes_.find(column_name);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> IndexManager::IndexedColumns() const {
+  std::vector<std::string> names;
+  names.reserve(indexes_.size());
+  for (const auto& [name, index] : indexes_) names.push_back(name);
+  return names;
+}
+
+int64_t IndexManager::MemoryUsageBytes() const {
+  int64_t total = 0;
+  for (const auto& [name, index] : indexes_) {
+    total += index->MemoryUsageBytes();
+  }
+  return total;
+}
+
+}  // namespace adaskip

@@ -1,0 +1,102 @@
+#ifndef ADASKIP_ADAPTIVE_INDEX_MANAGER_H_
+#define ADASKIP_ADAPTIVE_INDEX_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaskip/adaptive/adaptation_policy.h"
+#include "adaskip/adaptive/adaptive_imprints.h"
+#include "adaskip/skipping/bloom_zone_map.h"
+#include "adaskip/skipping/column_imprints.h"
+#include "adaskip/skipping/skip_index.h"
+#include "adaskip/skipping/zone_map.h"
+#include "adaskip/skipping/zone_tree.h"
+#include "adaskip/storage/table.h"
+#include "adaskip/util/status.h"
+
+namespace adaskip {
+
+/// Which skipping structure to build for a column.
+enum class IndexKind : int8_t {
+  kFullScan = 0,     // No skipping; probes always return the full range.
+  kZoneMap = 1,      // Static flat zonemap.
+  kZoneTree = 2,     // Static hierarchical zonemap.
+  kImprints = 3,     // Column imprints.
+  kBloomZoneMap = 4, // Zonemap + per-zone Bloom filters.
+  kAdaptive = 5,     // Adaptive zonemap (the paper's contribution).
+  kAdaptiveImprints = 6,  // Imprints with workload-aligned re-binning.
+};
+
+std::string_view IndexKindToString(IndexKind kind);
+
+/// Union of the per-structure option structs; only the member matching
+/// `kind` is consulted.
+struct IndexOptions {
+  IndexKind kind = IndexKind::kAdaptive;
+  ZoneMapOptions zone_map;
+  ZoneTreeOptions zone_tree;
+  ImprintsOptions imprints;
+  BloomZoneMapOptions bloom;
+  AdaptiveOptions adaptive;
+  AdaptiveImprintsOptions adaptive_imprints;
+
+  static IndexOptions FullScan() {
+    IndexOptions o;
+    o.kind = IndexKind::kFullScan;
+    return o;
+  }
+  static IndexOptions ZoneMap(int64_t zone_size = 4096) {
+    IndexOptions o;
+    o.kind = IndexKind::kZoneMap;
+    o.zone_map.zone_size = zone_size;
+    return o;
+  }
+  static IndexOptions Adaptive(AdaptiveOptions adaptive = {}) {
+    IndexOptions o;
+    o.kind = IndexKind::kAdaptive;
+    o.adaptive = adaptive;
+    return o;
+  }
+};
+
+/// Builds a skip index of `options.kind` over `column`.
+std::unique_ptr<SkipIndex> MakeSkipIndex(const Column& column,
+                                         const IndexOptions& options);
+
+/// Owns the skip indexes of one table, keyed by column name. The manager
+/// (and its indexes) reference the table's columns and must not outlive
+/// the table — the Session ties both lifetimes together.
+class IndexManager {
+ public:
+  explicit IndexManager(std::shared_ptr<const Table> table)
+      : table_(std::move(table)) {}
+
+  IndexManager(const IndexManager&) = delete;
+  IndexManager& operator=(const IndexManager&) = delete;
+
+  /// Builds and attaches an index for `column_name`, replacing any
+  /// existing one. Fails if the column does not exist.
+  Status AttachIndex(std::string_view column_name,
+                     const IndexOptions& options);
+
+  /// Drops the index of `column_name`; fails if none is attached.
+  Status DetachIndex(std::string_view column_name);
+
+  /// The index attached to `column_name`, or nullptr.
+  SkipIndex* GetIndex(std::string_view column_name) const;
+
+  std::vector<std::string> IndexedColumns() const;
+
+  /// Total metadata footprint across all attached indexes.
+  int64_t MemoryUsageBytes() const;
+
+ private:
+  std::shared_ptr<const Table> table_;
+  std::map<std::string, std::unique_ptr<SkipIndex>, std::less<>> indexes_;
+};
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_ADAPTIVE_INDEX_MANAGER_H_

@@ -1,0 +1,50 @@
+#include "adaskip/engine/exec_stats.h"
+
+#include <cstdio>
+
+namespace adaskip {
+
+std::string QueryStats::ToString() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "[%s] scanned %lld/%lld rows (skipped %.1f%%), matched %lld, "
+      "probe %lld entries, t=%.1fus (probe %.1f scan %.1f adapt %.1f)",
+      index_name.c_str(), static_cast<long long>(rows_scanned),
+      static_cast<long long>(rows_total), SkippedFraction() * 100.0,
+      static_cast<long long>(rows_matched),
+      static_cast<long long>(probe.entries_read),
+      static_cast<double>(total_nanos) / 1e3,
+      static_cast<double>(probe_nanos) / 1e3,
+      static_cast<double>(scan_nanos) / 1e3,
+      static_cast<double>(adapt_nanos) / 1e3);
+  return std::string(buf);
+}
+
+void WorkloadStats::Record(const QueryStats& stats) {
+  ++num_queries_;
+  rows_scanned_ += stats.rows_scanned;
+  rows_total_ += stats.rows_total;
+  rows_matched_ += stats.rows_matched;
+  entries_read_ += stats.probe.entries_read;
+  total_nanos_ += stats.total_nanos;
+  scan_nanos_ += stats.scan_nanos;
+  probe_nanos_ += stats.probe_nanos;
+  adapt_nanos_ += stats.adapt_nanos;
+  latency_micros_.Add(static_cast<double>(stats.total_nanos) / 1e3);
+}
+
+void WorkloadStats::Clear() { *this = WorkloadStats(); }
+
+std::string WorkloadStats::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%lld queries in %.3fs (mean %.1fus), skipped %.1f%% of rows, "
+                "%lld metadata entries read",
+                static_cast<long long>(num_queries_), TotalSeconds(),
+                MeanLatencyMicros(), MeanSkippedFraction() * 100.0,
+                static_cast<long long>(entries_read_));
+  return std::string(buf);
+}
+
+}  // namespace adaskip

@@ -1,0 +1,91 @@
+#ifndef ADASKIP_ENGINE_EXEC_STATS_H_
+#define ADASKIP_ENGINE_EXEC_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "adaskip/skipping/skip_index.h"
+#include "adaskip/util/histogram.h"
+
+namespace adaskip {
+
+/// Execution accounting for one query. Every experiment in
+/// EXPERIMENTS.md is computed from these numbers, so they are collected
+/// unconditionally (the collection cost is a few counters).
+struct QueryStats {
+  std::string index_name;    // Which skip structure served the probe.
+  int64_t rows_total = 0;    // Rows in the scanned column.
+  int64_t rows_scanned = 0;  // Rows actually touched by kernels.
+  int64_t rows_matched = 0;  // Qualifying rows.
+  int64_t candidate_ranges = 0;
+  ProbeStats probe;
+
+  int64_t probe_nanos = 0;  // Metadata reads.
+  int64_t scan_nanos = 0;   // Pure kernel time over candidates.
+  int64_t adapt_nanos = 0;  // Refinement/merge work inside the index.
+  int64_t total_nanos = 0;  // Wall clock for the whole query.
+
+  /// Fraction of the column the skip structure avoided scanning.
+  double SkippedFraction() const {
+    if (rows_total == 0) return 0.0;
+    return static_cast<double>(rows_total - rows_scanned) /
+           static_cast<double>(rows_total);
+  }
+
+  std::string ToString() const;
+};
+
+/// Aggregate over a sequence of queries (one experiment arm).
+class WorkloadStats {
+ public:
+  WorkloadStats() = default;
+
+  void Record(const QueryStats& stats);
+  void Clear();
+
+  int64_t num_queries() const { return num_queries_; }
+  int64_t rows_scanned() const { return rows_scanned_; }
+  int64_t rows_total() const { return rows_total_; }
+  int64_t rows_matched() const { return rows_matched_; }
+  int64_t entries_read() const { return entries_read_; }
+  int64_t total_nanos() const { return total_nanos_; }
+  int64_t scan_nanos() const { return scan_nanos_; }
+  int64_t probe_nanos() const { return probe_nanos_; }
+  int64_t adapt_nanos() const { return adapt_nanos_; }
+
+  double TotalSeconds() const {
+    return static_cast<double>(total_nanos_) / 1e9;
+  }
+  double MeanLatencyMicros() const {
+    return num_queries_ == 0 ? 0.0
+                             : static_cast<double>(total_nanos_) / 1e3 /
+                                   static_cast<double>(num_queries_);
+  }
+  double MeanSkippedFraction() const {
+    return rows_total_ == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(rows_scanned_) /
+                           static_cast<double>(rows_total_);
+  }
+
+  /// Per-query latency distribution in microseconds.
+  const Histogram& latency_histogram() const { return latency_micros_; }
+
+  std::string Summary() const;
+
+ private:
+  int64_t num_queries_ = 0;
+  int64_t rows_scanned_ = 0;
+  int64_t rows_total_ = 0;
+  int64_t rows_matched_ = 0;
+  int64_t entries_read_ = 0;
+  int64_t total_nanos_ = 0;
+  int64_t scan_nanos_ = 0;
+  int64_t probe_nanos_ = 0;
+  int64_t adapt_nanos_ = 0;
+  Histogram latency_micros_;
+};
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_ENGINE_EXEC_STATS_H_

@@ -1,0 +1,60 @@
+#ifndef ADASKIP_ENGINE_QUERY_H_
+#define ADASKIP_ENGINE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "adaskip/scan/predicate.h"
+#include "adaskip/util/selection_vector.h"
+
+namespace adaskip {
+
+/// What a scan query computes over the qualifying rows.
+enum class AggregateKind : int8_t {
+  kCount = 0,        // COUNT(*)
+  kSum = 1,          // SUM(aggregate column)
+  kMin = 2,          // MIN(aggregate column)
+  kMax = 3,          // MAX(aggregate column)
+  kMaterialize = 4,  // Row ids of the qualifying rows.
+};
+
+std::string_view AggregateKindToString(AggregateKind kind);
+
+/// A filter-and-aggregate scan query:
+///   SELECT <aggregate>(<aggregate_column>) FROM t WHERE p1 AND p2 AND ...
+///
+/// `predicates` is a conjunction (at least one term). An empty
+/// `aggregate_column` defaults to the first predicate's column.
+struct Query {
+  std::vector<Predicate> predicates;
+  AggregateKind aggregate = AggregateKind::kCount;
+  std::string aggregate_column;
+
+  static Query Count(Predicate pred) {
+    return Query{{std::move(pred)}, AggregateKind::kCount, {}};
+  }
+  static Query Sum(Predicate pred, std::string aggregate_column = {}) {
+    return Query{{std::move(pred)},
+                 AggregateKind::kSum,
+                 std::move(aggregate_column)};
+  }
+  static Query Min(Predicate pred, std::string aggregate_column = {}) {
+    return Query{{std::move(pred)},
+                 AggregateKind::kMin,
+                 std::move(aggregate_column)};
+  }
+  static Query Max(Predicate pred, std::string aggregate_column = {}) {
+    return Query{{std::move(pred)},
+                 AggregateKind::kMax,
+                 std::move(aggregate_column)};
+  }
+  static Query Materialize(Predicate pred) {
+    return Query{{std::move(pred)}, AggregateKind::kMaterialize, {}};
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_ENGINE_QUERY_H_

@@ -1,0 +1,310 @@
+#include "adaskip/engine/scan_executor.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "adaskip/scan/scan_kernel.h"
+#include "adaskip/storage/type_dispatch.h"
+#include "adaskip/util/interval_set.h"
+#include "adaskip/util/stopwatch.h"
+
+namespace adaskip {
+
+std::string_view AggregateKindToString(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCount:
+      return "COUNT";
+    case AggregateKind::kSum:
+      return "SUM";
+    case AggregateKind::kMin:
+      return "MIN";
+    case AggregateKind::kMax:
+      return "MAX";
+    case AggregateKind::kMaterialize:
+      return "MATERIALIZE";
+  }
+  return "?";
+}
+
+std::string Query::ToString() const {
+  std::string out(AggregateKindToString(aggregate));
+  out += "(";
+  out += aggregate_column.empty()
+             ? (predicates.empty() ? "*" : predicates[0].column)
+             : aggregate_column;
+  out += ") WHERE ";
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += predicates[i].ToString();
+  }
+  return out;
+}
+
+namespace {
+
+/// The aggregation target column of `query` (defaults to the first
+/// predicate's column).
+std::string_view AggregateColumnOf(const Query& query) {
+  if (!query.aggregate_column.empty()) return query.aggregate_column;
+  return query.predicates[0].column;
+}
+
+/// True if candidate ranges are sorted, disjoint, and inside [0, n).
+bool CandidatesAreWellFormed(const std::vector<RowRange>& ranges, int64_t n) {
+  int64_t cursor = 0;
+  for (const RowRange& r : ranges) {
+    if (r.begin < cursor || r.end <= r.begin || r.end > n) return false;
+    cursor = r.end;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status ScanExecutor::ValidateQuery(const Query& query) const {
+  if (query.predicates.empty()) {
+    return Status::InvalidArgument("query needs at least one predicate");
+  }
+  for (const Predicate& pred : query.predicates) {
+    int64_t index = table_->ColumnIndex(pred.column);
+    if (index < 0) {
+      return Status::NotFound("no column '" + pred.column + "' in table '" +
+                              table_->name() + "'");
+    }
+    DataType type = table_->schema()[static_cast<size_t>(index)].type;
+    if (!ScalarMatchesType(pred.lower, type) ||
+        (pred.op == CompareOp::kBetween &&
+         !ScalarMatchesType(pred.upper, type))) {
+      return Status::InvalidArgument(
+          "predicate on '" + pred.column + "' carries a scalar that does " +
+          "not match the column type " + std::string(DataTypeToString(type)));
+    }
+  }
+  if (query.aggregate != AggregateKind::kCount &&
+      query.aggregate != AggregateKind::kMaterialize &&
+      table_->ColumnIndex(AggregateColumnOf(query)) < 0) {
+    return Status::NotFound("no aggregate column '" +
+                            std::string(AggregateColumnOf(query)) +
+                            "' in table '" + table_->name() + "'");
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> ScanExecutor::Execute(const Query& query) {
+  ADASKIP_RETURN_IF_ERROR(ValidateQuery(query));
+
+  const bool aggregates_predicate_column =
+      query.aggregate == AggregateKind::kCount ||
+      query.aggregate == AggregateKind::kMaterialize ||
+      AggregateColumnOf(query) == query.predicates[0].column;
+  if (query.predicates.size() > 1 || !aggregates_predicate_column) {
+    return ExecuteConjunction(query);
+  }
+
+  ADASKIP_ASSIGN_OR_RETURN(const Column* column,
+                           table_->ColumnByName(query.predicates[0].column));
+  return DispatchDataType(
+      column->type(), [&](auto tag) -> Result<QueryResult> {
+        using T = typename decltype(tag)::type;
+        return ExecuteSingleTyped<T>(query, *column->As<T>());
+      });
+}
+
+template <typename T>
+QueryResult ScanExecutor::ExecuteSingleTyped(const Query& query,
+                                             const TypedColumn<T>& column) {
+  Stopwatch total_timer;
+  const Predicate& pred = query.predicates[0];
+  QueryResult result;
+  result.aggregate = query.aggregate;
+  QueryStats& stats = result.stats;
+  stats.rows_total = column.size();
+
+  SkipIndex* index =
+      indexes_ != nullptr ? indexes_->GetIndex(pred.column) : nullptr;
+  stats.index_name = index != nullptr ? std::string(index->name()) : "none";
+
+  // Probe.
+  std::vector<RowRange> candidates;
+  Stopwatch probe_timer;
+  if (index != nullptr) {
+    index->Probe(pred, &candidates, &stats.probe);
+  } else if (column.size() > 0) {
+    candidates.push_back({0, column.size()});
+    stats.probe.zones_candidate = 1;
+  }
+  stats.probe_nanos = probe_timer.ElapsedNanos();
+  stats.candidate_ranges = static_cast<int64_t>(candidates.size());
+  ADASKIP_DCHECK(CandidatesAreWellFormed(candidates, column.size()));
+
+  // Scan candidates with the kernel matching the aggregate, feeding the
+  // index per-range feedback as each range finishes (data still hot).
+  const ValueInterval<T> interval = pred.ToInterval<T>();
+  const std::span<const T> values = column.data();
+  double sum = 0.0;
+  T min_v = std::numeric_limits<T>::max();
+  T max_v = std::numeric_limits<T>::lowest();
+  int64_t matched = 0;
+  for (const RowRange& range : candidates) {
+    Stopwatch scan_timer;
+    int64_t range_matches = 0;
+    switch (query.aggregate) {
+      case AggregateKind::kCount: {
+        range_matches = CountMatches(values, range, interval);
+        break;
+      }
+      case AggregateKind::kSum: {
+        SumCount<T> sc = SumMatchesCounted(values, range, interval);
+        sum += sc.sum;
+        range_matches = sc.count;
+        break;
+      }
+      case AggregateKind::kMin:
+      case AggregateKind::kMax: {
+        MinMaxCount<T> mmc = MinMaxMatchesCounted(values, range, interval);
+        if (mmc.count > 0) {
+          min_v = std::min(min_v, mmc.min);
+          max_v = std::max(max_v, mmc.max);
+        }
+        range_matches = mmc.count;
+        break;
+      }
+      case AggregateKind::kMaterialize: {
+        range_matches =
+            MaterializeMatches(values, range, interval, &result.rows);
+        break;
+      }
+    }
+    stats.scan_nanos += scan_timer.ElapsedNanos();
+    stats.rows_scanned += range.size();
+    matched += range_matches;
+    if (index != nullptr) {
+      index->OnRangeScanned(pred, RangeFeedback{range, range_matches});
+    }
+  }
+  stats.rows_matched = matched;
+
+  if (index != nullptr) {
+    QueryFeedback feedback;
+    feedback.rows_total = stats.rows_total;
+    feedback.rows_scanned = stats.rows_scanned;
+    feedback.rows_matched = stats.rows_matched;
+    feedback.probe = stats.probe;
+    index->OnQueryComplete(pred, feedback);
+    stats.adapt_nanos = index->TakeAdaptationNanos();
+  }
+
+  result.count = matched;
+  result.sum = sum;
+  if (matched > 0) {
+    result.min = static_cast<double>(min_v);
+    result.max = static_cast<double>(max_v);
+  }
+  stats.total_nanos = total_timer.ElapsedNanos();
+  return result;
+}
+
+Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
+  Stopwatch total_timer;
+  QueryResult result;
+  result.aggregate = query.aggregate;
+  QueryStats& stats = result.stats;
+  stats.rows_total = table_->num_rows();
+  stats.index_name = "conjunction";
+
+  // Probe each predicated column and intersect the candidate sets.
+  Stopwatch probe_timer;
+  std::vector<RowRange> candidates;
+  bool first = true;
+  for (const Predicate& pred : query.predicates) {
+    std::vector<RowRange> column_candidates;
+    SkipIndex* index =
+        indexes_ != nullptr ? indexes_->GetIndex(pred.column) : nullptr;
+    if (index != nullptr) {
+      index->Probe(pred, &column_candidates, &stats.probe);
+    } else if (table_->num_rows() > 0) {
+      column_candidates.push_back({0, table_->num_rows()});
+      stats.probe.zones_candidate += 1;
+    }
+    NormalizeRanges(&column_candidates);
+    if (first) {
+      candidates = std::move(column_candidates);
+      first = false;
+    } else {
+      candidates = IntersectRanges(candidates, column_candidates);
+    }
+  }
+  stats.probe_nanos = probe_timer.ElapsedNanos();
+  stats.candidate_ranges = static_cast<int64_t>(candidates.size());
+
+  // Evaluate the conjunction over the surviving ranges: materialize the
+  // first predicate's matches, then filter by the remaining predicates.
+  Stopwatch scan_timer;
+  SelectionVector selection;
+  for (const RowRange& range : candidates) {
+    stats.rows_scanned += range.size();
+    SelectionVector range_selection;
+    {
+      const Predicate& pred = query.predicates[0];
+      const Column* column = table_->ColumnByName(pred.column).value();
+      DispatchDataType(column->type(), [&](auto tag) {
+        using T = typename decltype(tag)::type;
+        MaterializeMatches(column->As<T>()->data(), range,
+                           pred.ToInterval<T>(), &range_selection);
+      });
+    }
+    for (size_t p = 1; p < query.predicates.size(); ++p) {
+      const Predicate& pred = query.predicates[p];
+      const Column* column = table_->ColumnByName(pred.column).value();
+      DispatchDataType(column->type(), [&](auto tag) {
+        using T = typename decltype(tag)::type;
+        const TypedColumn<T>& typed = *column->As<T>();
+        ValueInterval<T> interval = pred.ToInterval<T>();
+        auto* rows = range_selection.mutable_rows();
+        auto keep = std::remove_if(rows->begin(), rows->end(),
+                                   [&](int64_t row) {
+                                     return !interval.Contains(typed.Get(row));
+                                   });
+        rows->erase(keep, rows->end());
+      });
+    }
+    for (int64_t i = 0; i < range_selection.size(); ++i) {
+      selection.Append(range_selection[i]);
+    }
+  }
+  stats.rows_matched = selection.size();
+  result.count = selection.size();
+
+  // Aggregate over the qualifying rows.
+  if (query.aggregate == AggregateKind::kSum ||
+      query.aggregate == AggregateKind::kMin ||
+      query.aggregate == AggregateKind::kMax) {
+    const Column* agg_column =
+        table_->ColumnByName(AggregateColumnOf(query)).value();
+    DispatchDataType(agg_column->type(), [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      const TypedColumn<T>& typed = *agg_column->As<T>();
+      double sum = 0.0;
+      T min_v = std::numeric_limits<T>::max();
+      T max_v = std::numeric_limits<T>::lowest();
+      for (int64_t i = 0; i < selection.size(); ++i) {
+        T v = typed.Get(selection[i]);
+        sum += static_cast<double>(v);
+        min_v = std::min(min_v, v);
+        max_v = std::max(max_v, v);
+      }
+      result.sum = sum;
+      if (selection.size() > 0) {
+        result.min = static_cast<double>(min_v);
+        result.max = static_cast<double>(max_v);
+      }
+    });
+  } else if (query.aggregate == AggregateKind::kMaterialize) {
+    result.rows = std::move(selection);
+  }
+  stats.scan_nanos = scan_timer.ElapsedNanos();
+  stats.total_nanos = total_timer.ElapsedNanos();
+  return result;
+}
+
+}  // namespace adaskip

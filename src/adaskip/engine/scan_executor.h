@@ -1,0 +1,67 @@
+#ifndef ADASKIP_ENGINE_SCAN_EXECUTOR_H_
+#define ADASKIP_ENGINE_SCAN_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "adaskip/adaptive/index_manager.h"
+#include "adaskip/engine/exec_stats.h"
+#include "adaskip/engine/query.h"
+#include "adaskip/storage/table.h"
+#include "adaskip/util/selection_vector.h"
+#include "adaskip/util/status.h"
+
+namespace adaskip {
+
+/// Answer of one query plus its execution accounting.
+struct QueryResult {
+  AggregateKind aggregate = AggregateKind::kCount;
+  int64_t count = 0;   // Number of qualifying rows (all aggregate kinds).
+  double sum = 0.0;    // kSum only.
+  double min = 0.0;    // kMin only; meaningful when count > 0.
+  double max = 0.0;    // kMax only; meaningful when count > 0.
+  SelectionVector rows;  // kMaterialize only.
+  QueryStats stats;
+};
+
+/// Executes filter-and-aggregate queries over one table, consulting the
+/// table's skip indexes: probe → candidate ranges → scan kernels →
+/// adaptation feedback. This is the component that turns a SkipIndex's
+/// metadata into actual skipped rows, and the place where every
+/// nanosecond of probe/scan/adaptation work is attributed.
+///
+/// Single-predicate queries take a fully typed fast path and drive
+/// adaptation. Multi-predicate (conjunction) queries intersect the
+/// candidate sets of all predicated columns and run a generic evaluation;
+/// they do not send adaptation feedback (per-column match counts are not
+/// individually attributable there).
+class ScanExecutor {
+ public:
+  /// `indexes` may be nullptr (every query scans fully). Both the table
+  /// and the index manager must outlive the executor.
+  ScanExecutor(std::shared_ptr<const Table> table, IndexManager* indexes)
+      : table_(std::move(table)), indexes_(indexes) {}
+
+  ScanExecutor(const ScanExecutor&) = delete;
+  ScanExecutor& operator=(const ScanExecutor&) = delete;
+
+  Result<QueryResult> Execute(const Query& query);
+
+  const Table& table() const { return *table_; }
+
+ private:
+  Status ValidateQuery(const Query& query) const;
+
+  template <typename T>
+  QueryResult ExecuteSingleTyped(const Query& query,
+                                 const TypedColumn<T>& column);
+
+  Result<QueryResult> ExecuteConjunction(const Query& query);
+
+  std::shared_ptr<const Table> table_;
+  IndexManager* indexes_;
+};
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_ENGINE_SCAN_EXECUTOR_H_

@@ -1,0 +1,58 @@
+#include "adaskip/engine/session.h"
+
+namespace adaskip {
+
+Status Session::CreateTable(std::string name) {
+  return catalog_.AddTable(std::make_shared<Table>(std::move(name)));
+}
+
+Status Session::RegisterTable(std::shared_ptr<Table> table) {
+  return catalog_.AddTable(std::move(table));
+}
+
+Result<Session::TableRuntime*> Session::GetRuntime(
+    std::string_view table_name) {
+  auto it = runtimes_.find(table_name);
+  if (it != runtimes_.end()) return &it->second;
+  ADASKIP_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                           catalog_.GetTable(table_name));
+  TableRuntime runtime;
+  runtime.indexes = std::make_unique<IndexManager>(table);
+  runtime.executor =
+      std::make_unique<ScanExecutor>(table, runtime.indexes.get());
+  auto [inserted, ok] =
+      runtimes_.emplace(std::string(table_name), std::move(runtime));
+  (void)ok;
+  return &inserted->second;
+}
+
+Status Session::AttachIndex(std::string_view table_name,
+                            std::string_view column_name,
+                            const IndexOptions& options) {
+  ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));
+  return runtime->indexes->AttachIndex(column_name, options);
+}
+
+Status Session::DetachIndex(std::string_view table_name,
+                            std::string_view column_name) {
+  ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));
+  return runtime->indexes->DetachIndex(column_name);
+}
+
+Result<QueryResult> Session::Execute(std::string_view table_name,
+                                     const Query& query) {
+  ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));
+  ADASKIP_ASSIGN_OR_RETURN(QueryResult result,
+                           runtime->executor->Execute(query));
+  stats_.Record(result.stats);
+  return result;
+}
+
+SkipIndex* Session::GetIndex(std::string_view table_name,
+                             std::string_view column_name) const {
+  auto it = runtimes_.find(table_name);
+  if (it == runtimes_.end()) return nullptr;
+  return it->second.indexes->GetIndex(column_name);
+}
+
+}  // namespace adaskip

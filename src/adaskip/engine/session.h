@@ -1,0 +1,92 @@
+#ifndef ADASKIP_ENGINE_SESSION_H_
+#define ADASKIP_ENGINE_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaskip/adaptive/index_manager.h"
+#include "adaskip/engine/exec_stats.h"
+#include "adaskip/engine/scan_executor.h"
+#include "adaskip/storage/catalog.h"
+
+namespace adaskip {
+
+/// The library's high-level entry point: a catalog of tables, each with
+/// its skip indexes and an executor, plus cumulative workload statistics.
+/// See examples/quickstart.cc for the intended usage:
+///
+///   Session session;
+///   ADASKIP_CHECK_OK(session.CreateTable("readings"));
+///   ADASKIP_CHECK_OK(session.AddColumn("readings", "temp", values));
+///   ADASKIP_CHECK_OK(session.AttachIndex("readings", "temp",
+///                                        IndexOptions::Adaptive()));
+///   auto result = session.Execute(
+///       "readings", Query::Count(Predicate::Between("temp", 10.0, 20.0)));
+class Session {
+ public:
+  Session() = default;
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Creates an empty table.
+  Status CreateTable(std::string name);
+
+  /// Registers an externally built table.
+  Status RegisterTable(std::shared_ptr<Table> table);
+
+  /// Appends a column of `values` to `table_name`. Columns must be added
+  /// before indexes are attached (indexes snapshot the column payload).
+  template <typename T>
+  Status AddColumn(std::string_view table_name, std::string column_name,
+                   std::vector<T> values) {
+    ADASKIP_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                             catalog_.GetTable(table_name));
+    return table->AddColumn(std::move(column_name),
+                            MakeColumn(std::move(values)));
+  }
+
+  /// Builds a skip index over `table.column` (replacing any existing one).
+  Status AttachIndex(std::string_view table_name,
+                     std::string_view column_name,
+                     const IndexOptions& options);
+  Status DetachIndex(std::string_view table_name,
+                     std::string_view column_name);
+
+  /// Runs `query` against `table_name`, recording its stats into the
+  /// session's cumulative WorkloadStats.
+  Result<QueryResult> Execute(std::string_view table_name,
+                              const Query& query);
+
+  Result<std::shared_ptr<Table>> GetTable(std::string_view table_name) const {
+    return catalog_.GetTable(table_name);
+  }
+
+  /// The index on `table.column`, or nullptr. Useful for introspecting
+  /// adaptive state (zone counts, mode) in examples and experiments.
+  SkipIndex* GetIndex(std::string_view table_name,
+                      std::string_view column_name) const;
+
+  const Catalog& catalog() const { return catalog_; }
+  const WorkloadStats& workload_stats() const { return stats_; }
+  void ResetWorkloadStats() { stats_.Clear(); }
+
+ private:
+  struct TableRuntime {
+    std::unique_ptr<IndexManager> indexes;
+    std::unique_ptr<ScanExecutor> executor;
+  };
+
+  /// Gets (building on first use) the runtime of `table_name`.
+  Result<TableRuntime*> GetRuntime(std::string_view table_name);
+
+  Catalog catalog_;
+  std::map<std::string, TableRuntime, std::less<>> runtimes_;
+  WorkloadStats stats_;
+};
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_ENGINE_SESSION_H_

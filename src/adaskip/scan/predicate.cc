@@ -1,0 +1,67 @@
+#include "adaskip/scan/predicate.h"
+
+#include <sstream>
+
+namespace adaskip {
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kBetween:
+      return "BETWEEN";
+    case CompareOp::kEqual:
+      return "=";
+    case CompareOp::kLess:
+      return "<";
+    case CompareOp::kLessEqual:
+      return "<=";
+    case CompareOp::kGreater:
+      return ">";
+    case CompareOp::kGreaterEqual:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+std::string ScalarToString(const Scalar& s) {
+  return std::visit(
+      [](auto v) {
+        std::ostringstream os;
+        os << v;
+        return os.str();
+      },
+      s);
+}
+}  // namespace
+
+std::string Predicate::ToString() const {
+  std::ostringstream os;
+  if (op == CompareOp::kBetween) {
+    os << column << " BETWEEN " << ScalarToString(lower) << " AND "
+       << ScalarToString(upper);
+  } else {
+    os << column << " " << CompareOpToString(op) << " "
+       << ScalarToString(lower);
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Predicate& pred) {
+  return os << pred.ToString();
+}
+
+bool ScalarMatchesType(const Scalar& s, DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+      return std::holds_alternative<int32_t>(s);
+    case DataType::kInt64:
+      return std::holds_alternative<int64_t>(s);
+    case DataType::kFloat32:
+      return std::holds_alternative<float>(s);
+    case DataType::kFloat64:
+      return std::holds_alternative<double>(s);
+  }
+  return false;
+}
+
+}  // namespace adaskip

@@ -1,0 +1,157 @@
+#ifndef ADASKIP_SCAN_PREDICATE_H_
+#define ADASKIP_SCAN_PREDICATE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "adaskip/storage/data_type.h"
+
+namespace adaskip {
+
+/// A single column value of any supported type.
+using Scalar = std::variant<int32_t, int64_t, float, double>;
+
+/// Comparison operators supported by scan predicates.
+enum class CompareOp : int8_t {
+  kBetween = 0,       // lower <= x <= upper
+  kEqual = 1,         // x == lower
+  kLess = 2,          // x <  lower
+  kLessEqual = 3,     // x <= lower
+  kGreater = 4,       // x >  lower
+  kGreaterEqual = 5,  // x >= lower
+};
+
+std::string_view CompareOpToString(CompareOp op);
+
+/// Closed interval over values of T; the canonical form every predicate is
+/// lowered to before reaching a kernel or a skip index. Unbounded sides
+/// use the type's lowest()/max().
+template <typename T>
+struct ValueInterval {
+  T lo;
+  T hi;
+
+  bool empty() const { return lo > hi; }
+  bool Contains(T v) const { return v >= lo && v <= hi; }
+
+  friend bool operator==(const ValueInterval& a, const ValueInterval& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+namespace internal {
+
+/// Largest value strictly less than `v` (integer: v-1; float: nextafter).
+template <typename T>
+T PredecessorValue(T v) {
+  if constexpr (std::numeric_limits<T>::is_integer) {
+    return v == std::numeric_limits<T>::lowest() ? v : static_cast<T>(v - 1);
+  } else {
+    return std::nextafter(v, -std::numeric_limits<T>::infinity());
+  }
+}
+
+/// Smallest value strictly greater than `v`.
+template <typename T>
+T SuccessorValue(T v) {
+  if constexpr (std::numeric_limits<T>::is_integer) {
+    return v == std::numeric_limits<T>::max() ? v : static_cast<T>(v + 1);
+  } else {
+    return std::nextafter(v, std::numeric_limits<T>::infinity());
+  }
+}
+
+}  // namespace internal
+
+/// Single-column filter: `<column> <op> <value(s)>`. Construct via the
+/// factory functions; the executor resolves `column` against the table
+/// schema and lowers the predicate to a typed ValueInterval.
+///
+/// Note on strict bounds: kLess/kGreater are lowered to closed intervals
+/// via predecessor/successor values, so for `x < v` on integers the
+/// interval is [lowest, v-1]. This keeps every kernel and every skip
+/// index working on one canonical closed-interval form.
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kBetween;
+  Scalar lower;       // kBetween: lower bound; otherwise the comparison value.
+  Scalar upper;       // kBetween only.
+
+  template <typename T>
+  static Predicate Between(std::string column, T lo, T hi) {
+    return Predicate{std::move(column), CompareOp::kBetween, Scalar(lo),
+                     Scalar(hi)};
+  }
+  template <typename T>
+  static Predicate Equal(std::string column, T value) {
+    return Predicate{std::move(column), CompareOp::kEqual, Scalar(value),
+                     Scalar(value)};
+  }
+  template <typename T>
+  static Predicate Less(std::string column, T value) {
+    return Predicate{std::move(column), CompareOp::kLess, Scalar(value),
+                     Scalar(value)};
+  }
+  template <typename T>
+  static Predicate LessEqual(std::string column, T value) {
+    return Predicate{std::move(column), CompareOp::kLessEqual, Scalar(value),
+                     Scalar(value)};
+  }
+  template <typename T>
+  static Predicate Greater(std::string column, T value) {
+    return Predicate{std::move(column), CompareOp::kGreater, Scalar(value),
+                     Scalar(value)};
+  }
+  template <typename T>
+  static Predicate GreaterEqual(std::string column, T value) {
+    return Predicate{std::move(column), CompareOp::kGreaterEqual,
+                     Scalar(value), Scalar(value)};
+  }
+
+  /// Lowers the predicate to a closed interval over T. The Scalar bounds
+  /// must hold values convertible to T without narrowing surprises; the
+  /// executor guarantees this by constructing predicates with the column's
+  /// native type (checked via ScalarMatchesType in debug builds).
+  template <typename T>
+  ValueInterval<T> ToInterval() const {
+    T lo_value = ScalarAs<T>(lower);
+    switch (op) {
+      case CompareOp::kBetween:
+        return {lo_value, ScalarAs<T>(upper)};
+      case CompareOp::kEqual:
+        return {lo_value, lo_value};
+      case CompareOp::kLess:
+        return {std::numeric_limits<T>::lowest(),
+                internal::PredecessorValue(lo_value)};
+      case CompareOp::kLessEqual:
+        return {std::numeric_limits<T>::lowest(), lo_value};
+      case CompareOp::kGreater:
+        return {internal::SuccessorValue(lo_value),
+                std::numeric_limits<T>::max()};
+      case CompareOp::kGreaterEqual:
+        return {lo_value, std::numeric_limits<T>::max()};
+    }
+    return {T{1}, T{0}};  // Unreachable; empty interval.
+  }
+
+  /// Extracts the scalar as T (static_cast across numeric types).
+  template <typename T>
+  static T ScalarAs(const Scalar& s) {
+    return std::visit([](auto v) { return static_cast<T>(v); }, s);
+  }
+
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Predicate& pred);
+
+/// True if the scalar's stored alternative matches `type` exactly.
+bool ScalarMatchesType(const Scalar& s, DataType type);
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_SCAN_PREDICATE_H_

@@ -1,0 +1,331 @@
+#ifndef ADASKIP_SCAN_SCAN_KERNEL_H_
+#define ADASKIP_SCAN_SCAN_KERNEL_H_
+
+#include <cstdint>
+#include <span>
+
+#include "adaskip/scan/predicate.h"
+#include "adaskip/util/bit_vector.h"
+#include "adaskip/util/interval_set.h"
+#include "adaskip/util/logging.h"
+#include "adaskip/util/selection_vector.h"
+
+namespace adaskip {
+
+/// Min/max of a row range, as computed by zonemap builds and refinement.
+template <typename T>
+struct MinMax {
+  T min;
+  T max;
+
+  friend bool operator==(const MinMax& a, const MinMax& b) {
+    return a.min == b.min && a.max == b.max;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Tight scan kernels. All kernels take the full column payload plus a row
+// range so skip-index-driven scans touch only candidate ranges. Inner loops
+// are branchless (predicate evaluated as arithmetic) so the compiler can
+// vectorize them; these kernels are the "fast scans" substrate the paper's
+// main-memory setting assumes.
+// ---------------------------------------------------------------------------
+
+/// Number of values in [range.begin, range.end) inside `interval`.
+template <typename T>
+int64_t CountMatches(std::span<const T> values, RowRange range,
+                     ValueInterval<T> interval) {
+  ADASKIP_DCHECK(range.begin >= 0 &&
+                 range.end <= static_cast<int64_t>(values.size()));
+  const T lo = interval.lo;
+  const T hi = interval.hi;
+  int64_t count = 0;
+  const T* __restrict data = values.data();
+  for (int64_t i = range.begin; i < range.end; ++i) {
+    const T v = data[i];
+    count += static_cast<int64_t>(v >= lo) & static_cast<int64_t>(v <= hi);
+  }
+  return count;
+}
+
+/// Sum of matching values (double accumulator; exact for integer payloads
+/// up to 2^53, which all generators stay well below).
+template <typename T>
+double SumMatches(std::span<const T> values, RowRange range,
+                  ValueInterval<T> interval) {
+  ADASKIP_DCHECK(range.begin >= 0 &&
+                 range.end <= static_cast<int64_t>(values.size()));
+  const T lo = interval.lo;
+  const T hi = interval.hi;
+  double sum = 0.0;
+  const T* __restrict data = values.data();
+  for (int64_t i = range.begin; i < range.end; ++i) {
+    const T v = data[i];
+    const bool match = (v >= lo) & (v <= hi);
+    sum += match ? static_cast<double>(v) : 0.0;
+  }
+  return sum;
+}
+
+/// Appends matching row ids to `out`. Returns the number appended.
+template <typename T>
+int64_t MaterializeMatches(std::span<const T> values, RowRange range,
+                           ValueInterval<T> interval, SelectionVector* out) {
+  ADASKIP_DCHECK(range.begin >= 0 &&
+                 range.end <= static_cast<int64_t>(values.size()));
+  const T lo = interval.lo;
+  const T hi = interval.hi;
+  const T* __restrict data = values.data();
+  int64_t appended = 0;
+  for (int64_t i = range.begin; i < range.end; ++i) {
+    const T v = data[i];
+    if ((v >= lo) & (v <= hi)) {
+      out->Append(i);
+      ++appended;
+    }
+  }
+  return appended;
+}
+
+/// Sets the bit of every matching row in `out` (sized to the column).
+/// Returns the number of matches in the range.
+template <typename T>
+int64_t BitmapMatches(std::span<const T> values, RowRange range,
+                      ValueInterval<T> interval, BitVector* out) {
+  ADASKIP_DCHECK(out->size() == static_cast<int64_t>(values.size()));
+  const T lo = interval.lo;
+  const T hi = interval.hi;
+  const T* __restrict data = values.data();
+  int64_t count = 0;
+  for (int64_t i = range.begin; i < range.end; ++i) {
+    const T v = data[i];
+    if ((v >= lo) & (v <= hi)) {
+      out->Set(i);
+      ++count;
+    }
+  }
+  return count;
+}
+
+/// Sum plus count of matching values, in one pass (the executor's kSum
+/// path needs both for feedback).
+template <typename T>
+struct SumCount {
+  double sum = 0.0;
+  int64_t count = 0;
+};
+
+template <typename T>
+SumCount<T> SumMatchesCounted(std::span<const T> values, RowRange range,
+                              ValueInterval<T> interval) {
+  const T lo = interval.lo;
+  const T hi = interval.hi;
+  const T* __restrict data = values.data();
+  SumCount<T> out;
+  for (int64_t i = range.begin; i < range.end; ++i) {
+    const T v = data[i];
+    const bool match = (v >= lo) & (v <= hi);
+    out.sum += match ? static_cast<double>(v) : 0.0;
+    out.count += match;
+  }
+  return out;
+}
+
+/// Min/max plus count of matching values, in one pass.
+template <typename T>
+struct MinMaxCount {
+  T min = std::numeric_limits<T>::max();
+  T max = std::numeric_limits<T>::lowest();
+  int64_t count = 0;
+};
+
+template <typename T>
+MinMaxCount<T> MinMaxMatchesCounted(std::span<const T> values, RowRange range,
+                                    ValueInterval<T> interval) {
+  const T lo = interval.lo;
+  const T hi = interval.hi;
+  const T* __restrict data = values.data();
+  MinMaxCount<T> out;
+  for (int64_t i = range.begin; i < range.end; ++i) {
+    const T v = data[i];
+    if ((v >= lo) & (v <= hi)) {
+      out.min = v < out.min ? v : out.min;
+      out.max = v > out.max ? v : out.max;
+      ++out.count;
+    }
+  }
+  return out;
+}
+
+/// Min and max of matching values; `found` reports whether any matched.
+template <typename T>
+MinMax<T> MinMaxMatches(std::span<const T> values, RowRange range,
+                        ValueInterval<T> interval, bool* found) {
+  const T lo = interval.lo;
+  const T hi = interval.hi;
+  const T* __restrict data = values.data();
+  T min_v = std::numeric_limits<T>::max();
+  T max_v = std::numeric_limits<T>::lowest();
+  bool any = false;
+  for (int64_t i = range.begin; i < range.end; ++i) {
+    const T v = data[i];
+    if ((v >= lo) & (v <= hi)) {
+      min_v = v < min_v ? v : min_v;
+      max_v = v > max_v ? v : max_v;
+      any = true;
+    }
+  }
+  *found = any;
+  return {min_v, max_v};
+}
+
+/// Min/max over *all* values in [begin, end) — the zonemap build and
+/// refinement primitive. Requires a non-empty range.
+template <typename T>
+MinMax<T> ComputeMinMax(std::span<const T> values, int64_t begin,
+                        int64_t end) {
+  ADASKIP_DCHECK(begin >= 0 && begin < end &&
+                 end <= static_cast<int64_t>(values.size()));
+  const T* __restrict data = values.data();
+  T min_v = data[begin];
+  T max_v = data[begin];
+  for (int64_t i = begin + 1; i < end; ++i) {
+    const T v = data[i];
+    min_v = v < min_v ? v : min_v;
+    max_v = v > max_v ? v : max_v;
+  }
+  return {min_v, max_v};
+}
+
+/// Positions of the first and last matching rows in the range, or
+/// {-1, -1} when nothing matches. Used by boundary-guided zone splitting.
+template <typename T>
+RowRange FindMatchBounds(std::span<const T> values, RowRange range,
+                         ValueInterval<T> interval) {
+  const T lo = interval.lo;
+  const T hi = interval.hi;
+  const T* __restrict data = values.data();
+  int64_t first = -1;
+  for (int64_t i = range.begin; i < range.end; ++i) {
+    const T v = data[i];
+    if ((v >= lo) & (v <= hi)) {
+      first = i;
+      break;
+    }
+  }
+  if (first < 0) return {-1, -1};
+  int64_t last = first;
+  for (int64_t i = range.end - 1; i > first; --i) {
+    const T v = data[i];
+    if ((v >= lo) & (v <= hi)) {
+      last = i;
+      break;
+    }
+  }
+  return {first, last + 1};  // Half-open: [first, last+1).
+}
+
+/// Everything a boundary zone split needs, computed in one pass over the
+/// zone: the qualifying run's bounds plus the min/max of the prefix
+/// (rows before the run), the run itself, and the suffix (rows after).
+/// Segment bounds are valid only when the segment is non-empty. When
+/// nothing matches, `match_bounds` is {-1, -1} and `prefix` holds the
+/// min/max of the whole range.
+template <typename T>
+struct BoundaryScan {
+  RowRange match_bounds{-1, -1};
+  MinMax<T> prefix{std::numeric_limits<T>::max(),
+                   std::numeric_limits<T>::lowest()};
+  MinMax<T> run{std::numeric_limits<T>::max(),
+                std::numeric_limits<T>::lowest()};
+  MinMax<T> suffix{std::numeric_limits<T>::max(),
+                   std::numeric_limits<T>::lowest()};
+};
+
+template <typename T>
+BoundaryScan<T> BoundarySplitScan(std::span<const T> values, RowRange range,
+                                  ValueInterval<T> interval) {
+  ADASKIP_DCHECK(range.begin >= 0 && range.begin < range.end &&
+                 range.end <= static_cast<int64_t>(values.size()));
+  const T lo = interval.lo;
+  const T hi = interval.hi;
+  const T* __restrict data = values.data();
+  BoundaryScan<T> out;
+
+  // Forward to the first match, folding the prefix min/max.
+  int64_t first = -1;
+  for (int64_t i = range.begin; i < range.end; ++i) {
+    const T v = data[i];
+    if ((v >= lo) & (v <= hi)) {
+      first = i;
+      break;
+    }
+    out.prefix.min = v < out.prefix.min ? v : out.prefix.min;
+    out.prefix.max = v > out.prefix.max ? v : out.prefix.max;
+  }
+  if (first < 0) return out;  // No matches; prefix covers the whole range.
+
+  // Backward to the last match, folding the suffix min/max.
+  int64_t last = first;
+  for (int64_t i = range.end - 1; i > first; --i) {
+    const T v = data[i];
+    if ((v >= lo) & (v <= hi)) {
+      last = i;
+      break;
+    }
+    out.suffix.min = v < out.suffix.min ? v : out.suffix.min;
+    out.suffix.max = v > out.suffix.max ? v : out.suffix.max;
+  }
+
+  // Min/max of the run [first, last] — the only rows read twice are none;
+  // the three sweeps together touch each row exactly once.
+  for (int64_t i = first; i <= last; ++i) {
+    const T v = data[i];
+    out.run.min = v < out.run.min ? v : out.run.min;
+    out.run.max = v > out.run.max ? v : out.run.max;
+  }
+  out.match_bounds = {first, last + 1};
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Reference kernels: deliberately naive implementations used only by tests
+// to validate the tight kernels and every skip-index execution path.
+// ---------------------------------------------------------------------------
+namespace reference {
+
+template <typename T>
+int64_t CountMatches(std::span<const T> values, RowRange range,
+                     ValueInterval<T> interval) {
+  int64_t count = 0;
+  for (int64_t i = range.begin; i < range.end; ++i) {
+    if (interval.Contains(values[static_cast<size_t>(i)])) ++count;
+  }
+  return count;
+}
+
+template <typename T>
+double SumMatches(std::span<const T> values, RowRange range,
+                  ValueInterval<T> interval) {
+  double sum = 0.0;
+  for (int64_t i = range.begin; i < range.end; ++i) {
+    T v = values[static_cast<size_t>(i)];
+    if (interval.Contains(v)) sum += static_cast<double>(v);
+  }
+  return sum;
+}
+
+template <typename T>
+SelectionVector MaterializeMatches(std::span<const T> values, RowRange range,
+                                   ValueInterval<T> interval) {
+  SelectionVector out;
+  for (int64_t i = range.begin; i < range.end; ++i) {
+    if (interval.Contains(values[static_cast<size_t>(i)])) out.Append(i);
+  }
+  return out;
+}
+
+}  // namespace reference
+}  // namespace adaskip
+
+#endif  // ADASKIP_SCAN_SCAN_KERNEL_H_

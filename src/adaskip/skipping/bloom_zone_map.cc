@@ -1,0 +1,125 @@
+#include "adaskip/skipping/bloom_zone_map.h"
+
+#include <bit>
+#include <cstring>
+
+#include "adaskip/storage/type_dispatch.h"
+
+namespace adaskip {
+namespace {
+
+/// 64-bit finalizer (from MurmurHash3) over the value's bit pattern.
+template <typename T>
+uint64_t HashValue(T value, uint64_t seed) {
+  uint64_t x = 0;
+  static_assert(sizeof(T) <= sizeof(uint64_t));
+  std::memcpy(&x, &value, sizeof(T));
+  x ^= seed + 0x9E3779B97F4A7C15ULL;
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+template <typename T>
+BloomZoneMapT<T>::BloomZoneMapT(const TypedColumn<T>& column,
+                                const BloomZoneMapOptions& options)
+    : num_rows_(column.size()), num_hashes_(options.num_hashes) {
+  ADASKIP_CHECK_GT(options.zone_size, 0);
+  ADASKIP_CHECK_GT(options.bits_per_row, 0);
+  ADASKIP_CHECK_GT(num_hashes_, 0);
+  // Round the per-zone filter to whole 64-bit words.
+  bits_per_zone_ = ((options.zone_size * options.bits_per_row + 63) / 64) * 64;
+  zones_ = BuildUniformZones(column.data(), options.zone_size);
+  bloom_words_.assign(
+      static_cast<size_t>(static_cast<int64_t>(zones_.size()) *
+                          (bits_per_zone_ / 64)),
+      0);
+  std::span<const T> values = column.data();
+  for (size_t z = 0; z < zones_.size(); ++z) {
+    for (int64_t i = zones_[z].begin; i < zones_[z].end; ++i) {
+      BloomInsert(static_cast<int64_t>(z), values[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+template <typename T>
+void BloomZoneMapT<T>::BloomInsert(int64_t zone_index, T value) {
+  uint64_t h1 = HashValue(value, 0x51ED270B);
+  uint64_t h2 = HashValue(value, 0xB492B66F) | 1;  // Odd stride.
+  int64_t base = zone_index * (bits_per_zone_ / 64);
+  for (int64_t k = 0; k < num_hashes_; ++k) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(k) * h2) %
+                   static_cast<uint64_t>(bits_per_zone_);
+    bloom_words_[static_cast<size_t>(base + static_cast<int64_t>(bit >> 6))] |=
+        uint64_t{1} << (bit & 63);
+  }
+}
+
+template <typename T>
+bool BloomZoneMapT<T>::BloomMayContain(int64_t zone_index, T value) const {
+  uint64_t h1 = HashValue(value, 0x51ED270B);
+  uint64_t h2 = HashValue(value, 0xB492B66F) | 1;
+  int64_t base = zone_index * (bits_per_zone_ / 64);
+  for (int64_t k = 0; k < num_hashes_; ++k) {
+    uint64_t bit = (h1 + static_cast<uint64_t>(k) * h2) %
+                   static_cast<uint64_t>(bits_per_zone_);
+    uint64_t word = bloom_words_[static_cast<size_t>(
+        base + static_cast<int64_t>(bit >> 6))];
+    if ((word & (uint64_t{1} << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+template <typename T>
+void BloomZoneMapT<T>::Probe(const Predicate& pred,
+                             std::vector<RowRange>* candidates,
+                             ProbeStats* stats) {
+  ValueInterval<T> interval = pred.ToInterval<T>();
+  const bool is_point = pred.op == CompareOp::kEqual;
+  stats->entries_read += static_cast<int64_t>(zones_.size());
+  for (size_t z = 0; z < zones_.size(); ++z) {
+    const Zone<T>& zone = zones_[z];
+    bool candidate = zone.Overlaps(interval);
+    if (candidate && is_point) {
+      ++stats->entries_read;  // The Bloom filter is a second metadata read.
+      candidate = BloomMayContain(static_cast<int64_t>(z), interval.lo);
+    }
+    if (candidate) {
+      ++stats->zones_candidate;
+      if (!candidates->empty() && candidates->back().end == zone.begin) {
+        candidates->back().end = zone.end;
+      } else {
+        candidates->push_back({zone.begin, zone.end});
+      }
+    } else {
+      ++stats->zones_skipped;
+    }
+  }
+}
+
+template <typename T>
+int64_t BloomZoneMapT<T>::MemoryUsageBytes() const {
+  return static_cast<int64_t>(zones_.capacity() * sizeof(Zone<T>) +
+                              bloom_words_.capacity() * sizeof(uint64_t));
+}
+
+std::unique_ptr<SkipIndex> MakeBloomZoneMap(const Column& column,
+                                            const BloomZoneMapOptions& options) {
+  return DispatchDataType(
+      column.type(), [&](auto tag) -> std::unique_ptr<SkipIndex> {
+        using T = typename decltype(tag)::type;
+        return std::make_unique<BloomZoneMapT<T>>(*column.As<T>(), options);
+      });
+}
+
+template class BloomZoneMapT<int32_t>;
+template class BloomZoneMapT<int64_t>;
+template class BloomZoneMapT<float>;
+template class BloomZoneMapT<double>;
+
+}  // namespace adaskip

@@ -1,0 +1,64 @@
+#ifndef ADASKIP_SKIPPING_BLOOM_ZONE_MAP_H_
+#define ADASKIP_SKIPPING_BLOOM_ZONE_MAP_H_
+
+#include <memory>
+#include <vector>
+
+#include "adaskip/skipping/skip_index.h"
+#include "adaskip/skipping/zone_layout.h"
+#include "adaskip/storage/column.h"
+
+namespace adaskip {
+
+/// Configuration of a Bloom-augmented zonemap.
+struct BloomZoneMapOptions {
+  int64_t zone_size = 4096;   // Rows per zone.
+  int64_t bits_per_row = 8;   // Bloom filter budget per row.
+  int64_t num_hashes = 3;     // Hash functions per insertion.
+};
+
+/// Zonemap augmented with one Bloom filter per zone. Range predicates are
+/// answered from min/max alone; equality predicates additionally consult
+/// the zone's Bloom filter, pruning zones whose min/max straddles the
+/// probe value but which do not contain it (e.g. clustered ids with
+/// gaps). Demonstrates the framework's "structures and techniques"
+/// plurality: the executor is agnostic to which structure produced the
+/// candidate ranges.
+template <typename T>
+class BloomZoneMapT final : public SkipIndex {
+ public:
+  BloomZoneMapT(const TypedColumn<T>& column,
+                const BloomZoneMapOptions& options);
+
+  std::string_view name() const override { return "bloomzonemap"; }
+  int64_t num_rows() const override { return num_rows_; }
+
+  void Probe(const Predicate& pred, std::vector<RowRange>* candidates,
+             ProbeStats* stats) override;
+
+  int64_t MemoryUsageBytes() const override;
+  int64_t ZoneCount() const override {
+    return static_cast<int64_t>(zones_.size());
+  }
+
+  /// Tests zone `zone_index`'s Bloom filter for `value` (exposed for
+  /// tests; may false-positive, never false-negative).
+  bool BloomMayContain(int64_t zone_index, T value) const;
+
+ private:
+  void BloomInsert(int64_t zone_index, T value);
+
+  int64_t num_rows_;
+  int64_t bits_per_zone_;
+  int64_t num_hashes_;
+  std::vector<Zone<T>> zones_;
+  std::vector<uint64_t> bloom_words_;  // bits_per_zone_/64 words per zone.
+};
+
+/// Builds a Bloom-augmented zonemap for `column`.
+std::unique_ptr<SkipIndex> MakeBloomZoneMap(
+    const Column& column, const BloomZoneMapOptions& options = {});
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_SKIPPING_BLOOM_ZONE_MAP_H_

@@ -1,0 +1,112 @@
+#include "adaskip/skipping/column_imprints.h"
+
+#include <algorithm>
+
+#include "adaskip/storage/type_dispatch.h"
+#include "adaskip/util/rng.h"
+
+namespace adaskip {
+
+template <typename T>
+ColumnImprintsT<T>::ColumnImprintsT(const TypedColumn<T>& column,
+                                    const ImprintsOptions& options)
+    : num_rows_(column.size()),
+      block_size_(options.block_size),
+      num_bins_(std::min<int64_t>(options.num_bins, 64)) {
+  ADASKIP_CHECK_GT(block_size_, 0);
+  ADASKIP_CHECK_GT(num_bins_, 1);
+  std::span<const T> values = column.data();
+  if (num_rows_ == 0) return;
+
+  // Equi-depth bin boundaries from a uniform sample.
+  Rng rng(/*seed=*/0xC0FFEE);
+  int64_t sample_size = std::min(options.sample_size, num_rows_);
+  std::vector<T> sample;
+  sample.reserve(static_cast<size_t>(sample_size));
+  for (int64_t i = 0; i < sample_size; ++i) {
+    sample.push_back(values[static_cast<size_t>(rng.NextInt64(num_rows_))]);
+  }
+  std::sort(sample.begin(), sample.end());
+  split_points_.reserve(static_cast<size_t>(num_bins_ - 1));
+  for (int64_t b = 1; b < num_bins_; ++b) {
+    size_t idx = static_cast<size_t>(b * sample_size / num_bins_);
+    idx = std::min(idx, sample.size() - 1);
+    T split = sample[idx];
+    // Keep split points strictly increasing; duplicate quantiles collapse.
+    if (split_points_.empty() || split > split_points_.back()) {
+      split_points_.push_back(split);
+    }
+  }
+
+  // Build one imprint word per block.
+  int64_t num_blocks = (num_rows_ + block_size_ - 1) / block_size_;
+  imprints_.resize(static_cast<size_t>(num_blocks), 0);
+  for (int64_t block = 0; block < num_blocks; ++block) {
+    int64_t begin = block * block_size_;
+    int64_t end = std::min(begin + block_size_, num_rows_);
+    uint64_t mask = 0;
+    for (int64_t i = begin; i < end; ++i) {
+      mask |= uint64_t{1} << BinOf(values[static_cast<size_t>(i)]);
+    }
+    imprints_[static_cast<size_t>(block)] = mask;
+  }
+}
+
+template <typename T>
+int64_t ColumnImprintsT<T>::BinOf(T v) const {
+  // Bin i covers (split[i-1], split[i]]; values above the last split fall
+  // into the final bin.
+  auto it = std::lower_bound(split_points_.begin(), split_points_.end(), v);
+  return static_cast<int64_t>(it - split_points_.begin());
+}
+
+template <typename T>
+void ColumnImprintsT<T>::Probe(const Predicate& pred,
+                               std::vector<RowRange>* candidates,
+                               ProbeStats* stats) {
+  ValueInterval<T> interval = pred.ToInterval<T>();
+  if (num_rows_ == 0) return;
+
+  int64_t bin_lo = BinOf(interval.lo);
+  int64_t bin_hi = BinOf(interval.hi);
+  uint64_t query_mask = 0;
+  for (int64_t b = bin_lo; b <= bin_hi; ++b) query_mask |= uint64_t{1} << b;
+
+  stats->entries_read += static_cast<int64_t>(imprints_.size());
+  for (size_t block = 0; block < imprints_.size(); ++block) {
+    if ((imprints_[block] & query_mask) != 0) {
+      ++stats->zones_candidate;
+      int64_t begin = static_cast<int64_t>(block) * block_size_;
+      int64_t end = std::min(begin + block_size_, num_rows_);
+      if (!candidates->empty() && candidates->back().end == begin) {
+        candidates->back().end = end;
+      } else {
+        candidates->push_back({begin, end});
+      }
+    } else {
+      ++stats->zones_skipped;
+    }
+  }
+}
+
+template <typename T>
+int64_t ColumnImprintsT<T>::MemoryUsageBytes() const {
+  return static_cast<int64_t>(imprints_.capacity() * sizeof(uint64_t) +
+                              split_points_.capacity() * sizeof(T));
+}
+
+std::unique_ptr<SkipIndex> MakeColumnImprints(const Column& column,
+                                              const ImprintsOptions& options) {
+  return DispatchDataType(
+      column.type(), [&](auto tag) -> std::unique_ptr<SkipIndex> {
+        using T = typename decltype(tag)::type;
+        return std::make_unique<ColumnImprintsT<T>>(*column.As<T>(), options);
+      });
+}
+
+template class ColumnImprintsT<int32_t>;
+template class ColumnImprintsT<int64_t>;
+template class ColumnImprintsT<float>;
+template class ColumnImprintsT<double>;
+
+}  // namespace adaskip

@@ -1,0 +1,17 @@
+#include "adaskip/skipping/skip_index.h"
+
+namespace adaskip {
+
+SkipIndex::~SkipIndex() = default;
+
+void FullScanIndex::Probe(const Predicate& pred,
+                          std::vector<RowRange>* candidates,
+                          ProbeStats* stats) {
+  (void)pred;
+  if (num_rows_ > 0) {
+    candidates->push_back({0, num_rows_});
+  }
+  stats->zones_candidate += 1;
+}
+
+}  // namespace adaskip

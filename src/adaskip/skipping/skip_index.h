@@ -1,0 +1,117 @@
+#ifndef ADASKIP_SKIPPING_SKIP_INDEX_H_
+#define ADASKIP_SKIPPING_SKIP_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adaskip/scan/predicate.h"
+#include "adaskip/util/interval_set.h"
+
+namespace adaskip {
+
+/// Metadata-read accounting for one probe. The paper's central tension is
+/// that these reads are pure overhead when they do not translate into
+/// skipped rows, so every structure reports them honestly.
+struct ProbeStats {
+  int64_t entries_read = 0;     // Metadata entries (zones/nodes/blocks) touched.
+  int64_t zones_skipped = 0;    // Zones pruned by the probe.
+  int64_t zones_candidate = 0;  // Zones that must be scanned.
+
+  void Add(const ProbeStats& other) {
+    entries_read += other.entries_read;
+    zones_skipped += other.zones_skipped;
+    zones_candidate += other.zones_candidate;
+  }
+};
+
+/// Executor → index feedback for one scanned candidate range.
+struct RangeFeedback {
+  RowRange scanned;      // The candidate range that was scanned.
+  int64_t matches = 0;   // Qualifying rows found in it.
+};
+
+/// Executor → index feedback for one completed query.
+struct QueryFeedback {
+  int64_t rows_total = 0;    // Column size.
+  int64_t rows_scanned = 0;  // Rows actually touched by scan kernels.
+  int64_t rows_matched = 0;  // Qualifying rows.
+  ProbeStats probe;          // The probe's own accounting.
+};
+
+/// A lightweight skipping structure over one column.
+///
+/// Contract:
+///  * `Probe` appends candidate row ranges for `pred` to `candidates`,
+///    sorted and pairwise disjoint (adjacent ranges are allowed: the
+///    adaptive structure deliberately emits one range per zone so scan
+///    feedback stays zone-exact). The union of the candidates must be a
+///    superset of the qualifying rows — a skip index may over-approximate,
+///    never under-approximate.
+///  * The executor scans the candidates and calls `OnRangeScanned` once
+///    per scanned range and `OnQueryComplete` once per query. Static
+///    structures ignore the feedback; adaptive structures refine
+///    themselves in these hooks (and account for the time they spend —
+///    see ExecStats::adapt_nanos).
+class SkipIndex {
+ public:
+  virtual ~SkipIndex();
+
+  SkipIndex() = default;
+  SkipIndex(const SkipIndex&) = delete;
+  SkipIndex& operator=(const SkipIndex&) = delete;
+
+  virtual std::string_view name() const = 0;
+
+  /// Number of rows covered (the column size at build time).
+  virtual int64_t num_rows() const = 0;
+
+  virtual void Probe(const Predicate& pred, std::vector<RowRange>* candidates,
+                     ProbeStats* stats) = 0;
+
+  virtual void OnRangeScanned(const Predicate& pred,
+                              const RangeFeedback& feedback) {
+    (void)pred;
+    (void)feedback;
+  }
+
+  virtual void OnQueryComplete(const Predicate& pred,
+                               const QueryFeedback& feedback) {
+    (void)pred;
+    (void)feedback;
+  }
+
+  /// Returns and resets the nanoseconds this index spent adapting itself
+  /// (splits, merges) since the last call; 0 for static structures. The
+  /// executor drains this into QueryStats::adapt_nanos.
+  virtual int64_t TakeAdaptationNanos() { return 0; }
+
+  /// Heap footprint of the metadata.
+  virtual int64_t MemoryUsageBytes() const = 0;
+
+  /// Number of zones (metadata granules); 1 for structures without zones.
+  virtual int64_t ZoneCount() const = 0;
+};
+
+/// The no-skipping baseline: every probe returns the full row range at
+/// zero metadata cost. Used as the "full scan" arm of every experiment.
+class FullScanIndex final : public SkipIndex {
+ public:
+  explicit FullScanIndex(int64_t num_rows) : num_rows_(num_rows) {}
+
+  std::string_view name() const override { return "fullscan"; }
+  int64_t num_rows() const override { return num_rows_; }
+
+  void Probe(const Predicate& pred, std::vector<RowRange>* candidates,
+             ProbeStats* stats) override;
+
+  int64_t MemoryUsageBytes() const override { return 0; }
+  int64_t ZoneCount() const override { return 1; }
+
+ private:
+  int64_t num_rows_;
+};
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_SKIPPING_SKIP_INDEX_H_

@@ -1,0 +1,19 @@
+#include "adaskip/skipping/zone_layout.h"
+
+namespace adaskip {
+
+#define ADASKIP_INSTANTIATE_ZONE_LAYOUT(T)                                  \
+  template std::vector<Zone<T>> BuildUniformZones<T>(std::span<const T>,    \
+                                                     int64_t);              \
+  template bool ZonesTileRowSpace<T>(const std::vector<Zone<T>>&, int64_t); \
+  template bool ZoneBoundsAreCorrect<T>(const std::vector<Zone<T>>&,        \
+                                        std::span<const T>)
+
+ADASKIP_INSTANTIATE_ZONE_LAYOUT(int32_t);
+ADASKIP_INSTANTIATE_ZONE_LAYOUT(int64_t);
+ADASKIP_INSTANTIATE_ZONE_LAYOUT(float);
+ADASKIP_INSTANTIATE_ZONE_LAYOUT(double);
+
+#undef ADASKIP_INSTANTIATE_ZONE_LAYOUT
+
+}  // namespace adaskip

@@ -1,0 +1,96 @@
+#ifndef ADASKIP_SKIPPING_ZONE_LAYOUT_H_
+#define ADASKIP_SKIPPING_ZONE_LAYOUT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "adaskip/scan/scan_kernel.h"
+
+namespace adaskip {
+
+/// One zone of a zonemap: the rows [begin, end) and the min/max of the
+/// values stored there. Zones of one map always tile the row space.
+template <typename T>
+struct Zone {
+  int64_t begin;
+  int64_t end;
+  T min;
+  T max;
+
+  int64_t size() const { return end - begin; }
+
+  bool Overlaps(const ValueInterval<T>& interval) const {
+    return max >= interval.lo && min <= interval.hi;
+  }
+};
+
+/// Builds fixed-width zones of `zone_size` rows (last zone may be short).
+/// `zone_size` must be positive; an empty column yields no zones.
+template <typename T>
+std::vector<Zone<T>> BuildUniformZones(std::span<const T> values,
+                                       int64_t zone_size) {
+  ADASKIP_CHECK_GT(zone_size, 0);
+  std::vector<Zone<T>> zones;
+  const int64_t n = static_cast<int64_t>(values.size());
+  zones.reserve(static_cast<size_t>((n + zone_size - 1) / zone_size));
+  for (int64_t begin = 0; begin < n; begin += zone_size) {
+    int64_t end = std::min(begin + zone_size, n);
+    MinMax<T> mm = ComputeMinMax(values, begin, end);
+    zones.push_back(Zone<T>{begin, end, mm.min, mm.max});
+  }
+  return zones;
+}
+
+/// True if `zones` exactly tile [0, num_rows): sorted, contiguous, no
+/// gaps or overlap, and each zone non-empty. The core structural
+/// invariant of every zonemap, checked by tests and debug builds.
+template <typename T>
+bool ZonesTileRowSpace(const std::vector<Zone<T>>& zones, int64_t num_rows) {
+  if (num_rows == 0) return zones.empty();
+  int64_t cursor = 0;
+  for (const Zone<T>& z : zones) {
+    if (z.begin != cursor || z.end <= z.begin) return false;
+    cursor = z.end;
+  }
+  return cursor == num_rows;
+}
+
+/// True if every zone's min/max actually bounds its values.
+template <typename T>
+bool ZoneBoundsAreCorrect(const std::vector<Zone<T>>& zones,
+                          std::span<const T> values) {
+  for (const Zone<T>& z : zones) {
+    MinMax<T> mm = ComputeMinMax(values, z.begin, z.end);
+    // Bounds may be conservative (wider than the data) but never tighter.
+    if (z.min > mm.min || z.max < mm.max) return false;
+  }
+  return true;
+}
+
+/// Shared probe loop for flat zone lists: appends coalesced candidate
+/// ranges for all zones overlapping `interval`; returns ProbeStats-style
+/// counts through the out-params.
+template <typename T>
+void ProbeFlatZones(const std::vector<Zone<T>>& zones,
+                    const ValueInterval<T>& interval,
+                    std::vector<RowRange>* candidates, int64_t* entries_read,
+                    int64_t* zones_skipped, int64_t* zones_candidate) {
+  *entries_read += static_cast<int64_t>(zones.size());
+  for (const Zone<T>& z : zones) {
+    if (z.Overlaps(interval)) {
+      ++*zones_candidate;
+      if (!candidates->empty() && candidates->back().end == z.begin) {
+        candidates->back().end = z.end;  // Coalesce adjacent candidates.
+      } else {
+        candidates->push_back({z.begin, z.end});
+      }
+    } else {
+      ++*zones_skipped;
+    }
+  }
+}
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_SKIPPING_ZONE_LAYOUT_H_

@@ -1,0 +1,21 @@
+#include "adaskip/skipping/zone_map.h"
+
+#include "adaskip/storage/type_dispatch.h"
+
+namespace adaskip {
+
+std::unique_ptr<SkipIndex> MakeZoneMap(const Column& column,
+                                       const ZoneMapOptions& options) {
+  return DispatchDataType(
+      column.type(), [&](auto tag) -> std::unique_ptr<SkipIndex> {
+        using T = typename decltype(tag)::type;
+        return std::make_unique<ZoneMapT<T>>(*column.As<T>(), options);
+      });
+}
+
+template class ZoneMapT<int32_t>;
+template class ZoneMapT<int64_t>;
+template class ZoneMapT<float>;
+template class ZoneMapT<double>;
+
+}  // namespace adaskip

@@ -1,0 +1,61 @@
+#ifndef ADASKIP_SKIPPING_ZONE_MAP_H_
+#define ADASKIP_SKIPPING_ZONE_MAP_H_
+
+#include <memory>
+#include <vector>
+
+#include "adaskip/skipping/skip_index.h"
+#include "adaskip/skipping/zone_layout.h"
+#include "adaskip/storage/column.h"
+
+namespace adaskip {
+
+/// Configuration of a static (non-adaptive) zonemap.
+struct ZoneMapOptions {
+  /// Rows per zone. 4096 rows ≈ 16-32 KiB of payload per zone, the usual
+  /// zonemap ballpark for main-memory scans.
+  int64_t zone_size = 4096;
+};
+
+/// Static min/max zonemap over a typed column: fixed-width zones computed
+/// once at build time, probed linearly. The classic data-skipping baseline
+/// the adaptive structure is measured against.
+template <typename T>
+class ZoneMapT final : public SkipIndex {
+ public:
+  ZoneMapT(const TypedColumn<T>& column, const ZoneMapOptions& options)
+      : num_rows_(column.size()),
+        zones_(BuildUniformZones(column.data(), options.zone_size)) {}
+
+  std::string_view name() const override { return "zonemap"; }
+  int64_t num_rows() const override { return num_rows_; }
+
+  void Probe(const Predicate& pred, std::vector<RowRange>* candidates,
+             ProbeStats* stats) override {
+    ValueInterval<T> interval = pred.ToInterval<T>();
+    ProbeFlatZones(zones_, interval, candidates, &stats->entries_read,
+                   &stats->zones_skipped, &stats->zones_candidate);
+  }
+
+  int64_t MemoryUsageBytes() const override {
+    return static_cast<int64_t>(zones_.capacity() * sizeof(Zone<T>));
+  }
+
+  int64_t ZoneCount() const override {
+    return static_cast<int64_t>(zones_.size());
+  }
+
+  const std::vector<Zone<T>>& zones() const { return zones_; }
+
+ private:
+  int64_t num_rows_;
+  std::vector<Zone<T>> zones_;
+};
+
+/// Builds a static zonemap for `column`, dispatching on its type.
+std::unique_ptr<SkipIndex> MakeZoneMap(const Column& column,
+                                       const ZoneMapOptions& options = {});
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_SKIPPING_ZONE_MAP_H_

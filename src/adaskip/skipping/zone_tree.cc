@@ -1,0 +1,146 @@
+#include "adaskip/skipping/zone_tree.h"
+
+#include <algorithm>
+
+#include "adaskip/storage/type_dispatch.h"
+
+namespace adaskip {
+
+template <typename T>
+ZoneTreeT<T>::ZoneTreeT(const TypedColumn<T>& column,
+                        const ZoneTreeOptions& options)
+    : num_rows_(column.size()),
+      fanout_(options.fanout),
+      leaves_(BuildUniformZones(column.data(), options.zone_size)) {
+  ADASKIP_CHECK_GT(fanout_, 1);
+  // Build summary levels bottom-up until a level fits in one node group.
+  const std::vector<Zone<T>>& base = leaves_;
+  int64_t prev_count = static_cast<int64_t>(base.size());
+  if (prev_count <= fanout_) return;  // Leaves alone are small enough.
+
+  auto group_bounds = [&](auto&& min_of, auto&& max_of, int64_t count) {
+    std::vector<NodeBounds> level;
+    level.reserve(static_cast<size_t>((count + fanout_ - 1) / fanout_));
+    for (int64_t i = 0; i < count; i += fanout_) {
+      int64_t end = std::min(i + fanout_, count);
+      T mn = min_of(i);
+      T mx = max_of(i);
+      for (int64_t j = i + 1; j < end; ++j) {
+        mn = std::min(mn, min_of(j));
+        mx = std::max(mx, max_of(j));
+      }
+      level.push_back(NodeBounds{mn, mx});
+    }
+    return level;
+  };
+
+  levels_.push_back(group_bounds(
+      [&](int64_t i) { return base[static_cast<size_t>(i)].min; },
+      [&](int64_t i) { return base[static_cast<size_t>(i)].max; },
+      prev_count));
+  while (static_cast<int64_t>(levels_.back().size()) > fanout_) {
+    const std::vector<NodeBounds>& prev = levels_.back();
+    levels_.push_back(group_bounds(
+        [&](int64_t i) { return prev[static_cast<size_t>(i)].min; },
+        [&](int64_t i) { return prev[static_cast<size_t>(i)].max; },
+        static_cast<int64_t>(prev.size())));
+  }
+}
+
+template <typename T>
+int64_t ZoneTreeT<T>::LeavesUnder(int64_t level) const {
+  // level -1 = a single leaf; level k covers fanout^(k+1) leaves.
+  int64_t count = 1;
+  for (int64_t l = -1; l < level; ++l) count *= fanout_;
+  return count;
+}
+
+template <typename T>
+void ZoneTreeT<T>::Descend(int64_t level, int64_t index,
+                           const ValueInterval<T>& interval,
+                           std::vector<RowRange>* candidates,
+                           ProbeStats* stats) const {
+  if (level < 0) {
+    const Zone<T>& leaf = leaves_[static_cast<size_t>(index)];
+    ++stats->entries_read;
+    if (leaf.Overlaps(interval)) {
+      ++stats->zones_candidate;
+      if (!candidates->empty() && candidates->back().end == leaf.begin) {
+        candidates->back().end = leaf.end;
+      } else {
+        candidates->push_back({leaf.begin, leaf.end});
+      }
+    } else {
+      ++stats->zones_skipped;
+    }
+    return;
+  }
+
+  const NodeBounds& node =
+      levels_[static_cast<size_t>(level)][static_cast<size_t>(index)];
+  ++stats->entries_read;
+  if (node.max < interval.lo || node.min > interval.hi) {
+    // Whole subtree pruned; count the leaves it covers as skipped.
+    int64_t leaf_span = LeavesUnder(level);
+    int64_t first_leaf = index * leaf_span;
+    int64_t last_leaf = std::min(first_leaf + leaf_span,
+                                 static_cast<int64_t>(leaves_.size()));
+    stats->zones_skipped += std::max<int64_t>(0, last_leaf - first_leaf);
+    return;
+  }
+
+  int64_t child_count = level == 0 ? static_cast<int64_t>(leaves_.size())
+                                   : static_cast<int64_t>(
+                                         levels_[static_cast<size_t>(level - 1)]
+                                             .size());
+  int64_t first_child = index * fanout_;
+  int64_t last_child = std::min(first_child + fanout_, child_count);
+  for (int64_t child = first_child; child < last_child; ++child) {
+    Descend(level - 1, child, interval, candidates, stats);
+  }
+}
+
+template <typename T>
+void ZoneTreeT<T>::Probe(const Predicate& pred,
+                         std::vector<RowRange>* candidates,
+                         ProbeStats* stats) {
+  ValueInterval<T> interval = pred.ToInterval<T>();
+  if (levels_.empty()) {
+    // Few leaves: probe them flat.
+    for (int64_t i = 0; i < static_cast<int64_t>(leaves_.size()); ++i) {
+      Descend(-1, i, interval, candidates, stats);
+    }
+    return;
+  }
+  int64_t top = static_cast<int64_t>(levels_.size()) - 1;
+  int64_t root_count = static_cast<int64_t>(levels_.back().size());
+  for (int64_t i = 0; i < root_count; ++i) {
+    Descend(top, i, interval, candidates, stats);
+  }
+}
+
+template <typename T>
+int64_t ZoneTreeT<T>::MemoryUsageBytes() const {
+  int64_t total =
+      static_cast<int64_t>(leaves_.capacity() * sizeof(Zone<T>));
+  for (const auto& level : levels_) {
+    total += static_cast<int64_t>(level.capacity() * sizeof(NodeBounds));
+  }
+  return total;
+}
+
+std::unique_ptr<SkipIndex> MakeZoneTree(const Column& column,
+                                        const ZoneTreeOptions& options) {
+  return DispatchDataType(
+      column.type(), [&](auto tag) -> std::unique_ptr<SkipIndex> {
+        using T = typename decltype(tag)::type;
+        return std::make_unique<ZoneTreeT<T>>(*column.As<T>(), options);
+      });
+}
+
+template class ZoneTreeT<int32_t>;
+template class ZoneTreeT<int64_t>;
+template class ZoneTreeT<float>;
+template class ZoneTreeT<double>;
+
+}  // namespace adaskip

@@ -1,0 +1,46 @@
+#include "adaskip/storage/catalog.h"
+
+namespace adaskip {
+
+Status Catalog::AddTable(std::shared_ptr<Table> table) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("table must not be null");
+  }
+  auto [it, inserted] = tables_.try_emplace(table->name(), table);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("table '" + table->name() +
+                                 "' already exists");
+  }
+  return Status::OK();
+}
+
+Status Catalog::DropTable(std::string_view name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + std::string(name) + "'");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Table>> Catalog::GetTable(std::string_view name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+bool Catalog::Contains(std::string_view name) const {
+  return tables_.find(name) != tables_.end();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace adaskip

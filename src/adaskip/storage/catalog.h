@@ -1,0 +1,42 @@
+#ifndef ADASKIP_STORAGE_CATALOG_H_
+#define ADASKIP_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaskip/storage/table.h"
+#include "adaskip/util/status.h"
+
+namespace adaskip {
+
+/// Named collection of tables — the root object of the column-store
+/// substrate. Tables are shared so sessions and indexes can hold
+/// references while the catalog stays the owner of record.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers `table` under its own name; fails on duplicates.
+  Status AddTable(std::shared_ptr<Table> table);
+
+  /// Removes a table; fails if absent.
+  Status DropTable(std::string_view name);
+
+  Result<std::shared_ptr<Table>> GetTable(std::string_view name) const;
+  bool Contains(std::string_view name) const;
+
+  std::vector<std::string> TableNames() const;
+  int64_t num_tables() const { return static_cast<int64_t>(tables_.size()); }
+
+ private:
+  std::map<std::string, std::shared_ptr<Table>, std::less<>> tables_;
+};
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_STORAGE_CATALOG_H_

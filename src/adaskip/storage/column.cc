@@ -1,0 +1,10 @@
+#include "adaskip/storage/column.h"
+
+// Column is header-only (templates); this translation unit anchors the
+// vtable of the abstract base so the library exports it exactly once.
+
+namespace adaskip {
+
+// Intentionally empty.
+
+}  // namespace adaskip

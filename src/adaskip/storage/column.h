@@ -1,0 +1,109 @@
+#ifndef ADASKIP_STORAGE_COLUMN_H_
+#define ADASKIP_STORAGE_COLUMN_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "adaskip/storage/data_type.h"
+#include "adaskip/util/logging.h"
+#include "adaskip/util/status.h"
+
+namespace adaskip {
+
+template <typename T>
+  requires ColumnValueType<T>
+class TypedColumn;
+
+/// A single in-memory column: append-only, dense (no nulls), typed.
+/// Columns are the unit that scan kernels and skip indexes operate on.
+/// Access the typed payload via `TypedColumn<T>::data()` after an `As<T>()`
+/// downcast, or generically via `GetAsDouble()` (slower; for tooling).
+class Column {
+ public:
+  virtual ~Column() = default;
+
+  Column(const Column&) = delete;
+  Column& operator=(const Column&) = delete;
+
+  DataType type() const { return type_; }
+  virtual int64_t size() const = 0;
+  virtual int64_t MemoryUsageBytes() const = 0;
+
+  /// Generic (lossy for int64 beyond 2^53) value access for diagnostics
+  /// and generic tooling; kernels use the typed fast path instead.
+  virtual double GetAsDouble(int64_t row) const = 0;
+
+  /// Checked downcast; aborts on a type mismatch (programming error).
+  template <typename T>
+  const TypedColumn<T>* As() const {
+    ADASKIP_CHECK(type_ == DataTypeTraits<T>::kType)
+        << "column type mismatch: stored " << DataTypeToString(type_)
+        << ", requested " << DataTypeToString(DataTypeTraits<T>::kType);
+    return static_cast<const TypedColumn<T>*>(this);
+  }
+
+  template <typename T>
+  TypedColumn<T>* As() {
+    ADASKIP_CHECK(type_ == DataTypeTraits<T>::kType)
+        << "column type mismatch: stored " << DataTypeToString(type_)
+        << ", requested " << DataTypeToString(DataTypeTraits<T>::kType);
+    return static_cast<TypedColumn<T>*>(this);
+  }
+
+ protected:
+  explicit Column(DataType type) : type_(type) {}
+
+ private:
+  DataType type_;
+};
+
+/// Concrete column holding values of type T contiguously.
+template <typename T>
+  requires ColumnValueType<T>
+class TypedColumn final : public Column {
+ public:
+  TypedColumn() : Column(DataTypeTraits<T>::kType) {}
+
+  /// Takes ownership of pre-generated values (the common path for
+  /// workload generators).
+  explicit TypedColumn(std::vector<T> values)
+      : Column(DataTypeTraits<T>::kType), values_(std::move(values)) {}
+
+  void Reserve(int64_t n) { values_.reserve(static_cast<size_t>(n)); }
+  void Append(T value) { values_.push_back(value); }
+
+  int64_t size() const override {
+    return static_cast<int64_t>(values_.size());
+  }
+
+  int64_t MemoryUsageBytes() const override {
+    return static_cast<int64_t>(values_.capacity() * sizeof(T));
+  }
+
+  double GetAsDouble(int64_t row) const override {
+    ADASKIP_DCHECK(row >= 0 && row < size());
+    return static_cast<double>(values_[static_cast<size_t>(row)]);
+  }
+
+  T Get(int64_t row) const {
+    ADASKIP_DCHECK(row >= 0 && row < size());
+    return values_[static_cast<size_t>(row)];
+  }
+
+  std::span<const T> data() const { return values_; }
+
+ private:
+  std::vector<T> values_;
+};
+
+/// Convenience factory: wraps `values` into an owned column.
+template <typename T>
+std::unique_ptr<Column> MakeColumn(std::vector<T> values) {
+  return std::make_unique<TypedColumn<T>>(std::move(values));
+}
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_STORAGE_COLUMN_H_

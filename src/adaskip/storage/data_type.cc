@@ -1,0 +1,31 @@
+#include "adaskip/storage/data_type.h"
+
+namespace adaskip {
+
+std::string_view DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+      return "int32";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kFloat32:
+      return "float32";
+    case DataType::kFloat64:
+      return "float64";
+  }
+  return "unknown";
+}
+
+int64_t DataTypeWidthBytes(DataType type) {
+  switch (type) {
+    case DataType::kInt32:
+    case DataType::kFloat32:
+      return 4;
+    case DataType::kInt64:
+    case DataType::kFloat64:
+      return 8;
+  }
+  return 0;
+}
+
+}  // namespace adaskip

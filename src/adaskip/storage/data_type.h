@@ -1,0 +1,53 @@
+#ifndef ADASKIP_STORAGE_DATA_TYPE_H_
+#define ADASKIP_STORAGE_DATA_TYPE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace adaskip {
+
+/// Physical column types supported by the column store. The prototype is
+/// a scan-oriented analytical engine, so only fixed-width numeric types
+/// are supported (matching the paper's evaluation on numeric scans).
+enum class DataType : int8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kFloat32 = 2,
+  kFloat64 = 3,
+};
+
+/// Stable name, e.g. "int64".
+std::string_view DataTypeToString(DataType type);
+
+/// Width of a single value in bytes.
+int64_t DataTypeWidthBytes(DataType type);
+
+/// Maps C++ value types to their DataType tag; the primary template is
+/// intentionally undefined so unsupported types fail at compile time.
+template <typename T>
+struct DataTypeTraits;
+
+template <>
+struct DataTypeTraits<int32_t> {
+  static constexpr DataType kType = DataType::kInt32;
+};
+template <>
+struct DataTypeTraits<int64_t> {
+  static constexpr DataType kType = DataType::kInt64;
+};
+template <>
+struct DataTypeTraits<float> {
+  static constexpr DataType kType = DataType::kFloat32;
+};
+template <>
+struct DataTypeTraits<double> {
+  static constexpr DataType kType = DataType::kFloat64;
+};
+
+/// True for types with a DataTypeTraits specialization.
+template <typename T>
+concept ColumnValueType = requires { DataTypeTraits<T>::kType; };
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_STORAGE_DATA_TYPE_H_

@@ -1,0 +1,56 @@
+#include "adaskip/storage/table.h"
+
+#include <utility>
+
+#include "adaskip/util/logging.h"
+
+namespace adaskip {
+
+Status Table::AddColumn(std::string field_name,
+                        std::unique_ptr<Column> column) {
+  if (column == nullptr) {
+    return Status::InvalidArgument("column must not be null");
+  }
+  if (ColumnIndex(field_name) >= 0) {
+    return Status::AlreadyExists("column '" + field_name +
+                                 "' already exists in table '" + name_ + "'");
+  }
+  if (!columns_.empty() && column->size() != num_rows_) {
+    return Status::InvalidArgument(
+        "column '" + field_name + "' has " + std::to_string(column->size()) +
+        " rows; table '" + name_ + "' has " + std::to_string(num_rows_));
+  }
+  num_rows_ = column->size();
+  schema_.push_back(Field{std::move(field_name), column->type()});
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+int64_t Table::ColumnIndex(std::string_view field_name) const {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i].name == field_name) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+const Column& Table::column(int64_t index) const {
+  ADASKIP_CHECK(index >= 0 && index < num_columns());
+  return *columns_[static_cast<size_t>(index)];
+}
+
+Result<const Column*> Table::ColumnByName(std::string_view field_name) const {
+  int64_t index = ColumnIndex(field_name);
+  if (index < 0) {
+    return Status::NotFound("no column '" + std::string(field_name) +
+                            "' in table '" + name_ + "'");
+  }
+  return static_cast<const Column*>(columns_[static_cast<size_t>(index)].get());
+}
+
+int64_t Table::MemoryUsageBytes() const {
+  int64_t total = 0;
+  for (const auto& column : columns_) total += column->MemoryUsageBytes();
+  return total;
+}
+
+}  // namespace adaskip

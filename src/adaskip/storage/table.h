@@ -1,0 +1,63 @@
+#ifndef ADASKIP_STORAGE_TABLE_H_
+#define ADASKIP_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaskip/storage/column.h"
+#include "adaskip/storage/data_type.h"
+#include "adaskip/util/status.h"
+
+namespace adaskip {
+
+/// Name + type of one table column.
+struct Field {
+  std::string name;
+  DataType type;
+
+  friend bool operator==(const Field& a, const Field& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+/// A main-memory table: an ordered set of equally sized columns. Tables
+/// own their columns. All columns must have the same row count; `AddColumn`
+/// enforces this.
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  int64_t num_rows() const { return num_rows_; }
+  int64_t num_columns() const { return static_cast<int64_t>(columns_.size()); }
+  const std::vector<Field>& schema() const { return schema_; }
+
+  /// Adds a column under `field_name`. Fails if the name already exists or
+  /// the column's row count differs from existing columns.
+  Status AddColumn(std::string field_name, std::unique_ptr<Column> column);
+
+  /// Index of `field_name` in the schema, or -1.
+  int64_t ColumnIndex(std::string_view field_name) const;
+
+  /// Column accessors; abort on out-of-range / unknown-name (programming
+  /// errors), mirroring vector-style access.
+  const Column& column(int64_t index) const;
+  Result<const Column*> ColumnByName(std::string_view field_name) const;
+
+  /// Total owned memory across all columns.
+  int64_t MemoryUsageBytes() const;
+
+ private:
+  std::string name_;
+  std::vector<Field> schema_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_STORAGE_TABLE_H_

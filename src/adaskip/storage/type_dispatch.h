@@ -1,0 +1,36 @@
+#ifndef ADASKIP_STORAGE_TYPE_DISPATCH_H_
+#define ADASKIP_STORAGE_TYPE_DISPATCH_H_
+
+#include "adaskip/storage/data_type.h"
+#include "adaskip/util/logging.h"
+
+namespace adaskip {
+
+/// Zero-size tag carrying a column value type through a dispatch call.
+template <typename T>
+struct TypeTag {
+  using type = T;
+};
+
+/// Invokes `f(TypeTag<T>{})` with the C++ type corresponding to `type`.
+/// `f` must be callable for all four column types and all instantiations
+/// must share a return type.
+template <typename F>
+decltype(auto) DispatchDataType(DataType type, F&& f) {
+  switch (type) {
+    case DataType::kInt32:
+      return f(TypeTag<int32_t>{});
+    case DataType::kInt64:
+      return f(TypeTag<int64_t>{});
+    case DataType::kFloat32:
+      return f(TypeTag<float>{});
+    case DataType::kFloat64:
+      return f(TypeTag<double>{});
+  }
+  ADASKIP_LOG(Fatal) << "unknown DataType " << static_cast<int>(type);
+  __builtin_unreachable();
+}
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_STORAGE_TYPE_DISPATCH_H_

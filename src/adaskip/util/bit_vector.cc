@@ -1,0 +1,108 @@
+#include "adaskip/util/bit_vector.h"
+
+#include <bit>
+
+namespace adaskip {
+
+namespace {
+constexpr int64_t kWordBits = 64;
+
+inline size_t WordCount(int64_t size) {
+  return static_cast<size_t>((size + kWordBits - 1) / kWordBits);
+}
+}  // namespace
+
+BitVector::BitVector(int64_t size, bool initial_value) : size_(size) {
+  ADASKIP_CHECK_GE(size, 0);
+  words_.assign(WordCount(size), initial_value ? ~uint64_t{0} : 0);
+  if (initial_value && size_ % kWordBits != 0 && !words_.empty()) {
+    // Keep trailing bits zero.
+    words_.back() &= (uint64_t{1} << (size_ % kWordBits)) - 1;
+  }
+}
+
+void BitVector::SetRange(int64_t begin, int64_t end) {
+  ADASKIP_DCHECK(begin >= 0 && begin <= end && end <= size_);
+  if (begin >= end) return;
+  int64_t first_word = begin >> 6;
+  int64_t last_word = (end - 1) >> 6;
+  uint64_t first_mask = ~uint64_t{0} << (begin & 63);
+  uint64_t last_mask = ~uint64_t{0} >> (63 - ((end - 1) & 63));
+  if (first_word == last_word) {
+    words_[static_cast<size_t>(first_word)] |= first_mask & last_mask;
+    return;
+  }
+  words_[static_cast<size_t>(first_word)] |= first_mask;
+  for (int64_t w = first_word + 1; w < last_word; ++w) {
+    words_[static_cast<size_t>(w)] = ~uint64_t{0};
+  }
+  words_[static_cast<size_t>(last_word)] |= last_mask;
+}
+
+void BitVector::Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+int64_t BitVector::CountOnes() const {
+  int64_t count = 0;
+  for (uint64_t word : words_) count += std::popcount(word);
+  return count;
+}
+
+int64_t BitVector::CountOnesInRange(int64_t begin, int64_t end) const {
+  ADASKIP_DCHECK(begin >= 0 && begin <= end && end <= size_);
+  if (begin >= end) return 0;
+  int64_t first_word = begin >> 6;
+  int64_t last_word = (end - 1) >> 6;
+  uint64_t first_mask = ~uint64_t{0} << (begin & 63);
+  uint64_t last_mask = ~uint64_t{0} >> (63 - ((end - 1) & 63));
+  if (first_word == last_word) {
+    return std::popcount(words_[static_cast<size_t>(first_word)] &
+                         first_mask & last_mask);
+  }
+  int64_t count =
+      std::popcount(words_[static_cast<size_t>(first_word)] & first_mask);
+  for (int64_t w = first_word + 1; w < last_word; ++w) {
+    count += std::popcount(words_[static_cast<size_t>(w)]);
+  }
+  count += std::popcount(words_[static_cast<size_t>(last_word)] & last_mask);
+  return count;
+}
+
+int64_t BitVector::FindNextSet(int64_t from) const {
+  if (from < 0) from = 0;
+  if (from >= size_) return -1;
+  int64_t word_index = from >> 6;
+  uint64_t word = words_[static_cast<size_t>(word_index)] &
+                  (~uint64_t{0} << (from & 63));
+  while (true) {
+    if (word != 0) {
+      int64_t bit = word_index * kWordBits + std::countr_zero(word);
+      return bit < size_ ? bit : -1;
+    }
+    ++word_index;
+    if (word_index >= static_cast<int64_t>(words_.size())) return -1;
+    word = words_[static_cast<size_t>(word_index)];
+  }
+}
+
+void BitVector::And(const BitVector& other) {
+  ADASKIP_CHECK_EQ(size_, other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void BitVector::Or(const BitVector& other) {
+  ADASKIP_CHECK_EQ(size_, other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void BitVector::AppendSetIndices(std::vector<int64_t>* out) const {
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      int bit = std::countr_zero(word);
+      out->push_back(static_cast<int64_t>(w) * kWordBits + bit);
+      word &= word - 1;
+    }
+  }
+}
+
+}  // namespace adaskip

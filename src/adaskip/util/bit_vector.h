@@ -1,0 +1,88 @@
+#ifndef ADASKIP_UTIL_BIT_VECTOR_H_
+#define ADASKIP_UTIL_BIT_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "adaskip/util/logging.h"
+
+namespace adaskip {
+
+/// Dense bit vector sized at construction, used for scan result bitmaps
+/// and zone markings. Bits are addressed by `int64_t` for consistency with
+/// row ids. Storage is 64-bit words; trailing bits of the last word are
+/// kept zero so popcount-based operations stay branch-free.
+class BitVector {
+ public:
+  BitVector() : size_(0) {}
+  explicit BitVector(int64_t size, bool initial_value = false);
+
+  BitVector(const BitVector&) = default;
+  BitVector& operator=(const BitVector&) = default;
+  BitVector(BitVector&&) = default;
+  BitVector& operator=(BitVector&&) = default;
+
+  int64_t size() const { return size_; }
+
+  bool Get(int64_t index) const {
+    ADASKIP_DCHECK(index >= 0 && index < size_);
+    return (words_[static_cast<size_t>(index >> 6)] >> (index & 63)) & 1;
+  }
+
+  void Set(int64_t index) {
+    ADASKIP_DCHECK(index >= 0 && index < size_);
+    words_[static_cast<size_t>(index >> 6)] |= uint64_t{1} << (index & 63);
+  }
+
+  void Clear(int64_t index) {
+    ADASKIP_DCHECK(index >= 0 && index < size_);
+    words_[static_cast<size_t>(index >> 6)] &= ~(uint64_t{1} << (index & 63));
+  }
+
+  void Assign(int64_t index, bool value) {
+    if (value) {
+      Set(index);
+    } else {
+      Clear(index);
+    }
+  }
+
+  /// Sets every bit in [begin, end).
+  void SetRange(int64_t begin, int64_t end);
+
+  /// Clears all bits (size unchanged).
+  void Reset();
+
+  /// Number of set bits.
+  int64_t CountOnes() const;
+
+  /// Number of set bits in [begin, end).
+  int64_t CountOnesInRange(int64_t begin, int64_t end) const;
+
+  /// Index of the first set bit at or after `from`, or -1 if none.
+  int64_t FindNextSet(int64_t from) const;
+
+  /// In-place bitwise AND/OR with `other` (sizes must match).
+  void And(const BitVector& other);
+  void Or(const BitVector& other);
+
+  /// Appends the index of every set bit to `out`.
+  void AppendSetIndices(std::vector<int64_t>* out) const;
+
+  bool operator==(const BitVector& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  /// Approximate heap footprint in bytes.
+  int64_t MemoryUsageBytes() const {
+    return static_cast<int64_t>(words_.capacity() * sizeof(uint64_t));
+  }
+
+ private:
+  int64_t size_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_UTIL_BIT_VECTOR_H_

@@ -1,0 +1,84 @@
+#include "adaskip/util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "adaskip/util/logging.h"
+
+namespace adaskip {
+
+void Histogram::Add(double value) {
+  values_.push_back(value);
+  sum_ += value;
+  sorted_valid_ = false;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sum_ += other.sum_;
+  sorted_valid_ = false;
+}
+
+void Histogram::Clear() {
+  values_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+  sum_ = 0.0;
+}
+
+double Histogram::min() const {
+  if (values_.empty()) return 0.0;
+  EnsureSorted();
+  return sorted_.front();
+}
+
+double Histogram::max() const {
+  if (values_.empty()) return 0.0;
+  EnsureSorted();
+  return sorted_.back();
+}
+
+double Histogram::Mean() const {
+  if (values_.empty()) return 0.0;
+  return sum_ / static_cast<double>(values_.size());
+}
+
+double Histogram::StdDev() const {
+  if (values_.size() < 2) return 0.0;
+  double mean = Mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Histogram::Percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  ADASKIP_CHECK(p >= 0.0 && p <= 100.0);
+  EnsureSorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+std::string Histogram::Summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "n=%lld mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f",
+                static_cast<long long>(count()), Mean(), Percentile(50),
+                Percentile(95), Percentile(99), max());
+  return std::string(buf);
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+}  // namespace adaskip

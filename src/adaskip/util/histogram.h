@@ -1,0 +1,46 @@
+#ifndef ADASKIP_UTIL_HISTOGRAM_H_
+#define ADASKIP_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adaskip {
+
+/// Latency histogram with exact percentiles, used by the benchmark harness
+/// to report per-query latency distributions. Values are arbitrary doubles
+/// (typically microseconds). Percentile queries sort lazily.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  int64_t count() const { return static_cast<int64_t>(values_.size()); }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double Mean() const;
+  double StdDev() const;
+
+  /// Exact percentile in [0, 100]; linear interpolation between samples.
+  /// Returns 0 for an empty histogram.
+  double Percentile(double p) const;
+
+  /// One-line summary: count/mean/p50/p95/p99/max.
+  std::string Summary() const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+};
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_UTIL_HISTOGRAM_H_

@@ -1,0 +1,97 @@
+#include "adaskip/util/interval_set.h"
+
+#include <algorithm>
+
+#include "adaskip/util/logging.h"
+
+namespace adaskip {
+
+std::ostream& operator<<(std::ostream& os, const RowRange& range) {
+  return os << "[" << range.begin << ", " << range.end << ")";
+}
+
+void NormalizeRanges(std::vector<RowRange>* ranges) {
+  auto& r = *ranges;
+  r.erase(std::remove_if(r.begin(), r.end(),
+                         [](const RowRange& x) { return x.empty(); }),
+          r.end());
+  std::sort(r.begin(), r.end(), [](const RowRange& a, const RowRange& b) {
+    return a.begin < b.begin;
+  });
+  size_t out = 0;
+  for (size_t i = 0; i < r.size(); ++i) {
+    if (out > 0 && r[i].begin <= r[out - 1].end) {
+      r[out - 1].end = std::max(r[out - 1].end, r[i].end);
+    } else {
+      r[out++] = r[i];
+    }
+  }
+  r.resize(out);
+}
+
+bool IsNormalized(const std::vector<RowRange>& ranges) {
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    if (ranges[i].empty()) return false;
+    if (i > 0 && ranges[i].begin <= ranges[i - 1].end) return false;
+  }
+  return true;
+}
+
+int64_t TotalRows(const std::vector<RowRange>& ranges) {
+  int64_t total = 0;
+  for (const RowRange& r : ranges) total += r.size();
+  return total;
+}
+
+std::vector<RowRange> IntersectRanges(const std::vector<RowRange>& a,
+                                      const std::vector<RowRange>& b) {
+  std::vector<RowRange> out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    int64_t lo = std::max(a[i].begin, b[j].begin);
+    int64_t hi = std::min(a[i].end, b[j].end);
+    if (lo < hi) out.push_back({lo, hi});
+    if (a[i].end < b[j].end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::vector<RowRange> UnionRanges(const std::vector<RowRange>& a,
+                                  const std::vector<RowRange>& b) {
+  std::vector<RowRange> out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  NormalizeRanges(&out);
+  return out;
+}
+
+std::vector<RowRange> ComplementRanges(const std::vector<RowRange>& ranges,
+                                       int64_t domain_size) {
+  ADASKIP_DCHECK(IsNormalized(ranges));
+  std::vector<RowRange> out;
+  int64_t cursor = 0;
+  for (const RowRange& r : ranges) {
+    if (r.begin > cursor) out.push_back({cursor, std::min(r.begin, domain_size)});
+    cursor = std::max(cursor, r.end);
+    if (cursor >= domain_size) break;
+  }
+  if (cursor < domain_size) out.push_back({cursor, domain_size});
+  return out;
+}
+
+bool RangesContain(const std::vector<RowRange>& ranges, int64_t row) {
+  auto it = std::upper_bound(
+      ranges.begin(), ranges.end(), row,
+      [](int64_t value, const RowRange& r) { return value < r.begin; });
+  if (it == ranges.begin()) return false;
+  --it;
+  return row >= it->begin && row < it->end;
+}
+
+}  // namespace adaskip

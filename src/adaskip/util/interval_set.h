@@ -1,0 +1,55 @@
+#ifndef ADASKIP_UTIL_INTERVAL_SET_H_
+#define ADASKIP_UTIL_INTERVAL_SET_H_
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace adaskip {
+
+/// Half-open row range [begin, end). The unit of work exchanged between
+/// skip indexes (which emit candidate ranges) and the scan executor.
+struct RowRange {
+  int64_t begin = 0;
+  int64_t end = 0;
+
+  bool empty() const { return begin >= end; }
+  int64_t size() const { return empty() ? 0 : end - begin; }
+
+  friend bool operator==(const RowRange& a, const RowRange& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const RowRange& range);
+
+/// Sorts by begin and merges overlapping or adjacent ranges in place.
+/// Empty ranges are dropped. The result is a canonical interval set:
+/// sorted, non-empty, pairwise disjoint, non-adjacent.
+void NormalizeRanges(std::vector<RowRange>* ranges);
+
+/// True if `ranges` is in canonical form (see NormalizeRanges).
+bool IsNormalized(const std::vector<RowRange>& ranges);
+
+/// Total number of rows covered. Requires canonical form for a meaningful
+/// answer (overlaps would be double counted otherwise).
+int64_t TotalRows(const std::vector<RowRange>& ranges);
+
+/// Intersection of two canonical interval sets; result is canonical.
+std::vector<RowRange> IntersectRanges(const std::vector<RowRange>& a,
+                                      const std::vector<RowRange>& b);
+
+/// Union of two canonical interval sets; result is canonical.
+std::vector<RowRange> UnionRanges(const std::vector<RowRange>& a,
+                                  const std::vector<RowRange>& b);
+
+/// Rows of [0, domain_size) not covered by the canonical set `ranges`.
+std::vector<RowRange> ComplementRanges(const std::vector<RowRange>& ranges,
+                                       int64_t domain_size);
+
+/// True if `row` lies inside one of the canonical `ranges` (binary search).
+bool RangesContain(const std::vector<RowRange>& ranges, int64_t row);
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_UTIL_INTERVAL_SET_H_

@@ -1,0 +1,119 @@
+#ifndef ADASKIP_UTIL_LOGGING_H_
+#define ADASKIP_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace adaskip {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Minimum level that is emitted; defaults to kInfo. Not thread safe, set
+/// once at startup (tests lower it to kDebug, benches raise it).
+void SetMinLogLevel(LogLevel level);
+LogLevel GetMinLogLevel();
+
+namespace internal {
+
+/// Stream-style log message collector; emits to stderr on destruction and
+/// aborts the process for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a LogMessage when a log statement is compiled out.
+class LogMessageVoidify {
+ public:
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace adaskip
+
+#define ADASKIP_LOG_INTERNAL(level) \
+  ::adaskip::internal::LogMessage(level, __FILE__, __LINE__)
+
+/// Usage: ADASKIP_LOG(INFO) << "loaded " << n << " rows";
+#define ADASKIP_LOG(severity) \
+  ADASKIP_LOG_INTERNAL(::adaskip::LogLevel::k##severity)
+
+/// Aborts with a message when `condition` is false. Always on, also in
+/// release builds: the library's invariants are cheap to verify at the
+/// call sites that use this.
+#define ADASKIP_CHECK(condition)                                    \
+  (condition) ? (void)0                                             \
+              : ::adaskip::internal::LogMessageVoidify() &          \
+                    ADASKIP_LOG(Fatal) << "Check failed: " #condition " "
+
+#define ADASKIP_CHECK_OP(op, a, b)                                       \
+  ADASKIP_CHECK((a)op(b)) << "(" << #a << " " << #op << " " << #b << ") "
+
+#define ADASKIP_CHECK_EQ(a, b) ADASKIP_CHECK_OP(==, a, b)
+#define ADASKIP_CHECK_NE(a, b) ADASKIP_CHECK_OP(!=, a, b)
+#define ADASKIP_CHECK_LT(a, b) ADASKIP_CHECK_OP(<, a, b)
+#define ADASKIP_CHECK_LE(a, b) ADASKIP_CHECK_OP(<=, a, b)
+#define ADASKIP_CHECK_GT(a, b) ADASKIP_CHECK_OP(>, a, b)
+#define ADASKIP_CHECK_GE(a, b) ADASKIP_CHECK_OP(>=, a, b)
+
+/// Aborts if `expr` (a Status or Result) is not OK.
+#define ADASKIP_CHECK_OK(expr)                                   \
+  do {                                                           \
+    const auto& adaskip_check_ok_tmp = (expr);                   \
+    ADASKIP_CHECK(adaskip_check_ok_tmp.ok())                     \
+        << "status: "                                            \
+        << (adaskip_check_ok_tmp.ok()                            \
+                ? std::string("OK")                              \
+                : ::adaskip::GetStatusForLogging(                \
+                      adaskip_check_ok_tmp));                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define ADASKIP_DCHECK(condition) \
+  while (false) ADASKIP_CHECK(condition)
+#else
+#define ADASKIP_DCHECK(condition) ADASKIP_CHECK(condition)
+#endif
+
+#define ADASKIP_DCHECK_LT(a, b) ADASKIP_DCHECK((a) < (b))
+#define ADASKIP_DCHECK_LE(a, b) ADASKIP_DCHECK((a) <= (b))
+#define ADASKIP_DCHECK_GE(a, b) ADASKIP_DCHECK((a) >= (b))
+
+namespace adaskip {
+
+/// Helper used by ADASKIP_CHECK_OK to stringify either a Status or a
+/// Result<T> without including status.h here.
+template <typename StatusLike>
+std::string GetStatusForLogging(const StatusLike& s) {
+  if constexpr (requires { s.ToString(); }) {
+    return s.ToString();
+  } else {
+    return s.status().ToString();
+  }
+}
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_UTIL_LOGGING_H_

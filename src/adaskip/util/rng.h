@@ -1,0 +1,91 @@
+#ifndef ADASKIP_UTIL_RNG_H_
+#define ADASKIP_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace adaskip {
+
+/// Deterministic pseudo-random number generator (xoshiro256**), seeded via
+/// SplitMix64. All data and query generators use this so every experiment
+/// is exactly reproducible from its seed. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  int64_t NextInt64(int64_t bound) {
+    // Lemire's nearly-divisionless bounded sampling (biased by < 2^-64 * n,
+    // negligible for our workloads).
+    return static_cast<int64_t>(
+        (static_cast<__uint128_t>(NextUint64()) *
+         static_cast<__uint128_t>(bound)) >>
+        64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt64InRange(int64_t lo, int64_t hi) {
+    return lo + NextInt64(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal variate (Box-Muller, one value per call).
+  double NextGaussian();
+
+  /// Bernoulli trial with success probability `p`.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+inline double Rng::NextGaussian() {
+  // Marsaglia polar method without caching; adequate for generators.
+  double u;
+  double v;
+  double s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double mul = std::sqrt(-2.0 * std::log(s) / s);
+  return u * mul;
+}
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_UTIL_RNG_H_

@@ -1,0 +1,36 @@
+#ifndef ADASKIP_UTIL_SELECTION_VECTOR_H_
+#define ADASKIP_UTIL_SELECTION_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace adaskip {
+
+/// Ordered list of qualifying row ids produced by materializing scans.
+/// A thin wrapper over std::vector<int64_t> with scan-friendly helpers.
+class SelectionVector {
+ public:
+  SelectionVector() = default;
+
+  void Reserve(int64_t n) { rows_.reserve(static_cast<size_t>(n)); }
+  void Append(int64_t row) { rows_.push_back(row); }
+  void Clear() { rows_.clear(); }
+
+  int64_t size() const { return static_cast<int64_t>(rows_.size()); }
+  bool empty() const { return rows_.empty(); }
+  int64_t operator[](int64_t i) const { return rows_[static_cast<size_t>(i)]; }
+
+  const std::vector<int64_t>& rows() const { return rows_; }
+  std::vector<int64_t>* mutable_rows() { return &rows_; }
+
+  bool operator==(const SelectionVector& other) const {
+    return rows_ == other.rows_;
+  }
+
+ private:
+  std::vector<int64_t> rows_;
+};
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_UTIL_SELECTION_VECTOR_H_

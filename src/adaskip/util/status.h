@@ -1,0 +1,164 @@
+#ifndef ADASKIP_UTIL_STATUS_H_
+#define ADASKIP_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace adaskip {
+
+/// Error categories used throughout the library. The set is deliberately
+/// small; detail lives in the status message.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+};
+
+/// Returns a stable, human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. The library does not use
+/// exceptions (see DESIGN.md); fallible functions return `Status` or
+/// `Result<T>` instead. Statuses are cheap to copy in the OK case (the
+/// message is empty) and must not be silently dropped.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value-or-error holder, analogous to absl::StatusOr / arrow::Result.
+/// Accessing the value of a failed result aborts the process, so callers
+/// must check `ok()` (or use `value_or`) first.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit construction from a value or a non-OK status keeps call
+  /// sites terse (`return value;` / `return Status::InvalidArgument(...)`),
+  /// matching the established Result idiom.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfNotOk();
+    return *std::move(value_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfNotOk() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieBecauseResultNotOk(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfNotOk() const {
+  if (!ok()) internal::DieBecauseResultNotOk(status_);
+}
+
+/// Propagates a non-OK status to the caller. `expr` must evaluate to a
+/// `Status`.
+#define ADASKIP_RETURN_IF_ERROR(expr)                    \
+  do {                                                   \
+    ::adaskip::Status adaskip_status_macro_tmp = (expr); \
+    if (!adaskip_status_macro_tmp.ok()) {                \
+      return adaskip_status_macro_tmp;                   \
+    }                                                    \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T>), propagating a non-OK status; otherwise
+/// moves the value into `lhs`.
+#define ADASKIP_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  ADASKIP_ASSIGN_OR_RETURN_IMPL_(                        \
+      ADASKIP_STATUS_CONCAT_(adaskip_result_, __LINE__), lhs, rexpr)
+
+#define ADASKIP_STATUS_CONCAT_INNER_(a, b) a##b
+#define ADASKIP_STATUS_CONCAT_(a, b) ADASKIP_STATUS_CONCAT_INNER_(a, b)
+#define ADASKIP_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                   \
+  if (!result.ok()) {                                      \
+    return result.status();                                \
+  }                                                        \
+  lhs = std::move(result).value()
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_UTIL_STATUS_H_

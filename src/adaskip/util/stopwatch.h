@@ -1,0 +1,41 @@
+#ifndef ADASKIP_UTIL_STOPWATCH_H_
+#define ADASKIP_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace adaskip {
+
+/// Monotonic wall-clock stopwatch with nanosecond reads. Started on
+/// construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction or the last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_UTIL_STOPWATCH_H_

@@ -1,0 +1,209 @@
+#include "adaskip/workload/data_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adaskip/util/logging.h"
+#include "adaskip/util/rng.h"
+#include "adaskip/workload/zipf.h"
+
+namespace adaskip {
+
+std::string_view DataOrderToString(DataOrder order) {
+  switch (order) {
+    case DataOrder::kSorted:
+      return "sorted";
+    case DataOrder::kReverseSorted:
+      return "reverse-sorted";
+    case DataOrder::kKSorted:
+      return "k-sorted";
+    case DataOrder::kClustered:
+      return "clustered";
+    case DataOrder::kRandomWalk:
+      return "random-walk";
+    case DataOrder::kSawtooth:
+      return "sawtooth";
+    case DataOrder::kZipf:
+      return "zipf";
+    case DataOrder::kUniform:
+      return "uniform";
+    case DataOrder::kAlmostSorted:
+      return "almost-sorted";
+  }
+  return "unknown";
+}
+
+namespace {
+
+template <typename T>
+std::vector<T> UniformValues(const DataGenOptions& options, Rng* rng) {
+  std::vector<T> values;
+  values.reserve(static_cast<size_t>(options.num_rows));
+  for (int64_t i = 0; i < options.num_rows; ++i) {
+    values.push_back(static_cast<T>(rng->NextInt64(options.value_range)));
+  }
+  return values;
+}
+
+/// Fisher-Yates within consecutive disjoint blocks of `window` rows:
+/// every value stays within `window` positions of its sorted position, the
+/// defining property of "k-sorted" data.
+template <typename T>
+void ShuffleWithinBlocks(std::vector<T>* values, int64_t window, Rng* rng) {
+  const int64_t n = static_cast<int64_t>(values->size());
+  for (int64_t block = 0; block < n; block += window) {
+    int64_t end = std::min(block + window, n);
+    for (int64_t i = end - 1; i > block; --i) {
+      int64_t j = block + rng->NextInt64(i - block + 1);
+      std::swap((*values)[static_cast<size_t>(i)],
+                (*values)[static_cast<size_t>(j)]);
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+std::vector<T> GenerateData(const DataGenOptions& options) {
+  ADASKIP_CHECK_GE(options.num_rows, 0);
+  ADASKIP_CHECK_GT(options.value_range, 0);
+  Rng rng(options.seed);
+  const int64_t n = options.num_rows;
+
+  switch (options.order) {
+    case DataOrder::kSorted: {
+      std::vector<T> values = UniformValues<T>(options, &rng);
+      std::sort(values.begin(), values.end());
+      return values;
+    }
+    case DataOrder::kReverseSorted: {
+      std::vector<T> values = UniformValues<T>(options, &rng);
+      std::sort(values.begin(), values.end(), std::greater<T>());
+      return values;
+    }
+    case DataOrder::kKSorted: {
+      std::vector<T> values = UniformValues<T>(options, &rng);
+      std::sort(values.begin(), values.end());
+      ShuffleWithinBlocks(&values, options.k_sorted_window, &rng);
+      return values;
+    }
+    case DataOrder::kClustered: {
+      ADASKIP_CHECK_GT(options.num_clusters, 0);
+      // Shuffled cluster order; each cluster holds a contiguous run of
+      // rows with values from a narrow band around its center.
+      std::vector<int64_t> cluster_order(
+          static_cast<size_t>(options.num_clusters));
+      for (size_t c = 0; c < cluster_order.size(); ++c) {
+        cluster_order[c] = static_cast<int64_t>(c);
+      }
+      for (size_t c = cluster_order.size(); c > 1; --c) {
+        std::swap(cluster_order[c - 1],
+                  cluster_order[static_cast<size_t>(
+                      rng.NextInt64(static_cast<int64_t>(c)))]);
+      }
+      const double width =
+          options.cluster_width_fraction *
+          static_cast<double>(options.value_range);
+      std::vector<T> values;
+      values.reserve(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        int64_t run = i * options.num_clusters / std::max<int64_t>(n, 1);
+        int64_t cluster = cluster_order[static_cast<size_t>(
+            std::min(run, options.num_clusters - 1))];
+        double center = (static_cast<double>(cluster) + 0.5) /
+                        static_cast<double>(options.num_clusters) *
+                        static_cast<double>(options.value_range);
+        double v = center + (rng.NextDouble() - 0.5) * width;
+        v = std::clamp(v, 0.0,
+                       static_cast<double>(options.value_range - 1));
+        values.push_back(static_cast<T>(v));
+      }
+      return values;
+    }
+    case DataOrder::kRandomWalk: {
+      std::vector<T> values;
+      values.reserve(static_cast<size_t>(n));
+      const double range = static_cast<double>(options.value_range);
+      double step = options.walk_step_fraction * range;
+      double v = range / 2.0;
+      for (int64_t i = 0; i < n; ++i) {
+        v += rng.NextGaussian() * step;
+        // Reflect at the domain borders to keep the walk inside.
+        if (v < 0.0) v = -v;
+        if (v > range - 1.0) v = 2.0 * (range - 1.0) - v;
+        v = std::clamp(v, 0.0, range - 1.0);
+        values.push_back(static_cast<T>(v));
+      }
+      return values;
+    }
+    case DataOrder::kSawtooth: {
+      ADASKIP_CHECK_GT(options.sawtooth_period, 0);
+      std::vector<T> values;
+      values.reserve(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        int64_t phase = i % options.sawtooth_period;
+        double v = static_cast<double>(phase) /
+                   static_cast<double>(options.sawtooth_period) *
+                   static_cast<double>(options.value_range - 1);
+        values.push_back(static_cast<T>(v));
+      }
+      return values;
+    }
+    case DataOrder::kZipf: {
+      // Cap the distinct-rank count so the O(ranks) zeta precomputation
+      // stays cheap; ranks are spread across the full value range.
+      const int64_t ranks = std::min<int64_t>(options.value_range, 1 << 20);
+      const int64_t stride = std::max<int64_t>(options.value_range / ranks, 1);
+      ZipfGenerator zipf(ranks, options.zipf_theta);
+      std::vector<T> values;
+      values.reserve(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        values.push_back(static_cast<T>(zipf.Next(&rng) * stride));
+      }
+      return values;
+    }
+    case DataOrder::kUniform: {
+      return UniformValues<T>(options, &rng);
+    }
+    case DataOrder::kAlmostSorted: {
+      std::vector<T> values = UniformValues<T>(options, &rng);
+      std::sort(values.begin(), values.end());
+      int64_t outliers = static_cast<int64_t>(
+          options.outlier_fraction * static_cast<double>(n));
+      for (int64_t i = 0; i < outliers; ++i) {
+        int64_t a = rng.NextInt64(n);
+        int64_t b = rng.NextInt64(n);
+        std::swap(values[static_cast<size_t>(a)],
+                  values[static_cast<size_t>(b)]);
+      }
+      return values;
+    }
+  }
+  ADASKIP_LOG(Fatal) << "unknown DataOrder "
+                     << static_cast<int>(options.order);
+  __builtin_unreachable();
+}
+
+template <typename T>
+double DisorderFraction(const std::vector<T>& values) {
+  if (values.size() < 2) return 0.0;
+  int64_t inversions = 0;
+  for (size_t i = 1; i < values.size(); ++i) {
+    inversions += values[i] < values[i - 1] ? 1 : 0;
+  }
+  return static_cast<double>(inversions) /
+         static_cast<double>(values.size() - 1);
+}
+
+#define ADASKIP_INSTANTIATE_DATAGEN(T)                                \
+  template std::vector<T> GenerateData<T>(const DataGenOptions&);     \
+  template double DisorderFraction<T>(const std::vector<T>&)
+
+ADASKIP_INSTANTIATE_DATAGEN(int32_t);
+ADASKIP_INSTANTIATE_DATAGEN(int64_t);
+ADASKIP_INSTANTIATE_DATAGEN(float);
+ADASKIP_INSTANTIATE_DATAGEN(double);
+
+#undef ADASKIP_INSTANTIATE_DATAGEN
+
+}  // namespace adaskip

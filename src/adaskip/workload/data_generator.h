@@ -1,0 +1,71 @@
+#ifndef ADASKIP_WORKLOAD_DATA_GENERATOR_H_
+#define ADASKIP_WORKLOAD_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace adaskip {
+
+/// The data-order families the abstract names: skipping helps on sorted,
+/// semi-sorted, and clustered data, and fails on arbitrary (shuffled)
+/// data. The generators reproduce each family synthetically.
+enum class DataOrder : int8_t {
+  kSorted = 0,         // Fully ascending.
+  kReverseSorted = 1,  // Fully descending.
+  kKSorted = 2,        // "Semi-sorted": every value within a bounded window
+                       // of its sorted position.
+  kClustered = 3,      // Contiguous runs of rows drawn from narrow value
+                       // clusters, cluster order shuffled.
+  kRandomWalk = 4,     // Temporally correlated (sensor-like) values.
+  kSawtooth = 5,       // Periodic ramps.
+  kZipf = 6,           // Heavy-hitter value frequencies, shuffled order.
+  kUniform = 7,        // Arbitrary: uniform values in random order.
+  kAlmostSorted = 8,   // Sorted except for a small fraction of values
+                       // swapped to random positions ("outliers"); the
+                       // classic case where static zonemap bounds are
+                       // poisoned but adaptive refinement can isolate the
+                       // damage.
+};
+
+std::string_view DataOrderToString(DataOrder order);
+
+/// Parameters of a generated column.
+struct DataGenOptions {
+  DataOrder order = DataOrder::kUniform;
+  int64_t num_rows = 1 << 20;
+  uint64_t seed = 42;
+  /// Values are drawn from [0, value_range). Kept well below 2^53 so
+  /// double-based aggregate checks stay exact.
+  int64_t value_range = 1'000'000'000;
+
+  // kKSorted: maximum displacement from the sorted position.
+  int64_t k_sorted_window = 4096;
+  // kClustered: number of clusters and each cluster's width as a fraction
+  // of the value range.
+  int64_t num_clusters = 64;
+  double cluster_width_fraction = 0.01;
+  // kRandomWalk: step standard deviation as a fraction of the range.
+  double walk_step_fraction = 0.0001;
+  // kSawtooth: rows per ramp.
+  int64_t sawtooth_period = 1 << 16;
+  // kZipf: skew of the value-frequency distribution.
+  double zipf_theta = 0.8;
+  // kAlmostSorted: fraction of rows swapped to uniformly random positions.
+  double outlier_fraction = 0.001;
+};
+
+/// Generates one column of `T` values per `options`. Deterministic in
+/// `options.seed`.
+template <typename T>
+std::vector<T> GenerateData(const DataGenOptions& options);
+
+/// The measured "disorder" of a column: fraction of adjacent pairs that
+/// are out of ascending order. 0 for sorted data, ~0.5 for shuffled
+/// uniform data. Used by generator tests and experiment reporting.
+template <typename T>
+double DisorderFraction(const std::vector<T>& values);
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_WORKLOAD_DATA_GENERATOR_H_

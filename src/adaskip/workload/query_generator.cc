@@ -1,0 +1,27 @@
+#include "adaskip/workload/query_generator.h"
+
+namespace adaskip {
+
+std::string_view QueryPatternToString(QueryPattern pattern) {
+  switch (pattern) {
+    case QueryPattern::kUniform:
+      return "uniform";
+    case QueryPattern::kSkewed:
+      return "skewed";
+    case QueryPattern::kDrifting:
+      return "drifting";
+    case QueryPattern::kPoint:
+      return "point";
+  }
+  return "unknown";
+}
+
+// QueryGenerator itself is header-only (template); this translation unit
+// anchors the enum helpers and instantiates the template for all column
+// types so errors surface at library build time.
+template class QueryGenerator<int32_t>;
+template class QueryGenerator<int64_t>;
+template class QueryGenerator<float>;
+template class QueryGenerator<double>;
+
+}  // namespace adaskip

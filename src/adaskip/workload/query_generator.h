@@ -1,0 +1,137 @@
+#ifndef ADASKIP_WORKLOAD_QUERY_GENERATOR_H_
+#define ADASKIP_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <algorithm>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "adaskip/scan/predicate.h"
+#include "adaskip/util/logging.h"
+#include "adaskip/util/rng.h"
+
+namespace adaskip {
+
+/// Spatial pattern of a range-query stream over one column.
+enum class QueryPattern : int8_t {
+  kUniform = 0,   // Query windows land anywhere in the value domain.
+  kSkewed = 1,    // Most queries land inside a fixed hot region.
+  kDrifting = 2,  // The hot region's center moves as the stream advances.
+  kPoint = 3,     // Equality probes (selectivity ignored).
+};
+
+std::string_view QueryPatternToString(QueryPattern pattern);
+
+/// Parameters of a generated query stream.
+struct QueryGenOptions {
+  QueryPattern pattern = QueryPattern::kUniform;
+  /// Target fraction of rows each range query qualifies (achieved via
+  /// quantiles of a value sample, so it holds regardless of the data
+  /// distribution).
+  double selectivity = 0.01;
+  uint64_t seed = 7;
+
+  // kSkewed / kDrifting: width of the hot region in quantile space and
+  // the probability that a query lands inside it.
+  double hot_fraction = 0.1;
+  double hot_probability = 0.9;
+  // kSkewed: center of the hot region in quantile space.
+  double hot_center = 0.5;
+  // kDrifting: quantile-space distance the hot center moves per query
+  // (wraps around).
+  double drift_per_query = 0.001;
+
+  /// Sample size used to estimate the quantile function.
+  int64_t sample_size = 1 << 18;
+};
+
+/// Generates a deterministic stream of range (or point) predicates over
+/// `column_name` whose selectivity tracks `options.selectivity` on the
+/// given data. Quantile-based: a query of selectivity s spans the value
+/// interval [Q(u), Q(u+s)] for a start quantile u chosen per the pattern.
+template <typename T>
+class QueryGenerator {
+ public:
+  QueryGenerator(std::string column_name, std::span<const T> data,
+                 const QueryGenOptions& options)
+      : column_name_(std::move(column_name)),
+        options_(options),
+        rng_(options.seed),
+        hot_center_(options.hot_center) {
+    ADASKIP_CHECK(options_.selectivity > 0.0 && options_.selectivity <= 1.0);
+    ADASKIP_CHECK(!data.empty());
+    // Uniform sample, sorted, as the empirical quantile function.
+    int64_t n = static_cast<int64_t>(data.size());
+    int64_t sample_size = std::min(options_.sample_size, n);
+    sorted_sample_.reserve(static_cast<size_t>(sample_size));
+    for (int64_t i = 0; i < sample_size; ++i) {
+      sorted_sample_.push_back(
+          data[static_cast<size_t>(rng_.NextInt64(n))]);
+    }
+    std::sort(sorted_sample_.begin(), sorted_sample_.end());
+  }
+
+  /// Produces the next predicate in the stream.
+  Predicate Next() {
+    double u = NextStartQuantile();
+    if (options_.pattern == QueryPattern::kPoint) {
+      return Predicate::Equal(column_name_, QuantileValue(u));
+    }
+    T lo = QuantileValue(u);
+    T hi = QuantileValue(u + options_.selectivity);
+    if (hi < lo) std::swap(lo, hi);
+    return Predicate::Between(column_name_, lo, hi);
+  }
+
+  /// Empirical quantile of the sampled data, q in [0, 1].
+  T QuantileValue(double q) const {
+    q = std::clamp(q, 0.0, 1.0);
+    size_t index = static_cast<size_t>(
+        q * static_cast<double>(sorted_sample_.size() - 1));
+    return sorted_sample_[index];
+  }
+
+  double hot_center() const { return hot_center_; }
+
+ private:
+  /// Start quantile for the next query window per the pattern.
+  double NextStartQuantile() {
+    const double s =
+        options_.pattern == QueryPattern::kPoint ? 0.0 : options_.selectivity;
+    const double span = std::max(1.0 - s, 1e-9);
+    switch (options_.pattern) {
+      case QueryPattern::kUniform:
+      case QueryPattern::kPoint:
+        return rng_.NextDouble() * span;
+      case QueryPattern::kSkewed:
+      case QueryPattern::kDrifting: {
+        double u;
+        if (rng_.NextBool(options_.hot_probability)) {
+          double lo = hot_center_ - options_.hot_fraction / 2.0;
+          u = lo + rng_.NextDouble() * options_.hot_fraction;
+        } else {
+          u = rng_.NextDouble();
+        }
+        if (options_.pattern == QueryPattern::kDrifting) {
+          hot_center_ += options_.drift_per_query;
+          if (hot_center_ > 1.0) hot_center_ -= 1.0;
+        }
+        // Wrap into [0, 1], then clip to the valid start-quantile span.
+        if (u < 0.0) u += 1.0;
+        if (u > 1.0) u -= 1.0;
+        return std::clamp(u, 0.0, span);
+      }
+    }
+    return 0.0;
+  }
+
+  std::string column_name_;
+  QueryGenOptions options_;
+  Rng rng_;
+  double hot_center_;
+  std::vector<T> sorted_sample_;
+};
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_WORKLOAD_QUERY_GENERATOR_H_

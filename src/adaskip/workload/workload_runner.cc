@@ -1,0 +1,37 @@
+#include "adaskip/workload/workload_runner.h"
+
+namespace adaskip {
+
+Result<ArmResult> RunWorkload(Session* session, std::string_view table_name,
+                              std::string_view index_column,
+                              const std::vector<Query>& queries,
+                              std::string label) {
+  ArmResult arm;
+  arm.label = std::move(label);
+  arm.per_query_micros.reserve(queries.size());
+  arm.per_query_skipped.reserve(queries.size());
+  session->ResetWorkloadStats();
+
+  for (const Query& query : queries) {
+    ADASKIP_ASSIGN_OR_RETURN(QueryResult result,
+                             session->Execute(table_name, query));
+    arm.stats.Record(result.stats);
+    arm.per_query_micros.push_back(
+        static_cast<double>(result.stats.total_nanos) / 1e3);
+    arm.per_query_skipped.push_back(result.stats.SkippedFraction());
+    arm.result_checksum +=
+        static_cast<double>(result.count) + result.sum + result.min +
+        result.max;
+  }
+
+  if (!index_column.empty()) {
+    SkipIndex* index = session->GetIndex(table_name, index_column);
+    if (index != nullptr) {
+      arm.final_zone_count = index->ZoneCount();
+      arm.index_memory_bytes = index->MemoryUsageBytes();
+    }
+  }
+  return arm;
+}
+
+}  // namespace adaskip

@@ -1,0 +1,38 @@
+#ifndef ADASKIP_WORKLOAD_WORKLOAD_RUNNER_H_
+#define ADASKIP_WORKLOAD_WORKLOAD_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "adaskip/engine/session.h"
+
+namespace adaskip {
+
+/// Outcome of running one experiment arm (one index configuration over
+/// one query stream). The benchmark harness prints these; tests use the
+/// checksum to verify all arms computed identical answers.
+struct ArmResult {
+  std::string label;
+  WorkloadStats stats;
+  std::vector<double> per_query_micros;    // Latency series, in order.
+  std::vector<double> per_query_skipped;   // Skipped fraction series.
+  double result_checksum = 0.0;            // Sum of counts+sums across queries.
+  int64_t final_zone_count = 0;            // Index zones after the run.
+  int64_t index_memory_bytes = 0;          // Index metadata footprint.
+
+  double total_seconds() const { return stats.TotalSeconds(); }
+};
+
+/// Runs `queries` in order against `table_name` in `session`, which must
+/// already have the table (and any index) set up. Per-query stats are
+/// recorded; the session's cumulative stats are reset first so the arm is
+/// self-contained. `index_column` (may be empty) names the column whose
+/// index footprint to report.
+Result<ArmResult> RunWorkload(Session* session, std::string_view table_name,
+                              std::string_view index_column,
+                              const std::vector<Query>& queries,
+                              std::string label);
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_WORKLOAD_WORKLOAD_RUNNER_H_

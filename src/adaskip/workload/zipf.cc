@@ -1,0 +1,41 @@
+#include "adaskip/workload/zipf.h"
+
+#include <cmath>
+
+#include "adaskip/util/logging.h"
+
+namespace adaskip {
+
+ZipfGenerator::ZipfGenerator(int64_t n, double theta)
+    : n_(n), theta_(theta) {
+  ADASKIP_CHECK_GT(n, 0);
+  ADASKIP_CHECK(theta > 0.0 && theta < 1.0)
+      << "theta must be in (0,1), got " << theta;
+  alpha_ = 1.0 / (1.0 - theta_);
+  zetan_ = Zeta(n_, theta_);
+  zeta2_ = Zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+double ZipfGenerator::Zeta(int64_t n, double theta) {
+  double sum = 0.0;
+  for (int64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+int64_t ZipfGenerator::Next(Rng* rng) const {
+  double u = rng->NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  int64_t rank = static_cast<int64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (rank >= n_) rank = n_ - 1;
+  if (rank < 0) rank = 0;
+  return rank;
+}
+
+}  // namespace adaskip

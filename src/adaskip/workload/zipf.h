@@ -1,0 +1,37 @@
+#ifndef ADASKIP_WORKLOAD_ZIPF_H_
+#define ADASKIP_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+
+#include "adaskip/util/rng.h"
+
+namespace adaskip {
+
+/// Zipf-distributed integer sampler over [0, n) with skew `theta` in
+/// (0, 1), using Gray et al.'s quick algorithm ("Quickly Generating
+/// Billion-Record Synthetic Databases", SIGMOD 1994). Rank 0 is the most
+/// popular item. The zeta constant is precomputed once in O(n).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(int64_t n, double theta);
+
+  /// Samples a rank in [0, n).
+  int64_t Next(Rng* rng) const;
+
+  int64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(int64_t n, double theta);
+
+  int64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+};
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_WORKLOAD_ZIPF_H_

@@ -1,0 +1,232 @@
+#include "adaskip/adaptive/adaptive_imprints.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "adaskip/adaptive/index_manager.h"
+#include "adaskip/engine/scan_executor.h"
+#include "adaskip/scan/scan_kernel.h"
+#include "adaskip/util/rng.h"
+#include "adaskip/workload/data_generator.h"
+#include "adaskip/workload/query_generator.h"
+#include "tests/testing/skip_test_util.h"
+
+namespace adaskip {
+namespace {
+
+// Drives the executor protocol against the index: probe, reference scan,
+// query-complete feedback. Returns rows scanned.
+int64_t RunQueryProtocol(AdaptiveImprintsT<int64_t>* index,
+                         const Predicate& pred,
+                         std::span<const int64_t> values) {
+  std::vector<RowRange> candidates;
+  ProbeStats stats;
+  index->Probe(pred, &candidates, &stats);
+  ValueInterval<int64_t> interval = pred.ToInterval<int64_t>();
+  int64_t scanned = 0;
+  int64_t matched = 0;
+  for (const RowRange& range : candidates) {
+    matched += reference::CountMatches(values, range, interval);
+    scanned += range.size();
+  }
+  QueryFeedback feedback;
+  feedback.rows_total = static_cast<int64_t>(values.size());
+  feedback.rows_scanned = scanned;
+  feedback.rows_matched = matched;
+  feedback.probe = stats;
+  index->OnQueryComplete(pred, feedback);
+  return scanned;
+}
+
+TEST(AdaptiveImprintsTest, BasicConstruction) {
+  TypedColumn<int64_t> column(GenerateData<int64_t>(
+      {.order = DataOrder::kUniform, .num_rows = 10000, .seed = 1}));
+  AdaptiveImprintsT<int64_t> index(column, {});
+  EXPECT_EQ(index.name(), "adaptive_imprints");
+  EXPECT_EQ(index.ZoneCount(), (10000 + 63) / 64);
+  EXPECT_GT(index.MemoryUsageBytes(), 0);
+  EXPECT_EQ(index.rebin_count(), 0);
+}
+
+TEST(AdaptiveImprintsTest, EmptyColumn) {
+  TypedColumn<int64_t> column(std::vector<int64_t>{});
+  AdaptiveImprintsT<int64_t> index(column, {});
+  std::vector<RowRange> candidates;
+  ProbeStats stats;
+  index.Probe(Predicate::Between<int64_t>("x", 0, 5), &candidates, &stats);
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(AdaptiveImprintsTest, SupersetHoldsAcrossRebinning) {
+  DataGenOptions gen;
+  gen.order = DataOrder::kRandomWalk;
+  gen.num_rows = 30000;
+  gen.value_range = 100000;
+  gen.seed = 9;
+  TypedColumn<int64_t> column(GenerateData<int64_t>(gen));
+  AdaptiveImprintsOptions options;
+  options.rebin_check_interval = 8;
+  options.rebin_cooldown = 8;
+  options.enable_cost_model = false;
+  AdaptiveImprintsT<int64_t> index(column, options);
+
+  QueryGenOptions qgen;
+  qgen.pattern = QueryPattern::kSkewed;
+  qgen.selectivity = 0.002;
+  qgen.hot_fraction = 0.03;
+  qgen.seed = 5;
+  QueryGenerator<int64_t> queries("x", column.data(), qgen);
+  for (int i = 0; i < 120; ++i) {
+    Predicate pred = queries.Next();
+    testing_util::ProbeAndCheckSuperset<int64_t>(&index, pred,
+                                                 column.data());
+    RunQueryProtocol(&index, pred, column.data());
+  }
+  // Split points stay strictly increasing through every rebin.
+  const std::vector<int64_t>& splits = index.split_points();
+  for (size_t i = 1; i < splits.size(); ++i) {
+    EXPECT_GT(splits[i], splits[i - 1]);
+  }
+}
+
+TEST(AdaptiveImprintsTest, RebinsUnderFocusedWorkloadAndImprovesSkipping) {
+  // Random-walk data + a narrow hot band: equi-depth data bins are too
+  // coarse around the band, so blocks near (but outside) it false-
+  // positive. Re-binning at the query endpoints must fire and reduce
+  // the rows scanned.
+  DataGenOptions gen;
+  gen.order = DataOrder::kRandomWalk;
+  gen.num_rows = 200000;
+  gen.value_range = 1 << 20;
+  gen.walk_step_fraction = 0.0001;
+  gen.seed = 31;
+  TypedColumn<int64_t> column(GenerateData<int64_t>(gen));
+
+  AdaptiveImprintsOptions options;
+  options.rebin_check_interval = 16;
+  options.rebin_cooldown = 16;
+  options.enable_cost_model = false;
+  AdaptiveImprintsT<int64_t> index(column, options);
+
+  QueryGenOptions qgen;
+  qgen.pattern = QueryPattern::kSkewed;
+  qgen.selectivity = 0.001;
+  qgen.hot_fraction = 0.02;
+  qgen.hot_probability = 1.0;
+  qgen.seed = 7;
+  QueryGenerator<int64_t> queries("x", column.data(), qgen);
+
+  double early_mean = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    early_mean += static_cast<double>(
+        RunQueryProtocol(&index, queries.Next(), column.data()));
+  }
+  early_mean /= 16.0;
+  for (int i = 0; i < 52; ++i) {
+    RunQueryProtocol(&index, queries.Next(), column.data());
+  }
+  // Median of the late phase: robust against the rare query that starts
+  // below the focused bins and falls into a coarse edge bin.
+  std::vector<int64_t> late;
+  for (int i = 0; i < 64; ++i) {
+    late.push_back(RunQueryProtocol(&index, queries.Next(), column.data()));
+  }
+  std::nth_element(late.begin(), late.begin() + late.size() / 2, late.end());
+  double late_median = static_cast<double>(late[late.size() / 2]);
+  EXPECT_GT(index.rebin_count(), 0);
+  EXPECT_LT(late_median, 0.7 * early_mean)
+      << "re-binning did not reduce the scan footprint";
+}
+
+TEST(AdaptiveImprintsTest, BypassEngagesOnHostileData) {
+  DataGenOptions gen;
+  gen.order = DataOrder::kUniform;
+  gen.num_rows = 20000;
+  TypedColumn<int64_t> column(GenerateData<int64_t>(gen));
+  AdaptiveImprintsOptions options;
+  options.cost_model_warmup_queries = 4;
+  options.explore_interval = 1000;
+  AdaptiveImprintsT<int64_t> index(column, options);
+
+  QueryGenOptions qgen;
+  // Wide ranges over shuffled data: the query mask covers many bins, so
+  // essentially every block is a candidate and probing cannot pay.
+  qgen.selectivity = 0.3;
+  QueryGenerator<int64_t> queries("x", column.data(), qgen);
+  for (int i = 0; i < 30; ++i) {
+    RunQueryProtocol(&index, queries.Next(), column.data());
+  }
+  EXPECT_EQ(index.mode(), SkippingMode::kBypass);
+  std::vector<RowRange> candidates;
+  ProbeStats stats;
+  index.Probe(Predicate::Between<int64_t>("x", 0, 100), &candidates, &stats);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], (RowRange{0, 20000}));
+  EXPECT_EQ(stats.entries_read, 1);
+}
+
+TEST(AdaptiveImprintsTest, AdaptationTimeIsDrainable) {
+  DataGenOptions gen;
+  gen.order = DataOrder::kRandomWalk;
+  gen.num_rows = 50000;
+  gen.value_range = 1 << 20;
+  TypedColumn<int64_t> column(GenerateData<int64_t>(gen));
+  AdaptiveImprintsOptions options;
+  options.rebin_check_interval = 4;
+  options.rebin_cooldown = 4;
+  options.enable_cost_model = false;
+  AdaptiveImprintsT<int64_t> index(column, options);
+
+  QueryGenOptions qgen;
+  qgen.pattern = QueryPattern::kSkewed;
+  qgen.selectivity = 0.001;
+  qgen.hot_fraction = 0.02;
+  qgen.hot_probability = 1.0;
+  QueryGenerator<int64_t> queries("x", column.data(), qgen);
+  for (int i = 0; i < 60; ++i) {
+    RunQueryProtocol(&index, queries.Next(), column.data());
+  }
+  if (index.rebin_count() > 0) {
+    EXPECT_GT(index.TakeAdaptationNanos(), 0);
+  }
+  EXPECT_EQ(index.TakeAdaptationNanos(), 0);
+}
+
+TEST(AdaptiveImprintsTest, FactoryAndIndexManagerIntegration) {
+  std::unique_ptr<Column> column = MakeColumn<double>({1.0, 2.0, 3.0});
+  std::unique_ptr<SkipIndex> index = MakeAdaptiveImprints(*column, {});
+  EXPECT_EQ(index->name(), "adaptive_imprints");
+  EXPECT_EQ(IndexKindToString(IndexKind::kAdaptiveImprints),
+            "adaptive_imprints");
+}
+
+TEST(AdaptiveImprintsTest, EndToEndCorrectnessThroughExecutor) {
+  auto table = std::make_shared<Table>("t");
+  DataGenOptions gen;
+  gen.order = DataOrder::kRandomWalk;
+  gen.num_rows = 40000;
+  gen.value_range = 100000;
+  ADASKIP_CHECK_OK(
+      table->AddColumn("x", MakeColumn(GenerateData<int64_t>(gen))));
+  IndexManager indexes(table);
+  IndexOptions options;
+  options.kind = IndexKind::kAdaptiveImprints;
+  ASSERT_TRUE(indexes.AttachIndex("x", options).ok());
+  ScanExecutor executor(table, &indexes);
+
+  const auto& x = *table->ColumnByName("x").value()->As<int64_t>();
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    int64_t lo = rng.NextInt64(100000);
+    Predicate pred = Predicate::Between<int64_t>("x", lo, lo + 2000);
+    Result<QueryResult> result = executor.Execute(Query::Count(pred));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->count,
+              reference::CountMatches(x.data(), {0, x.size()},
+                                      pred.ToInterval<int64_t>()));
+  }
+}
+
+}  // namespace
+}  // namespace adaskip

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "adaskip/adaptive/cost_model.h"
+#include "adaskip/adaptive/effectiveness_tracker.h"
+
+namespace adaskip {
+namespace {
+
+TEST(EffectivenessTrackerTest, StartsAtZero) {
+  EffectivenessTracker tracker(0.2);
+  EXPECT_EQ(tracker.skipped_fraction(), 0.0);
+  EXPECT_EQ(tracker.entries_per_row(), 0.0);
+  EXPECT_EQ(tracker.num_recorded(), 0);
+}
+
+TEST(EffectivenessTrackerTest, FirstRecordSeedsTheEwma) {
+  EffectivenessTracker tracker(0.2);
+  tracker.Record(/*rows_total=*/1000, /*rows_scanned=*/100,
+                 /*entries_read=*/10);
+  EXPECT_DOUBLE_EQ(tracker.skipped_fraction(), 0.9);
+  EXPECT_DOUBLE_EQ(tracker.entries_per_row(), 0.01);
+  EXPECT_EQ(tracker.num_recorded(), 1);
+}
+
+TEST(EffectivenessTrackerTest, EwmaBlendsSubsequentRecords) {
+  EffectivenessTracker tracker(0.5);
+  tracker.Record(1000, 0, 0);     // skipped = 1.0
+  tracker.Record(1000, 1000, 0);  // skipped = 0.0
+  EXPECT_DOUBLE_EQ(tracker.skipped_fraction(), 0.5);
+  tracker.Record(1000, 1000, 0);
+  EXPECT_DOUBLE_EQ(tracker.skipped_fraction(), 0.25);
+}
+
+TEST(EffectivenessTrackerTest, IgnoresEmptyColumns) {
+  EffectivenessTracker tracker(0.2);
+  tracker.Record(0, 0, 5);
+  EXPECT_EQ(tracker.num_recorded(), 0);
+}
+
+TEST(EffectivenessTrackerTest, ResetClears) {
+  EffectivenessTracker tracker(0.2);
+  tracker.Record(100, 0, 1);
+  tracker.Reset();
+  EXPECT_EQ(tracker.num_recorded(), 0);
+  EXPECT_EQ(tracker.skipped_fraction(), 0.0);
+}
+
+AdaptiveOptions CostOptions(bool enabled, int64_t warmup,
+                            double cost_ratio) {
+  AdaptiveOptions options;
+  options.enable_cost_model = enabled;
+  options.cost_model_warmup_queries = warmup;
+  options.probe_entry_cost_ratio = cost_ratio;
+  return options;
+}
+
+TEST(CostModelTest, DisabledModelNeverBypasses) {
+  CostModel model(CostOptions(false, 0, 1.0));
+  EffectivenessTracker tracker(0.2);
+  tracker.Record(1000, 1000, 500);  // Terrible skipping.
+  EXPECT_EQ(model.Decide(tracker, SkippingMode::kActive), SkippingMode::kActive);
+  EXPECT_FALSE(model.enabled());
+}
+
+TEST(CostModelTest, StaysActiveDuringWarmup) {
+  CostModel model(CostOptions(true, 5, 1.0));
+  EffectivenessTracker tracker(0.2);
+  for (int i = 0; i < 4; ++i) tracker.Record(1000, 1000, 500);
+  EXPECT_EQ(model.Decide(tracker, SkippingMode::kActive), SkippingMode::kActive);
+}
+
+TEST(CostModelTest, BypassesWhenProbingNeverSkips) {
+  CostModel model(CostOptions(true, 2, 1.0));
+  EffectivenessTracker tracker(0.2);
+  for (int i = 0; i < 5; ++i) tracker.Record(1000, 1000, 50);
+  EXPECT_LT(model.NetBenefitPerRow(tracker), 0.0);
+  EXPECT_EQ(model.Decide(tracker, SkippingMode::kActive), SkippingMode::kBypass);
+}
+
+TEST(CostModelTest, StaysActiveWhenSkippingPays) {
+  CostModel model(CostOptions(true, 2, 1.0));
+  EffectivenessTracker tracker(0.2);
+  for (int i = 0; i < 5; ++i) tracker.Record(1000, 100, 50);
+  EXPECT_GT(model.NetBenefitPerRow(tracker), 0.0);
+  EXPECT_EQ(model.Decide(tracker, SkippingMode::kActive), SkippingMode::kActive);
+}
+
+TEST(CostModelTest, CostRatioShiftsTheBreakEven) {
+  // Skipping 10% with metadata reads of 5% of rows: pays at ratio 1,
+  // loses at ratio 4.
+  EffectivenessTracker tracker(0.2);
+  for (int i = 0; i < 5; ++i) tracker.Record(1000, 900, 50);
+  CostModel cheap(CostOptions(true, 1, 1.0));
+  CostModel expensive(CostOptions(true, 1, 4.0));
+  EXPECT_EQ(cheap.Decide(tracker, SkippingMode::kActive), SkippingMode::kActive);
+  EXPECT_EQ(expensive.Decide(tracker, SkippingMode::kActive), SkippingMode::kBypass);
+}
+
+TEST(CostModelTest, HysteresisKeepsBypassUnderNoise) {
+  AdaptiveOptions options = CostOptions(true, 1, 1.0);
+  options.reactivation_benefit_threshold = 0.05;
+  CostModel model(options);
+  EffectivenessTracker tracker(0.2);
+  // Marginal positive benefit (3% skipped, cheap probes): enough to stay
+  // active, not enough to leave bypass.
+  for (int i = 0; i < 5; ++i) tracker.Record(1000, 970, 1);
+  EXPECT_GT(model.NetBenefitPerRow(tracker), 0.0);
+  EXPECT_EQ(model.Decide(tracker, SkippingMode::kActive),
+            SkippingMode::kActive);
+  EXPECT_EQ(model.Decide(tracker, SkippingMode::kBypass),
+            SkippingMode::kBypass);
+  // Strong benefit flips it back.
+  for (int i = 0; i < 10; ++i) tracker.Record(1000, 100, 1);
+  EXPECT_EQ(model.Decide(tracker, SkippingMode::kBypass),
+            SkippingMode::kActive);
+}
+
+TEST(SplitPolicyTest, Names) {
+  EXPECT_EQ(SplitPolicyToString(SplitPolicy::kNone), "none");
+  EXPECT_EQ(SplitPolicyToString(SplitPolicy::kHalve), "halve");
+  EXPECT_EQ(SplitPolicyToString(SplitPolicy::kBoundary), "boundary");
+  EXPECT_EQ(SplitPolicyToString(SplitPolicy::kBudgeted), "budgeted");
+}
+
+}  // namespace
+}  // namespace adaskip

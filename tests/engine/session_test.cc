@@ -1,0 +1,137 @@
+#include "adaskip/engine/session.h"
+
+#include <gtest/gtest.h>
+
+#include "adaskip/adaptive/adaptive_zone_map.h"
+#include "adaskip/workload/data_generator.h"
+
+namespace adaskip {
+namespace {
+
+TEST(SessionTest, CreateTableAndAddColumns) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t").ok());
+  EXPECT_EQ(session.CreateTable("t").code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(session.AddColumn<int64_t>("t", "x", {1, 2, 3}).ok());
+  ASSERT_TRUE(session.AddColumn<double>("t", "y", {1.0, 2.0, 3.0}).ok());
+  EXPECT_EQ(session.AddColumn<int64_t>("t", "x", {9}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(session.AddColumn<int64_t>("missing", "x", {1}).code(),
+            StatusCode::kNotFound);
+  Result<std::shared_ptr<Table>> table = session.GetTable("t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 3);
+}
+
+TEST(SessionTest, RegisterExternallyBuiltTable) {
+  Session session;
+  auto table = std::make_shared<Table>("ext");
+  ASSERT_TRUE(table->AddColumn("a", MakeColumn<int32_t>({1, 2})).ok());
+  ASSERT_TRUE(session.RegisterTable(table).ok());
+  EXPECT_TRUE(session.catalog().Contains("ext"));
+}
+
+TEST(SessionTest, AttachDetachIndex) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t").ok());
+  ASSERT_TRUE(session.AddColumn<int64_t>("t", "x", {1, 2, 3}).ok());
+  ASSERT_TRUE(session.AttachIndex("t", "x", IndexOptions::ZoneMap()).ok());
+  EXPECT_NE(session.GetIndex("t", "x"), nullptr);
+  EXPECT_EQ(session.GetIndex("t", "x")->name(), "zonemap");
+  EXPECT_EQ(session.GetIndex("t", "nope"), nullptr);
+  EXPECT_EQ(session.GetIndex("other", "x"), nullptr);
+  ASSERT_TRUE(session.DetachIndex("t", "x").ok());
+  EXPECT_EQ(session.GetIndex("t", "x"), nullptr);
+  EXPECT_EQ(session.DetachIndex("t", "x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(session.AttachIndex("t", "nope", IndexOptions::ZoneMap()).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(session.AttachIndex("missing", "x", {}).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SessionTest, ExecuteAccumulatesWorkloadStats) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t").ok());
+  DataGenOptions gen;
+  gen.order = DataOrder::kSorted;
+  gen.num_rows = 10000;
+  gen.value_range = 10000;
+  ASSERT_TRUE(
+      session.AddColumn<int64_t>("t", "x", GenerateData<int64_t>(gen)).ok());
+  ASSERT_TRUE(session.AttachIndex("t", "x", IndexOptions::ZoneMap(500)).ok());
+
+  for (int i = 0; i < 5; ++i) {
+    Result<QueryResult> result = session.Execute(
+        "t", Query::Count(Predicate::Between<int64_t>("x", 100, 200)));
+    ASSERT_TRUE(result.ok());
+  }
+  EXPECT_EQ(session.workload_stats().num_queries(), 5);
+  EXPECT_GT(session.workload_stats().total_nanos(), 0);
+  EXPECT_GT(session.workload_stats().MeanSkippedFraction(), 0.5);
+  EXPECT_GT(session.workload_stats().MeanLatencyMicros(), 0.0);
+  session.ResetWorkloadStats();
+  EXPECT_EQ(session.workload_stats().num_queries(), 0);
+}
+
+TEST(SessionTest, ExecuteOnMissingTableFails) {
+  Session session;
+  EXPECT_EQ(session
+                .Execute("nope",
+                         Query::Count(Predicate::Between<int64_t>("x", 0, 1)))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SessionTest, AdaptiveIndexIsIntrospectable) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t").ok());
+  DataGenOptions gen;
+  gen.order = DataOrder::kSorted;
+  gen.num_rows = 20000;
+  gen.value_range = 20000;
+  ASSERT_TRUE(
+      session.AddColumn<int64_t>("t", "x", GenerateData<int64_t>(gen)).ok());
+  AdaptiveOptions adaptive;
+  adaptive.min_zone_size = 128;
+  ASSERT_TRUE(
+      session.AttachIndex("t", "x", IndexOptions::Adaptive(adaptive)).ok());
+
+  for (int i = 0; i < 10; ++i) {
+    int64_t lo = 1000 * i;
+    ASSERT_TRUE(session
+                    .Execute("t", Query::Count(Predicate::Between<int64_t>(
+                                      "x", lo, lo + 150)))
+                    .ok());
+  }
+  SkipIndex* index = session.GetIndex("t", "x");
+  ASSERT_NE(index, nullptr);
+  auto* adaptive_index = static_cast<AdaptiveZoneMapT<int64_t>*>(index);
+  EXPECT_GT(adaptive_index->split_count(), 0);
+  EXPECT_GT(adaptive_index->ZoneCount(), 1);
+  EXPECT_TRUE(adaptive_index->CheckInvariants());
+  EXPECT_EQ(adaptive_index->query_count(), 10);
+}
+
+TEST(SessionTest, WorkloadStatsSummaryMentionsQueries) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t").ok());
+  ASSERT_TRUE(session.AddColumn<int64_t>("t", "x", {1, 2, 3}).ok());
+  ASSERT_TRUE(
+      session.Execute("t", Query::Count(Predicate::Equal<int64_t>("x", 2)))
+          .ok());
+  EXPECT_NE(session.workload_stats().Summary().find("1 queries"),
+            std::string::npos);
+}
+
+TEST(QueryStatsTest, ToStringContainsIndexName) {
+  QueryStats stats;
+  stats.index_name = "adaptive";
+  stats.rows_total = 10;
+  stats.rows_scanned = 5;
+  EXPECT_NE(stats.ToString().find("[adaptive]"), std::string::npos);
+  EXPECT_NEAR(stats.SkippedFraction(), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace adaskip

@@ -1,0 +1,143 @@
+// End-to-end correctness over every supported column type: the main
+// ExecutorMatrixTest covers int64 exhaustively; this suite replays the
+// probe→scan→feedback→aggregate pipeline for int32/int64/float/double
+// columns under the adaptive zonemap and the static zonemap, validating
+// against per-type naive answers.
+
+#include <gtest/gtest.h>
+
+#include "adaskip/engine/scan_executor.h"
+#include "adaskip/scan/scan_kernel.h"
+#include "adaskip/util/rng.h"
+#include "adaskip/workload/data_generator.h"
+
+namespace adaskip {
+namespace {
+
+template <typename T>
+class TypedExecutorTest : public ::testing::Test {};
+
+using ColumnTypes = ::testing::Types<int32_t, int64_t, float, double>;
+TYPED_TEST_SUITE(TypedExecutorTest, ColumnTypes);
+
+template <typename T>
+std::shared_ptr<Table> MakeTypedTable(DataOrder order) {
+  DataGenOptions gen;
+  gen.order = order;
+  gen.num_rows = 20000;
+  gen.value_range = 100000;
+  gen.seed = 51;
+  auto table = std::make_shared<Table>("t");
+  ADASKIP_CHECK_OK(table->AddColumn("x", MakeColumn(GenerateData<T>(gen))));
+  return table;
+}
+
+template <typename T>
+void RunTypedMatrix(IndexKind kind, DataOrder order) {
+  auto table = MakeTypedTable<T>(order);
+  IndexManager indexes(table);
+  IndexOptions options;
+  options.kind = kind;
+  options.zone_map.zone_size = 512;
+  options.adaptive.initial_zone_size = 512;
+  options.adaptive.min_zone_size = 64;
+  ASSERT_TRUE(indexes.AttachIndex("x", options).ok());
+  ScanExecutor executor(table, &indexes);
+  const TypedColumn<T>& x = *table->ColumnByName("x").value()->template As<T>();
+
+  Rng rng(23);
+  for (int i = 0; i < 25; ++i) {
+    T lo = static_cast<T>(rng.NextInt64(100000));
+    T hi = static_cast<T>(static_cast<int64_t>(lo) + rng.NextInt64(8000));
+    Predicate pred = Predicate::Between<T>("x", lo, hi);
+    ValueInterval<T> interval = pred.ToInterval<T>();
+
+    // COUNT.
+    Result<QueryResult> count = executor.Execute(Query::Count(pred));
+    ASSERT_TRUE(count.ok()) << count.status();
+    EXPECT_EQ(count->count, reference::CountMatches(x.data(), {0, x.size()},
+                                                    interval))
+        << pred.ToString();
+
+    // SUM. Candidate-range-wise accumulation associates differently from
+    // the naive full-range sum, so fractional payloads may differ in the
+    // last ulps; integral payloads are exact in a double accumulator.
+    Result<QueryResult> sum = executor.Execute(Query::Sum(pred));
+    ASSERT_TRUE(sum.ok());
+    double expected_sum =
+        reference::SumMatches(x.data(), {0, x.size()}, interval);
+    if constexpr (std::numeric_limits<T>::is_integer) {
+      EXPECT_DOUBLE_EQ(sum->sum, expected_sum) << pred.ToString();
+    } else {
+      EXPECT_NEAR(sum->sum, expected_sum, 1e-9 * std::abs(expected_sum))
+          << pred.ToString();
+    }
+
+    // MATERIALIZE.
+    Result<QueryResult> rows = executor.Execute(Query::Materialize(pred));
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows->rows, reference::MaterializeMatches(
+                              x.data(), {0, x.size()}, interval))
+        << pred.ToString();
+
+    // Stats sanity on every query of every type.
+    EXPECT_LE(count->stats.rows_matched, count->stats.rows_scanned);
+    EXPECT_LE(count->stats.rows_scanned, count->stats.rows_total);
+  }
+}
+
+TYPED_TEST(TypedExecutorTest, AdaptiveOnRandomWalk) {
+  RunTypedMatrix<TypeParam>(IndexKind::kAdaptive, DataOrder::kRandomWalk);
+}
+
+TYPED_TEST(TypedExecutorTest, AdaptiveOnClustered) {
+  RunTypedMatrix<TypeParam>(IndexKind::kAdaptive, DataOrder::kClustered);
+}
+
+TYPED_TEST(TypedExecutorTest, AdaptiveOnAlmostSorted) {
+  RunTypedMatrix<TypeParam>(IndexKind::kAdaptive, DataOrder::kAlmostSorted);
+}
+
+TYPED_TEST(TypedExecutorTest, ZoneMapOnSorted) {
+  RunTypedMatrix<TypeParam>(IndexKind::kZoneMap, DataOrder::kSorted);
+}
+
+TYPED_TEST(TypedExecutorTest, ZoneTreeOnUniform) {
+  RunTypedMatrix<TypeParam>(IndexKind::kZoneTree, DataOrder::kUniform);
+}
+
+TYPED_TEST(TypedExecutorTest, ImprintsOnKSorted) {
+  RunTypedMatrix<TypeParam>(IndexKind::kImprints, DataOrder::kKSorted);
+}
+
+TYPED_TEST(TypedExecutorTest, AdaptiveImprintsOnRandomWalk) {
+  RunTypedMatrix<TypeParam>(IndexKind::kAdaptiveImprints,
+                            DataOrder::kRandomWalk);
+}
+
+TYPED_TEST(TypedExecutorTest, BloomZoneMapPointLookups) {
+  using T = TypeParam;
+  auto table = MakeTypedTable<T>(DataOrder::kClustered);
+  IndexManager indexes(table);
+  IndexOptions options;
+  options.kind = IndexKind::kBloomZoneMap;
+  options.bloom.zone_size = 512;
+  ASSERT_TRUE(indexes.AttachIndex("x", options).ok());
+  ScanExecutor executor(table, &indexes);
+  const TypedColumn<T>& x = *table->ColumnByName("x").value()->template As<T>();
+
+  Rng rng(29);
+  for (int i = 0; i < 25; ++i) {
+    T value = x.Get(rng.NextInt64(x.size()));
+    Predicate pred = Predicate::Equal<T>("x", value);
+    Result<QueryResult> result = executor.Execute(Query::Count(pred));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->count,
+              reference::CountMatches(x.data(), {0, x.size()},
+                                      pred.ToInterval<T>()));
+    EXPECT_GE(result->count, 1);  // The probed value exists.
+  }
+}
+
+}  // namespace
+}  // namespace adaskip

@@ -1,0 +1,239 @@
+// Integration tests: full library stack (generators → session → indexes →
+// executor → stats), checking the cross-arm result-equality guarantee and
+// the qualitative behaviors every experiment in EXPERIMENTS.md relies on.
+
+#include <gtest/gtest.h>
+
+#include "adaskip/engine/session.h"
+#include "adaskip/workload/data_generator.h"
+#include "adaskip/workload/query_generator.h"
+#include "adaskip/workload/workload_runner.h"
+
+namespace adaskip {
+namespace {
+
+struct Arm {
+  std::string label;
+  IndexOptions index;
+};
+
+/// Builds a fresh session with one table/column of `order` data, attaches
+/// `index`, runs `queries`, and returns the arm result.
+ArmResult RunArm(DataOrder order, const IndexOptions& index,
+                 const std::vector<Query>& queries, const std::string& label) {
+  DataGenOptions gen;
+  gen.order = order;
+  gen.num_rows = 200000;
+  gen.value_range = 1 << 20;
+  gen.seed = 1234;
+  Session session;
+  ADASKIP_CHECK_OK(session.CreateTable("t"));
+  ADASKIP_CHECK_OK(session.AddColumn<int64_t>("t", "x",
+                                              GenerateData<int64_t>(gen)));
+  ADASKIP_CHECK_OK(session.AttachIndex("t", "x", index));
+  Result<ArmResult> arm = RunWorkload(&session, "t", "x", queries, label);
+  ADASKIP_CHECK_OK(arm);
+  return std::move(arm).value();
+}
+
+std::vector<Query> MakeQueries(DataOrder order, int count,
+                               double selectivity, QueryPattern pattern) {
+  DataGenOptions gen;
+  gen.order = order;
+  gen.num_rows = 200000;
+  gen.value_range = 1 << 20;
+  gen.seed = 1234;
+  std::vector<int64_t> data = GenerateData<int64_t>(gen);
+  QueryGenOptions qgen;
+  qgen.selectivity = selectivity;
+  qgen.pattern = pattern;
+  qgen.seed = 999;
+  QueryGenerator<int64_t> generator("x", std::span<const int64_t>(data),
+                                    qgen);
+  std::vector<Query> queries;
+  queries.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    queries.push_back(Query::Count(generator.Next()));
+  }
+  return queries;
+}
+
+TEST(IntegrationTest, AllIndexArmsComputeIdenticalAnswers) {
+  const std::vector<Query> queries =
+      MakeQueries(DataOrder::kClustered, 60, 0.01, QueryPattern::kUniform);
+  const Arm arms[] = {
+      {"fullscan", IndexOptions::FullScan()},
+      {"zonemap", IndexOptions::ZoneMap(4096)},
+      {"zonetree", [] {
+         IndexOptions o;
+         o.kind = IndexKind::kZoneTree;
+         return o;
+       }()},
+      {"imprints", [] {
+         IndexOptions o;
+         o.kind = IndexKind::kImprints;
+         return o;
+       }()},
+      {"bloom", [] {
+         IndexOptions o;
+         o.kind = IndexKind::kBloomZoneMap;
+         return o;
+       }()},
+      {"adaptive", IndexOptions::Adaptive()},
+  };
+  double checksum = 0.0;
+  bool first = true;
+  for (const Arm& arm : arms) {
+    ArmResult result =
+        RunArm(DataOrder::kClustered, arm.index, queries, arm.label);
+    EXPECT_EQ(result.stats.num_queries(), 60) << arm.label;
+    if (first) {
+      checksum = result.result_checksum;
+      first = false;
+    } else {
+      EXPECT_DOUBLE_EQ(result.result_checksum, checksum) << arm.label;
+    }
+  }
+}
+
+TEST(IntegrationTest, AdaptiveScansFewerRowsThanStaticOnClusteredData) {
+  const std::vector<Query> queries =
+      MakeQueries(DataOrder::kClustered, 100, 0.01, QueryPattern::kUniform);
+  ArmResult zonemap = RunArm(DataOrder::kClustered,
+                             IndexOptions::ZoneMap(4096), queries, "static");
+  AdaptiveOptions adaptive;
+  adaptive.initial_zone_size = 4096;
+  adaptive.min_zone_size = 256;
+  ArmResult ada = RunArm(DataOrder::kClustered,
+                         IndexOptions::Adaptive(adaptive), queries, "ada");
+  // Refinement must tighten the scan footprint below the static zonemap's.
+  EXPECT_LT(ada.stats.rows_scanned(), zonemap.stats.rows_scanned());
+  EXPECT_GT(ada.final_zone_count, 200000 / 4096);
+}
+
+TEST(IntegrationTest, SkippingCollapsesOnUniformDataAndBypassEngages) {
+  const std::vector<Query> queries =
+      MakeQueries(DataOrder::kUniform, 200, 0.01, QueryPattern::kUniform);
+  ArmResult zonemap = RunArm(DataOrder::kUniform, IndexOptions::ZoneMap(4096),
+                             queries, "static");
+  // Static zonemaps skip essentially nothing on shuffled data.
+  EXPECT_LT(zonemap.stats.MeanSkippedFraction(), 0.02);
+
+  AdaptiveOptions adaptive;
+  adaptive.initial_zone_size = 4096;
+  adaptive.cost_model_warmup_queries = 8;
+  ArmResult ada = RunArm(DataOrder::kUniform, IndexOptions::Adaptive(adaptive),
+                         queries, "ada");
+  // The adaptive arm gives up probing: its total metadata reads must be
+  // far below the static arm's (which reads every zone every query).
+  EXPECT_LT(ada.stats.entries_read(), zonemap.stats.entries_read() / 2);
+}
+
+TEST(IntegrationTest, AdaptiveTracksWorkloadDrift) {
+  DataGenOptions gen;
+  gen.order = DataOrder::kSorted;
+  gen.num_rows = 200000;
+  gen.value_range = 1 << 20;
+  gen.seed = 77;
+  std::vector<int64_t> data = GenerateData<int64_t>(gen);
+
+  QueryGenOptions qgen;
+  qgen.pattern = QueryPattern::kDrifting;
+  qgen.selectivity = 0.005;
+  qgen.hot_fraction = 0.02;
+  qgen.hot_center = 0.1;
+  qgen.drift_per_query = 0.004;
+  QueryGenerator<int64_t> generator("x", std::span<const int64_t>(data), qgen);
+  std::vector<Query> queries;
+  for (int i = 0; i < 200; ++i) queries.push_back(Query::Count(generator.Next()));
+
+  Session session;
+  ADASKIP_CHECK_OK(session.CreateTable("t"));
+  ADASKIP_CHECK_OK(session.AddColumn<int64_t>("t", "x", std::move(data)));
+  AdaptiveOptions adaptive;
+  adaptive.min_zone_size = 256;
+  ADASKIP_CHECK_OK(
+      session.AttachIndex("t", "x", IndexOptions::Adaptive(adaptive)));
+  Result<ArmResult> arm = RunWorkload(&session, "t", "x", queries, "drift");
+  ASSERT_TRUE(arm.ok());
+  // Late queries (post-adaptation, despite drift) skip the vast majority
+  // of rows.
+  double late_skip = 0.0;
+  for (size_t i = 150; i < 200; ++i) late_skip += arm->per_query_skipped[i];
+  EXPECT_GT(late_skip / 50.0, 0.8);
+}
+
+TEST(IntegrationTest, PerQuerySeriesShowsConvergence) {
+  const std::vector<Query> queries =
+      MakeQueries(DataOrder::kSorted, 120, 0.01, QueryPattern::kUniform);
+  AdaptiveOptions lazy;
+  lazy.initial_zone_size = 0;  // Fully lazy start: worst-case first query.
+  ArmResult ada = RunArm(DataOrder::kSorted, IndexOptions::Adaptive(lazy),
+                         queries, "ada");
+  ASSERT_EQ(ada.per_query_skipped.size(), 120u);
+  // First query starts from one zone: nothing skipped.
+  EXPECT_LT(ada.per_query_skipped.front(), 0.01);
+  // After convergence queries skip nearly everything.
+  double late = 0.0;
+  for (size_t i = 100; i < 120; ++i) late += ada.per_query_skipped[i];
+  EXPECT_GT(late / 20.0, 0.95);
+}
+
+TEST(IntegrationTest, WorkloadRunnerReportsIndexFootprint) {
+  const std::vector<Query> queries =
+      MakeQueries(DataOrder::kSorted, 10, 0.01, QueryPattern::kUniform);
+  ArmResult arm =
+      RunArm(DataOrder::kSorted, IndexOptions::ZoneMap(1024), queries, "zm");
+  EXPECT_EQ(arm.final_zone_count, (200000 + 1023) / 1024);
+  EXPECT_GT(arm.index_memory_bytes, 0);
+  EXPECT_EQ(arm.label, "zm");
+  EXPECT_EQ(arm.per_query_micros.size(), 10u);
+  EXPECT_GT(arm.total_seconds(), 0.0);
+}
+
+TEST(IntegrationTest, MultiColumnConjunctionWithMixedIndexes) {
+  DataGenOptions gen;
+  gen.num_rows = 50000;
+  gen.value_range = 100000;
+  Session session;
+  ADASKIP_CHECK_OK(session.CreateTable("t"));
+  gen.order = DataOrder::kSorted;
+  gen.seed = 1;
+  ADASKIP_CHECK_OK(
+      session.AddColumn<int64_t>("t", "time", GenerateData<int64_t>(gen)));
+  gen.order = DataOrder::kRandomWalk;
+  gen.seed = 2;
+  ADASKIP_CHECK_OK(
+      session.AddColumn<int64_t>("t", "value", GenerateData<int64_t>(gen)));
+  ADASKIP_CHECK_OK(session.AttachIndex("t", "time", IndexOptions::ZoneMap()));
+  ADASKIP_CHECK_OK(
+      session.AttachIndex("t", "value", IndexOptions::Adaptive()));
+
+  Query query;
+  query.predicates = {Predicate::Between<int64_t>("time", 20000, 40000),
+                      Predicate::Between<int64_t>("value", 30000, 70000)};
+  query.aggregate = AggregateKind::kCount;
+  Result<QueryResult> with_index = session.Execute("t", query);
+  ASSERT_TRUE(with_index.ok());
+
+  // Same question without indexes must agree.
+  Session bare;
+  gen.order = DataOrder::kSorted;
+  gen.seed = 1;
+  ADASKIP_CHECK_OK(bare.CreateTable("t"));
+  ADASKIP_CHECK_OK(
+      bare.AddColumn<int64_t>("t", "time", GenerateData<int64_t>(gen)));
+  gen.order = DataOrder::kRandomWalk;
+  gen.seed = 2;
+  ADASKIP_CHECK_OK(
+      bare.AddColumn<int64_t>("t", "value", GenerateData<int64_t>(gen)));
+  Result<QueryResult> without_index = bare.Execute("t", query);
+  ASSERT_TRUE(without_index.ok());
+  EXPECT_EQ(with_index->count, without_index->count);
+  // The sorted time zonemap restricts the scan.
+  EXPECT_LT(with_index->stats.rows_scanned,
+            without_index->stats.rows_scanned);
+}
+
+}  // namespace
+}  // namespace adaskip

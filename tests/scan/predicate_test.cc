@@ -1,0 +1,129 @@
+#include "adaskip/scan/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace adaskip {
+namespace {
+
+TEST(PredicateTest, BetweenLowersToClosedInterval) {
+  Predicate pred = Predicate::Between<int64_t>("x", 10, 20);
+  ValueInterval<int64_t> interval = pred.ToInterval<int64_t>();
+  EXPECT_EQ(interval.lo, 10);
+  EXPECT_EQ(interval.hi, 20);
+  EXPECT_TRUE(interval.Contains(10));
+  EXPECT_TRUE(interval.Contains(20));
+  EXPECT_FALSE(interval.Contains(9));
+  EXPECT_FALSE(interval.Contains(21));
+}
+
+TEST(PredicateTest, EqualIsDegenerateInterval) {
+  ValueInterval<int32_t> interval =
+      Predicate::Equal<int32_t>("x", 7).ToInterval<int32_t>();
+  EXPECT_EQ(interval.lo, 7);
+  EXPECT_EQ(interval.hi, 7);
+}
+
+TEST(PredicateTest, LessOnIntegersUsesPredecessor) {
+  ValueInterval<int64_t> interval =
+      Predicate::Less<int64_t>("x", 10).ToInterval<int64_t>();
+  EXPECT_EQ(interval.lo, std::numeric_limits<int64_t>::lowest());
+  EXPECT_EQ(interval.hi, 9);
+}
+
+TEST(PredicateTest, LessEqualOnIntegers) {
+  ValueInterval<int64_t> interval =
+      Predicate::LessEqual<int64_t>("x", 10).ToInterval<int64_t>();
+  EXPECT_EQ(interval.hi, 10);
+}
+
+TEST(PredicateTest, GreaterOnIntegersUsesSuccessor) {
+  ValueInterval<int32_t> interval =
+      Predicate::Greater<int32_t>("x", 10).ToInterval<int32_t>();
+  EXPECT_EQ(interval.lo, 11);
+  EXPECT_EQ(interval.hi, std::numeric_limits<int32_t>::max());
+}
+
+TEST(PredicateTest, GreaterEqualOnIntegers) {
+  ValueInterval<int32_t> interval =
+      Predicate::GreaterEqual<int32_t>("x", 10).ToInterval<int32_t>();
+  EXPECT_EQ(interval.lo, 10);
+}
+
+TEST(PredicateTest, LessOnDoublesUsesNextafter) {
+  ValueInterval<double> interval =
+      Predicate::Less<double>("x", 1.0).ToInterval<double>();
+  EXPECT_LT(interval.hi, 1.0);
+  EXPECT_EQ(std::nextafter(interval.hi,
+                           std::numeric_limits<double>::infinity()),
+            1.0);
+}
+
+TEST(PredicateTest, GreaterOnFloatsUsesNextafter) {
+  ValueInterval<float> interval =
+      Predicate::Greater<float>("x", 2.0f).ToInterval<float>();
+  EXPECT_GT(interval.lo, 2.0f);
+  EXPECT_EQ(std::nextafter(interval.lo,
+                           -std::numeric_limits<float>::infinity()),
+            2.0f);
+}
+
+TEST(PredicateTest, PredecessorSuccessorSaturateAtLimits) {
+  EXPECT_EQ(internal::PredecessorValue(std::numeric_limits<int64_t>::lowest()),
+            std::numeric_limits<int64_t>::lowest());
+  EXPECT_EQ(internal::SuccessorValue(std::numeric_limits<int64_t>::max()),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(PredicateTest, LessThanIntMinYieldsEmptyInterval) {
+  // x < INT64_MIN matches nothing; predecessor saturates so the interval
+  // collapses to [lowest, lowest], which still over-approximates only by
+  // the single lowest value. Verify Between can express truly empty.
+  ValueInterval<int64_t> empty =
+      Predicate::Between<int64_t>("x", 5, 4).ToInterval<int64_t>();
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(PredicateTest, ToStringFormats) {
+  EXPECT_EQ(Predicate::Between<int64_t>("price", 1, 9).ToString(),
+            "price BETWEEN 1 AND 9");
+  EXPECT_EQ(Predicate::Equal<int32_t>("id", 5).ToString(), "id = 5");
+  EXPECT_EQ(Predicate::Less<int64_t>("x", 3).ToString(), "x < 3");
+  EXPECT_EQ(Predicate::GreaterEqual<int64_t>("x", 3).ToString(), "x >= 3");
+}
+
+TEST(PredicateTest, CompareOpNames) {
+  EXPECT_EQ(CompareOpToString(CompareOp::kBetween), "BETWEEN");
+  EXPECT_EQ(CompareOpToString(CompareOp::kEqual), "=");
+  EXPECT_EQ(CompareOpToString(CompareOp::kLess), "<");
+  EXPECT_EQ(CompareOpToString(CompareOp::kLessEqual), "<=");
+  EXPECT_EQ(CompareOpToString(CompareOp::kGreater), ">");
+  EXPECT_EQ(CompareOpToString(CompareOp::kGreaterEqual), ">=");
+}
+
+TEST(ScalarTest, MatchesTypeExactly) {
+  EXPECT_TRUE(ScalarMatchesType(Scalar(int32_t{1}), DataType::kInt32));
+  EXPECT_TRUE(ScalarMatchesType(Scalar(int64_t{1}), DataType::kInt64));
+  EXPECT_TRUE(ScalarMatchesType(Scalar(1.0f), DataType::kFloat32));
+  EXPECT_TRUE(ScalarMatchesType(Scalar(1.0), DataType::kFloat64));
+  EXPECT_FALSE(ScalarMatchesType(Scalar(int32_t{1}), DataType::kInt64));
+  EXPECT_FALSE(ScalarMatchesType(Scalar(1.0), DataType::kFloat32));
+}
+
+TEST(ScalarTest, ScalarAsConverts) {
+  EXPECT_EQ(Predicate::ScalarAs<double>(Scalar(int64_t{3})), 3.0);
+  EXPECT_EQ(Predicate::ScalarAs<int64_t>(Scalar(int64_t{1} << 40)),
+            int64_t{1} << 40);
+}
+
+TEST(ValueIntervalTest, EmptyDetection) {
+  ValueInterval<int64_t> empty{5, 4};
+  EXPECT_TRUE(empty.empty());
+  ValueInterval<int64_t> point{5, 5};
+  EXPECT_FALSE(point.empty());
+}
+
+}  // namespace
+}  // namespace adaskip

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "adaskip/storage/catalog.h"
+#include "adaskip/storage/column.h"
+#include "adaskip/storage/data_type.h"
+#include "adaskip/storage/table.h"
+#include "adaskip/storage/type_dispatch.h"
+
+namespace adaskip {
+namespace {
+
+TEST(DataTypeTest, NamesAndWidths) {
+  EXPECT_EQ(DataTypeToString(DataType::kInt32), "int32");
+  EXPECT_EQ(DataTypeToString(DataType::kInt64), "int64");
+  EXPECT_EQ(DataTypeToString(DataType::kFloat32), "float32");
+  EXPECT_EQ(DataTypeToString(DataType::kFloat64), "float64");
+  EXPECT_EQ(DataTypeWidthBytes(DataType::kInt32), 4);
+  EXPECT_EQ(DataTypeWidthBytes(DataType::kInt64), 8);
+  EXPECT_EQ(DataTypeWidthBytes(DataType::kFloat32), 4);
+  EXPECT_EQ(DataTypeWidthBytes(DataType::kFloat64), 8);
+}
+
+TEST(DataTypeTest, TraitsMapCppTypes) {
+  EXPECT_EQ(DataTypeTraits<int32_t>::kType, DataType::kInt32);
+  EXPECT_EQ(DataTypeTraits<int64_t>::kType, DataType::kInt64);
+  EXPECT_EQ(DataTypeTraits<float>::kType, DataType::kFloat32);
+  EXPECT_EQ(DataTypeTraits<double>::kType, DataType::kFloat64);
+}
+
+TEST(TypeDispatchTest, DispatchReachesEveryType) {
+  for (DataType type : {DataType::kInt32, DataType::kInt64,
+                        DataType::kFloat32, DataType::kFloat64}) {
+    DataType seen = DispatchDataType(type, [](auto tag) {
+      using T = typename decltype(tag)::type;
+      return DataTypeTraits<T>::kType;
+    });
+    EXPECT_EQ(seen, type);
+  }
+}
+
+TEST(TypedColumnTest, AppendAndAccess) {
+  TypedColumn<int64_t> column;
+  column.Reserve(3);
+  column.Append(5);
+  column.Append(-2);
+  column.Append(7);
+  EXPECT_EQ(column.size(), 3);
+  EXPECT_EQ(column.type(), DataType::kInt64);
+  EXPECT_EQ(column.Get(0), 5);
+  EXPECT_EQ(column.Get(1), -2);
+  EXPECT_EQ(column.Get(2), 7);
+  EXPECT_EQ(column.GetAsDouble(1), -2.0);
+  EXPECT_EQ(column.data().size(), 3u);
+}
+
+TEST(TypedColumnTest, ConstructFromVector) {
+  TypedColumn<double> column({1.5, 2.5});
+  EXPECT_EQ(column.size(), 2);
+  EXPECT_EQ(column.Get(1), 2.5);
+  EXPECT_GT(column.MemoryUsageBytes(), 0);
+}
+
+TEST(ColumnTest, CheckedDowncast) {
+  std::unique_ptr<Column> column = MakeColumn<int32_t>({1, 2, 3});
+  const TypedColumn<int32_t>* typed = column->As<int32_t>();
+  EXPECT_EQ(typed->Get(2), 3);
+}
+
+TEST(ColumnDeathTest, WrongDowncastAborts) {
+  std::unique_ptr<Column> column = MakeColumn<int32_t>({1});
+  EXPECT_DEATH({ (void)column->As<double>(); }, "type mismatch");
+}
+
+TEST(TableTest, AddColumnsAndSchema) {
+  Table table("t");
+  ASSERT_TRUE(table.AddColumn("a", MakeColumn<int64_t>({1, 2, 3})).ok());
+  ASSERT_TRUE(table.AddColumn("b", MakeColumn<double>({1.0, 2.0, 3.0})).ok());
+  EXPECT_EQ(table.num_rows(), 3);
+  EXPECT_EQ(table.num_columns(), 2);
+  EXPECT_EQ(table.schema()[0], (Field{"a", DataType::kInt64}));
+  EXPECT_EQ(table.schema()[1], (Field{"b", DataType::kFloat64}));
+  EXPECT_EQ(table.ColumnIndex("a"), 0);
+  EXPECT_EQ(table.ColumnIndex("b"), 1);
+  EXPECT_EQ(table.ColumnIndex("missing"), -1);
+  EXPECT_GT(table.MemoryUsageBytes(), 0);
+}
+
+TEST(TableTest, RejectsNullColumn) {
+  Table table("t");
+  EXPECT_EQ(table.AddColumn("a", nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, RejectsDuplicateName) {
+  Table table("t");
+  ASSERT_TRUE(table.AddColumn("a", MakeColumn<int64_t>({1})).ok());
+  EXPECT_EQ(table.AddColumn("a", MakeColumn<int64_t>({2})).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, RejectsRowCountMismatch) {
+  Table table("t");
+  ASSERT_TRUE(table.AddColumn("a", MakeColumn<int64_t>({1, 2})).ok());
+  EXPECT_EQ(table.AddColumn("b", MakeColumn<int64_t>({1})).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, ColumnByName) {
+  Table table("t");
+  ASSERT_TRUE(table.AddColumn("a", MakeColumn<float>({1.0f})).ok());
+  Result<const Column*> found = table.ColumnByName("a");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->type(), DataType::kFloat32);
+  EXPECT_EQ(table.ColumnByName("nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, AddGetDrop) {
+  Catalog catalog;
+  auto table = std::make_shared<Table>("events");
+  ASSERT_TRUE(catalog.AddTable(table).ok());
+  EXPECT_TRUE(catalog.Contains("events"));
+  EXPECT_EQ(catalog.num_tables(), 1);
+  Result<std::shared_ptr<Table>> fetched = catalog.GetTable("events");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched.value().get(), table.get());
+  EXPECT_EQ(catalog.TableNames(), std::vector<std::string>{"events"});
+  ASSERT_TRUE(catalog.DropTable("events").ok());
+  EXPECT_FALSE(catalog.Contains("events"));
+}
+
+TEST(CatalogTest, Errors) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.AddTable(nullptr).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog.GetTable("x").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.DropTable("x").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(catalog.AddTable(std::make_shared<Table>("t")).ok());
+  EXPECT_EQ(catalog.AddTable(std::make_shared<Table>("t")).code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace adaskip

@@ -1,0 +1,58 @@
+#ifndef ADASKIP_TESTS_TESTING_SKIP_TEST_UTIL_H_
+#define ADASKIP_TESTS_TESTING_SKIP_TEST_UTIL_H_
+
+#include <vector>
+
+#include "adaskip/scan/scan_kernel.h"
+#include "adaskip/skipping/skip_index.h"
+#include "adaskip/util/interval_set.h"
+
+namespace adaskip {
+namespace testing_util {
+
+/// Probes `index` with `pred` and verifies the central skip-index
+/// contract against the raw data: candidates are well formed and cover
+/// every qualifying row (no false negatives). Returns the candidates.
+template <typename T>
+std::vector<RowRange> ProbeAndCheckSuperset(SkipIndex* index,
+                                            const Predicate& pred,
+                                            std::span<const T> values) {
+  std::vector<RowRange> candidates;
+  ProbeStats stats;
+  index->Probe(pred, &candidates, &stats);
+
+  // Well-formed: sorted, disjoint, within bounds.
+  int64_t cursor = 0;
+  for (const RowRange& r : candidates) {
+    EXPECT_GE(r.begin, cursor);
+    EXPECT_GT(r.end, r.begin);
+    EXPECT_LE(r.end, static_cast<int64_t>(values.size()));
+    cursor = r.end;
+  }
+
+  // Superset: every qualifying row is covered.
+  ValueInterval<T> interval = pred.ToInterval<T>();
+  std::vector<RowRange> normalized = candidates;
+  NormalizeRanges(&normalized);
+  for (int64_t row = 0; row < static_cast<int64_t>(values.size()); ++row) {
+    if (interval.Contains(values[static_cast<size_t>(row)])) {
+      EXPECT_TRUE(RangesContain(normalized, row))
+          << "qualifying row " << row << " not covered for predicate "
+          << pred.ToString();
+      if (!RangesContain(normalized, row)) break;  // Avoid failure spam.
+    }
+  }
+  return candidates;
+}
+
+/// Total rows covered by (possibly adjacent) candidate ranges.
+inline int64_t CandidateRows(const std::vector<RowRange>& candidates) {
+  int64_t total = 0;
+  for (const RowRange& r : candidates) total += r.size();
+  return total;
+}
+
+}  // namespace testing_util
+}  // namespace adaskip
+
+#endif  // ADASKIP_TESTS_TESTING_SKIP_TEST_UTIL_H_

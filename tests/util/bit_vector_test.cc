@@ -1,0 +1,174 @@
+#include "adaskip/util/bit_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "adaskip/util/rng.h"
+
+namespace adaskip {
+namespace {
+
+TEST(BitVectorTest, EmptyVector) {
+  BitVector bv;
+  EXPECT_EQ(bv.size(), 0);
+  EXPECT_EQ(bv.CountOnes(), 0);
+  EXPECT_EQ(bv.FindNextSet(0), -1);
+}
+
+TEST(BitVectorTest, InitialValueTrueKeepsTrailingBitsZero) {
+  BitVector bv(70, /*initial_value=*/true);
+  EXPECT_EQ(bv.CountOnes(), 70);
+  for (int64_t i = 0; i < 70; ++i) EXPECT_TRUE(bv.Get(i));
+}
+
+TEST(BitVectorTest, SetGetClear) {
+  BitVector bv(130);
+  bv.Set(0);
+  bv.Set(63);
+  bv.Set(64);
+  bv.Set(129);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(63));
+  EXPECT_TRUE(bv.Get(64));
+  EXPECT_TRUE(bv.Get(129));
+  EXPECT_FALSE(bv.Get(1));
+  EXPECT_EQ(bv.CountOnes(), 4);
+  bv.Clear(63);
+  EXPECT_FALSE(bv.Get(63));
+  EXPECT_EQ(bv.CountOnes(), 3);
+  bv.Assign(63, true);
+  EXPECT_TRUE(bv.Get(63));
+  bv.Assign(63, false);
+  EXPECT_FALSE(bv.Get(63));
+}
+
+TEST(BitVectorTest, SetRangeWithinOneWord) {
+  BitVector bv(64);
+  bv.SetRange(3, 9);
+  for (int64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(bv.Get(i), i >= 3 && i < 9) << i;
+  }
+}
+
+TEST(BitVectorTest, SetRangeAcrossWords) {
+  BitVector bv(256);
+  bv.SetRange(60, 200);
+  EXPECT_EQ(bv.CountOnes(), 140);
+  EXPECT_FALSE(bv.Get(59));
+  EXPECT_TRUE(bv.Get(60));
+  EXPECT_TRUE(bv.Get(199));
+  EXPECT_FALSE(bv.Get(200));
+}
+
+TEST(BitVectorTest, SetRangeEmptyIsNoop) {
+  BitVector bv(64);
+  bv.SetRange(10, 10);
+  EXPECT_EQ(bv.CountOnes(), 0);
+}
+
+TEST(BitVectorTest, CountOnesInRangeMatchesBruteForce) {
+  Rng rng(17);
+  BitVector bv(517);
+  for (int64_t i = 0; i < 517; ++i) {
+    if (rng.NextBool(0.3)) bv.Set(i);
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    int64_t a = rng.NextInt64(518);
+    int64_t b = rng.NextInt64(518);
+    if (a > b) std::swap(a, b);
+    int64_t expected = 0;
+    for (int64_t i = a; i < b; ++i) expected += bv.Get(i);
+    EXPECT_EQ(bv.CountOnesInRange(a, b), expected) << a << ".." << b;
+  }
+}
+
+TEST(BitVectorTest, FindNextSetWalksAllBits) {
+  BitVector bv(300);
+  std::set<int64_t> expected = {0, 1, 63, 64, 65, 128, 255, 299};
+  for (int64_t i : expected) bv.Set(i);
+  std::set<int64_t> found;
+  for (int64_t i = bv.FindNextSet(0); i >= 0; i = bv.FindNextSet(i + 1)) {
+    found.insert(i);
+  }
+  EXPECT_EQ(found, expected);
+}
+
+TEST(BitVectorTest, FindNextSetFromBeyondEnd) {
+  BitVector bv(10);
+  bv.Set(9);
+  EXPECT_EQ(bv.FindNextSet(10), -1);
+  EXPECT_EQ(bv.FindNextSet(9), 9);
+}
+
+TEST(BitVectorTest, AndOr) {
+  BitVector a(100);
+  BitVector b(100);
+  a.SetRange(0, 50);
+  b.SetRange(25, 75);
+  BitVector a_and = a;
+  a_and.And(b);
+  EXPECT_EQ(a_and.CountOnes(), 25);
+  EXPECT_TRUE(a_and.Get(25));
+  EXPECT_FALSE(a_and.Get(24));
+  BitVector a_or = a;
+  a_or.Or(b);
+  EXPECT_EQ(a_or.CountOnes(), 75);
+}
+
+TEST(BitVectorTest, AppendSetIndices) {
+  BitVector bv(200);
+  bv.Set(5);
+  bv.Set(64);
+  bv.Set(199);
+  std::vector<int64_t> out;
+  bv.AppendSetIndices(&out);
+  EXPECT_EQ(out, (std::vector<int64_t>{5, 64, 199}));
+}
+
+TEST(BitVectorTest, ResetClearsAllBits) {
+  BitVector bv(129, true);
+  bv.Reset();
+  EXPECT_EQ(bv.CountOnes(), 0);
+  EXPECT_EQ(bv.size(), 129);
+}
+
+TEST(BitVectorTest, EqualityAndCopy) {
+  BitVector a(80);
+  a.SetRange(10, 20);
+  BitVector b = a;
+  EXPECT_TRUE(a == b);
+  b.Set(70);
+  EXPECT_FALSE(a == b);
+}
+
+class BitVectorSizeTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(BitVectorSizeTest, RandomOperationsMatchReferenceSet) {
+  const int64_t size = GetParam();
+  Rng rng(static_cast<uint64_t>(size) * 977);
+  BitVector bv(size);
+  std::set<int64_t> reference;
+  for (int op = 0; op < 500; ++op) {
+    int64_t i = rng.NextInt64(size);
+    if (rng.NextBool(0.5)) {
+      bv.Set(i);
+      reference.insert(i);
+    } else {
+      bv.Clear(i);
+      reference.erase(i);
+    }
+  }
+  EXPECT_EQ(bv.CountOnes(), static_cast<int64_t>(reference.size()));
+  std::vector<int64_t> indices;
+  bv.AppendSetIndices(&indices);
+  EXPECT_EQ(indices,
+            std::vector<int64_t>(reference.begin(), reference.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorSizeTest,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 1000,
+                                           4096));
+
+}  // namespace
+}  // namespace adaskip

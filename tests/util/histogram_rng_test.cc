@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adaskip/util/histogram.h"
+#include "adaskip/util/rng.h"
+#include "adaskip/util/stopwatch.h"
+
+namespace adaskip {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(7.5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.Mean(), 7.5);
+  EXPECT_EQ(h.Percentile(0), 7.5);
+  EXPECT_EQ(h.Percentile(50), 7.5);
+  EXPECT_EQ(h.Percentile(100), 7.5);
+}
+
+TEST(HistogramTest, PercentilesOfKnownSequence) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(static_cast<double>(i));
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_NEAR(h.Percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(h.Percentile(95), 95.05, 0.1);
+  EXPECT_EQ(h.Percentile(100), 100.0);
+}
+
+TEST(HistogramTest, AddAfterPercentileInvalidatesSortCache) {
+  Histogram h;
+  h.Add(10.0);
+  EXPECT_EQ(h.Percentile(100), 10.0);
+  h.Add(20.0);
+  EXPECT_EQ(h.Percentile(100), 20.0);
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  Histogram a;
+  Histogram b;
+  a.Add(1.0);
+  a.Add(2.0);
+  b.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+  EXPECT_EQ(a.max(), 3.0);
+}
+
+TEST(HistogramTest, StdDevOfConstantIsZero) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Add(4.0);
+  EXPECT_DOUBLE_EQ(h.StdDev(), 0.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(1.0);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(1.0);
+  h.Add(2.0);
+  EXPECT_NE(h.Summary().find("n=2"), std::string::npos);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedSamplesStayInBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.NextInt64(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(6);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.NextInt64InRange(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BoundedSamplesRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  int counts[kBuckets] = {0};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[rng.NextInt64(kBuckets)]++;
+  }
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kDraws / kBuckets, kDraws / kBuckets * 0.1) << b;
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / kDraws;
+  double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(StopwatchTest, ElapsedIsMonotonic) {
+  Stopwatch sw;
+  int64_t t1 = sw.ElapsedNanos();
+  int64_t t2 = sw.ElapsedNanos();
+  EXPECT_GE(t1, 0);
+  EXPECT_GE(t2, t1);
+  sw.Restart();
+  EXPECT_GE(sw.ElapsedNanos(), 0);
+}
+
+TEST(StopwatchTest, UnitConversions) {
+  Stopwatch sw;
+  // All views of the same clock must be consistent (allowing for the
+  // time between calls).
+  double ns = static_cast<double>(sw.ElapsedNanos());
+  EXPECT_GE(sw.ElapsedMicros() * 1e3, ns * 0.5);
+  EXPECT_LE(sw.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace adaskip

@@ -1,0 +1,196 @@
+#include "adaskip/workload/data_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace adaskip {
+namespace {
+
+DataGenOptions Base(DataOrder order) {
+  DataGenOptions options;
+  options.order = order;
+  options.num_rows = 50000;
+  options.value_range = 1000000;
+  options.seed = 123;
+  return options;
+}
+
+TEST(DataGeneratorTest, DeterministicInSeed) {
+  std::vector<int64_t> a = GenerateData<int64_t>(Base(DataOrder::kUniform));
+  std::vector<int64_t> b = GenerateData<int64_t>(Base(DataOrder::kUniform));
+  EXPECT_EQ(a, b);
+  DataGenOptions other = Base(DataOrder::kUniform);
+  other.seed = 124;
+  EXPECT_NE(GenerateData<int64_t>(other), a);
+}
+
+TEST(DataGeneratorTest, RespectsRowCountAndRange) {
+  for (DataOrder order :
+       {DataOrder::kSorted, DataOrder::kReverseSorted, DataOrder::kKSorted,
+        DataOrder::kClustered, DataOrder::kRandomWalk, DataOrder::kSawtooth,
+        DataOrder::kZipf, DataOrder::kUniform, DataOrder::kAlmostSorted}) {
+    DataGenOptions options = Base(order);
+    options.num_rows = 5000;
+    std::vector<int64_t> values = GenerateData<int64_t>(options);
+    ASSERT_EQ(values.size(), 5000u) << DataOrderToString(order);
+    for (int64_t v : values) {
+      ASSERT_GE(v, 0) << DataOrderToString(order);
+      ASSERT_LT(v, options.value_range) << DataOrderToString(order);
+    }
+  }
+}
+
+TEST(DataGeneratorTest, EmptyColumn) {
+  DataGenOptions options = Base(DataOrder::kSorted);
+  options.num_rows = 0;
+  EXPECT_TRUE(GenerateData<int64_t>(options).empty());
+}
+
+TEST(DataGeneratorTest, SortedIsSorted) {
+  std::vector<int64_t> values = GenerateData<int64_t>(Base(DataOrder::kSorted));
+  EXPECT_TRUE(std::is_sorted(values.begin(), values.end()));
+  EXPECT_EQ(DisorderFraction(values), 0.0);
+}
+
+TEST(DataGeneratorTest, ReverseSortedIsDescending) {
+  std::vector<int64_t> values =
+      GenerateData<int64_t>(Base(DataOrder::kReverseSorted));
+  EXPECT_TRUE(
+      std::is_sorted(values.begin(), values.end(), std::greater<int64_t>()));
+}
+
+TEST(DataGeneratorTest, KSortedIsSemiSorted) {
+  DataGenOptions options = Base(DataOrder::kKSorted);
+  options.k_sorted_window = 512;
+  std::vector<int64_t> values = GenerateData<int64_t>(options);
+  // Not sorted any more...
+  EXPECT_GT(DisorderFraction(values), 0.05);
+  // ...but every value stays within the window of its sorted position:
+  // position i must hold a value bounded by the sorted values one window
+  // away on each side.
+  std::vector<int64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const int64_t n = static_cast<int64_t>(values.size());
+  const int64_t k = options.k_sorted_window;
+  for (int64_t i = 0; i < n; i += 97) {
+    int64_t lo = sorted[static_cast<size_t>(std::max<int64_t>(0, i - k))];
+    int64_t hi = sorted[static_cast<size_t>(std::min(n - 1, i + k))];
+    ASSERT_GE(values[static_cast<size_t>(i)], lo) << i;
+    ASSERT_LE(values[static_cast<size_t>(i)], hi) << i;
+  }
+  // Global order: quantile positions remain roughly monotone.
+  EXPECT_LT(values[1000], values[49000]);
+}
+
+TEST(DataGeneratorTest, UniformIsDisordered) {
+  std::vector<int64_t> values =
+      GenerateData<int64_t>(Base(DataOrder::kUniform));
+  EXPECT_NEAR(DisorderFraction(values), 0.5, 0.02);
+}
+
+TEST(DataGeneratorTest, ClusteredHasNarrowRuns) {
+  DataGenOptions options = Base(DataOrder::kClustered);
+  options.num_clusters = 50;
+  options.cluster_width_fraction = 0.01;
+  std::vector<int64_t> values = GenerateData<int64_t>(options);
+  const int64_t run = options.num_rows / options.num_clusters;
+  const double width =
+      options.cluster_width_fraction * static_cast<double>(options.value_range);
+  // Every run's spread is bounded by the cluster width.
+  for (int64_t c = 0; c < options.num_clusters; ++c) {
+    auto begin = values.begin() + c * run;
+    auto end = begin + run;
+    auto [mn, mx] = std::minmax_element(begin, end);
+    EXPECT_LE(*mx - *mn, static_cast<int64_t>(width) + 1) << "cluster " << c;
+  }
+  // Clusters cover diverse regions of the domain.
+  auto [global_min, global_max] =
+      std::minmax_element(values.begin(), values.end());
+  EXPECT_GT(*global_max - *global_min, options.value_range / 2);
+}
+
+TEST(DataGeneratorTest, RandomWalkHasSmallSteps) {
+  DataGenOptions options = Base(DataOrder::kRandomWalk);
+  options.walk_step_fraction = 0.0001;
+  std::vector<int64_t> values = GenerateData<int64_t>(options);
+  const double step_bound =
+      10.0 * options.walk_step_fraction * static_cast<double>(options.value_range);
+  for (size_t i = 1; i < values.size(); ++i) {
+    ASSERT_LE(std::abs(values[i] - values[i - 1]),
+              static_cast<int64_t>(step_bound))
+        << i;
+  }
+}
+
+TEST(DataGeneratorTest, SawtoothIsPeriodic) {
+  DataGenOptions options = Base(DataOrder::kSawtooth);
+  options.sawtooth_period = 1000;
+  std::vector<int64_t> values = GenerateData<int64_t>(options);
+  EXPECT_EQ(values[0], values[1000]);
+  EXPECT_EQ(values[123], values[1123]);
+  EXPECT_LT(values[0], values[999]);  // Ascending ramp within the period.
+}
+
+TEST(DataGeneratorTest, ZipfHasHeavyHitters) {
+  DataGenOptions options = Base(DataOrder::kZipf);
+  options.zipf_theta = 0.9;
+  std::vector<int64_t> values = GenerateData<int64_t>(options);
+  std::map<int64_t, int64_t> freq;
+  for (int64_t v : values) ++freq[v];
+  int64_t top = 0;
+  for (const auto& [value, count] : freq) top = std::max(top, count);
+  // The most popular value dominates under theta=0.9.
+  EXPECT_GT(top, options.num_rows / 50);
+  // But the support is not degenerate.
+  EXPECT_GT(freq.size(), 100u);
+}
+
+TEST(DataGeneratorTest, FloatTypesWork) {
+  std::vector<double> doubles =
+      GenerateData<double>(Base(DataOrder::kRandomWalk));
+  EXPECT_EQ(doubles.size(), 50000u);
+  std::vector<float> floats = GenerateData<float>(Base(DataOrder::kSorted));
+  EXPECT_TRUE(std::is_sorted(floats.begin(), floats.end()));
+}
+
+TEST(DataOrderTest, Names) {
+  EXPECT_EQ(DataOrderToString(DataOrder::kSorted), "sorted");
+  EXPECT_EQ(DataOrderToString(DataOrder::kReverseSorted), "reverse-sorted");
+  EXPECT_EQ(DataOrderToString(DataOrder::kKSorted), "k-sorted");
+  EXPECT_EQ(DataOrderToString(DataOrder::kClustered), "clustered");
+  EXPECT_EQ(DataOrderToString(DataOrder::kRandomWalk), "random-walk");
+  EXPECT_EQ(DataOrderToString(DataOrder::kSawtooth), "sawtooth");
+  EXPECT_EQ(DataOrderToString(DataOrder::kZipf), "zipf");
+  EXPECT_EQ(DataOrderToString(DataOrder::kUniform), "uniform");
+  EXPECT_EQ(DataOrderToString(DataOrder::kAlmostSorted), "almost-sorted");
+}
+
+TEST(DataGeneratorTest, AlmostSortedHasFewOutliers) {
+  DataGenOptions options = Base(DataOrder::kAlmostSorted);
+  options.outlier_fraction = 0.001;
+  std::vector<int64_t> values = GenerateData<int64_t>(options);
+  // Nearly all adjacent pairs stay in order: each swapped pair disturbs a
+  // handful of adjacencies out of 50k.
+  double disorder = DisorderFraction(values);
+  EXPECT_GT(disorder, 0.0);
+  EXPECT_LT(disorder, 0.01);
+}
+
+TEST(DataGeneratorTest, AlmostSortedWithZeroOutliersIsSorted) {
+  DataGenOptions options = Base(DataOrder::kAlmostSorted);
+  options.outlier_fraction = 0.0;
+  std::vector<int64_t> values = GenerateData<int64_t>(options);
+  EXPECT_TRUE(std::is_sorted(values.begin(), values.end()));
+}
+
+TEST(DisorderFractionTest, EdgeCases) {
+  EXPECT_EQ(DisorderFraction(std::vector<int64_t>{}), 0.0);
+  EXPECT_EQ(DisorderFraction(std::vector<int64_t>{5}), 0.0);
+  EXPECT_EQ(DisorderFraction(std::vector<int64_t>{1, 2, 3}), 0.0);
+  EXPECT_EQ(DisorderFraction(std::vector<int64_t>{3, 2, 1}), 1.0);
+}
+
+}  // namespace
+}  // namespace adaskip

@@ -1,0 +1,64 @@
+#include "adaskip/workload/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace adaskip {
+namespace {
+
+TEST(ZipfTest, SamplesStayInRange) {
+  ZipfGenerator zipf(100, 0.8);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = zipf.Next(&rng);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 100);
+  }
+}
+
+TEST(ZipfTest, RankZeroIsMostFrequent) {
+  ZipfGenerator zipf(1000, 0.9);
+  Rng rng(2);
+  std::vector<int64_t> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[static_cast<size_t>(zipf.Next(&rng))];
+  for (size_t r = 1; r < 20; ++r) {
+    EXPECT_GE(counts[0], counts[r]) << r;
+  }
+  // Head dominance: rank 0 far outweighs mid-pack ranks.
+  EXPECT_GT(counts[0], counts[500] * 10);
+}
+
+TEST(ZipfTest, HigherThetaIsMoreSkewed) {
+  Rng rng_low(3);
+  Rng rng_high(3);
+  ZipfGenerator low(1000, 0.5);
+  ZipfGenerator high(1000, 0.95);
+  int64_t low_head = 0;
+  int64_t high_head = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (low.Next(&rng_low) == 0) ++low_head;
+    if (high.Next(&rng_high) == 0) ++high_head;
+  }
+  EXPECT_GT(high_head, low_head);
+}
+
+TEST(ZipfTest, SingleItemAlwaysZero) {
+  ZipfGenerator zipf(1, 0.5);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(&rng), 0);
+}
+
+TEST(ZipfTest, AccessorsReflectConstruction) {
+  ZipfGenerator zipf(42, 0.7);
+  EXPECT_EQ(zipf.n(), 42);
+  EXPECT_DOUBLE_EQ(zipf.theta(), 0.7);
+}
+
+TEST(ZipfDeathTest, RejectsBadParameters) {
+  EXPECT_DEATH({ ZipfGenerator zipf(0, 0.5); }, "");
+  EXPECT_DEATH({ ZipfGenerator zipf(10, 1.5); }, "theta");
+}
+
+}  // namespace
+}  // namespace adaskip
