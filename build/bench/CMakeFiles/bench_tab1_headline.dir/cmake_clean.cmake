@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_headline.dir/bench_tab1_headline.cc.o"
+  "CMakeFiles/bench_tab1_headline.dir/bench_tab1_headline.cc.o.d"
+  "bench_tab1_headline"
+  "bench_tab1_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_policies.dir/bench_tab2_policies.cc.o"
+  "CMakeFiles/bench_tab2_policies.dir/bench_tab2_policies.cc.o.d"
+  "bench_tab2_policies"
+  "bench_tab2_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_point_lookups.dir/bench_tab4_point_lookups.cc.o"
+  "CMakeFiles/bench_tab4_point_lookups.dir/bench_tab4_point_lookups.cc.o.d"
+  "bench_tab4_point_lookups"
+  "bench_tab4_point_lookups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_point_lookups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_drift.dir/workload_drift.cpp.o"
+  "CMakeFiles/workload_drift.dir/workload_drift.cpp.o.d"
+  "workload_drift"
+  "workload_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaskip/adaptive/adaptation_policy.cc" "src/CMakeFiles/adaskip.dir/adaskip/adaptive/adaptation_policy.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/adaptive/adaptation_policy.cc.o.d"
+  "/root/repo/src/adaskip/adaptive/adaptive_imprints.cc" "src/CMakeFiles/adaskip.dir/adaskip/adaptive/adaptive_imprints.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/adaptive/adaptive_imprints.cc.o.d"
+  "/root/repo/src/adaskip/adaptive/adaptive_zone_map.cc" "src/CMakeFiles/adaskip.dir/adaskip/adaptive/adaptive_zone_map.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/adaptive/adaptive_zone_map.cc.o.d"
+  "/root/repo/src/adaskip/adaptive/cost_model.cc" "src/CMakeFiles/adaskip.dir/adaskip/adaptive/cost_model.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/adaptive/cost_model.cc.o.d"
+  "/root/repo/src/adaskip/adaptive/effectiveness_tracker.cc" "src/CMakeFiles/adaskip.dir/adaskip/adaptive/effectiveness_tracker.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/adaptive/effectiveness_tracker.cc.o.d"
+  "/root/repo/src/adaskip/adaptive/index_manager.cc" "src/CMakeFiles/adaskip.dir/adaskip/adaptive/index_manager.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/adaptive/index_manager.cc.o.d"
+  "/root/repo/src/adaskip/engine/exec_stats.cc" "src/CMakeFiles/adaskip.dir/adaskip/engine/exec_stats.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/engine/exec_stats.cc.o.d"
+  "/root/repo/src/adaskip/engine/scan_executor.cc" "src/CMakeFiles/adaskip.dir/adaskip/engine/scan_executor.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/engine/scan_executor.cc.o.d"
+  "/root/repo/src/adaskip/engine/session.cc" "src/CMakeFiles/adaskip.dir/adaskip/engine/session.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/engine/session.cc.o.d"
+  "/root/repo/src/adaskip/scan/predicate.cc" "src/CMakeFiles/adaskip.dir/adaskip/scan/predicate.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/scan/predicate.cc.o.d"
+  "/root/repo/src/adaskip/scan/scan_kernel.cc" "src/CMakeFiles/adaskip.dir/adaskip/scan/scan_kernel.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/scan/scan_kernel.cc.o.d"
+  "/root/repo/src/adaskip/skipping/bloom_zone_map.cc" "src/CMakeFiles/adaskip.dir/adaskip/skipping/bloom_zone_map.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/skipping/bloom_zone_map.cc.o.d"
+  "/root/repo/src/adaskip/skipping/column_imprints.cc" "src/CMakeFiles/adaskip.dir/adaskip/skipping/column_imprints.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/skipping/column_imprints.cc.o.d"
+  "/root/repo/src/adaskip/skipping/skip_index.cc" "src/CMakeFiles/adaskip.dir/adaskip/skipping/skip_index.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/skipping/skip_index.cc.o.d"
+  "/root/repo/src/adaskip/skipping/zone_layout.cc" "src/CMakeFiles/adaskip.dir/adaskip/skipping/zone_layout.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/skipping/zone_layout.cc.o.d"
+  "/root/repo/src/adaskip/skipping/zone_map.cc" "src/CMakeFiles/adaskip.dir/adaskip/skipping/zone_map.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/skipping/zone_map.cc.o.d"
+  "/root/repo/src/adaskip/skipping/zone_tree.cc" "src/CMakeFiles/adaskip.dir/adaskip/skipping/zone_tree.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/skipping/zone_tree.cc.o.d"
+  "/root/repo/src/adaskip/storage/catalog.cc" "src/CMakeFiles/adaskip.dir/adaskip/storage/catalog.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/storage/catalog.cc.o.d"
+  "/root/repo/src/adaskip/storage/column.cc" "src/CMakeFiles/adaskip.dir/adaskip/storage/column.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/storage/column.cc.o.d"
+  "/root/repo/src/adaskip/storage/data_type.cc" "src/CMakeFiles/adaskip.dir/adaskip/storage/data_type.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/storage/data_type.cc.o.d"
+  "/root/repo/src/adaskip/storage/table.cc" "src/CMakeFiles/adaskip.dir/adaskip/storage/table.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/storage/table.cc.o.d"
+  "/root/repo/src/adaskip/util/bit_vector.cc" "src/CMakeFiles/adaskip.dir/adaskip/util/bit_vector.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/util/bit_vector.cc.o.d"
+  "/root/repo/src/adaskip/util/histogram.cc" "src/CMakeFiles/adaskip.dir/adaskip/util/histogram.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/util/histogram.cc.o.d"
+  "/root/repo/src/adaskip/util/interval_set.cc" "src/CMakeFiles/adaskip.dir/adaskip/util/interval_set.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/util/interval_set.cc.o.d"
+  "/root/repo/src/adaskip/util/logging.cc" "src/CMakeFiles/adaskip.dir/adaskip/util/logging.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/util/logging.cc.o.d"
+  "/root/repo/src/adaskip/util/status.cc" "src/CMakeFiles/adaskip.dir/adaskip/util/status.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/util/status.cc.o.d"
+  "/root/repo/src/adaskip/workload/data_generator.cc" "src/CMakeFiles/adaskip.dir/adaskip/workload/data_generator.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/workload/data_generator.cc.o.d"
+  "/root/repo/src/adaskip/workload/query_generator.cc" "src/CMakeFiles/adaskip.dir/adaskip/workload/query_generator.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/workload/query_generator.cc.o.d"
+  "/root/repo/src/adaskip/workload/workload_runner.cc" "src/CMakeFiles/adaskip.dir/adaskip/workload/workload_runner.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/workload/workload_runner.cc.o.d"
+  "/root/repo/src/adaskip/workload/zipf.cc" "src/CMakeFiles/adaskip.dir/adaskip/workload/zipf.cc.o" "gcc" "src/CMakeFiles/adaskip.dir/adaskip/workload/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_imprints_test.dir/adaptive/adaptive_imprints_test.cc.o"
+  "CMakeFiles/adaptive_imprints_test.dir/adaptive/adaptive_imprints_test.cc.o.d"
+  "adaptive_imprints_test"
+  "adaptive_imprints_test.pdb"
+  "adaptive_imprints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_imprints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

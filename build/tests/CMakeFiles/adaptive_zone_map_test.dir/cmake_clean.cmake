@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_zone_map_test.dir/adaptive/adaptive_zone_map_test.cc.o"
+  "CMakeFiles/adaptive_zone_map_test.dir/adaptive/adaptive_zone_map_test.cc.o.d"
+  "adaptive_zone_map_test"
+  "adaptive_zone_map_test.pdb"
+  "adaptive_zone_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_zone_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

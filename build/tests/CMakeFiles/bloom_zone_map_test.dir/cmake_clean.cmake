@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bloom_zone_map_test.dir/skipping/bloom_zone_map_test.cc.o"
+  "CMakeFiles/bloom_zone_map_test.dir/skipping/bloom_zone_map_test.cc.o.d"
+  "bloom_zone_map_test"
+  "bloom_zone_map_test.pdb"
+  "bloom_zone_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bloom_zone_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

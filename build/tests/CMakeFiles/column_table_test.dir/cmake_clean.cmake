@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_table_test.dir/storage/column_table_test.cc.o"
+  "CMakeFiles/column_table_test.dir/storage/column_table_test.cc.o.d"
+  "column_table_test"
+  "column_table_test.pdb"
+  "column_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_rng_test.dir/util/histogram_rng_test.cc.o"
+  "CMakeFiles/histogram_rng_test.dir/util/histogram_rng_test.cc.o.d"
+  "histogram_rng_test"
+  "histogram_rng_test.pdb"
+  "histogram_rng_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

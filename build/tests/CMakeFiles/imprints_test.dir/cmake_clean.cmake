@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imprints_test.dir/skipping/imprints_test.cc.o"
+  "CMakeFiles/imprints_test.dir/skipping/imprints_test.cc.o.d"
+  "imprints_test"
+  "imprints_test.pdb"
+  "imprints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imprints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_kernel_test.dir/scan/scan_kernel_test.cc.o"
+  "CMakeFiles/scan_kernel_test.dir/scan/scan_kernel_test.cc.o.d"
+  "scan_kernel_test"
+  "scan_kernel_test.pdb"
+  "scan_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracker_cost_model_test.dir/adaptive/tracker_cost_model_test.cc.o"
+  "CMakeFiles/tracker_cost_model_test.dir/adaptive/tracker_cost_model_test.cc.o.d"
+  "tracker_cost_model_test"
+  "tracker_cost_model_test.pdb"
+  "tracker_cost_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracker_cost_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typed_matrix_test.dir/engine/typed_matrix_test.cc.o"
+  "CMakeFiles/typed_matrix_test.dir/engine/typed_matrix_test.cc.o.d"
+  "typed_matrix_test"
+  "typed_matrix_test.pdb"
+  "typed_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typed_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_map_test.dir/skipping/zone_map_test.cc.o"
+  "CMakeFiles/zone_map_test.dir/skipping/zone_map_test.cc.o.d"
+  "zone_map_test"
+  "zone_map_test.pdb"
+  "zone_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

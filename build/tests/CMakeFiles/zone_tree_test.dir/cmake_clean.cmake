@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_tree_test.dir/skipping/zone_tree_test.cc.o"
+  "CMakeFiles/zone_tree_test.dir/skipping/zone_tree_test.cc.o.d"
+  "zone_tree_test"
+  "zone_tree_test.pdb"
+  "zone_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/bit_vector_test[1]_include.cmake")
+include("/root/repo/build/tests/interval_set_test[1]_include.cmake")
+include("/root/repo/build/tests/histogram_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/column_table_test[1]_include.cmake")
+include("/root/repo/build/tests/predicate_test[1]_include.cmake")
+include("/root/repo/build/tests/scan_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/zone_map_test[1]_include.cmake")
+include("/root/repo/build/tests/zone_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/imprints_test[1]_include.cmake")
+include("/root/repo/build/tests/bloom_zone_map_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_zone_map_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_imprints_test[1]_include.cmake")
+include("/root/repo/build/tests/tracker_cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/typed_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/session_test[1]_include.cmake")
+include("/root/repo/build/tests/data_generator_test[1]_include.cmake")
+include("/root/repo/build/tests/query_generator_test[1]_include.cmake")
+include("/root/repo/build/tests/zipf_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
