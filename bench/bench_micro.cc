@@ -66,6 +66,54 @@ void BM_MaterializeMatches(benchmark::State& state) {
 }
 BENCHMARK(BM_MaterializeMatches);
 
+// Reference branchy MIN/MAX kernel: what MinMaxMatchesCounted looked like
+// before the conditional-select rewrite. Kept here (not in the library) so
+// the bench pair documents the win; at low selectivity the branch is
+// well-predicted, near 50% it mispredicts every few elements.
+MinMaxCount<int64_t> BranchyMinMaxMatchesCounted(
+    std::span<const int64_t> data, RowRange range,
+    ValueInterval<int64_t> interval) {
+  MinMaxCount<int64_t> out;
+  for (int64_t i = range.begin; i < range.end; ++i) {
+    const int64_t v = data[static_cast<size_t>(i)];
+    if (v >= interval.lo && v <= interval.hi) {
+      if (v < out.min) out.min = v;
+      if (v > out.max) out.max = v;
+      ++out.count;
+    }
+  }
+  return out;
+}
+
+void BM_MinMaxMatchesCounted(benchmark::State& state) {
+  const int64_t rows = 1 << 20;
+  std::vector<int64_t> data = BenchData(rows, DataOrder::kUniform);
+  // range(0) = match rate in percent; ~50% is the branchy worst case.
+  const int64_t hi = (1 << 26) * state.range(0) / 100;
+  ValueInterval<int64_t> interval{0, hi};
+  for (auto _ : state) {
+    MinMaxCount<int64_t> mm = MinMaxMatchesCounted(
+        std::span<const int64_t>(data), {0, rows}, interval);
+    benchmark::DoNotOptimize(mm);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_MinMaxMatchesCounted)->Arg(1)->Arg(50);
+
+void BM_MinMaxMatchesCountedBranchy(benchmark::State& state) {
+  const int64_t rows = 1 << 20;
+  std::vector<int64_t> data = BenchData(rows, DataOrder::kUniform);
+  const int64_t hi = (1 << 26) * state.range(0) / 100;
+  ValueInterval<int64_t> interval{0, hi};
+  for (auto _ : state) {
+    MinMaxCount<int64_t> mm = BranchyMinMaxMatchesCounted(
+        std::span<const int64_t>(data), {0, rows}, interval);
+    benchmark::DoNotOptimize(mm);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_MinMaxMatchesCountedBranchy)->Arg(1)->Arg(50);
+
 void BM_ComputeMinMax(benchmark::State& state) {
   const int64_t rows = 1 << 20;
   std::vector<int64_t> data = BenchData(rows, DataOrder::kUniform);

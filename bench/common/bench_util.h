@@ -82,15 +82,18 @@ inline std::vector<Query> MakeQueries(const BenchConfig& config,
 
 /// Builds a fresh session around `data` with `index` on column x and runs
 /// the query stream. Each arm gets its own session so adaptation state
-/// never leaks across arms.
+/// never leaks across arms. `exec` selects serial (default) or
+/// morsel-parallel execution for the arm.
 inline ArmResult RunArm(const std::vector<int64_t>& data,
                         const IndexOptions& index,
                         const std::vector<Query>& queries,
-                        const std::string& label) {
+                        const std::string& label,
+                        const ExecOptions& exec = {}) {
   Session session;
   ADASKIP_CHECK_OK(session.CreateTable("t"));
   ADASKIP_CHECK_OK(session.AddColumn<int64_t>("t", "x", data));
   ADASKIP_CHECK_OK(session.AttachIndex("t", "x", index));
+  ADASKIP_CHECK_OK(session.SetExecOptions("t", exec));
   Result<ArmResult> arm = RunWorkload(&session, "t", "x", queries, label);
   ADASKIP_CHECK_OK(arm);
   return std::move(arm).value();

@@ -18,7 +18,14 @@ std::string QueryStats::ToString() const {
       static_cast<double>(probe_nanos) / 1e3,
       static_cast<double>(scan_nanos) / 1e3,
       static_cast<double>(adapt_nanos) / 1e3);
-  return std::string(buf);
+  std::string out(buf);
+  if (parallel_workers > 0) {
+    std::snprintf(buf, sizeof(buf), " [%d workers, merge %.1fus]",
+                  parallel_workers,
+                  static_cast<double>(merge_nanos) / 1e3);
+    out += buf;
+  }
+  return out;
 }
 
 void WorkloadStats::Record(const QueryStats& stats) {

@@ -21,9 +21,16 @@ struct QueryStats {
   ProbeStats probe;
 
   int64_t probe_nanos = 0;  // Metadata reads.
-  int64_t scan_nanos = 0;   // Pure kernel time over candidates.
+  int64_t scan_nanos = 0;   // Pure kernel time over candidates. With a
+                            // parallel scan this sums every worker's
+                            // kernel time (CPU time, not wall clock).
   int64_t adapt_nanos = 0;  // Refinement/merge work inside the index.
   int64_t total_nanos = 0;  // Wall clock for the whole query.
+
+  // Morsel-driven parallel execution (0 when the query ran serially).
+  int parallel_workers = 0;  // Workers that scanned this query's morsels.
+  int64_t merge_nanos = 0;   // Coordinator time merging per-morsel partials
+                             // and replaying buffered index feedback.
 
   /// Fraction of the column the skip structure avoided scanning.
   double SkippedFraction() const {

@@ -59,7 +59,49 @@ bool CandidatesAreWellFormed(const std::vector<RowRange>& ranges, int64_t n) {
   return true;
 }
 
+/// One unit of parallel scan work: a slice of a single candidate range.
+/// Morsels never cross range boundaries, so summing morsel matches per
+/// `range_index` reconstructs exact per-range (zone-exact) feedback.
+struct Morsel {
+  RowRange rows;
+  int64_t range_index;
+};
+
+/// Splits the candidate ranges into morsels of at most `morsel_rows`
+/// rows, in ascending row order.
+std::vector<Morsel> BuildMorsels(const std::vector<RowRange>& ranges,
+                                 int64_t morsel_rows) {
+  morsel_rows = std::max<int64_t>(morsel_rows, 1);
+  int64_t total = 0;
+  for (const RowRange& range : ranges) {
+    total += (range.size() + morsel_rows - 1) / morsel_rows;
+  }
+  std::vector<Morsel> morsels;
+  morsels.reserve(static_cast<size_t>(total));
+  for (size_t r = 0; r < ranges.size(); ++r) {
+    const RowRange& range = ranges[r];
+    for (int64_t begin = range.begin; begin < range.end;
+         begin += morsel_rows) {
+      morsels.push_back({{begin, std::min(begin + morsel_rows, range.end)},
+                         static_cast<int64_t>(r)});
+    }
+  }
+  return morsels;
+}
+
 }  // namespace
+
+void ScanExecutor::set_exec_options(const ExecOptions& options) {
+  options_ = options;  // The pool is (re)sized lazily by pool().
+}
+
+ThreadPool* ScanExecutor::pool() {
+  const int workers = std::max(options_.num_threads, 1);
+  if (pool_ == nullptr || pool_->num_workers() != workers) {
+    pool_ = std::make_unique<ThreadPool>(workers);
+  }
+  return pool_.get();
+}
 
 Status ScanExecutor::ValidateQuery(const Query& query) const {
   if (query.predicates.empty()) {
@@ -111,6 +153,125 @@ Result<QueryResult> ScanExecutor::Execute(const Query& query) {
 }
 
 template <typename T>
+void ScanExecutor::ScanSingleParallel(const Query& query,
+                                      const TypedColumn<T>& column,
+                                      const std::vector<RowRange>& candidates,
+                                      SkipIndex* index, QueryResult* result) {
+  QueryStats& stats = result->stats;
+  const Predicate& pred = query.predicates[0];
+  const ValueInterval<T> interval = pred.ToInterval<T>();
+  const std::span<const T> values = column.data();
+  const bool materialize = query.aggregate == AggregateKind::kMaterialize;
+
+  std::vector<Morsel> morsels = BuildMorsels(candidates, options_.morsel_rows);
+
+  // Per-morsel partials. Each slot is written by exactly one worker, and
+  // the coordinator reads them only after the ParallelFor barrier — this
+  // is the thread-safe feedback funnel: workers never touch the index.
+  struct Partial {
+    int64_t matches = 0;
+    double sum = 0.0;
+    T min = std::numeric_limits<T>::max();
+    T max = std::numeric_limits<T>::lowest();
+  };
+  std::vector<Partial> partials(morsels.size());
+  std::vector<SelectionVector> selections(materialize ? morsels.size() : 0);
+
+  ThreadPool* workers = pool();
+  stats.parallel_workers = workers->num_workers();
+  std::vector<int64_t> worker_nanos(
+      static_cast<size_t>(workers->num_workers()), 0);
+
+  workers->ParallelFor(
+      static_cast<int64_t>(morsels.size()), [&](int64_t m, int worker) {
+        Stopwatch scan_timer;
+        const RowRange rows = morsels[static_cast<size_t>(m)].rows;
+        Partial& partial = partials[static_cast<size_t>(m)];
+        switch (query.aggregate) {
+          case AggregateKind::kCount: {
+            partial.matches = CountMatches(values, rows, interval);
+            break;
+          }
+          case AggregateKind::kSum: {
+            SumCount<T> sc = SumMatchesCounted(values, rows, interval);
+            partial.sum = sc.sum;
+            partial.matches = sc.count;
+            break;
+          }
+          case AggregateKind::kMin:
+          case AggregateKind::kMax: {
+            MinMaxCount<T> mmc = MinMaxMatchesCounted(values, rows, interval);
+            if (mmc.count > 0) {
+              partial.min = mmc.min;
+              partial.max = mmc.max;
+            }
+            partial.matches = mmc.count;
+            break;
+          }
+          case AggregateKind::kMaterialize: {
+            partial.matches = MaterializeMatches(
+                values, rows, interval, &selections[static_cast<size_t>(m)]);
+            break;
+          }
+        }
+        worker_nanos[static_cast<size_t>(worker)] += scan_timer.ElapsedNanos();
+      });
+
+  // Deterministic merge: morsel order is ascending row order, independent
+  // of the thread count, so counts/min/max (and SUM, whose reduction tree
+  // is fixed by the morsel layout) match across all worker counts, and
+  // the materialized row ids come out exactly as the serial scan emits
+  // them. Afterwards the buffered feedback is replayed per candidate
+  // range, in range order — the exact sequence the serial path produces —
+  // so adaptation stays deterministic and single-threaded.
+  Stopwatch merge_timer;
+  int64_t matched = 0;
+  double sum = 0.0;
+  T min_v = std::numeric_limits<T>::max();
+  T max_v = std::numeric_limits<T>::lowest();
+  for (size_t m = 0; m < morsels.size(); ++m) {
+    const Partial& partial = partials[m];
+    matched += partial.matches;
+    sum += partial.sum;
+    if (partial.matches > 0) {
+      min_v = std::min(min_v, partial.min);
+      max_v = std::max(max_v, partial.max);
+    }
+    stats.rows_scanned += morsels[m].rows.size();
+  }
+  if (materialize) {
+    int64_t total_rows = 0;
+    for (const SelectionVector& sel : selections) total_rows += sel.size();
+    result->rows.Reserve(total_rows);
+    for (const SelectionVector& sel : selections) {
+      for (int64_t i = 0; i < sel.size(); ++i) result->rows.Append(sel[i]);
+    }
+  }
+  if (index != nullptr) {
+    size_t m = 0;
+    for (size_t r = 0; r < candidates.size(); ++r) {
+      int64_t range_matches = 0;
+      for (; m < morsels.size() &&
+             morsels[m].range_index == static_cast<int64_t>(r);
+           ++m) {
+        range_matches += partials[m].matches;
+      }
+      index->OnRangeScanned(pred, RangeFeedback{candidates[r], range_matches});
+    }
+  }
+  stats.merge_nanos = merge_timer.ElapsedNanos();
+  for (int64_t nanos : worker_nanos) stats.scan_nanos += nanos;
+
+  stats.rows_matched = matched;
+  result->count = matched;
+  result->sum = sum;
+  if (matched > 0) {
+    result->min = static_cast<double>(min_v);
+    result->max = static_cast<double>(max_v);
+  }
+}
+
+template <typename T>
 QueryResult ScanExecutor::ExecuteSingleTyped(const Query& query,
                                              const TypedColumn<T>& column) {
   Stopwatch total_timer;
@@ -137,52 +298,64 @@ QueryResult ScanExecutor::ExecuteSingleTyped(const Query& query,
   stats.candidate_ranges = static_cast<int64_t>(candidates.size());
   ADASKIP_DCHECK(CandidatesAreWellFormed(candidates, column.size()));
 
-  // Scan candidates with the kernel matching the aggregate, feeding the
-  // index per-range feedback as each range finishes (data still hot).
-  const ValueInterval<T> interval = pred.ToInterval<T>();
-  const std::span<const T> values = column.data();
-  double sum = 0.0;
-  T min_v = std::numeric_limits<T>::max();
-  T max_v = std::numeric_limits<T>::lowest();
-  int64_t matched = 0;
-  for (const RowRange& range : candidates) {
-    Stopwatch scan_timer;
-    int64_t range_matches = 0;
-    switch (query.aggregate) {
-      case AggregateKind::kCount: {
-        range_matches = CountMatches(values, range, interval);
-        break;
-      }
-      case AggregateKind::kSum: {
-        SumCount<T> sc = SumMatchesCounted(values, range, interval);
-        sum += sc.sum;
-        range_matches = sc.count;
-        break;
-      }
-      case AggregateKind::kMin:
-      case AggregateKind::kMax: {
-        MinMaxCount<T> mmc = MinMaxMatchesCounted(values, range, interval);
-        if (mmc.count > 0) {
-          min_v = std::min(min_v, mmc.min);
-          max_v = std::max(max_v, mmc.max);
+  if (options_.num_threads > 1 &&
+      TotalRows(candidates) > options_.morsel_rows) {
+    ScanSingleParallel(query, column, candidates, index, &result);
+  } else {
+    // Serial path: scan candidates with the kernel matching the
+    // aggregate, feeding the index per-range feedback as each range
+    // finishes (data still hot).
+    const ValueInterval<T> interval = pred.ToInterval<T>();
+    const std::span<const T> values = column.data();
+    double sum = 0.0;
+    T min_v = std::numeric_limits<T>::max();
+    T max_v = std::numeric_limits<T>::lowest();
+    int64_t matched = 0;
+    for (const RowRange& range : candidates) {
+      Stopwatch scan_timer;
+      int64_t range_matches = 0;
+      switch (query.aggregate) {
+        case AggregateKind::kCount: {
+          range_matches = CountMatches(values, range, interval);
+          break;
         }
-        range_matches = mmc.count;
-        break;
+        case AggregateKind::kSum: {
+          SumCount<T> sc = SumMatchesCounted(values, range, interval);
+          sum += sc.sum;
+          range_matches = sc.count;
+          break;
+        }
+        case AggregateKind::kMin:
+        case AggregateKind::kMax: {
+          MinMaxCount<T> mmc = MinMaxMatchesCounted(values, range, interval);
+          if (mmc.count > 0) {
+            min_v = std::min(min_v, mmc.min);
+            max_v = std::max(max_v, mmc.max);
+          }
+          range_matches = mmc.count;
+          break;
+        }
+        case AggregateKind::kMaterialize: {
+          range_matches =
+              MaterializeMatches(values, range, interval, &result.rows);
+          break;
+        }
       }
-      case AggregateKind::kMaterialize: {
-        range_matches =
-            MaterializeMatches(values, range, interval, &result.rows);
-        break;
+      stats.scan_nanos += scan_timer.ElapsedNanos();
+      stats.rows_scanned += range.size();
+      matched += range_matches;
+      if (index != nullptr) {
+        index->OnRangeScanned(pred, RangeFeedback{range, range_matches});
       }
     }
-    stats.scan_nanos += scan_timer.ElapsedNanos();
-    stats.rows_scanned += range.size();
-    matched += range_matches;
-    if (index != nullptr) {
-      index->OnRangeScanned(pred, RangeFeedback{range, range_matches});
+    stats.rows_matched = matched;
+    result.count = matched;
+    result.sum = sum;
+    if (matched > 0) {
+      result.min = static_cast<double>(min_v);
+      result.max = static_cast<double>(max_v);
     }
   }
-  stats.rows_matched = matched;
 
   if (index != nullptr) {
     QueryFeedback feedback;
@@ -194,12 +367,6 @@ QueryResult ScanExecutor::ExecuteSingleTyped(const Query& query,
     stats.adapt_nanos = index->TakeAdaptationNanos();
   }
 
-  result.count = matched;
-  result.sum = sum;
-  if (matched > 0) {
-    result.min = static_cast<double>(min_v);
-    result.max = static_cast<double>(max_v);
-  }
   stats.total_nanos = total_timer.ElapsedNanos();
   return result;
 }
@@ -212,68 +379,157 @@ Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
   stats.rows_total = table_->num_rows();
   stats.index_name = "conjunction";
 
-  // Probe each predicated column and intersect the candidate sets.
+  const size_t num_preds = query.predicates.size();
+
+  // Probe each predicated column and intersect the candidate sets,
+  // keeping per-predicate accounting so adaptation feedback can be
+  // attributed to each column's own index afterwards.
   Stopwatch probe_timer;
+  std::vector<SkipIndex*> pred_index(num_preds, nullptr);
+  std::vector<ProbeStats> pred_probe(num_preds);
+  std::vector<const Column*> pred_column(num_preds, nullptr);
   std::vector<RowRange> candidates;
-  bool first = true;
-  for (const Predicate& pred : query.predicates) {
+  for (size_t p = 0; p < num_preds; ++p) {
+    const Predicate& pred = query.predicates[p];
+    pred_column[p] = table_->ColumnByName(pred.column).value();
     std::vector<RowRange> column_candidates;
     SkipIndex* index =
         indexes_ != nullptr ? indexes_->GetIndex(pred.column) : nullptr;
+    pred_index[p] = index;
     if (index != nullptr) {
-      index->Probe(pred, &column_candidates, &stats.probe);
+      index->Probe(pred, &column_candidates, &pred_probe[p]);
     } else if (table_->num_rows() > 0) {
       column_candidates.push_back({0, table_->num_rows()});
-      stats.probe.zones_candidate += 1;
+      pred_probe[p].zones_candidate += 1;
     }
     NormalizeRanges(&column_candidates);
-    if (first) {
+    if (p == 0) {
       candidates = std::move(column_candidates);
-      first = false;
     } else {
       candidates = IntersectRanges(candidates, column_candidates);
     }
+    stats.probe.Add(pred_probe[p]);
   }
   stats.probe_nanos = probe_timer.ElapsedNanos();
   stats.candidate_ranges = static_cast<int64_t>(candidates.size());
 
-  // Evaluate the conjunction over the surviving ranges: materialize the
-  // first predicate's matches, then filter by the remaining predicates.
-  Stopwatch scan_timer;
-  SelectionVector selection;
-  for (const RowRange& range : candidates) {
-    stats.rows_scanned += range.size();
-    SelectionVector range_selection;
+  // Evaluate the conjunction morsel-wise: materialize the first
+  // predicate's matches, then filter by the remaining predicates. Each
+  // morsel also counts every indexed predicate's *own* matches — the
+  // currency of that index's range feedback (a zonemap predicts its own
+  // column's selectivity, not the conjunction's).
+  std::vector<Morsel> morsels = BuildMorsels(candidates, options_.morsel_rows);
+  std::vector<SelectionVector> selections(morsels.size());
+  std::vector<int64_t> own_matches(morsels.size() * num_preds, 0);
+
+  auto scan_morsel = [&](int64_t m, int /*worker*/) {
+    const RowRange rows = morsels[static_cast<size_t>(m)].rows;
+    SelectionVector& sel = selections[static_cast<size_t>(m)];
+    int64_t* own = &own_matches[static_cast<size_t>(m) * num_preds];
     {
       const Predicate& pred = query.predicates[0];
-      const Column* column = table_->ColumnByName(pred.column).value();
-      DispatchDataType(column->type(), [&](auto tag) {
+      DispatchDataType(pred_column[0]->type(), [&](auto tag) {
         using T = typename decltype(tag)::type;
-        MaterializeMatches(column->As<T>()->data(), range,
-                           pred.ToInterval<T>(), &range_selection);
+        own[0] = MaterializeMatches(pred_column[0]->As<T>()->data(), rows,
+                                    pred.ToInterval<T>(), &sel);
       });
     }
-    for (size_t p = 1; p < query.predicates.size(); ++p) {
+    for (size_t p = 1; p < num_preds; ++p) {
       const Predicate& pred = query.predicates[p];
-      const Column* column = table_->ColumnByName(pred.column).value();
-      DispatchDataType(column->type(), [&](auto tag) {
+      DispatchDataType(pred_column[p]->type(), [&](auto tag) {
         using T = typename decltype(tag)::type;
-        const TypedColumn<T>& typed = *column->As<T>();
+        const TypedColumn<T>& typed = *pred_column[p]->As<T>();
         ValueInterval<T> interval = pred.ToInterval<T>();
-        auto* rows = range_selection.mutable_rows();
-        auto keep = std::remove_if(rows->begin(), rows->end(),
+        if (pred_index[p] != nullptr) {
+          // Feedback for this column's index: one extra branchless pass
+          // over the morsel, paid only when an index is listening.
+          own[p] = CountMatches(typed.data(), rows, interval);
+        }
+        auto* sel_rows = sel.mutable_rows();
+        auto keep = std::remove_if(sel_rows->begin(), sel_rows->end(),
                                    [&](int64_t row) {
                                      return !interval.Contains(typed.Get(row));
                                    });
-        rows->erase(keep, rows->end());
+        sel_rows->erase(keep, sel_rows->end());
       });
     }
-    for (int64_t i = 0; i < range_selection.size(); ++i) {
-      selection.Append(range_selection[i]);
+  };
+
+  Stopwatch scan_timer;
+  if (options_.num_threads > 1 && morsels.size() > 1) {
+    ThreadPool* workers = pool();
+    stats.parallel_workers = workers->num_workers();
+    std::vector<int64_t> worker_nanos(
+        static_cast<size_t>(workers->num_workers()), 0);
+    workers->ParallelFor(static_cast<int64_t>(morsels.size()),
+                         [&](int64_t m, int worker) {
+                           Stopwatch morsel_timer;
+                           scan_morsel(m, worker);
+                           worker_nanos[static_cast<size_t>(worker)] +=
+                               morsel_timer.ElapsedNanos();
+                         });
+    for (int64_t nanos : worker_nanos) stats.scan_nanos += nanos;
+  } else {
+    for (int64_t m = 0; m < static_cast<int64_t>(morsels.size()); ++m) {
+      scan_morsel(m, 0);
+    }
+    stats.scan_nanos = scan_timer.ElapsedNanos();
+  }
+
+  // Merge per-morsel selections in morsel (= row) order; identical to the
+  // serial evaluation for every thread count.
+  Stopwatch merge_timer;
+  SelectionVector selection;
+  {
+    int64_t total_rows = 0;
+    for (const SelectionVector& sel : selections) total_rows += sel.size();
+    selection.Reserve(total_rows);
+    for (const SelectionVector& sel : selections) {
+      for (int64_t i = 0; i < sel.size(); ++i) selection.Append(sel[i]);
     }
   }
+  for (const Morsel& morsel : morsels) stats.rows_scanned += morsel.rows.size();
   stats.rows_matched = selection.size();
   result.count = selection.size();
+
+  // Replay the buffered feedback: per candidate range in order, each
+  // indexed predicate learns how many of its own matches the range held.
+  // Adaptive structures mutate only here, on the coordinator thread.
+  std::vector<int64_t> pred_total_matches(num_preds, 0);
+  {
+    std::vector<int64_t> range_matches(num_preds, 0);
+    size_t m = 0;
+    for (size_t r = 0; r < candidates.size(); ++r) {
+      std::fill(range_matches.begin(), range_matches.end(), 0);
+      for (; m < morsels.size() &&
+             morsels[m].range_index == static_cast<int64_t>(r);
+           ++m) {
+        for (size_t p = 0; p < num_preds; ++p) {
+          range_matches[p] += own_matches[m * num_preds + p];
+        }
+      }
+      for (size_t p = 0; p < num_preds; ++p) {
+        pred_total_matches[p] += range_matches[p];
+        if (pred_index[p] != nullptr) {
+          pred_index[p]->OnRangeScanned(
+              query.predicates[p],
+              RangeFeedback{candidates[r], range_matches[p]});
+        }
+      }
+    }
+  }
+  stats.merge_nanos = merge_timer.ElapsedNanos();
+
+  for (size_t p = 0; p < num_preds; ++p) {
+    if (pred_index[p] == nullptr) continue;
+    QueryFeedback feedback;
+    feedback.rows_total = stats.rows_total;
+    feedback.rows_scanned = stats.rows_scanned;
+    feedback.rows_matched = pred_total_matches[p];
+    feedback.probe = pred_probe[p];
+    pred_index[p]->OnQueryComplete(query.predicates[p], feedback);
+    stats.adapt_nanos += pred_index[p]->TakeAdaptationNanos();
+  }
 
   // Aggregate over the qualifying rows.
   if (query.aggregate == AggregateKind::kSum ||
@@ -302,7 +558,6 @@ Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
   } else if (query.aggregate == AggregateKind::kMaterialize) {
     result.rows = std::move(selection);
   }
-  stats.scan_nanos = scan_timer.ElapsedNanos();
   stats.total_nanos = total_timer.ElapsedNanos();
   return result;
 }

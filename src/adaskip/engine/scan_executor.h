@@ -10,8 +10,23 @@
 #include "adaskip/storage/table.h"
 #include "adaskip/util/selection_vector.h"
 #include "adaskip/util/status.h"
+#include "adaskip/util/thread_pool.h"
 
 namespace adaskip {
+
+/// Execution knobs of one ScanExecutor. The default is the serial path,
+/// so every existing experiment stays comparable; num_threads > 1 turns
+/// on morsel-driven parallel scans.
+struct ExecOptions {
+  /// Total worker count for candidate scanning (the coordinator thread
+  /// participates). <= 1 selects the serial path.
+  int num_threads = 1;
+
+  /// Target rows per morsel. Candidate ranges are split into morsels of
+  /// at most this many rows; morsels never cross a candidate-range
+  /// boundary, so per-range (zone-exact) feedback stays intact.
+  int64_t morsel_rows = 32768;
+};
 
 /// Answer of one query plus its execution accounting.
 struct QueryResult {
@@ -30,22 +45,38 @@ struct QueryResult {
 /// metadata into actual skipped rows, and the place where every
 /// nanosecond of probe/scan/adaptation work is attributed.
 ///
-/// Single-predicate queries take a fully typed fast path and drive
-/// adaptation. Multi-predicate (conjunction) queries intersect the
-/// candidate sets of all predicated columns and run a generic evaluation;
-/// they do not send adaptation feedback (per-column match counts are not
-/// individually attributable there).
+/// Single-predicate queries take a fully typed fast path. Multi-predicate
+/// (conjunction) queries intersect the candidate sets of all predicated
+/// columns and run a generic evaluation. Both paths drive adaptation:
+/// each predicate's index receives per-range feedback counting that
+/// column's own matches, plus a query-complete summary.
+///
+/// With ExecOptions::num_threads > 1 the candidate ranges are split into
+/// morsels and scanned by a resident ThreadPool. Workers only read; all
+/// feedback is buffered per morsel and replayed by the coordinator after
+/// the barrier, in candidate-range order, so adaptive structures never
+/// see concurrent mutation and adapt exactly as the serial path would.
+/// Results are merged in morsel order and are identical to the serial
+/// path (bit-identical for integer columns; for float columns the SUM
+/// reduction order is fixed by the morsel layout, which does not depend
+/// on the thread count).
 class ScanExecutor {
  public:
   /// `indexes` may be nullptr (every query scans fully). Both the table
   /// and the index manager must outlive the executor.
-  ScanExecutor(std::shared_ptr<const Table> table, IndexManager* indexes)
-      : table_(std::move(table)), indexes_(indexes) {}
+  ScanExecutor(std::shared_ptr<const Table> table, IndexManager* indexes,
+               const ExecOptions& options = {})
+      : table_(std::move(table)), indexes_(indexes), options_(options) {}
 
   ScanExecutor(const ScanExecutor&) = delete;
   ScanExecutor& operator=(const ScanExecutor&) = delete;
 
   Result<QueryResult> Execute(const Query& query);
+
+  /// Reconfigures execution. The worker pool is (re)built lazily on the
+  /// next parallel query. Not thread safe against concurrent Execute.
+  void set_exec_options(const ExecOptions& options);
+  const ExecOptions& exec_options() const { return options_; }
 
   const Table& table() const { return *table_; }
 
@@ -56,10 +87,24 @@ class ScanExecutor {
   QueryResult ExecuteSingleTyped(const Query& query,
                                  const TypedColumn<T>& column);
 
+  /// Parallel tail of ExecuteSingleTyped: scans `candidates` morsel-wise
+  /// on the pool, merges partials deterministically, and replays feedback
+  /// into `index` (may be nullptr). Fills result/stats like the serial
+  /// loop does.
+  template <typename T>
+  void ScanSingleParallel(const Query& query, const TypedColumn<T>& column,
+                          const std::vector<RowRange>& candidates,
+                          SkipIndex* index, QueryResult* result);
+
   Result<QueryResult> ExecuteConjunction(const Query& query);
+
+  /// The resident worker pool, built on first parallel use.
+  ThreadPool* pool();
 
   std::shared_ptr<const Table> table_;
   IndexManager* indexes_;
+  ExecOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace adaskip

@@ -39,6 +39,13 @@ Status Session::DetachIndex(std::string_view table_name,
   return runtime->indexes->DetachIndex(column_name);
 }
 
+Status Session::SetExecOptions(std::string_view table_name,
+                               const ExecOptions& options) {
+  ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));
+  runtime->executor->set_exec_options(options);
+  return Status::OK();
+}
+
 Result<QueryResult> Session::Execute(std::string_view table_name,
                                      const Query& query) {
   ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));

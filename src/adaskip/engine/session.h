@@ -55,6 +55,11 @@ class Session {
   Status DetachIndex(std::string_view table_name,
                      std::string_view column_name);
 
+  /// Sets `table_name`'s execution knobs (serial vs morsel-parallel
+  /// scans; see ExecOptions). Applies to all subsequent Execute calls.
+  Status SetExecOptions(std::string_view table_name,
+                        const ExecOptions& options);
+
   /// Runs `query` against `table_name`, recording its stats into the
   /// session's cumulative WorkloadStats.
   Result<QueryResult> Execute(std::string_view table_name,

@@ -148,11 +148,15 @@ MinMaxCount<T> MinMaxMatchesCounted(std::span<const T> values, RowRange range,
   MinMaxCount<T> out;
   for (int64_t i = range.begin; i < range.end; ++i) {
     const T v = data[i];
-    if ((v >= lo) & (v <= hi)) {
-      out.min = v < out.min ? v : out.min;
-      out.max = v > out.max ? v : out.max;
-      ++out.count;
-    }
+    const bool match = (v >= lo) & (v <= hi);
+    // Conditional selects, not branches: misses fold in the identity
+    // elements, so the loop stays branch-free (and vectorizable) even at
+    // the low selectivities where a branch would mispredict constantly.
+    const T vmin = match ? v : std::numeric_limits<T>::max();
+    const T vmax = match ? v : std::numeric_limits<T>::lowest();
+    out.min = vmin < out.min ? vmin : out.min;
+    out.max = vmax > out.max ? vmax : out.max;
+    out.count += match;
   }
   return out;
 }
@@ -166,16 +170,17 @@ MinMax<T> MinMaxMatches(std::span<const T> values, RowRange range,
   const T* __restrict data = values.data();
   T min_v = std::numeric_limits<T>::max();
   T max_v = std::numeric_limits<T>::lowest();
-  bool any = false;
+  int64_t matches = 0;
   for (int64_t i = range.begin; i < range.end; ++i) {
     const T v = data[i];
-    if ((v >= lo) & (v <= hi)) {
-      min_v = v < min_v ? v : min_v;
-      max_v = v > max_v ? v : max_v;
-      any = true;
-    }
+    const bool match = (v >= lo) & (v <= hi);
+    const T vmin = match ? v : std::numeric_limits<T>::max();
+    const T vmax = match ? v : std::numeric_limits<T>::lowest();
+    min_v = vmin < min_v ? vmin : min_v;
+    max_v = vmax > max_v ? vmax : max_v;
+    matches += match;
   }
-  *found = any;
+  *found = matches > 0;
   return {min_v, max_v};
 }
 

@@ -1,0 +1,123 @@
+#include "adaskip/util/thread_pool.h"
+
+#include <algorithm>
+
+#include "adaskip/util/logging.h"
+
+namespace adaskip {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int spawn = std::max(num_threads, 1) - 1;
+  threads_.reserve(static_cast<size_t>(spawn));
+  for (int i = 0; i < spawn; ++i) {
+    // Pool threads are workers 1..n-1; the coordinator is worker 0.
+    threads_.emplace_back([this, i] { WorkerLoop(i + 1); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  int64_t seen_seq = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || job_seq_ != seen_seq; });
+      if (stop_) return;
+      seen_seq = job_seq_;
+      ++workers_in_job_;
+    }
+    RunTasks(worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --workers_in_job_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::RunTasks(int worker_index) {
+  // Reading the job fields without mu_ is safe: the coordinator only
+  // mutates them while workers_in_job_ == 0, and this worker registered
+  // itself (under mu_) before arriving here.
+  const TaskFn fn = fn_;
+  void* const ctx = ctx_;
+  const int64_t num_tasks = num_tasks_;
+  const int64_t batch = batch_size_;
+  while (!abort_.load(std::memory_order_relaxed)) {
+    const int64_t begin = next_task_.fetch_add(batch, std::memory_order_relaxed);
+    if (begin >= num_tasks) break;
+    const int64_t end = std::min(begin + batch, num_tasks);
+    for (int64_t task = begin; task < end; ++task) {
+      if (abort_.load(std::memory_order_relaxed)) return;
+      try {
+        fn(ctx, task, worker_index);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (!error_) error_ = std::current_exception();
+        }
+        abort_.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+}
+
+void ThreadPool::Run(int64_t num_tasks, TaskFn fn, void* ctx) {
+  if (num_tasks <= 0) return;
+  if (threads_.empty() || num_tasks == 1) {
+    // Inline fast path; exceptions propagate directly.
+    for (int64_t task = 0; task < num_tasks; ++task) fn(ctx, task, 0);
+    return;
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // A straggler from the previous job may still be inside RunTasks
+    // (having found nothing left to claim); publishing while it reads the
+    // job fields would race, so wait it out first.
+    done_cv_.wait(lock, [&] { return workers_in_job_ == 0; });
+    fn_ = fn;
+    ctx_ = ctx;
+    num_tasks_ = num_tasks;
+    // Batched claims amortize the shared counter; 4 batches per worker
+    // keeps the tail balanced without work stealing.
+    batch_size_ =
+        std::max<int64_t>(1, num_tasks / (static_cast<int64_t>(num_workers()) * 4));
+    next_task_.store(0, std::memory_order_relaxed);
+    abort_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    ++job_seq_;
+    ++workers_in_job_;  // The coordinator itself.
+  }
+  work_cv_.notify_all();
+
+  RunTasks(/*worker_index=*/0);
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    --workers_in_job_;
+    done_cv_.wait(lock, [&] {
+      return workers_in_job_ == 0 &&
+             (next_task_.load(std::memory_order_relaxed) >= num_tasks_ ||
+              abort_.load(std::memory_order_relaxed));
+    });
+    // Sterilize the job so a worker that never woke for it claims nothing
+    // once it does (the callable's context dies with this frame).
+    next_task_.store(num_tasks_, std::memory_order_relaxed);
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace adaskip

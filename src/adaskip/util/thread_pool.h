@@ -1,0 +1,88 @@
+#ifndef ADASKIP_UTIL_THREAD_POOL_H_
+#define ADASKIP_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace adaskip {
+
+/// Fixed-size worker pool with a synchronous ParallelFor. Built for
+/// morsel-driven scans: one pool lives for the life of an executor and is
+/// reused by every query, the dispatch path performs no heap allocation
+/// (workers claim task batches off a shared atomic counter), and there is
+/// no work stealing — tasks are homogeneous morsels, so a single claim
+/// counter load-balances them.
+///
+/// The calling thread participates as worker 0, so `ThreadPool(n)` spawns
+/// n-1 background threads and `ParallelFor` uses n workers total.
+/// `ThreadPool(1)` spawns nothing and runs tasks inline.
+///
+/// ParallelFor is not reentrant and the pool must be driven from one
+/// coordinator thread at a time (the executor serializes queries).
+class ThreadPool {
+ public:
+  /// `num_threads` is the total worker count including the caller;
+  /// clamped to at least 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(threads_.size()) + 1; }
+
+  /// Runs fn(task, worker) for every task in [0, num_tasks) across the
+  /// workers and blocks until all tasks finished. `worker` is in
+  /// [0, num_workers()) and is stable within one task, so callers can
+  /// keep per-worker accumulators without synchronization. If any task
+  /// throws, the first exception is rethrown here after all workers have
+  /// stopped (remaining tasks may be skipped).
+  template <typename F>
+  void ParallelFor(int64_t num_tasks, F&& fn) {
+    using Fn = std::remove_reference_t<F>;
+    Run(num_tasks,
+        [](void* ctx, int64_t task, int worker) {
+          (*static_cast<Fn*>(ctx))(task, worker);
+        },
+        std::addressof(fn));
+  }
+
+ private:
+  using TaskFn = void (*)(void* ctx, int64_t task, int worker);
+
+  void Run(int64_t num_tasks, TaskFn fn, void* ctx);
+  void WorkerLoop(int worker_index);
+
+  /// Claims and executes batches of the current job until none are left
+  /// (or the job aborted). Called by pool threads and the coordinator.
+  void RunTasks(int worker_index);
+
+  // --- Current job. Mutated by the coordinator only while it holds mu_
+  // and no worker is inside the job (workers_in_job_ == 0); workers enter
+  // a job only under mu_, so they never observe a half-published job.
+  TaskFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  int64_t num_tasks_ = 0;
+  int64_t batch_size_ = 1;
+  std::atomic<int64_t> next_task_{0};
+  std::atomic<bool> abort_{false};
+  std::exception_ptr error_;  // Guarded by mu_.
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // Workers: "a new job was published".
+  std::condition_variable done_cv_;  // Coordinator: "a worker left the job".
+  int64_t job_seq_ = 0;              // Guarded by mu_.
+  int workers_in_job_ = 0;           // Guarded by mu_.
+  bool stop_ = false;                // Guarded by mu_.
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_UTIL_THREAD_POOL_H_

@@ -1,0 +1,295 @@
+// Parallel-vs-serial equivalence: the morsel-driven path must produce
+// results identical to the serial path — same aggregates, identical
+// SelectionVector order — and, because feedback is buffered and replayed
+// in range order by the coordinator, an identical post-query adaptive
+// index state after a long query sequence.
+
+#include <gtest/gtest.h>
+
+#include "adaskip/adaptive/adaptive_zone_map.h"
+#include "adaskip/engine/scan_executor.h"
+#include "adaskip/workload/data_generator.h"
+#include "adaskip/workload/query_generator.h"
+
+namespace adaskip {
+namespace {
+
+std::shared_ptr<Table> MakeTestTable(DataOrder order, int64_t num_rows,
+                                     uint64_t seed) {
+  DataGenOptions gen;
+  gen.order = order;
+  gen.num_rows = num_rows;
+  gen.value_range = 100000;
+  gen.seed = seed;
+  auto table = std::make_shared<Table>("t");
+  ADASKIP_CHECK_OK(
+      table->AddColumn("x", MakeColumn(GenerateData<int64_t>(gen))));
+  gen.seed = seed + 1;
+  gen.order = DataOrder::kUniform;
+  ADASKIP_CHECK_OK(
+      table->AddColumn("y", MakeColumn(GenerateData<int64_t>(gen))));
+  return table;
+}
+
+/// One executor arm: its own table copy, index manager, and executor, so
+/// adaptation state never leaks between the serial and parallel arms.
+struct Arm {
+  std::shared_ptr<Table> table;
+  std::unique_ptr<IndexManager> indexes;
+  std::unique_ptr<ScanExecutor> executor;
+
+  Arm(DataOrder order, int64_t num_rows, uint64_t seed,
+      const IndexOptions& index, const ExecOptions& exec) {
+    table = MakeTestTable(order, num_rows, seed);
+    indexes = std::make_unique<IndexManager>(table);
+    ADASKIP_CHECK_OK(indexes->AttachIndex("x", index));
+    executor = std::make_unique<ScanExecutor>(table, indexes.get(), exec);
+  }
+
+  const AdaptiveZoneMapT<int64_t>& adaptive() const {
+    SkipIndex* index = indexes->GetIndex("x");
+    ADASKIP_CHECK(index != nullptr && index->name() == "adaptive");
+    return *static_cast<AdaptiveZoneMapT<int64_t>*>(index);
+  }
+};
+
+/// The 100-query mixed-aggregate stream both arms replay.
+std::vector<Query> MakeQueryStream(const Table& table, int count) {
+  const auto& x = *table.ColumnByName("x").value()->As<int64_t>();
+  QueryGenOptions qgen;
+  qgen.selectivity = 0.02;
+  qgen.seed = 17;
+  QueryGenerator<int64_t> generator("x", x.data(), qgen);
+  const AggregateKind aggregates[] = {
+      AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kMin,
+      AggregateKind::kMax, AggregateKind::kMaterialize};
+  std::vector<Query> queries;
+  for (int i = 0; i < count; ++i) {
+    Query query;
+    query.predicates = {generator.Next()};
+    query.aggregate = aggregates[i % 5];
+    queries.push_back(query);
+  }
+  return queries;
+}
+
+void ExpectSameResult(const QueryResult& serial, const QueryResult& parallel,
+                      const std::string& context) {
+  EXPECT_EQ(serial.count, parallel.count) << context;
+  // Bit-identical for integer columns: every partial double sum is an
+  // exactly representable integer.
+  EXPECT_EQ(serial.sum, parallel.sum) << context;
+  EXPECT_EQ(serial.min, parallel.min) << context;
+  EXPECT_EQ(serial.max, parallel.max) << context;
+  EXPECT_EQ(serial.rows, parallel.rows) << context;
+}
+
+void ExpectSameAdaptiveState(const AdaptiveZoneMapT<int64_t>& a,
+                             const AdaptiveZoneMapT<int64_t>& b) {
+  EXPECT_EQ(a.split_count(), b.split_count());
+  EXPECT_EQ(a.merge_count(), b.merge_count());
+  EXPECT_EQ(a.mode(), b.mode());
+  EXPECT_EQ(a.query_count(), b.query_count());
+  ASSERT_EQ(a.zones().size(), b.zones().size());
+  for (size_t i = 0; i < a.zones().size(); ++i) {
+    const auto& za = a.zones()[i];
+    const auto& zb = b.zones()[i];
+    EXPECT_EQ(za.begin, zb.begin) << "zone " << i;
+    EXPECT_EQ(za.end, zb.end) << "zone " << i;
+    EXPECT_EQ(za.min, zb.min) << "zone " << i;
+    EXPECT_EQ(za.max, zb.max) << "zone " << i;
+    EXPECT_EQ(za.last_candidate_seq, zb.last_candidate_seq) << "zone " << i;
+  }
+  EXPECT_TRUE(a.CheckInvariants());
+  EXPECT_TRUE(b.CheckInvariants());
+}
+
+class ParallelEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+// The acceptance test: a 100-query mixed-aggregate sequence over an
+// adaptive index, serial arm vs parallel arm, compared query by query and
+// by final adaptive state.
+TEST_P(ParallelEquivalenceTest, MatchesSerialOnAdaptiveIndex) {
+  const int num_threads = GetParam();
+  IndexOptions index = IndexOptions::Adaptive();
+  index.adaptive.min_zone_size = 64;
+
+  ExecOptions parallel_exec;
+  parallel_exec.num_threads = num_threads;
+  parallel_exec.morsel_rows = 512;  // Force real morsel fan-out.
+
+  Arm serial(DataOrder::kClustered, 25000, 11, index, ExecOptions{});
+  Arm parallel(DataOrder::kClustered, 25000, 11, index, parallel_exec);
+
+  std::vector<Query> queries = MakeQueryStream(*serial.table, 100);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    Result<QueryResult> rs = serial.executor->Execute(queries[q]);
+    Result<QueryResult> rp = parallel.executor->Execute(queries[q]);
+    ASSERT_TRUE(rs.ok()) << rs.status();
+    ASSERT_TRUE(rp.ok()) << rp.status();
+    ExpectSameResult(*rs, *rp,
+                     "query " + std::to_string(q) + ": " +
+                         queries[q].ToString());
+    EXPECT_EQ(rs->stats.rows_scanned, rp->stats.rows_scanned)
+        << "query " << q;
+  }
+  ExpectSameAdaptiveState(serial.adaptive(), parallel.adaptive());
+}
+
+// No index: the full column is one candidate range; the morsel scheduler
+// splits it across workers and must agree with the serial scan.
+TEST_P(ParallelEquivalenceTest, MatchesSerialOnFullScans) {
+  const int num_threads = GetParam();
+  auto table = MakeTestTable(DataOrder::kUniform, 30000, 23);
+  ScanExecutor serial(table, nullptr);
+  ExecOptions exec;
+  exec.num_threads = num_threads;
+  exec.morsel_rows = 1024;
+  ScanExecutor parallel(table, nullptr, exec);
+
+  std::vector<Query> queries = MakeQueryStream(*table, 25);
+  for (const Query& query : queries) {
+    Result<QueryResult> rs = serial.Execute(query);
+    Result<QueryResult> rp = parallel.Execute(query);
+    ASSERT_TRUE(rs.ok() && rp.ok());
+    ExpectSameResult(*rs, *rp, query.ToString());
+  }
+}
+
+// Conjunctions: intersected candidates are scanned morsel-wise too, and
+// the per-column feedback replay must keep the adaptive index in
+// lockstep with the serial arm.
+TEST_P(ParallelEquivalenceTest, MatchesSerialOnConjunctions) {
+  const int num_threads = GetParam();
+  IndexOptions index = IndexOptions::Adaptive();
+  index.adaptive.min_zone_size = 64;
+
+  ExecOptions parallel_exec;
+  parallel_exec.num_threads = num_threads;
+  parallel_exec.morsel_rows = 512;
+
+  Arm serial(DataOrder::kClustered, 25000, 31, index, ExecOptions{});
+  Arm parallel(DataOrder::kClustered, 25000, 31, index, parallel_exec);
+
+  const auto& x = *serial.table->ColumnByName("x").value()->As<int64_t>();
+  QueryGenOptions qgen;
+  qgen.selectivity = 0.1;
+  qgen.seed = 37;
+  QueryGenerator<int64_t> generator("x", x.data(), qgen);
+  const AggregateKind aggregates[] = {
+      AggregateKind::kCount, AggregateKind::kSum, AggregateKind::kMin,
+      AggregateKind::kMax, AggregateKind::kMaterialize};
+  for (int i = 0; i < 50; ++i) {
+    Query query;
+    query.predicates = {generator.Next(),
+                        Predicate::Between<int64_t>("y", 0, 60000)};
+    query.aggregate = aggregates[i % 5];
+    if (query.aggregate != AggregateKind::kCount &&
+        query.aggregate != AggregateKind::kMaterialize) {
+      query.aggregate_column = "y";
+    }
+    Result<QueryResult> rs = serial.executor->Execute(query);
+    Result<QueryResult> rp = parallel.executor->Execute(query);
+    ASSERT_TRUE(rs.ok() && rp.ok());
+    ASSERT_EQ(rs->stats.index_name, "conjunction");
+    ExpectSameResult(*rs, *rp, query.ToString());
+  }
+  ExpectSameAdaptiveState(serial.adaptive(), parallel.adaptive());
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelEquivalenceTest,
+                         ::testing::Values(1, 2, 7));
+
+// Regression for the conjunction feedback gap: multi-predicate queries
+// must drive adaptation on the predicate columns' indexes (splits,
+// tracker updates, adapt_nanos) just like single-predicate queries do.
+TEST(ConjunctionFeedbackTest, ConjunctionsDriveAdaptation) {
+  IndexOptions index = IndexOptions::Adaptive();
+  index.adaptive.min_zone_size = 64;
+  Arm arm(DataOrder::kClustered, 25000, 41, index, ExecOptions{});
+  const int64_t initial_zones = arm.adaptive().ZoneCount();
+
+  const auto& x = *arm.table->ColumnByName("x").value()->As<int64_t>();
+  QueryGenOptions qgen;
+  qgen.selectivity = 0.02;
+  qgen.seed = 43;
+  QueryGenerator<int64_t> generator("x", x.data(), qgen);
+
+  int64_t total_adapt_nanos = 0;
+  for (int i = 0; i < 60; ++i) {
+    Query query;
+    // y is unindexed, so its candidate set is the full table and the
+    // intersection stays aligned to x's zones — conjunction feedback is
+    // zone-exact here.
+    query.predicates = {generator.Next(),
+                        Predicate::Between<int64_t>("y", 0, 100000)};
+    query.aggregate = AggregateKind::kCount;
+    Result<QueryResult> result = arm.executor->Execute(query);
+    ASSERT_TRUE(result.ok()) << result.status();
+    total_adapt_nanos += result->stats.adapt_nanos;
+  }
+
+  const AdaptiveZoneMapT<int64_t>& adaptive = arm.adaptive();
+  EXPECT_EQ(adaptive.query_count(), 60);      // Every probe was counted.
+  EXPECT_GT(adaptive.split_count(), 0);       // Wasteful zones were split.
+  EXPECT_GT(adaptive.ZoneCount(), initial_zones);
+  EXPECT_GT(total_adapt_nanos, 0);            // And the time was charged.
+  EXPECT_TRUE(adaptive.CheckInvariants());
+}
+
+// The parallel path reports its worker count and coordinator merge time.
+TEST(ParallelStatsTest, ExposesWorkerAndMergeAccounting) {
+  auto table = MakeTestTable(DataOrder::kUniform, 50000, 53);
+  ExecOptions exec;
+  exec.num_threads = 3;
+  exec.morsel_rows = 1024;
+  ScanExecutor executor(table, nullptr, exec);
+  Result<QueryResult> result = executor.Execute(
+      Query::Count(Predicate::Between<int64_t>("x", 0, 50000)));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.parallel_workers, 3);
+  EXPECT_GE(result->stats.merge_nanos, 0);
+  EXPECT_GT(result->stats.scan_nanos, 0);
+  // Serial executor reports no workers.
+  ScanExecutor serial(table, nullptr);
+  Result<QueryResult> sresult = serial.Execute(
+      Query::Count(Predicate::Between<int64_t>("x", 0, 50000)));
+  ASSERT_TRUE(sresult.ok());
+  EXPECT_EQ(sresult->stats.parallel_workers, 0);
+  EXPECT_EQ(sresult->count, result->count);
+}
+
+// Tiny queries stay serial even when threads are configured: below one
+// morsel of candidate rows the fan-out cost cannot pay off.
+TEST(ParallelStatsTest, SmallScansFallBackToSerial) {
+  auto table = MakeTestTable(DataOrder::kUniform, 1000, 59);
+  ExecOptions exec;
+  exec.num_threads = 4;  // morsel_rows default (32768) >> 1000 rows.
+  ScanExecutor executor(table, nullptr, exec);
+  Result<QueryResult> result = executor.Execute(
+      Query::Count(Predicate::Between<int64_t>("x", 0, 100000)));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.parallel_workers, 0);
+}
+
+// Changing exec options mid-stream (e.g. resizing the pool) is safe and
+// keeps answers stable.
+TEST(ParallelStatsTest, ReconfiguringThreadsKeepsAnswers) {
+  auto table = MakeTestTable(DataOrder::kClustered, 40000, 61);
+  ScanExecutor executor(table, nullptr);
+  Query query = Query::Count(Predicate::Between<int64_t>("x", 10000, 60000));
+  Result<QueryResult> baseline = executor.Execute(query);
+  ASSERT_TRUE(baseline.ok());
+  for (int threads : {2, 4, 1, 7}) {
+    ExecOptions exec;
+    exec.num_threads = threads;
+    exec.morsel_rows = 2048;
+    executor.set_exec_options(exec);
+    Result<QueryResult> result = executor.Execute(query);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->count, baseline->count) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace adaskip

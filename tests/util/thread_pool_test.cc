@@ -1,0 +1,122 @@
+#include "adaskip/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace adaskip {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4);
+  constexpr int64_t kTasks = 1000;
+  std::vector<std::atomic<int>> runs(kTasks);
+  pool.ParallelFor(kTasks, [&](int64_t task, int worker) {
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, 4);
+    runs[static_cast<size_t>(task)].fetch_add(1);
+  });
+  for (int64_t t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(runs[static_cast<size_t>(t)].load(), 1) << "task " << t;
+  }
+}
+
+TEST(ThreadPoolTest, PerWorkerAccumulatorsNeedNoSynchronization) {
+  ThreadPool pool(3);
+  constexpr int64_t kTasks = 500;
+  std::vector<int64_t> per_worker(static_cast<size_t>(pool.num_workers()), 0);
+  pool.ParallelFor(kTasks, [&](int64_t task, int worker) {
+    per_worker[static_cast<size_t>(worker)] += task;
+  });
+  int64_t total = std::accumulate(per_worker.begin(), per_worker.end(),
+                                  static_cast<int64_t>(0));
+  EXPECT_EQ(total, kTasks * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPoolTest, EmptyTaskSetIsANoOp) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, [&](int64_t, int) { ran = true; });
+  pool.ParallelFor(-5, [&](int64_t, int) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_workers(), 1);
+  std::vector<int64_t> order;
+  pool.ParallelFor(8, [&](int64_t task, int worker) {
+    EXPECT_EQ(worker, 0);
+    order.push_back(task);
+  });
+  EXPECT_EQ(order, (std::vector<int64_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ThreadPoolTest, ClampsNonPositiveThreadCounts) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 1);
+  int64_t sum = 0;
+  pool.ParallelFor(4, [&](int64_t task, int) { sum += task; });
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(ThreadPoolTest, PropagatesTheFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](int64_t task, int) {
+                         if (task == 37) {
+                           throw std::runtime_error("task 37 failed");
+                         }
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, UsableAfterAnException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(
+                   64, [&](int64_t, int) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<int64_t> count{0};
+  pool.ParallelFor(64, [&](int64_t, int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesFromTheInlinePath) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(
+                   4, [&](int64_t, int) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+}
+
+// The executor reuses one pool for every query; hammer that pattern.
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    const int64_t tasks = 1 + round % 37;
+    std::vector<std::atomic<int>> runs(static_cast<size_t>(tasks));
+    pool.ParallelFor(tasks,
+                     [&](int64_t task, int) {
+                       runs[static_cast<size_t>(task)].fetch_add(1);
+                     });
+    for (int64_t t = 0; t < tasks; ++t) {
+      ASSERT_EQ(runs[static_cast<size_t>(t)].load(), 1)
+          << "round " << round << " task " << t;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ManyMoreTasksThanWorkers) {
+  ThreadPool pool(2);
+  constexpr int64_t kTasks = 10000;
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(kTasks, [&](int64_t task, int) { sum.fetch_add(task); });
+  EXPECT_EQ(sum.load(), kTasks * (kTasks - 1) / 2);
+}
+
+}  // namespace
+}  // namespace adaskip
