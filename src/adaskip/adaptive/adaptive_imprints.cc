@@ -12,7 +12,7 @@ template <typename T>
 AdaptiveImprintsT<T>::AdaptiveImprintsT(const TypedColumn<T>& column,
                                         const AdaptiveImprintsOptions& options)
     : num_rows_(column.size()),
-      values_(column.data()),
+      column_(&column),
       options_(options),
       tracker_(options.ewma_alpha),
       cost_model_(options.enable_cost_model, options.probe_entry_cost_ratio,
@@ -29,7 +29,7 @@ AdaptiveImprintsT<T>::AdaptiveImprintsT(const TypedColumn<T>& column,
   std::vector<T> sample;
   sample.reserve(static_cast<size_t>(sample_size));
   for (int64_t i = 0; i < sample_size; ++i) {
-    sample.push_back(values_[static_cast<size_t>(rng_.NextInt64(num_rows_))]);
+    sample.push_back(column.Get(rng_.NextInt64(num_rows_)));
   }
   std::sort(sample.begin(), sample.end());
   for (int64_t b = 1; b < options_.num_bins; ++b) {
@@ -50,18 +50,94 @@ int64_t AdaptiveImprintsT<T>::BinOf(T v) const {
 }
 
 template <typename T>
+uint64_t AdaptiveImprintsT<T>::BlockMask(int64_t begin, int64_t end) const {
+  uint64_t mask = 0;
+  column_->ForEachPiece({begin, end}, [&](RowRange piece) {
+    for (T v : column_->SpanFor(piece)) {
+      mask |= uint64_t{1} << BinOf(v);
+    }
+  });
+  return mask;
+}
+
+template <typename T>
 void AdaptiveImprintsT<T>::RebuildImprints() {
   int64_t num_blocks = (num_rows_ + options_.block_size - 1) /
                        options_.block_size;
-  imprints_.assign(static_cast<size_t>(num_blocks), 0);
+  imprints_.clear();
+  imprints_.reserve(static_cast<size_t>(num_blocks));
   for (int64_t block = 0; block < num_blocks; ++block) {
     int64_t begin = block * options_.block_size;
     int64_t end = std::min(begin + options_.block_size, num_rows_);
-    uint64_t mask = 0;
-    for (int64_t i = begin; i < end; ++i) {
-      mask |= uint64_t{1} << BinOf(values_[static_cast<size_t>(i)]);
+    imprints_.push_back(BlockMask(begin, end));
+  }
+  imprinted_rows_ = num_rows_;
+}
+
+template <typename T>
+void AdaptiveImprintsT<T>::ExtendImprints() {
+  Stopwatch timer;
+  if (split_points_.empty()) {
+    // Built over an empty column; place the initial bins from the data
+    // that has arrived since and imprint everything in one pass.
+    int64_t sample_size = std::min(options_.sample_size, num_rows_);
+    std::vector<T> sample;
+    sample.reserve(static_cast<size_t>(sample_size));
+    for (int64_t i = 0; i < sample_size; ++i) {
+      sample.push_back(column_->Get(rng_.NextInt64(num_rows_)));
     }
-    imprints_[static_cast<size_t>(block)] = mask;
+    std::sort(sample.begin(), sample.end());
+    for (int64_t b = 1; b < options_.num_bins; ++b) {
+      size_t idx = static_cast<size_t>(b * sample_size / options_.num_bins);
+      idx = std::min(idx, sample.size() - 1);
+      T split = sample[idx];
+      if (split_points_.empty() || split > split_points_.back()) {
+        split_points_.push_back(split);
+      }
+    }
+    RebuildImprints();
+    adapt_nanos_ += timer.ElapsedNanos();
+    return;
+  }
+  // Same tail extension as static imprints: OR the new rows into the
+  // partial boundary word, append words for full new blocks. Split
+  // points are untouched, so existing words stay valid.
+  const int64_t old_rows = imprinted_rows_;
+  const int64_t first_block = old_rows / options_.block_size;
+  const int64_t num_blocks =
+      (num_rows_ + options_.block_size - 1) / options_.block_size;
+  imprints_.resize(static_cast<size_t>(num_blocks), 0);
+  for (int64_t block = first_block; block < num_blocks; ++block) {
+    const int64_t begin = std::max(block * options_.block_size, old_rows);
+    const int64_t end = std::min((block + 1) * options_.block_size, num_rows_);
+    imprints_[static_cast<size_t>(block)] |= BlockMask(begin, end);
+  }
+  imprinted_rows_ = num_rows_;
+  adapt_nanos_ += timer.ElapsedNanos();
+}
+
+template <typename T>
+void AdaptiveImprintsT<T>::OnAppend(RowRange appended) {
+  num_rows_ = appended.end;
+  // The tail stays un-imprinted until a query actually scans it; Probe
+  // covers it with a catch-all candidate range meanwhile.
+}
+
+template <typename T>
+int64_t AdaptiveImprintsT<T>::TakeTailRowsScanned() {
+  int64_t out = tail_rows_scanned_;
+  tail_rows_scanned_ = 0;
+  return out;
+}
+
+template <typename T>
+void AdaptiveImprintsT<T>::OnRangeScanned(const Predicate& pred,
+                                          const RangeFeedback& feedback) {
+  (void)pred;
+  if (feedback.scanned.end > imprinted_rows_) {
+    tail_scanned_this_query_ = true;
+    tail_rows_scanned_ +=
+        feedback.scanned.end - std::max(feedback.scanned.begin, imprinted_rows_);
   }
 }
 
@@ -110,7 +186,7 @@ void AdaptiveImprintsT<T>::Probe(const Predicate& pred,
     if ((imprints_[block] & query_mask) != 0) {
       ++stats->zones_candidate;
       int64_t begin = static_cast<int64_t>(block) * options_.block_size;
-      int64_t end = std::min(begin + options_.block_size, num_rows_);
+      int64_t end = std::min(begin + options_.block_size, imprinted_rows_);
       if (!candidates->empty() && candidates->back().end == begin) {
         candidates->back().end = end;
       } else {
@@ -120,6 +196,18 @@ void AdaptiveImprintsT<T>::Probe(const Predicate& pred,
       ++stats->zones_skipped;
     }
   }
+  if (imprinted_rows_ < num_rows_) {
+    // Catch-all candidate over the un-imprinted tail: always scanned, so
+    // the superset contract holds the moment rows are appended. The scan
+    // feedback triggers the one-off imprint extension (OnQueryComplete).
+    ++stats->entries_read;
+    ++stats->zones_candidate;
+    if (!candidates->empty() && candidates->back().end == imprinted_rows_) {
+      candidates->back().end = num_rows_;
+    } else {
+      candidates->push_back({imprinted_rows_, num_rows_});
+    }
+  }
 }
 
 template <typename T>
@@ -127,6 +215,12 @@ void AdaptiveImprintsT<T>::OnQueryComplete(const Predicate& pred,
                                            const QueryFeedback& feedback) {
   (void)pred;
   if (num_rows_ == 0) return;
+  if (tail_scanned_this_query_) {
+    // The query just paid for reading the tail; extend the imprints over
+    // it now while it is cache-hot so the next probe can skip it.
+    ExtendImprints();
+    tail_scanned_this_query_ = false;
+  }
   if (!last_probe_bypassed_) {
     tracker_.Record(feedback.rows_total, feedback.rows_scanned,
                     feedback.probe.entries_read);

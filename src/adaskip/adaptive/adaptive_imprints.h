@@ -53,8 +53,14 @@ struct AdaptiveImprintsOptions {
 /// workload cuts, shrinking the candidate set without touching the
 /// block layout.
 ///
-/// Holds a span over the column payload; same lifetime rules as
-/// AdaptiveZoneMapT.
+/// Appends leave the tail un-imprinted: `Probe` covers rows past
+/// `imprinted_rows()` with one conservative catch-all candidate range, so
+/// the superset contract holds immediately; the first query whose scan
+/// actually touches that tail pays one imprint-extension pass over it
+/// (charged to adaptation time), after which the tail is indexed like any
+/// other rows.
+///
+/// Holds a pointer to the column; same lifetime rules as AdaptiveZoneMapT.
 template <typename T>
 class AdaptiveImprintsT final : public SkipIndex {
  public:
@@ -66,8 +72,16 @@ class AdaptiveImprintsT final : public SkipIndex {
 
   void Probe(const Predicate& pred, std::vector<RowRange>* candidates,
              ProbeStats* stats) override;
+  void OnRangeScanned(const Predicate& pred,
+                      const RangeFeedback& feedback) override;
   void OnQueryComplete(const Predicate& pred,
                        const QueryFeedback& feedback) override;
+  void OnAppend(RowRange appended) override;
+
+  int64_t UnindexedTailRows() const override {
+    return num_rows_ - imprinted_rows_;
+  }
+  int64_t TakeTailRowsScanned() override;
 
   int64_t TakeAdaptationNanos() override;
   int64_t MemoryUsageBytes() const override;
@@ -79,6 +93,7 @@ class AdaptiveImprintsT final : public SkipIndex {
   SkippingMode mode() const { return mode_; }
   int64_t rebin_count() const { return rebin_count_; }
   int64_t query_count() const { return query_seq_; }
+  int64_t imprinted_rows() const { return imprinted_rows_; }
   const std::vector<T>& split_points() const { return split_points_; }
 
   /// Bin of `v` under the current boundaries (exposed for tests).
@@ -89,11 +104,19 @@ class AdaptiveImprintsT final : public SkipIndex {
   /// every imprint word (one column pass).
   void Rebin();
 
-  /// Recomputes imprints_ for the current split_points_.
+  /// Recomputes imprints_ for the current split_points_ over the whole
+  /// column (tail included; resets imprinted_rows_ to num_rows_).
   void RebuildImprints();
 
+  /// Extends the imprint words over [imprinted_rows_, num_rows_); places
+  /// the initial split points first if the index was built empty.
+  void ExtendImprints();
+
+  /// Imprint word for rows [begin, end) (may cross segment boundaries).
+  uint64_t BlockMask(int64_t begin, int64_t end) const;
+
   int64_t num_rows_;
-  std::span<const T> values_;
+  const TypedColumn<T>* column_;
   AdaptiveImprintsOptions options_;
   EffectivenessTracker tracker_;
   CostModel cost_model_;
@@ -111,6 +134,9 @@ class AdaptiveImprintsT final : public SkipIndex {
   int64_t last_rebin_seq_ = 0;
   int64_t rebin_count_ = 0;
   int64_t adapt_nanos_ = 0;
+  int64_t imprinted_rows_ = 0;    // Rows covered by imprint words.
+  bool tail_scanned_this_query_ = false;
+  int64_t tail_rows_scanned_ = 0;
 };
 
 /// Builds an adaptive imprints index for `column`.

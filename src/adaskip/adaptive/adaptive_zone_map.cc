@@ -1,6 +1,7 @@
 #include "adaskip/adaptive/adaptive_zone_map.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "adaskip/scan/scan_kernel.h"
 #include "adaskip/storage/type_dispatch.h"
@@ -12,21 +13,72 @@ template <typename T>
 AdaptiveZoneMapT<T>::AdaptiveZoneMapT(const TypedColumn<T>& column,
                                       const AdaptiveOptions& options)
     : num_rows_(column.size()),
-      values_(column.data()),
+      column_(&column),
       options_(options),
       tracker_(options.ewma_alpha),
       cost_model_(options) {
   ADASKIP_CHECK_GE(options_.min_zone_size, 1);
   ADASKIP_CHECK_GT(options_.max_zones, 0);
   if (num_rows_ == 0) return;
-  int64_t zone_size =
+  const int64_t zone_size =
       options_.initial_zone_size > 0 ? options_.initial_zone_size : num_rows_;
-  for (int64_t begin = 0; begin < num_rows_; begin += zone_size) {
-    int64_t end = std::min(begin + zone_size, num_rows_);
-    MinMax<T> mm = ComputeMinMax(values_, begin, end);
-    zones_.push_back(AdaptiveZone{begin, end, mm.min, mm.max,
-                                  /*last_candidate_seq=*/0});
+  // Chunk each segment independently so zones never cross a segment
+  // boundary (initial_zone_size == 0 yields one zone per segment).
+  column.ForEachPiece({0, num_rows_}, [&](RowRange piece) {
+    for (int64_t begin = piece.begin; begin < piece.end; begin += zone_size) {
+      int64_t end = std::min(begin + zone_size, piece.end);
+      MinMax<T> mm = ZoneMinMax(begin, end);
+      zones_.push_back(AdaptiveZone{begin, end, mm.min, mm.max,
+                                    /*last_candidate_seq=*/0});
+    }
+  });
+}
+
+template <typename T>
+MinMax<T> AdaptiveZoneMapT<T>::ZoneMinMax(int64_t begin, int64_t end) const {
+  std::span<const T> values = column_->SpanFor(begin, end);
+  return ComputeMinMax(values, 0, end - begin);
+}
+
+template <typename T>
+void AdaptiveZoneMapT<T>::OnAppend(RowRange appended) {
+  if (appended.empty()) return;
+  // Cover the tail with conservative catch-all zones, one per segment
+  // piece, coalescing with a preceding not-yet-tightened tail zone so
+  // back-to-back appends do not pile up metadata.
+  column_->ForEachPiece(appended, [&](RowRange piece) {
+    if (!zones_.empty()) {
+      AdaptiveZone& last = zones_.back();
+      if (last.conservative && last.end == piece.begin &&
+          column_->SegmentOf(last.begin) == column_->SegmentOf(piece.end - 1)) {
+        last.end = piece.end;
+        return;
+      }
+    }
+    zones_.push_back(AdaptiveZone{piece.begin, piece.end,
+                                  std::numeric_limits<T>::lowest(),
+                                  std::numeric_limits<T>::max(), query_seq_,
+                                  /*conservative=*/true});
+    ++conservative_zones_;
+  });
+  num_rows_ = appended.end;
+}
+
+template <typename T>
+int64_t AdaptiveZoneMapT<T>::UnindexedTailRows() const {
+  if (conservative_zones_ == 0) return 0;
+  int64_t rows = 0;
+  for (const AdaptiveZone& zone : zones_) {
+    if (zone.conservative) rows += zone.end - zone.begin;
   }
+  return rows;
+}
+
+template <typename T>
+int64_t AdaptiveZoneMapT<T>::TakeTailRowsScanned() {
+  int64_t out = tail_rows_scanned_;
+  tail_rows_scanned_ = 0;
+  return out;
 }
 
 template <typename T>
@@ -91,7 +143,7 @@ void AdaptiveZoneMapT<T>::SplitZoneAt(int64_t index,
   children.reserve(cuts.size() + 1);
   int64_t prev = parent.begin;
   auto emit = [&](int64_t begin, int64_t end) {
-    MinMax<T> mm = ComputeMinMax(values_, begin, end);
+    MinMax<T> mm = ZoneMinMax(begin, end);
     children.push_back(AdaptiveZone{begin, end, mm.min, mm.max,
                                     parent.last_candidate_seq});
   };
@@ -109,7 +161,49 @@ void AdaptiveZoneMapT<T>::SplitZoneAt(int64_t index,
 template <typename T>
 void AdaptiveZoneMapT<T>::OnRangeScanned(const Predicate& pred,
                                          const RangeFeedback& feedback) {
-  if (last_probe_bypassed_) return;
+  if (last_probe_bypassed_) {
+    // A bypassed scan touches everything, including the unrefined tail
+    // (feedback arrives as the single whole-column range).
+    tail_rows_scanned_ += UnindexedTailRows();
+    return;
+  }
+  // Conservative tail zones are absorbed on their very first scan,
+  // regardless of split policy or waste: the data is cache-hot right
+  // now, and exact bounds are what lets every later probe skip the
+  // zone. (The waste-driven split logic below sees a restructured range
+  // and bails for this query; refinement resumes on the next probe.)
+  {
+    const int64_t index = FindZoneIndex(feedback.scanned.begin);
+    if (index >= 0 &&
+        zones_[static_cast<size_t>(index)].conservative &&
+        zones_[static_cast<size_t>(index)].end == feedback.scanned.end) {
+      const AdaptiveZone zone = zones_[static_cast<size_t>(index)];
+      Stopwatch timer;
+      tail_rows_scanned_ += feedback.scanned.size();
+      // Absorb the tail at the initial-build granularity while the data
+      // is cache-hot: exact bounds per chunk in one pass. A single
+      // tightened mega-zone would leave all refinement to the per-query
+      // split cap and stretch ingest recovery over many queries.
+      int64_t chunk = options_.initial_zone_size > 0
+                          ? std::max(options_.initial_zone_size,
+                                     options_.min_zone_size)
+                          : zone.end - zone.begin;
+      const int64_t budget = std::max<int64_t>(
+          options_.max_zones - static_cast<int64_t>(zones_.size()) + 1, 1);
+      chunk = std::max(chunk, (zone.end - zone.begin + budget - 1) / budget);
+      std::vector<AdaptiveZone> children;
+      for (int64_t begin = zone.begin; begin < zone.end; begin += chunk) {
+        const int64_t end = std::min(begin + chunk, zone.end);
+        MinMax<T> mm = ZoneMinMax(begin, end);
+        children.push_back(AdaptiveZone{begin, end, mm.min, mm.max,
+                                        zone.last_candidate_seq});
+      }
+      zones_.erase(zones_.begin() + index);
+      zones_.insert(zones_.begin() + index, children.begin(), children.end());
+      --conservative_zones_;
+      adapt_nanos_ += timer.ElapsedNanos();
+    }
+  }
   if (!allow_splits_this_query_) return;
   if (options_.policy == SplitPolicy::kNone) return;
   // Exploration probes while bypassed are pure measurement: refining zones
@@ -154,11 +248,15 @@ void AdaptiveZoneMapT<T>::OnRangeScanned(const Predicate& pred,
         break;
       }
       // One fused pass yields the qualifying run's bounds and the exact
-      // min/max of every child, so the zone is re-read exactly once.
+      // min/max of every child, so the zone is re-read exactly once. The
+      // zone sits inside one segment, so scan it as a local span and
+      // shift the run bounds back to global row ids.
       ValueInterval<T> interval = pred.ToInterval<T>();
-      BoundaryScan<T> scan =
-          BoundarySplitScan(values_, feedback.scanned, interval);
+      BoundaryScan<T> scan = BoundarySplitScan(
+          column_->SpanFor(zone.begin, zone.end), {0, zone_rows}, interval);
       ADASKIP_DCHECK(scan.match_bounds.begin >= 0);
+      scan.match_bounds.begin += zone.begin;
+      scan.match_bounds.end += zone.begin;
       if (scan.match_bounds.begin == zone.begin &&
           scan.match_bounds.end == zone.end) {
         // The run spans the zone, yet the scan was wasteful (that is why
@@ -229,7 +327,12 @@ void AdaptiveZoneMapT<T>::MergeSweep() {
   for (const AdaptiveZone& zone : zones_) {
     if (!merged.empty()) {
       AdaptiveZone& prev = merged.back();
-      if (is_cold(prev) && is_cold(zone) &&
+      // Conservative tail zones are excluded (their bounds are not real),
+      // and merges never cross a segment boundary so zones stay
+      // span-addressable.
+      if (is_cold(prev) && is_cold(zone) && !prev.conservative &&
+          !zone.conservative &&
+          column_->SegmentOf(prev.begin) == column_->SegmentOf(zone.end - 1) &&
           prev.end - prev.begin + zone.end - zone.begin <=
               options_.merge_max_zone_size) {
         // Union bounds stay sound (possibly conservative) with no data
@@ -265,12 +368,19 @@ template <typename T>
 bool AdaptiveZoneMapT<T>::CheckInvariants() const {
   if (num_rows_ == 0) return zones_.empty();
   int64_t cursor = 0;
+  int64_t conservative = 0;
   for (const AdaptiveZone& zone : zones_) {
     if (zone.begin != cursor || zone.end <= zone.begin) return false;
-    MinMax<T> mm = ComputeMinMax(values_, zone.begin, zone.end);
+    // No zone may cross a segment boundary.
+    if (column_->SegmentOf(zone.begin) != column_->SegmentOf(zone.end - 1)) {
+      return false;
+    }
+    MinMax<T> mm = ZoneMinMax(zone.begin, zone.end);
     if (zone.min > mm.min || zone.max < mm.max) return false;
+    if (zone.conservative) ++conservative;
     cursor = zone.end;
   }
+  if (conservative != conservative_zones_) return false;
   return cursor == num_rows_;
 }
 

@@ -8,6 +8,7 @@
 #include "adaskip/adaptive/adaptation_policy.h"
 #include "adaskip/adaptive/cost_model.h"
 #include "adaskip/adaptive/effectiveness_tracker.h"
+#include "adaskip/scan/scan_kernel.h"
 #include "adaskip/skipping/skip_index.h"
 #include "adaskip/storage/column.h"
 
@@ -29,10 +30,17 @@ namespace adaskip {
 ///  * `OnQueryComplete` feeds the effectiveness tracker, lets the cost
 ///    model flip between kActive and kBypass, and periodically merges
 ///    cold zones to respect the metadata budget.
+///  * `OnAppend` covers the new tail with *conservative* catch-all zones
+///    (bounds = the type's full range, one zone per segment piece), so
+///    the superset contract holds the instant data arrives, at zero build
+///    cost. The first query that scans such a zone absorbs it — exact
+///    bounds at the initial-build granularity, computed while the data
+///    is cache-hot — and normal split refinement takes over from there.
 ///
-/// The index holds a span over the column's payload: it must not outlive
-/// the column, and appending to the column after construction invalidates
-/// the index (build indexes after loading).
+/// Zones never cross a segment boundary of the underlying column (initial
+/// build, splits, merges, and tail zones all respect it), so every zone is
+/// addressable as one contiguous span. The index holds a pointer to the
+/// column: it must not outlive it.
 template <typename T>
 class AdaptiveZoneMapT final : public SkipIndex {
  public:
@@ -48,6 +56,10 @@ class AdaptiveZoneMapT final : public SkipIndex {
                       const RangeFeedback& feedback) override;
   void OnQueryComplete(const Predicate& pred,
                        const QueryFeedback& feedback) override;
+  void OnAppend(RowRange appended) override;
+
+  int64_t UnindexedTailRows() const override;
+  int64_t TakeTailRowsScanned() override;
 
   int64_t MemoryUsageBytes() const override;
   int64_t ZoneCount() const override {
@@ -57,13 +69,16 @@ class AdaptiveZoneMapT final : public SkipIndex {
   // --- Introspection (tests, experiments, examples) ---
 
   /// One zone of the adaptive map; bounds may be conservative after a
-  /// merge but are always correct.
+  /// merge (or a catch-all tail zone) but are always correct.
   struct AdaptiveZone {
     int64_t begin;
     int64_t end;
     T min;
     T max;
     int64_t last_candidate_seq;  // Query sequence of the last candidacy.
+    // Catch-all tail zone from an append: bounds are the type's full
+    // range (always a candidate) until the first scan tightens them.
+    bool conservative = false;
   };
 
   const std::vector<AdaptiveZone>& zones() const { return zones_; }
@@ -87,6 +102,9 @@ class AdaptiveZoneMapT final : public SkipIndex {
   /// Index of the zone starting exactly at `begin`, or -1.
   int64_t FindZoneIndex(int64_t begin) const;
 
+  /// Exact min/max of [begin, end), which must lie inside one segment.
+  MinMax<T> ZoneMinMax(int64_t begin, int64_t end) const;
+
   /// Splits zones_[index] at the (strictly interior, sorted) cut
   /// positions, computing exact child bounds from the data.
   void SplitZoneAt(int64_t index, std::span<const int64_t> cuts);
@@ -99,7 +117,7 @@ class AdaptiveZoneMapT final : public SkipIndex {
   void MergeSweep();
 
   int64_t num_rows_;
-  std::span<const T> values_;
+  const TypedColumn<T>* column_;
   AdaptiveOptions options_;
   EffectivenessTracker tracker_;
   CostModel cost_model_;
@@ -114,6 +132,8 @@ class AdaptiveZoneMapT final : public SkipIndex {
   int64_t merge_count_ = 0;
   int64_t bypassed_probe_count_ = 0;
   int64_t adapt_nanos_ = 0;
+  int64_t conservative_zones_ = 0;
+  int64_t tail_rows_scanned_ = 0;
 };
 
 /// Builds an adaptive zonemap for `column`, dispatching on its type.

@@ -51,7 +51,8 @@ Status IndexManager::AttachIndex(std::string_view column_name,
                                  const IndexOptions& options) {
   ADASKIP_ASSIGN_OR_RETURN(const Column* column,
                            table_->ColumnByName(column_name));
-  indexes_[std::string(column_name)] = MakeSkipIndex(*column, options);
+  indexes_[std::string(column_name)] =
+      Entry{MakeSkipIndex(*column, options), table_->data_version()};
   return Status::OK();
 }
 
@@ -67,20 +68,42 @@ Status IndexManager::DetachIndex(std::string_view column_name) {
 
 SkipIndex* IndexManager::GetIndex(std::string_view column_name) const {
   auto it = indexes_.find(column_name);
-  return it == indexes_.end() ? nullptr : it->second.get();
+  return it == indexes_.end() ? nullptr : it->second.index.get();
+}
+
+Result<SkipIndex*> IndexManager::GetSyncedIndex(
+    std::string_view column_name) const {
+  auto it = indexes_.find(column_name);
+  if (it == indexes_.end()) return static_cast<SkipIndex*>(nullptr);
+  if (it->second.data_version != table_->data_version()) {
+    return Status::FailedPrecondition(
+        "index '" + std::string(it->second.index->name()) + "' on column '" +
+        std::string(column_name) + "' is stale: built for data version " +
+        std::to_string(it->second.data_version) + ", table '" +
+        table_->name() + "' is at " + std::to_string(table_->data_version()) +
+        " (append through the Session, or re-attach the index)");
+  }
+  return it->second.index.get();
+}
+
+void IndexManager::OnAppend(RowRange appended) {
+  for (auto& [name, entry] : indexes_) {
+    entry.index->OnAppend(appended);
+    entry.data_version = table_->data_version();
+  }
 }
 
 std::vector<std::string> IndexManager::IndexedColumns() const {
   std::vector<std::string> names;
   names.reserve(indexes_.size());
-  for (const auto& [name, index] : indexes_) names.push_back(name);
+  for (const auto& [name, entry] : indexes_) names.push_back(name);
   return names;
 }
 
 int64_t IndexManager::MemoryUsageBytes() const {
   int64_t total = 0;
-  for (const auto& [name, index] : indexes_) {
-    total += index->MemoryUsageBytes();
+  for (const auto& [name, entry] : indexes_) {
+    total += entry.index->MemoryUsageBytes();
   }
   return total;
 }

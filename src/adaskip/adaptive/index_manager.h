@@ -68,6 +68,12 @@ std::unique_ptr<SkipIndex> MakeSkipIndex(const Column& column,
 /// Owns the skip indexes of one table, keyed by column name. The manager
 /// (and its indexes) reference the table's columns and must not outlive
 /// the table — the Session ties both lifetimes together.
+///
+/// Every attached index records the table data version it describes.
+/// Appends routed through `OnAppend` keep all indexes in sync (and bump
+/// their recorded version); a table mutated behind the manager's back is
+/// detected by `GetSyncedIndex`, which fails instead of letting a stale
+/// index under-report candidates.
 class IndexManager {
  public:
   explicit IndexManager(std::shared_ptr<const Table> table)
@@ -77,15 +83,27 @@ class IndexManager {
   IndexManager& operator=(const IndexManager&) = delete;
 
   /// Builds and attaches an index for `column_name`, replacing any
-  /// existing one. Fails if the column does not exist.
+  /// existing one. Fails if the column does not exist. The new index is
+  /// tied to the table's current data version.
   Status AttachIndex(std::string_view column_name,
                      const IndexOptions& options);
 
   /// Drops the index of `column_name`; fails if none is attached.
   Status DetachIndex(std::string_view column_name);
 
-  /// The index attached to `column_name`, or nullptr.
+  /// The index attached to `column_name`, or nullptr. No version check —
+  /// introspection only; execution paths use GetSyncedIndex.
   SkipIndex* GetIndex(std::string_view column_name) const;
+
+  /// The index attached to `column_name` (nullptr if none), after
+  /// verifying it describes the table's current data version. Returns
+  /// FailedPrecondition for a stale index — the table grew without the
+  /// manager seeing the append (re-attach the index to recover).
+  Result<SkipIndex*> GetSyncedIndex(std::string_view column_name) const;
+
+  /// Routes an append (rows [old, new) already written to the table's
+  /// columns) to every attached index and records the new data version.
+  void OnAppend(RowRange appended);
 
   std::vector<std::string> IndexedColumns() const;
 
@@ -93,8 +111,13 @@ class IndexManager {
   int64_t MemoryUsageBytes() const;
 
  private:
+  struct Entry {
+    std::unique_ptr<SkipIndex> index;
+    int64_t data_version = 0;  // Table version the index describes.
+  };
+
   std::shared_ptr<const Table> table_;
-  std::map<std::string, std::unique_ptr<SkipIndex>, std::less<>> indexes_;
+  std::map<std::string, Entry, std::less<>> indexes_;
 };
 
 }  // namespace adaskip

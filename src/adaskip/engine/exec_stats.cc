@@ -19,6 +19,12 @@ std::string QueryStats::ToString() const {
       static_cast<double>(scan_nanos) / 1e3,
       static_cast<double>(adapt_nanos) / 1e3);
   std::string out(buf);
+  if (tail_rows > 0) {
+    std::snprintf(buf, sizeof(buf), " [tail %lld rows, %lld scanned]",
+                  static_cast<long long>(tail_rows),
+                  static_cast<long long>(tail_rows_scanned));
+    out += buf;
+  }
   if (parallel_workers > 0) {
     std::snprintf(buf, sizeof(buf), " [%d workers, merge %.1fus]",
                   parallel_workers,

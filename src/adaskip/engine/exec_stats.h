@@ -20,6 +20,12 @@ struct QueryStats {
   int64_t candidate_ranges = 0;
   ProbeStats probe;
 
+  // Appended rows the index covered only by conservative catch-all
+  // metadata at probe time (0 once the structure has absorbed the tail).
+  int64_t tail_rows = 0;
+  // Rows of such tail metadata this query's scan actually touched.
+  int64_t tail_rows_scanned = 0;
+
   int64_t probe_nanos = 0;  // Metadata reads.
   int64_t scan_nanos = 0;   // Pure kernel time over candidates. With a
                             // parallel scan this sums every worker's

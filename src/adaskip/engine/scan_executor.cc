@@ -68,22 +68,24 @@ struct Morsel {
 };
 
 /// Splits the candidate ranges into morsels of at most `morsel_rows`
-/// rows, in ascending row order.
+/// rows, in ascending row order, additionally splitting at multiples of
+/// `segment_rows` so every morsel sits inside one storage segment (and
+/// can be scanned through a single contiguous span). Because segment
+/// sizes are powers of two, multiples of the *smallest* segment size
+/// among several columns are boundaries for all of them.
 std::vector<Morsel> BuildMorsels(const std::vector<RowRange>& ranges,
-                                 int64_t morsel_rows) {
+                                 int64_t morsel_rows, int64_t segment_rows) {
   morsel_rows = std::max<int64_t>(morsel_rows, 1);
-  int64_t total = 0;
-  for (const RowRange& range : ranges) {
-    total += (range.size() + morsel_rows - 1) / morsel_rows;
-  }
   std::vector<Morsel> morsels;
-  morsels.reserve(static_cast<size_t>(total));
   for (size_t r = 0; r < ranges.size(); ++r) {
     const RowRange& range = ranges[r];
-    for (int64_t begin = range.begin; begin < range.end;
-         begin += morsel_rows) {
-      morsels.push_back({{begin, std::min(begin + morsel_rows, range.end)},
-                         static_cast<int64_t>(r)});
+    int64_t begin = range.begin;
+    while (begin < range.end) {
+      const int64_t boundary = (begin / segment_rows + 1) * segment_rows;
+      const int64_t end =
+          std::min({begin + morsel_rows, boundary, range.end});
+      morsels.push_back({{begin, end}, static_cast<int64_t>(r)});
+      begin = end;
     }
   }
   return morsels;
@@ -160,10 +162,10 @@ void ScanExecutor::ScanSingleParallel(const Query& query,
   QueryStats& stats = result->stats;
   const Predicate& pred = query.predicates[0];
   const ValueInterval<T> interval = pred.ToInterval<T>();
-  const std::span<const T> values = column.data();
   const bool materialize = query.aggregate == AggregateKind::kMaterialize;
 
-  std::vector<Morsel> morsels = BuildMorsels(candidates, options_.morsel_rows);
+  std::vector<Morsel> morsels =
+      BuildMorsels(candidates, options_.morsel_rows, column.segment_rows());
 
   // Per-morsel partials. Each slot is written by exactly one worker, and
   // the coordinator reads them only after the ParallelFor barrier — this
@@ -186,21 +188,25 @@ void ScanExecutor::ScanSingleParallel(const Query& query,
       static_cast<int64_t>(morsels.size()), [&](int64_t m, int worker) {
         Stopwatch scan_timer;
         const RowRange rows = morsels[static_cast<size_t>(m)].rows;
+        // Each morsel is segment-contained (BuildMorsels), so it is one
+        // contiguous span; kernels run over span-local positions.
+        const std::span<const T> values = column.SpanFor(rows);
+        const RowRange local{0, rows.size()};
         Partial& partial = partials[static_cast<size_t>(m)];
         switch (query.aggregate) {
           case AggregateKind::kCount: {
-            partial.matches = CountMatches(values, rows, interval);
+            partial.matches = CountMatches(values, local, interval);
             break;
           }
           case AggregateKind::kSum: {
-            SumCount<T> sc = SumMatchesCounted(values, rows, interval);
+            SumCount<T> sc = SumMatchesCounted(values, local, interval);
             partial.sum = sc.sum;
             partial.matches = sc.count;
             break;
           }
           case AggregateKind::kMin:
           case AggregateKind::kMax: {
-            MinMaxCount<T> mmc = MinMaxMatchesCounted(values, rows, interval);
+            MinMaxCount<T> mmc = MinMaxMatchesCounted(values, local, interval);
             if (mmc.count > 0) {
               partial.min = mmc.min;
               partial.max = mmc.max;
@@ -210,7 +216,8 @@ void ScanExecutor::ScanSingleParallel(const Query& query,
           }
           case AggregateKind::kMaterialize: {
             partial.matches = MaterializeMatches(
-                values, rows, interval, &selections[static_cast<size_t>(m)]);
+                values, local, interval, &selections[static_cast<size_t>(m)],
+                /*base=*/rows.begin);
             break;
           }
         }
@@ -272,8 +279,8 @@ void ScanExecutor::ScanSingleParallel(const Query& query,
 }
 
 template <typename T>
-QueryResult ScanExecutor::ExecuteSingleTyped(const Query& query,
-                                             const TypedColumn<T>& column) {
+Result<QueryResult> ScanExecutor::ExecuteSingleTyped(
+    const Query& query, const TypedColumn<T>& column) {
   Stopwatch total_timer;
   const Predicate& pred = query.predicates[0];
   QueryResult result;
@@ -281,9 +288,12 @@ QueryResult ScanExecutor::ExecuteSingleTyped(const Query& query,
   QueryStats& stats = result.stats;
   stats.rows_total = column.size();
 
-  SkipIndex* index =
-      indexes_ != nullptr ? indexes_->GetIndex(pred.column) : nullptr;
+  SkipIndex* index = nullptr;
+  if (indexes_ != nullptr) {
+    ADASKIP_ASSIGN_OR_RETURN(index, indexes_->GetSyncedIndex(pred.column));
+  }
   stats.index_name = index != nullptr ? std::string(index->name()) : "none";
+  stats.tail_rows = index != nullptr ? index->UnindexedTailRows() : 0;
 
   // Probe.
   std::vector<RowRange> candidates;
@@ -304,9 +314,12 @@ QueryResult ScanExecutor::ExecuteSingleTyped(const Query& query,
   } else {
     // Serial path: scan candidates with the kernel matching the
     // aggregate, feeding the index per-range feedback as each range
-    // finishes (data still hot).
+    // finishes (data still hot). Candidate ranges may span storage
+    // segments (full scans, imprints blocks, catch-all tails), so each
+    // is decomposed into segment-contained pieces; the feedback still
+    // covers the *original* range — skip structures see the same
+    // feedback stream the pre-segmentation executor produced.
     const ValueInterval<T> interval = pred.ToInterval<T>();
-    const std::span<const T> values = column.data();
     double sum = 0.0;
     T min_v = std::numeric_limits<T>::max();
     T max_v = std::numeric_limits<T>::lowest();
@@ -314,33 +327,38 @@ QueryResult ScanExecutor::ExecuteSingleTyped(const Query& query,
     for (const RowRange& range : candidates) {
       Stopwatch scan_timer;
       int64_t range_matches = 0;
-      switch (query.aggregate) {
-        case AggregateKind::kCount: {
-          range_matches = CountMatches(values, range, interval);
-          break;
-        }
-        case AggregateKind::kSum: {
-          SumCount<T> sc = SumMatchesCounted(values, range, interval);
-          sum += sc.sum;
-          range_matches = sc.count;
-          break;
-        }
-        case AggregateKind::kMin:
-        case AggregateKind::kMax: {
-          MinMaxCount<T> mmc = MinMaxMatchesCounted(values, range, interval);
-          if (mmc.count > 0) {
-            min_v = std::min(min_v, mmc.min);
-            max_v = std::max(max_v, mmc.max);
+      column.ForEachPiece(range, [&](RowRange piece) {
+        const std::span<const T> values = column.SpanFor(piece);
+        const RowRange local{0, piece.size()};
+        switch (query.aggregate) {
+          case AggregateKind::kCount: {
+            range_matches += CountMatches(values, local, interval);
+            break;
           }
-          range_matches = mmc.count;
-          break;
+          case AggregateKind::kSum: {
+            SumCount<T> sc = SumMatchesCounted(values, local, interval);
+            sum += sc.sum;
+            range_matches += sc.count;
+            break;
+          }
+          case AggregateKind::kMin:
+          case AggregateKind::kMax: {
+            MinMaxCount<T> mmc = MinMaxMatchesCounted(values, local, interval);
+            if (mmc.count > 0) {
+              min_v = std::min(min_v, mmc.min);
+              max_v = std::max(max_v, mmc.max);
+            }
+            range_matches += mmc.count;
+            break;
+          }
+          case AggregateKind::kMaterialize: {
+            range_matches += MaterializeMatches(values, local, interval,
+                                                &result.rows,
+                                                /*base=*/piece.begin);
+            break;
+          }
         }
-        case AggregateKind::kMaterialize: {
-          range_matches =
-              MaterializeMatches(values, range, interval, &result.rows);
-          break;
-        }
-      }
+      });
       stats.scan_nanos += scan_timer.ElapsedNanos();
       stats.rows_scanned += range.size();
       matched += range_matches;
@@ -365,6 +383,7 @@ QueryResult ScanExecutor::ExecuteSingleTyped(const Query& query,
     feedback.probe = stats.probe;
     index->OnQueryComplete(pred, feedback);
     stats.adapt_nanos = index->TakeAdaptationNanos();
+    stats.tail_rows_scanned = index->TakeTailRowsScanned();
   }
 
   stats.total_nanos = total_timer.ElapsedNanos();
@@ -389,14 +408,20 @@ Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
   std::vector<ProbeStats> pred_probe(num_preds);
   std::vector<const Column*> pred_column(num_preds, nullptr);
   std::vector<RowRange> candidates;
+  int64_t min_segment_rows = std::numeric_limits<int64_t>::max();
   for (size_t p = 0; p < num_preds; ++p) {
     const Predicate& pred = query.predicates[p];
     pred_column[p] = table_->ColumnByName(pred.column).value();
+    min_segment_rows =
+        std::min(min_segment_rows, pred_column[p]->segment_rows());
     std::vector<RowRange> column_candidates;
-    SkipIndex* index =
-        indexes_ != nullptr ? indexes_->GetIndex(pred.column) : nullptr;
+    SkipIndex* index = nullptr;
+    if (indexes_ != nullptr) {
+      ADASKIP_ASSIGN_OR_RETURN(index, indexes_->GetSyncedIndex(pred.column));
+    }
     pred_index[p] = index;
     if (index != nullptr) {
+      stats.tail_rows += index->UnindexedTailRows();
       index->Probe(pred, &column_candidates, &pred_probe[p]);
     } else if (table_->num_rows() > 0) {
       column_candidates.push_back({0, table_->num_rows()});
@@ -417,8 +442,12 @@ Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
   // predicate's matches, then filter by the remaining predicates. Each
   // morsel also counts every indexed predicate's *own* matches — the
   // currency of that index's range feedback (a zonemap predicts its own
-  // column's selectivity, not the conjunction's).
-  std::vector<Morsel> morsels = BuildMorsels(candidates, options_.morsel_rows);
+  // column's selectivity, not the conjunction's). Morsels split at the
+  // smallest predicate column's segment size, which (power-of-two sizes)
+  // is a segment boundary for every predicate column — so each morsel
+  // maps to one contiguous span per column.
+  std::vector<Morsel> morsels =
+      BuildMorsels(candidates, options_.morsel_rows, min_segment_rows);
   std::vector<SelectionVector> selections(morsels.size());
   std::vector<int64_t> own_matches(morsels.size() * num_preds, 0);
 
@@ -430,8 +459,10 @@ Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
       const Predicate& pred = query.predicates[0];
       DispatchDataType(pred_column[0]->type(), [&](auto tag) {
         using T = typename decltype(tag)::type;
-        own[0] = MaterializeMatches(pred_column[0]->As<T>()->data(), rows,
-                                    pred.ToInterval<T>(), &sel);
+        const TypedColumn<T>& typed = *pred_column[0]->As<T>();
+        own[0] = MaterializeMatches(typed.SpanFor(rows), {0, rows.size()},
+                                    pred.ToInterval<T>(), &sel,
+                                    /*base=*/rows.begin);
       });
     }
     for (size_t p = 1; p < num_preds; ++p) {
@@ -443,7 +474,8 @@ Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
         if (pred_index[p] != nullptr) {
           // Feedback for this column's index: one extra branchless pass
           // over the morsel, paid only when an index is listening.
-          own[p] = CountMatches(typed.data(), rows, interval);
+          own[p] = CountMatches(typed.SpanFor(rows), {0, rows.size()},
+                                interval);
         }
         auto* sel_rows = sel.mutable_rows();
         auto keep = std::remove_if(sel_rows->begin(), sel_rows->end(),
@@ -529,6 +561,7 @@ Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
     feedback.probe = pred_probe[p];
     pred_index[p]->OnQueryComplete(query.predicates[p], feedback);
     stats.adapt_nanos += pred_index[p]->TakeAdaptationNanos();
+    stats.tail_rows_scanned += pred_index[p]->TakeTailRowsScanned();
   }
 
   // Aggregate over the qualifying rows.

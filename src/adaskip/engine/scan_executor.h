@@ -1,6 +1,7 @@
 #ifndef ADASKIP_ENGINE_SCAN_EXECUTOR_H_
 #define ADASKIP_ENGINE_SCAN_EXECUTOR_H_
 
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -29,12 +30,16 @@ struct ExecOptions {
 };
 
 /// Answer of one query plus its execution accounting.
+///
+/// `min`/`max` are meaningful only when `count > 0`; with no qualifying
+/// rows they stay NaN so that accidental use is loud (NaN propagates)
+/// instead of silently reading as 0.0 — a real value for most columns.
 struct QueryResult {
   AggregateKind aggregate = AggregateKind::kCount;
   int64_t count = 0;   // Number of qualifying rows (all aggregate kinds).
   double sum = 0.0;    // kSum only.
-  double min = 0.0;    // kMin only; meaningful when count > 0.
-  double max = 0.0;    // kMax only; meaningful when count > 0.
+  double min = std::numeric_limits<double>::quiet_NaN();  // kMin; count > 0.
+  double max = std::numeric_limits<double>::quiet_NaN();  // kMax; count > 0.
   SelectionVector rows;  // kMaterialize only.
   QueryStats stats;
 };
@@ -60,6 +65,16 @@ struct QueryResult {
 /// path (bit-identical for integer columns; for float columns the SUM
 /// reduction order is fixed by the morsel layout, which does not depend
 /// on the thread count).
+///
+/// Columns are stored in fixed-capacity segments, so candidate ranges
+/// are decomposed into segment-contained pieces before the kernels run
+/// (morsels are additionally split at segment boundaries). Adaptation
+/// feedback is still delivered once per *original* candidate range —
+/// summing piece matches — so skip structures see the same feedback
+/// stream regardless of segmentation. Indexes are fetched through
+/// IndexManager::GetSyncedIndex: a query over a table that grew behind
+/// the index manager's back fails with FailedPrecondition instead of
+/// silently dropping appended rows from the answer.
 class ScanExecutor {
  public:
   /// `indexes` may be nullptr (every query scans fully). Both the table
@@ -84,8 +99,8 @@ class ScanExecutor {
   Status ValidateQuery(const Query& query) const;
 
   template <typename T>
-  QueryResult ExecuteSingleTyped(const Query& query,
-                                 const TypedColumn<T>& column);
+  Result<QueryResult> ExecuteSingleTyped(const Query& query,
+                                         const TypedColumn<T>& column);
 
   /// Parallel tail of ExecuteSingleTyped: scans `candidates` morsel-wise
   /// on the pool, merges partials deterministically, and replays feedback

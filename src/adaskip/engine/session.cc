@@ -26,6 +26,16 @@ Result<Session::TableRuntime*> Session::GetRuntime(
   return &inserted->second;
 }
 
+Status Session::Append(std::string_view table_name,
+                       const AppendBatch& batch) {
+  ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));
+  ADASKIP_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                           catalog_.GetTable(table_name));
+  ADASKIP_ASSIGN_OR_RETURN(RowRange appended, table->Append(batch));
+  if (appended.size() > 0) runtime->indexes->OnAppend(appended);
+  return Status::OK();
+}
+
 Status Session::AttachIndex(std::string_view table_name,
                             std::string_view column_name,
                             const IndexOptions& options) {

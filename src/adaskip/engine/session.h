@@ -48,6 +48,22 @@ class Session {
                             MakeColumn(std::move(values)));
   }
 
+  /// Appends a batch of rows (one equal-length value vector per column)
+  /// to `table_name` and routes the append to every attached skip index,
+  /// so the indexes stay in sync with the table's data version. This is
+  /// THE supported ingest path for live tables: appending to the Table
+  /// directly leaves indexes stale and subsequent queries fail fast.
+  Status Append(std::string_view table_name, const AppendBatch& batch);
+
+  /// Single-column convenience wrapper over the batch Append.
+  template <typename T>
+  Status Append(std::string_view table_name, std::string column_name,
+                std::vector<T> values) {
+    AppendBatch batch;
+    batch.Add(std::move(column_name), std::move(values));
+    return Append(table_name, batch);
+  }
+
   /// Builds a skip index over `table.column` (replacing any existing one).
   Status AttachIndex(std::string_view table_name,
                      std::string_view column_name,

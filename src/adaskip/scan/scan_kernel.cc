@@ -12,8 +12,8 @@ namespace adaskip {
   template double SumMatches<T>(std::span<const T>, RowRange,                \
                                 ValueInterval<T>);                           \
   template int64_t MaterializeMatches<T>(std::span<const T>, RowRange,       \
-                                         ValueInterval<T>,                   \
-                                         SelectionVector*);                  \
+                                         ValueInterval<T>, SelectionVector*, \
+                                         int64_t);                           \
   template int64_t BitmapMatches<T>(std::span<const T>, RowRange,            \
                                     ValueInterval<T>, BitVector*);           \
   template MinMax<T> MinMaxMatches<T>(std::span<const T>, RowRange,          \

@@ -67,10 +67,13 @@ double SumMatches(std::span<const T> values, RowRange range,
   return sum;
 }
 
-/// Appends matching row ids to `out`. Returns the number appended.
+/// Appends matching row ids (offset by `base`) to `out`. Returns the
+/// number appended. `base` maps span-local positions back to global row
+/// ids when `values` is one segment of a larger column.
 template <typename T>
 int64_t MaterializeMatches(std::span<const T> values, RowRange range,
-                           ValueInterval<T> interval, SelectionVector* out) {
+                           ValueInterval<T> interval, SelectionVector* out,
+                           int64_t base = 0) {
   ADASKIP_DCHECK(range.begin >= 0 &&
                  range.end <= static_cast<int64_t>(values.size()));
   const T lo = interval.lo;
@@ -80,7 +83,7 @@ int64_t MaterializeMatches(std::span<const T> values, RowRange range,
   for (int64_t i = range.begin; i < range.end; ++i) {
     const T v = data[i];
     if ((v >= lo) & (v <= hi)) {
-      out->Append(i);
+      out->Append(base + i);
       ++appended;
     }
   }

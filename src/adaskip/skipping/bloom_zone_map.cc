@@ -28,21 +28,47 @@ uint64_t HashValue(T value, uint64_t seed) {
 template <typename T>
 BloomZoneMapT<T>::BloomZoneMapT(const TypedColumn<T>& column,
                                 const BloomZoneMapOptions& options)
-    : num_rows_(column.size()), num_hashes_(options.num_hashes) {
+    : column_(&column),
+      zone_size_(options.zone_size),
+      num_rows_(column.size()),
+      num_hashes_(options.num_hashes) {
   ADASKIP_CHECK_GT(options.zone_size, 0);
   ADASKIP_CHECK_GT(options.bits_per_row, 0);
   ADASKIP_CHECK_GT(num_hashes_, 0);
   // Round the per-zone filter to whole 64-bit words.
   bits_per_zone_ = ((options.zone_size * options.bits_per_row + 63) / 64) * 64;
-  zones_ = BuildUniformZones(column.data(), options.zone_size);
+  zones_ = BuildUniformZones(column, options.zone_size);
   bloom_words_.assign(
       static_cast<size_t>(static_cast<int64_t>(zones_.size()) *
                           (bits_per_zone_ / 64)),
       0);
-  std::span<const T> values = column.data();
   for (size_t z = 0; z < zones_.size(); ++z) {
-    for (int64_t i = zones_[z].begin; i < zones_[z].end; ++i) {
-      BloomInsert(static_cast<int64_t>(z), values[static_cast<size_t>(i)]);
+    for (T v : column.SpanFor(zones_[z].begin, zones_[z].end)) {
+      BloomInsert(static_cast<int64_t>(z), v);
+    }
+  }
+}
+
+template <typename T>
+void BloomZoneMapT<T>::OnAppend(RowRange appended) {
+  num_rows_ = appended.end;
+  if (appended.empty()) return;
+  const int64_t first_touched =
+      AppendUniformZones(*column_, appended, zone_size_, &zones_);
+  bloom_words_.resize(
+      static_cast<size_t>(static_cast<int64_t>(zones_.size()) *
+                          (bits_per_zone_ / 64)),
+      0);
+  for (int64_t z = first_touched; z < static_cast<int64_t>(zones_.size());
+       ++z) {
+    // For the extended boundary zone only the appended suffix is new;
+    // values already inserted keep their bits (inserts are idempotent
+    // anyway, but skipping them avoids re-hashing the whole zone).
+    const int64_t begin = std::max(zones_[static_cast<size_t>(z)].begin,
+                                   appended.begin);
+    const int64_t end = zones_[static_cast<size_t>(z)].end;
+    for (T v : column_->SpanFor(begin, end)) {
+      BloomInsert(z, v);
     }
   }
 }

@@ -36,6 +36,13 @@ class BloomZoneMapT final : public SkipIndex {
   void Probe(const Predicate& pred, std::vector<RowRange>* candidates,
              ProbeStats* stats) override;
 
+  /// Extends zones like the plain zonemap (widen the trailing partial
+  /// zone, add fresh zones clipped at segment boundaries) and inserts the
+  /// appended values into the affected zones' Bloom filters. Existing
+  /// filter bits are never cleared, so the no-false-negative property is
+  /// preserved.
+  void OnAppend(RowRange appended) override;
+
   int64_t MemoryUsageBytes() const override;
   int64_t ZoneCount() const override {
     return static_cast<int64_t>(zones_.size());
@@ -48,6 +55,8 @@ class BloomZoneMapT final : public SkipIndex {
  private:
   void BloomInsert(int64_t zone_index, T value);
 
+  const TypedColumn<T>* column_;
+  int64_t zone_size_;
   int64_t num_rows_;
   int64_t bits_per_zone_;
   int64_t num_hashes_;

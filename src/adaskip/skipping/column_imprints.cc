@@ -10,21 +10,36 @@ namespace adaskip {
 template <typename T>
 ColumnImprintsT<T>::ColumnImprintsT(const TypedColumn<T>& column,
                                     const ImprintsOptions& options)
-    : num_rows_(column.size()),
+    : column_(&column),
+      num_rows_(column.size()),
       block_size_(options.block_size),
-      num_bins_(std::min<int64_t>(options.num_bins, 64)) {
+      num_bins_(std::min<int64_t>(options.num_bins, 64)),
+      sample_size_(options.sample_size) {
   ADASKIP_CHECK_GT(block_size_, 0);
   ADASKIP_CHECK_GT(num_bins_, 1);
-  std::span<const T> values = column.data();
   if (num_rows_ == 0) return;
 
+  InitSplitPoints(sample_size_);
+
+  // Build one imprint word per block.
+  int64_t num_blocks = (num_rows_ + block_size_ - 1) / block_size_;
+  imprints_.reserve(static_cast<size_t>(num_blocks));
+  for (int64_t block = 0; block < num_blocks; ++block) {
+    int64_t begin = block * block_size_;
+    int64_t end = std::min(begin + block_size_, num_rows_);
+    imprints_.push_back(BlockMask(begin, end));
+  }
+}
+
+template <typename T>
+void ColumnImprintsT<T>::InitSplitPoints(int64_t sample_size) {
   // Equi-depth bin boundaries from a uniform sample.
   Rng rng(/*seed=*/0xC0FFEE);
-  int64_t sample_size = std::min(options.sample_size, num_rows_);
+  sample_size = std::min(sample_size, num_rows_);
   std::vector<T> sample;
   sample.reserve(static_cast<size_t>(sample_size));
   for (int64_t i = 0; i < sample_size; ++i) {
-    sample.push_back(values[static_cast<size_t>(rng.NextInt64(num_rows_))]);
+    sample.push_back(column_->Get(rng.NextInt64(num_rows_)));
   }
   std::sort(sample.begin(), sample.end());
   split_points_.reserve(static_cast<size_t>(num_bins_ - 1));
@@ -37,18 +52,38 @@ ColumnImprintsT<T>::ColumnImprintsT(const TypedColumn<T>& column,
       split_points_.push_back(split);
     }
   }
+}
 
-  // Build one imprint word per block.
-  int64_t num_blocks = (num_rows_ + block_size_ - 1) / block_size_;
-  imprints_.resize(static_cast<size_t>(num_blocks), 0);
-  for (int64_t block = 0; block < num_blocks; ++block) {
-    int64_t begin = block * block_size_;
-    int64_t end = std::min(begin + block_size_, num_rows_);
-    uint64_t mask = 0;
-    for (int64_t i = begin; i < end; ++i) {
-      mask |= uint64_t{1} << BinOf(values[static_cast<size_t>(i)]);
+template <typename T>
+uint64_t ColumnImprintsT<T>::BlockMask(int64_t begin, int64_t end) const {
+  // Blocks are aligned to the global row space, not to segments, so a
+  // block can straddle a segment boundary; fold per contiguous piece.
+  uint64_t mask = 0;
+  column_->ForEachPiece({begin, end}, [&](RowRange piece) {
+    for (T v : column_->SpanFor(piece)) {
+      mask |= uint64_t{1} << BinOf(v);
     }
-    imprints_[static_cast<size_t>(block)] = mask;
+  });
+  return mask;
+}
+
+template <typename T>
+void ColumnImprintsT<T>::OnAppend(RowRange appended) {
+  const int64_t old_rows = appended.begin;
+  num_rows_ = appended.end;
+  if (appended.empty()) return;
+  if (split_points_.empty()) {
+    // The index was built over an empty column; place the bins now from
+    // the first data that arrives.
+    InitSplitPoints(sample_size_);
+  }
+  const int64_t first_block = old_rows / block_size_;
+  const int64_t num_blocks = (num_rows_ + block_size_ - 1) / block_size_;
+  imprints_.resize(static_cast<size_t>(num_blocks), 0);
+  for (int64_t block = first_block; block < num_blocks; ++block) {
+    const int64_t begin = std::max(block * block_size_, old_rows);
+    const int64_t end = std::min((block + 1) * block_size_, num_rows_);
+    imprints_[static_cast<size_t>(block)] |= BlockMask(begin, end);
   }
 }
 

@@ -41,6 +41,14 @@ class ColumnImprintsT final : public SkipIndex {
   void Probe(const Predicate& pred, std::vector<RowRange>* candidates,
              ProbeStats* stats) override;
 
+  /// Extends the imprint words over the new tail: the partial boundary
+  /// block ORs in the new rows' bins (existing bits stay — a union, so no
+  /// recompute), full new blocks get fresh words. Split points are never
+  /// moved by an append; BinOf is monotone for any fixed split points, so
+  /// the superset contract survives even if the tail's value distribution
+  /// shifted (it merely costs precision, as for static imprints).
+  void OnAppend(RowRange appended) override;
+
   int64_t MemoryUsageBytes() const override;
   int64_t ZoneCount() const override {
     return static_cast<int64_t>(imprints_.size());
@@ -53,9 +61,17 @@ class ColumnImprintsT final : public SkipIndex {
   int64_t BinOf(T v) const;
 
  private:
+  /// Places equi-depth split points from a uniform sample of the column.
+  void InitSplitPoints(int64_t sample_size);
+
+  /// Imprint word for rows [begin, end) (may cross segment boundaries).
+  uint64_t BlockMask(int64_t begin, int64_t end) const;
+
+  const TypedColumn<T>* column_;
   int64_t num_rows_;
   int64_t block_size_;
   int64_t num_bins_;
+  int64_t sample_size_;
   // split_points_[i] is the upper boundary (inclusive) of bin i for
   // i < num_bins_-1; the last bin is unbounded above.
   std::vector<T> split_points_;

@@ -81,6 +81,23 @@ class SkipIndex {
     (void)feedback;
   }
 
+  /// Data-arrival hook: `appended` is the new tail [old_size, new_size)
+  /// already written to the column. Implementations must extend their
+  /// metadata so the superset contract holds over the grown column —
+  /// without a full rebuild. Static structures extend exact metadata for
+  /// the tail; adaptive structures may cover it with conservative
+  /// catch-all metadata that later query feedback refines.
+  virtual void OnAppend(RowRange appended) = 0;
+
+  /// Rows currently covered only by conservative catch-all metadata (the
+  /// not-yet-refined tail of adaptive structures); 0 when fully indexed.
+  virtual int64_t UnindexedTailRows() const { return 0; }
+
+  /// Returns and resets the number of scanned rows that fell in catch-all
+  /// tail metadata since the last call. The executor drains this into
+  /// QueryStats::tail_rows_scanned.
+  virtual int64_t TakeTailRowsScanned() { return 0; }
+
   /// Returns and resets the nanoseconds this index spent adapting itself
   /// (splits, merges) since the last call; 0 for static structures. The
   /// executor drains this into QueryStats::adapt_nanos.
@@ -104,6 +121,8 @@ class FullScanIndex final : public SkipIndex {
 
   void Probe(const Predicate& pred, std::vector<RowRange>* candidates,
              ProbeStats* stats) override;
+
+  void OnAppend(RowRange appended) override { num_rows_ = appended.end; }
 
   int64_t MemoryUsageBytes() const override { return 0; }
   int64_t ZoneCount() const override { return 1; }

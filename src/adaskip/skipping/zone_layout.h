@@ -1,11 +1,13 @@
 #ifndef ADASKIP_SKIPPING_ZONE_LAYOUT_H_
 #define ADASKIP_SKIPPING_ZONE_LAYOUT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "adaskip/scan/scan_kernel.h"
+#include "adaskip/storage/column.h"
 
 namespace adaskip {
 
@@ -42,6 +44,74 @@ std::vector<Zone<T>> BuildUniformZones(std::span<const T> values,
   return zones;
 }
 
+/// Builds fixed-width zones over a segmented column. Zones never cross a
+/// segment boundary (each segment is chunked independently, so the last
+/// zone of each segment may be short); this keeps every zone addressable
+/// as one contiguous span via TypedColumn::SpanFor.
+template <typename T>
+std::vector<Zone<T>> BuildUniformZones(const TypedColumn<T>& column,
+                                       int64_t zone_size) {
+  ADASKIP_CHECK_GT(zone_size, 0);
+  std::vector<Zone<T>> zones;
+  const int64_t n = column.size();
+  zones.reserve(static_cast<size_t>((n + zone_size - 1) / zone_size +
+                                    column.num_segments()));
+  for (int64_t s = 0; s < column.num_segments(); ++s) {
+    const std::span<const T> values = column.segment(s);
+    const int64_t base = s * column.segment_rows();
+    const int64_t rows = static_cast<int64_t>(values.size());
+    for (int64_t begin = 0; begin < rows; begin += zone_size) {
+      int64_t end = std::min(begin + zone_size, rows);
+      MinMax<T> mm = ComputeMinMax(values, begin, end);
+      zones.push_back(Zone<T>{base + begin, base + end, mm.min, mm.max});
+    }
+  }
+  return zones;
+}
+
+/// Incrementally extends `zones` to cover `appended` (the new column tail
+/// [old_size, new_size)). The trailing zone is widened with exact bounds
+/// while it stays short of `zone_size` and inside its segment; beyond
+/// that, fresh zones are appended (clipped at segment boundaries, like
+/// BuildUniformZones). Returns the index of the first zone touched —
+/// extended or newly added — so callers with per-zone side metadata
+/// (e.g. Bloom filters) know what to refresh. No existing zone's bounds
+/// are ever tightened, so the superset contract is preserved.
+template <typename T>
+int64_t AppendUniformZones(const TypedColumn<T>& column, RowRange appended,
+                           int64_t zone_size, std::vector<Zone<T>>* zones) {
+  ADASKIP_CHECK_GT(zone_size, 0);
+  if (appended.empty()) return static_cast<int64_t>(zones->size());
+  ADASKIP_DCHECK(ZonesTileRowSpace(*zones, appended.begin));
+  int64_t first_touched = static_cast<int64_t>(zones->size());
+  int64_t cursor = appended.begin;
+  if (!zones->empty()) {
+    Zone<T>& last = zones->back();
+    const int64_t segment_end = column.NextSegmentBoundary(last.begin);
+    const int64_t grow_to =
+        std::min({last.begin + zone_size, segment_end, appended.end});
+    if (grow_to > last.end) {
+      MinMax<T> mm =
+          ComputeMinMax(column.SpanFor(last.end, grow_to), 0,
+                        grow_to - last.end);
+      last.min = std::min(last.min, mm.min);
+      last.max = std::max(last.max, mm.max);
+      last.end = grow_to;
+      cursor = grow_to;
+      first_touched = static_cast<int64_t>(zones->size()) - 1;
+    }
+  }
+  while (cursor < appended.end) {
+    const int64_t end = std::min({cursor + zone_size,
+                                  column.NextSegmentBoundary(cursor),
+                                  appended.end});
+    MinMax<T> mm = ComputeMinMax(column.SpanFor(cursor, end), 0, end - cursor);
+    zones->push_back(Zone<T>{cursor, end, mm.min, mm.max});
+    cursor = end;
+  }
+  return first_touched;
+}
+
 /// True if `zones` exactly tile [0, num_rows): sorted, contiguous, no
 /// gaps or overlap, and each zone non-empty. The core structural
 /// invariant of every zonemap, checked by tests and debug builds.
@@ -63,6 +133,19 @@ bool ZoneBoundsAreCorrect(const std::vector<Zone<T>>& zones,
   for (const Zone<T>& z : zones) {
     MinMax<T> mm = ComputeMinMax(values, z.begin, z.end);
     // Bounds may be conservative (wider than the data) but never tighter.
+    if (z.min > mm.min || z.max < mm.max) return false;
+  }
+  return true;
+}
+
+/// Column overload: zones must each sit inside one segment (as built by
+/// the column-based BuildUniformZones / AppendUniformZones).
+template <typename T>
+bool ZoneBoundsAreCorrect(const std::vector<Zone<T>>& zones,
+                          const TypedColumn<T>& column) {
+  for (const Zone<T>& z : zones) {
+    std::span<const T> values = column.SpanFor(z.begin, z.end);
+    MinMax<T> mm = ComputeMinMax(values, 0, z.size());
     if (z.min > mm.min || z.max < mm.max) return false;
   }
   return true;

@@ -24,8 +24,10 @@ template <typename T>
 class ZoneMapT final : public SkipIndex {
  public:
   ZoneMapT(const TypedColumn<T>& column, const ZoneMapOptions& options)
-      : num_rows_(column.size()),
-        zones_(BuildUniformZones(column.data(), options.zone_size)) {}
+      : column_(&column),
+        zone_size_(options.zone_size),
+        num_rows_(column.size()),
+        zones_(BuildUniformZones(column, options.zone_size)) {}
 
   std::string_view name() const override { return "zonemap"; }
   int64_t num_rows() const override { return num_rows_; }
@@ -35,6 +37,11 @@ class ZoneMapT final : public SkipIndex {
     ValueInterval<T> interval = pred.ToInterval<T>();
     ProbeFlatZones(zones_, interval, candidates, &stats->entries_read,
                    &stats->zones_skipped, &stats->zones_candidate);
+  }
+
+  void OnAppend(RowRange appended) override {
+    AppendUniformZones(*column_, appended, zone_size_, &zones_);
+    num_rows_ = appended.end;
   }
 
   int64_t MemoryUsageBytes() const override {
@@ -48,6 +55,8 @@ class ZoneMapT final : public SkipIndex {
   const std::vector<Zone<T>>& zones() const { return zones_; }
 
  private:
+  const TypedColumn<T>* column_;
+  int64_t zone_size_;
   int64_t num_rows_;
   std::vector<Zone<T>> zones_;
 };

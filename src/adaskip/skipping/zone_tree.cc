@@ -9,10 +9,25 @@ namespace adaskip {
 template <typename T>
 ZoneTreeT<T>::ZoneTreeT(const TypedColumn<T>& column,
                         const ZoneTreeOptions& options)
-    : num_rows_(column.size()),
+    : column_(&column),
+      zone_size_(options.zone_size),
+      num_rows_(column.size()),
       fanout_(options.fanout),
-      leaves_(BuildUniformZones(column.data(), options.zone_size)) {
+      leaves_(BuildUniformZones(column, options.zone_size)) {
   ADASKIP_CHECK_GT(fanout_, 1);
+  RebuildLevels();
+}
+
+template <typename T>
+void ZoneTreeT<T>::OnAppend(RowRange appended) {
+  AppendUniformZones(*column_, appended, zone_size_, &leaves_);
+  num_rows_ = appended.end;
+  RebuildLevels();
+}
+
+template <typename T>
+void ZoneTreeT<T>::RebuildLevels() {
+  levels_.clear();
   // Build summary levels bottom-up until a level fits in one node group.
   const std::vector<Zone<T>>& base = leaves_;
   int64_t prev_count = static_cast<int64_t>(base.size());

@@ -32,6 +32,12 @@ class ZoneTreeT final : public SkipIndex {
   void Probe(const Predicate& pred, std::vector<RowRange>* candidates,
              ProbeStats* stats) override;
 
+  /// Extends the leaf zones for the new tail, then rebuilds the summary
+  /// levels. Rebuilding the levels is O(zones) over plain min/max pairs —
+  /// cheap next to the per-row work of the leaf extension — and keeps the
+  /// tree perfectly balanced after any append.
+  void OnAppend(RowRange appended) override;
+
   int64_t MemoryUsageBytes() const override;
   int64_t ZoneCount() const override {
     return static_cast<int64_t>(leaves_.size());
@@ -56,6 +62,11 @@ class ZoneTreeT final : public SkipIndex {
   /// Number of leaves under one node of `level`.
   int64_t LeavesUnder(int64_t level) const;
 
+  /// Recomputes levels_ from leaves_ (build + append path).
+  void RebuildLevels();
+
+  const TypedColumn<T>* column_;
+  int64_t zone_size_;
   int64_t num_rows_;
   int64_t fanout_;
   std::vector<Zone<T>> leaves_;

@@ -1,12 +1,16 @@
 #ifndef ADASKIP_STORAGE_COLUMN_H_
 #define ADASKIP_STORAGE_COLUMN_H_
 
+#include <algorithm>
+#include <bit>
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "adaskip/storage/data_type.h"
+#include "adaskip/util/interval_set.h"
 #include "adaskip/util/logging.h"
 #include "adaskip/util/status.h"
 
@@ -16,10 +20,20 @@ template <typename T>
   requires ColumnValueType<T>
 class TypedColumn;
 
+/// Rows per segment unless a column overrides it. Must be a power of two
+/// so row addressing is a shift + mask.
+inline constexpr int64_t kDefaultSegmentRows = int64_t{1} << 20;
+
 /// A single in-memory column: append-only, dense (no nulls), typed.
 /// Columns are the unit that scan kernels and skip indexes operate on.
-/// Access the typed payload via `TypedColumn<T>::data()` after an `As<T>()`
-/// downcast, or generically via `GetAsDouble()` (slower; for tooling).
+///
+/// Storage is segmented: values live in fixed-capacity segments of
+/// `segment_rows()` values each (only the last segment may be partially
+/// filled). Appends fill the tail segment and allocate new ones; existing
+/// rows are never moved, so row ids are stable. Kernels address the payload
+/// per segment via `TypedColumn<T>::SpanFor()` / `ForEachPiece()` after an
+/// `As<T>()` downcast, or generically via `GetAsDouble()` (slower; for
+/// tooling).
 class Column {
  public:
   virtual ~Column() = default;
@@ -30,6 +44,11 @@ class Column {
   DataType type() const { return type_; }
   virtual int64_t size() const = 0;
   virtual int64_t MemoryUsageBytes() const = 0;
+
+  /// Segment geometry (shared by all TypedColumn instantiations so the
+  /// executor can align morsels without dispatching on the value type).
+  virtual int64_t segment_rows() const = 0;
+  virtual int64_t num_segments() const = 0;
 
   /// Generic (lossy for int64 beyond 2^53) value access for diagnostics
   /// and generic tooling; kernels use the typed fast path instead.
@@ -59,49 +78,163 @@ class Column {
   DataType type_;
 };
 
-/// Concrete column holding values of type T contiguously.
+/// Concrete column holding values of type T in fixed-capacity segments.
 template <typename T>
   requires ColumnValueType<T>
 class TypedColumn final : public Column {
  public:
-  TypedColumn() : Column(DataTypeTraits<T>::kType) {}
+  explicit TypedColumn(int64_t segment_rows = kDefaultSegmentRows)
+      : Column(DataTypeTraits<T>::kType),
+        segment_rows_(segment_rows),
+        segment_shift_(std::countr_zero(static_cast<uint64_t>(segment_rows))),
+        segment_mask_(segment_rows - 1) {
+    ADASKIP_CHECK(segment_rows > 0 &&
+                  std::has_single_bit(static_cast<uint64_t>(segment_rows)))
+        << "segment_rows must be a positive power of two, got "
+        << segment_rows;
+  }
 
   /// Takes ownership of pre-generated values (the common path for
-  /// workload generators).
-  explicit TypedColumn(std::vector<T> values)
-      : Column(DataTypeTraits<T>::kType), values_(std::move(values)) {}
+  /// workload generators). Values that fit one segment are adopted
+  /// without copying; larger payloads are chunked across segments.
+  explicit TypedColumn(std::vector<T> values,
+                       int64_t segment_rows = kDefaultSegmentRows)
+      : TypedColumn(segment_rows) {
+    if (static_cast<int64_t>(values.size()) <= segment_rows_) {
+      if (!values.empty()) {
+        size_ = static_cast<int64_t>(values.size());
+        segments_.push_back(std::move(values));
+      }
+    } else {
+      Append(std::span<const T>(values));
+    }
+  }
 
-  void Reserve(int64_t n) { values_.reserve(static_cast<size_t>(n)); }
-  void Append(T value) { values_.push_back(value); }
+  /// No-op kept for source compatibility: segments are allocated at full
+  /// capacity as appends reach them.
+  void Reserve(int64_t n) { (void)n; }
 
-  int64_t size() const override {
-    return static_cast<int64_t>(values_.size());
+  void Append(T value) { Append(std::span<const T>(&value, 1)); }
+
+  /// Appends `values` at the tail, filling the last partial segment and
+  /// allocating new segments as needed. Returns the appended row range
+  /// [old_size, new_size). Existing rows never move.
+  RowRange Append(std::span<const T> values) {
+    const int64_t begin = size_;
+    while (!values.empty()) {
+      if (segments_.empty() ||
+          static_cast<int64_t>(segments_.back().size()) == segment_rows_) {
+        segments_.emplace_back();
+        segments_.back().reserve(static_cast<size_t>(segment_rows_));
+      }
+      std::vector<T>& tail = segments_.back();
+      const int64_t room = segment_rows_ - static_cast<int64_t>(tail.size());
+      const int64_t take =
+          std::min<int64_t>(room, static_cast<int64_t>(values.size()));
+      tail.insert(tail.end(), values.begin(), values.begin() + take);
+      values = values.subspan(static_cast<size_t>(take));
+      size_ += take;
+    }
+    return RowRange{begin, size_};
+  }
+
+  int64_t size() const override { return size_; }
+
+  int64_t segment_rows() const override { return segment_rows_; }
+
+  int64_t num_segments() const override {
+    return static_cast<int64_t>(segments_.size());
   }
 
   int64_t MemoryUsageBytes() const override {
-    return static_cast<int64_t>(values_.capacity() * sizeof(T));
+    int64_t total = 0;
+    for (const std::vector<T>& segment : segments_) {
+      total += static_cast<int64_t>(segment.capacity() * sizeof(T));
+    }
+    return total;
   }
 
   double GetAsDouble(int64_t row) const override {
-    ADASKIP_DCHECK(row >= 0 && row < size());
-    return static_cast<double>(values_[static_cast<size_t>(row)]);
+    return static_cast<double>(Get(row));
   }
 
   T Get(int64_t row) const {
-    ADASKIP_DCHECK(row >= 0 && row < size());
-    return values_[static_cast<size_t>(row)];
+    ADASKIP_DCHECK(row >= 0 && row < size_);
+    return segments_[static_cast<size_t>(row >> segment_shift_)]
+                    [static_cast<size_t>(row & segment_mask_)];
   }
 
-  std::span<const T> data() const { return values_; }
+  /// Segment that `row` lives in.
+  int64_t SegmentOf(int64_t row) const { return row >> segment_shift_; }
+
+  /// First row of the segment after the one containing `row` (the next
+  /// point where contiguity breaks).
+  int64_t NextSegmentBoundary(int64_t row) const {
+    return ((row >> segment_shift_) + 1) << segment_shift_;
+  }
+
+  /// Filled portion of segment `index` as a contiguous span.
+  std::span<const T> segment(int64_t index) const {
+    ADASKIP_DCHECK(index >= 0 && index < num_segments());
+    return segments_[static_cast<size_t>(index)];
+  }
+
+  /// Contiguous span over [begin, end). The range must not cross a
+  /// segment boundary (callers decompose with ForEachPiece first).
+  std::span<const T> SpanFor(int64_t begin, int64_t end) const {
+    ADASKIP_DCHECK(begin >= 0 && begin < end && end <= size_);
+    ADASKIP_DCHECK((begin >> segment_shift_) == ((end - 1) >> segment_shift_))
+        << "range [" << begin << ", " << end << ") crosses a segment boundary";
+    return std::span<const T>(segments_[static_cast<size_t>(
+                                  begin >> segment_shift_)])
+        .subspan(static_cast<size_t>(begin & segment_mask_),
+                 static_cast<size_t>(end - begin));
+  }
+  std::span<const T> SpanFor(RowRange range) const {
+    return SpanFor(range.begin, range.end);
+  }
+
+  /// Invokes `fn(RowRange piece)` for each maximal segment-contained
+  /// sub-range of `range`, in row order.
+  template <typename Fn>
+  void ForEachPiece(RowRange range, Fn&& fn) const {
+    ADASKIP_DCHECK(range.begin >= 0 && range.end <= size_);
+    int64_t begin = range.begin;
+    while (begin < range.end) {
+      const int64_t end = std::min(range.end, NextSegmentBoundary(begin));
+      fn(RowRange{begin, end});
+      begin = end;
+    }
+  }
+
+  /// Whole payload as one contiguous span. Only valid while the column
+  /// occupies at most one segment; multi-segment columns abort. Kept for
+  /// single-segment tooling and tests — kernels and index builds use
+  /// segment() / SpanFor() / ForEachPiece().
+  std::span<const T> data() const {
+    ADASKIP_CHECK(segments_.size() <= 1)
+        << "data() requires a single-segment column; this one has "
+        << segments_.size() << " segments (use SpanFor/ForEachPiece)";
+    return segments_.empty() ? std::span<const T>()
+                             : std::span<const T>(segments_.front());
+  }
 
  private:
-  std::vector<T> values_;
+  int64_t segment_rows_;
+  int segment_shift_;
+  int64_t segment_mask_;
+  int64_t size_ = 0;
+  // Spans returned by segment()/SpanFor()/data() are invalidated by the
+  // next Append (the tail segment may grow its buffer); callers fetch
+  // spans per use and never cache them across mutations.
+  std::vector<std::vector<T>> segments_;
 };
 
 /// Convenience factory: wraps `values` into an owned column.
 template <typename T>
-std::unique_ptr<Column> MakeColumn(std::vector<T> values) {
-  return std::make_unique<TypedColumn<T>>(std::move(values));
+std::unique_ptr<Column> MakeColumn(std::vector<T> values,
+                                   int64_t segment_rows = kDefaultSegmentRows) {
+  return std::make_unique<TypedColumn<T>>(std::move(values), segment_rows);
 }
 
 }  // namespace adaskip

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "adaskip/storage/type_dispatch.h"
 #include "adaskip/util/logging.h"
 
 namespace adaskip {
@@ -23,7 +24,74 @@ Status Table::AddColumn(std::string field_name,
   num_rows_ = column->size();
   schema_.push_back(Field{std::move(field_name), column->type()});
   columns_.push_back(std::move(column));
+  ++data_version_;
   return Status::OK();
+}
+
+Result<RowRange> Table::Append(const AppendBatch& batch) {
+  if (columns_.empty()) {
+    return Status::FailedPrecondition("table '" + name_ +
+                                      "' has no columns to append to");
+  }
+  if (batch.num_columns() != num_columns()) {
+    return Status::InvalidArgument(
+        "append batch has " + std::to_string(batch.num_columns()) +
+        " columns; table '" + name_ + "' has " +
+        std::to_string(num_columns()));
+  }
+  // Validate the whole batch before touching any column so a failed append
+  // leaves the table unchanged.
+  int64_t batch_rows = -1;
+  std::vector<int64_t> targets;
+  targets.reserve(batch.columns().size());
+  for (const auto& [name, source] : batch.columns()) {
+    const int64_t index = ColumnIndex(name);
+    if (index < 0) {
+      return Status::NotFound("append batch names unknown column '" + name +
+                              "' of table '" + name_ + "'");
+    }
+    for (int64_t seen : targets) {
+      if (seen == index) {
+        return Status::InvalidArgument("append batch repeats column '" + name +
+                                       "'");
+      }
+    }
+    if (source->type() != schema_[static_cast<size_t>(index)].type) {
+      return Status::InvalidArgument(
+          "append batch column '" + name + "' has type " +
+          std::string(DataTypeToString(source->type())) + "; table column is " +
+          std::string(DataTypeToString(schema_[static_cast<size_t>(index)].type)));
+    }
+    if (batch_rows < 0) {
+      batch_rows = source->size();
+    } else if (source->size() != batch_rows) {
+      return Status::InvalidArgument(
+          "append batch columns have unequal row counts (" +
+          std::to_string(batch_rows) + " vs " + std::to_string(source->size()) +
+          " for '" + name + "')");
+    }
+    targets.push_back(index);
+  }
+  if (batch_rows == 0) {
+    return RowRange{num_rows_, num_rows_};
+  }
+
+  const RowRange appended{num_rows_, num_rows_ + batch_rows};
+  for (size_t i = 0; i < batch.columns().size(); ++i) {
+    Column* dst = columns_[static_cast<size_t>(targets[i])].get();
+    const Column* src = batch.columns()[i].second.get();
+    DispatchDataType(src->type(), [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      TypedColumn<T>* typed_dst = dst->As<T>();
+      const TypedColumn<T>* typed_src = src->As<T>();
+      for (int64_t s = 0; s < typed_src->num_segments(); ++s) {
+        typed_dst->Append(typed_src->segment(s));
+      }
+    });
+  }
+  num_rows_ = appended.end;
+  ++data_version_;
+  return appended;
 }
 
 int64_t Table::ColumnIndex(std::string_view field_name) const {

@@ -3,10 +3,12 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "adaskip/storage/column.h"
 #include "adaskip/storage/data_type.h"
+#include "adaskip/util/interval_set.h"
 #include "adaskip/util/status.h"
 
 namespace adaskip {
@@ -21,9 +23,38 @@ struct Field {
   }
 };
 
+/// One batch of rows to append to a table: a value vector per column.
+/// A batch must cover every table column exactly once, with matching
+/// types and equal row counts (validated by Table::Append).
+class AppendBatch {
+ public:
+  AppendBatch() = default;
+
+  template <typename T>
+  AppendBatch& Add(std::string column_name, std::vector<T> values) {
+    columns_.emplace_back(std::move(column_name),
+                          MakeColumn<T>(std::move(values)));
+    return *this;
+  }
+
+  int64_t num_columns() const { return static_cast<int64_t>(columns_.size()); }
+
+  const std::vector<std::pair<std::string, std::unique_ptr<Column>>>& columns()
+      const {
+    return columns_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::unique_ptr<Column>>> columns_;
+};
+
 /// A main-memory table: an ordered set of equally sized columns. Tables
 /// own their columns. All columns must have the same row count; `AddColumn`
-/// enforces this.
+/// and `Append` enforce this.
+///
+/// Every mutation (adding a column, appending rows) bumps `data_version()`;
+/// skip indexes record the version they describe so stale metadata is
+/// detected instead of silently under-reporting candidates.
 class Table {
  public:
   explicit Table(std::string name) : name_(std::move(name)) {}
@@ -36,9 +67,18 @@ class Table {
   int64_t num_columns() const { return static_cast<int64_t>(columns_.size()); }
   const std::vector<Field>& schema() const { return schema_; }
 
+  /// Monotonic epoch, bumped on every schema or data mutation.
+  int64_t data_version() const { return data_version_; }
+
   /// Adds a column under `field_name`. Fails if the name already exists or
   /// the column's row count differs from existing columns.
   Status AddColumn(std::string field_name, std::unique_ptr<Column> column);
+
+  /// Appends `batch` to the tail of every column. The batch must provide
+  /// each schema column exactly once, with matching value type and one
+  /// shared row count. Returns the appended row range [old, new) and bumps
+  /// data_version(); an empty batch is a no-op returning an empty range.
+  Result<RowRange> Append(const AppendBatch& batch);
 
   /// Index of `field_name` in the schema, or -1.
   int64_t ColumnIndex(std::string_view field_name) const;
@@ -56,6 +96,7 @@ class Table {
   std::vector<Field> schema_;
   std::vector<std::unique_ptr<Column>> columns_;
   int64_t num_rows_ = 0;
+  int64_t data_version_ = 0;
 };
 
 }  // namespace adaskip

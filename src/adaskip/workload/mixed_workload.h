@@ -1,0 +1,166 @@
+#ifndef ADASKIP_WORKLOAD_MIXED_WORKLOAD_H_
+#define ADASKIP_WORKLOAD_MIXED_WORKLOAD_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adaskip/engine/session.h"
+#include "adaskip/workload/data_generator.h"
+#include "adaskip/workload/query_generator.h"
+
+namespace adaskip {
+
+/// Parameters of a mixed ingest/query stream: a warmup query phase over
+/// an initial load, then appends of the remaining rows interleaved with
+/// further queries. This is the workload shape the segmented-storage +
+/// incremental-maintenance machinery exists for.
+struct MixedWorkloadOptions {
+  /// The *final* column: `data.num_rows` is the row count after all
+  /// appends have landed. The whole payload is generated up front and
+  /// split into initial load + append chunks, so (load all) and
+  /// (load prefix, append rest) produce bit-identical tables — the
+  /// append-equivalence property tests and benchmarks rely on.
+  DataGenOptions data;
+  QueryGenOptions queries;
+
+  /// Fraction of `data.num_rows` loaded before the stream starts; the
+  /// rest arrives through `num_appends` equal append chunks.
+  double initial_fraction = 0.8;
+  int64_t num_appends = 1;
+
+  /// Queries before the first append, between consecutive appends, and
+  /// after the last append (the recovery window).
+  int64_t warmup_queries = 50;
+  int64_t queries_between_appends = 50;
+  int64_t queries_after_last_append = 100;
+};
+
+/// One step of the stream: a query, or an append of `append` (a row
+/// range of the workload's `data` vector).
+struct MixedOp {
+  bool is_append = false;
+  Predicate query;   // Meaningful when !is_append.
+  RowRange append{0, 0};  // Meaningful when is_append.
+};
+
+/// A generated mixed stream plus the full column payload it draws from.
+template <typename T>
+struct MixedWorkload {
+  std::string column_name;
+  std::vector<T> data;      // Final payload; rows arrive in index order.
+  int64_t initial_rows = 0; // Load data[0, initial_rows) before the ops.
+  std::vector<MixedOp> ops;
+
+  int64_t num_queries() const {
+    int64_t n = 0;
+    for (const MixedOp& op : ops) n += op.is_append ? 0 : 1;
+    return n;
+  }
+};
+
+/// Generates the full payload and the op stream. The query generator is
+/// seeded from the *full* payload, so the predicate sequence does not
+/// depend on how much of the table happens to be loaded — two runs that
+/// ingest differently still answer the same queries.
+template <typename T>
+MixedWorkload<T> GenerateMixedWorkload(std::string column_name,
+                                       const MixedWorkloadOptions& options) {
+  ADASKIP_CHECK(options.initial_fraction > 0.0 &&
+                options.initial_fraction <= 1.0);
+  ADASKIP_CHECK_GE(options.num_appends, 0);
+  MixedWorkload<T> workload;
+  workload.column_name = std::move(column_name);
+  workload.data = GenerateData<T>(options.data);
+  const int64_t total = static_cast<int64_t>(workload.data.size());
+  workload.initial_rows = std::min(
+      total,
+      static_cast<int64_t>(options.initial_fraction *
+                           static_cast<double>(total)));
+  QueryGenerator<T> queries(workload.column_name, workload.data,
+                            options.queries);
+
+  auto push_queries = [&](int64_t n) {
+    for (int64_t i = 0; i < n; ++i) {
+      MixedOp op;
+      op.query = queries.Next();
+      workload.ops.push_back(std::move(op));
+    }
+  };
+
+  push_queries(options.warmup_queries);
+  const int64_t tail = total - workload.initial_rows;
+  const int64_t appends =
+      tail > 0 ? std::max<int64_t>(options.num_appends, 1) : 0;
+  int64_t cursor = workload.initial_rows;
+  for (int64_t a = 0; a < appends; ++a) {
+    // Split the tail as evenly as integer math allows, all rows covered.
+    int64_t end = workload.initial_rows + (a + 1) * tail / appends;
+    if (end > cursor) {
+      MixedOp op;
+      op.is_append = true;
+      op.append = {cursor, end};
+      workload.ops.push_back(op);
+      cursor = end;
+    }
+    push_queries(a + 1 < appends ? options.queries_between_appends
+                                 : options.queries_after_last_append);
+  }
+  if (appends == 0) push_queries(options.queries_after_last_append);
+  return workload;
+}
+
+/// Outcome of one mixed-stream run. `per_query_*` series cover query ops
+/// only; `append_at` marks, for each append, how many queries had run
+/// before it — the x-position of the ingest event on a latency curve.
+struct MixedRunResult {
+  WorkloadStats stats;
+  std::vector<double> per_query_micros;
+  std::vector<int64_t> per_query_tail_rows;  // Catch-all tail at probe time.
+  std::vector<int64_t> append_at;
+  double result_checksum = 0.0;
+  int64_t final_zone_count = 0;
+  int64_t index_memory_bytes = 0;
+};
+
+/// Plays `workload.ops` against `table_name`, which must already hold
+/// data[0, initial_rows) in `workload.column_name` (plus any index).
+/// COUNT queries; appends go through Session::Append so every attached
+/// index is maintained incrementally.
+template <typename T>
+Result<MixedRunResult> RunMixedWorkload(Session* session,
+                                        std::string_view table_name,
+                                        const MixedWorkload<T>& workload) {
+  MixedRunResult run;
+  for (const MixedOp& op : workload.ops) {
+    if (op.is_append) {
+      std::vector<T> chunk(
+          workload.data.begin() + static_cast<size_t>(op.append.begin),
+          workload.data.begin() + static_cast<size_t>(op.append.end));
+      ADASKIP_RETURN_IF_ERROR(
+          session->Append(table_name, workload.column_name,
+                          std::move(chunk)));
+      run.append_at.push_back(
+          static_cast<int64_t>(run.per_query_micros.size()));
+      continue;
+    }
+    ADASKIP_ASSIGN_OR_RETURN(
+        QueryResult result,
+        session->Execute(table_name, Query::Count(op.query)));
+    run.stats.Record(result.stats);
+    run.per_query_micros.push_back(
+        static_cast<double>(result.stats.total_nanos) / 1e3);
+    run.per_query_tail_rows.push_back(result.stats.tail_rows);
+    run.result_checksum += static_cast<double>(result.count);
+  }
+  SkipIndex* index = session->GetIndex(table_name, workload.column_name);
+  if (index != nullptr) {
+    run.final_zone_count = index->ZoneCount();
+    run.index_memory_bytes = index->MemoryUsageBytes();
+  }
+  return run;
+}
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_WORKLOAD_MIXED_WORKLOAD_H_

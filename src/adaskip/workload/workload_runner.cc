@@ -19,9 +19,12 @@ Result<ArmResult> RunWorkload(Session* session, std::string_view table_name,
     arm.per_query_micros.push_back(
         static_cast<double>(result.stats.total_nanos) / 1e3);
     arm.per_query_skipped.push_back(result.stats.SkippedFraction());
-    arm.result_checksum +=
-        static_cast<double>(result.count) + result.sum + result.min +
-        result.max;
+    arm.result_checksum += static_cast<double>(result.count) + result.sum;
+    if (result.count > 0) {
+      // min/max are NaN when nothing matched; folding them in would
+      // poison the checksum.
+      arm.result_checksum += result.min + result.max;
+    }
   }
 
   if (!index_column.empty()) {

@@ -1,0 +1,235 @@
+// Append equivalence: for every index kind, a table built by
+// (load half, query, append rest) must answer queries identically to a
+// table loaded all-upfront — the superset contract may never be violated
+// by incremental index maintenance, regardless of how much the adaptive
+// structures have (or have not) absorbed the appended tail.
+//
+// Also covers: parallel scans over appended tables matching serial
+// bit-for-bit, and the stale-index hazard (mutating the Table behind the
+// IndexManager's back fails fast instead of under-reporting rows).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "adaskip/engine/session.h"
+#include "adaskip/workload/data_generator.h"
+#include "adaskip/workload/query_generator.h"
+
+namespace adaskip {
+namespace {
+
+constexpr int64_t kRows = 8000;
+constexpr int64_t kInitialRows = 5000;
+constexpr int64_t kSegmentRows = 1024;  // Appends cross segment boundaries.
+
+IndexOptions OptionsFor(IndexKind kind) {
+  IndexOptions options;
+  options.kind = kind;
+  // Shrink granularities so a few thousand rows exercise many zones.
+  options.zone_map.zone_size = 512;
+  options.zone_tree.zone_size = 512;
+  options.zone_tree.fanout = 4;
+  options.bloom.zone_size = 512;
+  options.adaptive.initial_zone_size = 1024;
+  options.adaptive.min_zone_size = 128;
+  return options;
+}
+
+std::vector<int64_t> TestData() {
+  DataGenOptions gen;
+  gen.order = DataOrder::kClustered;
+  gen.num_rows = kRows;
+  gen.value_range = 100000;
+  gen.seed = 11;
+  return GenerateData<int64_t>(gen);
+}
+
+// Builds a session whose table "t" holds `values` in column "x", stored
+// with small segments so multi-segment behavior is exercised.
+std::unique_ptr<Session> MakeSession(const std::vector<int64_t>& values,
+                                     IndexKind kind) {
+  auto session = std::make_unique<Session>();
+  auto table = std::make_shared<Table>("t");
+  ADASKIP_CHECK_OK(table->AddColumn("x", MakeColumn(values, kSegmentRows)));
+  ADASKIP_CHECK_OK(session->RegisterTable(table));
+  ADASKIP_CHECK_OK(session->AttachIndex("t", "x", OptionsFor(kind)));
+  return session;
+}
+
+std::vector<int64_t> Slice(const std::vector<int64_t>& v, int64_t begin,
+                           int64_t end) {
+  return std::vector<int64_t>(v.begin() + begin, v.begin() + end);
+}
+
+void ExpectSameScalar(double a, double b) {
+  // min/max are NaN unless a min/max aggregate ran AND matched rows:
+  // "equal or both NaN" (EXPECT_EQ would reject NaN==NaN).
+  if (std::isnan(a) || std::isnan(b)) {
+    EXPECT_TRUE(std::isnan(a) && std::isnan(b));
+  } else {
+    EXPECT_EQ(a, b);
+  }
+}
+
+void ExpectSameAnswer(const QueryResult& a, const QueryResult& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum, b.sum);
+  ExpectSameScalar(a.min, b.min);
+  ExpectSameScalar(a.max, b.max);
+  EXPECT_EQ(a.rows, b.rows);
+}
+
+QueryResult Exec(Session& session, const Query& query) {
+  Result<QueryResult> result = session.Execute("t", query);
+  ADASKIP_CHECK_OK(result.status());
+  return *std::move(result);
+}
+
+class AppendEquivalenceTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(AppendEquivalenceTest, HalfLoadPlusAppendMatchesFullLoad) {
+  const std::vector<int64_t> data = TestData();
+  std::unique_ptr<Session> full = MakeSession(data, GetParam());
+  std::unique_ptr<Session> incr =
+      MakeSession(Slice(data, 0, kInitialRows), GetParam());
+
+  // Queries are generated from the FULL data so both arms see the same
+  // predicate stream with post-append-realistic value windows.
+  QueryGenOptions qopt;
+  qopt.selectivity = 0.05;
+  qopt.seed = 23;
+  QueryGenerator<int64_t> warmup("x", data, qopt);
+
+  // Warm up the incremental arm's adaptive state on the partial table —
+  // its internal zone layout now differs arbitrarily from the full arm's.
+  for (int i = 0; i < 25; ++i) {
+    Exec(*incr, Query::Count(warmup.Next()));
+  }
+
+  // Append the rest in two chunks: one lands mid-segment, one crosses a
+  // segment boundary.
+  ASSERT_TRUE(
+      incr->Append<int64_t>("t", "x", Slice(data, kInitialRows, 6000)).ok());
+  ASSERT_TRUE(incr->Append<int64_t>("t", "x", Slice(data, 6000, kRows)).ok());
+  ASSERT_EQ((*incr->GetTable("t"))->num_rows(), kRows);
+
+  // Post-append, both arms must agree on every aggregate of every query —
+  // including materialized row ids, which catch any off-by-segment error.
+  QueryGenerator<int64_t> stream("x", data, qopt);
+  for (int i = 0; i < 40; ++i) {
+    Predicate pred = stream.Next();
+    ExpectSameAnswer(Exec(*full, Query::Count(pred)),
+                     Exec(*incr, Query::Count(pred)));
+    ExpectSameAnswer(Exec(*full, Query::Sum(pred)),
+                     Exec(*incr, Query::Sum(pred)));
+    ExpectSameAnswer(Exec(*full, Query::Min(pred)),
+                     Exec(*incr, Query::Min(pred)));
+    ExpectSameAnswer(Exec(*full, Query::Max(pred)),
+                     Exec(*incr, Query::Max(pred)));
+    if (i % 8 == 0) {
+      ExpectSameAnswer(Exec(*full, Query::Materialize(pred)),
+                       Exec(*incr, Query::Materialize(pred)));
+    }
+  }
+
+  // Ground truth: an all-inclusive predicate counts every appended row.
+  QueryResult all = Exec(
+      *incr, Query::Count(Predicate::Between<int64_t>("x", -1, 1000000)));
+  EXPECT_EQ(all.count, kRows);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexKinds, AppendEquivalenceTest,
+    ::testing::Values(IndexKind::kFullScan, IndexKind::kZoneMap,
+                      IndexKind::kZoneTree, IndexKind::kImprints,
+                      IndexKind::kBloomZoneMap, IndexKind::kAdaptive,
+                      IndexKind::kAdaptiveImprints),
+    [](const ::testing::TestParamInfo<IndexKind>& info) {
+      return std::string(IndexKindToString(info.param));
+    });
+
+TEST(AppendParallelTest, ParallelMatchesSerialOverAppendedTable) {
+  const std::vector<int64_t> data = TestData();
+  for (IndexKind kind : {IndexKind::kZoneMap, IndexKind::kAdaptive,
+                         IndexKind::kAdaptiveImprints}) {
+    std::unique_ptr<Session> serial =
+        MakeSession(Slice(data, 0, kInitialRows), kind);
+    std::unique_ptr<Session> parallel =
+        MakeSession(Slice(data, 0, kInitialRows), kind);
+    ExecOptions exec;
+    exec.num_threads = 4;
+    exec.morsel_rows = 512;
+    ASSERT_TRUE(parallel->SetExecOptions("t", exec).ok());
+
+    QueryGenOptions qopt;
+    qopt.selectivity = 0.05;
+    qopt.seed = 31;
+    QueryGenerator<int64_t> stream("x", data, qopt);
+
+    // Identical query + append schedule on both arms; the adaptive state
+    // must evolve identically, so answers are compared bit-for-bit.
+    for (int i = 0; i < 60; ++i) {
+      if (i == 20) {
+        ASSERT_TRUE(
+            serial->Append<int64_t>("t", "x", Slice(data, kInitialRows, kRows))
+                .ok());
+        ASSERT_TRUE(parallel
+                        ->Append<int64_t>("t", "x",
+                                          Slice(data, kInitialRows, kRows))
+                        .ok());
+      }
+      Predicate pred = stream.Next();
+      ExpectSameAnswer(Exec(*serial, Query::Sum(pred)),
+                       Exec(*parallel, Query::Sum(pred)));
+      if (i % 7 == 0) {
+        ExpectSameAnswer(Exec(*serial, Query::Materialize(pred)),
+                         Exec(*parallel, Query::Materialize(pred)));
+      }
+    }
+  }
+}
+
+TEST(StaleIndexTest, DirectTableAppendFailsFastUntilReattach) {
+  std::vector<int64_t> values(1000);
+  std::iota(values.begin(), values.end(), 0);
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t").ok());
+  ASSERT_TRUE(session.AddColumn<int64_t>("t", "x", values).ok());
+  ASSERT_TRUE(session.AttachIndex("t", "x", IndexOptions::ZoneMap(64)).ok());
+
+  Query count_all = Query::Count(Predicate::Between<int64_t>("x", 0, 100000));
+  Result<QueryResult> before = session.Execute("t", count_all);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->count, 1000);
+
+  // Mutate the table behind the IndexManager's back. The index is now
+  // stale: answering from it could silently drop the appended rows, so
+  // execution must refuse instead.
+  std::shared_ptr<Table> table = *session.GetTable("t");
+  AppendBatch batch;
+  batch.Add<int64_t>("x", std::vector<int64_t>(500, 42));
+  ASSERT_TRUE(table->Append(batch).ok());
+
+  Result<QueryResult> stale = session.Execute("t", count_all);
+  EXPECT_EQ(stale.status().code(), StatusCode::kFailedPrecondition);
+
+  // Re-attaching rebuilds against the current data version and recovers.
+  ASSERT_TRUE(session.AttachIndex("t", "x", IndexOptions::ZoneMap(64)).ok());
+  Result<QueryResult> after = session.Execute("t", count_all);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->count, 1500);
+
+  // The supported ingest path keeps working and stays in sync.
+  ASSERT_TRUE(
+      session.Append<int64_t>("t", "x", std::vector<int64_t>(250, 7)).ok());
+  Result<QueryResult> synced = session.Execute("t", count_all);
+  ASSERT_TRUE(synced.ok());
+  EXPECT_EQ(synced->count, 1750);
+}
+
+}  // namespace
+}  // namespace adaskip

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "adaskip/scan/scan_kernel.h"
 #include "adaskip/util/rng.h"
 #include "adaskip/workload/data_generator.h"
@@ -201,6 +203,28 @@ TEST(ScanExecutorTest, EmptyTable) {
   EXPECT_EQ(result->stats.rows_scanned, 0);
 }
 
+TEST(ScanExecutorTest, MinMaxAreNaNWhenNothingMatches) {
+  auto table = MakeTestTable(DataOrder::kUniform, 1000, 3);
+  ScanExecutor executor(table, nullptr);
+  // Values live in [0, 100000); this window is empty.
+  Query query =
+      Query::Min(Predicate::Between<int64_t>("x", 200000, 300000));
+  Result<QueryResult> result = executor.Execute(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, 0);
+  EXPECT_TRUE(std::isnan(result->min));
+  EXPECT_TRUE(std::isnan(result->max));
+
+  // Same contract on the conjunction path.
+  query.predicates.push_back(Predicate::Between<int64_t>("y", 0, 100000));
+  query.aggregate = AggregateKind::kMax;
+  result = executor.Execute(query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->count, 0);
+  EXPECT_TRUE(std::isnan(result->min));
+  EXPECT_TRUE(std::isnan(result->max));
+}
+
 TEST(ScanExecutorTest, QueryToStringMentionsEverything) {
   Query query;
   query.predicates = {Predicate::Between<int64_t>("x", 1, 2),
@@ -258,10 +282,20 @@ TEST_P(ExecutorMatrixTest, AgreesWithNaiveAnswerOnQueryStream) {
         EXPECT_DOUBLE_EQ(result->sum, expected.sum) << query.ToString();
         break;
       case AggregateKind::kMin:
-        EXPECT_EQ(result->min, expected.min) << query.ToString();
+        // min/max are meaningful only when count > 0; otherwise the
+        // contract is that both stay NaN.
+        if (result->count > 0) {
+          EXPECT_EQ(result->min, expected.min) << query.ToString();
+        } else {
+          EXPECT_TRUE(std::isnan(result->min)) << query.ToString();
+        }
         break;
       case AggregateKind::kMax:
-        EXPECT_EQ(result->max, expected.max) << query.ToString();
+        if (result->count > 0) {
+          EXPECT_EQ(result->max, expected.max) << query.ToString();
+        } else {
+          EXPECT_TRUE(std::isnan(result->max)) << query.ToString();
+        }
         break;
       case AggregateKind::kMaterialize:
         EXPECT_EQ(result->rows, expected.rows) << query.ToString();

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "adaskip/adaptive/adaptive_zone_map.h"
 #include "adaskip/engine/scan_executor.h"
 #include "adaskip/workload/data_generator.h"
@@ -73,14 +75,24 @@ std::vector<Query> MakeQueryStream(const Table& table, int count) {
   return queries;
 }
 
+void ExpectSameScalar(double a, double b, const std::string& context) {
+  if (std::isnan(a) || std::isnan(b)) {
+    EXPECT_TRUE(std::isnan(a) && std::isnan(b)) << context;
+  } else {
+    EXPECT_EQ(a, b) << context;
+  }
+}
+
 void ExpectSameResult(const QueryResult& serial, const QueryResult& parallel,
                       const std::string& context) {
   EXPECT_EQ(serial.count, parallel.count) << context;
   // Bit-identical for integer columns: every partial double sum is an
   // exactly representable integer.
   EXPECT_EQ(serial.sum, parallel.sum) << context;
-  EXPECT_EQ(serial.min, parallel.min) << context;
-  EXPECT_EQ(serial.max, parallel.max) << context;
+  // min/max are NaN unless a min/max aggregate ran AND matched rows:
+  // "equal or both NaN" (EXPECT_EQ would reject NaN==NaN).
+  ExpectSameScalar(serial.min, parallel.min, context);
+  ExpectSameScalar(serial.max, parallel.max, context);
   EXPECT_EQ(serial.rows, parallel.rows) << context;
 }
 

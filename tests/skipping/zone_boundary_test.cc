@@ -1,0 +1,155 @@
+// Zone/segment boundary edge cases of incremental skip-index extension:
+// partial trailing zones, appends landing exactly on zone or segment
+// boundaries, single-row segments, and candidate-range adjacency across
+// the extended tail.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "adaskip/skipping/zone_layout.h"
+#include "adaskip/skipping/zone_map.h"
+#include "adaskip/storage/column.h"
+
+namespace adaskip {
+namespace {
+
+std::vector<int64_t> Iota(int64_t n, int64_t start = 0) {
+  std::vector<int64_t> v(static_cast<size_t>(n));
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+TEST(ZoneBoundaryTest, AppendWidensLastPartialZoneWithExactBounds) {
+  TypedColumn<int64_t> column(Iota(10), /*segment_rows=*/64);
+  std::vector<Zone<int64_t>> zones = BuildUniformZones(column, /*zone_size=*/8);
+  ASSERT_EQ(zones.size(), 2u);  // [0,8) and the partial [8,10).
+
+  RowRange appended = column.Append(std::span<const int64_t>(Iota(4, 10)));
+  int64_t first_touched = AppendUniformZones(column, appended, 8, &zones);
+  EXPECT_EQ(first_touched, 1);  // The partial zone was extended in place.
+  ASSERT_EQ(zones.size(), 2u);  // [0,8) and [8,14); no new zone yet.
+  EXPECT_EQ(zones[1].begin, 8);
+  EXPECT_EQ(zones[1].end, 14);
+  EXPECT_EQ(zones[1].min, 8);   // Exact bounds, not conservative.
+  EXPECT_EQ(zones[1].max, 13);
+  EXPECT_TRUE(ZonesTileRowSpace(zones, column.size()));
+  EXPECT_TRUE(ZoneBoundsAreCorrect(zones, column));
+}
+
+TEST(ZoneBoundaryTest, AppendExactlyOnZoneBoundaryOpensFreshZone) {
+  TypedColumn<int64_t> column(Iota(16), /*segment_rows=*/64);
+  std::vector<Zone<int64_t>> zones = BuildUniformZones(column, /*zone_size=*/8);
+  ASSERT_EQ(zones.size(), 2u);
+  ASSERT_EQ(zones[1].end, 16);  // Last zone is exactly full.
+
+  RowRange appended = column.Append(std::span<const int64_t>(Iota(3, 16)));
+  int64_t first_touched = AppendUniformZones(column, appended, 8, &zones);
+  EXPECT_EQ(first_touched, 2);  // Nothing extended; a new zone appeared.
+  ASSERT_EQ(zones.size(), 3u);
+  EXPECT_EQ(zones[2].begin, 16);
+  EXPECT_EQ(zones[2].end, 19);
+  EXPECT_TRUE(ZonesTileRowSpace(zones, column.size()));
+  EXPECT_TRUE(ZoneBoundsAreCorrect(zones, column));
+}
+
+TEST(ZoneBoundaryTest, AppendExactlyOnSegmentBoundary) {
+  // Segment holds exactly two zones; fill it completely, then append. The next
+  // zone must start in the new segment, never straddling the boundary.
+  TypedColumn<int64_t> column(Iota(16), /*segment_rows=*/16);
+  std::vector<Zone<int64_t>> zones = BuildUniformZones(column, /*zone_size=*/8);
+  ASSERT_EQ(zones.size(), 2u);
+
+  RowRange appended = column.Append(std::span<const int64_t>(Iota(12, 16)));
+  AppendUniformZones(column, appended, 8, &zones);
+  ASSERT_EQ(zones.size(), 4u);
+  EXPECT_EQ(zones[2].begin, 16);
+  EXPECT_EQ(zones[2].end, 24);
+  EXPECT_EQ(zones[3].begin, 24);
+  EXPECT_EQ(zones[3].end, 28);
+  for (const Zone<int64_t>& z : zones) {
+    EXPECT_EQ(column.SegmentOf(z.begin), column.SegmentOf(z.end - 1))
+        << "zone [" << z.begin << ", " << z.end << ") crosses a segment";
+  }
+  EXPECT_TRUE(ZoneBoundsAreCorrect(zones, column));
+}
+
+TEST(ZoneBoundaryTest, ZoneClippedAtSegmentBoundaryStaysShort) {
+  // zone_size 8 does not divide the 12-row fill of a 16-row segment:
+  // extension across the boundary must clip at row 16, leaving a short
+  // zone [8,16) before the new segment's zones begin.
+  TypedColumn<int64_t> column(Iota(12), /*segment_rows=*/16);
+  std::vector<Zone<int64_t>> zones =
+      BuildUniformZones(column, /*zone_size=*/8);
+  ASSERT_EQ(zones.size(), 2u);  // [0,8) [8,12).
+
+  RowRange appended = column.Append(std::span<const int64_t>(Iota(12, 12)));
+  AppendUniformZones(column, appended, 8, &zones);
+  EXPECT_TRUE(ZonesTileRowSpace(zones, column.size()));
+  EXPECT_TRUE(ZoneBoundsAreCorrect(zones, column));
+  // [8,12) grew only to the segment boundary: [8,16).
+  EXPECT_EQ(zones[1].begin, 8);
+  EXPECT_EQ(zones[1].end, 16);
+  EXPECT_EQ(zones[2].begin, 16);
+}
+
+TEST(ZoneBoundaryTest, SingleRowSegmentsProduceSingleRowZones) {
+  TypedColumn<int64_t> column(/*segment_rows=*/1);
+  column.Append(std::span<const int64_t>(Iota(3)));
+  std::vector<Zone<int64_t>> zones =
+      BuildUniformZones(column, /*zone_size=*/8);
+  ASSERT_EQ(zones.size(), 3u);  // Zones clip at every segment boundary.
+  RowRange appended = column.Append(std::span<const int64_t>(Iota(2, 3)));
+  AppendUniformZones(column, appended, 8, &zones);
+  ASSERT_EQ(zones.size(), 5u);
+  EXPECT_TRUE(ZonesTileRowSpace(zones, 5));
+  EXPECT_TRUE(ZoneBoundsAreCorrect(zones, column));
+  for (const Zone<int64_t>& z : zones) EXPECT_EQ(z.size(), 1);
+}
+
+TEST(ZoneBoundaryTest, ProbeCoalescesCandidatesAcrossExtendedTail) {
+  // After a tail extension the probe must still emit one coalesced
+  // candidate range across the old-tail/new-zone seam when both zones
+  // qualify (IntervalSet-style adjacency, not two abutting ranges).
+  TypedColumn<int64_t> column(Iota(10), /*segment_rows=*/64);
+  ZoneMapOptions options;
+  options.zone_size = 8;
+  ZoneMapT<int64_t> map(column, options);
+  RowRange appended = column.Append(std::span<const int64_t>(Iota(20, 10)));
+  map.OnAppend(appended);
+  EXPECT_EQ(map.num_rows(), 30);
+
+  std::vector<RowRange> candidates;
+  ProbeStats stats;
+  // Every value qualifies → every zone qualifies → one coalesced range.
+  map.Probe(Predicate::Between<int64_t>("x", 0, 1000), &candidates, &stats);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], (RowRange{0, 30}));
+
+  // A window covering only the appended tail touches no pre-append zone.
+  candidates.clear();
+  stats = ProbeStats();
+  map.Probe(Predicate::Between<int64_t>("x", 16, 29), &candidates, &stats);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].begin, 16);
+  EXPECT_EQ(candidates[0].end, 30);
+  EXPECT_GT(stats.zones_skipped, 0);
+}
+
+TEST(ZoneBoundaryTest, RepeatedSmallAppendsKeepTiling) {
+  // Many one-row appends across zone and segment boundaries: the tiling
+  // and bounds invariants must hold after every step.
+  TypedColumn<int64_t> column(/*segment_rows=*/8);
+  std::vector<Zone<int64_t>> zones;
+  for (int64_t i = 0; i < 40; ++i) {
+    RowRange appended = column.Append(std::span<const int64_t>(&i, 1));
+    AppendUniformZones(column, appended, /*zone_size=*/4, &zones);
+    ASSERT_TRUE(ZonesTileRowSpace(zones, column.size())) << "row " << i;
+    ASSERT_TRUE(ZoneBoundsAreCorrect(zones, column)) << "row " << i;
+  }
+  // 40 rows, zone size 4 dividing segment size 8 → exactly 10 full zones.
+  EXPECT_EQ(zones.size(), 10u);
+}
+
+}  // namespace
+}  // namespace adaskip

@@ -1,0 +1,208 @@
+// Segmented column storage: segment geometry, live appends, span
+// decomposition, and the Table append path (batch validation + data
+// versioning). Uses tiny segment sizes so multi-segment behavior is
+// exercised without millions of rows.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "adaskip/storage/column.h"
+#include "adaskip/storage/table.h"
+
+namespace adaskip {
+namespace {
+
+std::vector<int64_t> Iota(int64_t n, int64_t start = 0) {
+  std::vector<int64_t> v(static_cast<size_t>(n));
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+TEST(SegmentedColumnTest, SingleSegmentAdoptsVectorWithoutChunking) {
+  TypedColumn<int64_t> column(Iota(100), /*segment_rows=*/128);
+  EXPECT_EQ(column.size(), 100);
+  EXPECT_EQ(column.num_segments(), 1);
+  EXPECT_EQ(column.segment_rows(), 128);
+  EXPECT_EQ(column.data().size(), 100u);  // Compat accessor still works.
+}
+
+TEST(SegmentedColumnTest, LargePayloadIsChunkedAcrossSegments) {
+  TypedColumn<int64_t> column(Iota(1000), /*segment_rows=*/256);
+  EXPECT_EQ(column.size(), 1000);
+  EXPECT_EQ(column.num_segments(), 4);  // 256+256+256+232.
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(column.Get(i), i) << "row " << i;
+  }
+  EXPECT_EQ(column.segment(3).size(), 1000u - 3 * 256u);
+}
+
+TEST(SegmentedColumnTest, AppendFillsTailThenAllocates) {
+  TypedColumn<int64_t> column(/*segment_rows=*/8);
+  RowRange r1 = column.Append(std::span<const int64_t>(Iota(5)));
+  EXPECT_EQ(r1.begin, 0);
+  EXPECT_EQ(r1.end, 5);
+  EXPECT_EQ(column.num_segments(), 1);
+
+  // 5 more rows: 3 fill the tail segment, 2 open a new one.
+  RowRange r2 = column.Append(std::span<const int64_t>(Iota(5, 5)));
+  EXPECT_EQ(r2.begin, 5);
+  EXPECT_EQ(r2.end, 10);
+  EXPECT_EQ(column.num_segments(), 2);
+  for (int64_t i = 0; i < 10; ++i) ASSERT_EQ(column.Get(i), i);
+}
+
+TEST(SegmentedColumnTest, AppendExactlyOnSegmentBoundary) {
+  TypedColumn<int64_t> column(/*segment_rows=*/8);
+  column.Append(std::span<const int64_t>(Iota(8)));
+  EXPECT_EQ(column.num_segments(), 1);
+  EXPECT_EQ(column.segment(0).size(), 8u);
+
+  RowRange r = column.Append(std::span<const int64_t>(Iota(1, 8)));
+  EXPECT_EQ(r.begin, 8);
+  EXPECT_EQ(column.num_segments(), 2);
+  EXPECT_EQ(column.Get(8), 8);
+}
+
+TEST(SegmentedColumnTest, SegmentGeometryHelpers) {
+  TypedColumn<int64_t> column(Iota(20), /*segment_rows=*/8);
+  EXPECT_EQ(column.SegmentOf(0), 0);
+  EXPECT_EQ(column.SegmentOf(7), 0);
+  EXPECT_EQ(column.SegmentOf(8), 1);
+  EXPECT_EQ(column.NextSegmentBoundary(0), 8);
+  EXPECT_EQ(column.NextSegmentBoundary(7), 8);
+  EXPECT_EQ(column.NextSegmentBoundary(8), 16);
+}
+
+TEST(SegmentedColumnTest, SpanForWithinOneSegment) {
+  TypedColumn<int64_t> column(Iota(20), /*segment_rows=*/8);
+  std::span<const int64_t> s = column.SpanFor(9, 15);
+  ASSERT_EQ(s.size(), 6u);
+  EXPECT_EQ(s[0], 9);
+  EXPECT_EQ(s[5], 14);
+}
+
+TEST(SegmentedColumnTest, ForEachPieceDecomposesAtBoundaries) {
+  TypedColumn<int64_t> column(Iota(30), /*segment_rows=*/8);
+  std::vector<RowRange> pieces;
+  column.ForEachPiece({3, 27}, [&](RowRange p) { pieces.push_back(p); });
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], (RowRange{3, 8}));
+  EXPECT_EQ(pieces[1], (RowRange{8, 16}));
+  EXPECT_EQ(pieces[2], (RowRange{16, 24}));
+  EXPECT_EQ(pieces[3], (RowRange{24, 27}));
+  // Every piece is span-addressable and carries the right values.
+  for (const RowRange& piece : pieces) {
+    std::span<const int64_t> s = column.SpanFor(piece);
+    for (int64_t i = 0; i < piece.size(); ++i) {
+      ASSERT_EQ(s[static_cast<size_t>(i)], piece.begin + i);
+    }
+  }
+}
+
+TEST(SegmentedColumnTest, SingleRowSegments) {
+  TypedColumn<int64_t> column(/*segment_rows=*/1);
+  column.Append(std::span<const int64_t>(Iota(5)));
+  EXPECT_EQ(column.num_segments(), 5);
+  std::vector<RowRange> pieces;
+  column.ForEachPiece({0, 5}, [&](RowRange p) { pieces.push_back(p); });
+  EXPECT_EQ(pieces.size(), 5u);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(column.Get(i), i);
+}
+
+TEST(SegmentedColumnTest, MemoryUsageCountsAllSegments) {
+  TypedColumn<int64_t> column(Iota(20), /*segment_rows=*/8);
+  EXPECT_GE(column.MemoryUsageBytes(),
+            static_cast<int64_t>(20 * sizeof(int64_t)));
+}
+
+TEST(TableAppendTest, AppendBumpsDataVersionAndRowCount) {
+  Table table("t");
+  const int64_t v0 = table.data_version();
+  ASSERT_TRUE(table.AddColumn("x", MakeColumn(Iota(10))).ok());
+  EXPECT_GT(table.data_version(), v0);
+  const int64_t v1 = table.data_version();
+
+  AppendBatch batch;
+  batch.Add<int64_t>("x", Iota(5, 10));
+  Result<RowRange> appended = table.Append(batch);
+  ASSERT_TRUE(appended.ok()) << appended.status();
+  EXPECT_EQ(appended->begin, 10);
+  EXPECT_EQ(appended->end, 15);
+  EXPECT_EQ(table.num_rows(), 15);
+  EXPECT_GT(table.data_version(), v1);
+}
+
+TEST(TableAppendTest, EmptyBatchIsANoOpWithoutVersionBump) {
+  Table table("t");
+  ASSERT_TRUE(table.AddColumn("x", MakeColumn(Iota(10))).ok());
+  const int64_t v = table.data_version();
+  AppendBatch batch;
+  batch.Add<int64_t>("x", {});
+  Result<RowRange> appended = table.Append(batch);
+  ASSERT_TRUE(appended.ok());
+  EXPECT_EQ(appended->size(), 0);
+  EXPECT_EQ(table.data_version(), v);
+}
+
+TEST(TableAppendTest, RejectsColumnMismatches) {
+  Table table("t");
+  ASSERT_TRUE(table.AddColumn("x", MakeColumn(Iota(10))).ok());
+  ASSERT_TRUE(table.AddColumn("y", MakeColumn(Iota(10))).ok());
+
+  {
+    AppendBatch batch;  // Missing column y.
+    batch.Add<int64_t>("x", Iota(5));
+    EXPECT_EQ(table.Append(batch).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    AppendBatch batch;  // Unknown column name.
+    batch.Add<int64_t>("x", Iota(5));
+    batch.Add<int64_t>("zz", Iota(5));
+    EXPECT_EQ(table.Append(batch).status().code(), StatusCode::kNotFound);
+  }
+  {
+    AppendBatch batch;  // Unequal row counts.
+    batch.Add<int64_t>("x", Iota(5));
+    batch.Add<int64_t>("y", Iota(4));
+    EXPECT_EQ(table.Append(batch).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    AppendBatch batch;  // Type mismatch.
+    batch.Add<int64_t>("x", Iota(5));
+    batch.Add<double>("y", {1.0, 2.0, 3.0, 4.0, 5.0});
+    EXPECT_EQ(table.Append(batch).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  // Nothing was mutated by the failed attempts.
+  EXPECT_EQ(table.num_rows(), 10);
+}
+
+TEST(TableAppendTest, MultiColumnAppendKeepsColumnsAligned) {
+  Table table("t");
+  ASSERT_TRUE(table.AddColumn("x", MakeColumn(Iota(10))).ok());
+  ASSERT_TRUE(table.AddColumn("y", MakeColumn(Iota(10, 100))).ok());
+  AppendBatch batch;
+  batch.Add<int64_t>("x", Iota(5, 10));
+  batch.Add<int64_t>("y", Iota(5, 110));
+  ASSERT_TRUE(table.Append(batch).ok());
+  const auto& x = *table.ColumnByName("x").value()->As<int64_t>();
+  const auto& y = *table.ColumnByName("y").value()->As<int64_t>();
+  for (int64_t i = 0; i < 15; ++i) {
+    ASSERT_EQ(x.Get(i), i);
+    ASSERT_EQ(y.Get(i), i + 100);
+  }
+}
+
+TEST(TableAppendTest, AppendToEmptyTableFails) {
+  Table table("t");
+  AppendBatch batch;
+  batch.Add<int64_t>("x", Iota(5));
+  EXPECT_EQ(table.Append(batch).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace adaskip

@@ -1,0 +1,177 @@
+// Mixed ingest/query workload generator and runner: the op stream must
+// tile the appended tail exactly, and runs that differ only in skip
+// structure (or in ingest schedule) must produce identical query answers.
+
+#include "adaskip/workload/mixed_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace adaskip {
+namespace {
+
+MixedWorkloadOptions SmallOptions() {
+  MixedWorkloadOptions options;
+  options.data.order = DataOrder::kClustered;
+  options.data.num_rows = 4000;
+  options.data.value_range = 50000;
+  options.data.seed = 5;
+  options.queries.selectivity = 0.05;
+  options.queries.seed = 17;
+  options.initial_fraction = 0.75;
+  options.num_appends = 3;
+  options.warmup_queries = 10;
+  options.queries_between_appends = 5;
+  options.queries_after_last_append = 20;
+  return options;
+}
+
+TEST(MixedWorkloadTest, OpsTileTheTailAndCountQueries) {
+  MixedWorkloadOptions options = SmallOptions();
+  MixedWorkload<int64_t> workload =
+      GenerateMixedWorkload<int64_t>("x", options);
+
+  EXPECT_EQ(static_cast<int64_t>(workload.data.size()), 4000);
+  EXPECT_EQ(workload.initial_rows, 3000);
+  // Append ranges are contiguous, in order, and cover exactly the tail.
+  int64_t cursor = workload.initial_rows;
+  int64_t num_appends = 0;
+  for (const MixedOp& op : workload.ops) {
+    if (!op.is_append) continue;
+    EXPECT_EQ(op.append.begin, cursor);
+    EXPECT_GT(op.append.end, op.append.begin);
+    cursor = op.append.end;
+    ++num_appends;
+  }
+  EXPECT_EQ(cursor, 4000);
+  EXPECT_EQ(num_appends, 3);
+  // 10 warmup + 5 + 5 between appends + 20 recovery.
+  EXPECT_EQ(workload.num_queries(), 40);
+  EXPECT_EQ(static_cast<int64_t>(workload.ops.size()), 43);
+}
+
+TEST(MixedWorkloadTest, NoTailMeansNoAppendOps) {
+  MixedWorkloadOptions options = SmallOptions();
+  options.initial_fraction = 1.0;
+  MixedWorkload<int64_t> workload =
+      GenerateMixedWorkload<int64_t>("x", options);
+  for (const MixedOp& op : workload.ops) EXPECT_FALSE(op.is_append);
+  EXPECT_EQ(workload.num_queries(), 30);  // Warmup + recovery only.
+}
+
+// Runs `workload` in a fresh session with the given index and exec
+// options, loading data[0, initial_rows) up front.
+MixedRunResult RunWith(const MixedWorkload<int64_t>& workload,
+                       const IndexOptions& index,
+                       const ExecOptions& exec = {}) {
+  Session session;
+  ADASKIP_CHECK_OK(session.CreateTable("t"));
+  ADASKIP_CHECK_OK(session.AddColumn<int64_t>(
+      "t", workload.column_name,
+      std::vector<int64_t>(workload.data.begin(),
+                           workload.data.begin() + workload.initial_rows)));
+  ADASKIP_CHECK_OK(session.AttachIndex("t", workload.column_name, index));
+  ADASKIP_CHECK_OK(session.SetExecOptions("t", exec));
+  Result<MixedRunResult> run = RunMixedWorkload(&session, "t", workload);
+  ADASKIP_CHECK_OK(run.status());
+  return *std::move(run);
+}
+
+TEST(MixedWorkloadTest, AllArmsProduceIdenticalChecksums) {
+  MixedWorkload<int64_t> workload =
+      GenerateMixedWorkload<int64_t>("x", SmallOptions());
+
+  AdaptiveOptions adaptive;
+  adaptive.initial_zone_size = 512;
+  adaptive.min_zone_size = 64;
+  ExecOptions parallel;
+  parallel.num_threads = 4;
+  parallel.morsel_rows = 512;
+
+  MixedRunResult fullscan = RunWith(workload, IndexOptions::FullScan());
+  MixedRunResult zonemap = RunWith(workload, IndexOptions::ZoneMap(256));
+  MixedRunResult adapt = RunWith(workload, IndexOptions::Adaptive(adaptive));
+  MixedRunResult adapt_parallel =
+      RunWith(workload, IndexOptions::Adaptive(adaptive), parallel);
+
+  // The skip structure and the threading model change performance, never
+  // answers: per-query counts (folded into the checksum) must agree.
+  EXPECT_EQ(fullscan.result_checksum, zonemap.result_checksum);
+  EXPECT_EQ(fullscan.result_checksum, adapt.result_checksum);
+  EXPECT_EQ(fullscan.result_checksum, adapt_parallel.result_checksum);
+  EXPECT_GT(fullscan.result_checksum, 0.0);
+
+  // Bookkeeping: one latency sample per query, appends at the recorded
+  // positions (after warmup, then every queries_between_appends).
+  EXPECT_EQ(static_cast<int64_t>(adapt.per_query_micros.size()),
+            workload.num_queries());
+  EXPECT_EQ(adapt.append_at, (std::vector<int64_t>{10, 15, 20}));
+  EXPECT_GT(adapt.final_zone_count, 1);
+
+  // Tail accounting: right after an append the adaptive index covers the
+  // new rows only with catch-all metadata; queries report that tail and
+  // it eventually drains to zero as the structure absorbs the rows.
+  int64_t first_post_append = adapt.append_at[0];
+  EXPECT_GT(adapt.per_query_tail_rows[static_cast<size_t>(first_post_append)],
+            0);
+  EXPECT_EQ(adapt.per_query_tail_rows.back(), 0);
+  // A static zonemap is extended synchronously: never any tail.
+  for (int64_t tail : zonemap.per_query_tail_rows) EXPECT_EQ(tail, 0);
+}
+
+TEST(MixedWorkloadTest, MixedRunMatchesAllUpfrontRun) {
+  // (load all, query) ≡ (load prefix, query, append rest, query): replay
+  // the stream's query ops against a fully loaded table and compare the
+  // fully-ingested suffix answer-by-answer with the mixed arm. (Queries
+  // before the last append legitimately see fewer rows in the mixed arm,
+  // so only the suffix is comparable.)
+  MixedWorkload<int64_t> workload =
+      GenerateMixedWorkload<int64_t>("x", SmallOptions());
+
+  auto suffix_counts = [&](Session& session,
+                           bool play_appends) -> std::vector<int64_t> {
+    std::vector<int64_t> counts;
+    int64_t appends_done = 0;
+    for (const MixedOp& op : workload.ops) {
+      if (op.is_append) {
+        if (play_appends) {
+          std::vector<int64_t> chunk(
+              workload.data.begin() + static_cast<size_t>(op.append.begin),
+              workload.data.begin() + static_cast<size_t>(op.append.end));
+          ADASKIP_CHECK_OK(
+              session.Append<int64_t>("t", "x", std::move(chunk)));
+        }
+        ++appends_done;
+        continue;
+      }
+      Result<QueryResult> result =
+          session.Execute("t", Query::Count(op.query));
+      ADASKIP_CHECK_OK(result.status());
+      if (appends_done == 3) counts.push_back(result->count);
+    }
+    return counts;
+  };
+
+  Session full;
+  ADASKIP_CHECK_OK(full.CreateTable("t"));
+  ADASKIP_CHECK_OK(full.AddColumn<int64_t>("t", "x", workload.data));
+  ADASKIP_CHECK_OK(full.AttachIndex("t", "x", IndexOptions::ZoneMap(256)));
+
+  Session mixed;
+  ADASKIP_CHECK_OK(mixed.CreateTable("t"));
+  ADASKIP_CHECK_OK(mixed.AddColumn<int64_t>(
+      "t", "x",
+      std::vector<int64_t>(workload.data.begin(),
+                           workload.data.begin() + workload.initial_rows)));
+  ADASKIP_CHECK_OK(mixed.AttachIndex("t", "x", IndexOptions::ZoneMap(256)));
+
+  std::vector<int64_t> upfront = suffix_counts(full, /*play_appends=*/false);
+  std::vector<int64_t> incremental =
+      suffix_counts(mixed, /*play_appends=*/true);
+  ASSERT_EQ(upfront.size(), 20u);  // queries_after_last_append.
+  EXPECT_EQ(upfront, incremental);
+}
+
+}  // namespace
+}  // namespace adaskip
