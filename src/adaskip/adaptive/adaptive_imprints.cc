@@ -118,6 +118,7 @@ void AdaptiveImprintsT<T>::ExtendImprints() {
 
 template <typename T>
 void AdaptiveImprintsT<T>::OnAppend(RowRange appended) {
+  ADASKIP_DCHECK_SERIAL(mutation_serial_);
   num_rows_ = appended.end;
   // The tail stays un-imprinted until a query actually scans it; Probe
   // covers it with a catch-all candidate range meanwhile.
@@ -133,6 +134,7 @@ int64_t AdaptiveImprintsT<T>::TakeTailRowsScanned() {
 template <typename T>
 void AdaptiveImprintsT<T>::OnRangeScanned(const Predicate& pred,
                                           const RangeFeedback& feedback) {
+  ADASKIP_DCHECK_SERIAL(mutation_serial_);
   (void)pred;
   if (feedback.scanned.end > imprinted_rows_) {
     tail_scanned_this_query_ = true;
@@ -213,6 +215,7 @@ void AdaptiveImprintsT<T>::Probe(const Predicate& pred,
 template <typename T>
 void AdaptiveImprintsT<T>::OnQueryComplete(const Predicate& pred,
                                            const QueryFeedback& feedback) {
+  ADASKIP_DCHECK_SERIAL(mutation_serial_);
   (void)pred;
   if (num_rows_ == 0) return;
   if (tail_scanned_this_query_) {

@@ -11,6 +11,7 @@
 #include "adaskip/skipping/skip_index.h"
 #include "adaskip/storage/column.h"
 #include "adaskip/util/rng.h"
+#include "adaskip/util/thread_annotations.h"
 
 namespace adaskip {
 
@@ -68,6 +69,16 @@ class AdaptiveImprintsT final : public SkipIndex {
                     const AdaptiveImprintsOptions& options);
 
   std::string_view name() const override { return "adaptive_imprints"; }
+  std::string Describe() const override {
+    return "adaptive_imprints: " + std::to_string(imprints_.size()) +
+           " blocks of " + std::to_string(options_.block_size) + " rows, " +
+           std::to_string(split_points_.size() + 1) + " bins (" +
+           std::to_string(rebin_count_) + " rebins) over " +
+           std::to_string(num_rows_) + " rows (" +
+           std::to_string(imprinted_rows_) + " imprinted), mode=" +
+           (mode_ == SkippingMode::kActive ? "active" : "bypass") + ", " +
+           std::to_string(MemoryUsageBytes()) + " B";
+  }
   int64_t num_rows() const override { return num_rows_; }
 
   void Probe(const Predicate& pred, std::vector<RowRange>* candidates,
@@ -137,6 +148,10 @@ class AdaptiveImprintsT final : public SkipIndex {
   int64_t imprinted_rows_ = 0;    // Rows covered by imprint words.
   bool tail_scanned_this_query_ = false;
   int64_t tail_rows_scanned_ = 0;
+
+  // Protocol-serialized (coordinator-only mutation), asserted in debug
+  // builds — see MutationSerial.
+  MutationSerial mutation_serial_;
 };
 
 /// Builds an adaptive imprints index for `column`.

@@ -42,6 +42,7 @@ MinMax<T> AdaptiveZoneMapT<T>::ZoneMinMax(int64_t begin, int64_t end) const {
 
 template <typename T>
 void AdaptiveZoneMapT<T>::OnAppend(RowRange appended) {
+  ADASKIP_DCHECK_SERIAL(mutation_serial_);
   if (appended.empty()) return;
   // Cover the tail with conservative catch-all zones, one per segment
   // piece, coalescing with a preceding not-yet-tightened tail zone so
@@ -161,6 +162,7 @@ void AdaptiveZoneMapT<T>::SplitZoneAt(int64_t index,
 template <typename T>
 void AdaptiveZoneMapT<T>::OnRangeScanned(const Predicate& pred,
                                          const RangeFeedback& feedback) {
+  ADASKIP_DCHECK_SERIAL(mutation_serial_);
   if (last_probe_bypassed_) {
     // A bypassed scan touches everything, including the unrefined tail
     // (feedback arrives as the single whole-column range).
@@ -300,6 +302,7 @@ void AdaptiveZoneMapT<T>::ReplaceZone(int64_t index,
 template <typename T>
 void AdaptiveZoneMapT<T>::OnQueryComplete(const Predicate& pred,
                                           const QueryFeedback& feedback) {
+  ADASKIP_DCHECK_SERIAL(mutation_serial_);
   (void)pred;
   if (!last_probe_bypassed_) {
     tracker_.Record(feedback.rows_total, feedback.rows_scanned,

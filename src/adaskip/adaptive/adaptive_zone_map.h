@@ -11,6 +11,7 @@
 #include "adaskip/scan/scan_kernel.h"
 #include "adaskip/skipping/skip_index.h"
 #include "adaskip/storage/column.h"
+#include "adaskip/util/thread_annotations.h"
 
 namespace adaskip {
 
@@ -48,6 +49,15 @@ class AdaptiveZoneMapT final : public SkipIndex {
                    const AdaptiveOptions& options);
 
   std::string_view name() const override { return "adaptive"; }
+  std::string Describe() const override {
+    return "adaptive: " + std::to_string(zones_.size()) + " zones (" +
+           std::to_string(conservative_zones_) + " conservative) over " +
+           std::to_string(num_rows_) + " rows, " +
+           std::to_string(split_count_) + " splits / " +
+           std::to_string(merge_count_) + " merges, mode=" +
+           (mode_ == SkippingMode::kActive ? "active" : "bypass") + ", " +
+           std::to_string(MemoryUsageBytes()) + " B";
+  }
   int64_t num_rows() const override { return num_rows_; }
 
   void Probe(const Predicate& pred, std::vector<RowRange>* candidates,
@@ -134,6 +144,11 @@ class AdaptiveZoneMapT final : public SkipIndex {
   int64_t adapt_nanos_ = 0;
   int64_t conservative_zones_ = 0;
   int64_t tail_rows_scanned_ = 0;
+
+  // All mutable state above is protected by protocol, not by a lock: the
+  // executor replays feedback and appends on the coordinator thread only.
+  // Debug builds assert that discipline on every mutation hook.
+  MutationSerial mutation_serial_;
 };
 
 /// Builds an adaptive zonemap for `column`, dispatching on its type.

@@ -51,12 +51,17 @@ Status IndexManager::AttachIndex(std::string_view column_name,
                                  const IndexOptions& options) {
   ADASKIP_ASSIGN_OR_RETURN(const Column* column,
                            table_->ColumnByName(column_name));
-  indexes_[std::string(column_name)] =
-      Entry{MakeSkipIndex(*column, options), table_->data_version()};
+  // Build outside the lock — index construction is a full column pass and
+  // must not stall concurrent registry lookups.
+  std::unique_ptr<SkipIndex> index = MakeSkipIndex(*column, options);
+  const int64_t version = table_->data_version();
+  MutexLock lock(&mu_);
+  indexes_[std::string(column_name)] = Entry{std::move(index), version};
   return Status::OK();
 }
 
 Status IndexManager::DetachIndex(std::string_view column_name) {
+  MutexLock lock(&mu_);
   auto it = indexes_.find(column_name);
   if (it == indexes_.end()) {
     return Status::NotFound("no index on column '" +
@@ -67,12 +72,14 @@ Status IndexManager::DetachIndex(std::string_view column_name) {
 }
 
 SkipIndex* IndexManager::GetIndex(std::string_view column_name) const {
+  MutexLock lock(&mu_);
   auto it = indexes_.find(column_name);
   return it == indexes_.end() ? nullptr : it->second.index.get();
 }
 
 Result<SkipIndex*> IndexManager::GetSyncedIndex(
     std::string_view column_name) const {
+  MutexLock lock(&mu_);
   auto it = indexes_.find(column_name);
   if (it == indexes_.end()) return static_cast<SkipIndex*>(nullptr);
   if (it->second.data_version != table_->data_version()) {
@@ -87,6 +94,7 @@ Result<SkipIndex*> IndexManager::GetSyncedIndex(
 }
 
 void IndexManager::OnAppend(RowRange appended) {
+  MutexLock lock(&mu_);
   for (auto& [name, entry] : indexes_) {
     entry.index->OnAppend(appended);
     entry.data_version = table_->data_version();
@@ -94,6 +102,7 @@ void IndexManager::OnAppend(RowRange appended) {
 }
 
 std::vector<std::string> IndexManager::IndexedColumns() const {
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(indexes_.size());
   for (const auto& [name, entry] : indexes_) names.push_back(name);
@@ -101,6 +110,7 @@ std::vector<std::string> IndexManager::IndexedColumns() const {
 }
 
 int64_t IndexManager::MemoryUsageBytes() const {
+  MutexLock lock(&mu_);
   int64_t total = 0;
   for (const auto& [name, entry] : indexes_) {
     total += entry.index->MemoryUsageBytes();

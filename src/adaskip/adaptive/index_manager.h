@@ -15,6 +15,7 @@
 #include "adaskip/skipping/zone_tree.h"
 #include "adaskip/storage/table.h"
 #include "adaskip/util/status.h"
+#include "adaskip/util/thread_annotations.h"
 
 namespace adaskip {
 
@@ -74,6 +75,18 @@ std::unique_ptr<SkipIndex> MakeSkipIndex(const Column& column,
 /// their recorded version); a table mutated behind the manager's back is
 /// detected by `GetSyncedIndex`, which fails instead of letting a stale
 /// index under-report candidates.
+///
+/// Locking: `mu_` guards the registry (the column→Entry map and each
+/// entry's recorded data version), making attach/detach/append/lookup
+/// mutually consistent. It does NOT extend to the SkipIndex objects the
+/// lookups hand out: a returned pointer is used lock-free for the length
+/// of a query, so detaching (or re-attaching) an index while a query
+/// over the same column is in flight remains a caller error — queries,
+/// appends, and index DDL on one table must be serialized by the caller
+/// (the Session's per-table runtime does this). The lock's job is to
+/// keep *metadata* operations — e.g. a background stats probe walking
+/// IndexedColumns()/MemoryUsageBytes() while the coordinator attaches an
+/// index — from corrupting the map.
 class IndexManager {
  public:
   explicit IndexManager(std::shared_ptr<const Table> table)
@@ -85,30 +98,32 @@ class IndexManager {
   /// Builds and attaches an index for `column_name`, replacing any
   /// existing one. Fails if the column does not exist. The new index is
   /// tied to the table's current data version.
-  Status AttachIndex(std::string_view column_name,
-                     const IndexOptions& options);
+  Status AttachIndex(std::string_view column_name, const IndexOptions& options)
+      ADASKIP_EXCLUDES(mu_);
 
   /// Drops the index of `column_name`; fails if none is attached.
-  Status DetachIndex(std::string_view column_name);
+  Status DetachIndex(std::string_view column_name) ADASKIP_EXCLUDES(mu_);
 
   /// The index attached to `column_name`, or nullptr. No version check —
   /// introspection only; execution paths use GetSyncedIndex.
-  SkipIndex* GetIndex(std::string_view column_name) const;
+  SkipIndex* GetIndex(std::string_view column_name) const
+      ADASKIP_EXCLUDES(mu_);
 
   /// The index attached to `column_name` (nullptr if none), after
   /// verifying it describes the table's current data version. Returns
   /// FailedPrecondition for a stale index — the table grew without the
   /// manager seeing the append (re-attach the index to recover).
-  Result<SkipIndex*> GetSyncedIndex(std::string_view column_name) const;
+  Result<SkipIndex*> GetSyncedIndex(std::string_view column_name) const
+      ADASKIP_EXCLUDES(mu_);
 
   /// Routes an append (rows [old, new) already written to the table's
   /// columns) to every attached index and records the new data version.
-  void OnAppend(RowRange appended);
+  void OnAppend(RowRange appended) ADASKIP_EXCLUDES(mu_);
 
-  std::vector<std::string> IndexedColumns() const;
+  std::vector<std::string> IndexedColumns() const ADASKIP_EXCLUDES(mu_);
 
   /// Total metadata footprint across all attached indexes.
-  int64_t MemoryUsageBytes() const;
+  int64_t MemoryUsageBytes() const ADASKIP_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -117,7 +132,8 @@ class IndexManager {
   };
 
   std::shared_ptr<const Table> table_;
-  std::map<std::string, Entry, std::less<>> indexes_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry, std::less<>> indexes_ ADASKIP_GUARDED_BY(mu_);
 };
 
 }  // namespace adaskip

@@ -94,6 +94,7 @@ std::vector<Morsel> BuildMorsels(const std::vector<RowRange>& ranges,
 }  // namespace
 
 void ScanExecutor::set_exec_options(const ExecOptions& options) {
+  ADASKIP_DCHECK_SERIAL(exec_serial_);
   options_ = options;  // The pool is (re)sized lazily by pool().
 }
 
@@ -135,6 +136,9 @@ Status ScanExecutor::ValidateQuery(const Query& query) const {
 }
 
 Result<QueryResult> ScanExecutor::Execute(const Query& query) {
+  // One query at a time per executor: adaptation replay, options_, and
+  // pool_ all assume a single coordinator (asserted in debug builds).
+  ADASKIP_DCHECK_SERIAL(exec_serial_);
   ADASKIP_RETURN_IF_ERROR(ValidateQuery(query));
 
   const bool aggregates_predicate_column =

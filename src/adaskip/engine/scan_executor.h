@@ -11,6 +11,7 @@
 #include "adaskip/storage/table.h"
 #include "adaskip/util/selection_vector.h"
 #include "adaskip/util/status.h"
+#include "adaskip/util/thread_annotations.h"
 #include "adaskip/util/thread_pool.h"
 
 namespace adaskip {
@@ -118,8 +119,13 @@ class ScanExecutor {
 
   std::shared_ptr<const Table> table_;
   IndexManager* indexes_;
+  // options_ and pool_ are coordinator-only state: one thread drives
+  // Execute / set_exec_options at a time (the adaptive feedback loop
+  // depends on it). Debug builds assert that via exec_serial_; worker
+  // threads never touch these members.
   ExecOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+  MutationSerial exec_serial_;
 };
 
 }  // namespace adaskip

@@ -61,7 +61,10 @@ Result<QueryResult> Session::Execute(std::string_view table_name,
   ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));
   ADASKIP_ASSIGN_OR_RETURN(QueryResult result,
                            runtime->executor->Execute(query));
-  stats_.Record(result.stats);
+  {
+    MutexLock lock(&stats_mu_);
+    stats_.Record(result.stats);
+  }
   return result;
 }
 

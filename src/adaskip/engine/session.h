@@ -10,6 +10,7 @@
 #include "adaskip/engine/exec_stats.h"
 #include "adaskip/engine/scan_executor.h"
 #include "adaskip/storage/catalog.h"
+#include "adaskip/util/thread_annotations.h"
 
 namespace adaskip {
 
@@ -24,6 +25,14 @@ namespace adaskip {
 ///                                        IndexOptions::Adaptive()));
 ///   auto result = session.Execute(
 ///       "readings", Query::Count(Predicate::Between("temp", 10.0, 20.0)));
+///
+/// Threading: operations on ONE table (Execute / Append / index DDL /
+/// SetExecOptions) must be serialized by the caller — the executor's
+/// adaptive feedback loop is deliberately single-coordinator (see
+/// DESIGN.md). The cross-table surface is safe to share: the cumulative
+/// WorkloadStats accumulator is guarded by `stats_mu_`, so sessions
+/// driving different tables from different threads record stats without
+/// racing.
 class Session {
  public:
   Session() = default;
@@ -91,8 +100,17 @@ class Session {
                       std::string_view column_name) const;
 
   const Catalog& catalog() const { return catalog_; }
-  const WorkloadStats& workload_stats() const { return stats_; }
-  void ResetWorkloadStats() { stats_.Clear(); }
+
+  /// Snapshot of the cumulative per-session stats. Returns a copy taken
+  /// under `stats_mu_` — a reference would escape the lock.
+  WorkloadStats workload_stats() const ADASKIP_EXCLUDES(stats_mu_) {
+    MutexLock lock(&stats_mu_);
+    return stats_;
+  }
+  void ResetWorkloadStats() ADASKIP_EXCLUDES(stats_mu_) {
+    MutexLock lock(&stats_mu_);
+    stats_.Clear();
+  }
 
  private:
   struct TableRuntime {
@@ -105,7 +123,8 @@ class Session {
 
   Catalog catalog_;
   std::map<std::string, TableRuntime, std::less<>> runtimes_;
-  WorkloadStats stats_;
+  mutable Mutex stats_mu_;
+  WorkloadStats stats_ ADASKIP_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace adaskip

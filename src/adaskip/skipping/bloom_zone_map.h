@@ -31,6 +31,14 @@ class BloomZoneMapT final : public SkipIndex {
                 const BloomZoneMapOptions& options);
 
   std::string_view name() const override { return "bloomzonemap"; }
+  std::string Describe() const override {
+    return "bloomzonemap: " + std::to_string(zones_.size()) +
+           " zones of <=" + std::to_string(zone_size_) + " rows, " +
+           std::to_string(bits_per_zone_) + " bloom bits x " +
+           std::to_string(num_hashes_) + " hashes per zone over " +
+           std::to_string(num_rows_) + " rows, " +
+           std::to_string(MemoryUsageBytes()) + " B";
+  }
   int64_t num_rows() const override { return num_rows_; }
 
   void Probe(const Predicate& pred, std::vector<RowRange>* candidates,

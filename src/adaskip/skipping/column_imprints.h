@@ -36,6 +36,13 @@ class ColumnImprintsT final : public SkipIndex {
   ColumnImprintsT(const TypedColumn<T>& column, const ImprintsOptions& options);
 
   std::string_view name() const override { return "imprints"; }
+  std::string Describe() const override {
+    return "imprints: " + std::to_string(imprints_.size()) + " blocks of " +
+           std::to_string(block_size_) + " rows, " +
+           std::to_string(num_bins_) + " bins over " +
+           std::to_string(num_rows_) + " rows, " +
+           std::to_string(MemoryUsageBytes()) + " B";
+  }
   int64_t num_rows() const override { return num_rows_; }
 
   void Probe(const Predicate& pred, std::vector<RowRange>* candidates,

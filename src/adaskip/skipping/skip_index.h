@@ -63,6 +63,14 @@ class SkipIndex {
 
   virtual std::string_view name() const = 0;
 
+  /// One-line human-readable structural summary: the structure's kind
+  /// plus its current geometry (zones / blocks / levels, footprint,
+  /// adaptive mode). Must be cheap — no column passes — so examples,
+  /// benches, and debugging surfaces can print it per query. Every
+  /// subclass overrides this (enforced by the adaskip_lint rule
+  /// `skip-index-overrides`, alongside OnAppend).
+  virtual std::string Describe() const = 0;
+
   /// Number of rows covered (the column size at build time).
   virtual int64_t num_rows() const = 0;
 
@@ -117,6 +125,9 @@ class FullScanIndex final : public SkipIndex {
   explicit FullScanIndex(int64_t num_rows) : num_rows_(num_rows) {}
 
   std::string_view name() const override { return "fullscan"; }
+  std::string Describe() const override {
+    return "fullscan: " + std::to_string(num_rows_) + " rows, no metadata";
+  }
   int64_t num_rows() const override { return num_rows_; }
 
   void Probe(const Predicate& pred, std::vector<RowRange>* candidates,

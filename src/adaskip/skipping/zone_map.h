@@ -30,6 +30,12 @@ class ZoneMapT final : public SkipIndex {
         zones_(BuildUniformZones(column, options.zone_size)) {}
 
   std::string_view name() const override { return "zonemap"; }
+  std::string Describe() const override {
+    return "zonemap: " + std::to_string(zones_.size()) + " zones of <=" +
+           std::to_string(zone_size_) + " rows over " +
+           std::to_string(num_rows_) + " rows, " +
+           std::to_string(MemoryUsageBytes()) + " B";
+  }
   int64_t num_rows() const override { return num_rows_; }
 
   void Probe(const Predicate& pred, std::vector<RowRange>* candidates,

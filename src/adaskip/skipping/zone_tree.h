@@ -27,6 +27,13 @@ class ZoneTreeT final : public SkipIndex {
   ZoneTreeT(const TypedColumn<T>& column, const ZoneTreeOptions& options);
 
   std::string_view name() const override { return "zonetree"; }
+  std::string Describe() const override {
+    return "zonetree: " + std::to_string(leaves_.size()) + " leaves of <=" +
+           std::to_string(zone_size_) + " rows, " +
+           std::to_string(LevelCount()) + " levels (fanout " +
+           std::to_string(fanout_) + ") over " + std::to_string(num_rows_) +
+           " rows, " + std::to_string(MemoryUsageBytes()) + " B";
+  }
   int64_t num_rows() const override { return num_rows_; }
 
   void Probe(const Predicate& pred, std::vector<RowRange>* candidates,

@@ -16,15 +16,16 @@ Status Table::AddColumn(std::string field_name,
     return Status::AlreadyExists("column '" + field_name +
                                  "' already exists in table '" + name_ + "'");
   }
-  if (!columns_.empty() && column->size() != num_rows_) {
+  if (!columns_.empty() && column->size() != num_rows()) {
     return Status::InvalidArgument(
         "column '" + field_name + "' has " + std::to_string(column->size()) +
-        " rows; table '" + name_ + "' has " + std::to_string(num_rows_));
+        " rows; table '" + name_ + "' has " + std::to_string(num_rows()));
   }
-  num_rows_ = column->size();
+  const int64_t new_rows = column->size();
   schema_.push_back(Field{std::move(field_name), column->type()});
   columns_.push_back(std::move(column));
-  ++data_version_;
+  num_rows_.store(new_rows, std::memory_order_release);
+  data_version_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
@@ -72,11 +73,12 @@ Result<RowRange> Table::Append(const AppendBatch& batch) {
     }
     targets.push_back(index);
   }
+  const int64_t old_rows = num_rows();
   if (batch_rows == 0) {
-    return RowRange{num_rows_, num_rows_};
+    return RowRange{old_rows, old_rows};
   }
 
-  const RowRange appended{num_rows_, num_rows_ + batch_rows};
+  const RowRange appended{old_rows, old_rows + batch_rows};
   for (size_t i = 0; i < batch.columns().size(); ++i) {
     Column* dst = columns_[static_cast<size_t>(targets[i])].get();
     const Column* src = batch.columns()[i].second.get();
@@ -89,8 +91,10 @@ Result<RowRange> Table::Append(const AppendBatch& batch) {
       }
     });
   }
-  num_rows_ = appended.end;
-  ++data_version_;
+  // Publish the new tail only after every column holds its payload, so a
+  // reader that observes the bumped version also observes the rows.
+  num_rows_.store(appended.end, std::memory_order_release);
+  data_version_.fetch_add(1, std::memory_order_release);
   return appended;
 }
 

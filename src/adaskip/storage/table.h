@@ -1,6 +1,7 @@
 #ifndef ADASKIP_STORAGE_TABLE_H_
 #define ADASKIP_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <utility>
@@ -63,12 +64,19 @@ class Table {
   Table& operator=(const Table&) = delete;
 
   const std::string& name() const { return name_; }
-  int64_t num_rows() const { return num_rows_; }
+  int64_t num_rows() const { return num_rows_.load(std::memory_order_acquire); }
   int64_t num_columns() const { return static_cast<int64_t>(columns_.size()); }
   const std::vector<Field>& schema() const { return schema_; }
 
-  /// Monotonic epoch, bumped on every schema or data mutation.
-  int64_t data_version() const { return data_version_; }
+  /// Monotonic epoch, bumped on every schema or data mutation. Mutations
+  /// themselves are externally serialized (the Session routes all DDL and
+  /// ingest), but the epoch and row count are *read* by query paths that
+  /// may run on other threads, so both are published with release/acquire
+  /// ordering: observing a version implies the rows it describes are
+  /// visible.
+  int64_t data_version() const {
+    return data_version_.load(std::memory_order_acquire);
+  }
 
   /// Adds a column under `field_name`. Fails if the name already exists or
   /// the column's row count differs from existing columns.
@@ -95,8 +103,10 @@ class Table {
   std::string name_;
   std::vector<Field> schema_;
   std::vector<std::unique_ptr<Column>> columns_;
-  int64_t num_rows_ = 0;
-  int64_t data_version_ = 0;
+  // Written only by the (externally serialized) mutation paths; read by
+  // concurrent query threads. Release/acquire: see data_version().
+  std::atomic<int64_t> num_rows_{0};
+  std::atomic<int64_t> data_version_{0};
 };
 
 }  // namespace adaskip

@@ -1,0 +1,191 @@
+#ifndef ADASKIP_UTIL_THREAD_ANNOTATIONS_H_
+#define ADASKIP_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "adaskip/util/logging.h"
+
+/// Clang Thread Safety Analysis annotations (no-ops elsewhere), plus the
+/// annotated Mutex / MutexLock / CondVar wrappers the rest of the
+/// codebase locks with. Styled after the LLVM/Abseil thread-annotation
+/// headers: each annotation declares which capability (lock) a function
+/// needs, acquires, or releases, and which lock guards a member — and
+/// `-Wthread-safety` (the ADASKIP_THREAD_SAFETY build option) turns any
+/// violation of those declarations into a compile error. See DESIGN.md
+/// "Concurrency invariants and locking discipline" for the map of every
+/// mutex in the system and what it guards.
+///
+/// Raw std::mutex / std::condition_variable cannot carry the
+/// annotations, so concurrency-bearing code must use the wrappers below
+/// (enforced by tools/lint/adaskip_lint rule `raw-sync-primitive`).
+
+#if defined(__clang__)
+#define ADASKIP_TS_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define ADASKIP_TS_ATTRIBUTE__(x)  // GCC/MSVC: no thread-safety analysis.
+#endif
+
+/// Declares a class to be a lockable capability ("mutex").
+#define ADASKIP_CAPABILITY(x) ADASKIP_TS_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define ADASKIP_SCOPED_CAPABILITY ADASKIP_TS_ATTRIBUTE__(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability:
+/// reads require the lock held (shared or exclusive), writes require it
+/// exclusively.
+#define ADASKIP_GUARDED_BY(x) ADASKIP_TS_ATTRIBUTE__(guarded_by(x))
+
+/// Like GUARDED_BY for pointer members: the *pointee* is protected.
+#define ADASKIP_PT_GUARDED_BY(x) ADASKIP_TS_ATTRIBUTE__(pt_guarded_by(x))
+
+/// The calling thread must hold the given capabilities on entry (and
+/// still holds them on exit).
+#define ADASKIP_REQUIRES(...) \
+  ADASKIP_TS_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the given capabilities (anti-deadlock).
+#define ADASKIP_EXCLUDES(...) \
+  ADASKIP_TS_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define ADASKIP_ACQUIRE(...) \
+  ADASKIP_TS_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// The function releases a capability the caller held on entry.
+#define ADASKIP_RELEASE(...) \
+  ADASKIP_TS_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// The function tries to acquire the capability and returns `result` on
+/// success.
+#define ADASKIP_TRY_ACQUIRE(...) \
+  ADASKIP_TS_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// The function returns a reference to the given capability.
+#define ADASKIP_RETURN_CAPABILITY(x) ADASKIP_TS_ATTRIBUTE__(lock_returned(x))
+
+/// Documented lock-order edges (acquired-before / acquired-after).
+#define ADASKIP_ACQUIRED_BEFORE(...) \
+  ADASKIP_TS_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define ADASKIP_ACQUIRED_AFTER(...) \
+  ADASKIP_TS_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: disables the analysis inside one function. Every use
+/// must carry a comment explaining the out-of-band protocol that makes
+/// the unchecked access safe (see ThreadPool::SnapshotJob for the
+/// canonical example).
+#define ADASKIP_NO_THREAD_SAFETY_ANALYSIS \
+  ADASKIP_TS_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace adaskip {
+
+class CondVar;
+
+/// Annotated exclusive mutex over std::mutex. Non-reentrant.
+class ADASKIP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ADASKIP_ACQUIRE() { mu_.lock(); }
+  void Unlock() ADASKIP_RELEASE() { mu_.unlock(); }
+  bool TryLock() ADASKIP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock scope: `MutexLock lock(&mu_);` holds mu_ to the end of the
+/// enclosing block. The analysis treats the block as a REQUIRES region
+/// for every member GUARDED_BY that mutex.
+class ADASKIP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ADASKIP_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() ADASKIP_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable paired with Mutex. `Wait` declares (and the
+/// analysis enforces) that the associated mutex is held; it is released
+/// for the duration of the block and re-held on return, like
+/// std::condition_variable. Use an explicit `while (!condition) Wait(mu);`
+/// loop rather than a predicate overload: the loop body then sits inside
+/// the caller's REQUIRES region, so reads of guarded state in the
+/// condition stay visible to the analysis (a predicate lambda would not
+/// be).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) ADASKIP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // Ownership stays with the caller's scope.
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Debug-mode checker asserting that a set of mutating entry points is
+/// never executed concurrently — the runtime complement of the static
+/// annotations for state that is protected by *protocol* rather than by
+/// a lock. The adaptive skip structures are the canonical user: their
+/// OnRangeScanned / OnQueryComplete / OnAppend hooks mutate zone metadata
+/// with no mutex because the executor replays all feedback on the
+/// coordinator thread after the worker barrier. A MutationSerial member
+/// plus `ADASKIP_DCHECK_SERIAL(serial_)` at the top of each hook turns a
+/// violation of that protocol into an immediate failure in debug builds
+/// (and TSan flags the checker's own counter if two threads ever race
+/// into it). Compiles to nothing under NDEBUG.
+class MutationSerial {
+ public:
+  class Scope {
+   public:
+    explicit Scope(MutationSerial* serial) : serial_(serial) {
+      int expected = 0;
+      ADASKIP_CHECK(serial_->entered_.compare_exchange_strong(
+          expected, 1, std::memory_order_acq_rel))
+          << "concurrent mutation of a protocol-serialized structure "
+             "(adaptive feedback hooks must run on the coordinator only)";
+    }
+    ~Scope() { serial_->entered_.store(0, std::memory_order_release); }
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    MutationSerial* const serial_;
+  };
+
+ private:
+  std::atomic<int> entered_{0};
+};
+
+#ifndef NDEBUG
+#define ADASKIP_DCHECK_SERIAL(serial) \
+  ::adaskip::MutationSerial::Scope adaskip_serial_scope_(&(serial))
+#else
+#define ADASKIP_DCHECK_SERIAL(serial) \
+  do {                                \
+  } while (false)
+#endif
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_UTIL_THREAD_ANNOTATIONS_H_

@@ -17,10 +17,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -28,40 +28,37 @@ void ThreadPool::WorkerLoop(int worker_index) {
   int64_t seen_seq = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || job_seq_ != seen_seq; });
+      MutexLock lock(&mu_);
+      while (!stop_ && job_seq_ == seen_seq) work_cv_.Wait(mu_);
       if (stop_) return;
       seen_seq = job_seq_;
       ++workers_in_job_;
     }
     RunTasks(worker_index);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --workers_in_job_;
     }
-    done_cv_.notify_one();
+    done_cv_.NotifyOne();
   }
 }
 
 void ThreadPool::RunTasks(int worker_index) {
-  // Reading the job fields without mu_ is safe: the coordinator only
-  // mutates them while workers_in_job_ == 0, and this worker registered
-  // itself (under mu_) before arriving here.
-  const TaskFn fn = fn_;
-  void* const ctx = ctx_;
-  const int64_t num_tasks = num_tasks_;
-  const int64_t batch = batch_size_;
+  // This worker registered itself in the job (under mu_) before arriving
+  // here, so the published job fields are frozen — see SnapshotJob.
+  const JobView job = SnapshotJob();
   while (!abort_.load(std::memory_order_relaxed)) {
-    const int64_t begin = next_task_.fetch_add(batch, std::memory_order_relaxed);
-    if (begin >= num_tasks) break;
-    const int64_t end = std::min(begin + batch, num_tasks);
+    const int64_t begin =
+        next_task_.fetch_add(job.batch_size, std::memory_order_relaxed);
+    if (begin >= job.num_tasks) break;
+    const int64_t end = std::min(begin + job.batch_size, job.num_tasks);
     for (int64_t task = begin; task < end; ++task) {
       if (abort_.load(std::memory_order_relaxed)) return;
       try {
-        fn(ctx, task, worker_index);
+        job.fn(job.ctx, task, worker_index);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(&mu_);
           if (!error_) error_ = std::current_exception();
         }
         abort_.store(true, std::memory_order_relaxed);
@@ -80,37 +77,37 @@ void ThreadPool::Run(int64_t num_tasks, TaskFn fn, void* ctx) {
   }
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // A straggler from the previous job may still be inside RunTasks
     // (having found nothing left to claim); publishing while it reads the
     // job fields would race, so wait it out first.
-    done_cv_.wait(lock, [&] { return workers_in_job_ == 0; });
+    while (workers_in_job_ != 0) done_cv_.Wait(mu_);
     fn_ = fn;
     ctx_ = ctx;
     num_tasks_ = num_tasks;
     // Batched claims amortize the shared counter; 4 batches per worker
     // keeps the tail balanced without work stealing.
-    batch_size_ =
-        std::max<int64_t>(1, num_tasks / (static_cast<int64_t>(num_workers()) * 4));
+    batch_size_ = std::max<int64_t>(
+        1, num_tasks / (static_cast<int64_t>(num_workers()) * 4));
     next_task_.store(0, std::memory_order_relaxed);
     abort_.store(false, std::memory_order_relaxed);
     error_ = nullptr;
     ++job_seq_;
     ++workers_in_job_;  // The coordinator itself.
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   RunTasks(/*worker_index=*/0);
 
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     --workers_in_job_;
-    done_cv_.wait(lock, [&] {
-      return workers_in_job_ == 0 &&
+    while (!(workers_in_job_ == 0 &&
              (next_task_.load(std::memory_order_relaxed) >= num_tasks_ ||
-              abort_.load(std::memory_order_relaxed));
-    });
+              abort_.load(std::memory_order_relaxed)))) {
+      done_cv_.Wait(mu_);
+    }
     // Sterilize the job so a worker that never woke for it claims nothing
     // once it does (the callable's context dies with this frame).
     next_task_.store(num_tasks_, std::memory_order_relaxed);

@@ -2,13 +2,13 @@
 #define ADASKIP_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "adaskip/util/thread_annotations.h"
 
 namespace adaskip {
 
@@ -56,30 +56,49 @@ class ThreadPool {
  private:
   using TaskFn = void (*)(void* ctx, int64_t task, int worker);
 
-  void Run(int64_t num_tasks, TaskFn fn, void* ctx);
-  void WorkerLoop(int worker_index);
+  /// Lock-free snapshot of the published job fields.
+  struct JobView {
+    TaskFn fn;
+    void* ctx;
+    int64_t num_tasks;
+    int64_t batch_size;
+  };
+
+  void Run(int64_t num_tasks, TaskFn fn, void* ctx) ADASKIP_EXCLUDES(mu_);
+  void WorkerLoop(int worker_index) ADASKIP_EXCLUDES(mu_);
 
   /// Claims and executes batches of the current job until none are left
   /// (or the job aborted). Called by pool threads and the coordinator.
-  void RunTasks(int worker_index);
+  void RunTasks(int worker_index) ADASKIP_EXCLUDES(mu_);
+
+  /// Reads the job fields without mu_. Safe by protocol: the coordinator
+  /// only mutates them while it holds mu_ AND no worker is inside the job
+  /// (workers_in_job_ == 0), and every reader registered itself in the
+  /// job under mu_ before calling this — so the fields are frozen for as
+  /// long as the snapshot is used. The analysis cannot see that handshake,
+  /// hence the escape hatch.
+  JobView SnapshotJob() const ADASKIP_NO_THREAD_SAFETY_ANALYSIS {
+    return {fn_, ctx_, num_tasks_, batch_size_};
+  }
 
   // --- Current job. Mutated by the coordinator only while it holds mu_
   // and no worker is inside the job (workers_in_job_ == 0); workers enter
-  // a job only under mu_, so they never observe a half-published job.
-  TaskFn fn_ = nullptr;
-  void* ctx_ = nullptr;
-  int64_t num_tasks_ = 0;
-  int64_t batch_size_ = 1;
+  // a job only under mu_, so they never observe a half-published job, and
+  // read the fields via SnapshotJob() while registered in it.
+  TaskFn fn_ ADASKIP_GUARDED_BY(mu_) = nullptr;
+  void* ctx_ ADASKIP_GUARDED_BY(mu_) = nullptr;
+  int64_t num_tasks_ ADASKIP_GUARDED_BY(mu_) = 0;
+  int64_t batch_size_ ADASKIP_GUARDED_BY(mu_) = 1;
   std::atomic<int64_t> next_task_{0};
   std::atomic<bool> abort_{false};
-  std::exception_ptr error_;  // Guarded by mu_.
+  std::exception_ptr error_ ADASKIP_GUARDED_BY(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // Workers: "a new job was published".
-  std::condition_variable done_cv_;  // Coordinator: "a worker left the job".
-  int64_t job_seq_ = 0;              // Guarded by mu_.
-  int workers_in_job_ = 0;           // Guarded by mu_.
-  bool stop_ = false;                // Guarded by mu_.
+  Mutex mu_;
+  CondVar work_cv_;  // Workers: "a new job was published".
+  CondVar done_cv_;  // Coordinator: "a worker left the job".
+  int64_t job_seq_ ADASKIP_GUARDED_BY(mu_) = 0;
+  int workers_in_job_ ADASKIP_GUARDED_BY(mu_) = 0;
+  bool stop_ ADASKIP_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

@@ -148,8 +148,8 @@ INSTANTIATE_TEST_SUITE_P(
                       IndexKind::kZoneTree, IndexKind::kImprints,
                       IndexKind::kBloomZoneMap, IndexKind::kAdaptive,
                       IndexKind::kAdaptiveImprints),
-    [](const ::testing::TestParamInfo<IndexKind>& info) {
-      return std::string(IndexKindToString(info.param));
+    [](const ::testing::TestParamInfo<IndexKind>& param_info) {
+      return std::string(IndexKindToString(param_info.param));
     });
 
 TEST(AppendParallelTest, ParallelMatchesSerialOverAppendedTable) {

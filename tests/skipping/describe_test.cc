@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "adaskip/adaptive/index_manager.h"
+#include "adaskip/storage/column.h"
+#include "adaskip/storage/table.h"
+
+namespace adaskip {
+namespace {
+
+std::shared_ptr<Table> MakeTable(int64_t rows) {
+  std::vector<int64_t> values(static_cast<size_t>(rows));
+  std::iota(values.begin(), values.end(), 0);
+  auto table = std::make_shared<Table>("t");
+  EXPECT_TRUE(table->AddColumn("v", MakeColumn(std::move(values))).ok());
+  return table;
+}
+
+IndexOptions OptionsFor(IndexKind kind) {
+  IndexOptions options;
+  options.kind = kind;
+  return options;
+}
+
+class DescribeTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(DescribeTest, SummaryNamesStructureAndGeometry) {
+  auto table = MakeTable(10000);
+  std::unique_ptr<SkipIndex> index =
+      MakeSkipIndex(table->column(0), OptionsFor(GetParam()));
+
+  const std::string summary = index->Describe();
+  // The summary leads with the structure's name and reports its row
+  // coverage — the minimum a debugging surface needs.
+  EXPECT_EQ(summary.rfind(std::string(index->name()) + ":", 0), 0)
+      << summary;
+  EXPECT_NE(summary.find(std::to_string(index->num_rows())), std::string::npos)
+      << summary;
+}
+
+TEST_P(DescribeTest, SummaryTracksAppends) {
+  auto table = MakeTable(10000);
+  std::unique_ptr<SkipIndex> index =
+      MakeSkipIndex(table->column(0), OptionsFor(GetParam()));
+
+  AppendBatch batch;
+  std::vector<int64_t> tail(5000);
+  std::iota(tail.begin(), tail.end(), 10000);
+  batch.Add("v", std::move(tail));
+  ASSERT_TRUE(table->Append(batch).ok());
+  index->OnAppend({10000, 15000});
+
+  const std::string summary = index->Describe();
+  EXPECT_NE(summary.find(std::to_string(index->num_rows())), std::string::npos)
+      << summary;
+  EXPECT_EQ(index->num_rows(), 15000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, DescribeTest,
+    ::testing::Values(IndexKind::kFullScan, IndexKind::kZoneMap,
+                      IndexKind::kZoneTree, IndexKind::kImprints,
+                      IndexKind::kBloomZoneMap, IndexKind::kAdaptive,
+                      IndexKind::kAdaptiveImprints),
+    [](const ::testing::TestParamInfo<IndexKind>& param_info) {
+      return std::string(IndexKindToString(param_info.param));
+    });
+
+}  // namespace
+}  // namespace adaskip

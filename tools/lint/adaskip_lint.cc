@@ -1,0 +1,95 @@
+// adaskip_lint — repo-specific invariant checker. Usage:
+//
+//   adaskip_lint <dir-or-file>...
+//
+// Recursively scans .h/.cc/.cpp files under each argument, prints
+// findings as `file:line: [rule] message`, and exits non-zero if any
+// rule fired. See lint_rules.h for the rule catalog. Wired up as the
+// `adaskip_lint_repo` ctest and as a CI lint step.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_rules.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasSourceExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+// Skips generated/VCS trees when an argument directory contains them.
+bool SkippedDir(const fs::path& path) {
+  const std::string name = path.filename().string();
+  return name == "build" || name == ".git" || (!name.empty() && name[0] == '.');
+}
+
+void Collect(const fs::path& root, std::vector<fs::path>* files) {
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    if (HasSourceExtension(root)) files->push_back(root);
+    return;
+  }
+  if (!fs::is_directory(root, ec)) {
+    std::fprintf(stderr, "adaskip_lint: cannot read %s\n", root.c_str());
+    return;
+  }
+  fs::recursive_directory_iterator it(root, ec), end;
+  while (it != end) {
+    if (it->is_directory() && SkippedDir(it->path())) {
+      it.disable_recursion_pending();
+    } else if (it->is_regular_file() && HasSourceExtension(it->path())) {
+      files->push_back(it->path());
+    }
+    it.increment(ec);
+    if (ec) break;
+  }
+}
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: adaskip_lint <dir-or-file>...\n");
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; ++i) {
+    Collect(fs::path(argv[i]), &files);
+  }
+  std::sort(files.begin(), files.end());
+
+  adaskip_lint::Linter linter;
+  for (const fs::path& file : files) {
+    linter.LintFile(file.generic_string(), ReadFile(file));
+  }
+
+  const std::vector<adaskip_lint::LintIssue> issues = linter.Finish();
+  for (const adaskip_lint::LintIssue& issue : issues) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", issue.file.c_str(), issue.line,
+                 issue.rule.c_str(), issue.message.c_str());
+  }
+  if (!issues.empty()) {
+    std::fprintf(stderr, "adaskip_lint: %zu finding(s) in %zu file(s)\n",
+                 issues.size(), files.size());
+    return 1;
+  }
+  std::printf("adaskip_lint: %zu file(s) clean\n", files.size());
+  return 0;
+}

@@ -1,0 +1,413 @@
+#include "lint_rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+namespace adaskip_lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Records every `adaskip-lint: allow(<rule>)` in `comment` (which
+/// started on `line`).
+void HarvestSuppressions(
+    const std::string& comment, int line,
+    std::vector<std::pair<int, std::string>>* suppressions) {
+  static const std::regex kAllow(R"(adaskip-lint:\s*allow\(([a-z-]+)\))");
+  auto begin = std::sregex_iterator(comment.begin(), comment.end(), kAllow);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    suppressions->emplace_back(line, (*it)[1].str());
+  }
+}
+
+/// Byte offset of the '{' opening the next brace block at or after
+/// `from`, or npos.
+size_t FindOpenBrace(const std::string& text, size_t from) {
+  return text.find('{', from);
+}
+
+/// Given `open` at a '{', returns the offset one past its matching '}'
+/// (or npos if unbalanced). `text` must already be comment/string
+/// stripped, so every brace is real code.
+size_t SkipBraceBlock(const std::string& text, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '{') ++depth;
+    if (text[i] == '}' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+bool PathContains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+int LineOf(const std::string& text, size_t offset) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(),
+                            text.begin() + static_cast<ptrdiff_t>(
+                                               std::min(offset, text.size())),
+                            '\n'));
+}
+
+std::string StripCommentsAndStrings(
+    const std::string& content,
+    std::vector<std::pair<int, std::string>>* suppressions) {
+  std::string out(content.size(), ' ');
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  State state = State::kCode;
+  std::string comment;      // Text of the comment being consumed.
+  int comment_line = 0;     // Line the comment started on.
+  bool comment_standalone = false;  // Nothing but whitespace before it.
+  std::string raw_delim;    // Delimiter of the raw string being consumed.
+  int line = 1;
+  size_t line_start = 0;    // Offset of the current line's first byte.
+
+  // A standalone comment's suppressions target the NEXT line; a trailing
+  // comment's target its own line.
+  const auto is_standalone = [&out](size_t line_start_off, size_t at) {
+    for (size_t p = line_start_off; p < at; ++p) {
+      if (std::isspace(static_cast<unsigned char>(out[p])) == 0) return false;
+    }
+    return true;
+  };
+
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      ++line;
+      line_start = i + 1;
+      out[i] = '\n';  // Keep line structure everywhere.
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          comment.clear();
+          comment_line = line;
+          comment_standalone = is_standalone(line_start, i);
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          comment.clear();
+          comment_line = line;
+          comment_standalone = is_standalone(line_start, i);
+          ++i;
+        } else if (c == '"') {
+          // R"delim( opens a raw string when R is its own token.
+          const bool raw = i >= 1 && content[i - 1] == 'R' &&
+                           (i < 2 || !IsIdentChar(content[i - 2]));
+          if (raw) {
+            out[i - 1] = ' ';  // Blank the R as well.
+            raw_delim.clear();
+            size_t j = i + 1;
+            while (j < content.size() && content[j] != '(') {
+              raw_delim += content[j];
+              ++j;
+            }
+            i = j;  // At '(' (or end).
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'') {
+          // Digit separators (1'000'000) are not char literals.
+          if (i >= 1 && IsIdentChar(content[i - 1])) {
+            out[i] = ' ';
+          } else {
+            state = State::kChar;
+          }
+        } else if (c != '\n') {
+          out[i] = c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          HarvestSuppressions(
+              comment, comment_standalone ? comment_line + 1 : comment_line,
+              suppressions);
+          state = State::kCode;
+        } else {
+          comment += c;
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          // Standalone block comments target the line after their `*/`.
+          HarvestSuppressions(
+              comment, comment_standalone ? line + 1 : comment_line,
+              suppressions);
+          state = State::kCode;
+          ++i;
+        } else {
+          comment += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+          if (next == '\n') ++line;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (content.compare(i, close.size(), close) == 0) {
+          i += close.size() - 1;
+          state = State::kCode;
+        }
+        break;
+      }
+    }
+  }
+  if (state == State::kLineComment) {
+    HarvestSuppressions(comment,
+                        comment_standalone ? comment_line + 1 : comment_line,
+                        suppressions);
+  }
+  return out;
+}
+
+bool Linter::Suppressed(int line, const std::string& rule) const {
+  for (const auto& [sline, srule] : suppressions_) {
+    if (srule == rule && line == sline) return true;
+  }
+  return false;
+}
+
+void Linter::Report(const std::string& path, int line, const std::string& rule,
+                    const std::string& message) {
+  if (Suppressed(line, rule)) return;
+  issues_.push_back({path, line, rule, message});
+}
+
+void Linter::CheckSkipIndexOverrides(const std::string& path,
+                                     const std::string& stripped) {
+  static const std::regex kSubclass(
+      R"(class\s+([A-Za-z_]\w*)[^{};]*:\s*public\s+SkipIndex\b)");
+  static const std::regex kOnAppend(R"(OnAppend\s*\([^)]*\)[^;{]*override)");
+  static const std::regex kDescribe(R"(Describe\s*\(\s*\)[^;{]*override)");
+  auto begin = std::sregex_iterator(stripped.begin(), stripped.end(), kSubclass);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].str();
+    const size_t decl_off = static_cast<size_t>(it->position());
+    const size_t open = FindOpenBrace(stripped, decl_off);
+    if (open == std::string::npos) continue;
+    const size_t end = SkipBraceBlock(stripped, open);
+    if (end == std::string::npos) continue;
+    const std::string body = stripped.substr(open, end - open);
+    const int line = LineOf(stripped, decl_off);
+    if (!std::regex_search(body, kOnAppend)) {
+      Report(path, line, "skip-index-overrides",
+             "SkipIndex subclass '" + name +
+                 "' does not override OnAppend — appends would break the "
+                 "superset contract");
+    }
+    if (!std::regex_search(body, kDescribe)) {
+      Report(path, line, "skip-index-overrides",
+             "SkipIndex subclass '" + name +
+                 "' does not override Describe — introspection surfaces "
+                 "would lose it");
+    }
+  }
+}
+
+void Linter::CheckForbiddenTokens(const std::string& path,
+                                  const std::string& stripped) {
+  if (PathContains(path, "util/")) return;  // Home of the blessed wrappers.
+
+  // naked-new: `new` anywhere; `delete` unless it is `= delete`.
+  static const std::regex kNew(R"(\bnew\b)");
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), kNew);
+       it != std::sregex_iterator(); ++it) {
+    const size_t off = static_cast<size_t>(it->position());
+    Report(path, LineOf(stripped, off), "naked-new",
+           "naked 'new' outside util/ — use std::make_unique or a container");
+  }
+  static const std::regex kDelete(R"(\bdelete\b)");
+  for (auto it =
+           std::sregex_iterator(stripped.begin(), stripped.end(), kDelete);
+       it != std::sregex_iterator(); ++it) {
+    const size_t off = static_cast<size_t>(it->position());
+    // Walk back over whitespace; `= delete` declares a deleted function.
+    size_t p = off;
+    while (p > 0 && std::isspace(static_cast<unsigned char>(stripped[p - 1]))) {
+      --p;
+    }
+    if (p > 0 && stripped[p - 1] == '=') continue;
+    Report(path, LineOf(stripped, off), "naked-new",
+           "naked 'delete' outside util/ — ownership belongs to "
+           "std::unique_ptr");
+  }
+
+  // raw-thread: std::thread spawning (static-member access is fine).
+  static const std::regex kThread(R"(std\s*::\s*thread\b)");
+  for (auto it =
+           std::sregex_iterator(stripped.begin(), stripped.end(), kThread);
+       it != std::sregex_iterator(); ++it) {
+    const size_t off = static_cast<size_t>(it->position());
+    size_t after = off + static_cast<size_t>(it->length());
+    while (after < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[after]))) {
+      ++after;
+    }
+    if (stripped.compare(after, 2, "::") == 0) continue;
+    Report(path, LineOf(stripped, off), "raw-thread",
+           "std::thread outside util/ — parallel work goes through "
+           "ThreadPool");
+  }
+
+  // raw-sync-primitive: unannotated synchronization types.
+  static const std::regex kSync(
+      R"(std\s*::\s*(mutex|recursive_mutex|shared_mutex|timed_mutex|condition_variable|condition_variable_any|lock_guard|unique_lock|scoped_lock|shared_lock)\b)");
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), kSync);
+       it != std::sregex_iterator(); ++it) {
+    const size_t off = static_cast<size_t>(it->position());
+    Report(path, LineOf(stripped, off), "raw-sync-primitive",
+           "raw std::" + (*it)[1].str() +
+               " outside util/ — use the annotated Mutex/MutexLock/CondVar "
+               "(thread_annotations.h) so Clang Thread Safety Analysis sees "
+               "the lock");
+  }
+
+  // static-mutable-state: static variables that are not const/atomic.
+  static const std::regex kStaticLine(R"(^[ \t]*static\s[^;\n]*;)");
+  size_t pos = 0;
+  int line = 1;
+  while (pos < stripped.size()) {
+    size_t eol = stripped.find('\n', pos);
+    if (eol == std::string::npos) eol = stripped.size();
+    const std::string text_line = stripped.substr(pos, eol - pos);
+    if (std::regex_search(text_line, kStaticLine) &&
+        text_line.find('(') == std::string::npos &&
+        text_line.find("const") == std::string::npos &&
+        text_line.find("std::atomic") == std::string::npos &&
+        text_line.find("thread_local") == std::string::npos) {
+      Report(path, line, "static-mutable-state",
+             "non-const, non-atomic static variable outside util/ — shared "
+             "counters in executor code must be std::atomic or live in a "
+             "class guarded by a Mutex");
+    }
+    pos = eol + 1;
+    ++line;
+  }
+}
+
+void Linter::HarvestWorkloadStats(const std::string& path,
+                                  const std::string& stripped) {
+  // Field declarations inside `class WorkloadStats { ... }`.
+  static const std::regex kClass(R"(class\s+WorkloadStats\b[^;{]*\{)");
+  std::smatch m;
+  if (std::regex_search(stripped, m, kClass)) {
+    const size_t open = static_cast<size_t>(m.position()) +
+                        static_cast<size_t>(m.length()) - 1;
+    const size_t end = SkipBraceBlock(stripped, open);
+    if (end != std::string::npos) {
+      const std::string body = stripped.substr(open, end - open);
+      static const std::regex kField(
+          R"(^[ \t]*(?:mutable\s+)?[A-Za-z_][\w:<>, ]*[&* ]\s*([A-Za-z_]\w*_)\s*(?:=[^;]*)?;)");
+      size_t pos = 0;
+      while (pos < body.size()) {
+        size_t eol = body.find('\n', pos);
+        if (eol == std::string::npos) eol = body.size();
+        const std::string body_line = body.substr(pos, eol - pos);
+        std::smatch fm;
+        if (body_line.find('(') == std::string::npos &&
+            std::regex_search(body_line, fm, kField)) {
+          stats_.fields.push_back(fm[1].str());
+        }
+        pos = eol + 1;
+      }
+      stats_.decl_file = path;
+      stats_.decl_line = LineOf(stripped, static_cast<size_t>(m.position()));
+    }
+  }
+
+  // Out-of-line Record / Clear bodies.
+  const auto harvest_method = [&](const char* method, std::string* body_out,
+                                  std::string* file_out, int* line_out) {
+    const std::regex sig(std::string(R"(WorkloadStats\s*::\s*)") + method +
+                         R"(\s*\()");
+    std::smatch sm;
+    if (!std::regex_search(stripped, sm, sig)) return;
+    const size_t open =
+        FindOpenBrace(stripped, static_cast<size_t>(sm.position()));
+    if (open == std::string::npos) return;
+    const size_t end = SkipBraceBlock(stripped, open);
+    if (end == std::string::npos) return;
+    *body_out = stripped.substr(open, end - open);
+    *file_out = path;
+    *line_out = LineOf(stripped, static_cast<size_t>(sm.position()));
+  };
+  harvest_method("Record", &stats_.record_body, &stats_.record_file,
+                 &stats_.record_line);
+  harvest_method("Clear", &stats_.clear_body, &stats_.clear_file,
+                 &stats_.clear_line);
+}
+
+void Linter::LintFile(const std::string& path, const std::string& content) {
+  if (PathContains(path, "tools/")) return;  // The linter polices, not itself.
+  suppressions_.clear();
+  const std::string stripped = StripCommentsAndStrings(content, &suppressions_);
+  CheckSkipIndexOverrides(path, stripped);
+  CheckForbiddenTokens(path, stripped);
+  HarvestWorkloadStats(path, stripped);
+}
+
+std::vector<LintIssue> Linter::Finish() {
+  if (!stats_.fields.empty() && !stats_.record_body.empty()) {
+    for (const std::string& field : stats_.fields) {
+      if (stats_.record_body.find(field) == std::string::npos) {
+        issues_.push_back(
+            {stats_.record_file, stats_.record_line, "exec-stats-sync",
+             "WorkloadStats field '" + field +
+                 "' is not accumulated in WorkloadStats::Record — new stats "
+                 "must be added to the merge logic"});
+      }
+    }
+  }
+  if (!stats_.fields.empty() && !stats_.clear_body.empty() &&
+      stats_.clear_body.find("WorkloadStats()") == std::string::npos) {
+    // Clear() that is not a whole-object reset must name every field.
+    for (const std::string& field : stats_.fields) {
+      if (stats_.clear_body.find(field) == std::string::npos) {
+        issues_.push_back(
+            {stats_.clear_file, stats_.clear_line, "exec-stats-sync",
+             "WorkloadStats field '" + field +
+                 "' is not reset in WorkloadStats::Clear — either reset every "
+                 "field or assign a fresh WorkloadStats()"});
+      }
+    }
+  }
+  std::sort(issues_.begin(), issues_.end(),
+            [](const LintIssue& a, const LintIssue& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return issues_;
+}
+
+}  // namespace adaskip_lint

@@ -1,0 +1,116 @@
+#ifndef ADASKIP_TOOLS_LINT_LINT_RULES_H_
+#define ADASKIP_TOOLS_LINT_LINT_RULES_H_
+
+#include <string>
+#include <vector>
+
+/// adaskip_lint: repo-specific invariant checks that neither the compiler
+/// nor clang-tidy knows about. Deliberately lightweight — a lexical
+/// scanner over comment-/string-stripped source, no libclang — so it
+/// builds everywhere the project builds and runs in milliseconds as a
+/// ctest and a CI step.
+///
+/// Rules (ids used in findings and in suppression comments):
+///   skip-index-overrides  Every `class X : public SkipIndex` overrides
+///                         both OnAppend and Describe. Forgetting
+///                         OnAppend silently breaks the live-append
+///                         superset contract; forgetting Describe breaks
+///                         the introspection surface.
+///   exec-stats-sync       Every WorkloadStats field appears in
+///                         Record(), and Clear() either resets the whole
+///                         object (`*this = WorkloadStats()`) or names
+///                         every field. Catches the classic
+///                         added-a-counter-forgot-the-merge drift.
+///   naked-new             No `new` / `delete` outside util/ — ownership
+///                         goes through std::unique_ptr / containers.
+///   raw-thread            No `std::thread` spawned outside util/ — all
+///                         parallelism goes through ThreadPool
+///                         (`std::thread::` static-member uses such as
+///                         hardware_concurrency() are fine).
+///   raw-sync-primitive    No raw std::mutex / condition_variable /
+///                         lock_guard / unique_lock / scoped_lock
+///                         outside util/ — use the annotated Mutex /
+///                         MutexLock / CondVar wrappers so Clang Thread
+///                         Safety Analysis sees every lock.
+///   static-mutable-state  No non-const, non-atomic `static` variables
+///                         in library code outside util/ — a static
+///                         counter in executor code is a data race the
+///                         moment two sessions run.
+///
+/// Suppressions: a trailing comment `adaskip-lint: allow(<rule-id>)`
+/// silences that rule on its own line; a standalone comment (nothing but
+/// whitespace before it) silences the line directly below it.
+/// Path scoping: files whose path contains "util/" are exempt from the
+/// naked-new / raw-thread / raw-sync-primitive / static-mutable-state
+/// rules (util/ is where the blessed wrappers live); files under
+/// "tools/" are never scanned.
+
+namespace adaskip_lint {
+
+struct LintIssue {
+  std::string file;
+  int line = 0;  // 1-based.
+  std::string rule;
+  std::string message;
+};
+
+/// Scans one file's `content` (labelled `path` in findings and for path
+/// scoping) and appends per-file findings to `issues`. Cross-file rules
+/// (exec-stats-sync) accumulate state inside the Linter and are resolved
+/// by Finish().
+class Linter {
+ public:
+  void LintFile(const std::string& path, const std::string& content);
+
+  /// Resolves cross-file rules and returns all findings, sorted by file
+  /// then line.
+  std::vector<LintIssue> Finish();
+
+ private:
+  struct StatsState {
+    // Field names harvested from `class WorkloadStats { ... }`.
+    std::vector<std::string> fields;
+    std::string decl_file;
+    int decl_line = 0;
+    // Bodies of WorkloadStats::Record / WorkloadStats::Clear.
+    std::string record_body;
+    std::string record_file;
+    int record_line = 0;
+    std::string clear_body;
+    std::string clear_file;
+    int clear_line = 0;
+  };
+
+  void CheckSkipIndexOverrides(const std::string& path,
+                               const std::string& stripped);
+  void CheckForbiddenTokens(const std::string& path,
+                            const std::string& stripped);
+  void HarvestWorkloadStats(const std::string& path,
+                            const std::string& stripped);
+
+  bool Suppressed(int line, const std::string& rule) const;
+  void Report(const std::string& path, int line, const std::string& rule,
+              const std::string& message);
+
+  // Suppression comments of the file currently being linted:
+  // line number -> rule id.
+  std::vector<std::pair<int, std::string>> suppressions_;
+
+  StatsState stats_;
+  std::vector<LintIssue> issues_;
+};
+
+/// Replaces comments, string literals, and char literals with spaces
+/// (newlines preserved, so offsets keep their line numbers), and records
+/// `adaskip-lint: allow(<rule>)` suppressions found in the removed
+/// comments. Exposed for tests.
+std::string StripCommentsAndStrings(
+    const std::string& content,
+    std::vector<std::pair<int, std::string>>* suppressions);
+
+/// 1-based line number of byte `offset` in `text`.
+int LineOf(const std::string& text, size_t offset);
+
+}  // namespace adaskip_lint
+
+#endif  // ADASKIP_TOOLS_LINT_LINT_RULES_H_

@@ -1,0 +1,208 @@
+// Self-test for adaskip_lint: the known-bad fixtures must be flagged
+// (each expected finding, and nothing unexpected) and the known-good
+// fixture must come back clean. Fixtures live in testdata/ and are fed
+// to the Linter under src/-style labels, because real tools/ paths are
+// never scanned.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_rules.h"
+
+namespace adaskip_lint {
+namespace {
+
+#ifndef ADASKIP_LINT_TESTDATA
+#error "ADASKIP_LINT_TESTDATA must point at tools/lint/testdata"
+#endif
+
+std::string ReadFixture(const std::string& rel) {
+  const std::string path = std::string(ADASKIP_LINT_TESTDATA) + "/" + rel;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<LintIssue> LintUnderLabel(const std::string& fixture,
+                                      const std::string& label) {
+  Linter linter;
+  linter.LintFile(label, ReadFixture(fixture));
+  return linter.Finish();
+}
+
+int CountRule(const std::vector<LintIssue>& issues, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(issues.begin(), issues.end(),
+                    [&](const LintIssue& i) { return i.rule == rule; }));
+}
+
+TEST(StripTest, RemovesCommentsAndStringsKeepsLines) {
+  std::vector<std::pair<int, std::string>> suppressions;
+  const std::string stripped = StripCommentsAndStrings(
+      "int a; // new delete\n"
+      "const char* s = \"std::mutex\";\n"
+      "/* std::thread\n   spans lines */ int b;\n"
+      "char c = '\\'';\n"
+      "auto r = R\"x(new delete)x\";\n",
+      &suppressions);
+  EXPECT_EQ(stripped.find("new"), std::string::npos);
+  EXPECT_EQ(stripped.find("delete"), std::string::npos);
+  EXPECT_EQ(stripped.find("std::mutex"), std::string::npos);
+  EXPECT_EQ(stripped.find("std::thread"), std::string::npos);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+  // Line structure is preserved: `int b;` still reports line 4.
+  EXPECT_EQ(LineOf(stripped, stripped.find("int b;")), 4);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 6);
+}
+
+TEST(StripTest, DigitSeparatorsAreNotCharLiterals) {
+  std::vector<std::pair<int, std::string>> suppressions;
+  const std::string stripped =
+      StripCommentsAndStrings("int64_t big = 1'000'000; int tail = 7;\n",
+                              &suppressions);
+  EXPECT_NE(stripped.find("int tail = 7;"), std::string::npos);
+}
+
+TEST(StripTest, HarvestsSuppressionsFromComments) {
+  std::vector<std::pair<int, std::string>> suppressions;
+  StripCommentsAndStrings(
+      "// adaskip-lint: allow(raw-thread)\n"
+      "int x;  // adaskip-lint: allow(naked-new)\n",
+      &suppressions);
+  // Suppressions are recorded under their TARGET line: the standalone
+  // comment on line 1 targets line 2, the trailing one targets line 2.
+  ASSERT_EQ(suppressions.size(), 2u);
+  EXPECT_EQ(suppressions[0], (std::pair<int, std::string>{2, "raw-thread"}));
+  EXPECT_EQ(suppressions[1], (std::pair<int, std::string>{2, "naked-new"}));
+}
+
+TEST(BadFixtures, MissingOverridesFlagged) {
+  const std::vector<LintIssue> issues = LintUnderLabel(
+      "bad/missing_overrides.cc", "src/adaskip/skipping/missing_overrides.cc");
+  // BrokenIndex: both missing. HalfIndex: Describe missing.
+  EXPECT_EQ(CountRule(issues, "skip-index-overrides"), 3);
+  EXPECT_EQ(issues.size(), 3u);
+  int describe_findings = 0;
+  for (const LintIssue& issue : issues) {
+    EXPECT_EQ(issue.file, "src/adaskip/skipping/missing_overrides.cc");
+    if (issue.message.find("Describe") != std::string::npos) {
+      ++describe_findings;
+    }
+  }
+  EXPECT_EQ(describe_findings, 2);
+}
+
+TEST(BadFixtures, ForbiddenTokensFlagged) {
+  const std::vector<LintIssue> issues = LintUnderLabel(
+      "bad/forbidden_tokens.cc", "src/adaskip/engine/forbidden_tokens.cc");
+  EXPECT_EQ(CountRule(issues, "static-mutable-state"), 1);
+  EXPECT_EQ(CountRule(issues, "naked-new"), 2);  // new + delete.
+  EXPECT_EQ(CountRule(issues, "raw-thread"), 1);
+  EXPECT_EQ(CountRule(issues, "raw-sync-primitive"), 1);
+  EXPECT_EQ(issues.size(), 5u);
+}
+
+TEST(BadFixtures, ForbiddenTokensExemptUnderUtil) {
+  // The same content under util/ is the blessed implementation layer.
+  const std::vector<LintIssue> issues = LintUnderLabel(
+      "bad/forbidden_tokens.cc", "src/adaskip/util/forbidden_tokens.cc");
+  EXPECT_TRUE(issues.empty());
+}
+
+TEST(BadFixtures, StatsDriftFlagged) {
+  const std::vector<LintIssue> issues = LintUnderLabel(
+      "bad/stats_drift.cc", "src/adaskip/engine/stats_drift.cc");
+  // probe_nanos_ forgotten in both Record and Clear.
+  EXPECT_EQ(CountRule(issues, "exec-stats-sync"), 2);
+  EXPECT_EQ(issues.size(), 2u);
+  for (const LintIssue& issue : issues) {
+    EXPECT_NE(issue.message.find("probe_nanos_"), std::string::npos);
+  }
+}
+
+TEST(GoodFixtures, CleanFilePasses) {
+  const std::vector<LintIssue> issues =
+      LintUnderLabel("good/clean.cc", "src/adaskip/engine/clean.cc");
+  EXPECT_TRUE(issues.empty()) << [&] {
+    std::ostringstream out;
+    for (const LintIssue& issue : issues) {
+      out << issue.file << ":" << issue.line << ": [" << issue.rule << "] "
+          << issue.message << "\n";
+    }
+    return out.str();
+  }();
+}
+
+TEST(GoodFixtures, ToolsPathsNeverScanned) {
+  const std::vector<LintIssue> issues = LintUnderLabel(
+      "bad/forbidden_tokens.cc", "tools/lint/forbidden_tokens.cc");
+  EXPECT_TRUE(issues.empty());
+}
+
+TEST(Suppression, SameLineAndLineAboveOnly) {
+  Linter linter;
+  linter.LintFile("src/adaskip/engine/s.cc",
+                  "// adaskip-lint: allow(raw-thread)\n"
+                  "std::thread a;\n"
+                  "std::thread b;  // adaskip-lint: allow(raw-thread)\n"
+                  "std::thread c;\n");
+  const std::vector<LintIssue> issues = linter.Finish();
+  ASSERT_EQ(issues.size(), 1u);  // Only `c` on line 4 fires.
+  EXPECT_EQ(issues[0].line, 4);
+  EXPECT_EQ(issues[0].rule, "raw-thread");
+}
+
+TEST(Suppression, WrongRuleIdDoesNotSilence) {
+  Linter linter;
+  linter.LintFile("src/adaskip/engine/s.cc",
+                  "std::thread a;  // adaskip-lint: allow(naked-new)\n");
+  EXPECT_EQ(linter.Finish().size(), 1u);
+}
+
+TEST(StatsSync, WholeObjectClearAccepted) {
+  Linter linter;
+  linter.LintFile("src/adaskip/engine/s.h",
+                  "class WorkloadStats {\n"
+                  " private:\n"
+                  "  int64_t num_queries_ = 0;\n"
+                  "  int64_t rows_scanned_ = 0;\n"
+                  "};\n");
+  linter.LintFile("src/adaskip/engine/s.cc",
+                  "void WorkloadStats::Record(const QueryStats& s) {\n"
+                  "  ++num_queries_;\n"
+                  "  rows_scanned_ += s.rows_scanned;\n"
+                  "}\n"
+                  "void WorkloadStats::Clear() { *this = WorkloadStats(); }\n");
+  EXPECT_TRUE(linter.Finish().empty());
+}
+
+TEST(StatsSync, FieldMissingFromRecordFlagged) {
+  Linter linter;
+  linter.LintFile("src/adaskip/engine/s.h",
+                  "class WorkloadStats {\n"
+                  " private:\n"
+                  "  int64_t num_queries_ = 0;\n"
+                  "  int64_t adapt_nanos_ = 0;\n"
+                  "};\n");
+  linter.LintFile("src/adaskip/engine/s.cc",
+                  "void WorkloadStats::Record(const QueryStats& s) {\n"
+                  "  ++num_queries_;\n"
+                  "}\n"
+                  "void WorkloadStats::Clear() { *this = WorkloadStats(); }\n");
+  const std::vector<LintIssue> issues = linter.Finish();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].rule, "exec-stats-sync");
+  EXPECT_NE(issues[0].message.find("adapt_nanos_"), std::string::npos);
+  EXPECT_NE(issues[0].message.find("Record"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adaskip_lint

@@ -1,0 +1,23 @@
+// Fixture: forbidden-token violations, one per line group.
+// Linted under the label src/adaskip/engine/forbidden_tokens.cc.
+
+#include <mutex>
+#include <thread>
+
+namespace adaskip {
+
+static int query_counter;  // static-mutable-state
+
+void Launch() {
+  int* leak = new int[32];          // naked-new (new)
+  delete[] leak;                    // naked-new (delete)
+  std::thread worker([] {});        // raw-thread
+  worker.join();
+}
+
+class Racy {
+ private:
+  std::mutex mu_;                   // raw-sync-primitive
+};
+
+}  // namespace adaskip

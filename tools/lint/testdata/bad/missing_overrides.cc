@@ -1,0 +1,26 @@
+// Fixture: SkipIndex subclasses that violate skip-index-overrides.
+// Linted under the label src/adaskip/skipping/missing_overrides.cc.
+
+namespace adaskip {
+
+class SkipIndex;
+
+// Missing BOTH overrides: two findings.
+class BrokenIndex : public SkipIndex {
+ public:
+  int Probe() const { return 0; }
+
+ private:
+  int zones_ = 0;
+};
+
+// Has OnAppend but forgot Describe: one finding.
+class HalfIndex final : public SkipIndex {
+ public:
+  void OnAppend(RowRange appended) override;
+
+ private:
+  int zones_ = 0;
+};
+
+}  // namespace adaskip

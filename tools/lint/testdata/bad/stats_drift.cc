@@ -1,0 +1,30 @@
+// Fixture: a WorkloadStats whose Record/Clear drifted from the fields —
+// exec-stats-sync must flag the forgotten field in each method.
+// Linted under the label src/adaskip/engine/stats_drift.cc.
+
+#include <cstdint>
+
+namespace adaskip {
+
+class WorkloadStats {
+ public:
+  void Record(int64_t scanned);
+  void Clear();
+
+ private:
+  int64_t num_queries_ = 0;
+  int64_t rows_scanned_ = 0;
+  int64_t probe_nanos_ = 0;  // Added later; merge/reset never updated.
+};
+
+void WorkloadStats::Record(int64_t scanned) {
+  ++num_queries_;
+  rows_scanned_ += scanned;
+}
+
+void WorkloadStats::Clear() {
+  num_queries_ = 0;
+  rows_scanned_ = 0;
+}
+
+}  // namespace adaskip

@@ -1,0 +1,51 @@
+// Fixture: idioms every rule must accept.
+// Linted under the label src/adaskip/engine/clean.cc.
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "adaskip/util/thread_annotations.h"
+
+namespace adaskip {
+
+class SkipIndex;
+
+// Both overrides present (declaration-only is fine).
+class GoodIndex final : public SkipIndex {
+ public:
+  void OnAppend(RowRange appended) override;
+  std::string Describe() const override;
+
+  // Deleted functions are not naked deletes.
+  GoodIndex(const GoodIndex&) = delete;
+  GoodIndex& operator=(const GoodIndex&) = delete;
+};
+
+// Static-member access on std::thread is not thread spawning.
+inline int DefaultThreads() {
+  return static_cast<int>(std::thread::hardware_concurrency());
+}
+
+// const / constexpr / atomic statics are allowed.
+static constexpr int kMorselRows = 4096;
+static const char kName[] = "adaskip";
+static std::atomic<int64_t> live_sessions{0};
+
+// The annotated wrappers are the sanctioned primitives.
+class Guarded {
+ private:
+  Mutex mu_;
+  int64_t value_ ADASKIP_GUARDED_BY(mu_) = 0;
+};
+
+// An explicitly justified exception stays, with an audit trail:
+// adaskip-lint: allow(raw-sync-primitive)
+using InteropLock = std::unique_lock<std::mutex>;
+
+// Tokens inside comments and strings never count: new delete std::thread
+inline const char* Banner() {
+  return "no new delete std::mutex here, R\"(nor raw strings)\"";
+}
+
+}  // namespace adaskip
