@@ -1,0 +1,120 @@
+// Observability overhead: the zero-cost-when-off claim, measured.
+//
+// Replays one deterministic adaptive-scan workload four ways:
+//
+//   trace=off      metrics compiled in, TraceLevel::kOff (the default
+//                  production configuration)
+//   trace=summary  per-query span tree, flat
+//   trace=detail   span tree plus bounded per-range/per-morsel children
+//
+// and, when built as bench_obs_overhead_baseline (same source linked
+// against the adaskip_nometrics twin library, -DADASKIP_NO_METRICS):
+//
+//   no-metrics     every instrument compiled down to a no-op
+//
+// The acceptance bar: trace=off within 2% of the no-metrics baseline's
+// mean scan latency. The two numbers come from two binaries, so the CI
+// smoke step runs both and compares; a single binary cannot hold both
+// worlds (the whole point is that the registry code is absent from one).
+//
+// Interleaved A/B arms: each arm runs on its own fresh session, repeated
+// ADASKIP_BENCH_REPEATS times (default 3), and per-arm means are printed
+// so run-to-run noise is visible.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "adaskip/obs/metrics.h"
+#include "bench/common/bench_util.h"
+
+namespace adaskip {
+namespace bench {
+namespace {
+
+#ifdef ADASKIP_NO_METRICS
+constexpr const char* kBuildFlavor = "no-metrics";
+#else
+constexpr const char* kBuildFlavor = "metrics";
+#endif
+
+struct ObsArm {
+  std::string label;
+  obs::TraceLevel trace_level = obs::TraceLevel::kOff;
+};
+
+int Main() {
+  BenchConfig config = BenchConfig::FromEnv();
+  int repeats = 3;
+  if (const char* env = std::getenv("ADASKIP_BENCH_REPEATS")) {
+    repeats = std::atoi(env);
+    if (repeats < 1) repeats = 1;
+  }
+
+  PrintHeader(
+      "bench_obs_overhead: cost of the observability layer",
+      "TraceLevel::kOff costs <= 2% vs metrics-compiled-out baseline",
+      config);
+  std::printf("  build: %s  (repeats %d)\n", kBuildFlavor, repeats);
+
+  std::vector<int64_t> data = MakeData(config, DataOrder::kClustered);
+  std::vector<Query> queries =
+      MakeQueries(config, data, QueryPattern::kUniform);
+
+  std::vector<ObsArm> arms;
+  arms.push_back({"trace=off", obs::TraceLevel::kOff});
+#ifndef ADASKIP_NO_METRICS
+  // The no-metrics build cannot represent non-off levels meaningfully
+  // (the trace layer is still present, but the comparison target is the
+  // off arm), so it runs only the off arm.
+  arms.push_back({"trace=summary", obs::TraceLevel::kSummary});
+  arms.push_back({"trace=detail", obs::TraceLevel::kDetail});
+#endif
+
+  ArmResult off_result;
+  for (const ObsArm& arm : arms) {
+    double total_seconds = 0.0;
+    double mean_micros = 0.0;
+    ArmResult last;
+    for (int r = 0; r < repeats; ++r) {
+      ExecOptions exec;
+      exec.trace_level = arm.trace_level;
+      last = RunArm(data, IndexOptions::Adaptive(), queries,
+                    arm.label + "#" + std::to_string(r), exec);
+      total_seconds += last.total_seconds();
+      mean_micros += last.stats.MeanLatencyMicros();
+    }
+    total_seconds /= repeats;
+    mean_micros /= repeats;
+    std::printf("  %-16s [%s] total %8.4f s  mean %9.2f us  skip %6.2f%%\n",
+                arm.label.c_str(), kBuildFlavor, total_seconds, mean_micros,
+                last.stats.MeanSkippedFraction() * 100.0);
+    // Machine-readable line for the CI comparison step.
+    std::printf("OBS_OVERHEAD %s %s mean_us=%.4f\n", kBuildFlavor,
+                arm.label.c_str(), mean_micros);
+    if (arm.trace_level == obs::TraceLevel::kOff) {
+      off_result = last;
+    } else {
+      CheckSameAnswers(off_result, last);
+    }
+  }
+
+#ifndef ADASKIP_NO_METRICS
+  std::printf("\n  metrics registry after the run (scan-related excerpt):\n");
+  for (const obs::MetricSample& sample :
+       obs::MetricsRegistry::Global().Snapshot()) {
+    if (sample.name.rfind("adaskip.exec.", 0) == 0) {
+      std::printf("    %-28s %lld\n", sample.name.c_str(),
+                  static_cast<long long>(sample.value));
+    }
+  }
+#endif
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace adaskip
+
+int main() { return adaskip::bench::Main(); }

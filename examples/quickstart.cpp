@@ -4,11 +4,11 @@
 //   $ ./examples/quickstart
 //
 // Walks the core public API: Session, DataGenerator, Predicate, Query,
-// QueryResult/QueryStats, and adaptive-index introspection.
+// QueryResult/QueryStats, EXPLAIN, and adaptive-index introspection via
+// IndexSnapshot.
 
 #include <cstdio>
 
-#include "adaskip/adaptive/adaptive_zone_map.h"
 #include "adaskip/engine/session.h"
 #include "adaskip/workload/data_generator.h"
 
@@ -48,15 +48,23 @@ int main() {
     }
   }
 
-  // 4. Introspect the adaptive structure.
-  auto* index = static_cast<AdaptiveZoneMapT<int64_t>*>(
-      session.GetIndex("events", "ts"));
+  // 4. Introspect the adaptive structure through the value-type snapshot
+  //    (no raw index pointers, no casts).
+  Result<IndexSnapshot> snapshot = session.DescribeIndex("events", "ts");
+  ADASKIP_CHECK_OK(snapshot);
   std::printf("\nadaptive index state: %lld zones, %lld splits, "
-              "%lld merges, metadata %.1f KiB\n",
-              static_cast<long long>(index->ZoneCount()),
-              static_cast<long long>(index->split_count()),
-              static_cast<long long>(index->merge_count()),
-              static_cast<double>(index->MemoryUsageBytes()) / 1024.0);
+              "%lld merges, metadata %.1f KiB, mode %s\n",
+              static_cast<long long>(snapshot->zone_count),
+              static_cast<long long>(snapshot->adaptation.zones_refined),
+              static_cast<long long>(snapshot->adaptation.zones_merged),
+              static_cast<double>(snapshot->memory_bytes) / 1024.0,
+              snapshot->adaptation.bypass ? "bypass" : "active");
+
+  // 4b. EXPLAIN one query: the per-query trace shows candidate vs skipped
+  //     zones and the adaptation actions the query itself triggered.
+  Result<Explanation> explained = session.Explain("events", query);
+  ADASKIP_CHECK_OK(explained);
+  std::printf("\n%s\n", explained->text.c_str());
 
   // 5. Other aggregates work the same way.
   Result<QueryResult> sum = session.Execute(

@@ -10,8 +10,8 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 
-#include "adaskip/adaptive/adaptive_zone_map.h"
 #include "adaskip/engine/session.h"
 #include "adaskip/workload/data_generator.h"
 #include "adaskip/workload/query_generator.h"
@@ -48,8 +48,13 @@ int main() {
   options.merge_cold_age = 128;
   ADASKIP_CHECK_OK(
       session.AttachIndex("orders", "id", IndexOptions::Adaptive(options)));
-  auto* index =
-      static_cast<AdaptiveZoneMapT<int64_t>*>(session.GetIndex("orders", "id"));
+  // Introspection goes through value-type snapshots: the index mutates
+  // between phases, so each print site fetches a fresh one.
+  auto describe = [&] {
+    Result<IndexSnapshot> snapshot = session.DescribeIndex("orders", "id");
+    ADASKIP_CHECK_OK(snapshot);
+    return std::move(snapshot).value();
+  };
 
   auto run_phase = [&](const std::string& name, double hot_center,
                        int queries) {
@@ -74,13 +79,15 @@ int main() {
     }
     report.mean_skip /= queries;
     report.mean_micros /= queries;
+    IndexSnapshot snapshot = describe();
     std::printf("  %-28s skip %6.2f%%  mean %8.1f us  zones %5lld  "
                 "splits %5lld  merges %5lld  mode %s\n",
                 report.name.c_str(), report.mean_skip * 100.0,
-                report.mean_micros, static_cast<long long>(index->ZoneCount()),
-                static_cast<long long>(index->split_count()),
-                static_cast<long long>(index->merge_count()),
-                index->mode() == SkippingMode::kActive ? "active" : "bypass");
+                report.mean_micros,
+                static_cast<long long>(snapshot.zone_count),
+                static_cast<long long>(snapshot.adaptation.zones_refined),
+                static_cast<long long>(snapshot.adaptation.zones_merged),
+                snapshot.adaptation.bypass ? "bypass" : "active");
   };
 
   std::printf("phase-by-phase adaptive behavior (one index, drifting "
@@ -100,17 +107,17 @@ int main() {
       std::printf("  last reporting query: %s\n",
                   result->stats.ToString().c_str());
       std::printf("  index mode after reporting burst: %s\n",
-                  index->mode() == SkippingMode::kActive ? "active"
-                                                         : "bypass");
+                  describe().adaptation.bypass ? "bypass" : "active");
     }
   }
   // Analysts return — exploration ticks must re-enable skipping.
   std::printf("\n  analysts return (narrow queries):\n");
   run_phase("evening: low-id focus", 0.2, 150);
 
+  IndexSnapshot final_snapshot = describe();
   std::printf("\nfinal metadata: %lld zones, %.1f KiB (budget %lld zones)\n",
-              static_cast<long long>(index->ZoneCount()),
-              static_cast<double>(index->MemoryUsageBytes()) / 1024.0,
+              static_cast<long long>(final_snapshot.zone_count),
+              static_cast<double>(final_snapshot.memory_bytes) / 1024.0,
               static_cast<long long>(options.max_zones));
   return 0;
 }

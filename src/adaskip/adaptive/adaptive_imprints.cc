@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "adaskip/obs/metrics.h"
 #include "adaskip/scan/predicate.h"
 #include "adaskip/storage/type_dispatch.h"
 #include "adaskip/util/stopwatch.h"
@@ -171,6 +172,10 @@ void AdaptiveImprintsT<T>::Probe(const Predicate& pred,
       query_seq_ % options_.explore_interval == 0;
   if (mode_ == SkippingMode::kBypass && !explore_tick) {
     last_probe_bypassed_ = true;
+    ++bypassed_probe_count_;
+    ADASKIP_METRIC_COUNTER(bypassed, "adaskip.imprints.bypassed_probes",
+                           "Probes answered by the cost-model kill switch");
+    bypassed.Increment();
     candidates->push_back({0, num_rows_});
     stats->entries_read += 1;
     stats->zones_candidate += 1;
@@ -222,12 +227,24 @@ void AdaptiveImprintsT<T>::OnQueryComplete(const Predicate& pred,
     // The query just paid for reading the tail; extend the imprints over
     // it now while it is cache-hot so the next probe can skip it.
     ExtendImprints();
+    ++tail_extend_count_;
+    ADASKIP_METRIC_COUNTER(extends, "adaskip.imprints.tail_extends",
+                           "Un-imprinted append tails imprinted after a scan");
+    extends.Increment();
     tail_scanned_this_query_ = false;
   }
   if (!last_probe_bypassed_) {
     tracker_.Record(feedback.rows_total, feedback.rows_scanned,
                     feedback.probe.entries_read);
+    const SkippingMode previous = mode_;
     mode_ = cost_model_.Decide(tracker_, mode_);
+    if (mode_ != previous) {
+      ADASKIP_METRIC_COUNTER(to_bypass, "adaskip.imprints.mode_to_bypass",
+                             "Cost-model flips from active to bypass");
+      ADASKIP_METRIC_COUNTER(to_active, "adaskip.imprints.mode_to_active",
+                             "Cost-model flips from bypass back to active");
+      (mode_ == SkippingMode::kBypass ? to_bypass : to_active).Increment();
+    }
     double fp = feedback.rows_scanned > 0
                     ? static_cast<double>(feedback.rows_scanned -
                                           feedback.rows_matched) /
@@ -273,9 +290,24 @@ void AdaptiveImprintsT<T>::Rebin() {
   RebuildImprints();
   last_rebin_seq_ = query_seq_;
   ++rebin_count_;
+  ADASKIP_METRIC_COUNTER(rebins, "adaskip.imprints.rebins",
+                         "Workload-aligned bin-boundary rebuilds");
+  rebins.Increment();
   // Give the new layout a fresh read on effectiveness.
   false_positive_ewma_ = 0.0;
   adapt_nanos_ += timer.ElapsedNanos();
+}
+
+template <typename T>
+AdaptationProfile AdaptiveImprintsT<T>::GetAdaptationProfile() const {
+  AdaptationProfile profile;
+  profile.rebuilds = rebin_count_;
+  profile.tail_absorbs = tail_extend_count_;
+  profile.bypassed_probes = bypassed_probe_count_;
+  profile.bypass = mode_ == SkippingMode::kBypass;
+  profile.cost_model_enabled = cost_model_.enabled();
+  profile.net_benefit_per_row = cost_model_.NetBenefitPerRow(tracker_);
+  return profile;
 }
 
 template <typename T>

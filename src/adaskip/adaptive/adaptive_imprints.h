@@ -103,9 +103,13 @@ class AdaptiveImprintsT final : public SkipIndex {
   // --- Introspection ---
   SkippingMode mode() const { return mode_; }
   int64_t rebin_count() const { return rebin_count_; }
+  int64_t tail_extend_count() const { return tail_extend_count_; }
+  int64_t bypassed_probe_count() const { return bypassed_probe_count_; }
   int64_t query_count() const { return query_seq_; }
   int64_t imprinted_rows() const { return imprinted_rows_; }
   const std::vector<T>& split_points() const { return split_points_; }
+
+  AdaptationProfile GetAdaptationProfile() const override;
 
   /// Bin of `v` under the current boundaries (exposed for tests).
   int64_t BinOf(T v) const;
@@ -144,6 +148,8 @@ class AdaptiveImprintsT final : public SkipIndex {
   int64_t query_seq_ = 0;
   int64_t last_rebin_seq_ = 0;
   int64_t rebin_count_ = 0;
+  int64_t tail_extend_count_ = 0;   // Un-imprinted tails made exact.
+  int64_t bypassed_probe_count_ = 0;
   int64_t adapt_nanos_ = 0;
   int64_t imprinted_rows_ = 0;    // Rows covered by imprint words.
   bool tail_scanned_this_query_ = false;

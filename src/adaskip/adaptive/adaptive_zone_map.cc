@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "adaskip/obs/metrics.h"
 #include "adaskip/scan/scan_kernel.h"
 #include "adaskip/storage/type_dispatch.h"
 #include "adaskip/util/stopwatch.h"
@@ -96,6 +97,9 @@ void AdaptiveZoneMapT<T>::Probe(const Predicate& pred,
     // Kill switch engaged: skip the metadata entirely and scan.
     last_probe_bypassed_ = true;
     ++bypassed_probe_count_;
+    ADASKIP_METRIC_COUNTER(bypassed, "adaskip.zonemap.bypassed_probes",
+                           "Probes answered by the cost-model kill switch");
+    bypassed.Increment();
     candidates->push_back({0, num_rows_});
     stats->entries_read += 1;  // The mode flag itself.
     stats->zones_candidate += 1;
@@ -157,6 +161,9 @@ void AdaptiveZoneMapT<T>::SplitZoneAt(int64_t index,
   zones_.erase(zones_.begin() + index);
   zones_.insert(zones_.begin() + index, children.begin(), children.end());
   split_count_ += static_cast<int64_t>(children.size()) - 1;
+  ADASKIP_METRIC_COUNTER(splits, "adaskip.zonemap.zone_splits",
+                         "Zones added by waste-driven refinement");
+  splits.Add(static_cast<int64_t>(children.size()) - 1);
 }
 
 template <typename T>
@@ -203,6 +210,10 @@ void AdaptiveZoneMapT<T>::OnRangeScanned(const Predicate& pred,
       zones_.erase(zones_.begin() + index);
       zones_.insert(zones_.begin() + index, children.begin(), children.end());
       --conservative_zones_;
+      ++absorb_count_;
+      ADASKIP_METRIC_COUNTER(absorbs, "adaskip.zonemap.tail_absorbs",
+                             "Conservative tail zones tightened on first scan");
+      absorbs.Increment();
       adapt_nanos_ += timer.ElapsedNanos();
     }
   }
@@ -297,6 +308,9 @@ void AdaptiveZoneMapT<T>::ReplaceZone(int64_t index,
   zones_.erase(zones_.begin() + index);
   zones_.insert(zones_.begin() + index, children.begin(), children.end());
   split_count_ += static_cast<int64_t>(children.size()) - 1;
+  ADASKIP_METRIC_COUNTER(splits, "adaskip.zonemap.zone_splits",
+                         "Zones added by waste-driven refinement");
+  splits.Add(static_cast<int64_t>(children.size()) - 1);
 }
 
 template <typename T>
@@ -307,7 +321,15 @@ void AdaptiveZoneMapT<T>::OnQueryComplete(const Predicate& pred,
   if (!last_probe_bypassed_) {
     tracker_.Record(feedback.rows_total, feedback.rows_scanned,
                     feedback.probe.entries_read);
+    const SkippingMode previous = mode_;
     mode_ = cost_model_.Decide(tracker_, mode_);
+    if (mode_ != previous) {
+      ADASKIP_METRIC_COUNTER(to_bypass, "adaskip.zonemap.mode_to_bypass",
+                             "Cost-model flips from active to bypass");
+      ADASKIP_METRIC_COUNTER(to_active, "adaskip.zonemap.mode_to_active",
+                             "Cost-model flips from bypass back to active");
+      (mode_ == SkippingMode::kBypass ? to_bypass : to_active).Increment();
+    }
   }
   if (options_.enable_merging && options_.merge_check_interval > 0 &&
       query_seq_ % options_.merge_check_interval == 0) {
@@ -351,13 +373,30 @@ void AdaptiveZoneMapT<T>::MergeSweep() {
     }
     merged.push_back(zone);
   }
+  const int64_t before = static_cast<int64_t>(zones_.size());
   zones_ = std::move(merged);
+  ADASKIP_METRIC_COUNTER(merges, "adaskip.zonemap.zone_merges",
+                         "Zones removed by cold-zone merge sweeps");
+  merges.Add(before - static_cast<int64_t>(zones_.size()));
   adapt_nanos_ += timer.ElapsedNanos();
 }
 
 template <typename T>
 int64_t AdaptiveZoneMapT<T>::MemoryUsageBytes() const {
   return static_cast<int64_t>(zones_.capacity() * sizeof(AdaptiveZone));
+}
+
+template <typename T>
+AdaptationProfile AdaptiveZoneMapT<T>::GetAdaptationProfile() const {
+  AdaptationProfile profile;
+  profile.zones_refined = split_count_;
+  profile.zones_merged = merge_count_;
+  profile.tail_absorbs = absorb_count_;
+  profile.bypassed_probes = bypassed_probe_count_;
+  profile.bypass = mode_ == SkippingMode::kBypass;
+  profile.cost_model_enabled = cost_model_.enabled();
+  profile.net_benefit_per_row = cost_model_.NetBenefitPerRow(tracker_);
+  return profile;
 }
 
 template <typename T>

@@ -96,9 +96,12 @@ class AdaptiveZoneMapT final : public SkipIndex {
   SkippingMode mode() const { return mode_; }
   int64_t split_count() const { return split_count_; }
   int64_t merge_count() const { return merge_count_; }
+  int64_t absorb_count() const { return absorb_count_; }
   int64_t bypassed_probe_count() const { return bypassed_probe_count_; }
   int64_t query_count() const { return query_seq_; }
   const EffectivenessTracker& tracker() const { return tracker_; }
+
+  AdaptationProfile GetAdaptationProfile() const override;
 
   /// Returns and resets the nanoseconds spent on refinement/merging since
   /// the last call.
@@ -140,6 +143,7 @@ class AdaptiveZoneMapT final : public SkipIndex {
   int64_t splits_this_query_ = 0;
   int64_t split_count_ = 0;
   int64_t merge_count_ = 0;
+  int64_t absorb_count_ = 0;  // Conservative tail zones made exact.
   int64_t bypassed_probe_count_ = 0;
   int64_t adapt_nanos_ = 0;
   int64_t conservative_zones_ = 0;

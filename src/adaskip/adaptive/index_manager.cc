@@ -1,6 +1,7 @@
 #include "adaskip/adaptive/index_manager.h"
 
 #include "adaskip/adaptive/adaptive_zone_map.h"
+#include "adaskip/obs/metrics.h"
 
 namespace adaskip {
 
@@ -55,6 +56,9 @@ Status IndexManager::AttachIndex(std::string_view column_name,
   // must not stall concurrent registry lookups.
   std::unique_ptr<SkipIndex> index = MakeSkipIndex(*column, options);
   const int64_t version = table_->data_version();
+  ADASKIP_METRIC_COUNTER(attaches, "adaskip.index.attaches",
+                         "Skip indexes built and attached");
+  attaches.Increment();
   MutexLock lock(&mu_);
   indexes_[std::string(column_name)] = Entry{std::move(index), version};
   return Status::OK();
@@ -68,6 +72,9 @@ Status IndexManager::DetachIndex(std::string_view column_name) {
                             std::string(column_name) + "'");
   }
   indexes_.erase(it);
+  ADASKIP_METRIC_COUNTER(detaches, "adaskip.index.detaches",
+                         "Skip indexes dropped");
+  detaches.Increment();
   return Status::OK();
 }
 
@@ -94,6 +101,9 @@ Result<SkipIndex*> IndexManager::GetSyncedIndex(
 }
 
 void IndexManager::OnAppend(RowRange appended) {
+  ADASKIP_METRIC_COUNTER(appends, "adaskip.index.append_batches",
+                         "Append batches routed to attached skip indexes");
+  appends.Increment();
   MutexLock lock(&mu_);
   for (auto& [name, entry] : indexes_) {
     entry.index->OnAppend(appended);

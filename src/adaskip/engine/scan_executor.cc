@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "adaskip/obs/metrics.h"
 #include "adaskip/scan/scan_kernel.h"
 #include "adaskip/storage/type_dispatch.h"
 #include "adaskip/util/interval_set.h"
@@ -91,11 +92,69 @@ std::vector<Morsel> BuildMorsels(const std::vector<RowRange>& ranges,
   return morsels;
 }
 
+/// Builds the "probe" trace span from the already-filled probe stats.
+obs::TraceSpan MakeProbeSpan(const QueryStats& stats) {
+  obs::TraceSpan span("probe");
+  span.duration_nanos = stats.probe_nanos;
+  span.Set("index", stats.index_name)
+      .Set("rows_total", stats.rows_total)
+      .Set("zones_candidate", stats.probe.zones_candidate)
+      .Set("zones_skipped", stats.probe.zones_skipped)
+      .Set("entries_read", stats.probe.entries_read)
+      .Set("candidate_ranges", stats.candidate_ranges)
+      .Set("tail_rows", stats.tail_rows);
+  return span;
+}
+
+/// Builds the "adapt" trace span for one index by diffing its adaptation
+/// profile across the query; `describe_before` is consumed only at
+/// kDetail (pass empty otherwise).
+obs::TraceSpan MakeAdaptSpan(const SkipIndex& index,
+                             const AdaptationProfile& before, bool detail,
+                             std::string describe_before) {
+  const AdaptationProfile after = index.GetAdaptationProfile();
+  obs::TraceSpan span("adapt");
+  span.Set("index", index.name())
+      .Set("zones_refined", after.zones_refined - before.zones_refined)
+      .Set("zones_merged", after.zones_merged - before.zones_merged)
+      .Set("rebuilds", after.rebuilds - before.rebuilds)
+      .Set("tail_absorbs", after.tail_absorbs - before.tail_absorbs)
+      .Set("bypassed_probe", after.bypassed_probes > before.bypassed_probes)
+      .Set("mode", after.bypass ? "bypass" : "active")
+      .Set("cost_model", after.cost_model_enabled ? "enabled" : "disabled")
+      .Set("net_benefit_per_row", after.net_benefit_per_row);
+  if (detail) {
+    span.Set("index_before", std::move(describe_before));
+    span.Set("index_after", index.Describe());
+  }
+  return span;
+}
+
 }  // namespace
 
-void ScanExecutor::set_exec_options(const ExecOptions& options) {
+Status ValidateExecOptions(const ExecOptions& options) {
+  if (options.num_threads < 1 || options.num_threads > kMaxExecThreads) {
+    return Status::InvalidArgument(
+        "num_threads must be in [1, " + std::to_string(kMaxExecThreads) +
+        "]; got " + std::to_string(options.num_threads));
+  }
+  if (options.morsel_rows < 1) {
+    return Status::InvalidArgument("morsel_rows must be >= 1; got " +
+                                   std::to_string(options.morsel_rows));
+  }
+  if (!obs::TraceLevelIsValid(options.trace_level)) {
+    return Status::InvalidArgument(
+        "trace_level is not a valid TraceLevel; got " +
+        std::to_string(static_cast<int>(options.trace_level)));
+  }
+  return Status::OK();
+}
+
+Status ScanExecutor::set_exec_options(const ExecOptions& options) {
   ADASKIP_DCHECK_SERIAL(exec_serial_);
+  ADASKIP_RETURN_IF_ERROR(ValidateExecOptions(options));
   options_ = options;  // The pool is (re)sized lazily by pool().
+  return Status::OK();
 }
 
 ThreadPool* ScanExecutor::pool() {
@@ -141,6 +200,26 @@ Result<QueryResult> ScanExecutor::Execute(const Query& query) {
   ADASKIP_DCHECK_SERIAL(exec_serial_);
   ADASKIP_RETURN_IF_ERROR(ValidateQuery(query));
 
+  Result<QueryResult> result = ExecuteValidated(query);
+  if (result.ok()) {
+    ADASKIP_METRIC_COUNTER(queries, "adaskip.exec.queries",
+                           "Queries executed to completion");
+    ADASKIP_METRIC_COUNTER(scanned, "adaskip.exec.rows_scanned",
+                           "Rows touched by scan kernels");
+    ADASKIP_METRIC_COUNTER(skipped, "adaskip.exec.rows_skipped",
+                           "Rows pruned by skip indexes before scanning");
+    ADASKIP_METRIC_HISTOGRAM(latency, "adaskip.exec.query_nanos",
+                             "End-to-end query latency in nanoseconds");
+    const QueryStats& stats = result.value().stats;
+    queries.Increment();
+    scanned.Add(stats.rows_scanned);
+    skipped.Add(std::max<int64_t>(stats.rows_total - stats.rows_scanned, 0));
+    latency.Observe(stats.total_nanos);
+  }
+  return result;
+}
+
+Result<QueryResult> ScanExecutor::ExecuteValidated(const Query& query) {
   const bool aggregates_predicate_column =
       query.aggregate == AggregateKind::kCount ||
       query.aggregate == AggregateKind::kMaterialize ||
@@ -162,7 +241,8 @@ template <typename T>
 void ScanExecutor::ScanSingleParallel(const Query& query,
                                       const TypedColumn<T>& column,
                                       const std::vector<RowRange>& candidates,
-                                      SkipIndex* index, QueryResult* result) {
+                                      SkipIndex* index, obs::QueryTrace* trace,
+                                      QueryResult* result) {
   QueryStats& stats = result->stats;
   const Predicate& pred = query.predicates[0];
   const ValueInterval<T> interval = pred.ToInterval<T>();
@@ -280,6 +360,32 @@ void ScanExecutor::ScanSingleParallel(const Query& query,
     result->min = static_cast<double>(min_v);
     result->max = static_cast<double>(max_v);
   }
+
+  if (trace != nullptr) {
+    obs::TraceSpan scan_span("scan");
+    scan_span.duration_nanos = stats.scan_nanos;
+    scan_span.Set("rows_scanned", stats.rows_scanned)
+        .Set("rows_matched", matched)
+        .Set("parallel_workers", stats.parallel_workers)
+        .Set("morsels", static_cast<int64_t>(morsels.size()))
+        .Set("merge_nanos", stats.merge_nanos);
+    if (trace->detail()) {
+      const int64_t limit = obs::QueryTrace::kMaxDetailChildren;
+      for (size_t m = 0;
+           m < morsels.size() && static_cast<int64_t>(m) < limit; ++m) {
+        obs::TraceSpan child("morsel");
+        child.Set("begin", morsels[m].rows.begin)
+            .Set("end", morsels[m].rows.end)
+            .Set("matches", partials[m].matches);
+        scan_span.AddChild(std::move(child));
+      }
+      if (static_cast<int64_t>(morsels.size()) > limit) {
+        scan_span.Set("detail_elided",
+                      static_cast<int64_t>(morsels.size()) - limit);
+      }
+    }
+    trace->root().AddChild(std::move(scan_span));
+  }
 }
 
 template <typename T>
@@ -292,12 +398,27 @@ Result<QueryResult> ScanExecutor::ExecuteSingleTyped(
   QueryStats& stats = result.stats;
   stats.rows_total = column.size();
 
+  // Tracing is opt-in per query batch: at kOff no trace object exists and
+  // every capture site below is a skipped null check.
+  std::shared_ptr<obs::QueryTrace> trace;
+  if (options_.trace_level != obs::TraceLevel::kOff) {
+    trace = std::make_shared<obs::QueryTrace>(options_.trace_level);
+    trace->root().Set("query", query.ToString());
+  }
+
   SkipIndex* index = nullptr;
   if (indexes_ != nullptr) {
     ADASKIP_ASSIGN_OR_RETURN(index, indexes_->GetSyncedIndex(pred.column));
   }
   stats.index_name = index != nullptr ? std::string(index->name()) : "none";
   stats.tail_rows = index != nullptr ? index->UnindexedTailRows() : 0;
+
+  AdaptationProfile profile_before;
+  std::string describe_before;
+  if (trace != nullptr && index != nullptr) {
+    profile_before = index->GetAdaptationProfile();
+    if (trace->detail()) describe_before = index->Describe();
+  }
 
   // Probe.
   std::vector<RowRange> candidates;
@@ -311,10 +432,11 @@ Result<QueryResult> ScanExecutor::ExecuteSingleTyped(
   stats.probe_nanos = probe_timer.ElapsedNanos();
   stats.candidate_ranges = static_cast<int64_t>(candidates.size());
   ADASKIP_DCHECK(CandidatesAreWellFormed(candidates, column.size()));
+  if (trace != nullptr) trace->root().AddChild(MakeProbeSpan(stats));
 
   if (options_.num_threads > 1 &&
       TotalRows(candidates) > options_.morsel_rows) {
-    ScanSingleParallel(query, column, candidates, index, &result);
+    ScanSingleParallel(query, column, candidates, index, trace.get(), &result);
   } else {
     // Serial path: scan candidates with the kernel matching the
     // aggregate, feeding the index per-range feedback as each range
@@ -328,6 +450,7 @@ Result<QueryResult> ScanExecutor::ExecuteSingleTyped(
     T min_v = std::numeric_limits<T>::max();
     T max_v = std::numeric_limits<T>::lowest();
     int64_t matched = 0;
+    obs::TraceSpan scan_span("scan");
     for (const RowRange& range : candidates) {
       Stopwatch scan_timer;
       int64_t range_matches = 0;
@@ -366,6 +489,15 @@ Result<QueryResult> ScanExecutor::ExecuteSingleTyped(
       stats.scan_nanos += scan_timer.ElapsedNanos();
       stats.rows_scanned += range.size();
       matched += range_matches;
+      if (trace != nullptr && trace->detail() &&
+          static_cast<int64_t>(scan_span.children.size()) <
+              obs::QueryTrace::kMaxDetailChildren) {
+        obs::TraceSpan child("range");
+        child.Set("begin", range.begin)
+            .Set("end", range.end)
+            .Set("matches", range_matches);
+        scan_span.AddChild(std::move(child));
+      }
       if (index != nullptr) {
         index->OnRangeScanned(pred, RangeFeedback{range, range_matches});
       }
@@ -376,6 +508,17 @@ Result<QueryResult> ScanExecutor::ExecuteSingleTyped(
     if (matched > 0) {
       result.min = static_cast<double>(min_v);
       result.max = static_cast<double>(max_v);
+    }
+    if (trace != nullptr) {
+      scan_span.duration_nanos = stats.scan_nanos;
+      scan_span.Set("rows_scanned", stats.rows_scanned)
+          .Set("rows_matched", matched);
+      const int64_t elided = static_cast<int64_t>(candidates.size()) -
+                             static_cast<int64_t>(scan_span.children.size());
+      if (trace->detail() && elided > 0) {
+        scan_span.Set("detail_elided", elided);
+      }
+      trace->root().AddChild(std::move(scan_span));
     }
   }
 
@@ -388,9 +531,20 @@ Result<QueryResult> ScanExecutor::ExecuteSingleTyped(
     index->OnQueryComplete(pred, feedback);
     stats.adapt_nanos = index->TakeAdaptationNanos();
     stats.tail_rows_scanned = index->TakeTailRowsScanned();
+    if (trace != nullptr) {
+      obs::TraceSpan adapt_span = MakeAdaptSpan(
+          *index, profile_before, trace->detail(), std::move(describe_before));
+      adapt_span.duration_nanos = stats.adapt_nanos;
+      adapt_span.Set("tail_rows_scanned", stats.tail_rows_scanned);
+      trace->root().AddChild(std::move(adapt_span));
+    }
   }
 
   stats.total_nanos = total_timer.ElapsedNanos();
+  if (trace != nullptr) {
+    trace->root().duration_nanos = stats.total_nanos;
+    result.trace = std::move(trace);
+  }
   return result;
 }
 
@@ -403,6 +557,14 @@ Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
   stats.index_name = "conjunction";
 
   const size_t num_preds = query.predicates.size();
+
+  std::shared_ptr<obs::QueryTrace> trace;
+  if (options_.trace_level != obs::TraceLevel::kOff) {
+    trace = std::make_shared<obs::QueryTrace>(options_.trace_level);
+    trace->root().Set("query", query.ToString());
+  }
+  std::vector<AdaptationProfile> profiles_before(num_preds);
+  std::vector<std::string> describes_before(num_preds);
 
   // Probe each predicated column and intersect the candidate sets,
   // keeping per-predicate accounting so adaptation feedback can be
@@ -425,6 +587,10 @@ Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
     }
     pred_index[p] = index;
     if (index != nullptr) {
+      if (trace != nullptr) {
+        profiles_before[p] = index->GetAdaptationProfile();
+        if (trace->detail()) describes_before[p] = index->Describe();
+      }
       stats.tail_rows += index->UnindexedTailRows();
       index->Probe(pred, &column_candidates, &pred_probe[p]);
     } else if (table_->num_rows() > 0) {
@@ -441,6 +607,22 @@ Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
   }
   stats.probe_nanos = probe_timer.ElapsedNanos();
   stats.candidate_ranges = static_cast<int64_t>(candidates.size());
+  if (trace != nullptr) {
+    obs::TraceSpan probe_span = MakeProbeSpan(stats);
+    for (size_t p = 0; p < num_preds; ++p) {
+      obs::TraceSpan child("predicate");
+      child
+          .Set("column", query.predicates[p].column)
+          .Set("index", pred_index[p] != nullptr
+                            ? std::string(pred_index[p]->name())
+                            : std::string("none"))
+          .Set("zones_candidate", pred_probe[p].zones_candidate)
+          .Set("zones_skipped", pred_probe[p].zones_skipped)
+          .Set("entries_read", pred_probe[p].entries_read);
+      probe_span.AddChild(std::move(child));
+    }
+    trace->root().AddChild(std::move(probe_span));
+  }
 
   // Evaluate the conjunction morsel-wise: materialize the first
   // predicate's matches, then filter by the remaining predicates. Each
@@ -555,7 +737,18 @@ Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
     }
   }
   stats.merge_nanos = merge_timer.ElapsedNanos();
+  if (trace != nullptr) {
+    obs::TraceSpan scan_span("scan");
+    scan_span.duration_nanos = stats.scan_nanos;
+    scan_span.Set("rows_scanned", stats.rows_scanned)
+        .Set("rows_matched", stats.rows_matched)
+        .Set("morsels", static_cast<int64_t>(morsels.size()))
+        .Set("parallel_workers", stats.parallel_workers)
+        .Set("merge_nanos", stats.merge_nanos);
+    trace->root().AddChild(std::move(scan_span));
+  }
 
+  obs::TraceSpan adapt_span("adapt");
   for (size_t p = 0; p < num_preds; ++p) {
     if (pred_index[p] == nullptr) continue;
     QueryFeedback feedback;
@@ -566,6 +759,18 @@ Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
     pred_index[p]->OnQueryComplete(query.predicates[p], feedback);
     stats.adapt_nanos += pred_index[p]->TakeAdaptationNanos();
     stats.tail_rows_scanned += pred_index[p]->TakeTailRowsScanned();
+    if (trace != nullptr) {
+      obs::TraceSpan child =
+          MakeAdaptSpan(*pred_index[p], profiles_before[p], trace->detail(),
+                        std::move(describes_before[p]));
+      child.Set("column", query.predicates[p].column);
+      adapt_span.AddChild(std::move(child));
+    }
+  }
+  if (trace != nullptr) {
+    adapt_span.duration_nanos = stats.adapt_nanos;
+    adapt_span.Set("tail_rows_scanned", stats.tail_rows_scanned);
+    trace->root().AddChild(std::move(adapt_span));
   }
 
   // Aggregate over the qualifying rows.
@@ -596,6 +801,10 @@ Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
     result.rows = std::move(selection);
   }
   stats.total_nanos = total_timer.ElapsedNanos();
+  if (trace != nullptr) {
+    trace->root().duration_nanos = stats.total_nanos;
+    result.trace = std::move(trace);
+  }
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include "adaskip/adaptive/index_manager.h"
 #include "adaskip/engine/exec_stats.h"
 #include "adaskip/engine/query.h"
+#include "adaskip/obs/query_trace.h"
 #include "adaskip/storage/table.h"
 #include "adaskip/util/selection_vector.h"
 #include "adaskip/util/status.h"
@@ -28,7 +29,23 @@ struct ExecOptions {
   /// at most this many rows; morsels never cross a candidate-range
   /// boundary, so per-range (zone-exact) feedback stays intact.
   int64_t morsel_rows = 32768;
+
+  /// Per-query trace capture (see obs::QueryTrace). kOff — the default —
+  /// costs one pointer check per capture point; kSummary records the
+  /// probe/scan/adapt span tree; kDetail adds bounded per-range /
+  /// per-morsel children and before/after index state.
+  obs::TraceLevel trace_level = obs::TraceLevel::kOff;
 };
+
+/// Upper bound on ExecOptions::num_threads accepted by
+/// ValidateExecOptions — far above any sane machine, low enough to catch
+/// garbage (negative casts, uninitialized ints).
+inline constexpr int kMaxExecThreads = 1024;
+
+/// Validates execution knobs: num_threads in [1, kMaxExecThreads],
+/// morsel_rows >= 1, trace_level a defined enumerator. Returns
+/// InvalidArgument naming the offending knob.
+Status ValidateExecOptions(const ExecOptions& options);
 
 /// Answer of one query plus its execution accounting.
 ///
@@ -43,6 +60,11 @@ struct QueryResult {
   double max = std::numeric_limits<double>::quiet_NaN();  // kMax; count > 0.
   SelectionVector rows;  // kMaterialize only.
   QueryStats stats;
+
+  /// The captured span tree; non-null only when the query ran with
+  /// ExecOptions::trace_level above kOff. Shared const so callers can
+  /// retain it past the result without copying the tree.
+  std::shared_ptr<const obs::QueryTrace> trace;
 };
 
 /// Executes filter-and-aggregate queries over one table, consulting the
@@ -89,9 +111,12 @@ class ScanExecutor {
 
   Result<QueryResult> Execute(const Query& query);
 
-  /// Reconfigures execution. The worker pool is (re)built lazily on the
-  /// next parallel query. Not thread safe against concurrent Execute.
-  void set_exec_options(const ExecOptions& options);
+  /// Reconfigures execution after validating the knobs
+  /// (ValidateExecOptions); invalid options are rejected with
+  /// InvalidArgument and the previous options stay in force. The worker
+  /// pool is (re)built lazily on the next parallel query. Not thread safe
+  /// against concurrent Execute.
+  Status set_exec_options(const ExecOptions& options);
   const ExecOptions& exec_options() const { return options_; }
 
   const Table& table() const { return *table_; }
@@ -106,11 +131,17 @@ class ScanExecutor {
   /// Parallel tail of ExecuteSingleTyped: scans `candidates` morsel-wise
   /// on the pool, merges partials deterministically, and replays feedback
   /// into `index` (may be nullptr). Fills result/stats like the serial
-  /// loop does.
+  /// loop does. `trace` may be nullptr (tracing off); at kDetail it
+  /// receives bounded per-morsel scan children.
   template <typename T>
   void ScanSingleParallel(const Query& query, const TypedColumn<T>& column,
                           const std::vector<RowRange>& candidates,
-                          SkipIndex* index, QueryResult* result);
+                          SkipIndex* index, obs::QueryTrace* trace,
+                          QueryResult* result);
+
+  /// Dispatches a validated query to the typed single-predicate fast path
+  /// or the conjunction path (metrics/trace-agnostic inner step).
+  Result<QueryResult> ExecuteValidated(const Query& query);
 
   Result<QueryResult> ExecuteConjunction(const Query& query);
 

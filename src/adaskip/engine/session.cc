@@ -12,18 +12,32 @@ Status Session::RegisterTable(std::shared_ptr<Table> table) {
 
 Result<Session::TableRuntime*> Session::GetRuntime(
     std::string_view table_name) {
-  auto it = runtimes_.find(table_name);
-  if (it != runtimes_.end()) return &it->second;
+  {
+    MutexLock lock(&runtimes_mu_);
+    auto it = runtimes_.find(table_name);
+    if (it != runtimes_.end()) return &it->second;
+  }
+  // Build outside the lock (index manager + executor construction), then
+  // publish; a concurrent builder of the same runtime loses the emplace
+  // race and its runtime is discarded before anyone saw it.
   ADASKIP_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
                            catalog_.GetTable(table_name));
   TableRuntime runtime;
   runtime.indexes = std::make_unique<IndexManager>(table);
   runtime.executor =
       std::make_unique<ScanExecutor>(table, runtime.indexes.get());
+  MutexLock lock(&runtimes_mu_);
   auto [inserted, ok] =
       runtimes_.emplace(std::string(table_name), std::move(runtime));
   (void)ok;
   return &inserted->second;
+}
+
+const Session::TableRuntime* Session::FindRuntime(
+    std::string_view table_name) const {
+  MutexLock lock(&runtimes_mu_);
+  auto it = runtimes_.find(table_name);
+  return it == runtimes_.end() ? nullptr : &it->second;
 }
 
 Status Session::Append(std::string_view table_name,
@@ -51,9 +65,11 @@ Status Session::DetachIndex(std::string_view table_name,
 
 Status Session::SetExecOptions(std::string_view table_name,
                                const ExecOptions& options) {
+  // Validate before touching (or lazily building) the runtime so a bad
+  // call is side-effect free.
+  ADASKIP_RETURN_IF_ERROR(ValidateExecOptions(options));
   ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));
-  runtime->executor->set_exec_options(options);
-  return Status::OK();
+  return runtime->executor->set_exec_options(options);
 }
 
 Result<QueryResult> Session::Execute(std::string_view table_name,
@@ -68,11 +84,68 @@ Result<QueryResult> Session::Execute(std::string_view table_name,
   return result;
 }
 
+Result<Explanation> Session::Explain(std::string_view table_name,
+                                     const Query& query) {
+  ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));
+  // Run at full detail, then restore the caller's knobs — Explain shares
+  // the table's single-coordinator discipline with Execute, so nothing
+  // else can observe the temporary options.
+  const ExecOptions saved = runtime->executor->exec_options();
+  ExecOptions detailed = saved;
+  detailed.trace_level = obs::TraceLevel::kDetail;
+  ADASKIP_RETURN_IF_ERROR(runtime->executor->set_exec_options(detailed));
+  Result<QueryResult> result = runtime->executor->Execute(query);
+  ADASKIP_CHECK_OK(runtime->executor->set_exec_options(saved));
+  ADASKIP_RETURN_IF_ERROR(result.status());
+
+  Explanation explanation;
+  explanation.result = std::move(result).value();
+  {
+    MutexLock lock(&stats_mu_);
+    stats_.Record(explanation.result.stats);
+  }
+  const QueryStats& stats = explanation.result.stats;
+  std::string text = "EXPLAIN " + std::string(table_name) + ": " +
+                     query.ToString() + "\n";
+  text += "result: count=" + std::to_string(explanation.result.count) +
+          ", scanned " + std::to_string(stats.rows_scanned) + " of " +
+          std::to_string(stats.rows_total) + " rows (" +
+          std::to_string(stats.rows_total - stats.rows_scanned) +
+          " skipped)\n";
+  text += explanation.result.trace->ToText();
+  explanation.text = std::move(text);
+  explanation.json = explanation.result.trace->ToJson();
+  return explanation;
+}
+
+Result<IndexSnapshot> Session::DescribeIndex(
+    std::string_view table_name, std::string_view column_name) const {
+  const TableRuntime* runtime = FindRuntime(table_name);
+  SkipIndex* index = runtime != nullptr
+                         ? runtime->indexes->GetIndex(column_name)
+                         : nullptr;
+  if (index == nullptr) {
+    return Status::NotFound("no index on '" + std::string(table_name) + "." +
+                            std::string(column_name) + "'");
+  }
+  IndexSnapshot snapshot;
+  snapshot.table = std::string(table_name);
+  snapshot.column = std::string(column_name);
+  snapshot.kind = std::string(index->name());
+  snapshot.description = index->Describe();
+  snapshot.num_rows = index->num_rows();
+  snapshot.zone_count = index->ZoneCount();
+  snapshot.memory_bytes = index->MemoryUsageBytes();
+  snapshot.unindexed_tail_rows = index->UnindexedTailRows();
+  snapshot.adaptation = index->GetAdaptationProfile();
+  return snapshot;
+}
+
 SkipIndex* Session::GetIndex(std::string_view table_name,
                              std::string_view column_name) const {
-  auto it = runtimes_.find(table_name);
-  if (it == runtimes_.end()) return nullptr;
-  return it->second.indexes->GetIndex(column_name);
+  const TableRuntime* runtime = FindRuntime(table_name);
+  return runtime == nullptr ? nullptr
+                            : runtime->indexes->GetIndex(column_name);
 }
 
 }  // namespace adaskip

@@ -14,9 +14,35 @@
 
 namespace adaskip {
 
+/// Value-type snapshot of one attached skip index: identity, geometry,
+/// and adaptation state at the moment of the call. This is the supported
+/// introspection surface — unlike the deprecated raw `SkipIndex*` of
+/// `Session::GetIndex`, a snapshot cannot be used to mutate the index
+/// past the session's locking discipline, and it stays valid after the
+/// index is detached or replaced.
+struct IndexSnapshot {
+  std::string table;
+  std::string column;
+  std::string kind;           // SkipIndex::name(), e.g. "adaptive".
+  std::string description;    // SkipIndex::Describe() text.
+  int64_t num_rows = 0;
+  int64_t zone_count = 0;
+  int64_t memory_bytes = 0;
+  int64_t unindexed_tail_rows = 0;
+  AdaptationProfile adaptation;  // Cumulative actions + cost-model verdict.
+};
+
+/// What Session::Explain returns: the query's answer plus its execution
+/// trace rendered both for humans and for machines.
+struct Explanation {
+  QueryResult result;  // result.trace is the kDetail span tree itself.
+  std::string text;    // Indented plan/trace tree with a result header.
+  std::string json;    // obs::QueryTrace::ToJson() of the same tree.
+};
+
 /// The library's high-level entry point: a catalog of tables, each with
 /// its skip indexes and an executor, plus cumulative workload statistics.
-/// See examples/quickstart.cc for the intended usage:
+/// See examples/quickstart.cpp for the intended usage:
 ///
 ///   Session session;
 ///   ADASKIP_CHECK_OK(session.CreateTable("readings"));
@@ -29,7 +55,8 @@ namespace adaskip {
 /// Threading: operations on ONE table (Execute / Append / index DDL /
 /// SetExecOptions) must be serialized by the caller — the executor's
 /// adaptive feedback loop is deliberately single-coordinator (see
-/// DESIGN.md). The cross-table surface is safe to share: the cumulative
+/// DESIGN.md). The cross-table surface is safe to share: per-table
+/// runtimes are registered under `runtimes_mu_` and the cumulative
 /// WorkloadStats accumulator is guarded by `stats_mu_`, so sessions
 /// driving different tables from different threads record stats without
 /// racing.
@@ -81,7 +108,11 @@ class Session {
                      std::string_view column_name);
 
   /// Sets `table_name`'s execution knobs (serial vs morsel-parallel
-  /// scans; see ExecOptions). Applies to all subsequent Execute calls.
+  /// scans, trace level; see ExecOptions) after validating them —
+  /// nonsensical knobs (morsel_rows < 1, num_threads outside
+  /// [1, kMaxExecThreads], an undefined TraceLevel) are rejected with
+  /// InvalidArgument and the previous options stay in force. Applies to
+  /// all subsequent Execute calls.
   Status SetExecOptions(std::string_view table_name,
                         const ExecOptions& options);
 
@@ -90,12 +121,34 @@ class Session {
   Result<QueryResult> Execute(std::string_view table_name,
                               const Query& query);
 
+  /// Runs `query` with full (kDetail) tracing regardless of the table's
+  /// configured trace level and renders the captured plan/trace: how many
+  /// zones were candidates vs skipped, what was scanned, and which
+  /// adaptation actions (splits, merges, absorbs, rebuilds, cost-model
+  /// verdicts) the query triggered. The query really executes — it feeds
+  /// adaptation and the session stats like any Execute call. The table's
+  /// ExecOptions are untouched.
+  Result<Explanation> Explain(std::string_view table_name,
+                              const Query& query);
+
   Result<std::shared_ptr<Table>> GetTable(std::string_view table_name) const {
     return catalog_.GetTable(table_name);
   }
 
-  /// The index on `table.column`, or nullptr. Useful for introspecting
-  /// adaptive state (zone counts, mode) in examples and experiments.
+  /// Snapshot of the index on `table.column`: kind, geometry, footprint,
+  /// and adaptation state. NotFound if the table is unknown or the column
+  /// has no attached index.
+  Result<IndexSnapshot> DescribeIndex(std::string_view table_name,
+                                      std::string_view column_name) const;
+
+  /// The raw index on `table.column`, or nullptr.
+  ///
+  /// DEPRECATED: returns a mutable pointer that bypasses the session's
+  /// locking discipline and dangles once the index is detached or
+  /// replaced. Use DescribeIndex for introspection (zone counts, mode,
+  /// adaptation actions); this shim is kept for one release and then
+  /// removed.
+  [[deprecated("use Session::DescribeIndex instead")]]
   SkipIndex* GetIndex(std::string_view table_name,
                       std::string_view column_name) const;
 
@@ -118,11 +171,23 @@ class Session {
     std::unique_ptr<ScanExecutor> executor;
   };
 
-  /// Gets (building on first use) the runtime of `table_name`.
-  Result<TableRuntime*> GetRuntime(std::string_view table_name);
+  /// Gets (building on first use) the runtime of `table_name`. The
+  /// returned pointer is stable: runtimes live in a node-based map and
+  /// are never erased. `runtimes_mu_` covers only the registry, not the
+  /// runtime's executor/indexes — per-table serialization stays the
+  /// caller's job.
+  Result<TableRuntime*> GetRuntime(std::string_view table_name)
+      ADASKIP_EXCLUDES(runtimes_mu_);
+
+  /// Const lookup without creation; nullptr if the runtime was never
+  /// built.
+  const TableRuntime* FindRuntime(std::string_view table_name) const
+      ADASKIP_EXCLUDES(runtimes_mu_);
 
   Catalog catalog_;
-  std::map<std::string, TableRuntime, std::less<>> runtimes_;
+  mutable Mutex runtimes_mu_;
+  std::map<std::string, TableRuntime, std::less<>> runtimes_
+      ADASKIP_GUARDED_BY(runtimes_mu_);
   mutable Mutex stats_mu_;
   WorkloadStats stats_ ADASKIP_GUARDED_BY(stats_mu_);
 };

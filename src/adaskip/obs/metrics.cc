@@ -1,0 +1,146 @@
+#include "adaskip/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "adaskip/util/logging.h"
+
+namespace adaskip {
+namespace obs {
+
+int64_t HistogramMetric::ApproxPercentile(double p) const {
+  const int64_t total = count();
+  if (total == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the requested observation (1-based, ceil, clamped).
+  int64_t rank = static_cast<int64_t>(p / 100.0 * static_cast<double>(total));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  int64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Bucket b holds values in [2^(b-1), 2^b); report the upper bound.
+      return b == 0 ? 0 : (int64_t{1} << b) - 1;
+    }
+  }
+  return (int64_t{1} << (kNumBuckets - 1));
+}
+
+std::vector<int64_t> HistogramMetric::BucketCounts() const {
+  std::vector<int64_t> out(kNumBuckets, 0);
+  for (int b = 0; b < kNumBuckets; ++b) {
+    out[static_cast<size_t>(b)] =
+        buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // The registry intentionally leaks at exit: instruments may be touched
+  // by detached-at-exit code paths, and a destructed registry would turn
+  // those into use-after-free.
+  // adaskip-lint: allow(static-mutable-state)
+  static MetricsRegistry* registry = new MetricsRegistry();  // adaskip-lint: allow(naked-new)
+  return *registry;
+}
+
+Counter& MetricsRegistry::RegisterCounter(std::string_view name,
+                                          std::string_view help) {
+  MutexLock lock(&mu_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  ADASKIP_CHECK(histograms_.find(name) == histograms_.end())
+      << "metric '" << std::string(name)
+      << "' already registered as a histogram";
+  auto counter = std::unique_ptr<Counter>(
+      new Counter(std::string(name), std::string(help)));  // adaskip-lint: allow(naked-new)
+  Counter& ref = *counter;
+  counters_.emplace(std::string(name), std::move(counter));
+  return ref;
+}
+
+HistogramMetric& MetricsRegistry::RegisterHistogram(std::string_view name,
+                                                    std::string_view help) {
+  MutexLock lock(&mu_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  ADASKIP_CHECK(counters_.find(name) == counters_.end())
+      << "metric '" << std::string(name)
+      << "' already registered as a counter";
+  auto histogram = std::unique_ptr<HistogramMetric>(
+      new HistogramMetric(std::string(name), std::string(help)));  // adaskip-lint: allow(naked-new)
+  HistogramMetric& ref = *histogram;
+  histograms_.emplace(std::string(name), std::move(histogram));
+  return ref;
+}
+
+int64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  MutexLock lock(&mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+const HistogramMetric* MetricsRegistry::FindHistogram(
+    std::string_view name) const {
+  MutexLock lock(&mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  MutexLock lock(&mu_);
+  std::vector<MetricSample> samples;
+  samples.reserve(counters_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.help = counter->help();
+    sample.kind = MetricSample::Kind::kCounter;
+    sample.value = counter->value();
+    samples.push_back(std::move(sample));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.help = histogram->help();
+    sample.kind = MetricSample::Kind::kHistogram;
+    sample.value = histogram->count();
+    sample.sum = histogram->sum();
+    sample.mean = histogram->mean();
+    sample.p50 = histogram->ApproxPercentile(50);
+    sample.p99 = histogram->ApproxPercentile(99);
+    samples.push_back(std::move(sample));
+  }
+  // Both maps are sorted; merge order (counters then histograms) is made
+  // globally sorted here so the exposition is stable.
+  std::sort(samples.begin(), samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return samples;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::string out;
+  char buf[256];
+  for (const MetricSample& sample : Snapshot()) {
+    if (sample.kind == MetricSample::Kind::kCounter) {
+      std::snprintf(buf, sizeof(buf), "%s %lld  # %s\n", sample.name.c_str(),
+                    static_cast<long long>(sample.value),
+                    sample.help.c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "%s count=%lld mean=%.1f p50~%lld p99~%lld  # %s\n",
+                    sample.name.c_str(), static_cast<long long>(sample.value),
+                    sample.mean, static_cast<long long>(sample.p50),
+                    static_cast<long long>(sample.p99), sample.help.c_str());
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace adaskip

@@ -1,0 +1,222 @@
+#ifndef ADASKIP_OBS_METRICS_H_
+#define ADASKIP_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adaskip/util/thread_annotations.h"
+
+/// Process-wide metrics for the always-on observability layer: named
+/// counters and latency histograms with a lock-free fast path (relaxed
+/// atomic increments — the instruments are monotonic event counts, not
+/// synchronization). Registration is rare and goes through a
+/// GUARDED_BY-annotated registry map; the returned instrument references
+/// are stable for the process lifetime, so hot paths bind them once via a
+/// function-local static and never touch the registry again.
+///
+/// Declaring instruments: every metric MUST be declared through the
+/// central macros below (enforced by the adaskip_lint rule
+/// `metric-registration`) so all instruments share one naming scheme and
+/// one registry, and so the ADASKIP_NO_METRICS build can compile every
+/// increment down to a no-op:
+///
+///   void IndexManager::OnAppend(RowRange appended) {
+///     ADASKIP_METRIC_COUNTER(appends, "adaskip.index.append_batches",
+///                            "Append batches routed to skip indexes");
+///     appends.Increment();
+///     ...
+///
+/// Compiling with -DADASKIP_NO_METRICS replaces the instruments with
+/// no-op stand-ins (used by bench_obs_overhead_baseline to measure the
+/// instrumentation overhead of the real build).
+
+namespace adaskip {
+namespace obs {
+
+/// Monotonic event counter. Increments are relaxed atomic adds — safe
+/// from any thread, never a lock.
+class Counter {
+ public:
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+
+  std::string name_;
+  std::string help_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-footprint log2-bucketed histogram for non-negative values
+/// (latencies in nanoseconds, row counts). Observation is three relaxed
+/// atomic adds; bucket b holds values v with bit_width(v) == b, i.e.
+/// [2^(b-1), 2^b). Named HistogramMetric to stay distinct from the exact
+/// util/ Histogram the experiment harness uses.
+class HistogramMetric {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Observe(int64_t value) {
+    if (value < 0) value = 0;
+    buckets_[static_cast<size_t>(BucketOf(value))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const int64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+
+  /// Upper bound of the bucket containing the `p`-th percentile
+  /// observation (p in [0, 100]). Approximate by construction: resolution
+  /// is one power of two.
+  int64_t ApproxPercentile(double p) const;
+
+  /// Bucket index of `value` (>= 0): 0 for 0, else bit_width(value).
+  static int BucketOf(int64_t value) {
+    return value <= 0
+               ? 0
+               : static_cast<int>(
+                     std::bit_width(static_cast<uint64_t>(value)));
+  }
+
+  std::vector<int64_t> BucketCounts() const;
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+  HistogramMetric(const HistogramMetric&) = delete;
+  HistogramMetric& operator=(const HistogramMetric&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  HistogramMetric(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+
+  std::string name_;
+  std::string help_;
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// One instrument's state at snapshot time.
+struct MetricSample {
+  enum class Kind : int8_t { kCounter = 0, kHistogram = 1 };
+  std::string name;
+  std::string help;
+  Kind kind = Kind::kCounter;
+  int64_t value = 0;  // Counter value, or histogram observation count.
+  int64_t sum = 0;    // Histograms only.
+  double mean = 0.0;  // Histograms only.
+  int64_t p50 = 0;    // Histograms only (approximate).
+  int64_t p99 = 0;    // Histograms only (approximate).
+};
+
+/// The process-wide instrument registry. Registration is idempotent by
+/// name (re-registering returns the existing instrument; registering the
+/// same name as a different kind is a programming error and aborts), and
+/// instruments are never unregistered, so references handed out stay
+/// valid forever — that is what makes the function-local-static binding
+/// in the macros below safe and cheap.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& RegisterCounter(std::string_view name, std::string_view help)
+      ADASKIP_EXCLUDES(mu_);
+  HistogramMetric& RegisterHistogram(std::string_view name,
+                                     std::string_view help)
+      ADASKIP_EXCLUDES(mu_);
+
+  /// Current value of the named counter, or 0 if it was never registered.
+  /// Convenience for tests and reporting surfaces.
+  int64_t CounterValue(std::string_view name) const ADASKIP_EXCLUDES(mu_);
+
+  /// The named histogram, or nullptr.
+  const HistogramMetric* FindHistogram(std::string_view name) const
+      ADASKIP_EXCLUDES(mu_);
+
+  /// Point-in-time values of every instrument, sorted by name.
+  std::vector<MetricSample> Snapshot() const ADASKIP_EXCLUDES(mu_);
+
+  /// Text exposition: one `name value  # help` line per instrument,
+  /// sorted by name (histograms render count/mean/p50/p99).
+  std::string RenderText() const ADASKIP_EXCLUDES(mu_);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      ADASKIP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>>
+      histograms_ ADASKIP_GUARDED_BY(mu_);
+};
+
+#ifdef ADASKIP_NO_METRICS
+
+/// Stand-ins for the metrics-compiled-out build: same call surface,
+/// guaranteed-zero cost. Only the macros below instantiate these.
+class NoopCounter {
+ public:
+  void Add(int64_t) const {}
+  void Increment() const {}
+  int64_t value() const { return 0; }
+};
+
+class NoopHistogram {
+ public:
+  void Observe(int64_t) const {}
+};
+
+#endif  // ADASKIP_NO_METRICS
+
+}  // namespace obs
+}  // namespace adaskip
+
+/// Declares (and on first execution registers) the counter `var`. The
+/// binding is a function-local static: registration runs once under the
+/// registry lock, every later hit is a single static-init check plus the
+/// relaxed atomic add.
+#ifndef ADASKIP_NO_METRICS
+#define ADASKIP_METRIC_COUNTER(var, metric_name, metric_help)       \
+  static ::adaskip::obs::Counter& var =                             \
+      ::adaskip::obs::MetricsRegistry::Global().RegisterCounter(    \
+          (metric_name), (metric_help))
+#define ADASKIP_METRIC_HISTOGRAM(var, metric_name, metric_help)     \
+  static ::adaskip::obs::HistogramMetric& var =                     \
+      ::adaskip::obs::MetricsRegistry::Global().RegisterHistogram(  \
+          (metric_name), (metric_help))
+#else
+#define ADASKIP_METRIC_COUNTER(var, metric_name, metric_help) \
+  static constexpr ::adaskip::obs::NoopCounter var
+#define ADASKIP_METRIC_HISTOGRAM(var, metric_name, metric_help) \
+  static constexpr ::adaskip::obs::NoopHistogram var
+#endif  // ADASKIP_NO_METRICS
+
+#endif  // ADASKIP_OBS_METRICS_H_

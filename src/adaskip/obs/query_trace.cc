@@ -1,0 +1,144 @@
+#include "adaskip/obs/query_trace.h"
+
+#include <cstdio>
+
+namespace adaskip {
+namespace obs {
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  *out += buf;
+}
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void RenderSpanText(const TraceSpan& span, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += span.name;
+  if (span.duration_nanos > 0) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " (%.1f us)",
+                  static_cast<double>(span.duration_nanos) / 1e3);
+    *out += buf;
+  }
+  for (const auto& [key, value] : span.attrs) {
+    *out += ' ';
+    *out += key;
+    *out += '=';
+    *out += value;
+  }
+  *out += '\n';
+  for (const TraceSpan& child : span.children) {
+    RenderSpanText(child, depth + 1, out);
+  }
+}
+
+void RenderSpanJson(const TraceSpan& span, std::string* out) {
+  *out += "{\"name\":\"";
+  AppendJsonEscaped(out, span.name);
+  *out += "\",\"duration_nanos\":";
+  *out += std::to_string(span.duration_nanos);
+  *out += ",\"attrs\":{";
+  bool first = true;
+  for (const auto& [key, value] : span.attrs) {
+    if (!first) *out += ',';
+    first = false;
+    *out += '"';
+    AppendJsonEscaped(out, key);
+    *out += "\":\"";
+    AppendJsonEscaped(out, value);
+    *out += '"';
+  }
+  *out += "},\"children\":[";
+  first = true;
+  for (const TraceSpan& child : span.children) {
+    if (!first) *out += ',';
+    first = false;
+    RenderSpanJson(child, out);
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string_view TraceLevelToString(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kOff:
+      return "off";
+    case TraceLevel::kSummary:
+      return "summary";
+    case TraceLevel::kDetail:
+      return "detail";
+  }
+  return "invalid";
+}
+
+TraceSpan& TraceSpan::Set(std::string key, double value) {
+  std::string rendered;
+  AppendDouble(&rendered, value);
+  return Set(std::move(key), std::move(rendered));
+}
+
+std::string_view TraceSpan::Attr(std::string_view key) const {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+const TraceSpan* TraceSpan::FindChild(std::string_view child_name) const {
+  for (const TraceSpan& child : children) {
+    if (child.name == child_name) return &child;
+  }
+  return nullptr;
+}
+
+std::string QueryTrace::ToText() const {
+  std::string out;
+  RenderSpanText(root_, 0, &out);
+  return out;
+}
+
+std::string QueryTrace::ToJson() const {
+  std::string out;
+  out += "{\"trace_level\":\"";
+  out += TraceLevelToString(level_);
+  out += "\",\"span\":";
+  RenderSpanJson(root_, &out);
+  out += '}';
+  return out;
+}
+
+}  // namespace obs
+}  // namespace adaskip

@@ -1,0 +1,115 @@
+#ifndef ADASKIP_OBS_QUERY_TRACE_H_
+#define ADASKIP_OBS_QUERY_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace adaskip {
+namespace obs {
+
+/// How much per-query structure the executor captures.
+///
+/// kOff is the default and costs one branch per capture point: no trace
+/// object is allocated and every capture site is `if (trace == nullptr)
+/// return`-shaped (bench_obs_overhead pins the overhead at <= 2% of scan
+/// latency). kSummary records the span tree with per-phase totals;
+/// kDetail additionally records bounded per-range / per-morsel children.
+enum class TraceLevel : int8_t {
+  kOff = 0,
+  kSummary = 1,
+  kDetail = 2,
+};
+
+std::string_view TraceLevelToString(TraceLevel level);
+
+/// True for the values a caller may put into ExecOptions::trace_level
+/// (guards against casts from untrusted ints).
+constexpr bool TraceLevelIsValid(TraceLevel level) {
+  return level == TraceLevel::kOff || level == TraceLevel::kSummary ||
+         level == TraceLevel::kDetail;
+}
+
+/// One node of a query's span tree: a named phase with a duration,
+/// string-valued attributes (insertion-ordered), and child spans. Spans
+/// are plain values — the executor builds them locally and moves them
+/// into the trace, so no pointers into growing vectors ever escape.
+struct TraceSpan {
+  explicit TraceSpan(std::string span_name) : name(std::move(span_name)) {}
+
+  std::string name;
+  int64_t duration_nanos = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::vector<TraceSpan> children;
+
+  TraceSpan& Set(std::string key, std::string value) {
+    attrs.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  TraceSpan& Set(std::string key, std::string_view value) {
+    return Set(std::move(key), std::string(value));
+  }
+  TraceSpan& Set(std::string key, const char* value) {
+    return Set(std::move(key), std::string(value));
+  }
+  TraceSpan& Set(std::string key, int64_t value) {
+    return Set(std::move(key), std::to_string(value));
+  }
+  TraceSpan& Set(std::string key, int value) {
+    return Set(std::move(key), static_cast<int64_t>(value));
+  }
+  TraceSpan& Set(std::string key, double value);
+  TraceSpan& Set(std::string key, bool value) {
+    return Set(std::move(key), std::string(value ? "true" : "false"));
+  }
+
+  void AddChild(TraceSpan child) { children.push_back(std::move(child)); }
+
+  /// Value of `key`, or "" — convenience for tests and Explain rendering.
+  std::string_view Attr(std::string_view key) const;
+
+  /// First child named `child_name` (depth 1), or nullptr.
+  const TraceSpan* FindChild(std::string_view child_name) const;
+};
+
+/// The captured execution trace of one query: a span tree rooted at
+/// "query" (probe → scan → adapt children, deeper detail at kDetail).
+/// Built by the coordinator thread only; immutable once the query
+/// returns (QueryResult::trace hands it out as shared const).
+///
+/// Detail capture is bounded: the executor emits at most
+/// `kMaxDetailChildren` per-range/per-morsel children per span and
+/// records how many it elided, so a million-range scan cannot turn a
+/// trace into a second copy of the data.
+class QueryTrace {
+ public:
+  static constexpr int64_t kMaxDetailChildren = 64;
+
+  explicit QueryTrace(TraceLevel level)
+      : level_(level), root_("query") {}
+
+  TraceLevel level() const { return level_; }
+  bool detail() const { return level_ == TraceLevel::kDetail; }
+
+  TraceSpan& root() { return root_; }
+  const TraceSpan& root() const { return root_; }
+
+  /// Human-readable tree rendering (one span per line, indented, attrs
+  /// inline).
+  std::string ToText() const;
+
+  /// Machine-readable JSON rendering:
+  ///   {"name":"query","duration_nanos":N,"attrs":{...},"children":[...]}
+  std::string ToJson() const;
+
+ private:
+  TraceLevel level_;
+  TraceSpan root_;
+};
+
+}  // namespace obs
+}  // namespace adaskip
+
+#endif  // ADASKIP_OBS_QUERY_TRACE_H_

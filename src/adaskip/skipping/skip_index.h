@@ -39,6 +39,22 @@ struct QueryFeedback {
   ProbeStats probe;          // The probe's own accounting.
 };
 
+/// Point-in-time adaptation state of a skip index: cumulative action
+/// counts plus the cost model's live verdict. Cheap to copy — the
+/// executor snapshots it before and after a query and diffs the two to
+/// attribute adaptation actions to that query (the per-query trace /
+/// EXPLAIN surface). Static structures report all-zero counts.
+struct AdaptationProfile {
+  int64_t zones_refined = 0;    // Zones added by refinement (splits).
+  int64_t zones_merged = 0;     // Zones removed by merge sweeps.
+  int64_t rebuilds = 0;         // Full metadata rebuilds (e.g. rebins).
+  int64_t tail_absorbs = 0;     // Conservative tail pieces made exact.
+  int64_t bypassed_probes = 0;  // Probes answered by the kill switch.
+  bool bypass = false;          // Currently in SkippingMode::kBypass.
+  bool cost_model_enabled = false;
+  double net_benefit_per_row = 0.0;  // Cost model verdict; >0 = probing pays.
+};
+
 /// A lightweight skipping structure over one column.
 ///
 /// Contract:
@@ -110,6 +126,11 @@ class SkipIndex {
   /// (splits, merges) since the last call; 0 for static structures. The
   /// executor drains this into QueryStats::adapt_nanos.
   virtual int64_t TakeAdaptationNanos() { return 0; }
+
+  /// Current adaptation state. Default: all-zero (static structures never
+  /// adapt). Adaptive structures override with their real counters so the
+  /// executor's per-query trace can diff before/after.
+  virtual AdaptationProfile GetAdaptationProfile() const { return {}; }
 
   /// Heap footprint of the metadata.
   virtual int64_t MemoryUsageBytes() const = 0;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "adaskip/obs/metrics.h"
 #include "adaskip/storage/type_dispatch.h"
 #include "adaskip/util/logging.h"
 
@@ -95,6 +96,12 @@ Result<RowRange> Table::Append(const AppendBatch& batch) {
   // reader that observes the bumped version also observes the rows.
   num_rows_.store(appended.end, std::memory_order_release);
   data_version_.fetch_add(1, std::memory_order_release);
+  ADASKIP_METRIC_COUNTER(batches, "adaskip.table.append_batches",
+                         "Append batches committed to tables");
+  ADASKIP_METRIC_COUNTER(rows, "adaskip.table.append_rows",
+                         "Rows committed by table appends");
+  batches.Increment();
+  rows.Add(batch_rows);
   return appended;
 }
 

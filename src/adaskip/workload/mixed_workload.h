@@ -153,10 +153,11 @@ Result<MixedRunResult> RunMixedWorkload(Session* session,
     run.per_query_tail_rows.push_back(result.stats.tail_rows);
     run.result_checksum += static_cast<double>(result.count);
   }
-  SkipIndex* index = session->GetIndex(table_name, workload.column_name);
-  if (index != nullptr) {
-    run.final_zone_count = index->ZoneCount();
-    run.index_memory_bytes = index->MemoryUsageBytes();
+  Result<IndexSnapshot> snapshot =
+      session->DescribeIndex(table_name, workload.column_name);
+  if (snapshot.ok()) {
+    run.final_zone_count = snapshot.value().zone_count;
+    run.index_memory_bytes = snapshot.value().memory_bytes;
   }
   return run;
 }

@@ -28,10 +28,11 @@ Result<ArmResult> RunWorkload(Session* session, std::string_view table_name,
   }
 
   if (!index_column.empty()) {
-    SkipIndex* index = session->GetIndex(table_name, index_column);
-    if (index != nullptr) {
-      arm.final_zone_count = index->ZoneCount();
-      arm.index_memory_bytes = index->MemoryUsageBytes();
+    Result<IndexSnapshot> snapshot =
+        session->DescribeIndex(table_name, index_column);
+    if (snapshot.ok()) {
+      arm.final_zone_count = snapshot.value().zone_count;
+      arm.index_memory_bytes = snapshot.value().memory_bytes;
     }
   }
   return arm;

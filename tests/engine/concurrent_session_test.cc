@@ -1,0 +1,108 @@
+// Concurrent multi-table use of one Session. Each table has a single
+// coordinator thread (the executor's documented discipline), but
+// different tables may execute at the same time — the session-level
+// runtime map and WorkloadStats accumulator must hold up under that.
+//
+// Suite name starts with "Parallel" so the CI TSan job picks it up.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adaskip/engine/session.h"
+#include "adaskip/util/thread_pool.h"
+#include "adaskip/workload/data_generator.h"
+
+namespace adaskip {
+namespace {
+
+constexpr int kNumTables = 4;
+constexpr int kQueriesPerTable = 32;
+
+std::string TableName(int64_t t) { return "t" + std::to_string(t); }
+
+TEST(ParallelSessionStatsTest, ConcurrentExecuteAcrossTablesSumsStats) {
+  Session session;
+  const int64_t rows = 20000;
+  for (int64_t t = 0; t < kNumTables; ++t) {
+    ASSERT_TRUE(session.CreateTable(TableName(t)).ok());
+    DataGenOptions gen;
+    gen.order = DataOrder::kClustered;
+    gen.num_rows = rows;
+    gen.value_range = rows;
+    gen.seed = 77 + static_cast<uint64_t>(t);
+    ASSERT_TRUE(session
+                    .AddColumn<int64_t>(TableName(t), "x",
+                                        GenerateData<int64_t>(gen))
+                    .ok());
+    ASSERT_TRUE(
+        session.AttachIndex(TableName(t), "x", IndexOptions::Adaptive())
+            .ok());
+  }
+
+  // Per-table accumulators, written only by that table's worker.
+  struct PerTable {
+    WorkloadStats stats;
+    int64_t failures = 0;
+  };
+  std::vector<PerTable> per_table(kNumTables);
+
+  ThreadPool pool(kNumTables);
+  pool.ParallelFor(kNumTables, [&](int64_t t, int) {
+    for (int q = 0; q < kQueriesPerTable; ++q) {
+      int64_t lo = (q * 523) % rows;
+      Result<QueryResult> result = session.Execute(
+          TableName(t),
+          Query::Count(Predicate::Between<int64_t>("x", lo, lo + 200)));
+      if (!result.ok()) {
+        ++per_table[static_cast<size_t>(t)].failures;
+        continue;
+      }
+      per_table[static_cast<size_t>(t)].stats.Record(result->stats);
+    }
+  });
+
+  int64_t queries = 0;
+  int64_t rows_scanned = 0;
+  int64_t rows_total = 0;
+  int64_t total_nanos = 0;
+  for (const PerTable& p : per_table) {
+    EXPECT_EQ(p.failures, 0);
+    queries += p.stats.num_queries();
+    rows_scanned += p.stats.rows_scanned();
+    rows_total += p.stats.rows_total();
+    total_nanos += p.stats.total_nanos();
+  }
+  // The session-level accumulator saw exactly the union of the per-table
+  // streams: totals equal the per-table sums.
+  EXPECT_EQ(queries, int64_t{kNumTables} * kQueriesPerTable);
+  EXPECT_EQ(session.workload_stats().num_queries(), queries);
+  EXPECT_EQ(session.workload_stats().rows_scanned(), rows_scanned);
+  EXPECT_EQ(session.workload_stats().rows_total(), rows_total);
+  EXPECT_EQ(session.workload_stats().total_nanos(), total_nanos);
+}
+
+TEST(ParallelSessionStatsTest, ConcurrentLazyRuntimeCreationIsSafe) {
+  // First touch of each table happens inside the pool: the lazily built
+  // per-table runtimes must not race in the session map.
+  Session session;
+  for (int64_t t = 0; t < kNumTables; ++t) {
+    ASSERT_TRUE(session.CreateTable(TableName(t)).ok());
+    ASSERT_TRUE(
+        session.AddColumn<int64_t>(TableName(t), "x", {1, 2, 3, 4, 5}).ok());
+  }
+  std::vector<int64_t> counts(kNumTables, -1);
+  ThreadPool pool(kNumTables);
+  pool.ParallelFor(kNumTables, [&](int64_t t, int) {
+    Result<QueryResult> result = session.Execute(
+        TableName(t), Query::Count(Predicate::Between<int64_t>("x", 2, 4)));
+    if (result.ok()) counts[static_cast<size_t>(t)] = result->count;
+  });
+  for (int64_t c : counts) EXPECT_EQ(c, 3);
+  EXPECT_EQ(session.workload_stats().num_queries(), kNumTables);
+}
+
+}  // namespace
+}  // namespace adaskip

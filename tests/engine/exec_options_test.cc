@@ -1,0 +1,107 @@
+// Table-driven validation of ExecOptions: SetExecOptions must reject
+// nonsensical knobs with InvalidArgument and leave the previous options
+// in force.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "adaskip/engine/session.h"
+
+namespace adaskip {
+namespace {
+
+TEST(ExecOptionsValidationTest, TableDriven) {
+  struct Case {
+    std::string label;
+    ExecOptions options;
+    bool want_ok;
+  };
+  auto with = [](auto mutate) {
+    ExecOptions options;
+    mutate(options);
+    return options;
+  };
+  const std::vector<Case> cases = {
+      {"defaults are valid", ExecOptions{}, true},
+      {"max threads accepted",
+       with([](ExecOptions& o) { o.num_threads = kMaxExecThreads; }), true},
+      {"zero threads rejected",
+       with([](ExecOptions& o) { o.num_threads = 0; }), false},
+      {"negative threads rejected",
+       with([](ExecOptions& o) { o.num_threads = -4; }), false},
+      {"absurd thread count rejected",
+       with([](ExecOptions& o) { o.num_threads = kMaxExecThreads + 1; }),
+       false},
+      {"one-row morsels accepted",
+       with([](ExecOptions& o) { o.morsel_rows = 1; }), true},
+      {"zero morsel_rows rejected",
+       with([](ExecOptions& o) { o.morsel_rows = 0; }), false},
+      {"negative morsel_rows rejected",
+       with([](ExecOptions& o) { o.morsel_rows = -1024; }), false},
+      {"summary trace accepted",
+       with([](ExecOptions& o) {
+         o.trace_level = obs::TraceLevel::kSummary;
+       }),
+       true},
+      {"detail trace accepted",
+       with([](ExecOptions& o) { o.trace_level = obs::TraceLevel::kDetail; }),
+       true},
+      {"out-of-range trace level rejected",
+       with([](ExecOptions& o) {
+         o.trace_level = static_cast<obs::TraceLevel>(42);
+       }),
+       false},
+      {"negative trace level rejected",
+       with([](ExecOptions& o) {
+         o.trace_level = static_cast<obs::TraceLevel>(-1);
+       }),
+       false},
+  };
+  for (const Case& c : cases) {
+    Status status = ValidateExecOptions(c.options);
+    EXPECT_EQ(status.ok(), c.want_ok) << c.label << ": " << status.ToString();
+    if (!c.want_ok) {
+      EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << c.label;
+      // The message should tell the caller what was wrong, not just "no".
+      EXPECT_FALSE(status.message().empty()) << c.label;
+    }
+  }
+}
+
+TEST(ExecOptionsValidationTest, SessionRejectsAndKeepsPreviousOptions) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t").ok());
+  ASSERT_TRUE(session.AddColumn<int64_t>("t", "x", {1, 2, 3}).ok());
+
+  ExecOptions good;
+  good.morsel_rows = 4096;
+  good.trace_level = obs::TraceLevel::kSummary;
+  ASSERT_TRUE(session.SetExecOptions("t", good).ok());
+
+  ExecOptions bad = good;
+  bad.morsel_rows = 0;
+  EXPECT_EQ(session.SetExecOptions("t", bad).code(),
+            StatusCode::kInvalidArgument);
+
+  // The rejected call left the previous (traced) options in force.
+  Result<QueryResult> result = session.Execute(
+      "t", Query::Count(Predicate::Between<int64_t>("x", 1, 3)));
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(result->trace, nullptr);
+  EXPECT_EQ(result->trace->level(), obs::TraceLevel::kSummary);
+}
+
+TEST(ExecOptionsValidationTest, InvalidOptionsOnMissingTableStillRejected) {
+  // Validation fires before table lookup: a bad call is side-effect free
+  // and reports the argument error, not NotFound.
+  Session session;
+  ExecOptions bad;
+  bad.num_threads = -1;
+  EXPECT_EQ(session.SetExecOptions("nope", bad).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace adaskip

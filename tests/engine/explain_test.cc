@@ -1,0 +1,172 @@
+// Session::Explain and the per-query trace: coverage for the EXPLAIN
+// rendering, span structure at each TraceLevel, and the adaptation
+// actions attributed to a single query.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "adaskip/engine/session.h"
+#include "adaskip/workload/data_generator.h"
+
+namespace adaskip {
+namespace {
+
+void FillSession(Session* session, int64_t rows = 100000) {
+  ADASKIP_CHECK_OK(session->CreateTable("t"));
+  DataGenOptions gen;
+  gen.order = DataOrder::kSorted;
+  gen.num_rows = rows;
+  gen.value_range = rows;
+  ADASKIP_CHECK_OK(
+      session->AddColumn<int64_t>("t", "x", GenerateData<int64_t>(gen)));
+}
+
+TEST(ExplainTest, NoTraceAtDefaultOff) {
+  Session session;
+  FillSession(&session);
+  Result<QueryResult> result = session.Execute(
+      "t", Query::Count(Predicate::Between<int64_t>("x", 100, 200)));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->trace, nullptr);
+}
+
+TEST(ExplainTest, SummaryTraceHasProbeScanAdaptSpans) {
+  Session session;
+  FillSession(&session);
+  ASSERT_TRUE(session.AttachIndex("t", "x", IndexOptions::Adaptive()).ok());
+  ExecOptions exec;
+  exec.trace_level = obs::TraceLevel::kSummary;
+  ASSERT_TRUE(session.SetExecOptions("t", exec).ok());
+  Result<QueryResult> result = session.Execute(
+      "t", Query::Count(Predicate::Between<int64_t>("x", 1000, 2000)));
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(result->trace, nullptr);
+  EXPECT_EQ(result->trace->level(), obs::TraceLevel::kSummary);
+
+  const obs::TraceSpan& root = result->trace->root();
+  EXPECT_EQ(root.name, "query");
+  EXPECT_GT(root.duration_nanos, 0);
+  const obs::TraceSpan* probe = root.FindChild("probe");
+  ASSERT_NE(probe, nullptr);
+  EXPECT_NE(probe->Attr("zones_candidate"), "");
+  EXPECT_NE(probe->Attr("zones_skipped"), "");
+  const obs::TraceSpan* scan = root.FindChild("scan");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_NE(scan->Attr("rows_scanned"), "");
+  const obs::TraceSpan* adapt = root.FindChild("adapt");
+  ASSERT_NE(adapt, nullptr);
+  EXPECT_NE(adapt->Attr("mode"), "");
+  // Summary keeps spans flat: no per-range children.
+  EXPECT_EQ(scan->FindChild("range"), nullptr);
+  EXPECT_EQ(scan->FindChild("morsel"), nullptr);
+}
+
+TEST(ExplainTest, DetailTraceBoundsPerRangeChildren) {
+  Session session;
+  FillSession(&session);
+  ASSERT_TRUE(session.AttachIndex("t", "x", IndexOptions::ZoneMap(4096)).ok());
+  ExecOptions exec;
+  exec.trace_level = obs::TraceLevel::kDetail;
+  ASSERT_TRUE(session.SetExecOptions("t", exec).ok());
+  // Wide query: many candidate ranges would explode an unbounded trace.
+  Result<QueryResult> result = session.Execute(
+      "t", Query::Count(Predicate::Between<int64_t>("x", 0, 100000)));
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(result->trace, nullptr);
+  const obs::TraceSpan* scan = result->trace->root().FindChild("scan");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_LE(static_cast<int64_t>(scan->children.size()),
+            obs::QueryTrace::kMaxDetailChildren);
+}
+
+TEST(ExplainTest, ExplainShowsCandidateVsSkippedZones) {
+  Session session;
+  FillSession(&session);
+  ASSERT_TRUE(session.AttachIndex("t", "x", IndexOptions::Adaptive()).ok());
+  Query query = Query::Count(Predicate::Between<int64_t>("x", 5000, 5100));
+  Result<Explanation> explained = session.Explain("t", query);
+  ASSERT_TRUE(explained.ok());
+  EXPECT_NE(explained->text.find("EXPLAIN"), std::string::npos);
+  EXPECT_NE(explained->text.find("zones_candidate="), std::string::npos);
+  EXPECT_NE(explained->text.find("zones_skipped="), std::string::npos);
+  EXPECT_NE(explained->text.find("adapt"), std::string::npos);
+  EXPECT_NE(explained->text.find("cost_model="), std::string::npos);
+  EXPECT_NE(explained->json.find("\"trace_level\":\"detail\""),
+            std::string::npos);
+  EXPECT_NE(explained->json.find("zones_candidate"), std::string::npos);
+  // The explained query really ran (uniform data: ~101 expected matches).
+  EXPECT_GT(explained->result.count, 0);
+}
+
+TEST(ExplainTest, ExplainAttributesAdaptationActionsToTheQuery) {
+  Session session;
+  FillSession(&session);
+  AdaptiveOptions adaptive;
+  adaptive.min_zone_size = 128;
+  ASSERT_TRUE(
+      session.AttachIndex("t", "x", IndexOptions::Adaptive(adaptive)).ok());
+  // First narrow query on a fresh default layout: feedback should refine
+  // at least one zone, and the per-query adapt span must say so.
+  Query query = Query::Count(Predicate::Between<int64_t>("x", 40000, 40200));
+  Result<Explanation> explained = session.Explain("t", query);
+  ASSERT_TRUE(explained.ok());
+  const obs::TraceSpan* adapt =
+      explained->result.trace->root().FindChild("adapt");
+  ASSERT_NE(adapt, nullptr);
+  EXPECT_NE(adapt->Attr("zones_refined"), "0");
+  // Detail level captures index state before and after the query.
+  EXPECT_NE(adapt->Attr("index_before"), "");
+  EXPECT_NE(adapt->Attr("index_after"), "");
+  EXPECT_NE(adapt->Attr("index_before"), adapt->Attr("index_after"));
+}
+
+TEST(ExplainTest, ExplainRestoresCallerExecOptions) {
+  Session session;
+  FillSession(&session);
+  ASSERT_TRUE(session.AttachIndex("t", "x", IndexOptions::ZoneMap()).ok());
+  ExecOptions exec;
+  exec.trace_level = obs::TraceLevel::kOff;
+  exec.morsel_rows = 4096;
+  ASSERT_TRUE(session.SetExecOptions("t", exec).ok());
+  Query query = Query::Count(Predicate::Between<int64_t>("x", 10, 20));
+  ASSERT_TRUE(session.Explain("t", query).ok());
+  // Follow-up Execute is back at kOff: no trace allocated.
+  Result<QueryResult> result = session.Execute("t", query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->trace, nullptr);
+}
+
+TEST(ExplainTest, ExplainOnMissingTableFails) {
+  Session session;
+  EXPECT_EQ(session
+                .Explain("nope",
+                         Query::Count(Predicate::Between<int64_t>("x", 0, 1)))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ExplainTest, ConjunctionTraceHasPerPredicateSpans) {
+  Session session;
+  FillSession(&session);
+  ASSERT_TRUE(session.AttachIndex("t", "x", IndexOptions::Adaptive()).ok());
+  Query query = Query::Count(Predicate::Between<int64_t>("x", 1000, 9000));
+  query.predicates.push_back(Predicate::Between<int64_t>("x", 2000, 8000));
+  Result<Explanation> explained = session.Explain("t", query);
+  ASSERT_TRUE(explained.ok());
+  const obs::TraceSpan& root = explained->result.trace->root();
+  const obs::TraceSpan* probe = root.FindChild("probe");
+  ASSERT_NE(probe, nullptr);
+  EXPECT_EQ(probe->children.size(), 2u);
+  for (const obs::TraceSpan& child : probe->children) {
+    EXPECT_EQ(child.name, "predicate");
+    EXPECT_EQ(child.Attr("column"), "x");
+  }
+  ASSERT_NE(root.FindChild("scan"), nullptr);
+  ASSERT_NE(root.FindChild("adapt"), nullptr);
+}
+
+}  // namespace
+}  // namespace adaskip

@@ -296,7 +296,7 @@ TEST(ParallelStatsTest, ReconfiguringThreadsKeepsAnswers) {
     ExecOptions exec;
     exec.num_threads = threads;
     exec.morsel_rows = 2048;
-    executor.set_exec_options(exec);
+    ASSERT_TRUE(executor.set_exec_options(exec).ok());
     Result<QueryResult> result = executor.Execute(query);
     ASSERT_TRUE(result.ok());
     EXPECT_EQ(result->count, baseline->count) << threads << " threads";

@@ -36,12 +36,22 @@ TEST(SessionTest, AttachDetachIndex) {
   ASSERT_TRUE(session.CreateTable("t").ok());
   ASSERT_TRUE(session.AddColumn<int64_t>("t", "x", {1, 2, 3}).ok());
   ASSERT_TRUE(session.AttachIndex("t", "x", IndexOptions::ZoneMap()).ok());
-  EXPECT_NE(session.GetIndex("t", "x"), nullptr);
-  EXPECT_EQ(session.GetIndex("t", "x")->name(), "zonemap");
-  EXPECT_EQ(session.GetIndex("t", "nope"), nullptr);
-  EXPECT_EQ(session.GetIndex("other", "x"), nullptr);
+  Result<IndexSnapshot> snapshot = session.DescribeIndex("t", "x");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->table, "t");
+  EXPECT_EQ(snapshot->column, "x");
+  EXPECT_EQ(snapshot->kind, "zonemap");
+  EXPECT_EQ(snapshot->num_rows, 3);
+  EXPECT_GE(snapshot->zone_count, 1);
+  EXPECT_GT(snapshot->memory_bytes, 0);
+  EXPECT_FALSE(snapshot->description.empty());
+  EXPECT_EQ(session.DescribeIndex("t", "nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(session.DescribeIndex("other", "x").status().code(),
+            StatusCode::kNotFound);
   ASSERT_TRUE(session.DetachIndex("t", "x").ok());
-  EXPECT_EQ(session.GetIndex("t", "x"), nullptr);
+  EXPECT_EQ(session.DescribeIndex("t", "x").status().code(),
+            StatusCode::kNotFound);
   EXPECT_EQ(session.DetachIndex("t", "x").code(), StatusCode::kNotFound);
   EXPECT_EQ(session.AttachIndex("t", "nope", IndexOptions::ZoneMap()).code(),
             StatusCode::kNotFound);
@@ -104,11 +114,46 @@ TEST(SessionTest, AdaptiveIndexIsIntrospectable) {
                                       "x", lo, lo + 150)))
                     .ok());
   }
+  Result<IndexSnapshot> snapshot = session.DescribeIndex("t", "x");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_GT(snapshot->adaptation.zones_refined, 0);
+  EXPECT_GT(snapshot->zone_count, 1);
+  EXPECT_EQ(snapshot->num_rows, 20000);
+  EXPECT_FALSE(snapshot->adaptation.bypass);
+}
+
+TEST(SessionTest, DeprecatedGetIndexShimStillWorks) {
+  // Session::GetIndex is a deprecated compatibility shim; this is the one
+  // test that exercises it (everything else uses DescribeIndex). The raw
+  // pointer is still the only way to reach type-specific debug hooks.
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t").ok());
+  DataGenOptions gen;
+  gen.order = DataOrder::kSorted;
+  gen.num_rows = 20000;
+  gen.value_range = 20000;
+  ASSERT_TRUE(
+      session.AddColumn<int64_t>("t", "x", GenerateData<int64_t>(gen)).ok());
+  AdaptiveOptions adaptive;
+  adaptive.min_zone_size = 128;
+  ASSERT_TRUE(
+      session.AttachIndex("t", "x", IndexOptions::Adaptive(adaptive)).ok());
+  for (int i = 0; i < 10; ++i) {
+    int64_t lo = 1000 * i;
+    ASSERT_TRUE(session
+                    .Execute("t", Query::Count(Predicate::Between<int64_t>(
+                                      "x", lo, lo + 150)))
+                    .ok());
+  }
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   SkipIndex* index = session.GetIndex("t", "x");
   ASSERT_NE(index, nullptr);
+  EXPECT_EQ(session.GetIndex("t", "nope"), nullptr);
+  EXPECT_EQ(session.GetIndex("other", "x"), nullptr);
+#pragma GCC diagnostic pop
   auto* adaptive_index = static_cast<AdaptiveZoneMapT<int64_t>*>(index);
   EXPECT_GT(adaptive_index->split_count(), 0);
-  EXPECT_GT(adaptive_index->ZoneCount(), 1);
   EXPECT_TRUE(adaptive_index->CheckInvariants());
   EXPECT_EQ(adaptive_index->query_count(), 10);
 }

@@ -1,0 +1,134 @@
+#include "adaskip/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "adaskip/util/thread_pool.h"
+
+namespace adaskip::obs {
+namespace {
+
+TEST(CounterTest, AddAndIncrement) {
+  Counter& c = MetricsRegistry::Global().RegisterCounter(
+      "test.counter.add", "test counter");
+  const int64_t before = c.value();
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), before + 42);
+}
+
+TEST(CounterTest, RegistrationIsIdempotentByName) {
+  Counter& a = MetricsRegistry::Global().RegisterCounter(
+      "test.counter.idempotent", "help");
+  Counter& b = MetricsRegistry::Global().RegisterCounter(
+      "test.counter.idempotent", "different help ignored");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(HistogramTest, ObserveBucketsByPowerOfTwo) {
+  HistogramMetric& h = MetricsRegistry::Global().RegisterHistogram(
+      "test.histogram.buckets", "test histogram");
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(2);
+  h.Observe(3);
+  h.Observe(1024);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), 0 + 1 + 2 + 3 + 1024);
+  std::vector<int64_t> buckets = h.BucketCounts();
+  // 0 -> bucket 0; 1 -> bucket 1; 2,3 -> bucket 2; 1024 -> bucket 11.
+  EXPECT_EQ(buckets[0], 1);
+  EXPECT_EQ(buckets[1], 1);
+  EXPECT_EQ(buckets[2], 2);
+  EXPECT_EQ(buckets[11], 1);
+}
+
+TEST(HistogramTest, ApproxPercentileIsMonotone) {
+  HistogramMetric& h = MetricsRegistry::Global().RegisterHistogram(
+      "test.histogram.percentile", "test histogram");
+  for (int64_t v = 1; v <= 1000; ++v) h.Observe(v);
+  const int64_t p50 = h.ApproxPercentile(50);
+  const int64_t p99 = h.ApproxPercentile(99);
+  EXPECT_GT(p50, 0);
+  EXPECT_LE(p50, p99);
+  // p99 of 1..1000 lands in the top power-of-two bucket (512..1023).
+  EXPECT_GE(p99, 512);
+}
+
+TEST(RegistryTest, SnapshotContainsRegisteredMetrics) {
+  MetricsRegistry::Global()
+      .RegisterCounter("test.snapshot.counter", "help")
+      .Add(7);
+  MetricsRegistry::Global()
+      .RegisterHistogram("test.snapshot.histogram", "help")
+      .Observe(3);
+  bool saw_counter = false;
+  bool saw_histogram = false;
+  for (const MetricSample& sample : MetricsRegistry::Global().Snapshot()) {
+    if (sample.name == "test.snapshot.counter") {
+      saw_counter = true;
+      EXPECT_GE(sample.value, 7);
+    }
+    if (sample.name == "test.snapshot.histogram") {
+      saw_histogram = true;
+      EXPECT_EQ(sample.kind, MetricSample::Kind::kHistogram);
+      EXPECT_GE(sample.value, 1);  // Observation count for histograms.
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_histogram);
+  EXPECT_GE(MetricsRegistry::Global().CounterValue("test.snapshot.counter"),
+            7);
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("test.snapshot.missing"),
+            0);
+}
+
+TEST(RegistryTest, RenderTextMentionsNamesAndValues) {
+  MetricsRegistry::Global()
+      .RegisterCounter("test.render.counter", "rendered help")
+      .Add(5);
+  std::string text = MetricsRegistry::Global().RenderText();
+  EXPECT_NE(text.find("test.render.counter"), std::string::npos);
+  EXPECT_NE(text.find("rendered help"), std::string::npos);
+}
+
+TEST(RegistryTest, InstrumentMacroBindsOnce) {
+  auto bump = [] {
+    ADASKIP_METRIC_COUNTER(events, "test.macro.counter", "macro-bound");
+    events.Increment();
+  };
+  const int64_t before =
+      MetricsRegistry::Global().CounterValue("test.macro.counter");
+  bump();
+  bump();
+  bump();
+  EXPECT_EQ(MetricsRegistry::Global().CounterValue("test.macro.counter"),
+            before + 3);
+}
+
+// The fast path is relaxed-atomic: concurrent adds from pool workers must
+// not lose updates (and run clean under TSan).
+TEST(ParallelMetricsTest, ConcurrentAddsDoNotLoseUpdates) {
+  Counter& c = MetricsRegistry::Global().RegisterCounter(
+      "test.parallel.counter", "contended counter");
+  HistogramMetric& h = MetricsRegistry::Global().RegisterHistogram(
+      "test.parallel.histogram", "contended histogram");
+  const int64_t counter_before = c.value();
+  const int64_t hist_before = h.count();
+  constexpr int kTasks = 64;
+  constexpr int kAddsPerTask = 1000;
+  ThreadPool pool(8);
+  pool.ParallelFor(kTasks, [&](int64_t, int) {
+    for (int i = 0; i < kAddsPerTask; ++i) {
+      c.Increment();
+      h.Observe(i);
+    }
+  });
+  EXPECT_EQ(c.value(), counter_before + kTasks * kAddsPerTask);
+  EXPECT_EQ(h.count(), hist_before + kTasks * kAddsPerTask);
+}
+
+}  // namespace
+}  // namespace adaskip::obs

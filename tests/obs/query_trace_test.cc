@@ -1,0 +1,103 @@
+#include "adaskip/obs/query_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace adaskip::obs {
+namespace {
+
+TEST(TraceLevelTest, ValidityAndNames) {
+  EXPECT_TRUE(TraceLevelIsValid(TraceLevel::kOff));
+  EXPECT_TRUE(TraceLevelIsValid(TraceLevel::kSummary));
+  EXPECT_TRUE(TraceLevelIsValid(TraceLevel::kDetail));
+  EXPECT_FALSE(TraceLevelIsValid(static_cast<TraceLevel>(3)));
+  EXPECT_FALSE(TraceLevelIsValid(static_cast<TraceLevel>(-1)));
+  EXPECT_EQ(TraceLevelToString(TraceLevel::kOff), "off");
+  EXPECT_EQ(TraceLevelToString(TraceLevel::kSummary), "summary");
+  EXPECT_EQ(TraceLevelToString(TraceLevel::kDetail), "detail");
+}
+
+TEST(TraceSpanTest, SetAttrFindChild) {
+  TraceSpan span("probe");
+  span.Set("index", "zonemap")
+      .Set("zones_candidate", int64_t{12})
+      .Set("fraction", 0.25)
+      .Set("bypassed", true);
+  EXPECT_EQ(span.Attr("index"), "zonemap");
+  EXPECT_EQ(span.Attr("zones_candidate"), "12");
+  EXPECT_EQ(span.Attr("bypassed"), "true");
+  EXPECT_EQ(span.Attr("missing"), "");
+  EXPECT_EQ(span.Attr("fraction"), "0.250");
+
+  TraceSpan child("scan");
+  child.Set("rows_scanned", int64_t{100});
+  span.AddChild(std::move(child));
+  ASSERT_NE(span.FindChild("scan"), nullptr);
+  EXPECT_EQ(span.FindChild("scan")->Attr("rows_scanned"), "100");
+  EXPECT_EQ(span.FindChild("adapt"), nullptr);
+}
+
+TEST(QueryTraceTest, ToTextRendersIndentedTree) {
+  QueryTrace trace(TraceLevel::kSummary);
+  trace.root().Set("query", "COUNT WHERE x BETWEEN 1 AND 2");
+  trace.root().duration_nanos = 123456;
+  TraceSpan probe("probe");
+  probe.Set("zones_candidate", int64_t{3}).Set("zones_skipped", int64_t{97});
+  trace.root().AddChild(std::move(probe));
+  TraceSpan scan("scan");
+  scan.Set("rows_scanned", int64_t{300});
+  trace.root().AddChild(std::move(scan));
+
+  std::string text = trace.ToText();
+  EXPECT_NE(text.find("query"), std::string::npos);
+  EXPECT_NE(text.find("probe"), std::string::npos);
+  EXPECT_NE(text.find("zones_candidate=3"), std::string::npos);
+  EXPECT_NE(text.find("zones_skipped=97"), std::string::npos);
+  // Children are indented under the root.
+  EXPECT_NE(text.find("\n  "), std::string::npos);
+}
+
+TEST(QueryTraceTest, ToJsonIsWellFormedAndEscaped) {
+  QueryTrace trace(TraceLevel::kDetail);
+  trace.root().Set("query", "has \"quotes\" and\nnewline\tand\\slash");
+  TraceSpan child("scan");
+  child.duration_nanos = 42;
+  trace.root().AddChild(std::move(child));
+
+  std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"trace_level\":\"detail\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("\"duration_nanos\":42"), std::string::npos);
+  // No raw control characters escape into the output.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+
+  // Balanced braces/brackets outside of strings — cheap well-formedness
+  // check that catches missed separators.
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+}  // namespace
+}  // namespace adaskip::obs

@@ -315,6 +315,25 @@ void Linter::CheckForbiddenTokens(const std::string& path,
   }
 }
 
+void Linter::CheckMetricRegistration(const std::string& path,
+                                     const std::string& stripped) {
+  // obs/ holds the registry itself and the tests that poke it directly.
+  if (PathContains(path, "obs/")) return;
+  static const std::regex kRegister(
+      R"(\b(RegisterCounter|RegisterHistogram)\s*\()");
+  for (auto it =
+           std::sregex_iterator(stripped.begin(), stripped.end(), kRegister);
+       it != std::sregex_iterator(); ++it) {
+    const size_t off = static_cast<size_t>(it->position());
+    Report(path, LineOf(stripped, off), "metric-registration",
+           "direct MetricsRegistry::" + (*it)[1].str() +
+               " call outside obs/ — declare instruments with "
+               "ADASKIP_METRIC_COUNTER / ADASKIP_METRIC_HISTOGRAM "
+               "(obs/metrics.h) so they share the central naming scheme and "
+               "compile out under ADASKIP_NO_METRICS");
+  }
+}
+
 void Linter::HarvestWorkloadStats(const std::string& path,
                                   const std::string& stripped) {
   // Field declarations inside `class WorkloadStats { ... }`.
@@ -373,6 +392,7 @@ void Linter::LintFile(const std::string& path, const std::string& content) {
   const std::string stripped = StripCommentsAndStrings(content, &suppressions_);
   CheckSkipIndexOverrides(path, stripped);
   CheckForbiddenTokens(path, stripped);
+  CheckMetricRegistration(path, stripped);
   HarvestWorkloadStats(path, stripped);
 }
 

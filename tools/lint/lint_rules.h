@@ -36,13 +36,25 @@
 ///                         in library code outside util/ — a static
 ///                         counter in executor code is a data race the
 ///                         moment two sessions run.
+///   metric-registration   No direct MetricsRegistry::RegisterCounter /
+///                         RegisterHistogram calls outside obs/ —
+///                         instruments are declared via the central
+///                         ADASKIP_METRIC_COUNTER / _HISTOGRAM macros
+///                         (obs/metrics.h) so every metric shares one
+///                         naming scheme, binds once through a
+///                         function-local static, and compiles out under
+///                         ADASKIP_NO_METRICS. Ad-hoc counter statics
+///                         are the "private metric nobody can find"
+///                         failure mode.
 ///
 /// Suppressions: a trailing comment `adaskip-lint: allow(<rule-id>)`
 /// silences that rule on its own line; a standalone comment (nothing but
 /// whitespace before it) silences the line directly below it.
 /// Path scoping: files whose path contains "util/" are exempt from the
 /// naked-new / raw-thread / raw-sync-primitive / static-mutable-state
-/// rules (util/ is where the blessed wrappers live); files under
+/// rules (util/ is where the blessed wrappers live); files whose path
+/// contains "obs/" are exempt from metric-registration (the registry
+/// implementation and its tests must call the raw API); files under
 /// "tools/" are never scanned.
 
 namespace adaskip_lint {
@@ -85,6 +97,8 @@ class Linter {
                                const std::string& stripped);
   void CheckForbiddenTokens(const std::string& path,
                             const std::string& stripped);
+  void CheckMetricRegistration(const std::string& path,
+                               const std::string& stripped);
   void HarvestWorkloadStats(const std::string& path,
                             const std::string& stripped);
 

@@ -117,6 +117,39 @@ TEST(BadFixtures, ForbiddenTokensExemptUnderUtil) {
   EXPECT_TRUE(issues.empty());
 }
 
+TEST(BadFixtures, AdhocMetricRegistrationFlagged) {
+  const std::vector<LintIssue> issues = LintUnderLabel(
+      "bad/adhoc_metric.cc", "src/adaskip/engine/adhoc_metric.cc");
+  // One RegisterCounter + one RegisterHistogram; the macro use is fine.
+  EXPECT_EQ(CountRule(issues, "metric-registration"), 2);
+  EXPECT_EQ(issues.size(), 2u);
+  for (const LintIssue& issue : issues) {
+    EXPECT_NE(issue.message.find("ADASKIP_METRIC_COUNTER"),
+              std::string::npos);
+  }
+}
+
+TEST(BadFixtures, MetricRegistrationExemptUnderObs) {
+  // The registry implementation and its tests live in obs/ and must call
+  // the raw API.
+  const std::vector<LintIssue> issues = LintUnderLabel(
+      "bad/adhoc_metric.cc", "src/adaskip/obs/adhoc_metric.cc");
+  EXPECT_EQ(CountRule(issues, "metric-registration"), 0);
+  const std::vector<LintIssue> test_issues = LintUnderLabel(
+      "bad/adhoc_metric.cc", "tests/obs/adhoc_metric_test.cc");
+  EXPECT_EQ(CountRule(test_issues, "metric-registration"), 0);
+}
+
+TEST(BadFixtures, MetricRegistrationSuppressible) {
+  Linter linter;
+  linter.LintFile(
+      "src/adaskip/engine/s.cc",
+      "// adaskip-lint: allow(metric-registration)\n"
+      "auto& c = obs::MetricsRegistry::Global().RegisterCounter(\n"
+      "    \"x\", \"y\");\n");
+  EXPECT_TRUE(linter.Finish().empty());
+}
+
 TEST(BadFixtures, StatsDriftFlagged) {
   const std::vector<LintIssue> issues = LintUnderLabel(
       "bad/stats_drift.cc", "src/adaskip/engine/stats_drift.cc");

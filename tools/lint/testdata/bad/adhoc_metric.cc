@@ -1,0 +1,29 @@
+// Fixture for the metric-registration rule: instruments declared by
+// calling the registry directly instead of through the central
+// ADASKIP_METRIC_* macros. Linted under a src/adaskip/engine/ label.
+
+#include "adaskip/obs/metrics.h"
+
+namespace adaskip {
+
+void CountSomething() {
+  // BAD: ad-hoc direct registration — private naming, never compiles out.
+  adaskip::obs::MetricsRegistry::Global()
+      .RegisterCounter("my.private.counter", "nobody can find this")
+      .Increment();
+}
+
+void TimeSomething(int64_t nanos) {
+  // BAD: same for histograms.
+  obs::MetricsRegistry::Global()
+      .RegisterHistogram("my.private.latency", "ad-hoc")
+      .Observe(nanos);
+}
+
+void CountProperly() {
+  // GOOD: the macro path is the blessed declaration point.
+  ADASKIP_METRIC_COUNTER(events, "adaskip.fixture.events", "macro-declared");
+  events.Increment();
+}
+
+}  // namespace adaskip
