@@ -12,7 +12,7 @@ namespace adaskip {
 namespace bench {
 namespace {
 
-void Run() {
+void Run(const std::string& json_path) {
   BenchConfig config = BenchConfig::FromEnv();
   config.num_queries = std::max(config.num_queries, 384);
   config.selectivity = 0.005;
@@ -63,13 +63,15 @@ void Run() {
               "merging kept it bounded)\n\n",
               Speedup(zonemap, adapt),
               static_cast<long long>(adapt.final_zone_count));
+  WriteJsonReport(json_path, "fig6_drift", config,
+                  {std::move(scan), std::move(zonemap), std::move(adapt)});
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace adaskip
 
-int main() {
-  adaskip::bench::Run();
+int main(int argc, char** argv) {
+  adaskip::bench::Run(adaskip::bench::JsonPathFromArgs(argc, argv));
   return 0;
 }

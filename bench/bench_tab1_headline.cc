@@ -10,7 +10,7 @@ namespace adaskip {
 namespace bench {
 namespace {
 
-void Run() {
+void Run(const std::string& json_path) {
   BenchConfig config = BenchConfig::FromEnv();
   config.num_queries = std::max(64, config.num_queries);
   PrintHeader("Table 1 — headline: adaptive vs static data skipping",
@@ -28,6 +28,7 @@ void Run() {
               "adapt/scan (med)");
   std::printf("  ---------------+------------+------------+------------+-"
               "------------------+------------------\n");
+  std::vector<ArmResult> report_arms;
   for (DataOrder order : orders) {
     std::vector<int64_t> data = MakeData(config, order);
     std::vector<Query> queries =
@@ -52,17 +53,23 @@ void Run() {
                 scan.total_seconds(), zonemap.total_seconds(),
                 adapt.total_seconds(), static_med / adapt_med,
                 scan_med / adapt_med);
+    const std::string prefix = std::string(DataOrderToString(order)) + "/";
+    for (ArmResult* arm : {&scan, &zonemap, &adapt}) {
+      arm->label = prefix + arm->label;
+      report_arms.push_back(std::move(*arm));
+    }
   }
   std::printf("\n  expected shape: adaptive > static on clustered/k-sorted "
               "(paper: ~1.4X);\n  adaptive ~= scan on uniform (cost-model "
               "bypass), both >> scan when sorted.\n\n");
+  WriteJsonReport(json_path, "tab1_headline", config, report_arms);
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace adaskip
 
-int main() {
-  adaskip::bench::Run();
+int main(int argc, char** argv) {
+  adaskip::bench::Run(adaskip::bench::JsonPathFromArgs(argc, argv));
   return 0;
 }

@@ -11,10 +11,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "adaskip/engine/session.h"
+#include "adaskip/obs/json.h"
 #include "adaskip/util/logging.h"
 #include "adaskip/workload/data_generator.h"
 #include "adaskip/workload/query_generator.h"
@@ -138,6 +141,62 @@ inline void PrintArmRow(const ArmResult& arm, const ArmResult* baseline) {
     std::printf("  speedup %5.2fx", Speedup(*baseline, arm));
   }
   std::printf("\n");
+}
+
+/// Parses `--json=<path>` (the flag the experiment binaries share for
+/// machine-readable output); empty when absent.
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  constexpr std::string_view kPrefix = "--json=";
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.substr(0, kPrefix.size()) == kPrefix) {
+      return std::string(arg.substr(kPrefix.size()));
+    }
+  }
+  return std::string();
+}
+
+/// Writes the run's machine-readable report — config plus one object per
+/// arm mirroring the printed row — as one JSON document at `path`. No-op
+/// when `path` is empty (the flag was not passed); aborts on I/O failure
+/// so CI never archives a half-written report.
+inline void WriteJsonReport(const std::string& path,
+                            const char* experiment_id,
+                            const BenchConfig& config,
+                            const std::vector<ArmResult>& arms) {
+  if (path.empty()) return;
+  std::string doc = "{\"experiment\":";
+  obs::AppendJsonString(&doc, experiment_id);
+  doc += ",\"config\":{\"rows\":" + std::to_string(config.num_rows) +
+         ",\"queries\":" + std::to_string(config.num_queries) +
+         ",\"selectivity_pct\":";
+  obs::AppendJsonDouble(&doc, config.selectivity * 100.0);
+  doc += "},\"arms\":[";
+  for (size_t i = 0; i < arms.size(); ++i) {
+    const ArmResult& arm = arms[i];
+    if (i > 0) doc += ',';
+    doc += "{\"label\":";
+    obs::AppendJsonString(&doc, arm.label);
+    doc += ",\"total_seconds\":";
+    obs::AppendJsonDouble(&doc, arm.total_seconds());
+    doc += ",\"mean_us\":";
+    obs::AppendJsonDouble(&doc, arm.stats.MeanLatencyMicros());
+    doc += ",\"p99_us\":";
+    obs::AppendJsonDouble(&doc, arm.stats.latency_histogram().Percentile(99));
+    doc += ",\"skip_pct\":";
+    obs::AppendJsonDouble(&doc, arm.stats.MeanSkippedFraction() * 100.0);
+    doc += ",\"zones\":" + std::to_string(arm.final_zone_count);
+    doc += ",\"memory_bytes\":" + std::to_string(arm.index_memory_bytes);
+    doc += ",\"checksum\":";
+    obs::AppendJsonDouble(&doc, arm.result_checksum);
+    doc += '}';
+  }
+  doc += "]}\n";
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  ADASKIP_CHECK(file.good()) << "cannot open --json path '" << path << "'";
+  file << doc;
+  file.flush();
+  ADASKIP_CHECK(file.good()) << "failed writing --json path '" << path << "'";
 }
 
 }  // namespace bench

@@ -1,7 +1,9 @@
 #include "adaskip/adaptive/adaptive_imprints.h"
 
 #include <algorithm>
+#include <type_traits>
 
+#include "adaskip/obs/event_journal.h"
 #include "adaskip/obs/metrics.h"
 #include "adaskip/scan/predicate.h"
 #include "adaskip/storage/type_dispatch.h"
@@ -118,8 +120,38 @@ void AdaptiveImprintsT<T>::ExtendImprints() {
 }
 
 template <typename T>
+void AdaptiveImprintsT<T>::EmitSplitPointsEvent(obs::EventKind kind,
+                                                bool with_split_points) {
+  if (journal() == nullptr) return;
+  // args[0] flags whether the event carries the (new) split points;
+  // integral T rides in args, floating T losslessly in values (every
+  // float/double is exactly representable as a double).
+  std::vector<int64_t> args;
+  std::vector<double> values;
+  args.push_back(with_split_points ? 1 : 0);
+  if (with_split_points) {
+    if constexpr (std::is_integral_v<T>) {
+      args.reserve(split_points_.size() + 1);
+      for (T split : split_points_) {
+        args.push_back(static_cast<int64_t>(split));
+      }
+    } else {
+      values.reserve(split_points_.size());
+      for (T split : split_points_) {
+        values.push_back(static_cast<double>(split));
+      }
+    }
+  }
+  EmitJournal(kind, query_seq_, std::move(args), std::move(values));
+}
+
+template <typename T>
 void AdaptiveImprintsT<T>::OnAppend(RowRange appended) {
   ADASKIP_DCHECK_SERIAL(mutation_serial_);
+  if (journal() != nullptr && !appended.empty()) {
+    EmitJournal(obs::EventKind::kIndexAppend, query_seq_,
+                {appended.begin, appended.end});
+  }
   num_rows_ = appended.end;
   // The tail stays un-imprinted until a query actually scans it; Probe
   // covers it with a catch-all candidate range meanwhile.
@@ -226,11 +258,17 @@ void AdaptiveImprintsT<T>::OnQueryComplete(const Predicate& pred,
   if (tail_scanned_this_query_) {
     // The query just paid for reading the tail; extend the imprints over
     // it now while it is cache-hot so the next probe can skip it.
+    const bool had_split_points = !split_points_.empty();
     ExtendImprints();
     ++tail_extend_count_;
     ADASKIP_METRIC_COUNTER(extends, "adaskip.imprints.tail_extends",
                            "Un-imprinted append tails imprinted after a scan");
     extends.Increment();
+    // When the extension had to place the initial split points (index
+    // built over an empty column), they came from an RNG sample — not
+    // replayable — so the event carries them verbatim.
+    EmitSplitPointsEvent(obs::EventKind::kImprintTailExtend,
+                         /*with_split_points=*/!had_split_points);
     tail_scanned_this_query_ = false;
   }
   if (!last_probe_bypassed_) {
@@ -244,6 +282,10 @@ void AdaptiveImprintsT<T>::OnQueryComplete(const Predicate& pred,
       ADASKIP_METRIC_COUNTER(to_active, "adaskip.imprints.mode_to_active",
                              "Cost-model flips from bypass back to active");
       (mode_ == SkippingMode::kBypass ? to_bypass : to_active).Increment();
+      if (journal() != nullptr) {
+        EmitJournal(obs::EventKind::kModeChange, query_seq_, {}, {},
+                    mode_ == SkippingMode::kBypass ? "bypass" : "active");
+      }
     }
     double fp = feedback.rows_scanned > 0
                     ? static_cast<double>(feedback.rows_scanned -
@@ -293,6 +335,8 @@ void AdaptiveImprintsT<T>::Rebin() {
   ADASKIP_METRIC_COUNTER(rebins, "adaskip.imprints.rebins",
                          "Workload-aligned bin-boundary rebuilds");
   rebins.Increment();
+  EmitSplitPointsEvent(obs::EventKind::kImprintRebin,
+                       /*with_split_points=*/true);
   // Give the new layout a fresh read on effectiveness.
   false_positive_ewma_ = 0.0;
   adapt_nanos_ += timer.ElapsedNanos();
@@ -307,7 +351,89 @@ AdaptationProfile AdaptiveImprintsT<T>::GetAdaptationProfile() const {
   profile.bypass = mode_ == SkippingMode::kBypass;
   profile.cost_model_enabled = cost_model_.enabled();
   profile.net_benefit_per_row = cost_model_.NetBenefitPerRow(tracker_);
+  profile.skipped_fraction_ewma = tracker_.skipped_fraction();
+  profile.entries_per_row_ewma = tracker_.entries_per_row();
+  profile.queries_observed = tracker_.num_recorded();
   return profile;
+}
+
+template <typename T>
+Status AdaptiveImprintsT<T>::ApplyJournalEvent(
+    const obs::JournalEvent& event) {
+  ADASKIP_DCHECK_SERIAL(mutation_serial_);
+  auto read_split_points = [&event]() {
+    std::vector<T> splits;
+    if constexpr (std::is_integral_v<T>) {
+      if (!event.args.empty()) {
+        splits.reserve(event.args.size() - 1);
+        for (size_t i = 1; i < event.args.size(); ++i) {
+          splits.push_back(static_cast<T>(event.args[i]));
+        }
+      }
+    } else {
+      splits.reserve(event.values.size());
+      for (double value : event.values) {
+        splits.push_back(static_cast<T>(value));
+      }
+    }
+    return splits;
+  };
+  switch (event.kind) {
+    case obs::EventKind::kIndexAppend: {
+      if (event.args.size() != 2) {
+        return Status::InvalidArgument(
+            "index_append event needs args [begin, end)");
+      }
+      OnAppend({event.args[0], event.args[1]});
+      return Status::OK();
+    }
+    case obs::EventKind::kModeChange: {
+      mode_ = event.detail == "bypass" ? SkippingMode::kBypass
+                                       : SkippingMode::kActive;
+      return Status::OK();
+    }
+    case obs::EventKind::kImprintRebin: {
+      std::vector<T> splits = read_split_points();
+      if (splits.empty()) {
+        return Status::InvalidArgument(
+            "imprint_rebin event carries no split points");
+      }
+      split_points_ = std::move(splits);
+      RebuildImprints();
+      ++rebin_count_;
+      return Status::OK();
+    }
+    case obs::EventKind::kImprintTailExtend: {
+      if (event.args.empty()) {
+        return Status::InvalidArgument(
+            "imprint_tail_extend event needs the created-splits flag");
+      }
+      if (event.args[0] != 0) {
+        // The live extension placed the initial split points from an RNG
+        // sample; the event carries them, the words are recomputed.
+        std::vector<T> splits = read_split_points();
+        if (splits.empty()) {
+          return Status::InvalidArgument(
+              "imprint_tail_extend event flags created split points but "
+              "carries none");
+        }
+        split_points_ = std::move(splits);
+        RebuildImprints();
+      } else {
+        if (split_points_.empty()) {
+          return Status::InvalidArgument(
+              "imprint_tail_extend replay needs existing split points");
+        }
+        ExtendImprints();
+      }
+      ++tail_extend_count_;
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument(
+          "adaptive imprints cannot replay a " +
+          std::string(obs::EventKindToString(event.kind)) + " event");
+  }
 }
 
 template <typename T>

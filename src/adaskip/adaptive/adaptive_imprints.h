@@ -108,8 +108,17 @@ class AdaptiveImprintsT final : public SkipIndex {
   int64_t query_count() const { return query_seq_; }
   int64_t imprinted_rows() const { return imprinted_rows_; }
   const std::vector<T>& split_points() const { return split_points_; }
+  const std::vector<uint64_t>& imprint_words() const { return imprints_; }
 
   AdaptationProfile GetAdaptationProfile() const override;
+
+  /// Replays one structural journal event (rebin / tail extend / append /
+  /// mode change). Rebins carry their new split points in the event
+  /// payload (the reservoir and its RNG are probe-driven and not
+  /// replayed); the imprint words are then recomputed from the column, so
+  /// a fresh index fed the journal reaches bit-identical split points and
+  /// words. See adaptive/journal_replay.h.
+  Status ApplyJournalEvent(const obs::JournalEvent& event) override;
 
   /// Bin of `v` under the current boundaries (exposed for tests).
   int64_t BinOf(T v) const;
@@ -129,6 +138,10 @@ class AdaptiveImprintsT final : public SkipIndex {
 
   /// Imprint word for rows [begin, end) (may cross segment boundaries).
   uint64_t BlockMask(int64_t begin, int64_t end) const;
+
+  /// Journals a rebin/extend event whose payload is the current split
+  /// points (integral T rides in args, floating T losslessly in values).
+  void EmitSplitPointsEvent(obs::EventKind kind, bool created_splits);
 
   int64_t num_rows_;
   const TypedColumn<T>* column_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "adaskip/obs/event_journal.h"
 #include "adaskip/obs/metrics.h"
 #include "adaskip/scan/scan_kernel.h"
 #include "adaskip/storage/type_dispatch.h"
@@ -45,6 +46,10 @@ template <typename T>
 void AdaptiveZoneMapT<T>::OnAppend(RowRange appended) {
   ADASKIP_DCHECK_SERIAL(mutation_serial_);
   if (appended.empty()) return;
+  if (journal() != nullptr) {
+    EmitJournal(obs::EventKind::kIndexAppend, query_seq_,
+                {appended.begin, appended.end});
+  }
   // Cover the tail with conservative catch-all zones, one per segment
   // piece, coalescing with a preceding not-yet-tightened tail zone so
   // back-to-back appends do not pile up metadata.
@@ -158,12 +163,7 @@ void AdaptiveZoneMapT<T>::SplitZoneAt(int64_t index,
     prev = cut;
   }
   emit(prev, parent.end);
-  zones_.erase(zones_.begin() + index);
-  zones_.insert(zones_.begin() + index, children.begin(), children.end());
-  split_count_ += static_cast<int64_t>(children.size()) - 1;
-  ADASKIP_METRIC_COUNTER(splits, "adaskip.zonemap.zone_splits",
-                         "Zones added by waste-driven refinement");
-  splits.Add(static_cast<int64_t>(children.size()) - 1);
+  ReplaceZone(index, children);
 }
 
 template <typename T>
@@ -200,20 +200,13 @@ void AdaptiveZoneMapT<T>::OnRangeScanned(const Predicate& pred,
       const int64_t budget = std::max<int64_t>(
           options_.max_zones - static_cast<int64_t>(zones_.size()) + 1, 1);
       chunk = std::max(chunk, (zone.end - zone.begin + budget - 1) / budget);
-      std::vector<AdaptiveZone> children;
-      for (int64_t begin = zone.begin; begin < zone.end; begin += chunk) {
-        const int64_t end = std::min(begin + chunk, zone.end);
-        MinMax<T> mm = ZoneMinMax(begin, end);
-        children.push_back(AdaptiveZone{begin, end, mm.min, mm.max,
-                                        zone.last_candidate_seq});
+      if (journal() != nullptr) {
+        // The chunk size is journaled (not recomputed at replay) because
+        // it depends on the zone count at emission time.
+        EmitJournal(obs::EventKind::kTailAbsorb, query_seq_,
+                    {zone.begin, zone.end, chunk});
       }
-      zones_.erase(zones_.begin() + index);
-      zones_.insert(zones_.begin() + index, children.begin(), children.end());
-      --conservative_zones_;
-      ++absorb_count_;
-      ADASKIP_METRIC_COUNTER(absorbs, "adaskip.zonemap.tail_absorbs",
-                             "Conservative tail zones tightened on first scan");
-      absorbs.Increment();
+      AbsorbTailZone(index, chunk);
       adapt_nanos_ += timer.ElapsedNanos();
     }
   }
@@ -305,12 +298,46 @@ template <typename T>
 void AdaptiveZoneMapT<T>::ReplaceZone(int64_t index,
                                       const std::vector<AdaptiveZone>& children) {
   ADASKIP_DCHECK(!children.empty());
+  if (journal() != nullptr && children.size() > 1) {
+    // args = [parent_begin, parent_end, interior cuts...]: everything
+    // replay needs — child bounds are recomputed from the column, which
+    // yields exactly the min/max stored here (both are the exact min/max
+    // of the same immutable rows).
+    const AdaptiveZone& parent = zones_[static_cast<size_t>(index)];
+    std::vector<int64_t> args;
+    args.reserve(children.size() + 1);
+    args.push_back(parent.begin);
+    args.push_back(parent.end);
+    for (size_t i = 1; i < children.size(); ++i) {
+      args.push_back(children[i].begin);
+    }
+    EmitJournal(obs::EventKind::kZoneSplit, query_seq_, std::move(args));
+  }
   zones_.erase(zones_.begin() + index);
   zones_.insert(zones_.begin() + index, children.begin(), children.end());
   split_count_ += static_cast<int64_t>(children.size()) - 1;
   ADASKIP_METRIC_COUNTER(splits, "adaskip.zonemap.zone_splits",
                          "Zones added by waste-driven refinement");
   splits.Add(static_cast<int64_t>(children.size()) - 1);
+}
+
+template <typename T>
+void AdaptiveZoneMapT<T>::AbsorbTailZone(int64_t index, int64_t chunk) {
+  const AdaptiveZone zone = zones_[static_cast<size_t>(index)];
+  std::vector<AdaptiveZone> children;
+  for (int64_t begin = zone.begin; begin < zone.end; begin += chunk) {
+    const int64_t end = std::min(begin + chunk, zone.end);
+    MinMax<T> mm = ZoneMinMax(begin, end);
+    children.push_back(AdaptiveZone{begin, end, mm.min, mm.max,
+                                    zone.last_candidate_seq});
+  }
+  zones_.erase(zones_.begin() + index);
+  zones_.insert(zones_.begin() + index, children.begin(), children.end());
+  --conservative_zones_;
+  ++absorb_count_;
+  ADASKIP_METRIC_COUNTER(absorbs, "adaskip.zonemap.tail_absorbs",
+                         "Conservative tail zones tightened on first scan");
+  absorbs.Increment();
 }
 
 template <typename T>
@@ -329,6 +356,10 @@ void AdaptiveZoneMapT<T>::OnQueryComplete(const Predicate& pred,
       ADASKIP_METRIC_COUNTER(to_active, "adaskip.zonemap.mode_to_active",
                              "Cost-model flips from bypass back to active");
       (mode_ == SkippingMode::kBypass ? to_bypass : to_active).Increment();
+      if (journal() != nullptr) {
+        EmitJournal(obs::EventKind::kModeChange, query_seq_, {}, {},
+                    mode_ == SkippingMode::kBypass ? "bypass" : "active");
+      }
     }
   }
   if (options_.enable_merging && options_.merge_check_interval > 0 &&
@@ -362,6 +393,13 @@ void AdaptiveZoneMapT<T>::MergeSweep() {
               options_.merge_max_zone_size) {
         // Union bounds stay sound (possibly conservative) with no data
         // reads — merging is metadata-only.
+        if (journal() != nullptr) {
+          // One event per absorbed zone: args = the merged extent so far.
+          // Replay folds the zones tiling [args[0], args[1]) with the
+          // same union-bound rule.
+          EmitJournal(obs::EventKind::kZoneMerge, query_seq_,
+                      {prev.begin, zone.end});
+        }
         prev.end = zone.end;
         prev.min = std::min(prev.min, zone.min);
         prev.max = std::max(prev.max, zone.max);
@@ -396,7 +434,105 @@ AdaptationProfile AdaptiveZoneMapT<T>::GetAdaptationProfile() const {
   profile.bypass = mode_ == SkippingMode::kBypass;
   profile.cost_model_enabled = cost_model_.enabled();
   profile.net_benefit_per_row = cost_model_.NetBenefitPerRow(tracker_);
+  profile.skipped_fraction_ewma = tracker_.skipped_fraction();
+  profile.entries_per_row_ewma = tracker_.entries_per_row();
+  profile.queries_observed = tracker_.num_recorded();
   return profile;
+}
+
+template <typename T>
+Status AdaptiveZoneMapT<T>::ApplyJournalEvent(const obs::JournalEvent& event) {
+  ADASKIP_DCHECK_SERIAL(mutation_serial_);
+  switch (event.kind) {
+    case obs::EventKind::kIndexAppend: {
+      if (event.args.size() != 2) {
+        return Status::InvalidArgument(
+            "index_append event needs args [begin, end)");
+      }
+      OnAppend({event.args[0], event.args[1]});
+      return Status::OK();
+    }
+    case obs::EventKind::kModeChange: {
+      mode_ = event.detail == "bypass" ? SkippingMode::kBypass
+                                       : SkippingMode::kActive;
+      return Status::OK();
+    }
+    case obs::EventKind::kZoneSplit: {
+      if (event.args.size() < 3) {
+        return Status::InvalidArgument(
+            "zone_split event needs args [begin, end, cuts...]");
+      }
+      const int64_t begin = event.args[0];
+      const int64_t end = event.args[1];
+      const int64_t index = FindZoneIndex(begin);
+      if (index < 0 || zones_[static_cast<size_t>(index)].end != end) {
+        return Status::InvalidArgument(
+            "zone_split event [" + std::to_string(begin) + ", " +
+            std::to_string(end) + ") does not match a current zone");
+      }
+      for (size_t i = 2; i < event.args.size(); ++i) {
+        const int64_t cut = event.args[i];
+        const int64_t prev = i == 2 ? begin : event.args[i - 1];
+        if (cut <= prev || cut >= end) {
+          return Status::InvalidArgument("zone_split event cuts not strictly "
+                                         "interior and increasing");
+        }
+      }
+      SplitZoneAt(index, std::span<const int64_t>(event.args).subspan(2));
+      return Status::OK();
+    }
+    case obs::EventKind::kTailAbsorb: {
+      if (event.args.size() != 3 || event.args[2] < 1) {
+        return Status::InvalidArgument(
+            "tail_absorb event needs args [begin, end, chunk]");
+      }
+      const int64_t index = FindZoneIndex(event.args[0]);
+      if (index < 0 ||
+          zones_[static_cast<size_t>(index)].end != event.args[1] ||
+          !zones_[static_cast<size_t>(index)].conservative) {
+        return Status::InvalidArgument(
+            "tail_absorb event does not match a conservative zone");
+      }
+      AbsorbTailZone(index, event.args[2]);
+      return Status::OK();
+    }
+    case obs::EventKind::kZoneMerge: {
+      if (event.args.size() != 2) {
+        return Status::InvalidArgument(
+            "zone_merge event needs args [begin, end)");
+      }
+      const int64_t index = FindZoneIndex(event.args[0]);
+      if (index < 0) {
+        return Status::InvalidArgument(
+            "zone_merge event does not start at a current zone");
+      }
+      AdaptiveZone& prev = zones_[static_cast<size_t>(index)];
+      while (prev.end < event.args[1]) {
+        const size_t next = static_cast<size_t>(index) + 1;
+        if (next >= zones_.size()) {
+          return Status::InvalidArgument(
+              "zone_merge event extends past the last zone");
+        }
+        const AdaptiveZone zone = zones_[next];
+        prev.end = zone.end;
+        prev.min = std::min(prev.min, zone.min);
+        prev.max = std::max(prev.max, zone.max);
+        prev.last_candidate_seq =
+            std::max(prev.last_candidate_seq, zone.last_candidate_seq);
+        zones_.erase(zones_.begin() + static_cast<int64_t>(next));
+        ++merge_count_;
+      }
+      if (prev.end != event.args[1]) {
+        return Status::InvalidArgument(
+            "zone_merge event end does not land on a zone boundary");
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument(
+          "adaptive zonemap cannot replay a " +
+          std::string(obs::EventKindToString(event.kind)) + " event");
+  }
 }
 
 template <typename T>

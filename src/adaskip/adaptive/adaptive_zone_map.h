@@ -107,6 +107,13 @@ class AdaptiveZoneMapT final : public SkipIndex {
   /// the last call.
   int64_t TakeAdaptationNanos() override;
 
+  /// Replays one structural journal event (split / merge / tail absorb /
+  /// append / mode change) against this map: child bounds are recomputed
+  /// from the column payload, so a fresh map fed the live map's journal
+  /// converges to bit-identical zones (probe-driven heat metadata —
+  /// last_candidate_seq, query_seq — is excluded; see DESIGN.md).
+  Status ApplyJournalEvent(const obs::JournalEvent& event) override;
+
   /// Verifies the structural invariants (tiling, sortedness, bound
   /// soundness against the column payload). O(num_rows); tests only.
   bool CheckInvariants() const;
@@ -123,8 +130,14 @@ class AdaptiveZoneMapT final : public SkipIndex {
   void SplitZoneAt(int64_t index, std::span<const int64_t> cuts);
 
   /// Replaces zones_[index] with pre-computed children (which must tile
-  /// it exactly).
+  /// it exactly), counting the refinement and journaling it. The single
+  /// structural split point — every refinement (halve, budgeted,
+  /// boundary, replayed) lands here.
   void ReplaceZone(int64_t index, const std::vector<AdaptiveZone>& children);
+
+  /// Tightens the conservative zone at `index` into exact `chunk`-row
+  /// children (shared by the live absorb path and journal replay).
+  void AbsorbTailZone(int64_t index, int64_t chunk);
 
   /// Merges runs of cold adjacent zones; called from OnQueryComplete.
   void MergeSweep();

@@ -1,9 +1,22 @@
 #include "adaskip/adaptive/index_manager.h"
 
 #include "adaskip/adaptive/adaptive_zone_map.h"
+#include "adaskip/obs/event_journal.h"
 #include "adaskip/obs/metrics.h"
 
 namespace adaskip {
+namespace {
+
+obs::JournalEvent LifecycleEvent(obs::EventKind kind, std::string scope,
+                                 std::string detail) {
+  obs::JournalEvent event;
+  event.kind = kind;
+  event.scope = std::move(scope);
+  event.detail = std::move(detail);
+  return event;
+}
+
+}  // namespace
 
 std::string_view IndexKindToString(IndexKind kind) {
   switch (kind) {
@@ -60,6 +73,14 @@ Status IndexManager::AttachIndex(std::string_view column_name,
                          "Skip indexes built and attached");
   attaches.Increment();
   MutexLock lock(&mu_);
+  if (journal_ != nullptr) {
+    index->BindJournal(journal_, ScopeFor(column_name));
+    obs::JournalEvent event = LifecycleEvent(
+        obs::EventKind::kIndexAttach, index->journal_scope(),
+        std::string(index->name()));
+    event.args.push_back(version);
+    ADASKIP_JOURNAL_EVENT(journal_, std::move(event));
+  }
   indexes_[std::string(column_name)] = Entry{std::move(index), version};
   return Status::OK();
 }
@@ -70,6 +91,12 @@ Status IndexManager::DetachIndex(std::string_view column_name) {
   if (it == indexes_.end()) {
     return Status::NotFound("no index on column '" +
                             std::string(column_name) + "'");
+  }
+  if (journal_ != nullptr) {
+    ADASKIP_JOURNAL_EVENT(
+        journal_,
+        LifecycleEvent(obs::EventKind::kIndexDetach, ScopeFor(column_name),
+                       std::string(it->second.index->name())));
   }
   indexes_.erase(it);
   ADASKIP_METRIC_COUNTER(detaches, "adaskip.index.detaches",
@@ -90,6 +117,14 @@ Result<SkipIndex*> IndexManager::GetSyncedIndex(
   auto it = indexes_.find(column_name);
   if (it == indexes_.end()) return static_cast<SkipIndex*>(nullptr);
   if (it->second.data_version != table_->data_version()) {
+    if (journal_ != nullptr) {
+      obs::JournalEvent event = LifecycleEvent(
+          obs::EventKind::kIndexStale, ScopeFor(column_name),
+          std::string(it->second.index->name()));
+      event.args.push_back(it->second.data_version);
+      event.args.push_back(table_->data_version());
+      ADASKIP_JOURNAL_EVENT(journal_, std::move(event));
+    }
     return Status::FailedPrecondition(
         "index '" + std::string(it->second.index->name()) + "' on column '" +
         std::string(column_name) + "' is stale: built for data version " +
@@ -109,6 +144,22 @@ void IndexManager::OnAppend(RowRange appended) {
     entry.index->OnAppend(appended);
     entry.data_version = table_->data_version();
   }
+}
+
+void IndexManager::SetJournal(obs::EventJournal* journal,
+                              std::string_view scope_prefix) {
+  MutexLock lock(&mu_);
+  journal_ = journal;
+  journal_prefix_ = std::string(scope_prefix);
+  for (auto& [name, entry] : indexes_) {
+    entry.index->BindJournal(journal,
+                             journal == nullptr ? std::string() :
+                                                  ScopeFor(name));
+  }
+}
+
+std::string IndexManager::ScopeFor(std::string_view column_name) const {
+  return journal_prefix_ + "." + std::string(column_name);
 }
 
 std::vector<std::string> IndexManager::IndexedColumns() const {

@@ -120,6 +120,14 @@ class IndexManager {
   /// columns) to every attached index and records the new data version.
   void OnAppend(RowRange appended) ADASKIP_EXCLUDES(mu_);
 
+  /// Binds (or, with nullptr, unbinds) the adaptation journal. Every
+  /// attached index — current and future — emits its events to it under
+  /// the scope "<scope_prefix>.<column>", and the manager itself journals
+  /// lifecycle transitions (attach, detach, stale rejections). Serialized
+  /// with index DDL/queries by the caller like every other mutation.
+  void SetJournal(obs::EventJournal* journal, std::string_view scope_prefix)
+      ADASKIP_EXCLUDES(mu_);
+
   std::vector<std::string> IndexedColumns() const ADASKIP_EXCLUDES(mu_);
 
   /// Total metadata footprint across all attached indexes.
@@ -131,9 +139,15 @@ class IndexManager {
     int64_t data_version = 0;  // Table version the index describes.
   };
 
+  /// "<scope_prefix>.<column>" under the current binding (mu_ held).
+  std::string ScopeFor(std::string_view column_name) const
+      ADASKIP_REQUIRES(mu_);
+
   std::shared_ptr<const Table> table_;
   mutable Mutex mu_;
   std::map<std::string, Entry, std::less<>> indexes_ ADASKIP_GUARDED_BY(mu_);
+  obs::EventJournal* journal_ ADASKIP_GUARDED_BY(mu_) = nullptr;
+  std::string journal_prefix_ ADASKIP_GUARDED_BY(mu_);
 };
 
 }  // namespace adaskip

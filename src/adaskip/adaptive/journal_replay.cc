@@ -1,0 +1,35 @@
+#include "adaskip/adaptive/journal_replay.h"
+
+#include "adaskip/util/logging.h"
+
+namespace adaskip {
+
+Status ReplayJournal(std::span<const obs::JournalEvent> events,
+                     std::string_view scope, SkipIndex* index) {
+  ADASKIP_CHECK(index != nullptr);
+  if (index->journal() != nullptr) {
+    return Status::FailedPrecondition(
+        "replay target has a journal bound; replaying into it would "
+        "re-emit every event");
+  }
+  for (const obs::JournalEvent& event : events) {
+    if (event.scope != scope) continue;
+    switch (event.kind) {
+      case obs::EventKind::kIndexAttach:
+      case obs::EventKind::kIndexDetach:
+      case obs::EventKind::kIndexStale:
+        continue;  // Lifecycle history, not index state.
+      default:
+        break;
+    }
+    Status status = index->ApplyJournalEvent(event);
+    if (!status.ok()) {
+      return Status(status.code(), "replay failed at journal seq " +
+                                       std::to_string(event.seq) + ": " +
+                                       std::string(status.message()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace adaskip

@@ -1,0 +1,44 @@
+#ifndef ADASKIP_ADAPTIVE_JOURNAL_REPLAY_H_
+#define ADASKIP_ADAPTIVE_JOURNAL_REPLAY_H_
+
+#include <span>
+#include <string_view>
+
+#include "adaskip/obs/event_journal.h"
+#include "adaskip/skipping/skip_index.h"
+
+namespace adaskip {
+
+/// Deterministic journal replay: feeds `events` whose scope matches
+/// `scope` into `index`, reconstructing its adaptation state. This turns
+/// the journal into a correctness oracle — a fresh index built over the
+/// same column payload, replayed, must match the live index's structural
+/// state bit for bit.
+///
+/// The equivalence contract (asserted by tests/engine/replay_test.cc,
+/// spelled out in DESIGN.md):
+///  * Adaptive zonemap: zones (begin/end/min/max/conservative), mode, and
+///    the split/merge/absorb counters are identical. Probe-driven heat
+///    metadata (last_candidate_seq, query_seq) is NOT replayed — it never
+///    influences which rows are skipped, only which future merges the
+///    live index will choose, and those choices are themselves journaled.
+///  * Adaptive imprints: split points, imprint words, imprinted_rows,
+///    mode, and the rebin/extend counters are identical. The endpoint
+///    reservoir (probe-driven, RNG-sampled) is not replayed; rebin events
+///    carry the split points it produced.
+///
+/// Requirements: `index` must be freshly built over the same column
+/// payload the journal was recorded against (before any appends the
+/// journal will replay), must not have a journal bound (replay must not
+/// re-emit), and must see the events in emission order — pass a journal
+/// Snapshot(), or the spilled prefix concatenated with it. Lifecycle
+/// events (attach/detach/stale) are informational and skipped.
+///
+/// Stops at the first event the index refuses; returns that error with
+/// the offending sequence number prepended.
+Status ReplayJournal(std::span<const obs::JournalEvent> events,
+                     std::string_view scope, SkipIndex* index);
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_ADAPTIVE_JOURNAL_REPLAY_H_

@@ -122,7 +122,10 @@ obs::TraceSpan MakeAdaptSpan(const SkipIndex& index,
       .Set("bypassed_probe", after.bypassed_probes > before.bypassed_probes)
       .Set("mode", after.bypass ? "bypass" : "active")
       .Set("cost_model", after.cost_model_enabled ? "enabled" : "disabled")
-      .Set("net_benefit_per_row", after.net_benefit_per_row);
+      .Set("net_benefit_per_row", after.net_benefit_per_row)
+      .Set("skip_ewma", after.skipped_fraction_ewma)
+      .Set("entries_per_row_ewma", after.entries_per_row_ewma)
+      .Set("queries_observed", after.queries_observed);
   if (detail) {
     span.Set("index_before", std::move(describe_before));
     span.Set("index_after", index.Describe());

@@ -35,6 +35,17 @@ struct ExecOptions {
   /// probe/scan/adapt span tree; kDetail adds bounded per-range /
   /// per-morsel children and before/after index state.
   obs::TraceLevel trace_level = obs::TraceLevel::kOff;
+
+  /// Bind the session's adaptation journal to this table's indexes, so
+  /// every structural adaptation (splits, merges, absorbs, rebins, mode
+  /// flips, lifecycle transitions) is recorded as a replayable event.
+  /// Off by default: when off, emission sites cost one pointer check.
+  bool journal_events = false;
+
+  /// Feed per-query effectiveness samples into the session's index
+  /// health monitor (windowed time series + drift verdicts). Off by
+  /// default: when off, Execute skips the recording call entirely.
+  bool time_series = false;
 };
 
 /// Upper bound on ExecOptions::num_threads accepted by

@@ -1,6 +1,21 @@
 #include "adaskip/engine/session.h"
 
+#include <chrono>
+#include <ostream>
+
+#include "adaskip/obs/json.h"
+#include "adaskip/obs/metrics.h"
+
 namespace adaskip {
+namespace {
+
+int64_t TelemetryNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 Status Session::CreateTable(std::string name) {
   return catalog_.AddTable(std::make_shared<Table>(std::move(name)));
@@ -69,7 +84,13 @@ Status Session::SetExecOptions(std::string_view table_name,
   // call is side-effect free.
   ADASKIP_RETURN_IF_ERROR(ValidateExecOptions(options));
   ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));
-  return runtime->executor->set_exec_options(options);
+  ADASKIP_RETURN_IF_ERROR(runtime->executor->set_exec_options(options));
+  // Bind (or unbind) the session journal: every index attached to this
+  // table — current and future — emits adaptation events under the scope
+  // "<table>.<column>" while journal_events stays on.
+  runtime->indexes->SetJournal(
+      options.journal_events ? &journal_ : nullptr, table_name);
+  return Status::OK();
 }
 
 Result<QueryResult> Session::Execute(std::string_view table_name,
@@ -80,6 +101,18 @@ Result<QueryResult> Session::Execute(std::string_view table_name,
   {
     MutexLock lock(&stats_mu_);
     stats_.Record(result.stats);
+  }
+  if (runtime->executor->exec_options().time_series) {
+    // One health sample per predicated column. Conjunctions share the
+    // query-level skipped fraction across their columns — coarse, but
+    // drift on any member index still drags its windowed ratio down.
+    const int64_t nanos = TelemetryNanos();
+    for (const Predicate& predicate : query.predicates) {
+      health_.RecordQuery(
+          std::string(table_name) + "." + predicate.column, nanos,
+          result.stats.SkippedFraction(), result.stats.adapt_nanos,
+          result.stats.total_nanos);
+    }
   }
   return result;
 }
@@ -139,6 +172,67 @@ Result<IndexSnapshot> Session::DescribeIndex(
   snapshot.unindexed_tail_rows = index->UnindexedTailRows();
   snapshot.adaptation = index->GetAdaptationProfile();
   return snapshot;
+}
+
+void Session::DumpTelemetry(std::ostream& out) const {
+  // Most recent journal entries carried inline; the full stream (when it
+  // matters) is the spill callback's business.
+  constexpr int64_t kJournalTail = 256;
+  std::string doc = "{\"journal\":{\"total_appended\":";
+  doc += std::to_string(journal_.total_appended());
+  doc += ",\"spilled\":" + std::to_string(journal_.spilled());
+  doc += ",\"retained\":" + std::to_string(journal_.size());
+  doc += ",\"events\":[";
+  const std::vector<obs::JournalEvent> tail = journal_.Tail(kJournalTail);
+  for (size_t i = 0; i < tail.size(); ++i) {
+    if (i > 0) doc += ',';
+    doc += tail[i].ToJson();
+  }
+  doc += "]},\"health\":[";
+  const std::vector<obs::IndexHealth> report = health_.Report();
+  for (size_t i = 0; i < report.size(); ++i) {
+    const obs::IndexHealth& health = report[i];
+    if (i > 0) doc += ',';
+    doc += "{\"scope\":";
+    obs::AppendJsonString(&doc, health.scope);
+    doc += ",\"verdict\":";
+    obs::AppendJsonString(&doc, obs::HealthVerdictToString(health.verdict));
+    doc += ",\"queries_observed\":" + std::to_string(health.queries_observed);
+    doc += ",\"windows_completed\":" +
+           std::to_string(health.windows_completed);
+    doc += ",\"last_window_skip\":";
+    obs::AppendJsonDouble(&doc, health.last_window_skip);
+    doc += ",\"best_window_skip\":";
+    obs::AppendJsonDouble(&doc, health.best_window_skip);
+    doc += ",\"last_window_adapt_cost\":";
+    obs::AppendJsonDouble(&doc, health.last_window_adapt_cost);
+    doc += '}';
+  }
+  doc += "],\"time_series\":";
+  doc += health_.series().ToJson();
+  doc += ",\"metrics\":[";
+  const std::vector<obs::MetricSample> samples =
+      obs::MetricsRegistry::Global().Snapshot();
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const obs::MetricSample& sample = samples[i];
+    if (i > 0) doc += ',';
+    doc += "{\"name\":";
+    obs::AppendJsonString(&doc, sample.name);
+    if (sample.kind == obs::MetricSample::Kind::kCounter) {
+      doc += ",\"kind\":\"counter\",\"value\":" + std::to_string(sample.value);
+    } else {
+      doc += ",\"kind\":\"histogram\",\"count\":" +
+             std::to_string(sample.value);
+      doc += ",\"sum\":" + std::to_string(sample.sum);
+      doc += ",\"mean\":";
+      obs::AppendJsonDouble(&doc, sample.mean);
+      doc += ",\"p50\":" + std::to_string(sample.p50);
+      doc += ",\"p99\":" + std::to_string(sample.p99);
+    }
+    doc += '}';
+  }
+  doc += "]}";
+  out << doc << "\n";
 }
 
 SkipIndex* Session::GetIndex(std::string_view table_name,

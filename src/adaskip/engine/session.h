@@ -1,6 +1,7 @@
 #ifndef ADASKIP_ENGINE_SESSION_H_
 #define ADASKIP_ENGINE_SESSION_H_
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -9,6 +10,8 @@
 #include "adaskip/adaptive/index_manager.h"
 #include "adaskip/engine/exec_stats.h"
 #include "adaskip/engine/scan_executor.h"
+#include "adaskip/obs/event_journal.h"
+#include "adaskip/obs/health_monitor.h"
 #include "adaskip/storage/catalog.h"
 #include "adaskip/util/thread_annotations.h"
 
@@ -154,6 +157,38 @@ class Session {
 
   const Catalog& catalog() const { return catalog_; }
 
+  /// The session-wide adaptation journal. It only receives events from
+  /// tables whose ExecOptions::journal_events is on — SetExecOptions
+  /// binds (or unbinds) the table's index manager to it — so a session
+  /// that never opts in pays one untaken branch per emission point.
+  /// Internally synchronized; safe to read while queries run.
+  obs::EventJournal& journal() { return journal_; }
+  const obs::EventJournal& journal() const { return journal_; }
+
+  /// Reconfigures the index health monitor (window geometry is fixed at
+  /// session construction; thresholds and window_queries apply to windows
+  /// that have not closed yet). Samples only flow from tables whose
+  /// ExecOptions::time_series is on.
+  void SetHealthMonitorOptions(const obs::HealthMonitorOptions& options) {
+    health_.SetOptions(options);
+  }
+
+  /// Drift verdict and windowed effectiveness of every monitored index
+  /// scope ("table.column"), sorted by scope. Empty until a table with
+  /// ExecOptions::time_series on has executed queries.
+  std::vector<obs::IndexHealth> HealthReport() const {
+    return health_.Report();
+  }
+
+  const obs::IndexHealthMonitor& health_monitor() const { return health_; }
+
+  /// Writes the session's temporal telemetry as one JSON document:
+  /// the journal tail (most recent events plus append/spill totals), the
+  /// per-index health report, the windowed time series behind it, and a
+  /// snapshot of the process metrics registry. This is the machine-
+  /// readable export the drift-monitor bench (and CI) archive.
+  void DumpTelemetry(std::ostream& out) const;
+
   /// Snapshot of the cumulative per-session stats. Returns a copy taken
   /// under `stats_mu_` — a reference would escape the lock.
   WorkloadStats workload_stats() const ADASKIP_EXCLUDES(stats_mu_) {
@@ -185,6 +220,12 @@ class Session {
       ADASKIP_EXCLUDES(runtimes_mu_);
 
   Catalog catalog_;
+  // Temporal observability: both internally synchronized, shared by all
+  // of the session's tables. Indexes hold raw pointers into journal_, so
+  // it is declared before runtimes_ — members destroy in reverse
+  // declaration order, keeping the journal alive past every runtime.
+  obs::EventJournal journal_;
+  obs::IndexHealthMonitor health_;
   mutable Mutex runtimes_mu_;
   std::map<std::string, TableRuntime, std::less<>> runtimes_
       ADASKIP_GUARDED_BY(runtimes_mu_);

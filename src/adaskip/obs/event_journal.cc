@@ -1,0 +1,143 @@
+#include "adaskip/obs/event_journal.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "adaskip/obs/json.h"
+#include "adaskip/obs/metrics.h"
+
+namespace adaskip {
+namespace obs {
+namespace {
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string_view EventKindToString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kIndexAttach:
+      return "index_attach";
+    case EventKind::kIndexDetach:
+      return "index_detach";
+    case EventKind::kIndexStale:
+      return "index_stale";
+    case EventKind::kIndexAppend:
+      return "index_append";
+    case EventKind::kZoneSplit:
+      return "zone_split";
+    case EventKind::kZoneMerge:
+      return "zone_merge";
+    case EventKind::kTailAbsorb:
+      return "tail_absorb";
+    case EventKind::kImprintRebin:
+      return "imprint_rebin";
+    case EventKind::kImprintTailExtend:
+      return "imprint_tail_extend";
+    case EventKind::kModeChange:
+      return "mode_change";
+  }
+  return "unknown";
+}
+
+std::string JournalEvent::ToJson() const {
+  std::string out;
+  out += "{\"seq\":";
+  out += std::to_string(seq);
+  out += ",\"nanos\":";
+  out += std::to_string(nanos);
+  out += ",\"kind\":";
+  AppendJsonString(&out, EventKindToString(kind));
+  out += ",\"scope\":";
+  AppendJsonString(&out, scope);
+  out += ",\"query_seq\":";
+  out += std::to_string(query_seq);
+  out += ",\"args\":[";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(args[i]);
+  }
+  out += "],\"values\":[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    // Full precision, not the display-rounded AppendJsonDouble: replay
+    // reads split points back out of these.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", values[i]);
+    out += buf;
+  }
+  out += "]";
+  if (!detail.empty()) {
+    out += ",\"detail\":";
+    AppendJsonString(&out, detail);
+  }
+  out += '}';
+  return out;
+}
+
+EventJournal::EventJournal(EventJournalOptions options)
+    : options_(std::move(options)) {
+  if (options_.capacity < 1) options_.capacity = 1;
+}
+
+void EventJournal::AppendEvent(JournalEvent event) {
+  ADASKIP_METRIC_COUNTER(appended, "adaskip.journal.events",
+                         "Adaptation events appended to session journals");
+  appended.Increment();
+  MutexLock lock(&mu_);
+  event.seq = next_seq_++;
+  event.nanos = options_.clock ? options_.clock() : MonotonicNanos();
+  events_.push_back(std::move(event));
+  while (static_cast<int64_t>(events_.size()) > options_.capacity) {
+    if (options_.spill) options_.spill(events_.front());
+    events_.pop_front();
+    ++spilled_;
+    ADASKIP_METRIC_COUNTER(spilled, "adaskip.journal.spilled",
+                           "Journal events evicted to the spill callback");
+    spilled.Increment();
+  }
+}
+
+std::vector<JournalEvent> EventJournal::Snapshot() const {
+  MutexLock lock(&mu_);
+  return {events_.begin(), events_.end()};
+}
+
+std::vector<JournalEvent> EventJournal::Tail(int64_t n) const {
+  MutexLock lock(&mu_);
+  const int64_t size = static_cast<int64_t>(events_.size());
+  const int64_t skip = n >= size ? 0 : size - n;
+  return {events_.begin() + skip, events_.end()};
+}
+
+int64_t EventJournal::size() const {
+  MutexLock lock(&mu_);
+  return static_cast<int64_t>(events_.size());
+}
+
+int64_t EventJournal::total_appended() const {
+  MutexLock lock(&mu_);
+  return next_seq_ - 1;
+}
+
+int64_t EventJournal::spilled() const {
+  MutexLock lock(&mu_);
+  return spilled_;
+}
+
+std::string EventJournal::RenderJsonl() const {
+  std::string out;
+  for (const JournalEvent& event : Snapshot()) {
+    out += event.ToJson();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace adaskip

@@ -1,0 +1,146 @@
+#ifndef ADASKIP_OBS_EVENT_JOURNAL_H_
+#define ADASKIP_OBS_EVENT_JOURNAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adaskip/util/thread_annotations.h"
+
+/// The adaptation journal: an append-only, bounded record of every
+/// structural action the adaptive layer takes — zone splits, merges,
+/// tail absorptions, imprint rebins/extensions, cost-model mode flips,
+/// index attach/detach/stale transitions, appends. Where the metrics
+/// registry answers "how many splits ever", the journal answers "which
+/// zone split, when, into what" — and, because every structural event
+/// carries the inputs the mutation was computed from, a journal replayed
+/// against a fresh index reconstructs the live index's adaptation state
+/// (see adaptive/journal_replay.h; the replay-equivalence test is the
+/// correctness oracle for the adaptive structures).
+///
+/// Emission discipline: library code never calls
+/// EventJournal::AppendEvent directly — events go through the
+/// ADASKIP_JOURNAL_EVENT macro below (enforced by the adaskip_lint rule
+/// `journal-emission`), so every call site is null-guarded the same way
+/// and the blessed emission points stay greppable.
+
+namespace adaskip {
+namespace obs {
+
+/// What happened. Structural kinds (split/merge/absorb/rebin/extend/
+/// append/mode) carry enough payload to be replayed; lifecycle kinds
+/// (attach/detach/stale) document the index's history.
+enum class EventKind : int8_t {
+  kIndexAttach = 0,       // Index built and attached to a column.
+  kIndexDetach = 1,       // Index dropped.
+  kIndexStale = 2,        // Stale index rejected a query (version skew).
+  kIndexAppend = 3,       // args = [begin, end) routed to the index.
+  kZoneSplit = 4,         // args = [parent_begin, parent_end, cuts...].
+  kZoneMerge = 5,         // args = [merged_begin, merged_end).
+  kTailAbsorb = 6,        // args = [zone_begin, zone_end, chunk_rows].
+  kImprintRebin = 7,      // args/values = the new split points.
+  kImprintTailExtend = 8, // args = [created_splits, splits...]/values.
+  kModeChange = 9,        // detail = "active" | "bypass".
+};
+
+std::string_view EventKindToString(EventKind kind);
+
+/// One journal entry. `seq` and `nanos` are assigned by the journal at
+/// append time (monotonic sequence; injected clock). `scope` identifies
+/// the index ("table.column"), `query_seq` the emitting index's own query
+/// counter (0 when the event is not tied to a query). The payload
+/// convention per kind is documented on EventKind; integral payloads ride
+/// in `args`, floating-point ones (float/double split points) in
+/// `values` — both lossless, which is what makes replay bit-exact.
+struct JournalEvent {
+  int64_t seq = 0;
+  int64_t nanos = 0;
+  EventKind kind = EventKind::kIndexAttach;
+  std::string scope;
+  int64_t query_seq = 0;
+  std::vector<int64_t> args;
+  std::vector<double> values;
+  std::string detail;
+
+  /// Renders this event as one JSON object.
+  std::string ToJson() const;
+};
+
+/// Journal construction knobs.
+struct EventJournalOptions {
+  /// Retained events; older events are evicted (to `spill`, if set).
+  int64_t capacity = 4096;
+
+  /// Receives each evicted event, oldest first, before it is dropped —
+  /// the hook for feeding a durable sink. Called with the journal's lock
+  /// held, from whichever thread appended the overflowing event: keep it
+  /// cheap and never call back into the journal.
+  std::function<void(const JournalEvent&)> spill;
+
+  /// Timestamp source (nanoseconds; origin is the caller's business).
+  /// Defaults to a process-monotonic clock; tests inject a fake for
+  /// deterministic timestamps.
+  std::function<int64_t()> clock;
+};
+
+/// Append-only bounded event log. Internally synchronized — adaptation
+/// runs coordinator-only per table, but one session journal collects
+/// events from all of its tables, so appends may arrive from several
+/// coordinator threads at once.
+class EventJournal {
+ public:
+  explicit EventJournal(EventJournalOptions options = {});
+
+  EventJournal(const EventJournal&) = delete;
+  EventJournal& operator=(const EventJournal&) = delete;
+
+  /// Stamps `event` (sequence number, clock) and appends it, evicting the
+  /// oldest retained event to the spill callback when full. Library code
+  /// calls this through ADASKIP_JOURNAL_EVENT only.
+  void AppendEvent(JournalEvent event) ADASKIP_EXCLUDES(mu_);
+
+  /// All retained events, oldest first.
+  std::vector<JournalEvent> Snapshot() const ADASKIP_EXCLUDES(mu_);
+
+  /// The most recent `n` retained events, oldest first.
+  std::vector<JournalEvent> Tail(int64_t n) const ADASKIP_EXCLUDES(mu_);
+
+  /// Currently retained events.
+  int64_t size() const ADASKIP_EXCLUDES(mu_);
+
+  /// Events ever appended (== the last assigned sequence number).
+  int64_t total_appended() const ADASKIP_EXCLUDES(mu_);
+
+  /// Events evicted to the spill callback (or dropped without one).
+  int64_t spilled() const ADASKIP_EXCLUDES(mu_);
+
+  /// One JSON object per line, oldest first (the retained window only).
+  std::string RenderJsonl() const ADASKIP_EXCLUDES(mu_);
+
+ private:
+  EventJournalOptions options_;
+  mutable Mutex mu_;
+  std::deque<JournalEvent> events_ ADASKIP_GUARDED_BY(mu_);
+  int64_t next_seq_ ADASKIP_GUARDED_BY(mu_) = 1;
+  int64_t spilled_ ADASKIP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace obs
+}  // namespace adaskip
+
+/// The blessed emission point (see the `journal-emission` lint rule):
+/// evaluates `journal_ptr` once, appends only when a journal is bound.
+/// Event construction stays at the call site, behind the caller's own
+/// null check, so unjournaled runs pay one branch and build nothing.
+#define ADASKIP_JOURNAL_EVENT(journal_ptr, event)                   \
+  do {                                                              \
+    ::adaskip::obs::EventJournal* adaskip_journal_ = (journal_ptr); \
+    if (adaskip_journal_ != nullptr) {                              \
+      adaskip_journal_->AppendEvent(event);                         \
+    }                                                               \
+  } while (0)
+
+#endif  // ADASKIP_OBS_EVENT_JOURNAL_H_

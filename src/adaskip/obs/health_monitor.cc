@@ -1,0 +1,167 @@
+#include "adaskip/obs/health_monitor.h"
+
+#include "adaskip/obs/json.h"
+#include "adaskip/obs/metrics.h"
+
+namespace adaskip {
+namespace obs {
+
+std::string_view HealthVerdictToString(HealthVerdict verdict) {
+  switch (verdict) {
+    case HealthVerdict::kHealthy:
+      return "healthy";
+    case HealthVerdict::kAdapting:
+      return "adapting";
+    case HealthVerdict::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
+
+IndexHealthMonitor::IndexHealthMonitor(HealthMonitorOptions options)
+    : options_(options), series_(options.window_capacity) {}
+
+void IndexHealthMonitor::SetOptions(const HealthMonitorOptions& options) {
+  // window_capacity is fixed at construction (the series rings are
+  // already sized); everything else takes effect at the next window
+  // close.
+  MutexLock lock(&mu_);
+  options_ = options;
+}
+
+void IndexHealthMonitor::RecordQuery(std::string_view scope, int64_t nanos,
+                                     double skipped_fraction,
+                                     int64_t adapt_nanos,
+                                     int64_t total_nanos) {
+  MutexLock lock(&mu_);
+  auto it = scopes_.find(scope);
+  if (it == scopes_.end()) {
+    it = scopes_.emplace(std::string(scope), ScopeState{}).first;
+  }
+  ScopeState& state = it->second;
+  ++state.queries_observed;
+  ++state.window_count;
+  state.window_skip_sum += skipped_fraction;
+  state.window_adapt_nanos += adapt_nanos;
+  state.window_total_nanos += total_nanos;
+  if (state.window_count >= options_.window_queries) {
+    CloseWindow(it->first, &state, nanos);
+  }
+}
+
+void IndexHealthMonitor::CloseWindow(std::string_view scope,
+                                     ScopeState* state, int64_t nanos) {
+  const double window_skip =
+      state->window_skip_sum / static_cast<double>(state->window_count);
+  const double adapt_cost =
+      state->window_total_nanos > 0
+          ? static_cast<double>(state->window_adapt_nanos) /
+                static_cast<double>(state->window_total_nanos)
+          : 0.0;
+  state->prev_window_skip = state->last_window_skip;
+  state->last_window_skip = window_skip;
+  state->last_window_adapt_cost = adapt_cost;
+  if (state->windows_completed == 0 ||
+      window_skip > state->best_window_skip) {
+    state->best_window_skip = window_skip;
+  }
+  ++state->windows_completed;
+  state->window_count = 0;
+  state->window_skip_sum = 0.0;
+  state->window_adapt_nanos = 0;
+  state->window_total_nanos = 0;
+
+  series_.Record(std::string(scope) + ".window_skip", nanos, window_skip);
+  series_.Record(std::string(scope) + ".window_adapt_cost", nanos,
+                 adapt_cost);
+
+  // The verdict, from the completed-window trends. Active adaptation
+  // (cost spend, or a climbing skip ratio) dominates the degraded alarm:
+  // an index visibly reorganizing after drift is doing its job.
+  HealthVerdict verdict = HealthVerdict::kHealthy;
+  if (state->windows_completed >= options_.min_windows) {
+    const bool adapting =
+        adapt_cost > options_.adapting_cost_fraction ||
+        (state->windows_completed > 1 &&
+         window_skip >
+             state->prev_window_skip + options_.adapting_skip_delta);
+    const bool degraded =
+        window_skip < state->best_window_skip - options_.degrade_drop;
+    if (adapting) {
+      verdict = HealthVerdict::kAdapting;
+    } else if (degraded) {
+      verdict = HealthVerdict::kDegraded;
+    }
+  }
+  if (verdict == HealthVerdict::kDegraded &&
+      state->verdict != HealthVerdict::kDegraded) {
+    ADASKIP_METRIC_COUNTER(degraded, "adaskip.health.degraded_verdicts",
+                           "Index health transitions into the degraded "
+                           "(drift alarm) verdict");
+    degraded.Increment();
+  }
+  state->verdict = verdict;
+}
+
+IndexHealth IndexHealthMonitor::HealthLocked(std::string_view scope,
+                                             const ScopeState& state) const {
+  IndexHealth health;
+  health.scope = std::string(scope);
+  health.verdict = state.verdict;
+  health.queries_observed = state.queries_observed;
+  health.windows_completed = state.windows_completed;
+  health.last_window_skip = state.last_window_skip;
+  health.best_window_skip = state.best_window_skip;
+  health.last_window_adapt_cost = state.last_window_adapt_cost;
+  return health;
+}
+
+IndexHealth IndexHealthMonitor::Health(std::string_view scope) const {
+  MutexLock lock(&mu_);
+  auto it = scopes_.find(scope);
+  if (it == scopes_.end()) {
+    IndexHealth health;
+    health.scope = std::string(scope);
+    return health;
+  }
+  return HealthLocked(it->first, it->second);
+}
+
+std::vector<IndexHealth> IndexHealthMonitor::Report() const {
+  MutexLock lock(&mu_);
+  std::vector<IndexHealth> report;
+  report.reserve(scopes_.size());
+  for (const auto& [scope, state] : scopes_) {
+    report.push_back(HealthLocked(scope, state));
+  }
+  return report;
+}
+
+std::string IndexHealthMonitor::ToJson() const {
+  std::string out = "{\"health\":[";
+  bool first = true;
+  for (const IndexHealth& health : Report()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"scope\":";
+    AppendJsonString(&out, health.scope);
+    out += ",\"verdict\":";
+    AppendJsonString(&out, HealthVerdictToString(health.verdict));
+    out += ",\"queries_observed\":";
+    out += std::to_string(health.queries_observed);
+    out += ",\"windows_completed\":";
+    out += std::to_string(health.windows_completed);
+    out += ",\"last_window_skip\":";
+    AppendJsonDouble(&out, health.last_window_skip);
+    out += ",\"best_window_skip\":";
+    AppendJsonDouble(&out, health.best_window_skip);
+    out += ",\"last_window_adapt_cost\":";
+    AppendJsonDouble(&out, health.last_window_adapt_cost);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace adaskip

@@ -1,0 +1,146 @@
+#ifndef ADASKIP_OBS_HEALTH_MONITOR_H_
+#define ADASKIP_OBS_HEALTH_MONITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adaskip/obs/time_series.h"
+#include "adaskip/util/thread_annotations.h"
+
+/// Longitudinal per-index health: accumulates per-query effectiveness
+/// into fixed-size query windows, pushes each completed window into the
+/// time-series layer, and turns the windowed skip-ratio / adapt-cost
+/// trends into a drift verdict. This is the piece that notices what a
+/// point-in-time metrics snapshot cannot: a workload drifting off the
+/// region an index refined for (EXPERIMENTS fig6) shows up as a falling
+/// windowed skip ratio long before anyone reads a zone map.
+
+namespace adaskip {
+namespace obs {
+
+/// The monitor's verdict for one index.
+///   kHealthy   Windowed skip ratio near its historical best, little
+///              adaptation spend.
+///   kAdapting  The index is actively reorganizing (adaptation cost above
+///              threshold, or the skip ratio is climbing) — expected
+///              during warmup and right after drift.
+///   kDegraded  The skip ratio fell well below its best and the index is
+///              NOT visibly adapting its way back — the drift alarm.
+enum class HealthVerdict : int8_t {
+  kHealthy = 0,
+  kAdapting = 1,
+  kDegraded = 2,
+};
+
+std::string_view HealthVerdictToString(HealthVerdict verdict);
+
+struct HealthMonitorOptions {
+  /// Queries per aggregation window.
+  int64_t window_queries = 32;
+
+  /// Windows retained per series (see TimeSeriesRecorder).
+  int64_t window_capacity = 64;
+
+  /// Completed windows required before any verdict other than kHealthy —
+  /// there is no trend to judge before that.
+  int64_t min_windows = 2;
+
+  /// kDegraded when the last window's skip ratio is below the best
+  /// completed window's by more than this (absolute fraction of rows).
+  double degrade_drop = 0.15;
+
+  /// kAdapting when the last window spent more than this fraction of its
+  /// query time on adaptation.
+  double adapting_cost_fraction = 0.05;
+
+  /// kAdapting when the windowed skip ratio rose by more than this over
+  /// the previous window (the index is climbing back).
+  double adapting_skip_delta = 0.02;
+};
+
+/// Point-in-time health of one monitored index scope.
+struct IndexHealth {
+  std::string scope;  // "table.column".
+  HealthVerdict verdict = HealthVerdict::kHealthy;
+  int64_t queries_observed = 0;
+  int64_t windows_completed = 0;
+  double last_window_skip = 0.0;       // Mean skipped fraction, last window.
+  double best_window_skip = 0.0;       // Best completed window so far.
+  double last_window_adapt_cost = 0.0; // Adapt / total nanos, last window.
+};
+
+/// Aggregates per-query feedback into windows and verdicts. Internally
+/// synchronized: one session monitor collects from all of its tables'
+/// coordinator threads.
+class IndexHealthMonitor {
+ public:
+  explicit IndexHealthMonitor(HealthMonitorOptions options = {});
+
+  IndexHealthMonitor(const IndexHealthMonitor&) = delete;
+  IndexHealthMonitor& operator=(const IndexHealthMonitor&) = delete;
+
+  /// Replaces the options. Applies to windows that have not closed yet;
+  /// per-scope accumulation state is preserved. Intended for configuring
+  /// a fresh monitor, not for live retuning mid-window.
+  void SetOptions(const HealthMonitorOptions& options) ADASKIP_EXCLUDES(mu_);
+
+  /// Feeds one completed query on `scope` ("table.column"): its skipped
+  /// fraction, adaptation nanos, and total nanos. `nanos` is the
+  /// timestamp used for window series points.
+  void RecordQuery(std::string_view scope, int64_t nanos,
+                   double skipped_fraction, int64_t adapt_nanos,
+                   int64_t total_nanos) ADASKIP_EXCLUDES(mu_);
+
+  /// Current health of `scope` (a default kHealthy IndexHealth if the
+  /// scope was never recorded).
+  IndexHealth Health(std::string_view scope) const ADASKIP_EXCLUDES(mu_);
+
+  /// Health of every monitored scope, sorted by scope.
+  std::vector<IndexHealth> Report() const ADASKIP_EXCLUDES(mu_);
+
+  /// The windowed series behind the verdicts: per scope,
+  /// "<scope>.window_skip" and "<scope>.window_adapt_cost".
+  const TimeSeriesRecorder& series() const { return series_; }
+
+  /// {"health":[{scope,verdict,...},...]}
+  std::string ToJson() const ADASKIP_EXCLUDES(mu_);
+
+ private:
+  struct ScopeState {
+    // Current (open) window accumulators.
+    int64_t window_count = 0;
+    double window_skip_sum = 0.0;
+    int64_t window_adapt_nanos = 0;
+    int64_t window_total_nanos = 0;
+    // Completed-window state.
+    int64_t queries_observed = 0;
+    int64_t windows_completed = 0;
+    double last_window_skip = 0.0;
+    double prev_window_skip = 0.0;
+    double best_window_skip = 0.0;
+    double last_window_adapt_cost = 0.0;
+    HealthVerdict verdict = HealthVerdict::kHealthy;
+  };
+
+  /// Closes the open window of `state` and recomputes its verdict.
+  void CloseWindow(std::string_view scope, ScopeState* state, int64_t nanos)
+      ADASKIP_REQUIRES(mu_);
+
+  IndexHealth HealthLocked(std::string_view scope,
+                           const ScopeState& state) const
+      ADASKIP_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  HealthMonitorOptions options_ ADASKIP_GUARDED_BY(mu_);
+  std::map<std::string, ScopeState, std::less<>> scopes_
+      ADASKIP_GUARDED_BY(mu_);
+  TimeSeriesRecorder series_;
+};
+
+}  // namespace obs
+}  // namespace adaskip
+
+#endif  // ADASKIP_OBS_HEALTH_MONITOR_H_

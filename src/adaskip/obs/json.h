@@ -1,0 +1,30 @@
+#ifndef ADASKIP_OBS_JSON_H_
+#define ADASKIP_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+/// Minimal JSON rendering helpers shared by every exposition surface
+/// (query traces, the event journal, Session::DumpTelemetry, bench
+/// reports). Append-to-string style — the emitters build documents in one
+/// growing buffer; there is no DOM and no parser.
+
+namespace adaskip {
+namespace obs {
+
+/// Appends `s` with JSON string escaping (quotes, backslash, and control
+/// characters; the latter as \uXXXX). Does not add surrounding quotes.
+void AppendJsonEscaped(std::string* out, std::string_view s);
+
+/// Appends `s` as a quoted, escaped JSON string.
+void AppendJsonString(std::string* out, std::string_view s);
+
+/// Appends `value` with three decimal places — enough for the
+/// fractions/ratios the telemetry surfaces report, and stable across
+/// platforms (no locale, no exponent form for ordinary magnitudes).
+void AppendJsonDouble(std::string* out, double value);
+
+}  // namespace obs
+}  // namespace adaskip
+
+#endif  // ADASKIP_OBS_JSON_H_

@@ -2,46 +2,11 @@
 
 #include <cstdio>
 
+#include "adaskip/obs/json.h"
+
 namespace adaskip {
 namespace obs {
 namespace {
-
-void AppendDouble(std::string* out, double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.3f", value);
-  *out += buf;
-}
-
-void AppendJsonEscaped(std::string* out, std::string_view s) {
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      case '\r':
-        *out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          *out += buf;
-        } else {
-          *out += c;
-        }
-    }
-  }
-}
 
 void RenderSpanText(const TraceSpan& span, int depth, std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
@@ -106,7 +71,7 @@ std::string_view TraceLevelToString(TraceLevel level) {
 
 TraceSpan& TraceSpan::Set(std::string key, double value) {
   std::string rendered;
-  AppendDouble(&rendered, value);
+  AppendJsonDouble(&rendered, value);
   return Set(std::move(key), std::move(rendered));
 }
 

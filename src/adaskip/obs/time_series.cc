@@ -1,0 +1,120 @@
+#include "adaskip/obs/time_series.h"
+
+#include <utility>
+
+#include "adaskip/obs/json.h"
+#include "adaskip/obs/metrics.h"
+#include "adaskip/util/logging.h"
+
+namespace adaskip {
+namespace obs {
+
+TimeSeriesRing::TimeSeriesRing(int64_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {
+  points_.reserve(static_cast<size_t>(capacity_));
+}
+
+void TimeSeriesRing::Push(int64_t nanos, double value) {
+  if (static_cast<int64_t>(points_.size()) < capacity_) {
+    points_.push_back(SeriesPoint{nanos, value});
+  } else {
+    points_[static_cast<size_t>(head_)] = SeriesPoint{nanos, value};
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++total_pushed_;
+}
+
+std::vector<SeriesPoint> TimeSeriesRing::Snapshot() const {
+  std::vector<SeriesPoint> out;
+  out.reserve(points_.size());
+  const int64_t n = static_cast<int64_t>(points_.size());
+  for (int64_t i = 0; i < n; ++i) {
+    out.push_back(points_[static_cast<size_t>((head_ + i) % n)]);
+  }
+  return out;
+}
+
+const SeriesPoint& TimeSeriesRing::back() const {
+  ADASKIP_DCHECK(!points_.empty());
+  const int64_t n = static_cast<int64_t>(points_.size());
+  return points_[static_cast<size_t>((head_ + n - 1) % n)];
+}
+
+TimeSeriesRecorder::TimeSeriesRecorder(int64_t window_capacity)
+    : window_capacity_(window_capacity < 1 ? 1 : window_capacity) {}
+
+void TimeSeriesRecorder::Record(std::string_view series, int64_t nanos,
+                                double value) {
+  MutexLock lock(&mu_);
+  auto it = series_.find(series);
+  if (it == series_.end()) {
+    it = series_
+             .emplace(std::string(series), TimeSeriesRing(window_capacity_))
+             .first;
+  }
+  it->second.Push(nanos, value);
+}
+
+void TimeSeriesRecorder::SampleRegistry(int64_t nanos) {
+  // Snapshot outside mu_ — the registry has its own lock and never calls
+  // back into the recorder.
+  std::vector<MetricSample> samples = MetricsRegistry::Global().Snapshot();
+  MutexLock lock(&mu_);
+  for (const MetricSample& sample : samples) {
+    if (sample.kind != MetricSample::Kind::kCounter) continue;
+    auto it = series_.find(sample.name);
+    if (it == series_.end()) {
+      it = series_
+               .emplace(sample.name, TimeSeriesRing(window_capacity_))
+               .first;
+    }
+    it->second.Push(nanos, static_cast<double>(sample.value));
+  }
+}
+
+std::vector<std::string> TimeSeriesRecorder::SeriesNames() const {
+  MutexLock lock(&mu_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, ring] : series_) names.push_back(name);
+  return names;
+}
+
+std::vector<SeriesPoint> TimeSeriesRecorder::Series(
+    std::string_view series) const {
+  MutexLock lock(&mu_);
+  auto it = series_.find(series);
+  return it == series_.end() ? std::vector<SeriesPoint>{}
+                             : it->second.Snapshot();
+}
+
+std::string TimeSeriesRecorder::ToJson() const {
+  MutexLock lock(&mu_);
+  std::string out = "{\"series\":[";
+  bool first_series = true;
+  for (const auto& [name, ring] : series_) {
+    if (!first_series) out += ',';
+    first_series = false;
+    out += "{\"name\":";
+    AppendJsonString(&out, name);
+    out += ",\"total_pushed\":";
+    out += std::to_string(ring.total_pushed());
+    out += ",\"points\":[";
+    bool first_point = true;
+    for (const SeriesPoint& point : ring.Snapshot()) {
+      if (!first_point) out += ',';
+      first_point = false;
+      out += '[';
+      out += std::to_string(point.nanos);
+      out += ',';
+      AppendJsonDouble(&out, point.value);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace adaskip

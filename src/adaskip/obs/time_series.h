@@ -1,0 +1,92 @@
+#ifndef ADASKIP_OBS_TIME_SERIES_H_
+#define ADASKIP_OBS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adaskip/util/thread_annotations.h"
+
+/// Windowed time series over the observability layer: named rings of
+/// (nanos, value) points with a fixed per-series capacity, so longitudinal
+/// telemetry (per-index skip ratio per window, adaptation cost per
+/// window, registry counter levels) stays bounded no matter how long the
+/// process runs. The health monitor reads trends out of these; the
+/// telemetry dump renders them.
+
+namespace adaskip {
+namespace obs {
+
+/// One sample of one series.
+struct SeriesPoint {
+  int64_t nanos = 0;
+  double value = 0.0;
+};
+
+/// Fixed-capacity ring of SeriesPoints, oldest evicted first. Not
+/// internally synchronized — TimeSeriesRecorder guards access.
+class TimeSeriesRing {
+ public:
+  explicit TimeSeriesRing(int64_t capacity);
+
+  void Push(int64_t nanos, double value);
+
+  /// Retained points, oldest first.
+  std::vector<SeriesPoint> Snapshot() const;
+
+  int64_t size() const { return static_cast<int64_t>(points_.size()); }
+  int64_t capacity() const { return capacity_; }
+  int64_t total_pushed() const { return total_pushed_; }
+
+  /// Most recent point; size() must be > 0.
+  const SeriesPoint& back() const;
+
+ private:
+  int64_t capacity_;
+  int64_t head_ = 0;  // Index of the oldest point once the ring is full.
+  int64_t total_pushed_ = 0;
+  std::vector<SeriesPoint> points_;
+};
+
+/// A map of named series, each a fixed-size ring window. Internally
+/// synchronized; recording is a map lookup plus a ring push, cheap enough
+/// to call once per query window (not once per query).
+class TimeSeriesRecorder {
+ public:
+  explicit TimeSeriesRecorder(int64_t window_capacity = 64);
+
+  TimeSeriesRecorder(const TimeSeriesRecorder&) = delete;
+  TimeSeriesRecorder& operator=(const TimeSeriesRecorder&) = delete;
+
+  /// Appends one point to `series` (created on first use).
+  void Record(std::string_view series, int64_t nanos, double value)
+      ADASKIP_EXCLUDES(mu_);
+
+  /// Pushes the current value of every registered counter metric as a
+  /// point on a series of the same name — one longitudinal sample of the
+  /// registry.
+  void SampleRegistry(int64_t nanos) ADASKIP_EXCLUDES(mu_);
+
+  /// Sorted names of all series recorded so far.
+  std::vector<std::string> SeriesNames() const ADASKIP_EXCLUDES(mu_);
+
+  /// Retained points of `series`, oldest first (empty if unknown).
+  std::vector<SeriesPoint> Series(std::string_view series) const
+      ADASKIP_EXCLUDES(mu_);
+
+  /// {"series":[{"name":...,"points":[[nanos,value],...]},...]}
+  std::string ToJson() const ADASKIP_EXCLUDES(mu_);
+
+ private:
+  const int64_t window_capacity_;
+  mutable Mutex mu_;
+  std::map<std::string, TimeSeriesRing, std::less<>> series_
+      ADASKIP_GUARDED_BY(mu_);
+};
+
+}  // namespace obs
+}  // namespace adaskip
+
+#endif  // ADASKIP_OBS_TIME_SERIES_H_

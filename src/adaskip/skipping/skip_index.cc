@@ -1,8 +1,32 @@
 #include "adaskip/skipping/skip_index.h"
 
+#include <utility>
+
+#include "adaskip/obs/event_journal.h"
+
 namespace adaskip {
 
 SkipIndex::~SkipIndex() = default;
+
+Status SkipIndex::ApplyJournalEvent(const obs::JournalEvent& event) {
+  return Status::Unimplemented(
+      "index '" + std::string(name()) + "' does not support journal replay (" +
+      std::string(obs::EventKindToString(event.kind)) + " event)");
+}
+
+void SkipIndex::EmitJournal(obs::EventKind kind, int64_t query_seq,
+                            std::vector<int64_t> args,
+                            std::vector<double> values, std::string detail) {
+  if (journal_ == nullptr) return;
+  obs::JournalEvent event;
+  event.kind = kind;
+  event.scope = journal_scope_;
+  event.query_seq = query_seq;
+  event.args = std::move(args);
+  event.values = std::move(values);
+  event.detail = std::move(detail);
+  ADASKIP_JOURNAL_EVENT(journal_, std::move(event));
+}
 
 void FullScanIndex::Probe(const Predicate& pred,
                           std::vector<RowRange>* candidates,

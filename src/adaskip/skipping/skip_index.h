@@ -7,8 +7,15 @@
 
 #include "adaskip/scan/predicate.h"
 #include "adaskip/util/interval_set.h"
+#include "adaskip/util/status.h"
 
 namespace adaskip {
+
+namespace obs {
+enum class EventKind : int8_t;
+struct JournalEvent;
+class EventJournal;
+}  // namespace obs
 
 /// Metadata-read accounting for one probe. The paper's central tension is
 /// that these reads are pure overhead when they do not translate into
@@ -53,6 +60,13 @@ struct AdaptationProfile {
   bool bypass = false;          // Currently in SkippingMode::kBypass.
   bool cost_model_enabled = false;
   double net_benefit_per_row = 0.0;  // Cost model verdict; >0 = probing pays.
+
+  // Effectiveness-tracker state (EWMAs over non-bypassed queries); zero
+  // for static structures. Surfaced so DescribeIndex / EXPLAIN expose
+  // what the cost model actually decides on.
+  double skipped_fraction_ewma = 0.0;  // EWMA of rows skipped / rows total.
+  double entries_per_row_ewma = 0.0;   // EWMA of metadata entries / row.
+  int64_t queries_observed = 0;        // Tracker sample count.
 };
 
 /// A lightweight skipping structure over one column.
@@ -137,6 +151,38 @@ class SkipIndex {
 
   /// Number of zones (metadata granules); 1 for structures without zones.
   virtual int64_t ZoneCount() const = 0;
+
+  // --- Adaptation journal (obs/event_journal.h) ---
+
+  /// Binds (or, with nullptr, unbinds) the journal this index emits its
+  /// adaptation events to, under `scope` ("table.column"). Mutation-hook
+  /// discipline applies: call only from the index's coordinator thread.
+  void BindJournal(obs::EventJournal* journal, std::string scope) {
+    journal_ = journal;
+    journal_scope_ = std::move(scope);
+  }
+  obs::EventJournal* journal() const { return journal_; }
+  const std::string& journal_scope() const { return journal_scope_; }
+
+  /// Applies one replayed journal event to this index — the inverse of
+  /// emission: a fresh index fed the journal's structural events (in
+  /// order) reconstructs the live index's adaptation state (see
+  /// adaptive/journal_replay.h for the equivalence contract). The default
+  /// refuses: static structures take no journaled actions.
+  virtual Status ApplyJournalEvent(const obs::JournalEvent& event);
+
+ protected:
+  /// Stamps scope and forwards one event to the bound journal (no-op when
+  /// none is bound). Call sites guard with `journal() != nullptr` before
+  /// building payload vectors, so unjournaled runs pay one branch.
+  void EmitJournal(obs::EventKind kind, int64_t query_seq,
+                   std::vector<int64_t> args = {},
+                   std::vector<double> values = {},
+                   std::string detail = {});
+
+ private:
+  obs::EventJournal* journal_ = nullptr;
+  std::string journal_scope_;
 };
 
 /// The no-skipping baseline: every probe returns the full row range at

@@ -21,7 +21,14 @@ namespace {
 constexpr int kNumTables = 4;
 constexpr int kQueriesPerTable = 32;
 
-std::string TableName(int64_t t) { return "t" + std::to_string(t); }
+std::string TableName(int64_t t) {
+  // Built with += rather than operator+(const char*, string&&): the
+  // latter's inlined insert trips a GCC 12 -Wrestrict false positive
+  // under -Werror Release builds.
+  std::string name = "t";
+  name += std::to_string(t);
+  return name;
+}
 
 TEST(ParallelSessionStatsTest, ConcurrentExecuteAcrossTablesSumsStats) {
   Session session;

@@ -1,0 +1,306 @@
+// The journal-replay equivalence oracle: a fresh index built over the
+// same column payload, fed the live index's journal, must reach
+// bit-identical structural state — zones/bounds/mode/counters for the
+// adaptive zonemap, split points/imprint words/mode/counters for the
+// adaptive imprints (see adaptive/journal_replay.h for the contract).
+
+#include "adaskip/adaptive/journal_replay.h"
+
+#include <gtest/gtest.h>
+
+#include "adaskip/adaptive/adaptive_imprints.h"
+#include "adaskip/adaptive/adaptive_zone_map.h"
+#include "adaskip/workload/data_generator.h"
+#include "adaskip/workload/query_generator.h"
+
+namespace adaskip {
+namespace {
+
+constexpr std::string_view kScope = "t.x";
+
+// Drives the full executor protocol against an index directly: probe,
+// reference scan counting, per-range feedback, query completion.
+template <typename Index>
+void RunQueryProtocol(Index* index, const Predicate& pred,
+                      std::span<const int64_t> values) {
+  std::vector<RowRange> candidates;
+  ProbeStats stats;
+  index->Probe(pred, &candidates, &stats);
+  ValueInterval<int64_t> interval = pred.ToInterval<int64_t>();
+  int64_t scanned = 0;
+  int64_t matched = 0;
+  for (const RowRange& range : candidates) {
+    int64_t matches = reference::CountMatches(values, range, interval);
+    scanned += range.size();
+    matched += matches;
+    index->OnRangeScanned(pred, RangeFeedback{range, matches});
+  }
+  QueryFeedback feedback;
+  feedback.rows_total = static_cast<int64_t>(values.size());
+  feedback.rows_scanned = scanned;
+  feedback.rows_matched = matched;
+  feedback.probe = stats;
+  index->OnQueryComplete(pred, feedback);
+}
+
+template <typename Index>
+void RunWorkload(Index* index, std::span<const int64_t> values,
+                 QueryPattern pattern, int num_queries, uint64_t seed) {
+  QueryGenOptions qgen;
+  qgen.pattern = pattern;
+  qgen.selectivity = 0.01;
+  qgen.seed = seed;
+  QueryGenerator<int64_t> generator("x", values, qgen);
+  for (int i = 0; i < num_queries; ++i) {
+    RunQueryProtocol(index, generator.Next(), values);
+  }
+}
+
+void ExpectZoneMapsEqual(const AdaptiveZoneMapT<int64_t>& live,
+                         const AdaptiveZoneMapT<int64_t>& replayed) {
+  EXPECT_EQ(live.mode(), replayed.mode());
+  EXPECT_EQ(live.split_count(), replayed.split_count());
+  EXPECT_EQ(live.merge_count(), replayed.merge_count());
+  EXPECT_EQ(live.absorb_count(), replayed.absorb_count());
+  EXPECT_EQ(live.num_rows(), replayed.num_rows());
+  ASSERT_EQ(live.zones().size(), replayed.zones().size());
+  for (size_t i = 0; i < live.zones().size(); ++i) {
+    const auto& a = live.zones()[i];
+    const auto& b = replayed.zones()[i];
+    EXPECT_EQ(a.begin, b.begin) << "zone " << i;
+    EXPECT_EQ(a.end, b.end) << "zone " << i;
+    EXPECT_EQ(a.min, b.min) << "zone " << i;
+    EXPECT_EQ(a.max, b.max) << "zone " << i;
+    EXPECT_EQ(a.conservative, b.conservative) << "zone " << i;
+  }
+  EXPECT_TRUE(replayed.CheckInvariants());
+}
+
+void ExpectImprintsEqual(const AdaptiveImprintsT<int64_t>& live,
+                         const AdaptiveImprintsT<int64_t>& replayed) {
+  EXPECT_EQ(live.mode(), replayed.mode());
+  EXPECT_EQ(live.rebin_count(), replayed.rebin_count());
+  EXPECT_EQ(live.tail_extend_count(), replayed.tail_extend_count());
+  EXPECT_EQ(live.imprinted_rows(), replayed.imprinted_rows());
+  EXPECT_EQ(live.split_points(), replayed.split_points());
+  EXPECT_EQ(live.imprint_words(), replayed.imprint_words());
+}
+
+AdaptiveOptions ZoneMapOptionsForTest() {
+  AdaptiveOptions options;
+  options.initial_zone_size = 0;  // Single lazy zone; refinement does it all.
+  options.min_zone_size = 64;
+  options.policy = SplitPolicy::kBoundary;
+  options.enable_cost_model = false;
+  options.enable_merging = true;
+  options.merge_check_interval = 16;
+  options.merge_cold_age = 32;
+  return options;
+}
+
+TEST(JournalReplayTest, ZoneMapReplayMatchesLiveAfterAdaptiveWorkload) {
+  TypedColumn<int64_t> column(GenerateData<int64_t>(
+      {.order = DataOrder::kClustered, .num_rows = 40000, .seed = 11}));
+  std::span<const int64_t> values = column.data();
+
+  obs::EventJournalOptions journal_options;
+  journal_options.capacity = 1 << 16;
+  obs::EventJournal journal(std::move(journal_options));
+  AdaptiveZoneMapT<int64_t> live(column, ZoneMapOptionsForTest());
+  live.BindJournal(&journal, std::string(kScope));
+  RunWorkload(&live, values, QueryPattern::kUniform, 256, 77);
+  ASSERT_GT(live.split_count(), 0) << "workload refined nothing to replay";
+
+  AdaptiveZoneMapT<int64_t> fresh(column, ZoneMapOptionsForTest());
+  ASSERT_EQ(journal.spilled(), 0);
+  Status status = ReplayJournal(journal.Snapshot(), kScope, &fresh);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ExpectZoneMapsEqual(live, fresh);
+}
+
+TEST(JournalReplayTest, ZoneMapReplayCoversAppendsAndTailAbsorption) {
+  DataGenOptions gen{
+      .order = DataOrder::kClustered, .num_rows = 12000, .seed = 3};
+  TypedColumn<int64_t> column(GenerateData<int64_t>(gen));
+  // The replay twin must see the pre-append payload, so build it before
+  // the column grows; appends reach it only through the journal.
+  AdaptiveOptions options = ZoneMapOptionsForTest();
+  options.initial_zone_size = 1024;
+  obs::EventJournalOptions journal_options;
+  journal_options.capacity = 1 << 16;
+  obs::EventJournal journal(std::move(journal_options));
+  AdaptiveZoneMapT<int64_t> live(column, options);
+  AdaptiveZoneMapT<int64_t> fresh(column, options);
+  live.BindJournal(&journal, std::string(kScope));
+
+  RunWorkload(&live, column.data(), QueryPattern::kUniform, 64, 5);
+  gen.seed = 4;
+  gen.num_rows = 6000;
+  RowRange appended = column.Append(
+      std::span<const int64_t>(GenerateData<int64_t>(gen)));
+  live.OnAppend(appended);
+  RunWorkload(&live, column.data(), QueryPattern::kUniform, 128, 6);
+  ASSERT_GT(live.absorb_count(), 0)
+      << "workload never absorbed a conservative tail zone";
+
+  Status status = ReplayJournal(journal.Snapshot(), kScope, &fresh);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ExpectZoneMapsEqual(live, fresh);
+}
+
+TEST(JournalReplayTest, ZoneMapCostModelBypassIsReplayed) {
+  // Hostile (uniform) data: the cost model should give up on skipping,
+  // and the replayed twin must land in the same mode.
+  TypedColumn<int64_t> column(GenerateData<int64_t>(
+      {.order = DataOrder::kUniform, .num_rows = 20000, .seed = 9}));
+  AdaptiveOptions options;
+  options.initial_zone_size = 512;
+  options.min_zone_size = 64;
+  options.enable_cost_model = true;
+  options.cost_model_warmup_queries = 4;
+  options.enable_merging = false;
+
+  obs::EventJournalOptions journal_options;
+  journal_options.capacity = 1 << 16;
+  obs::EventJournal journal(std::move(journal_options));
+  AdaptiveZoneMapT<int64_t> live(column, options);
+  live.BindJournal(&journal, std::string(kScope));
+  RunWorkload(&live, column.data(), QueryPattern::kUniform, 96, 21);
+  ASSERT_EQ(live.mode(), SkippingMode::kBypass)
+      << "uniform data should have tripped the kill switch";
+
+  AdaptiveZoneMapT<int64_t> fresh(column, options);
+  Status status = ReplayJournal(journal.Snapshot(), kScope, &fresh);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ExpectZoneMapsEqual(live, fresh);
+}
+
+TEST(JournalReplayTest, ImprintsReplayMatchesLiveAfterRebin) {
+  TypedColumn<int64_t> column(GenerateData<int64_t>(
+      {.order = DataOrder::kAlmostSorted, .num_rows = 30000, .seed = 13}));
+  AdaptiveImprintsOptions options;
+  options.rebin_check_interval = 8;
+  options.rebin_cooldown = 8;
+  options.rebin_false_positive_threshold = 0.0;
+  options.rebin_min_skip = 1.0;  // Always eligible: force rebins.
+  options.enable_cost_model = false;
+
+  obs::EventJournalOptions journal_options;
+  journal_options.capacity = 1 << 16;
+  obs::EventJournal journal(std::move(journal_options));
+  AdaptiveImprintsT<int64_t> live(column, options);
+  live.BindJournal(&journal, std::string(kScope));
+  RunWorkload(&live, column.data(), QueryPattern::kSkewed, 128, 31);
+  ASSERT_GT(live.rebin_count(), 0) << "workload triggered no rebin";
+
+  AdaptiveImprintsT<int64_t> fresh(column, options);
+  Status status = ReplayJournal(journal.Snapshot(), kScope, &fresh);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ExpectImprintsEqual(live, fresh);
+}
+
+TEST(JournalReplayTest, ImprintsReplayCoversAppendsAndTailExtension) {
+  DataGenOptions gen{
+      .order = DataOrder::kClustered, .num_rows = 10000, .seed = 17};
+  TypedColumn<int64_t> column(GenerateData<int64_t>(gen));
+  AdaptiveImprintsOptions options;
+  options.enable_cost_model = false;
+
+  obs::EventJournalOptions journal_options;
+  journal_options.capacity = 1 << 16;
+  obs::EventJournal journal(std::move(journal_options));
+  AdaptiveImprintsT<int64_t> live(column, options);
+  AdaptiveImprintsT<int64_t> fresh(column, options);
+  live.BindJournal(&journal, std::string(kScope));
+
+  RunWorkload(&live, column.data(), QueryPattern::kUniform, 32, 41);
+  gen.seed = 18;
+  gen.num_rows = 5000;
+  RowRange appended = column.Append(
+      std::span<const int64_t>(GenerateData<int64_t>(gen)));
+  live.OnAppend(appended);
+  RunWorkload(&live, column.data(), QueryPattern::kUniform, 64, 43);
+  ASSERT_GT(live.tail_extend_count(), 0)
+      << "workload never extended imprints over the appended tail";
+
+  Status status = ReplayJournal(journal.Snapshot(), kScope, &fresh);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ExpectImprintsEqual(live, fresh);
+}
+
+TEST(JournalReplayTest, SpilledPrefixPlusRetainedWindowReplays) {
+  TypedColumn<int64_t> column(GenerateData<int64_t>(
+      {.order = DataOrder::kClustered, .num_rows = 30000, .seed = 23}));
+  std::vector<obs::JournalEvent> spilled;
+  obs::EventJournalOptions journal_options;
+  journal_options.capacity = 8;  // Force heavy eviction.
+  journal_options.spill = [&spilled](const obs::JournalEvent& event) {
+    spilled.push_back(event);
+  };
+  obs::EventJournal journal(std::move(journal_options));
+
+  AdaptiveZoneMapT<int64_t> live(column, ZoneMapOptionsForTest());
+  live.BindJournal(&journal, std::string(kScope));
+  RunWorkload(&live, column.data(), QueryPattern::kUniform, 192, 51);
+  ASSERT_GT(journal.spilled(), 0);
+  ASSERT_EQ(journal.spilled(), static_cast<int64_t>(spilled.size()));
+
+  // The full stream is the spilled prefix followed by the retained tail.
+  std::vector<obs::JournalEvent> events = std::move(spilled);
+  for (obs::JournalEvent& event : journal.Snapshot()) {
+    events.push_back(std::move(event));
+  }
+  for (size_t i = 1; i < events.size(); ++i) {
+    ASSERT_EQ(events[i].seq, events[i - 1].seq + 1) << "gap in the stream";
+  }
+
+  AdaptiveZoneMapT<int64_t> fresh(column, ZoneMapOptionsForTest());
+  Status status = ReplayJournal(events, kScope, &fresh);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ExpectZoneMapsEqual(live, fresh);
+}
+
+TEST(JournalReplayTest, RefusesTargetWithBoundJournal) {
+  TypedColumn<int64_t> column(std::vector<int64_t>{1, 2, 3, 4});
+  obs::EventJournal journal;
+  AdaptiveZoneMapT<int64_t> index(column, {});
+  index.BindJournal(&journal, std::string(kScope));
+  Status status = ReplayJournal({}, kScope, &index);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(JournalReplayTest, ErrorsCarryTheOffendingSequenceNumber) {
+  TypedColumn<int64_t> column(std::vector<int64_t>{1, 2, 3, 4, 5, 6, 7, 8});
+  AdaptiveZoneMapT<int64_t> index(column, {});
+  obs::JournalEvent bogus;
+  bogus.seq = 41;
+  bogus.kind = obs::EventKind::kZoneSplit;
+  bogus.scope = std::string(kScope);
+  bogus.args = {100, 200, 150};  // No such zone.
+  std::vector<obs::JournalEvent> events = {bogus};
+  Status status = ReplayJournal(events, kScope, &index);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("seq 41"), std::string::npos)
+      << status.message();
+}
+
+TEST(JournalReplayTest, EventsFromOtherScopesAreIgnored) {
+  TypedColumn<int64_t> column(GenerateData<int64_t>(
+      {.order = DataOrder::kClustered, .num_rows = 20000, .seed = 29}));
+  obs::EventJournalOptions journal_options;
+  journal_options.capacity = 1 << 16;
+  obs::EventJournal journal(std::move(journal_options));
+  AdaptiveZoneMapT<int64_t> live(column, ZoneMapOptionsForTest());
+  live.BindJournal(&journal, std::string(kScope));
+  RunWorkload(&live, column.data(), QueryPattern::kUniform, 64, 61);
+  ASSERT_GT(live.split_count(), 0);
+
+  AdaptiveZoneMapT<int64_t> fresh(column, ZoneMapOptionsForTest());
+  Status status = ReplayJournal(journal.Snapshot(), "other.scope", &fresh);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(fresh.split_count(), 0);
+  EXPECT_EQ(fresh.ZoneCount(), 1);
+}
+
+}  // namespace
+}  // namespace adaskip

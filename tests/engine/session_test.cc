@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "adaskip/adaptive/adaptive_zone_map.h"
 #include "adaskip/workload/data_generator.h"
 
@@ -120,6 +122,78 @@ TEST(SessionTest, AdaptiveIndexIsIntrospectable) {
   EXPECT_GT(snapshot->zone_count, 1);
   EXPECT_EQ(snapshot->num_rows, 20000);
   EXPECT_FALSE(snapshot->adaptation.bypass);
+}
+
+TEST(SessionTest, TelemetryTogglesJournalHealthAndDump) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t").ok());
+  DataGenOptions gen;
+  gen.order = DataOrder::kSorted;
+  gen.num_rows = 20000;
+  gen.value_range = 20000;
+  ASSERT_TRUE(
+      session.AddColumn<int64_t>("t", "x", GenerateData<int64_t>(gen)).ok());
+  AdaptiveOptions adaptive;
+  adaptive.min_zone_size = 128;
+  ASSERT_TRUE(
+      session.AttachIndex("t", "x", IndexOptions::Adaptive(adaptive)).ok());
+
+  // Both toggles default off: queries leave the journal and the health
+  // monitor untouched.
+  ASSERT_TRUE(session
+                  .Execute("t", Query::Count(
+                                    Predicate::Between<int64_t>("x", 0, 150)))
+                  .ok());
+  EXPECT_EQ(session.journal().total_appended(), 0);
+  EXPECT_TRUE(session.HealthReport().empty());
+
+  obs::HealthMonitorOptions health;
+  health.window_queries = 4;
+  health.min_windows = 2;
+  session.SetHealthMonitorOptions(health);
+  ExecOptions exec;
+  exec.journal_events = true;
+  exec.time_series = true;
+  ASSERT_TRUE(session.SetExecOptions("t", exec).ok());
+  for (int i = 0; i < 12; ++i) {
+    int64_t lo = 1000 * i;
+    ASSERT_TRUE(session
+                    .Execute("t", Query::Count(Predicate::Between<int64_t>(
+                                      "x", lo, lo + 150)))
+                    .ok());
+  }
+  // The adaptive index split under this workload, and every structural
+  // action landed in the session journal under the table.column scope.
+  EXPECT_GT(session.journal().total_appended(), 0);
+  ASSERT_FALSE(session.journal().Tail(1).empty());
+  EXPECT_EQ(session.journal().Tail(1)[0].scope, "t.x");
+  std::vector<obs::IndexHealth> report = session.HealthReport();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report[0].scope, "t.x");
+  EXPECT_EQ(report[0].queries_observed, 12);
+  EXPECT_GT(report[0].windows_completed, 0);
+
+  std::ostringstream dump;
+  session.DumpTelemetry(dump);
+  const std::string json = dump.str();
+  EXPECT_NE(json.find("\"journal\""), std::string::npos);
+  EXPECT_NE(json.find("\"health\""), std::string::npos);
+  EXPECT_NE(json.find("\"time_series\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("t.x"), std::string::npos);
+
+  // Toggling journaling back off unbinds the journal: further structural
+  // actions are not recorded.
+  ASSERT_TRUE(session.SetExecOptions("t", ExecOptions()).ok());
+  const int64_t before = session.journal().total_appended();
+  for (int i = 0; i < 12; ++i) {
+    int64_t lo = 500 + 1000 * i;
+    ASSERT_TRUE(session
+                    .Execute("t", Query::Count(Predicate::Between<int64_t>(
+                                      "x", lo, lo + 150)))
+                    .ok());
+  }
+  EXPECT_EQ(session.journal().total_appended(), before);
 }
 
 TEST(SessionTest, DeprecatedGetIndexShimStillWorks) {

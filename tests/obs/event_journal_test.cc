@@ -1,0 +1,140 @@
+#include "adaskip/obs/event_journal.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace adaskip {
+namespace obs {
+namespace {
+
+JournalEvent MakeEvent(EventKind kind, std::string scope = "t.x") {
+  JournalEvent event;
+  event.kind = kind;
+  event.scope = std::move(scope);
+  return event;
+}
+
+TEST(EventJournalTest, AssignsMonotonicSequenceNumbers) {
+  EventJournal journal;
+  for (int i = 0; i < 5; ++i) {
+    journal.AppendEvent(MakeEvent(EventKind::kZoneSplit));
+  }
+  std::vector<JournalEvent> events = journal.Snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, static_cast<int64_t>(i) + 1);
+  }
+  EXPECT_EQ(journal.total_appended(), 5);
+  EXPECT_EQ(journal.size(), 5);
+  EXPECT_EQ(journal.spilled(), 0);
+}
+
+TEST(EventJournalTest, UsesInjectedClock) {
+  int64_t now = 100;
+  EventJournalOptions options;
+  options.clock = [&now] { return now; };
+  EventJournal journal(std::move(options));
+  journal.AppendEvent(MakeEvent(EventKind::kZoneSplit));
+  now = 250;
+  journal.AppendEvent(MakeEvent(EventKind::kZoneMerge));
+  std::vector<JournalEvent> events = journal.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].nanos, 100);
+  EXPECT_EQ(events[1].nanos, 250);
+}
+
+TEST(EventJournalTest, EvictsOldestToSpillWhenFull) {
+  std::vector<int64_t> spilled_seqs;
+  EventJournalOptions options;
+  options.capacity = 3;
+  options.spill = [&spilled_seqs](const JournalEvent& event) {
+    spilled_seqs.push_back(event.seq);
+  };
+  EventJournal journal(std::move(options));
+  for (int i = 0; i < 7; ++i) {
+    journal.AppendEvent(MakeEvent(EventKind::kZoneSplit));
+  }
+  EXPECT_EQ(journal.size(), 3);
+  EXPECT_EQ(journal.total_appended(), 7);
+  EXPECT_EQ(journal.spilled(), 4);
+  EXPECT_EQ(spilled_seqs, (std::vector<int64_t>{1, 2, 3, 4}));
+  std::vector<JournalEvent> retained = journal.Snapshot();
+  ASSERT_EQ(retained.size(), 3u);
+  EXPECT_EQ(retained.front().seq, 5);
+  EXPECT_EQ(retained.back().seq, 7);
+}
+
+TEST(EventJournalTest, TailReturnsMostRecentOldestFirst) {
+  EventJournal journal;
+  for (int i = 0; i < 6; ++i) {
+    journal.AppendEvent(MakeEvent(EventKind::kZoneSplit));
+  }
+  std::vector<JournalEvent> tail = journal.Tail(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].seq, 5);
+  EXPECT_EQ(tail[1].seq, 6);
+  EXPECT_EQ(journal.Tail(100).size(), 6u);
+  EXPECT_TRUE(journal.Tail(0).empty());
+}
+
+TEST(EventJournalTest, ToJsonCarriesPayloadAndEscapesDetail) {
+  EventJournalOptions options;
+  options.clock = [] { return int64_t{42}; };
+  EventJournal journal(std::move(options));
+  JournalEvent event = MakeEvent(EventKind::kZoneSplit, "t.\"x\"");
+  event.query_seq = 9;
+  event.args = {0, 100, 50};
+  event.values = {0.5};
+  event.detail = "line1\nline2";
+  journal.AppendEvent(std::move(event));
+  const std::string json = journal.Snapshot()[0].ToJson();
+  EXPECT_NE(json.find("\"seq\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"nanos\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kind\":\"zone_split\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"scope\":\"t.\\\"x\\\"\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"query_seq\":9"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"args\":[0,100,50]"), std::string::npos) << json;
+  EXPECT_NE(json.find("0.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("line1\\nline2"), std::string::npos) << json;
+}
+
+TEST(EventJournalTest, RenderJsonlEmitsOneObjectPerLine) {
+  EventJournal journal;
+  journal.AppendEvent(MakeEvent(EventKind::kIndexAttach));
+  journal.AppendEvent(MakeEvent(EventKind::kModeChange));
+  const std::string jsonl = journal.RenderJsonl();
+  size_t lines = 0;
+  for (char c : jsonl) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_NE(jsonl.find("index_attach"), std::string::npos);
+  EXPECT_NE(jsonl.find("mode_change"), std::string::npos);
+}
+
+TEST(EventJournalTest, MacroSkipsAppendWhenUnbound) {
+  EventJournal journal;
+  EventJournal* bound = &journal;
+  EventJournal* unbound = nullptr;
+  ADASKIP_JOURNAL_EVENT(unbound, MakeEvent(EventKind::kZoneSplit));
+  ADASKIP_JOURNAL_EVENT(bound, MakeEvent(EventKind::kZoneSplit));
+  EXPECT_EQ(journal.total_appended(), 1);
+}
+
+TEST(EventJournalTest, EventKindNamesAreStable) {
+  EXPECT_EQ(EventKindToString(EventKind::kIndexAttach), "index_attach");
+  EXPECT_EQ(EventKindToString(EventKind::kIndexStale), "index_stale");
+  EXPECT_EQ(EventKindToString(EventKind::kZoneSplit), "zone_split");
+  EXPECT_EQ(EventKindToString(EventKind::kZoneMerge), "zone_merge");
+  EXPECT_EQ(EventKindToString(EventKind::kTailAbsorb), "tail_absorb");
+  EXPECT_EQ(EventKindToString(EventKind::kImprintRebin), "imprint_rebin");
+  EXPECT_EQ(EventKindToString(EventKind::kImprintTailExtend),
+            "imprint_tail_extend");
+  EXPECT_EQ(EventKindToString(EventKind::kModeChange), "mode_change");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace adaskip

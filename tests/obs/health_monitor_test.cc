@@ -1,0 +1,155 @@
+#include "adaskip/obs/health_monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace adaskip {
+namespace obs {
+namespace {
+
+HealthMonitorOptions SmallWindows() {
+  HealthMonitorOptions options;
+  options.window_queries = 4;
+  options.min_windows = 2;
+  options.degrade_drop = 0.15;
+  options.adapting_cost_fraction = 0.05;
+  options.adapting_skip_delta = 0.02;
+  return options;
+}
+
+// Feeds one full window of identical queries.
+void FeedWindow(IndexHealthMonitor* monitor, std::string_view scope,
+                int64_t* nanos, double skip, int64_t adapt_nanos = 0,
+                int64_t total_nanos = 1000) {
+  for (int i = 0; i < 4; ++i) {
+    monitor->RecordQuery(scope, (*nanos)++, skip, adapt_nanos, total_nanos);
+  }
+}
+
+TEST(HealthMonitorTest, UnknownScopeIsHealthyDefault) {
+  IndexHealthMonitor monitor(SmallWindows());
+  IndexHealth health = monitor.Health("t.x");
+  EXPECT_EQ(health.verdict, HealthVerdict::kHealthy);
+  EXPECT_EQ(health.queries_observed, 0);
+  EXPECT_TRUE(monitor.Report().empty());
+}
+
+TEST(HealthMonitorTest, WindowsCloseAtConfiguredQueryCount) {
+  IndexHealthMonitor monitor(SmallWindows());
+  int64_t nanos = 0;
+  for (int i = 0; i < 3; ++i) {
+    monitor.RecordQuery("t.x", nanos++, 0.9, 0, 1000);
+  }
+  EXPECT_EQ(monitor.Health("t.x").windows_completed, 0);
+  monitor.RecordQuery("t.x", nanos++, 0.9, 0, 1000);
+  IndexHealth health = monitor.Health("t.x");
+  EXPECT_EQ(health.windows_completed, 1);
+  EXPECT_EQ(health.queries_observed, 4);
+  EXPECT_DOUBLE_EQ(health.last_window_skip, 0.9);
+  EXPECT_DOUBLE_EQ(health.best_window_skip, 0.9);
+}
+
+TEST(HealthMonitorTest, StableSkipStaysHealthy) {
+  IndexHealthMonitor monitor(SmallWindows());
+  int64_t nanos = 0;
+  for (int w = 0; w < 4; ++w) {
+    FeedWindow(&monitor, "t.x", &nanos, 0.9);
+  }
+  EXPECT_EQ(monitor.Health("t.x").verdict, HealthVerdict::kHealthy);
+}
+
+TEST(HealthMonitorTest, SkipCollapseTurnsDegradedAfterMinWindows) {
+  IndexHealthMonitor monitor(SmallWindows());
+  int64_t nanos = 0;
+  FeedWindow(&monitor, "t.x", &nanos, 0.9);
+  // One completed window < min_windows: the collapse may not be judged
+  // yet.
+  FeedWindow(&monitor, "t.x", &nanos, 0.3);
+  EXPECT_EQ(monitor.Health("t.x").verdict, HealthVerdict::kDegraded);
+  IndexHealth health = monitor.Health("t.x");
+  EXPECT_DOUBLE_EQ(health.best_window_skip, 0.9);
+  EXPECT_DOUBLE_EQ(health.last_window_skip, 0.3);
+}
+
+TEST(HealthMonitorTest, FirstWindowAloneIsNeverDegraded) {
+  IndexHealthMonitor monitor(SmallWindows());
+  int64_t nanos = 0;
+  FeedWindow(&monitor, "t.x", &nanos, 0.1);
+  EXPECT_EQ(monitor.Health("t.x").verdict, HealthVerdict::kHealthy);
+}
+
+TEST(HealthMonitorTest, AdaptationSpendReadsAsAdaptingNotDegraded) {
+  IndexHealthMonitor monitor(SmallWindows());
+  int64_t nanos = 0;
+  FeedWindow(&monitor, "t.x", &nanos, 0.9);
+  // Skip collapsed, but 20% of query time goes to adaptation: the index
+  // is visibly fighting back, so the verdict is kAdapting.
+  FeedWindow(&monitor, "t.x", &nanos, 0.3, /*adapt_nanos=*/200);
+  EXPECT_EQ(monitor.Health("t.x").verdict, HealthVerdict::kAdapting);
+}
+
+TEST(HealthMonitorTest, RisingSkipReadsAsAdapting) {
+  IndexHealthMonitor monitor(SmallWindows());
+  int64_t nanos = 0;
+  FeedWindow(&monitor, "t.x", &nanos, 0.5);
+  FeedWindow(&monitor, "t.x", &nanos, 0.6);
+  EXPECT_EQ(monitor.Health("t.x").verdict, HealthVerdict::kAdapting);
+}
+
+TEST(HealthMonitorTest, RecoveryReturnsToHealthy) {
+  IndexHealthMonitor monitor(SmallWindows());
+  int64_t nanos = 0;
+  FeedWindow(&monitor, "t.x", &nanos, 0.9);
+  FeedWindow(&monitor, "t.x", &nanos, 0.3);
+  ASSERT_EQ(monitor.Health("t.x").verdict, HealthVerdict::kDegraded);
+  FeedWindow(&monitor, "t.x", &nanos, 0.88);  // Climb back (kAdapting)...
+  FeedWindow(&monitor, "t.x", &nanos, 0.89);  // ...then stabilize.
+  EXPECT_EQ(monitor.Health("t.x").verdict, HealthVerdict::kHealthy);
+}
+
+TEST(HealthMonitorTest, ScopesAreIndependentAndReportIsSorted) {
+  IndexHealthMonitor monitor(SmallWindows());
+  int64_t nanos = 0;
+  FeedWindow(&monitor, "t.y", &nanos, 0.9);
+  FeedWindow(&monitor, "t.x", &nanos, 0.9);
+  FeedWindow(&monitor, "t.y", &nanos, 0.3);
+  std::vector<IndexHealth> report = monitor.Report();
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].scope, "t.x");
+  EXPECT_EQ(report[1].scope, "t.y");
+  EXPECT_EQ(report[0].verdict, HealthVerdict::kHealthy);
+  EXPECT_EQ(report[1].verdict, HealthVerdict::kDegraded);
+}
+
+TEST(HealthMonitorTest, CompletedWindowsFeedTheSeries) {
+  IndexHealthMonitor monitor(SmallWindows());
+  int64_t nanos = 0;
+  FeedWindow(&monitor, "t.x", &nanos, 0.9, /*adapt_nanos=*/100);
+  FeedWindow(&monitor, "t.x", &nanos, 0.5, /*adapt_nanos=*/100);
+  std::vector<SeriesPoint> skip = monitor.series().Series("t.x.window_skip");
+  ASSERT_EQ(skip.size(), 2u);
+  EXPECT_DOUBLE_EQ(skip[0].value, 0.9);
+  EXPECT_DOUBLE_EQ(skip[1].value, 0.5);
+  std::vector<SeriesPoint> cost =
+      monitor.series().Series("t.x.window_adapt_cost");
+  ASSERT_EQ(cost.size(), 2u);
+  EXPECT_DOUBLE_EQ(cost[0].value, 0.1);
+}
+
+TEST(HealthMonitorTest, ToJsonListsEveryScope) {
+  IndexHealthMonitor monitor(SmallWindows());
+  int64_t nanos = 0;
+  FeedWindow(&monitor, "t.x", &nanos, 0.9);
+  const std::string json = monitor.ToJson();
+  EXPECT_NE(json.find("\"t.x\""), std::string::npos) << json;
+  EXPECT_NE(json.find("healthy"), std::string::npos) << json;
+}
+
+TEST(HealthMonitorTest, VerdictNamesAreStable) {
+  EXPECT_EQ(HealthVerdictToString(HealthVerdict::kHealthy), "healthy");
+  EXPECT_EQ(HealthVerdictToString(HealthVerdict::kAdapting), "adapting");
+  EXPECT_EQ(HealthVerdictToString(HealthVerdict::kDegraded), "degraded");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace adaskip

@@ -99,5 +99,53 @@ TEST(QueryTraceTest, ToJsonIsWellFormedAndEscaped) {
   EXPECT_FALSE(in_string);
 }
 
+TEST(QueryTraceTest, ControlCharactersEscapeAsUnicode) {
+  QueryTrace trace(TraceLevel::kDetail);
+  // Split literals: "\x01b" would otherwise parse as one hex escape.
+  trace.root().Set("payload", std::string("a\x01"
+                                          "b\x1f"
+                                          "c\rd"));
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\\u0001"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\u001f"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\r"), std::string::npos) << json;
+  // None of the raw control bytes leak through.
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+  EXPECT_EQ(json.find('\x1f'), std::string::npos);
+  EXPECT_EQ(json.find('\r'), std::string::npos);
+}
+
+TEST(QueryTraceTest, AttributeKeysAreEscapedToo) {
+  QueryTrace trace(TraceLevel::kSummary);
+  trace.root().Set("weird\"key", "value");
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("weird\\\"key"), std::string::npos) << json;
+}
+
+TEST(QueryTraceTest, DetailChildCapLeavesMarkerNotOverflow) {
+  // The executor caps per-range children at kMaxDetailChildren and sets
+  // "detail_elided" instead of growing without bound; this exercises the
+  // rendering side of that contract — a span at the cap with the marker
+  // still renders every child plus the marker.
+  QueryTrace trace(TraceLevel::kDetail);
+  TraceSpan scan("scan");
+  for (int64_t i = 0; i < QueryTrace::kMaxDetailChildren; ++i) {
+    TraceSpan child("range");
+    child.Set("begin", i * 10).Set("end", i * 10 + 10);
+    scan.AddChild(std::move(child));
+  }
+  scan.Set("detail_elided", int64_t{936});
+  trace.root().AddChild(std::move(scan));
+
+  const TraceSpan* rendered = trace.root().FindChild("scan");
+  ASSERT_NE(rendered, nullptr);
+  EXPECT_EQ(static_cast<int64_t>(rendered->children.size()),
+            QueryTrace::kMaxDetailChildren);
+  EXPECT_EQ(rendered->Attr("detail_elided"), "936");
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"detail_elided\":\"936\""), std::string::npos)
+      << json.substr(0, 200);
+}
+
 }  // namespace
 }  // namespace adaskip::obs

@@ -334,6 +334,23 @@ void Linter::CheckMetricRegistration(const std::string& path,
   }
 }
 
+void Linter::CheckJournalEmission(const std::string& path,
+                                  const std::string& stripped) {
+  // obs/ holds the journal itself and the tests that poke it directly.
+  if (PathContains(path, "obs/")) return;
+  static const std::regex kAppend(R"(\bAppendEvent\s*\()");
+  for (auto it =
+           std::sregex_iterator(stripped.begin(), stripped.end(), kAppend);
+       it != std::sregex_iterator(); ++it) {
+    const size_t off = static_cast<size_t>(it->position());
+    Report(path, LineOf(stripped, off), "journal-emission",
+           "direct EventJournal::AppendEvent call outside obs/ — emit "
+           "adaptation events with ADASKIP_JOURNAL_EVENT "
+           "(obs/event_journal.h) so the null-journal guard and the replay "
+           "contract are enforced at one macro");
+  }
+}
+
 void Linter::HarvestWorkloadStats(const std::string& path,
                                   const std::string& stripped) {
   // Field declarations inside `class WorkloadStats { ... }`.
@@ -393,6 +410,7 @@ void Linter::LintFile(const std::string& path, const std::string& content) {
   CheckSkipIndexOverrides(path, stripped);
   CheckForbiddenTokens(path, stripped);
   CheckMetricRegistration(path, stripped);
+  CheckJournalEmission(path, stripped);
   HarvestWorkloadStats(path, stripped);
 }
 

@@ -46,6 +46,14 @@
 ///                         ADASKIP_NO_METRICS. Ad-hoc counter statics
 ///                         are the "private metric nobody can find"
 ///                         failure mode.
+///   journal-emission      No direct EventJournal::AppendEvent calls
+///                         outside obs/ — adaptation events are emitted
+///                         through ADASKIP_JOURNAL_EVENT
+///                         (obs/event_journal.h) so every call site gets
+///                         the null-journal guard and the replay
+///                         contract ("journal the inputs the mutation
+///                         was computed from") stays auditable at one
+///                         macro.
 ///
 /// Suppressions: a trailing comment `adaskip-lint: allow(<rule-id>)`
 /// silences that rule on its own line; a standalone comment (nothing but
@@ -53,9 +61,10 @@
 /// Path scoping: files whose path contains "util/" are exempt from the
 /// naked-new / raw-thread / raw-sync-primitive / static-mutable-state
 /// rules (util/ is where the blessed wrappers live); files whose path
-/// contains "obs/" are exempt from metric-registration (the registry
-/// implementation and its tests must call the raw API); files under
-/// "tools/" are never scanned.
+/// contains "obs/" are exempt from metric-registration and
+/// journal-emission (the registry/journal implementations and their
+/// tests must call the raw APIs); files under "tools/" are never
+/// scanned.
 
 namespace adaskip_lint {
 
@@ -99,6 +108,8 @@ class Linter {
                             const std::string& stripped);
   void CheckMetricRegistration(const std::string& path,
                                const std::string& stripped);
+  void CheckJournalEmission(const std::string& path,
+                            const std::string& stripped);
   void HarvestWorkloadStats(const std::string& path,
                             const std::string& stripped);
 

@@ -150,6 +150,40 @@ TEST(BadFixtures, MetricRegistrationSuppressible) {
   EXPECT_TRUE(linter.Finish().empty());
 }
 
+TEST(BadFixtures, AdhocJournalEmissionFlagged) {
+  const std::vector<LintIssue> issues = LintUnderLabel(
+      "bad/adhoc_journal.cc", "src/adaskip/adaptive/adhoc_journal.cc");
+  // Two direct AppendEvent calls; the macro use is fine.
+  EXPECT_EQ(CountRule(issues, "journal-emission"), 2);
+  EXPECT_EQ(issues.size(), 2u);
+  for (const LintIssue& issue : issues) {
+    EXPECT_NE(issue.message.find("ADASKIP_JOURNAL_EVENT"),
+              std::string::npos);
+  }
+}
+
+TEST(BadFixtures, JournalEmissionExemptUnderObs) {
+  // The journal implementation and its tests live in obs/ and must call
+  // the raw API.
+  const std::vector<LintIssue> issues = LintUnderLabel(
+      "bad/adhoc_journal.cc", "src/adaskip/obs/adhoc_journal.cc");
+  EXPECT_EQ(CountRule(issues, "journal-emission"), 0);
+  const std::vector<LintIssue> test_issues = LintUnderLabel(
+      "bad/adhoc_journal.cc", "tests/obs/adhoc_journal_test.cc");
+  EXPECT_EQ(CountRule(test_issues, "journal-emission"), 0);
+}
+
+TEST(BadFixtures, JournalEmissionSuppressible) {
+  Linter linter;
+  linter.LintFile(
+      "src/adaskip/engine/s.cc",
+      "void F(adaskip::obs::EventJournal* j) {\n"
+      "  // adaskip-lint: allow(journal-emission)\n"
+      "  j->AppendEvent({});\n"
+      "}\n");
+  EXPECT_TRUE(linter.Finish().empty());
+}
+
 TEST(BadFixtures, StatsDriftFlagged) {
   const std::vector<LintIssue> issues = LintUnderLabel(
       "bad/stats_drift.cc", "src/adaskip/engine/stats_drift.cc");

@@ -1,0 +1,32 @@
+// Fixture for the journal-emission rule: adaptation events appended to
+// the journal directly instead of through ADASKIP_JOURNAL_EVENT. Linted
+// under a src/adaskip/adaptive/ label.
+
+#include "adaskip/obs/event_journal.h"
+
+namespace adaskip {
+
+void RecordSplitBadly(obs::EventJournal* journal) {
+  obs::JournalEvent event;
+  event.kind = obs::EventKind::kZoneSplit;
+  event.scope = "t.x";
+  // BAD: direct append — skips the null-journal guard, so this crashes
+  // the moment journaling is toggled off.
+  journal->AppendEvent(std::move(event));
+}
+
+void RecordMergeBadly(obs::EventJournal& journal) {
+  obs::JournalEvent event;
+  event.kind = obs::EventKind::kZoneMerge;
+  // BAD: same through a reference.
+  journal.AppendEvent(std::move(event));
+}
+
+void RecordProperly(obs::EventJournal* journal) {
+  obs::JournalEvent event;
+  event.kind = obs::EventKind::kTailAbsorb;
+  // GOOD: the macro is the blessed emission path.
+  ADASKIP_JOURNAL_EVENT(journal, std::move(event));
+}
+
+}  // namespace adaskip
