@@ -5,7 +5,7 @@
 
 #include "adaskip/obs/event_journal.h"
 #include "adaskip/obs/metrics.h"
-#include "adaskip/scan/scan_kernel.h"
+#include "adaskip/scan/simd/kernel_dispatch.h"
 #include "adaskip/storage/type_dispatch.h"
 #include "adaskip/util/stopwatch.h"
 
@@ -39,7 +39,7 @@ AdaptiveZoneMapT<T>::AdaptiveZoneMapT(const TypedColumn<T>& column,
 template <typename T>
 MinMax<T> AdaptiveZoneMapT<T>::ZoneMinMax(int64_t begin, int64_t end) const {
   std::span<const T> values = column_->SpanFor(begin, end);
-  return ComputeMinMax(values, 0, end - begin);
+  return simd::ComputeMinMax(values, 0, end - begin);
 }
 
 template <typename T>

@@ -14,4 +14,20 @@ SkippingMode CostModel::Decide(const EffectivenessTracker& tracker,
   return benefit > 0.0 ? SkippingMode::kActive : SkippingMode::kBypass;
 }
 
+SegmentLayout DecideSegmentLayout(const SegmentLayoutInputs& inputs,
+                                  const SegmentLayoutPolicy& policy) {
+  if (inputs.rows < policy.min_rows) return SegmentLayout::kRaw;
+  if (!inputs.magnitude_ok) return SegmentLayout::kRaw;
+  if (inputs.bits_required <= 0 || inputs.bits_required > policy.max_bits) {
+    return SegmentLayout::kRaw;
+  }
+  if (inputs.queries_observed >= policy.feedback_warmup &&
+      inputs.skipped_fraction_ewma > policy.skip_saturation) {
+    // The index already skips (nearly) everything here; a faster scan
+    // representation would accelerate scans that rarely happen.
+    return SegmentLayout::kRaw;
+  }
+  return SegmentLayout::kPacked;
+}
+
 }  // namespace adaskip

@@ -62,6 +62,54 @@ class CostModel {
   double reactivation_threshold_;
 };
 
+// ---------------------------------------------------------------------------
+// Per-segment physical-layout decision (ByteStore-style hybrid layouts).
+// The same adaptive machinery that decides probe-vs-bypass also decides,
+// at segment-seal time, whether a segment stores raw values or
+// frame-of-reference bit-packed codes (storage/segment_layout.h). Inputs
+// combine the observed value range (can it pack at all, and how tightly)
+// with query feedback from the column's skip index (segments that are
+// almost always skipped gain nothing from a faster scan representation).
+// ---------------------------------------------------------------------------
+
+/// Physical layout of one column segment.
+enum class SegmentLayout : int8_t {
+  kRaw = 0,
+  kPacked = 1,
+};
+
+/// What the layout decision sees about one freshly sealed segment.
+struct SegmentLayoutInputs {
+  int64_t rows = 0;             // Rows in the segment.
+  int bits_required = 0;        // Exact code width the value range needs.
+  bool magnitude_ok = false;    // |min|,|max| within kMaxPackedMagnitude.
+  int64_t queries_observed = 0; // Queries the column's index has seen.
+  // EWMA of the fraction of rows the index skips (0 when no feedback).
+  double skipped_fraction_ewma = 0.0;
+};
+
+/// Tunables for DecideSegmentLayout. Defaults favour packing whenever it
+/// is cheap and the workload actually scans the data.
+struct SegmentLayoutPolicy {
+  // Segments smaller than this stay raw: packing overhead cannot pay off.
+  int64_t min_rows = 4096;
+  // Widest acceptable code; beyond it the packed scan loses its edge.
+  int max_bits = 16;
+  // Below this many observed queries, feedback is ignored (decide on the
+  // value range alone). Mirrors the probe cost model's warmup.
+  int64_t feedback_warmup = 32;
+  // With mature feedback, a segment whose rows are skipped more often
+  // than this stays raw — skipping already avoids the scans that packing
+  // would accelerate.
+  double skip_saturation = 0.95;
+};
+
+/// Pure layout verdict for one sealed segment. Deterministic in its
+/// inputs — the journal records the inputs, so replay re-derives the
+/// identical verdict.
+SegmentLayout DecideSegmentLayout(const SegmentLayoutInputs& inputs,
+                                  const SegmentLayoutPolicy& policy);
+
 }  // namespace adaskip
 
 #endif  // ADASKIP_ADAPTIVE_COST_MODEL_H_

@@ -1,5 +1,9 @@
 #include "adaskip/adaptive/journal_replay.h"
 
+#include <string>
+
+#include "adaskip/adaptive/cost_model.h"
+#include "adaskip/storage/segment_layout.h"
 #include "adaskip/util/logging.h"
 
 namespace adaskip {
@@ -19,10 +23,78 @@ Status ReplayJournal(std::span<const obs::JournalEvent> events,
       case obs::EventKind::kIndexDetach:
       case obs::EventKind::kIndexStale:
         continue;  // Lifecycle history, not index state.
+      case obs::EventKind::kSegmentLayout:
+        continue;  // Storage state, not index state: see
+                   // ReplaySegmentLayouts.
       default:
         break;
     }
     Status status = index->ApplyJournalEvent(event);
+    if (!status.ok()) {
+      return Status(status.code(), "replay failed at journal seq " +
+                                       std::to_string(event.seq) + ": " +
+                                       std::string(status.message()));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+template <typename T>
+Status ApplySegmentLayoutEvent(const obs::JournalEvent& event,
+                               TypedColumn<T>* column) {
+  // args = [segment, begin_row, rows, layout, bits, base, bits_required].
+  if (event.args.size() < 7) {
+    return Status::InvalidArgument("segment_layout event carries " +
+                                   std::to_string(event.args.size()) +
+                                   " args, want 7");
+  }
+  if (event.args[3] != static_cast<int64_t>(SegmentLayout::kPacked)) {
+    return Status::OK();  // "raw" decisions leave the column untouched.
+  }
+  const int64_t segment = event.args[0];
+  const int bits = static_cast<int>(event.args[4]);
+  const T base = static_cast<T>(event.args[5]);
+  if (segment < 0 || segment >= column->num_segments()) {
+    return Status::InvalidArgument("segment " + std::to_string(segment) +
+                                   " out of range");
+  }
+  const std::span<const T> values = column->segment(segment);
+  if (static_cast<int64_t>(values.size()) != event.args[2]) {
+    return Status::FailedPrecondition(
+        "segment " + std::to_string(segment) + " holds " +
+        std::to_string(values.size()) + " rows, journal recorded " +
+        std::to_string(event.args[2]));
+  }
+  column->AdoptPackedLayout(segment, PackSegment<T>(values, base, bits));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ReplaySegmentLayouts(std::span<const obs::JournalEvent> events,
+                            std::string_view scope, Column* column) {
+  ADASKIP_CHECK(column != nullptr);
+  for (const obs::JournalEvent& event : events) {
+    if (event.scope != scope) continue;
+    if (event.kind != obs::EventKind::kSegmentLayout) continue;
+    Status status = Status::OK();
+    switch (column->type()) {
+      case DataType::kInt32:
+        status = ApplySegmentLayoutEvent(event, column->As<int32_t>());
+        break;
+      case DataType::kInt64:
+        status = ApplySegmentLayoutEvent(event, column->As<int64_t>());
+        break;
+      default:
+        if (event.args.size() > 3 &&
+            event.args[3] == static_cast<int64_t>(SegmentLayout::kPacked)) {
+          status = Status::InvalidArgument(
+              "packed layout event against a non-integer column");
+        }
+        break;
+    }
     if (!status.ok()) {
       return Status(status.code(), "replay failed at journal seq " +
                                        std::to_string(event.seq) + ": " +

@@ -6,6 +6,7 @@
 
 #include "adaskip/obs/event_journal.h"
 #include "adaskip/skipping/skip_index.h"
+#include "adaskip/storage/column.h"
 
 namespace adaskip {
 
@@ -38,6 +39,18 @@ namespace adaskip {
 /// the offending sequence number prepended.
 Status ReplayJournal(std::span<const obs::JournalEvent> events,
                      std::string_view scope, SkipIndex* index);
+
+/// Replays kSegmentLayout events whose scope matches `scope` against a
+/// fresh column holding the same payload: every journaled "packed"
+/// decision re-packs the named segment with the journaled base/width
+/// (journal-the-inputs, same as index replay), reproducing the live
+/// column's physical layout bit for bit — packed words included.
+/// kSegmentLayout is storage state, so ReplayJournal skips it and this
+/// entry point applies it; together they reconstruct index + storage.
+/// Only int32/int64 columns ever pack; a packed event against any other
+/// column type is an error.
+Status ReplaySegmentLayouts(std::span<const obs::JournalEvent> events,
+                            std::string_view scope, Column* column);
 
 }  // namespace adaskip
 

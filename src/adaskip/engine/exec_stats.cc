@@ -37,6 +37,7 @@ std::string QueryStats::ToString() const {
 void WorkloadStats::Record(const QueryStats& stats) {
   ++num_queries_;
   rows_scanned_ += stats.rows_scanned;
+  rows_scanned_packed_ += stats.rows_scanned_packed;
   rows_total_ += stats.rows_total;
   rows_matched_ += stats.rows_matched;
   entries_read_ += stats.probe.entries_read;

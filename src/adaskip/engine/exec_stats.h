@@ -16,6 +16,10 @@ struct QueryStats {
   std::string index_name;    // Which skip structure served the probe.
   int64_t rows_total = 0;    // Rows in the scanned column.
   int64_t rows_scanned = 0;  // Rows actually touched by kernels.
+  // Of rows_scanned, rows served by a packed-segment kernel instead of
+  // the raw span (0 unless segment layouts are enabled and chose to
+  // pack; see SegmentLayoutOptions).
+  int64_t rows_scanned_packed = 0;
   int64_t rows_matched = 0;  // Qualifying rows.
   int64_t candidate_ranges = 0;
   ProbeStats probe;
@@ -58,6 +62,7 @@ class WorkloadStats {
 
   int64_t num_queries() const { return num_queries_; }
   int64_t rows_scanned() const { return rows_scanned_; }
+  int64_t rows_scanned_packed() const { return rows_scanned_packed_; }
   int64_t rows_total() const { return rows_total_; }
   int64_t rows_matched() const { return rows_matched_; }
   int64_t entries_read() const { return entries_read_; }
@@ -89,6 +94,7 @@ class WorkloadStats {
  private:
   int64_t num_queries_ = 0;
   int64_t rows_scanned_ = 0;
+  int64_t rows_scanned_packed_ = 0;
   int64_t rows_total_ = 0;
   int64_t rows_matched_ = 0;
   int64_t entries_read_ = 0;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <type_traits>
 
 #include "adaskip/obs/metrics.h"
 #include "adaskip/scan/scan_kernel.h"
+#include "adaskip/scan/simd/kernel_dispatch.h"
+#include "adaskip/storage/segment_layout.h"
 #include "adaskip/storage/type_dispatch.h"
 #include "adaskip/util/interval_set.h"
 #include "adaskip/util/stopwatch.h"
@@ -131,6 +134,90 @@ obs::TraceSpan MakeAdaptSpan(const SkipIndex& index,
     span.Set("index_after", index.Describe());
   }
   return span;
+}
+
+/// Caller-side accumulators for ScanPiece: sum/min/max land here (min
+/// and max only when the piece matched at least one row), materialized
+/// row ids append to `rows`, and packed-kernel coverage adds to
+/// `packed_rows`.
+template <typename T>
+struct PieceAccumulators {
+  double* sum;
+  T* min_v;
+  T* max_v;
+  SelectionVector* rows;
+  int64_t* packed_rows;
+};
+
+/// Scans one segment-contained piece of `column` with the kernel
+/// matching `aggregate` and returns its match count. Integer segments
+/// that adopted a packed layout scan through the packed-domain kernels
+/// (in segment-local coordinates); everything else goes through the
+/// dispatched (AVX2 or scalar) raw kernels over the segment span. Both
+/// routes are bit-identical by contract, so the choice is invisible in
+/// results — only in speed and in the rows_scanned_packed stat.
+template <typename T>
+int64_t ScanPiece(const TypedColumn<T>& column, RowRange piece,
+                  AggregateKind aggregate, const ValueInterval<T>& interval,
+                  PieceAccumulators<T> acc) {
+  if constexpr (std::is_integral_v<T>) {
+    const PackedSegment<T>* packed =
+        column.packed_segment(column.SegmentOf(piece.begin));
+    if (packed != nullptr) {
+      const int64_t off = column.OffsetInSegment(piece.begin);
+      const RowRange local{off, off + piece.size()};
+      *acc.packed_rows += piece.size();
+      switch (aggregate) {
+        case AggregateKind::kCount:
+          return PackedCountMatches(*packed, local, interval);
+        case AggregateKind::kSum: {
+          const SumCount<T> sc =
+              PackedSumMatchesCounted(*packed, local, interval);
+          *acc.sum += sc.sum;
+          return sc.count;
+        }
+        case AggregateKind::kMin:
+        case AggregateKind::kMax: {
+          const MinMaxCount<T> mmc =
+              PackedMinMaxMatchesCounted(*packed, local, interval);
+          if (mmc.count > 0) {
+            *acc.min_v = std::min(*acc.min_v, mmc.min);
+            *acc.max_v = std::max(*acc.max_v, mmc.max);
+          }
+          return mmc.count;
+        }
+        case AggregateKind::kMaterialize:
+          return PackedMaterializeMatches(*packed, local, interval, acc.rows,
+                                          /*base_row=*/piece.begin - off);
+      }
+      return 0;
+    }
+  }
+  const std::span<const T> values = column.SpanFor(piece);
+  const RowRange local{0, piece.size()};
+  switch (aggregate) {
+    case AggregateKind::kCount:
+      return simd::CountMatches(values, local, interval);
+    case AggregateKind::kSum: {
+      const SumCount<T> sc = simd::SumMatchesCounted(values, local, interval);
+      *acc.sum += sc.sum;
+      return sc.count;
+    }
+    case AggregateKind::kMin:
+    case AggregateKind::kMax: {
+      const MinMaxCount<T> mmc =
+          simd::MinMaxMatchesCounted(values, local, interval);
+      if (mmc.count > 0) {
+        *acc.min_v = std::min(*acc.min_v, mmc.min);
+        *acc.max_v = std::max(*acc.max_v, mmc.max);
+      }
+      return mmc.count;
+    }
+    case AggregateKind::kMaterialize:
+      return simd::MaterializeMatches(values, local, interval, acc.rows,
+                                      /*base=*/piece.begin);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -262,6 +349,7 @@ void ScanExecutor::ScanSingleParallel(const Query& query,
     double sum = 0.0;
     T min = std::numeric_limits<T>::max();
     T max = std::numeric_limits<T>::lowest();
+    int64_t packed_rows = 0;
   };
   std::vector<Partial> partials(morsels.size());
   std::vector<SelectionVector> selections(materialize ? morsels.size() : 0);
@@ -276,38 +364,14 @@ void ScanExecutor::ScanSingleParallel(const Query& query,
         Stopwatch scan_timer;
         const RowRange rows = morsels[static_cast<size_t>(m)].rows;
         // Each morsel is segment-contained (BuildMorsels), so it is one
-        // contiguous span; kernels run over span-local positions.
-        const std::span<const T> values = column.SpanFor(rows);
-        const RowRange local{0, rows.size()};
+        // piece: ScanPiece picks the packed or dispatched raw kernel.
         Partial& partial = partials[static_cast<size_t>(m)];
-        switch (query.aggregate) {
-          case AggregateKind::kCount: {
-            partial.matches = CountMatches(values, local, interval);
-            break;
-          }
-          case AggregateKind::kSum: {
-            SumCount<T> sc = SumMatchesCounted(values, local, interval);
-            partial.sum = sc.sum;
-            partial.matches = sc.count;
-            break;
-          }
-          case AggregateKind::kMin:
-          case AggregateKind::kMax: {
-            MinMaxCount<T> mmc = MinMaxMatchesCounted(values, local, interval);
-            if (mmc.count > 0) {
-              partial.min = mmc.min;
-              partial.max = mmc.max;
-            }
-            partial.matches = mmc.count;
-            break;
-          }
-          case AggregateKind::kMaterialize: {
-            partial.matches = MaterializeMatches(
-                values, local, interval, &selections[static_cast<size_t>(m)],
-                /*base=*/rows.begin);
-            break;
-          }
-        }
+        SelectionVector* sel =
+            materialize ? &selections[static_cast<size_t>(m)] : nullptr;
+        partial.matches = ScanPiece(
+            column, rows, query.aggregate, interval,
+            PieceAccumulators<T>{&partial.sum, &partial.min, &partial.max, sel,
+                                 &partial.packed_rows});
         worker_nanos[static_cast<size_t>(worker)] += scan_timer.ElapsedNanos();
       });
 
@@ -332,6 +396,7 @@ void ScanExecutor::ScanSingleParallel(const Query& query,
       max_v = std::max(max_v, partial.max);
     }
     stats.rows_scanned += morsels[m].rows.size();
+    stats.rows_scanned_packed += partial.packed_rows;
   }
   if (materialize) {
     int64_t total_rows = 0;
@@ -368,7 +433,9 @@ void ScanExecutor::ScanSingleParallel(const Query& query,
     obs::TraceSpan scan_span("scan");
     scan_span.duration_nanos = stats.scan_nanos;
     scan_span.Set("rows_scanned", stats.rows_scanned)
+        .Set("rows_scanned_packed", stats.rows_scanned_packed)
         .Set("rows_matched", matched)
+        .Set("kernel_path", simd::ActiveKernelPathName())
         .Set("parallel_workers", stats.parallel_workers)
         .Set("morsels", static_cast<int64_t>(morsels.size()))
         .Set("merge_nanos", stats.merge_nanos);
@@ -458,36 +525,10 @@ Result<QueryResult> ScanExecutor::ExecuteSingleTyped(
       Stopwatch scan_timer;
       int64_t range_matches = 0;
       column.ForEachPiece(range, [&](RowRange piece) {
-        const std::span<const T> values = column.SpanFor(piece);
-        const RowRange local{0, piece.size()};
-        switch (query.aggregate) {
-          case AggregateKind::kCount: {
-            range_matches += CountMatches(values, local, interval);
-            break;
-          }
-          case AggregateKind::kSum: {
-            SumCount<T> sc = SumMatchesCounted(values, local, interval);
-            sum += sc.sum;
-            range_matches += sc.count;
-            break;
-          }
-          case AggregateKind::kMin:
-          case AggregateKind::kMax: {
-            MinMaxCount<T> mmc = MinMaxMatchesCounted(values, local, interval);
-            if (mmc.count > 0) {
-              min_v = std::min(min_v, mmc.min);
-              max_v = std::max(max_v, mmc.max);
-            }
-            range_matches += mmc.count;
-            break;
-          }
-          case AggregateKind::kMaterialize: {
-            range_matches += MaterializeMatches(values, local, interval,
-                                                &result.rows,
-                                                /*base=*/piece.begin);
-            break;
-          }
-        }
+        range_matches += ScanPiece(
+            column, piece, query.aggregate, interval,
+            PieceAccumulators<T>{&sum, &min_v, &max_v, &result.rows,
+                                 &stats.rows_scanned_packed});
       });
       stats.scan_nanos += scan_timer.ElapsedNanos();
       stats.rows_scanned += range.size();
@@ -515,7 +556,9 @@ Result<QueryResult> ScanExecutor::ExecuteSingleTyped(
     if (trace != nullptr) {
       scan_span.duration_nanos = stats.scan_nanos;
       scan_span.Set("rows_scanned", stats.rows_scanned)
-          .Set("rows_matched", matched);
+          .Set("rows_scanned_packed", stats.rows_scanned_packed)
+          .Set("rows_matched", matched)
+          .Set("kernel_path", simd::ActiveKernelPathName());
       const int64_t elided = static_cast<int64_t>(candidates.size()) -
                              static_cast<int64_t>(scan_span.children.size());
       if (trace->detail() && elided > 0) {
@@ -649,9 +692,10 @@ Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
       DispatchDataType(pred_column[0]->type(), [&](auto tag) {
         using T = typename decltype(tag)::type;
         const TypedColumn<T>& typed = *pred_column[0]->As<T>();
-        own[0] = MaterializeMatches(typed.SpanFor(rows), {0, rows.size()},
-                                    pred.ToInterval<T>(), &sel,
-                                    /*base=*/rows.begin);
+        own[0] = simd::MaterializeMatches(typed.SpanFor(rows),
+                                          {0, rows.size()},
+                                          pred.ToInterval<T>(), &sel,
+                                          /*base=*/rows.begin);
       });
     }
     for (size_t p = 1; p < num_preds; ++p) {
@@ -663,8 +707,8 @@ Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
         if (pred_index[p] != nullptr) {
           // Feedback for this column's index: one extra branchless pass
           // over the morsel, paid only when an index is listening.
-          own[p] = CountMatches(typed.SpanFor(rows), {0, rows.size()},
-                                interval);
+          own[p] = simd::CountMatches(typed.SpanFor(rows), {0, rows.size()},
+                                      interval);
         }
         auto* sel_rows = sel.mutable_rows();
         auto keep = std::remove_if(sel_rows->begin(), sel_rows->end(),
@@ -745,6 +789,7 @@ Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
     scan_span.duration_nanos = stats.scan_nanos;
     scan_span.Set("rows_scanned", stats.rows_scanned)
         .Set("rows_matched", stats.rows_matched)
+        .Set("kernel_path", simd::ActiveKernelPathName())
         .Set("morsels", static_cast<int64_t>(morsels.size()))
         .Set("parallel_workers", stats.parallel_workers)
         .Set("merge_nanos", stats.merge_nanos);

@@ -5,6 +5,7 @@
 
 #include "adaskip/obs/json.h"
 #include "adaskip/obs/metrics.h"
+#include "adaskip/storage/segment_layout.h"
 
 namespace adaskip {
 namespace {
@@ -13,6 +14,57 @@ int64_t TelemetryNanos() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Runs the layout decision on every newly sealed segment of one integer
+/// column, adopting packed layouts and journaling each decision.
+/// `evaluated` is the column's sticky progress cursor (segments
+/// [0, *evaluated) were already decided in a previous pass).
+template <typename T>
+void EvaluateColumnLayouts(TypedColumn<T>* column, std::string scope,
+                           const SegmentLayoutPolicy& policy,
+                           const AdaptationProfile* feedback,
+                           obs::EventJournal* journal, int64_t* evaluated) {
+  const int64_t segment_rows = column->segment_rows();
+  const int64_t sealed = column->size() / segment_rows;
+  for (int64_t s = *evaluated; s < sealed; ++s) {
+    const std::span<const T> values = column->segment(s);
+    const SegmentPackPlan<T> plan = PlanSegmentPack(values);
+    SegmentLayoutInputs inputs;
+    inputs.rows = static_cast<int64_t>(values.size());
+    inputs.bits_required = plan.bits_required;
+    inputs.magnitude_ok = plan.magnitude_ok;
+    if (feedback != nullptr) {
+      inputs.queries_observed = feedback->queries_observed;
+      inputs.skipped_fraction_ewma = feedback->skipped_fraction_ewma;
+    }
+    const SegmentLayout verdict = DecideSegmentLayout(inputs, policy);
+    if (verdict == SegmentLayout::kPacked) {
+      column->AdoptPackedLayout(s, PackSegment(values, plan.base, plan.bits));
+      ADASKIP_METRIC_COUNTER(packed, "adaskip.layout.segments_packed",
+                             "Segments that adopted the packed layout");
+      packed.Increment();
+    }
+    ADASKIP_METRIC_COUNTER(decided, "adaskip.layout.segments_evaluated",
+                           "Sealed segments run through the layout decision");
+    decided.Increment();
+    if (journal != nullptr) {
+      obs::JournalEvent event;
+      event.kind = obs::EventKind::kSegmentLayout;
+      event.scope = scope;
+      const bool packed_verdict = verdict == SegmentLayout::kPacked;
+      event.args = {s,
+                    s * segment_rows,
+                    inputs.rows,
+                    static_cast<int64_t>(verdict),
+                    packed_verdict ? static_cast<int64_t>(plan.bits) : 0,
+                    packed_verdict ? static_cast<int64_t>(plan.base) : 0,
+                    static_cast<int64_t>(plan.bits_required)};
+      event.detail = packed_verdict ? "packed" : "raw";
+      ADASKIP_JOURNAL_EVENT(journal, event);
+    }
+  }
+  *evaluated = sealed;
 }
 
 }  // namespace
@@ -62,7 +114,67 @@ Status Session::Append(std::string_view table_name,
                            catalog_.GetTable(table_name));
   ADASKIP_ASSIGN_OR_RETURN(RowRange appended, table->Append(batch));
   if (appended.size() > 0) runtime->indexes->OnAppend(appended);
+  if (runtime->layout_options.enabled) {
+    EvaluateSegmentLayouts(table_name, runtime, table.get());
+  }
   return Status::OK();
+}
+
+Status Session::SetSegmentLayoutOptions(std::string_view table_name,
+                                        const SegmentLayoutOptions& options) {
+  const SegmentLayoutPolicy& policy = options.policy;
+  if (policy.min_rows < 1 || policy.max_bits < 1 ||
+      policy.max_bits > kMaxPackedBits || policy.feedback_warmup < 0 ||
+      policy.skip_saturation < 0.0 || policy.skip_saturation > 1.0) {
+    return Status::InvalidArgument("invalid segment layout policy");
+  }
+  ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));
+  ADASKIP_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                           catalog_.GetTable(table_name));
+  runtime->layout_options = options;
+  if (options.enabled) {
+    EvaluateSegmentLayouts(table_name, runtime, table.get());
+  }
+  return Status::OK();
+}
+
+void Session::EvaluateSegmentLayouts(std::string_view table_name,
+                                     TableRuntime* runtime, Table* table) {
+  obs::EventJournal* journal =
+      runtime->executor->exec_options().journal_events ? &journal_ : nullptr;
+  for (int64_t c = 0; c < table->num_columns(); ++c) {
+    const Field& field = table->schema()[static_cast<size_t>(c)];
+    Column* column = table->mutable_column(c);
+    // Query feedback comes from the column's attached index, when any:
+    // heavily skipped columns gain little from a faster representation.
+    const SkipIndex* index = runtime->indexes->GetIndex(field.name);
+    AdaptationProfile profile;
+    const AdaptationProfile* feedback = nullptr;
+    if (index != nullptr) {
+      profile = index->GetAdaptationProfile();
+      feedback = &profile;
+    }
+    const std::string scope =
+        std::string(table_name) + "." + field.name;
+    int64_t& evaluated = runtime->layout_evaluated[field.name];
+    switch (column->type()) {
+      case DataType::kInt32:
+        EvaluateColumnLayouts(column->As<int32_t>(), scope,
+                              runtime->layout_options.policy, feedback,
+                              journal, &evaluated);
+        break;
+      case DataType::kInt64:
+        EvaluateColumnLayouts(column->As<int64_t>(), scope,
+                              runtime->layout_options.policy, feedback,
+                              journal, &evaluated);
+        break;
+      default:
+        // Float/double columns never pack; mark their sealed segments
+        // evaluated so the cursor semantics stay uniform.
+        evaluated = column->size() / column->segment_rows();
+        break;
+    }
+  }
 }
 
 Status Session::AttachIndex(std::string_view table_name,

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "adaskip/adaptive/cost_model.h"
 #include "adaskip/adaptive/index_manager.h"
 #include "adaskip/engine/exec_stats.h"
 #include "adaskip/engine/scan_executor.h"
@@ -33,6 +34,19 @@ struct IndexSnapshot {
   int64_t memory_bytes = 0;
   int64_t unindexed_tail_rows = 0;
   AdaptationProfile adaptation;  // Cumulative actions + cost-model verdict.
+};
+
+/// Per-table knobs for adaptive per-segment physical layouts. When
+/// enabled, every *sealed* segment of every integer column is run
+/// through the cost model's layout decision (DecideSegmentLayout) —
+/// once, at seal time (or at enable time for segments already sealed) —
+/// and narrow-range segments adopt the frame-of-reference bit-packed
+/// layout of storage/segment_layout.h. Decisions are sticky and, when
+/// the table journals (ExecOptions::journal_events), emitted as
+/// kSegmentLayout events so replay reproduces the layouts bit for bit.
+struct SegmentLayoutOptions {
+  bool enabled = false;
+  SegmentLayoutPolicy policy;
 };
 
 /// What Session::Explain returns: the query's answer plus its execution
@@ -119,6 +133,16 @@ class Session {
   Status SetExecOptions(std::string_view table_name,
                         const ExecOptions& options);
 
+  /// Enables (or reconfigures) adaptive per-segment layout selection for
+  /// `table_name`. Already-sealed segments are evaluated immediately;
+  /// future segments are evaluated as appends seal them. Disabling stops
+  /// new evaluations but keeps layouts already adopted (they are pure
+  /// representation changes and stay correct). Rejects a nonsensical
+  /// policy (min_rows < 1, max_bits outside [1, 16], skip_saturation
+  /// outside [0, 1]) with InvalidArgument.
+  Status SetSegmentLayoutOptions(std::string_view table_name,
+                                 const SegmentLayoutOptions& options);
+
   /// Runs `query` against `table_name`, recording its stats into the
   /// session's cumulative WorkloadStats.
   Result<QueryResult> Execute(std::string_view table_name,
@@ -204,7 +228,17 @@ class Session {
   struct TableRuntime {
     std::unique_ptr<IndexManager> indexes;
     std::unique_ptr<ScanExecutor> executor;
+    SegmentLayoutOptions layout_options;
+    // Per column name: sealed segments already run through the layout
+    // decision (decisions are sticky — a segment is evaluated once).
+    std::map<std::string, int64_t, std::less<>> layout_evaluated;
   };
+
+  /// Runs the layout decision over every not-yet-evaluated sealed
+  /// segment of every column of `table`. Caller holds the table's
+  /// single-coordinator serialization (Append / SetSegmentLayoutOptions).
+  void EvaluateSegmentLayouts(std::string_view table_name,
+                              TableRuntime* runtime, Table* table);
 
   /// Gets (building on first use) the runtime of `table_name`. The
   /// returned pointer is stable: runtimes live in a node-based map and

@@ -41,6 +41,8 @@ std::string_view EventKindToString(EventKind kind) {
       return "imprint_tail_extend";
     case EventKind::kModeChange:
       return "mode_change";
+    case EventKind::kSegmentLayout:
+      return "segment_layout";
   }
   return "unknown";
 }

@@ -44,6 +44,12 @@ enum class EventKind : int8_t {
   kImprintRebin = 7,      // args/values = the new split points.
   kImprintTailExtend = 8, // args = [created_splits, splits...]/values.
   kModeChange = 9,        // detail = "active" | "bypass".
+  kSegmentLayout = 10,    // args = [segment, begin_row, rows, layout,
+                          //         bits, base, bits_required];
+                          // detail = "raw" | "packed". Emitted when a
+                          // sealed segment's physical layout is decided
+                          // (storage/segment_layout.h); replayed by
+                          // adaptive/journal_replay.h ReplaySegmentLayouts.
 };
 
 std::string_view EventKindToString(EventKind kind);

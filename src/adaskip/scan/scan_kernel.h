@@ -121,6 +121,8 @@ struct SumCount {
 template <typename T>
 SumCount<T> SumMatchesCounted(std::span<const T> values, RowRange range,
                               ValueInterval<T> interval) {
+  ADASKIP_DCHECK(range.begin >= 0 &&
+                 range.end <= static_cast<int64_t>(values.size()));
   const T lo = interval.lo;
   const T hi = interval.hi;
   const T* __restrict data = values.data();
@@ -145,6 +147,8 @@ struct MinMaxCount {
 template <typename T>
 MinMaxCount<T> MinMaxMatchesCounted(std::span<const T> values, RowRange range,
                                     ValueInterval<T> interval) {
+  ADASKIP_DCHECK(range.begin >= 0 &&
+                 range.end <= static_cast<int64_t>(values.size()));
   const T lo = interval.lo;
   const T hi = interval.hi;
   const T* __restrict data = values.data();
@@ -168,6 +172,8 @@ MinMaxCount<T> MinMaxMatchesCounted(std::span<const T> values, RowRange range,
 template <typename T>
 MinMax<T> MinMaxMatches(std::span<const T> values, RowRange range,
                         ValueInterval<T> interval, bool* found) {
+  ADASKIP_DCHECK(range.begin >= 0 &&
+                 range.end <= static_cast<int64_t>(values.size()));
   const T lo = interval.lo;
   const T hi = interval.hi;
   const T* __restrict data = values.data();
@@ -210,6 +216,8 @@ MinMax<T> ComputeMinMax(std::span<const T> values, int64_t begin,
 template <typename T>
 RowRange FindMatchBounds(std::span<const T> values, RowRange range,
                          ValueInterval<T> interval) {
+  ADASKIP_DCHECK(range.begin >= 0 &&
+                 range.end <= static_cast<int64_t>(values.size()));
   const T lo = interval.lo;
   const T hi = interval.hi;
   const T* __restrict data = values.data();

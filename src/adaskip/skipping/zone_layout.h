@@ -6,7 +6,7 @@
 #include <span>
 #include <vector>
 
-#include "adaskip/scan/scan_kernel.h"
+#include "adaskip/scan/simd/kernel_dispatch.h"
 #include "adaskip/storage/column.h"
 
 namespace adaskip {
@@ -38,7 +38,7 @@ std::vector<Zone<T>> BuildUniformZones(std::span<const T> values,
   zones.reserve(static_cast<size_t>((n + zone_size - 1) / zone_size));
   for (int64_t begin = 0; begin < n; begin += zone_size) {
     int64_t end = std::min(begin + zone_size, n);
-    MinMax<T> mm = ComputeMinMax(values, begin, end);
+    MinMax<T> mm = simd::ComputeMinMax(values, begin, end);
     zones.push_back(Zone<T>{begin, end, mm.min, mm.max});
   }
   return zones;
@@ -62,7 +62,7 @@ std::vector<Zone<T>> BuildUniformZones(const TypedColumn<T>& column,
     const int64_t rows = static_cast<int64_t>(values.size());
     for (int64_t begin = 0; begin < rows; begin += zone_size) {
       int64_t end = std::min(begin + zone_size, rows);
-      MinMax<T> mm = ComputeMinMax(values, begin, end);
+      MinMax<T> mm = simd::ComputeMinMax(values, begin, end);
       zones.push_back(Zone<T>{base + begin, base + end, mm.min, mm.max});
     }
   }
@@ -92,7 +92,7 @@ int64_t AppendUniformZones(const TypedColumn<T>& column, RowRange appended,
         std::min({last.begin + zone_size, segment_end, appended.end});
     if (grow_to > last.end) {
       MinMax<T> mm =
-          ComputeMinMax(column.SpanFor(last.end, grow_to), 0,
+          simd::ComputeMinMax(column.SpanFor(last.end, grow_to), 0,
                         grow_to - last.end);
       last.min = std::min(last.min, mm.min);
       last.max = std::max(last.max, mm.max);
@@ -105,7 +105,7 @@ int64_t AppendUniformZones(const TypedColumn<T>& column, RowRange appended,
     const int64_t end = std::min({cursor + zone_size,
                                   column.NextSegmentBoundary(cursor),
                                   appended.end});
-    MinMax<T> mm = ComputeMinMax(column.SpanFor(cursor, end), 0, end - cursor);
+    MinMax<T> mm = simd::ComputeMinMax(column.SpanFor(cursor, end), 0, end - cursor);
     zones->push_back(Zone<T>{cursor, end, mm.min, mm.max});
     cursor = end;
   }
@@ -131,7 +131,7 @@ template <typename T>
 bool ZoneBoundsAreCorrect(const std::vector<Zone<T>>& zones,
                           std::span<const T> values) {
   for (const Zone<T>& z : zones) {
-    MinMax<T> mm = ComputeMinMax(values, z.begin, z.end);
+    MinMax<T> mm = simd::ComputeMinMax(values, z.begin, z.end);
     // Bounds may be conservative (wider than the data) but never tighter.
     if (z.min > mm.min || z.max < mm.max) return false;
   }
@@ -145,7 +145,7 @@ bool ZoneBoundsAreCorrect(const std::vector<Zone<T>>& zones,
                           const TypedColumn<T>& column) {
   for (const Zone<T>& z : zones) {
     std::span<const T> values = column.SpanFor(z.begin, z.end);
-    MinMax<T> mm = ComputeMinMax(values, 0, z.size());
+    MinMax<T> mm = simd::ComputeMinMax(values, 0, z.size());
     if (z.min > mm.min || z.max < mm.max) return false;
   }
   return true;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "adaskip/storage/data_type.h"
+#include "adaskip/storage/segment_layout.h"
 #include "adaskip/util/interval_set.h"
 #include "adaskip/util/logging.h"
 #include "adaskip/util/status.h"
@@ -49,6 +50,10 @@ class Column {
   /// executor can align morsels without dispatching on the value type).
   virtual int64_t segment_rows() const = 0;
   virtual int64_t num_segments() const = 0;
+
+  /// Number of segments currently carrying a packed (frame-of-reference
+  /// bit-packed) layout. Zero for column types without packed support.
+  virtual int64_t num_packed_segments() const { return 0; }
 
   /// Generic (lossy for int64 beyond 2^53) value access for diagnostics
   /// and generic tooling; kernels use the typed fast path instead.
@@ -151,6 +156,9 @@ class TypedColumn final : public Column {
     for (const std::vector<T>& segment : segments_) {
       total += static_cast<int64_t>(segment.capacity() * sizeof(T));
     }
+    for (const std::unique_ptr<PackedSegment<T>>& packed : packed_) {
+      if (packed != nullptr) total += packed->MemoryUsageBytes();
+    }
     return total;
   }
 
@@ -160,12 +168,22 @@ class TypedColumn final : public Column {
 
   T Get(int64_t row) const {
     ADASKIP_DCHECK(row >= 0 && row < size_);
-    return segments_[static_cast<size_t>(row >> segment_shift_)]
-                    [static_cast<size_t>(row & segment_mask_)];
+    const size_t seg = static_cast<size_t>(row >> segment_shift_);
+#ifdef ADASKIP_PACKED_DROP_RAW
+    if (segments_[seg].empty() && seg < packed_.size() &&
+        packed_[seg] != nullptr) {
+      return packed_[seg]->ValueAt(row & segment_mask_);
+    }
+#endif
+    return segments_[seg][static_cast<size_t>(row & segment_mask_)];
   }
 
   /// Segment that `row` lives in.
   int64_t SegmentOf(int64_t row) const { return row >> segment_shift_; }
+
+  /// Position of `row` inside its segment (packed kernels work in
+  /// segment-local coordinates).
+  int64_t OffsetInSegment(int64_t row) const { return row & segment_mask_; }
 
   /// First row of the segment after the one containing `row` (the next
   /// point where contiguity breaks).
@@ -181,10 +199,20 @@ class TypedColumn final : public Column {
 
   /// Contiguous span over [begin, end). The range must not cross a
   /// segment boundary (callers decompose with ForEachPiece first).
+  /// Invalid on a segment whose raw payload was dropped after packing
+  /// (only possible under the ADASKIP_PACKED_DROP_RAW build knob).
   std::span<const T> SpanFor(int64_t begin, int64_t end) const {
     ADASKIP_DCHECK(begin >= 0 && begin < end && end <= size_);
     ADASKIP_DCHECK((begin >> segment_shift_) == ((end - 1) >> segment_shift_))
         << "range [" << begin << ", " << end << ") crosses a segment boundary";
+#ifdef ADASKIP_PACKED_DROP_RAW
+    ADASKIP_CHECK(!segments_[static_cast<size_t>(begin >> segment_shift_)]
+                       .empty() ||
+                  begin >= size_)
+        << "SpanFor on segment " << (begin >> segment_shift_)
+        << ": raw payload dropped after packed-layout adoption "
+           "(ADASKIP_PACKED_DROP_RAW build); use Get()/packed kernels";
+#endif
     return std::span<const T>(segments_[static_cast<size_t>(
                                   begin >> segment_shift_)])
         .subspan(static_cast<size_t>(begin & segment_mask_),
@@ -219,6 +247,48 @@ class TypedColumn final : public Column {
                              : std::span<const T>(segments_.front());
   }
 
+  /// Packed payload of segment `index`, or nullptr when that segment is
+  /// raw. The executor probes this per piece/morsel to pick the kernel.
+  const PackedSegment<T>* packed_segment(int64_t index) const {
+    if (index < 0 || index >= static_cast<int64_t>(packed_.size())) {
+      return nullptr;
+    }
+    return packed_[static_cast<size_t>(index)].get();
+  }
+
+  int64_t num_packed_segments() const override {
+    int64_t count = 0;
+    for (const std::unique_ptr<PackedSegment<T>>& packed : packed_) {
+      count += packed != nullptr ? 1 : 0;
+    }
+    return count;
+  }
+
+  /// Installs a packed layout for a *sealed* segment (every row present;
+  /// appends can no longer touch it). Values are unchanged — only the
+  /// physical representation — so row ids, indexes, and data_version all
+  /// stay valid. Under ADASKIP_PACKED_DROP_RAW the raw payload is freed
+  /// and Get() transparently unpacks; by default both representations
+  /// coexist and SpanFor() keeps serving the raw one.
+  void AdoptPackedLayout(int64_t segment_index, PackedSegment<T> packed) {
+    ADASKIP_CHECK(segment_index >= 0 && segment_index < num_segments());
+    std::vector<T>& raw = segments_[static_cast<size_t>(segment_index)];
+    ADASKIP_CHECK(static_cast<int64_t>(raw.size()) == segment_rows_)
+        << "packed layout requires a sealed segment: segment "
+        << segment_index << " holds " << raw.size() << " of "
+        << segment_rows_ << " rows";
+    ADASKIP_CHECK(packed.rows == segment_rows_);
+    if (static_cast<int64_t>(packed_.size()) <= segment_index) {
+      packed_.resize(static_cast<size_t>(segment_index) + 1);
+    }
+    packed_[static_cast<size_t>(segment_index)] =
+        std::make_unique<PackedSegment<T>>(std::move(packed));
+#ifdef ADASKIP_PACKED_DROP_RAW
+    raw.clear();
+    raw.shrink_to_fit();
+#endif
+  }
+
  private:
   int64_t segment_rows_;
   int segment_shift_;
@@ -228,6 +298,9 @@ class TypedColumn final : public Column {
   // next Append (the tail segment may grow its buffer); callers fetch
   // spans per use and never cache them across mutations.
   std::vector<std::vector<T>> segments_;
+  // Per-segment packed layouts, indexed like segments_ (may be shorter;
+  // missing or null entries mean raw). Only sealed segments ever pack.
+  std::vector<std::unique_ptr<PackedSegment<T>>> packed_;
 };
 
 /// Convenience factory: wraps `values` into an owned column.

@@ -1,0 +1,122 @@
+#ifndef ADASKIP_STORAGE_SEGMENT_LAYOUT_H_
+#define ADASKIP_STORAGE_SEGMENT_LAYOUT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "adaskip/scan/predicate.h"
+#include "adaskip/scan/scan_kernel.h"
+#include "adaskip/util/interval_set.h"
+#include "adaskip/util/selection_vector.h"
+
+/// Per-segment hybrid physical layouts (ByteStore-style). A sealed
+/// segment whose value range fits 16 bits or fewer can adopt a
+/// frame-of-reference bit-packed layout: value = base + code, codes
+/// stored little-endian in 64-bit words at a width from {1, 2, 4, 8, 16}
+/// (widths divide 64, so codes never straddle a word; widths 8/16 are
+/// byte-addressable and scan through the AVX2 packed-code kernels).
+///
+/// The packed-domain kernels below translate a value-space predicate
+/// interval into code space once, then scan codes directly. They are
+/// exact integer computations, bit-identical to running the dispatched
+/// raw kernels over the same rows (the sum reconstructs
+/// base * count + sum(codes) in int64 and converts once; the
+/// kMaxPackedMagnitude eligibility guard keeps that arithmetic exact and
+/// inside the repo's 2^53 integer-sum contract).
+///
+/// Layout selection is the adaptive cost model's job
+/// (adaptive/cost_model.h: DecideSegmentLayout), wired up at
+/// segment-seal time by engine/session.cc and journaled as a
+/// kSegmentLayout event so replay reproduces the exact same layouts.
+
+namespace adaskip {
+
+/// Eligibility guard on |min| and |max| of a packable segment. Keeps
+/// base * rows_per_segment + code_sum exactly representable in int64 and
+/// the reconstructed sums within the documented 2^53 double contract.
+inline constexpr int64_t kMaxPackedMagnitude = int64_t{1} << 40;
+
+/// Widest code the packed layout stores.
+inline constexpr int kMaxPackedBits = 16;
+
+/// Frame-of-reference bit-packed payload of one sealed segment.
+template <typename T>
+struct PackedSegment {
+  T base = 0;        // Frame of reference (the segment minimum).
+  int bits = 0;      // Code width: one of {1, 2, 4, 8, 16}.
+  int64_t rows = 0;
+  std::vector<uint64_t> words;  // Little-endian packed codes.
+
+  uint64_t CodeMask() const { return (uint64_t{1} << bits) - 1; }
+
+  uint64_t CodeAt(int64_t i) const {
+    const int per_word = 64 / bits;
+    const uint64_t word = words[static_cast<size_t>(i / per_word)];
+    const int shift = static_cast<int>(i % per_word) * bits;
+    return (word >> shift) & CodeMask();
+  }
+
+  T ValueAt(int64_t i) const {
+    return static_cast<T>(base + static_cast<T>(CodeAt(i)));
+  }
+
+  int64_t MemoryUsageBytes() const {
+    return static_cast<int64_t>(words.capacity() * sizeof(uint64_t));
+  }
+};
+
+/// Smallest supported code width holding values in [0, range], or 0 when
+/// `range` needs more than kMaxPackedBits bits.
+int PackedBitsForRange(uint64_t range);
+
+/// Exact number of bits needed for values in [0, range] (1 for range 0),
+/// before rounding up to a supported width. This is what the cost model
+/// sees as `bits_required`.
+int BitsRequiredForRange(uint64_t range);
+
+/// Everything the cost model and the packer need to know about one
+/// sealed segment's values, computed in one min/max pass.
+template <typename T>
+struct SegmentPackPlan {
+  bool value_range_ok = false;  // Packable: magnitude + width both fit.
+  bool magnitude_ok = false;    // |min|, |max| <= kMaxPackedMagnitude.
+  T base = 0;                   // Segment min (frame of reference).
+  int bits = 0;                 // Chosen width when value_range_ok.
+  int bits_required = 0;        // Exact width the range needs (may be >16).
+};
+
+template <typename T>
+SegmentPackPlan<T> PlanSegmentPack(std::span<const T> values);
+
+/// Packs `values` (all >= base, all codes fitting `bits`) into a
+/// PackedSegment. `bits` must come from PackedBitsForRange.
+template <typename T>
+PackedSegment<T> PackSegment(std::span<const T> values, T base, int bits);
+
+/// Packed-domain kernels. `range` is in segment-local coordinates
+/// ([0, seg.rows)); results are bit-identical to the dispatched raw
+/// kernels over the same rows. `base_row` in PackedMaterializeMatches
+/// maps local positions back to global row ids, exactly like the raw
+/// MaterializeMatches `base` parameter.
+template <typename T>
+int64_t PackedCountMatches(const PackedSegment<T>& seg, RowRange range,
+                           ValueInterval<T> interval);
+
+template <typename T>
+SumCount<T> PackedSumMatchesCounted(const PackedSegment<T>& seg,
+                                    RowRange range, ValueInterval<T> interval);
+
+template <typename T>
+MinMaxCount<T> PackedMinMaxMatchesCounted(const PackedSegment<T>& seg,
+                                          RowRange range,
+                                          ValueInterval<T> interval);
+
+template <typename T>
+int64_t PackedMaterializeMatches(const PackedSegment<T>& seg, RowRange range,
+                                 ValueInterval<T> interval,
+                                 SelectionVector* out, int64_t base_row);
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_STORAGE_SEGMENT_LAYOUT_H_

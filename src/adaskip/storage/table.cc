@@ -117,6 +117,11 @@ const Column& Table::column(int64_t index) const {
   return *columns_[static_cast<size_t>(index)];
 }
 
+Column* Table::mutable_column(int64_t index) {
+  ADASKIP_CHECK(index >= 0 && index < num_columns());
+  return columns_[static_cast<size_t>(index)].get();
+}
+
 Result<const Column*> Table::ColumnByName(std::string_view field_name) const {
   int64_t index = ColumnIndex(field_name);
   if (index < 0) {

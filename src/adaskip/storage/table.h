@@ -96,6 +96,12 @@ class Table {
   const Column& column(int64_t index) const;
   Result<const Column*> ColumnByName(std::string_view field_name) const;
 
+  /// Mutable column access for physical-layout changes (packed-segment
+  /// adoption). Layout changes keep every value — and therefore every
+  /// index — valid, so they deliberately do NOT bump data_version().
+  /// Callers are the externally serialized mutation paths only.
+  Column* mutable_column(int64_t index);
+
   /// Total owned memory across all columns.
   int64_t MemoryUsageBytes() const;
 

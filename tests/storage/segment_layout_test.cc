@@ -1,0 +1,255 @@
+// Segment-layout lifecycle tests: the cost model's choose step
+// (DecideSegmentLayout), session-driven adoption at segment-seal time,
+// the kSegmentLayout journal trail, and bit-identical replay of the
+// adopted layouts onto a fresh column (journal-the-inputs contract of
+// adaptive/journal_replay.h).
+
+#include "adaskip/storage/segment_layout.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaskip/adaptive/cost_model.h"
+#include "adaskip/adaptive/journal_replay.h"
+#include "adaskip/engine/session.h"
+#include "adaskip/storage/table.h"
+
+namespace adaskip {
+namespace {
+
+constexpr int64_t kSegmentRows = 1024;
+
+std::vector<int64_t> NarrowValues(int64_t n, int64_t base) {
+  std::vector<int64_t> values(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    values[static_cast<size_t>(i)] = base + (i * 13) % 300;
+  }
+  return values;
+}
+
+TEST(DecideSegmentLayoutTest, PacksNarrowSealedSegments) {
+  SegmentLayoutPolicy policy;
+  policy.min_rows = 1024;
+  SegmentLayoutInputs inputs;
+  inputs.rows = 1024;
+  inputs.bits_required = 9;
+  inputs.magnitude_ok = true;
+  EXPECT_EQ(DecideSegmentLayout(inputs, policy), SegmentLayout::kPacked);
+}
+
+TEST(DecideSegmentLayoutTest, RawWhenSegmentTooSmall) {
+  SegmentLayoutPolicy policy;
+  policy.min_rows = 4096;
+  SegmentLayoutInputs inputs;
+  inputs.rows = 1024;
+  inputs.bits_required = 9;
+  inputs.magnitude_ok = true;
+  EXPECT_EQ(DecideSegmentLayout(inputs, policy), SegmentLayout::kRaw);
+}
+
+TEST(DecideSegmentLayoutTest, RawWhenRangeTooWideOrMagnitudeTooBig) {
+  SegmentLayoutPolicy policy;
+  policy.min_rows = 1024;
+  SegmentLayoutInputs inputs;
+  inputs.rows = 4096;
+  inputs.bits_required = 17;  // Needs more than max_bits.
+  inputs.magnitude_ok = true;
+  EXPECT_EQ(DecideSegmentLayout(inputs, policy), SegmentLayout::kRaw);
+  inputs.bits_required = 9;
+  inputs.magnitude_ok = false;  // Frame of reference would overflow.
+  EXPECT_EQ(DecideSegmentLayout(inputs, policy), SegmentLayout::kRaw);
+}
+
+TEST(DecideSegmentLayoutTest, RawWhenQueriesAlwaysSkip) {
+  // Query feedback veto: once warmed up, a column whose index already
+  // skips (almost) everything gains nothing from faster scans.
+  SegmentLayoutPolicy policy;
+  policy.min_rows = 1024;
+  policy.feedback_warmup = 8;
+  policy.skip_saturation = 0.95;
+  SegmentLayoutInputs inputs;
+  inputs.rows = 4096;
+  inputs.bits_required = 9;
+  inputs.magnitude_ok = true;
+  inputs.queries_observed = 100;
+  inputs.skipped_fraction_ewma = 0.99;
+  EXPECT_EQ(DecideSegmentLayout(inputs, policy), SegmentLayout::kRaw);
+  // Below warmup the veto never fires (the EWMA is still noise).
+  inputs.queries_observed = 4;
+  EXPECT_EQ(DecideSegmentLayout(inputs, policy), SegmentLayout::kPacked);
+  // Warm but genuinely scanning: pack.
+  inputs.queries_observed = 100;
+  inputs.skipped_fraction_ewma = 0.40;
+  EXPECT_EQ(DecideSegmentLayout(inputs, policy), SegmentLayout::kPacked);
+}
+
+TEST(SegmentLayoutSessionTest, CostModelAdoptsPackedLayoutsAndJournalsThem) {
+  Session session;
+  auto table = std::make_shared<Table>("t");
+  // 3 sealed segments + a partial tail.
+  ADASKIP_CHECK_OK(table->AddColumn(
+      "x", MakeColumn(NarrowValues(3 * kSegmentRows + 100, 5000),
+                      kSegmentRows)));
+  ADASKIP_CHECK_OK(session.RegisterTable(table));
+
+  ExecOptions exec;
+  exec.journal_events = true;
+  ADASKIP_CHECK_OK(session.SetExecOptions("t", exec));
+
+  SegmentLayoutOptions layout;
+  layout.enabled = true;
+  layout.policy.min_rows = kSegmentRows;
+  ADASKIP_CHECK_OK(session.SetSegmentLayoutOptions("t", layout));
+
+  // Sealed segments packed immediately; the partial tail stays raw.
+  const Column& column = table->column(0);
+  EXPECT_EQ(column.num_packed_segments(), 3);
+
+  // Appending across the next seal boundary packs the newly sealed
+  // segment too.
+  ADASKIP_CHECK_OK(
+      session.Append<int64_t>("t", "x", NarrowValues(kSegmentRows, 5000)));
+  EXPECT_EQ(column.num_packed_segments(), 4);
+
+  // One journal event per evaluated segment, all verdict "packed".
+  int packed_events = 0;
+  for (const obs::JournalEvent& event : session.journal().Snapshot()) {
+    if (event.kind != obs::EventKind::kSegmentLayout) continue;
+    EXPECT_EQ(event.scope, "t.x");
+    ASSERT_EQ(event.args.size(), 7u);
+    EXPECT_EQ(event.detail, "packed");
+    EXPECT_EQ(event.args[2], kSegmentRows);
+    ++packed_events;
+  }
+  EXPECT_EQ(packed_events, 4);
+
+  // Queries over the packed column report packed coverage and the same
+  // answers as a layout-disabled twin.
+  Session twin;
+  auto twin_table = std::make_shared<Table>("t");
+  ADASKIP_CHECK_OK(twin_table->AddColumn(
+      "x", MakeColumn(NarrowValues(3 * kSegmentRows + 100, 5000),
+                      kSegmentRows)));
+  ADASKIP_CHECK_OK(twin.RegisterTable(twin_table));
+  ADASKIP_CHECK_OK(
+      twin.Append<int64_t>("t", "x", NarrowValues(kSegmentRows, 5000)));
+
+  for (const auto& query :
+       {Query::Count(Predicate::Between<int64_t>("x", 5040, 5120)),
+        Query::Sum(Predicate::Between<int64_t>("x", 5000, 5200)),
+        Query::Min(Predicate::Between<int64_t>("x", 5010, 5290)),
+        Query::Max(Predicate::Between<int64_t>("x", 5010, 5290)),
+        Query::Materialize(Predicate::Between<int64_t>("x", 5295, 5299))}) {
+    Result<QueryResult> got = session.Execute("t", query);
+    Result<QueryResult> want = twin.Execute("t", query);
+    ADASKIP_CHECK_OK(got);
+    ADASKIP_CHECK_OK(want);
+    EXPECT_EQ(got.value().count, want.value().count);
+    EXPECT_EQ(got.value().sum, want.value().sum);
+    EXPECT_EQ(got.value().min, want.value().min);
+    EXPECT_EQ(got.value().max, want.value().max);
+    ASSERT_EQ(got.value().rows.size(), want.value().rows.size());
+    for (int64_t i = 0; i < got.value().rows.size(); ++i) {
+      EXPECT_EQ(got.value().rows[i], want.value().rows[i]);
+    }
+    // 4 packed segments of the 5 (the tail is partial).
+    EXPECT_EQ(got.value().stats.rows_scanned_packed, 4 * kSegmentRows);
+    EXPECT_EQ(want.value().stats.rows_scanned_packed, 0);
+  }
+
+  // Replay: applying the journaled layout events to a fresh column over
+  // the same payload reproduces every packed segment bit for bit.
+  TypedColumn<int64_t> replayed(kSegmentRows);
+  replayed.Append(std::span<const int64_t>(
+      NarrowValues(3 * kSegmentRows + 100, 5000)));
+  replayed.Append(
+      std::span<const int64_t>(NarrowValues(kSegmentRows, 5000)));
+  const std::vector<obs::JournalEvent> events = session.journal().Snapshot();
+  ASSERT_TRUE(
+      ReplaySegmentLayouts(events, "t.x", &replayed).ok());
+  const auto* live = table->column(0).As<int64_t>();
+  ASSERT_EQ(replayed.num_packed_segments(), live->num_packed_segments());
+  for (int64_t s = 0; s < live->num_segments(); ++s) {
+    const PackedSegment<int64_t>* a = live->packed_segment(s);
+    const PackedSegment<int64_t>* b = replayed.packed_segment(s);
+    ASSERT_EQ(a == nullptr, b == nullptr) << "segment " << s;
+    if (a == nullptr) continue;
+    EXPECT_EQ(a->base, b->base) << "segment " << s;
+    EXPECT_EQ(a->bits, b->bits) << "segment " << s;
+    EXPECT_EQ(a->rows, b->rows) << "segment " << s;
+    EXPECT_EQ(a->words, b->words) << "segment " << s;
+  }
+}
+
+TEST(SegmentLayoutSessionTest, WideValuesStayRawAndJournalRawVerdicts) {
+  Session session;
+  auto table = std::make_shared<Table>("t");
+  std::vector<int64_t> wide(static_cast<size_t>(2 * kSegmentRows));
+  for (size_t i = 0; i < wide.size(); ++i) {
+    wide[i] = static_cast<int64_t>(i) * 1000003;  // Range far beyond 16 bits.
+  }
+  ADASKIP_CHECK_OK(table->AddColumn("x", MakeColumn(wide, kSegmentRows)));
+  ADASKIP_CHECK_OK(session.RegisterTable(table));
+  ExecOptions exec;
+  exec.journal_events = true;
+  ADASKIP_CHECK_OK(session.SetExecOptions("t", exec));
+  SegmentLayoutOptions layout;
+  layout.enabled = true;
+  layout.policy.min_rows = kSegmentRows;
+  ADASKIP_CHECK_OK(session.SetSegmentLayoutOptions("t", layout));
+
+  EXPECT_EQ(table->column(0).num_packed_segments(), 0);
+  int raw_events = 0;
+  for (const obs::JournalEvent& event : session.journal().Snapshot()) {
+    if (event.kind != obs::EventKind::kSegmentLayout) continue;
+    EXPECT_EQ(event.detail, "raw");
+    EXPECT_EQ(event.args[3], static_cast<int64_t>(SegmentLayout::kRaw));
+    ++raw_events;
+  }
+  EXPECT_EQ(raw_events, 2);
+
+  // Raw verdicts replay as no-ops.
+  TypedColumn<int64_t> replayed(kSegmentRows);
+  replayed.Append(std::span<const int64_t>(wide));
+  ASSERT_TRUE(ReplaySegmentLayouts(session.journal().Snapshot(), "t.x",
+                                   &replayed)
+                  .ok());
+  EXPECT_EQ(replayed.num_packed_segments(), 0);
+}
+
+TEST(SegmentLayoutSessionTest, RejectsNonsensicalPolicies) {
+  Session session;
+  ADASKIP_CHECK_OK(session.CreateTable("t"));
+  ADASKIP_CHECK_OK(session.AddColumn<int64_t>("t", "x", {1, 2, 3}));
+  SegmentLayoutOptions layout;
+  layout.enabled = true;
+  layout.policy.min_rows = 0;
+  EXPECT_FALSE(session.SetSegmentLayoutOptions("t", layout).ok());
+  layout.policy = {};
+  layout.policy.max_bits = 17;
+  EXPECT_FALSE(session.SetSegmentLayoutOptions("t", layout).ok());
+  layout.policy = {};
+  layout.policy.skip_saturation = 1.5;
+  EXPECT_FALSE(session.SetSegmentLayoutOptions("t", layout).ok());
+  layout.policy = {};
+  EXPECT_TRUE(session.SetSegmentLayoutOptions("t", layout).ok());
+  EXPECT_FALSE(session.SetSegmentLayoutOptions("missing", layout).ok());
+}
+
+TEST(SegmentLayoutSessionTest, ReplayRejectsPackedEventOnFloatColumn) {
+  obs::JournalEvent event;
+  event.kind = obs::EventKind::kSegmentLayout;
+  event.scope = "t.x";
+  event.args = {0, 0, 4, static_cast<int64_t>(SegmentLayout::kPacked), 8, 0,
+                7};
+  TypedColumn<double> column(kSegmentRows);
+  column.Append(std::span<const double>(std::vector<double>{1, 2, 3, 4}));
+  const Status status = ReplaySegmentLayouts(
+      std::span<const obs::JournalEvent>(&event, 1), "t.x", &column);
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace adaskip

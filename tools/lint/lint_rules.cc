@@ -351,6 +351,50 @@ void Linter::CheckJournalEmission(const std::string& path,
   }
 }
 
+void Linter::CheckSimdIntrinsics(const std::string& path,
+                                 const std::string& stripped) {
+  // scan/simd/ is the one blessed home of raw intrinsics: the AVX2
+  // translation unit and the dispatch layer that guards it.
+  if (PathContains(path, "scan/simd/")) return;
+
+  // Intrinsic headers: <immintrin.h>, <x86intrin.h>, <emmintrin.h>, ...
+  // (angle-bracket include operands survive string stripping).
+  static const std::regex kIntrinHeader(R"(\b\w*intrin\s*\.\s*h\b)");
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(),
+                                      kIntrinHeader);
+       it != std::sregex_iterator(); ++it) {
+    const size_t off = static_cast<size_t>(it->position());
+    Report(path, LineOf(stripped, off), "simd-intrinsics",
+           "intrinsics header outside scan/simd/ — SIMD goes through the "
+           "simd:: dispatch wrappers (scan/simd/kernel_dispatch.h)");
+  }
+
+  // Raw intrinsic calls: _mm_*, _mm256_*, _mm512_*.
+  static const std::regex kIntrinCall(R"(\b_mm(\d+)?_\w+)");
+  for (auto it =
+           std::sregex_iterator(stripped.begin(), stripped.end(), kIntrinCall);
+       it != std::sregex_iterator(); ++it) {
+    const size_t off = static_cast<size_t>(it->position());
+    Report(path, LineOf(stripped, off), "simd-intrinsics",
+           "raw '" + it->str() +
+               "' intrinsic outside scan/simd/ — it bypasses the runtime "
+               "CPU check, ADASKIP_FORCE_SCALAR, and the bit-identity "
+               "equivalence tests; use the simd:: dispatch wrappers");
+  }
+
+  // Raw vector types: __m128/__m256/__m512 and their i/d variants.
+  static const std::regex kVectorType(R"(\b__m(128|256|512)[id]?\b)");
+  for (auto it =
+           std::sregex_iterator(stripped.begin(), stripped.end(), kVectorType);
+       it != std::sregex_iterator(); ++it) {
+    const size_t off = static_cast<size_t>(it->position());
+    Report(path, LineOf(stripped, off), "simd-intrinsics",
+           "raw '" + it->str() +
+               "' vector type outside scan/simd/ — keep vector-register "
+               "code behind the dispatch layer");
+  }
+}
+
 void Linter::HarvestWorkloadStats(const std::string& path,
                                   const std::string& stripped) {
   // Field declarations inside `class WorkloadStats { ... }`.
@@ -411,6 +455,7 @@ void Linter::LintFile(const std::string& path, const std::string& content) {
   CheckForbiddenTokens(path, stripped);
   CheckMetricRegistration(path, stripped);
   CheckJournalEmission(path, stripped);
+  CheckSimdIntrinsics(path, stripped);
   HarvestWorkloadStats(path, stripped);
 }
 

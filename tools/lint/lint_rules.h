@@ -54,6 +54,16 @@
 ///                         contract ("journal the inputs the mutation
 ///                         was computed from") stays auditable at one
 ///                         macro.
+///   simd-intrinsics       No <immintrin.h>-style includes, _mm*
+///                         intrinsics, or __m128/__m256/__m512 vector
+///                         types outside scan/simd/ — SIMD goes through
+///                         the simd:: dispatch wrappers
+///                         (scan/simd/kernel_dispatch.h) so every call
+///                         site honours the runtime CPU check, the
+///                         ADASKIP_FORCE_SCALAR override, and the
+///                         scalar/SIMD bit-identity contract. A stray
+///                         intrinsic elsewhere compiles only by luck of
+///                         build flags and dodges the equivalence tests.
 ///
 /// Suppressions: a trailing comment `adaskip-lint: allow(<rule-id>)`
 /// silences that rule on its own line; a standalone comment (nothing but
@@ -63,8 +73,9 @@
 /// rules (util/ is where the blessed wrappers live); files whose path
 /// contains "obs/" are exempt from metric-registration and
 /// journal-emission (the registry/journal implementations and their
-/// tests must call the raw APIs); files under "tools/" are never
-/// scanned.
+/// tests must call the raw APIs); files whose path contains "scan/simd/"
+/// are exempt from simd-intrinsics (that directory IS the blessed home
+/// of raw intrinsics); files under "tools/" are never scanned.
 
 namespace adaskip_lint {
 
@@ -110,6 +121,8 @@ class Linter {
                                const std::string& stripped);
   void CheckJournalEmission(const std::string& path,
                             const std::string& stripped);
+  void CheckSimdIntrinsics(const std::string& path,
+                           const std::string& stripped);
   void HarvestWorkloadStats(const std::string& path,
                             const std::string& stripped);
 

@@ -184,6 +184,22 @@ TEST(BadFixtures, JournalEmissionSuppressible) {
   EXPECT_TRUE(linter.Finish().empty());
 }
 
+TEST(BadFixtures, SimdIntrinsicsFlagged) {
+  const std::vector<LintIssue> issues = LintUnderLabel(
+      "bad/simd_intrinsics.cc", "src/adaskip/engine/simd_intrinsics.cc");
+  // Header + _mm256_loadu_si256 + two __m256i uses; the allow()ed
+  // movemask line contributes nothing.
+  EXPECT_EQ(CountRule(issues, "simd-intrinsics"), 4);
+  EXPECT_EQ(issues.size(), 4u);
+}
+
+TEST(BadFixtures, SimdIntrinsicsAllowedInDispatchHome) {
+  // The same file under scan/simd/ is the blessed implementation layer.
+  const std::vector<LintIssue> issues = LintUnderLabel(
+      "bad/simd_intrinsics.cc", "src/adaskip/scan/simd/simd_avx2.cc");
+  EXPECT_TRUE(issues.empty());
+}
+
 TEST(BadFixtures, StatsDriftFlagged) {
   const std::vector<LintIssue> issues = LintUnderLabel(
       "bad/stats_drift.cc", "src/adaskip/engine/stats_drift.cc");

@@ -1,0 +1,22 @@
+// Fixture: a scan kernel hand-rolled with raw intrinsics outside
+// scan/simd/ — exactly what the simd-intrinsics rule exists to catch.
+// Expected findings when labelled under src/adaskip/engine/: one for the
+// intrinsics header, one for the _mm256_loadu_si256 call, two for the
+// __m256i uses; the suppressed line adds none. Zero findings under
+// src/adaskip/scan/simd/.
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace adaskip {
+
+int SneakyMoveMask(const int32_t* data) {
+  const __m256i v =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data));
+  // adaskip-lint: allow(simd-intrinsics)
+  const int lanes = _mm256_movemask_ps(_mm256_castsi256_ps(v));
+  return lanes;
+}
+
+}  // namespace adaskip
