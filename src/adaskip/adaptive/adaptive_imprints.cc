@@ -55,8 +55,9 @@ int64_t AdaptiveImprintsT<T>::BinOf(T v) const {
 template <typename T>
 uint64_t AdaptiveImprintsT<T>::BlockMask(int64_t begin, int64_t end) const {
   uint64_t mask = 0;
+  std::vector<T> scratch;
   column_->ForEachPiece({begin, end}, [&](RowRange piece) {
-    for (T v : column_->SpanFor(piece)) {
+    for (T v : column_->SpanOrUnpack(piece, &scratch)) {
       mask |= uint64_t{1} << BinOf(v);
     }
   });

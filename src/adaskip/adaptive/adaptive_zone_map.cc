@@ -38,7 +38,8 @@ AdaptiveZoneMapT<T>::AdaptiveZoneMapT(const TypedColumn<T>& column,
 
 template <typename T>
 MinMax<T> AdaptiveZoneMapT<T>::ZoneMinMax(int64_t begin, int64_t end) const {
-  std::span<const T> values = column_->SpanFor(begin, end);
+  std::vector<T> scratch;
+  std::span<const T> values = column_->SpanOrUnpack(begin, end, &scratch);
   return simd::ComputeMinMax(values, 0, end - begin);
 }
 
@@ -258,8 +259,10 @@ void AdaptiveZoneMapT<T>::OnRangeScanned(const Predicate& pred,
       // zone sits inside one segment, so scan it as a local span and
       // shift the run bounds back to global row ids.
       ValueInterval<T> interval = pred.ToInterval<T>();
+      std::vector<T> scratch;
       BoundaryScan<T> scan = BoundarySplitScan(
-          column_->SpanFor(zone.begin, zone.end), {0, zone_rows}, interval);
+          column_->SpanOrUnpack(zone.begin, zone.end, &scratch),
+          {0, zone_rows}, interval);
       ADASKIP_DCHECK(scan.match_bounds.begin >= 0);
       scan.match_bounds.begin += zone.begin;
       scan.match_bounds.end += zone.begin;

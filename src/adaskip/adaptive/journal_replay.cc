@@ -3,6 +3,7 @@
 #include <string>
 
 #include "adaskip/adaptive/cost_model.h"
+#include "adaskip/scan/simd/kernel_dispatch.h"
 #include "adaskip/storage/segment_layout.h"
 #include "adaskip/util/logging.h"
 
@@ -60,12 +61,32 @@ Status ApplySegmentLayoutEvent(const obs::JournalEvent& event,
     return Status::InvalidArgument("segment " + std::to_string(segment) +
                                    " out of range");
   }
+  if (bits != 1 && bits != 2 && bits != 4 && bits != 8 && bits != 16) {
+    return Status::InvalidArgument("unsupported packed width " +
+                                   std::to_string(bits));
+  }
   const std::span<const T> values = column->segment(segment);
   if (static_cast<int64_t>(values.size()) != event.args[2]) {
     return Status::FailedPrecondition(
         "segment " + std::to_string(segment) + " holds " +
         std::to_string(values.size()) + " rows, journal recorded " +
         std::to_string(event.args[2]));
+  }
+  // The row count alone does not prove the data is what the journal saw:
+  // re-check that every value still fits the recorded frame of reference
+  // before packing, so replay against drifted base data fails loudly
+  // instead of producing wrong codes.
+  const MinMax<T> mm =
+      simd::ComputeMinMax(values, 0, static_cast<int64_t>(values.size()));
+  const uint64_t mask = (uint64_t{1} << bits) - 1;
+  if (mm.min < base || static_cast<uint64_t>(mm.max) -
+                               static_cast<uint64_t>(base) >
+                           mask) {
+    return Status::FailedPrecondition(
+        "segment " + std::to_string(segment) +
+        " data drifted from the journaled layout: values no longer fit "
+        "base " +
+        std::to_string(base) + " at width " + std::to_string(bits));
   }
   column->AdoptPackedLayout(segment, PackSegment<T>(values, base, bits));
   return Status::OK();

@@ -682,20 +682,26 @@ Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
       BuildMorsels(candidates, options_.morsel_rows, min_segment_rows);
   std::vector<SelectionVector> selections(morsels.size());
   std::vector<int64_t> own_matches(morsels.size() * num_preds, 0);
+  std::vector<int64_t> packed_rows(morsels.size(), 0);
 
   auto scan_morsel = [&](int64_t m, int /*worker*/) {
     const RowRange rows = morsels[static_cast<size_t>(m)].rows;
     SelectionVector& sel = selections[static_cast<size_t>(m)];
     int64_t* own = &own_matches[static_cast<size_t>(m) * num_preds];
+    int64_t* packed = &packed_rows[static_cast<size_t>(m)];
     {
+      // Morsels are segment-contained for every predicate column (see
+      // BuildMorsels above), so ScanPiece routes each through its
+      // segment's layout — packed kernels on packed segments, the
+      // dispatched raw kernels otherwise.
       const Predicate& pred = query.predicates[0];
       DispatchDataType(pred_column[0]->type(), [&](auto tag) {
         using T = typename decltype(tag)::type;
         const TypedColumn<T>& typed = *pred_column[0]->As<T>();
-        own[0] = simd::MaterializeMatches(typed.SpanFor(rows),
-                                          {0, rows.size()},
-                                          pred.ToInterval<T>(), &sel,
-                                          /*base=*/rows.begin);
+        own[0] = ScanPiece(typed, rows, AggregateKind::kMaterialize,
+                           pred.ToInterval<T>(),
+                           PieceAccumulators<T>{nullptr, nullptr, nullptr,
+                                                &sel, packed});
       });
     }
     for (size_t p = 1; p < num_preds; ++p) {
@@ -705,10 +711,15 @@ Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
         const TypedColumn<T>& typed = *pred_column[p]->As<T>();
         ValueInterval<T> interval = pred.ToInterval<T>();
         if (pred_index[p] != nullptr) {
-          // Feedback for this column's index: one extra branchless pass
-          // over the morsel, paid only when an index is listening.
-          own[p] = simd::CountMatches(typed.SpanFor(rows), {0, rows.size()},
-                                      interval);
+          // Feedback for this column's index: one extra pass over the
+          // morsel, paid only when an index is listening. Like
+          // rows_scanned, rows_scanned_packed counts each morsel once
+          // (under the first predicate), so this pass uses a throwaway
+          // packed-row counter.
+          int64_t feedback_packed = 0;
+          own[p] = ScanPiece(typed, rows, AggregateKind::kCount, interval,
+                             PieceAccumulators<T>{nullptr, nullptr, nullptr,
+                                                  nullptr, &feedback_packed});
         }
         auto* sel_rows = sel.mutable_rows();
         auto keep = std::remove_if(sel_rows->begin(), sel_rows->end(),
@@ -754,6 +765,7 @@ Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
     }
   }
   for (const Morsel& morsel : morsels) stats.rows_scanned += morsel.rows.size();
+  for (int64_t rows : packed_rows) stats.rows_scanned_packed += rows;
   stats.rows_matched = selection.size();
   result.count = selection.size();
 

@@ -42,8 +42,9 @@ BloomZoneMapT<T>::BloomZoneMapT(const TypedColumn<T>& column,
       static_cast<size_t>(static_cast<int64_t>(zones_.size()) *
                           (bits_per_zone_ / 64)),
       0);
+  std::vector<T> scratch;
   for (size_t z = 0; z < zones_.size(); ++z) {
-    for (T v : column.SpanFor(zones_[z].begin, zones_[z].end)) {
+    for (T v : column.SpanOrUnpack(zones_[z].begin, zones_[z].end, &scratch)) {
       BloomInsert(static_cast<int64_t>(z), v);
     }
   }
@@ -59,6 +60,7 @@ void BloomZoneMapT<T>::OnAppend(RowRange appended) {
       static_cast<size_t>(static_cast<int64_t>(zones_.size()) *
                           (bits_per_zone_ / 64)),
       0);
+  std::vector<T> scratch;
   for (int64_t z = first_touched; z < static_cast<int64_t>(zones_.size());
        ++z) {
     // For the extended boundary zone only the appended suffix is new;
@@ -67,7 +69,7 @@ void BloomZoneMapT<T>::OnAppend(RowRange appended) {
     const int64_t begin = std::max(zones_[static_cast<size_t>(z)].begin,
                                    appended.begin);
     const int64_t end = zones_[static_cast<size_t>(z)].end;
-    for (T v : column_->SpanFor(begin, end)) {
+    for (T v : column_->SpanOrUnpack(begin, end, &scratch)) {
       BloomInsert(z, v);
     }
   }

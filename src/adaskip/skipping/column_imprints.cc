@@ -59,8 +59,9 @@ uint64_t ColumnImprintsT<T>::BlockMask(int64_t begin, int64_t end) const {
   // Blocks are aligned to the global row space, not to segments, so a
   // block can straddle a segment boundary; fold per contiguous piece.
   uint64_t mask = 0;
+  std::vector<T> scratch;
   column_->ForEachPiece({begin, end}, [&](RowRange piece) {
-    for (T v : column_->SpanFor(piece)) {
+    for (T v : column_->SpanOrUnpack(piece, &scratch)) {
       mask |= uint64_t{1} << BinOf(v);
     }
   });

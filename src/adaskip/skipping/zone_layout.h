@@ -47,7 +47,8 @@ std::vector<Zone<T>> BuildUniformZones(std::span<const T> values,
 /// Builds fixed-width zones over a segmented column. Zones never cross a
 /// segment boundary (each segment is chunked independently, so the last
 /// zone of each segment may be short); this keeps every zone addressable
-/// as one contiguous span via TypedColumn::SpanFor.
+/// as one contiguous span. Segments whose raw payload was dropped after
+/// packed-layout adoption are unpacked zone by zone.
 template <typename T>
 std::vector<Zone<T>> BuildUniformZones(const TypedColumn<T>& column,
                                        int64_t zone_size) {
@@ -56,13 +57,15 @@ std::vector<Zone<T>> BuildUniformZones(const TypedColumn<T>& column,
   const int64_t n = column.size();
   zones.reserve(static_cast<size_t>((n + zone_size - 1) / zone_size +
                                     column.num_segments()));
+  std::vector<T> scratch;
   for (int64_t s = 0; s < column.num_segments(); ++s) {
-    const std::span<const T> values = column.segment(s);
     const int64_t base = s * column.segment_rows();
-    const int64_t rows = static_cast<int64_t>(values.size());
+    const int64_t rows = column.SegmentSize(s);
     for (int64_t begin = 0; begin < rows; begin += zone_size) {
       int64_t end = std::min(begin + zone_size, rows);
-      MinMax<T> mm = simd::ComputeMinMax(values, begin, end);
+      const std::span<const T> values =
+          column.SpanOrUnpack(base + begin, base + end, &scratch);
+      MinMax<T> mm = simd::ComputeMinMax(values, 0, end - begin);
       zones.push_back(Zone<T>{base + begin, base + end, mm.min, mm.max});
     }
   }
@@ -85,15 +88,16 @@ int64_t AppendUniformZones(const TypedColumn<T>& column, RowRange appended,
   ADASKIP_DCHECK(ZonesTileRowSpace(*zones, appended.begin));
   int64_t first_touched = static_cast<int64_t>(zones->size());
   int64_t cursor = appended.begin;
+  std::vector<T> scratch;
   if (!zones->empty()) {
     Zone<T>& last = zones->back();
     const int64_t segment_end = column.NextSegmentBoundary(last.begin);
     const int64_t grow_to =
         std::min({last.begin + zone_size, segment_end, appended.end});
     if (grow_to > last.end) {
-      MinMax<T> mm =
-          simd::ComputeMinMax(column.SpanFor(last.end, grow_to), 0,
-                        grow_to - last.end);
+      MinMax<T> mm = simd::ComputeMinMax(
+          column.SpanOrUnpack(last.end, grow_to, &scratch), 0,
+          grow_to - last.end);
       last.min = std::min(last.min, mm.min);
       last.max = std::max(last.max, mm.max);
       last.end = grow_to;
@@ -105,7 +109,8 @@ int64_t AppendUniformZones(const TypedColumn<T>& column, RowRange appended,
     const int64_t end = std::min({cursor + zone_size,
                                   column.NextSegmentBoundary(cursor),
                                   appended.end});
-    MinMax<T> mm = simd::ComputeMinMax(column.SpanFor(cursor, end), 0, end - cursor);
+    MinMax<T> mm = simd::ComputeMinMax(
+        column.SpanOrUnpack(cursor, end, &scratch), 0, end - cursor);
     zones->push_back(Zone<T>{cursor, end, mm.min, mm.max});
     cursor = end;
   }
@@ -143,8 +148,9 @@ bool ZoneBoundsAreCorrect(const std::vector<Zone<T>>& zones,
 template <typename T>
 bool ZoneBoundsAreCorrect(const std::vector<Zone<T>>& zones,
                           const TypedColumn<T>& column) {
+  std::vector<T> scratch;
   for (const Zone<T>& z : zones) {
-    std::span<const T> values = column.SpanFor(z.begin, z.end);
+    std::span<const T> values = column.SpanOrUnpack(z.begin, z.end, &scratch);
     MinMax<T> mm = simd::ComputeMinMax(values, 0, z.size());
     if (z.min > mm.min || z.max < mm.max) return false;
   }

@@ -169,12 +169,12 @@ class TypedColumn final : public Column {
   T Get(int64_t row) const {
     ADASKIP_DCHECK(row >= 0 && row < size_);
     const size_t seg = static_cast<size_t>(row >> segment_shift_);
-#ifdef ADASKIP_PACKED_DROP_RAW
+    // A row's segment is only ever empty when its raw payload was
+    // dropped after packed-layout adoption (DropRawPayload); unpack.
     if (segments_[seg].empty() && seg < packed_.size() &&
         packed_[seg] != nullptr) {
       return packed_[seg]->ValueAt(row & segment_mask_);
     }
-#endif
     return segments_[seg][static_cast<size_t>(row & segment_mask_)];
   }
 
@@ -199,20 +199,18 @@ class TypedColumn final : public Column {
 
   /// Contiguous span over [begin, end). The range must not cross a
   /// segment boundary (callers decompose with ForEachPiece first).
-  /// Invalid on a segment whose raw payload was dropped after packing
-  /// (only possible under the ADASKIP_PACKED_DROP_RAW build knob).
+  /// Fails fast on a segment whose raw payload was dropped after packing
+  /// (DropRawPayload / ADASKIP_PACKED_DROP_RAW); callers that must work
+  /// on any layout use SpanOrUnpack() or the packed kernels instead.
   std::span<const T> SpanFor(int64_t begin, int64_t end) const {
     ADASKIP_DCHECK(begin >= 0 && begin < end && end <= size_);
     ADASKIP_DCHECK((begin >> segment_shift_) == ((end - 1) >> segment_shift_))
         << "range [" << begin << ", " << end << ") crosses a segment boundary";
-#ifdef ADASKIP_PACKED_DROP_RAW
-    ADASKIP_CHECK(!segments_[static_cast<size_t>(begin >> segment_shift_)]
-                       .empty() ||
-                  begin >= size_)
+    ADASKIP_CHECK(
+        !segments_[static_cast<size_t>(begin >> segment_shift_)].empty())
         << "SpanFor on segment " << (begin >> segment_shift_)
-        << ": raw payload dropped after packed-layout adoption "
-           "(ADASKIP_PACKED_DROP_RAW build); use Get()/packed kernels";
-#endif
+        << ": raw payload dropped after packed-layout adoption; use "
+           "SpanOrUnpack()/Get()/packed kernels";
     return std::span<const T>(segments_[static_cast<size_t>(
                                   begin >> segment_shift_)])
         .subspan(static_cast<size_t>(begin & segment_mask_),
@@ -220,6 +218,42 @@ class TypedColumn final : public Column {
   }
   std::span<const T> SpanFor(RowRange range) const {
     return SpanFor(range.begin, range.end);
+  }
+
+  /// Like SpanFor, but also serves segments whose raw payload was
+  /// dropped after packed-layout adoption by unpacking the requested
+  /// rows into `*scratch` (resized as needed) and returning a span over
+  /// it. On the raw path `scratch` is untouched and the call is exactly
+  /// SpanFor. The span aliases either the column or `scratch`; it is
+  /// invalidated by the next Append or the next reuse of `scratch`.
+  std::span<const T> SpanOrUnpack(int64_t begin, int64_t end,
+                                  std::vector<T>* scratch) const {
+    ADASKIP_DCHECK(begin >= 0 && begin < end && end <= size_);
+    const size_t seg = static_cast<size_t>(begin >> segment_shift_);
+    if (!segments_[seg].empty()) return SpanFor(begin, end);
+    ADASKIP_DCHECK((begin >> segment_shift_) == ((end - 1) >> segment_shift_))
+        << "range [" << begin << ", " << end << ") crosses a segment boundary";
+    const PackedSegment<T>* packed = packed_segment(static_cast<int64_t>(seg));
+    ADASKIP_CHECK(packed != nullptr)
+        << "segment " << seg << " has neither a raw nor a packed payload";
+    const int64_t off = begin & segment_mask_;
+    const int64_t n = end - begin;
+    scratch->resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      (*scratch)[static_cast<size_t>(i)] = packed->ValueAt(off + i);
+    }
+    return *scratch;
+  }
+  std::span<const T> SpanOrUnpack(RowRange range,
+                                  std::vector<T>* scratch) const {
+    return SpanOrUnpack(range.begin, range.end, scratch);
+  }
+
+  /// Rows currently stored in segment `index`, independent of physical
+  /// representation (valid even when the raw payload was dropped).
+  int64_t SegmentSize(int64_t index) const {
+    ADASKIP_DCHECK(index >= 0 && index < num_segments());
+    return std::min(segment_rows_, size_ - index * segment_rows_);
   }
 
   /// Invokes `fn(RowRange piece)` for each maximal segment-contained
@@ -284,9 +318,22 @@ class TypedColumn final : public Column {
     packed_[static_cast<size_t>(segment_index)] =
         std::make_unique<PackedSegment<T>>(std::move(packed));
 #ifdef ADASKIP_PACKED_DROP_RAW
+    DropRawPayload(segment_index);
+#endif
+  }
+
+  /// Frees the raw payload of a segment that adopted a packed layout.
+  /// Afterwards SpanFor()/segment()/data() on that segment fail fast
+  /// while Get()/SpanOrUnpack() and the packed kernels keep working.
+  /// Called by AdoptPackedLayout under ADASKIP_PACKED_DROP_RAW; public
+  /// so tests exercise the dropped-raw paths in every build.
+  void DropRawPayload(int64_t segment_index) {
+    ADASKIP_CHECK(packed_segment(segment_index) != nullptr)
+        << "DropRawPayload on segment " << segment_index
+        << " without a packed layout would lose the data";
+    std::vector<T>& raw = segments_[static_cast<size_t>(segment_index)];
     raw.clear();
     raw.shrink_to_fit();
-#endif
   }
 
  private:

@@ -25,22 +25,21 @@ template <typename T>
 CodeInterval TranslateInterval(const PackedSegment<T>& seg,
                                ValueInterval<T> interval) {
   const uint64_t code_max = seg.CodeMask();
-  // `top` cannot overflow: |base| <= kMaxPackedMagnitude and
-  // code_max <= 2^16 (the eligibility guard).
-  const T top = static_cast<T>(seg.base + static_cast<T>(code_max));
+  // All clamp arithmetic is 64-bit: for T=int32 a segment based near
+  // INT32_MAX (e.g. all-INT32_MAX, which packs at bits=1) would wrap
+  // `base + code_max` in 32-bit arithmetic. int64 holds every reachable
+  // value exactly — |base| <= 2^31 for int32, <= kMaxPackedMagnitude
+  // (2^40) for int64 via the eligibility guard, and code_max <= 2^16.
+  const int64_t base = static_cast<int64_t>(seg.base);
+  const int64_t top = base + static_cast<int64_t>(code_max);
+  const int64_t lo = static_cast<int64_t>(interval.lo);
+  const int64_t hi = static_cast<int64_t>(interval.hi);
   // Compare before subtracting: interval bounds can sit anywhere in T's
-  // domain, so interval.lo - base may overflow; clamping first keeps all
-  // subtractions inside [base, top].
-  if (interval.hi < seg.base || interval.lo > top) return {0, 0, true};
+  // domain; clamping first keeps both subtractions inside [0, code_max].
+  if (hi < base || lo > top) return {0, 0, true};
   CodeInterval out;
-  out.lo = interval.lo <= seg.base
-               ? 0
-               : static_cast<uint64_t>(static_cast<int64_t>(interval.lo) -
-                                       static_cast<int64_t>(seg.base));
-  out.hi = interval.hi >= top
-               ? code_max
-               : static_cast<uint64_t>(static_cast<int64_t>(interval.hi) -
-                                       static_cast<int64_t>(seg.base));
+  out.lo = lo <= base ? 0 : static_cast<uint64_t>(lo - base);
+  out.hi = hi >= top ? code_max : static_cast<uint64_t>(hi - base);
   return out;
 }
 
@@ -73,7 +72,11 @@ SegmentPackPlan<T> PlanSegmentPack(std::span<const T> values) {
   const int64_t max_v = static_cast<int64_t>(mm.max);
   plan.magnitude_ok =
       min_v >= -kMaxPackedMagnitude && max_v <= kMaxPackedMagnitude;
-  const uint64_t range = static_cast<uint64_t>(max_v - min_v);
+  // Unsigned subtraction: an int64 column spanning most of the domain
+  // would overflow max_v - min_v in signed arithmetic; the true range
+  // always fits uint64.
+  const uint64_t range =
+      static_cast<uint64_t>(max_v) - static_cast<uint64_t>(min_v);
   plan.bits_required = BitsRequiredForRange(range);
   plan.base = mm.min;
   plan.bits = PackedBitsForRange(range);
@@ -100,8 +103,12 @@ PackedSegment<T> PackSegment(std::span<const T> values, T base, int bits) {
         static_cast<int64_t>(base));
     ADASKIP_DCHECK(code <= mask)
         << "value out of packed range: code " << code << " width " << bits;
+    // Mask defensively: in release builds an out-of-range code (a bug or
+    // a journal replayed against drifted data that slipped past
+    // validation) must stay inside its own lane instead of corrupting
+    // neighboring codes in the word.
     out.words[static_cast<size_t>(i / per_word)] |=
-        code << (static_cast<int>(i % per_word) * bits);
+        (code & mask) << (static_cast<int>(i % per_word) * bits);
   }
   return out;
 }

@@ -6,6 +6,9 @@
 
 #include "adaskip/storage/segment_layout.h"
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -14,6 +17,7 @@
 #include "adaskip/adaptive/cost_model.h"
 #include "adaskip/adaptive/journal_replay.h"
 #include "adaskip/engine/session.h"
+#include "adaskip/scan/simd/kernel_dispatch.h"
 #include "adaskip/storage/table.h"
 
 namespace adaskip {
@@ -238,6 +242,127 @@ TEST(SegmentLayoutSessionTest, RejectsNonsensicalPolicies) {
   EXPECT_FALSE(session.SetSegmentLayoutOptions("missing", layout).ok());
 }
 
+/// Asserts all four packed kernels agree bit for bit with the dispatched
+/// raw kernels over the same values for one predicate interval.
+template <typename T>
+void ExpectPackedMatchesRaw(const std::vector<T>& values,
+                            ValueInterval<T> interval) {
+  const std::span<const T> span(values);
+  const SegmentPackPlan<T> plan = PlanSegmentPack(span);
+  ASSERT_TRUE(plan.value_range_ok);
+  const PackedSegment<T> packed = PackSegment(span, plan.base, plan.bits);
+  const RowRange all{0, static_cast<int64_t>(values.size())};
+  EXPECT_EQ(PackedCountMatches(packed, all, interval),
+            simd::CountMatches(span, all, interval))
+      << "count, interval [" << interval.lo << ", " << interval.hi << "]";
+  const SumCount<T> packed_sum = PackedSumMatchesCounted(packed, all, interval);
+  const SumCount<T> raw_sum = simd::SumMatchesCounted(span, all, interval);
+  EXPECT_EQ(packed_sum.count, raw_sum.count);
+  EXPECT_EQ(packed_sum.sum, raw_sum.sum);
+  const MinMaxCount<T> packed_mm =
+      PackedMinMaxMatchesCounted(packed, all, interval);
+  const MinMaxCount<T> raw_mm = simd::MinMaxMatchesCounted(span, all, interval);
+  EXPECT_EQ(packed_mm.count, raw_mm.count);
+  if (raw_mm.count > 0) {
+    EXPECT_EQ(packed_mm.min, raw_mm.min);
+    EXPECT_EQ(packed_mm.max, raw_mm.max);
+  }
+  SelectionVector packed_rows;
+  SelectionVector raw_rows;
+  EXPECT_EQ(
+      PackedMaterializeMatches(packed, all, interval, &packed_rows, 1000),
+      simd::MaterializeMatches(span, all, interval, &raw_rows, 1000));
+  EXPECT_TRUE(packed_rows == raw_rows);
+}
+
+// Regression for a 32-bit overflow in predicate translation: a packed
+// int32 segment based near INT32_MAX made `base + code_max` wrap
+// negative, so every packed kernel returned zero matches.
+TEST(PackedKernelExtremesTest, Int32SegmentsAtDomainMax) {
+  constexpr int32_t kMax = std::numeric_limits<int32_t>::max();
+  constexpr int32_t kMin = std::numeric_limits<int32_t>::min();
+  // A sealed segment of constant INT32_MAX sentinels packs at bits=1.
+  const std::vector<int32_t> sentinels(256, kMax);
+  for (const ValueInterval<int32_t>& interval :
+       {ValueInterval<int32_t>{kMin, kMax}, ValueInterval<int32_t>{kMax, kMax},
+        ValueInterval<int32_t>{kMin, kMax - 1},
+        ValueInterval<int32_t>{kMax - 10, kMax}}) {
+    ExpectPackedMatchesRaw(sentinels, interval);
+  }
+  // A narrow range hugging the top of the domain: the rounded-up code
+  // width makes base + CodeMask() exceed INT32_MAX even though every
+  // stored value fits.
+  std::vector<int32_t> near_max(512);
+  for (size_t i = 0; i < near_max.size(); ++i) {
+    near_max[i] = kMax - 200 + static_cast<int32_t>((i * 7) % 201);
+  }
+  for (const ValueInterval<int32_t>& interval :
+       {ValueInterval<int32_t>{kMin, kMax},
+        ValueInterval<int32_t>{kMax - 100, kMax},
+        ValueInterval<int32_t>{kMax, kMax},
+        ValueInterval<int32_t>{kMax - 5, kMax - 5},
+        ValueInterval<int32_t>{kMin, kMax - 300},
+        ValueInterval<int32_t>{kMax - 50, kMax - 150}}) {  // lo > hi: empty.
+    ExpectPackedMatchesRaw(near_max, interval);
+  }
+}
+
+TEST(PackedKernelExtremesTest, Int32SegmentsAtDomainMin) {
+  constexpr int32_t kMax = std::numeric_limits<int32_t>::max();
+  constexpr int32_t kMin = std::numeric_limits<int32_t>::min();
+  std::vector<int32_t> near_min(512);
+  for (size_t i = 0; i < near_min.size(); ++i) {
+    near_min[i] = kMin + static_cast<int32_t>((i * 7) % 201);
+  }
+  for (const ValueInterval<int32_t>& interval :
+       {ValueInterval<int32_t>{kMin, kMax}, ValueInterval<int32_t>{kMin, kMin},
+        ValueInterval<int32_t>{kMin + 50, kMax},
+        ValueInterval<int32_t>{kMin + 300, kMax}}) {
+    ExpectPackedMatchesRaw(near_min, interval);
+  }
+}
+
+TEST(PackedKernelExtremesTest, Int64SegmentsAtMagnitudeGuard) {
+  constexpr int64_t kMax64 = std::numeric_limits<int64_t>::max();
+  constexpr int64_t kMin64 = std::numeric_limits<int64_t>::min();
+  std::vector<int64_t> top(256);
+  for (size_t i = 0; i < top.size(); ++i) {
+    top[i] = kMaxPackedMagnitude - 300 + static_cast<int64_t>((i * 13) % 301);
+  }
+  std::vector<int64_t> bottom(256);
+  for (size_t i = 0; i < bottom.size(); ++i) {
+    bottom[i] = -kMaxPackedMagnitude + static_cast<int64_t>((i * 13) % 301);
+  }
+  for (const ValueInterval<int64_t>& interval :
+       {ValueInterval<int64_t>{kMin64, kMax64},
+        ValueInterval<int64_t>{kMaxPackedMagnitude, kMax64},
+        ValueInterval<int64_t>{kMin64, -kMaxPackedMagnitude}}) {
+    ExpectPackedMatchesRaw(top, interval);
+    ExpectPackedMatchesRaw(bottom, interval);
+  }
+}
+
+TEST(PlanSegmentPackTest, FullDomainRangesAreSafeAndStayRaw) {
+  // int64 spanning (almost) the whole domain: the min/max difference
+  // does not fit signed 64-bit; the plan must still be well-defined.
+  const std::vector<int64_t> wide64 = {std::numeric_limits<int64_t>::min(), 0,
+                                       std::numeric_limits<int64_t>::max()};
+  const SegmentPackPlan<int64_t> plan64 =
+      PlanSegmentPack(std::span<const int64_t>(wide64));
+  EXPECT_FALSE(plan64.magnitude_ok);
+  EXPECT_FALSE(plan64.value_range_ok);
+  EXPECT_EQ(plan64.bits, 0);
+  // int32 full domain: magnitude always fits, but 32 required bits do not.
+  const std::vector<int32_t> wide32 = {std::numeric_limits<int32_t>::min(), 0,
+                                       std::numeric_limits<int32_t>::max()};
+  const SegmentPackPlan<int32_t> plan32 =
+      PlanSegmentPack(std::span<const int32_t>(wide32));
+  EXPECT_TRUE(plan32.magnitude_ok);
+  EXPECT_FALSE(plan32.value_range_ok);
+  EXPECT_EQ(plan32.bits, 0);
+  EXPECT_EQ(plan32.bits_required, 32);
+}
+
 TEST(SegmentLayoutSessionTest, ReplayRejectsPackedEventOnFloatColumn) {
   obs::JournalEvent event;
   event.kind = obs::EventKind::kSegmentLayout;
@@ -249,6 +374,209 @@ TEST(SegmentLayoutSessionTest, ReplayRejectsPackedEventOnFloatColumn) {
   const Status status = ReplaySegmentLayouts(
       std::span<const obs::JournalEvent>(&event, 1), "t.x", &column);
   EXPECT_FALSE(status.ok());
+}
+
+obs::JournalEvent PackedLayoutEvent(int64_t segment, int64_t rows, int bits,
+                                    int64_t base) {
+  obs::JournalEvent event;
+  event.kind = obs::EventKind::kSegmentLayout;
+  event.scope = "t.x";
+  event.args = {segment,
+                segment * kSegmentRows,
+                rows,
+                static_cast<int64_t>(SegmentLayout::kPacked),
+                bits,
+                base,
+                bits};
+  return event;
+}
+
+TEST(SegmentLayoutReplayTest, RejectsJournalAgainstDriftedData) {
+  // Matching data replays cleanly...
+  {
+    TypedColumn<int64_t> column(kSegmentRows);
+    column.Append(std::span<const int64_t>(NarrowValues(kSegmentRows, 5000)));
+    const obs::JournalEvent event =
+        PackedLayoutEvent(0, kSegmentRows, 16, 5000);
+    ASSERT_TRUE(ReplaySegmentLayouts(
+                    std::span<const obs::JournalEvent>(&event, 1), "t.x",
+                    &column)
+                    .ok());
+    EXPECT_EQ(column.num_packed_segments(), 1);
+  }
+  // ...but data that drifted above the recorded width (same row count,
+  // one value no longer encodable) is rejected instead of silently
+  // corrupting neighboring codes in the packed words.
+  {
+    std::vector<int64_t> drifted = NarrowValues(kSegmentRows, 5000);
+    drifted[17] = 5000 + (int64_t{1} << 16);  // Needs 17 bits.
+    TypedColumn<int64_t> column(kSegmentRows);
+    column.Append(std::span<const int64_t>(drifted));
+    const obs::JournalEvent event =
+        PackedLayoutEvent(0, kSegmentRows, 16, 5000);
+    const Status status = ReplaySegmentLayouts(
+        std::span<const obs::JournalEvent>(&event, 1), "t.x", &column);
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(column.num_packed_segments(), 0);
+  }
+  // A value below the recorded frame of reference is drift too.
+  {
+    std::vector<int64_t> drifted = NarrowValues(kSegmentRows, 5000);
+    drifted[0] = 4999;
+    TypedColumn<int64_t> column(kSegmentRows);
+    column.Append(std::span<const int64_t>(drifted));
+    const obs::JournalEvent event =
+        PackedLayoutEvent(0, kSegmentRows, 16, 5000);
+    EXPECT_EQ(ReplaySegmentLayouts(
+                  std::span<const obs::JournalEvent>(&event, 1), "t.x",
+                  &column)
+                  .code(),
+              StatusCode::kFailedPrecondition);
+  }
+  // A corrupt width errors instead of aborting inside PackSegment.
+  {
+    TypedColumn<int64_t> column(kSegmentRows);
+    column.Append(std::span<const int64_t>(NarrowValues(kSegmentRows, 5000)));
+    const obs::JournalEvent event = PackedLayoutEvent(0, kSegmentRows, 3, 5000);
+    EXPECT_EQ(ReplaySegmentLayouts(
+                  std::span<const obs::JournalEvent>(&event, 1), "t.x",
+                  &column)
+                  .code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+void ExpectSameResults(Session& got_session, Session& want_session,
+                       const Query& query) {
+  Result<QueryResult> got = got_session.Execute("t", query);
+  Result<QueryResult> want = want_session.Execute("t", query);
+  ADASKIP_CHECK_OK(got);
+  ADASKIP_CHECK_OK(want);
+  EXPECT_EQ(got.value().count, want.value().count);
+  EXPECT_EQ(got.value().sum, want.value().sum);
+  // min/max are NaN by contract when the query computes no extremum.
+  EXPECT_TRUE((std::isnan(got.value().min) && std::isnan(want.value().min)) ||
+              got.value().min == want.value().min);
+  EXPECT_TRUE((std::isnan(got.value().max) && std::isnan(want.value().max)) ||
+              got.value().max == want.value().max);
+  ASSERT_EQ(got.value().rows.size(), want.value().rows.size());
+  for (int64_t i = 0; i < got.value().rows.size(); ++i) {
+    EXPECT_EQ(got.value().rows[i], want.value().rows[i]);
+  }
+}
+
+// Dropping a packed segment's raw payload (what ADASKIP_PACKED_DROP_RAW
+// does at adoption time) must leave every consumer working: point reads,
+// single-predicate and conjunction queries, index builds attached after
+// the drop, adaptive refinement, and appends.
+TEST(DroppedRawPayloadTest, QueriesIndexesAndAppendsSurviveRawDrop) {
+  constexpr int64_t kRows = 2 * kSegmentRows + 100;
+  auto make_session = [&](Session& session) {
+    auto table = std::make_shared<Table>("t");
+    ADASKIP_CHECK_OK(
+        table->AddColumn("x", MakeColumn(NarrowValues(kRows, 5000),
+                                         kSegmentRows)));
+    ADASKIP_CHECK_OK(
+        table->AddColumn("y", MakeColumn(NarrowValues(kRows, 9000),
+                                         kSegmentRows)));
+    ADASKIP_CHECK_OK(session.RegisterTable(table));
+    return table;
+  };
+  Session session;
+  std::shared_ptr<Table> table = make_session(session);
+  Session twin;
+  make_session(twin);
+
+  SegmentLayoutOptions layout;
+  layout.enabled = true;
+  layout.policy.min_rows = kSegmentRows;
+  ADASKIP_CHECK_OK(session.SetSegmentLayoutOptions("t", layout));
+  auto* x = table->mutable_column(0)->As<int64_t>();
+  ASSERT_EQ(x->num_packed_segments(), 2);
+  for (int64_t s = 0; s < x->num_segments(); ++s) {
+    if (x->packed_segment(s) != nullptr) x->DropRawPayload(s);
+  }
+
+  // Point reads unpack transparently.
+  EXPECT_EQ(x->Get(0), 5000);
+  EXPECT_EQ(x->Get(kSegmentRows + 1), 5000 + ((kSegmentRows + 1) * 13) % 300);
+  // SpanOrUnpack serves dropped segments from a scratch buffer and the
+  // raw tail directly.
+  std::vector<int64_t> scratch;
+  EXPECT_EQ(x->SpanOrUnpack(5, 6, &scratch)[0], x->Get(5));
+  EXPECT_EQ(x->SpanOrUnpack(2 * kSegmentRows, 2 * kSegmentRows + 1,
+                            &scratch)[0],
+            x->Get(2 * kSegmentRows));
+
+  Query conjunction = Query::Count(Predicate::Between<int64_t>("x", 5040, 5200));
+  conjunction.predicates.push_back(
+      Predicate::Between<int64_t>("y", 9000, 9150));
+  Query conjunction_rows =
+      Query::Materialize(Predicate::Between<int64_t>("x", 5040, 5200));
+  conjunction_rows.predicates.push_back(
+      Predicate::Between<int64_t>("y", 9000, 9150));
+  const std::vector<Query> queries = {
+      Query::Count(Predicate::Between<int64_t>("x", 5040, 5120)),
+      Query::Sum(Predicate::Between<int64_t>("x", 5000, 5200)),
+      Query::Min(Predicate::Between<int64_t>("x", 5010, 5290)),
+      Query::Max(Predicate::Between<int64_t>("x", 5010, 5290)),
+      Query::Materialize(Predicate::Between<int64_t>("x", 5295, 5299)),
+      conjunction,
+      conjunction_rows,
+  };
+  for (const Query& query : queries) ExpectSameResults(session, twin, query);
+
+  // Index builds attached after the drop unpack on demand; results and
+  // adaptation stay identical to the raw twin.
+  for (const IndexOptions& options :
+       {IndexOptions::ZoneMap(256), IndexOptions::Adaptive()}) {
+    ADASKIP_CHECK_OK(session.AttachIndex("t", "x", options));
+    ADASKIP_CHECK_OK(twin.AttachIndex("t", "x", options));
+    for (int round = 0; round < 5; ++round) {
+      for (const Query& query : queries) {
+        ExpectSameResults(session, twin, query);
+      }
+    }
+  }
+  IndexOptions bloom;
+  bloom.kind = IndexKind::kBloomZoneMap;
+  ADASKIP_CHECK_OK(session.AttachIndex("t", "x", bloom));
+  ADASKIP_CHECK_OK(twin.AttachIndex("t", "x", bloom));
+  IndexOptions imprints;
+  imprints.kind = IndexKind::kImprints;
+  ADASKIP_CHECK_OK(session.AttachIndex("t", "y", imprints));
+  ADASKIP_CHECK_OK(twin.AttachIndex("t", "y", imprints));
+  for (const Query& query : queries) ExpectSameResults(session, twin, query);
+
+  // Appends still work (they only touch the raw tail); the newly sealed
+  // segment packs, gets dropped, and queries stay identical.
+  AppendBatch batch;
+  batch.Add("x", NarrowValues(kSegmentRows, 5000));
+  batch.Add("y", NarrowValues(kSegmentRows, 9000));
+  ADASKIP_CHECK_OK(session.Append("t", batch));
+  AppendBatch twin_batch;
+  twin_batch.Add("x", NarrowValues(kSegmentRows, 5000));
+  twin_batch.Add("y", NarrowValues(kSegmentRows, 9000));
+  ADASKIP_CHECK_OK(twin.Append("t", twin_batch));
+  for (int64_t s = 0; s < x->num_segments(); ++s) {
+    if (x->packed_segment(s) != nullptr &&
+        x->segment(s).size() > 0) {
+      x->DropRawPayload(s);
+    }
+  }
+  for (const Query& query : queries) ExpectSameResults(session, twin, query);
+}
+
+TEST(DroppedRawPayloadTest, SpanForFailsFastAndDropRequiresPackedLayout) {
+  TypedColumn<int64_t> column(kSegmentRows);
+  column.Append(std::span<const int64_t>(NarrowValues(kSegmentRows, 5000)));
+  EXPECT_DEATH(column.DropRawPayload(0), "without a packed layout");
+  const SegmentPackPlan<int64_t> plan = PlanSegmentPack(column.segment(0));
+  ASSERT_TRUE(plan.value_range_ok);
+  column.AdoptPackedLayout(
+      0, PackSegment(column.segment(0), plan.base, plan.bits));
+  column.DropRawPayload(0);
+  EXPECT_DEATH(column.SpanFor(0, 16), "raw payload dropped");
 }
 
 }  // namespace
