@@ -27,16 +27,21 @@ void Run() {
   // totals of back-to-back 0.4 s arms pick up scheduler noise that the
   // median shrugs off.
   const double scan_median = scan.stats.latency_histogram().Percentile(50);
-  std::printf("  %-24s | %12s | %12s | %14s | %10s\n", "configuration",
-              "med/query us", "skipped (%)", "entries read", "vs scan");
+  std::printf("  %-24s | %12s | %12s | %14s | %12s | %10s\n",
+              "configuration", "med/query us", "skipped (%)", "entries read",
+              "metadata B", "vs scan");
   std::printf("  -------------------------+--------------+--------------+"
-              "----------------+-----------\n");
+              "----------------+--------------+-----------\n");
   auto print_row = [&](const ArmResult& arm) {
     double median = arm.stats.latency_histogram().Percentile(50);
-    std::printf("  %-24s | %12.1f | %12.2f | %14lld | %9.2fx\n",
+    // The metadata column is the measured index footprint
+    // (SkipIndex::MemoryUsageBytes via DescribeIndex), not an estimate:
+    // the bytes whose reads this figure shows going to waste.
+    std::printf("  %-24s | %12.1f | %12.2f | %14lld | %12lld | %9.2fx\n",
                 arm.label.c_str(), median,
                 arm.stats.MeanSkippedFraction() * 100.0,
                 static_cast<long long>(arm.stats.entries_read()),
+                static_cast<long long>(arm.index_memory_bytes),
                 scan_median / median);
   };
   print_row(scan);

@@ -1,0 +1,212 @@
+// Restart bench: cold-start-to-first-query time after a shutdown, the
+// experiment the persistence layer exists for. Three recovery strategies
+// back to the same serving state:
+//
+//   restore          Session::Restore — load the checkpointed columns +
+//                    deserialize every index's adapted state, replay the
+//                    journal tail.
+//   rebuild          no snapshot: re-ingest the base data from the
+//                    application's durable source (modeled as the usual
+//                    one-value-per-line text export) and rebuild the
+//                    index from scratch (cold, un-adapted metadata).
+//   rebuild+readapt  rebuild, then replay the original warm-up workload
+//                    until the index has re-learned what the snapshot
+//                    already knew.
+//
+// Usage: bench_restart [--json=<path>].
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common/bench_util.h"
+
+namespace adaskip {
+namespace bench {
+namespace {
+
+struct RestartArm {
+  std::string label;
+  double cold_start_seconds = 0.0;  // Session construction → first answer.
+  int64_t first_query_count = 0;    // Answer of the shared first query.
+  int64_t index_memory_bytes = 0;   // Footprint once the arm is serving.
+};
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Writes the base data the way applications keep it durable without a
+/// database snapshot: a one-value-per-line text export. Setup cost, not
+/// measured.
+void WriteSourceFile(const std::string& path,
+                     const std::vector<int64_t>& data) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  ADASKIP_CHECK(out.good()) << "cannot write source file " << path;
+  for (int64_t value : data) out << value << '\n';
+  out.flush();
+  ADASKIP_CHECK(out.good()) << "failed writing source file " << path;
+}
+
+/// What "rebuild from scratch" pays before it can even build an index:
+/// re-ingesting the base data from the durable source.
+std::vector<int64_t> LoadSourceFile(const std::string& path,
+                                    int64_t expected_rows) {
+  std::ifstream in(path);
+  ADASKIP_CHECK(in.good()) << "cannot read source file " << path;
+  std::vector<int64_t> data;
+  data.reserve(static_cast<size_t>(expected_rows));
+  int64_t value = 0;
+  while (in >> value) data.push_back(value);
+  ADASKIP_CHECK(static_cast<int64_t>(data.size()) == expected_rows)
+      << "source file " << path << " holds " << data.size() << " rows, want "
+      << expected_rows;
+  return data;
+}
+
+int64_t FirstQuery(Session& session, const Query& query) {
+  Result<QueryResult> result = session.Execute("t", query);
+  ADASKIP_CHECK_OK(result);
+  return result->count;
+}
+
+int64_t IndexBytes(Session& session) {
+  Result<IndexSnapshot> snapshot = session.DescribeIndex("t", "x");
+  ADASKIP_CHECK_OK(snapshot);
+  return snapshot->memory_bytes;
+}
+
+void Run(const std::string& json_path) {
+  BenchConfig config = BenchConfig::FromEnv();
+  PrintHeader("Restart — cold-start-to-first-query after a shutdown",
+              "restoring the checkpointed index state beats rebuilding it, "
+              "and vastly beats re-adapting it",
+              config);
+
+  // Warm up a live session: adaptive index, full query stream, then
+  // checkpoint. This is the state every arm must get back to.
+  std::vector<int64_t> data = MakeData(config, DataOrder::kClustered);
+  std::vector<Query> queries =
+      MakeQueries(config, data, QueryPattern::kSkewed);
+  AdaptiveOptions adaptive;
+  const IndexOptions index = IndexOptions::Adaptive(adaptive);
+  const std::string dir = "/tmp/adaskip_bench_restart";
+  const std::string source_path = dir + "_source.txt";
+  WriteSourceFile(source_path, data);
+  {
+    Session live;
+    ADASKIP_CHECK_OK(live.CreateTable("t"));
+    ADASKIP_CHECK_OK(live.AddColumn<int64_t>("t", "x", data));
+    ADASKIP_CHECK_OK(live.AttachIndex("t", "x", index));
+    for (const Query& query : queries) {
+      ADASKIP_CHECK_OK(live.Execute("t", query));
+    }
+    ADASKIP_CHECK_OK(live.Checkpoint(dir));
+  }
+  const Query first_query = queries.front();
+  std::vector<RestartArm> arms;
+
+  {
+    RestartArm arm;
+    arm.label = "restore";
+    const auto start = std::chrono::steady_clock::now();
+    Session session;
+    ADASKIP_CHECK_OK(session.Restore(dir));
+    arm.first_query_count = FirstQuery(session, first_query);
+    arm.cold_start_seconds = SecondsSince(start);
+    arm.index_memory_bytes = IndexBytes(session);
+    arms.push_back(arm);
+  }
+
+  {
+    RestartArm arm;
+    arm.label = "rebuild";
+    const auto start = std::chrono::steady_clock::now();
+    Session session;
+    ADASKIP_CHECK_OK(session.CreateTable("t"));
+    ADASKIP_CHECK_OK(session.AddColumn<int64_t>(
+        "t", "x", LoadSourceFile(source_path, config.num_rows)));
+    ADASKIP_CHECK_OK(session.AttachIndex("t", "x", index));
+    arm.first_query_count = FirstQuery(session, first_query);
+    arm.cold_start_seconds = SecondsSince(start);
+    arm.index_memory_bytes = IndexBytes(session);
+    arms.push_back(arm);
+  }
+
+  {
+    RestartArm arm;
+    arm.label = "rebuild+readapt";
+    const auto start = std::chrono::steady_clock::now();
+    Session session;
+    ADASKIP_CHECK_OK(session.CreateTable("t"));
+    ADASKIP_CHECK_OK(session.AddColumn<int64_t>(
+        "t", "x", LoadSourceFile(source_path, config.num_rows)));
+    ADASKIP_CHECK_OK(session.AttachIndex("t", "x", index));
+    for (const Query& query : queries) {
+      ADASKIP_CHECK_OK(session.Execute("t", query));
+    }
+    arm.first_query_count = FirstQuery(session, first_query);
+    arm.cold_start_seconds = SecondsSince(start);
+    arm.index_memory_bytes = IndexBytes(session);
+    arms.push_back(arm);
+  }
+
+  for (const RestartArm& arm : arms) {
+    ADASKIP_CHECK(arm.first_query_count == arms[0].first_query_count)
+        << "arm '" << arm.label << "' answered the first query differently";
+  }
+
+  std::printf("  %-18s | %18s | %12s | %10s\n", "strategy",
+              "cold start (ms)", "metadata B", "vs restore");
+  std::printf("  -------------------+--------------------+--------------+"
+              "-----------\n");
+  for (const RestartArm& arm : arms) {
+    std::printf("  %-18s | %18.2f | %12lld | %9.2fx\n", arm.label.c_str(),
+                arm.cold_start_seconds * 1e3,
+                static_cast<long long>(arm.index_memory_bytes),
+                arm.cold_start_seconds / arms[0].cold_start_seconds);
+  }
+  std::printf("\n  expected shape: restore < rebuild (binary snapshot load "
+              "vs source re-ingest + index\n  build) << rebuild+readapt "
+              "(the whole warm-up workload again).\n\n");
+
+  if (!json_path.empty()) {
+    std::string doc = "{\"experiment\":\"bench_restart\",\"config\":{";
+    doc += "\"rows\":" + std::to_string(config.num_rows) +
+           ",\"queries\":" + std::to_string(config.num_queries) +
+           "},\"arms\":[";
+    for (size_t i = 0; i < arms.size(); ++i) {
+      if (i > 0) doc += ',';
+      doc += "{\"label\":";
+      obs::AppendJsonString(&doc, arms[i].label);
+      doc += ",\"cold_start_seconds\":";
+      obs::AppendJsonDouble(&doc, arms[i].cold_start_seconds);
+      doc += ",\"memory_bytes\":" +
+             std::to_string(arms[i].index_memory_bytes);
+      doc += ",\"first_query_count\":" +
+             std::to_string(arms[i].first_query_count);
+      doc += '}';
+    }
+    doc += "]}\n";
+    std::ofstream file(json_path, std::ios::out | std::ios::trunc);
+    ADASKIP_CHECK(file.good()) << "cannot open --json path '" << json_path
+                               << "'";
+    file << doc;
+    file.flush();
+    ADASKIP_CHECK(file.good()) << "failed writing --json path '" << json_path
+                               << "'";
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace adaskip
+
+int main(int argc, char** argv) {
+  adaskip::bench::Run(adaskip::bench::JsonPathFromArgs(argc, argv));
+  return 0;
+}

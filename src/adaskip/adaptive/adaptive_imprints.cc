@@ -5,6 +5,7 @@
 
 #include "adaskip/obs/event_journal.h"
 #include "adaskip/obs/metrics.h"
+#include "adaskip/persist/binary_io.h"
 #include "adaskip/scan/predicate.h"
 #include "adaskip/storage/type_dispatch.h"
 #include "adaskip/util/stopwatch.h"
@@ -44,6 +45,22 @@ AdaptiveImprintsT<T>::AdaptiveImprintsT(const TypedColumn<T>& column,
     }
   }
   RebuildImprints();
+}
+
+template <typename T>
+AdaptiveImprintsT<T>::AdaptiveImprintsT(const TypedColumn<T>& column,
+                                        const AdaptiveImprintsOptions& options,
+                                        DeferBuildTag)
+    : num_rows_(0),
+      column_(&column),
+      options_(options),
+      tracker_(options.ewma_alpha),
+      cost_model_(options.enable_cost_model, options.probe_entry_cost_ratio,
+                  options.cost_model_warmup_queries,
+                  options.reactivation_benefit_threshold),
+      rng_(/*seed=*/0xADA5C1B) {
+  ADASKIP_CHECK_GT(options_.block_size, 0);
+  ADASKIP_CHECK(options_.num_bins > 1 && options_.num_bins <= 64);
 }
 
 template <typename T>
@@ -446,9 +463,124 @@ int64_t AdaptiveImprintsT<T>::TakeAdaptationNanos() {
 
 template <typename T>
 int64_t AdaptiveImprintsT<T>::MemoryUsageBytes() const {
-  return static_cast<int64_t>(imprints_.capacity() * sizeof(uint64_t) +
-                              split_points_.capacity() * sizeof(T) +
-                              endpoints_.capacity() * sizeof(T));
+  // size(), not capacity(): a restored index must report the same
+  // footprint as the live one it was checkpointed from, and vector
+  // growth slack differs between the two.
+  return static_cast<int64_t>(imprints_.size() * sizeof(uint64_t) +
+                              split_points_.size() * sizeof(T) +
+                              endpoints_.size() * sizeof(T));
+}
+
+template <typename T>
+Status AdaptiveImprintsT<T>::SerializeBinary(persist::Sink& sink) const {
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, num_rows_));
+  ADASKIP_RETURN_IF_ERROR(
+      persist::WriteScalar(sink, static_cast<uint8_t>(mode_)));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, last_probe_bypassed_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, false_positive_ewma_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, query_seq_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, last_rebin_seq_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, rebin_count_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, tail_extend_count_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, bypassed_probe_count_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, adapt_nanos_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, imprinted_rows_));
+  ADASKIP_RETURN_IF_ERROR(
+      persist::WriteScalar(sink, tail_scanned_this_query_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, tail_rows_scanned_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, endpoints_seen_));
+  ADASKIP_RETURN_IF_ERROR(
+      persist::WriteScalar(sink, tracker_.skipped_fraction()));
+  ADASKIP_RETURN_IF_ERROR(
+      persist::WriteScalar(sink, tracker_.entries_per_row()));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, tracker_.num_recorded()));
+  for (uint64_t word : rng_.SaveState()) {
+    ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, word));
+  }
+  ADASKIP_RETURN_IF_ERROR(persist::WriteVector(sink, split_points_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteVector(sink, imprints_));
+  return persist::WriteVector(sink, endpoints_);
+}
+
+template <typename T>
+Status AdaptiveImprintsT<T>::DeserializeBinary(persist::Source& source) {
+  int64_t num_rows = 0;
+  uint8_t mode_byte = 0;
+  bool last_probe_bypassed = false;
+  double false_positive_ewma = 0.0;
+  int64_t query_seq = 0;
+  int64_t last_rebin_seq = 0;
+  int64_t rebin_count = 0;
+  int64_t tail_extend_count = 0;
+  int64_t bypassed_probe_count = 0;
+  int64_t adapt_nanos = 0;
+  int64_t imprinted_rows = 0;
+  bool tail_scanned_this_query = false;
+  int64_t tail_rows_scanned = 0;
+  int64_t endpoints_seen = 0;
+  double skipped_fraction = 0.0;
+  double entries_per_row = 0.0;
+  int64_t num_recorded = 0;
+  std::array<uint64_t, 4> rng_state{};
+  std::vector<T> split_points;
+  std::vector<uint64_t> imprints;
+  std::vector<T> endpoints;
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &num_rows));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &mode_byte));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &last_probe_bypassed));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &false_positive_ewma));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &query_seq));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &last_rebin_seq));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &rebin_count));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &tail_extend_count));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &bypassed_probe_count));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &adapt_nanos));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &imprinted_rows));
+  ADASKIP_RETURN_IF_ERROR(
+      persist::ReadScalar(source, &tail_scanned_this_query));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &tail_rows_scanned));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &endpoints_seen));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &skipped_fraction));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &entries_per_row));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &num_recorded));
+  for (uint64_t& word : rng_state) {
+    ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &word));
+  }
+  ADASKIP_RETURN_IF_ERROR(persist::ReadVector(source, &split_points));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadVector(source, &imprints));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadVector(source, &endpoints));
+  const int64_t expected_blocks =
+      (imprinted_rows + options_.block_size - 1) / options_.block_size;
+  if (num_rows < 0 || mode_byte > 1 || imprinted_rows < 0 ||
+      imprinted_rows > num_rows ||
+      static_cast<int64_t>(imprints.size()) != expected_blocks ||
+      static_cast<int64_t>(split_points.size()) >= options_.num_bins ||
+      !std::is_sorted(split_points.begin(), split_points.end()) ||
+      endpoints_seen < 0 || query_seq < 0 || rebin_count < 0 ||
+      num_recorded < 0) {
+    return Status::DataLoss(
+        "adaptive imprints snapshot is structurally unsound");
+  }
+  num_rows_ = num_rows;
+  mode_ = static_cast<SkippingMode>(mode_byte);
+  last_probe_bypassed_ = last_probe_bypassed;
+  false_positive_ewma_ = false_positive_ewma;
+  query_seq_ = query_seq;
+  last_rebin_seq_ = last_rebin_seq;
+  rebin_count_ = rebin_count;
+  tail_extend_count_ = tail_extend_count;
+  bypassed_probe_count_ = bypassed_probe_count;
+  adapt_nanos_ = adapt_nanos;
+  imprinted_rows_ = imprinted_rows;
+  tail_scanned_this_query_ = tail_scanned_this_query;
+  tail_rows_scanned_ = tail_rows_scanned;
+  endpoints_seen_ = endpoints_seen;
+  tracker_.Restore(skipped_fraction, entries_per_row, num_recorded);
+  rng_.RestoreState(rng_state);
+  split_points_ = std::move(split_points);
+  imprints_ = std::move(imprints);
+  endpoints_ = std::move(endpoints);
+  return Status::OK();
 }
 
 std::unique_ptr<SkipIndex> MakeAdaptiveImprints(

@@ -68,6 +68,10 @@ class AdaptiveImprintsT final : public SkipIndex {
   AdaptiveImprintsT(const TypedColumn<T>& column,
                     const AdaptiveImprintsOptions& options);
 
+  /// Deferred build: an empty shell DeserializeBinary fills.
+  AdaptiveImprintsT(const TypedColumn<T>& column,
+                    const AdaptiveImprintsOptions& options, DeferBuildTag);
+
   std::string_view name() const override { return "adaptive_imprints"; }
   std::string Describe() const override {
     return "adaptive_imprints: " + std::to_string(imprints_.size()) +
@@ -122,6 +126,13 @@ class AdaptiveImprintsT final : public SkipIndex {
 
   /// Bin of `v` under the current boundaries (exposed for tests).
   int64_t BinOf(T v) const;
+
+  /// Serializes the complete adaptation state, including the endpoint
+  /// reservoir and the raw RNG state (Rng::SaveState), so a restored
+  /// index samples the same future reservoir slots — and therefore makes
+  /// bit-identical rebin decisions — as the live one.
+  Status SerializeBinary(persist::Sink& sink) const override;
+  Status DeserializeBinary(persist::Source& source) override;
 
  private:
   /// Rebuilds split points from the endpoint reservoir and recomputes

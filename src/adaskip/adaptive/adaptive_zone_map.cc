@@ -5,6 +5,7 @@
 
 #include "adaskip/obs/event_journal.h"
 #include "adaskip/obs/metrics.h"
+#include "adaskip/persist/binary_io.h"
 #include "adaskip/scan/simd/kernel_dispatch.h"
 #include "adaskip/storage/type_dispatch.h"
 #include "adaskip/util/stopwatch.h"
@@ -34,6 +35,19 @@ AdaptiveZoneMapT<T>::AdaptiveZoneMapT(const TypedColumn<T>& column,
                                     /*last_candidate_seq=*/0});
     }
   });
+}
+
+template <typename T>
+AdaptiveZoneMapT<T>::AdaptiveZoneMapT(const TypedColumn<T>& column,
+                                      const AdaptiveOptions& options,
+                                      DeferBuildTag)
+    : num_rows_(0),
+      column_(&column),
+      options_(options),
+      tracker_(options.ewma_alpha),
+      cost_model_(options) {
+  ADASKIP_CHECK_GE(options_.min_zone_size, 1);
+  ADASKIP_CHECK_GT(options_.max_zones, 0);
 }
 
 template <typename T>
@@ -424,7 +438,137 @@ void AdaptiveZoneMapT<T>::MergeSweep() {
 
 template <typename T>
 int64_t AdaptiveZoneMapT<T>::MemoryUsageBytes() const {
-  return static_cast<int64_t>(zones_.capacity() * sizeof(AdaptiveZone));
+  // size(), not capacity(): a restored index must report the same
+  // footprint as the live one it was checkpointed from, and vector
+  // growth slack differs between the two.
+  return static_cast<int64_t>(zones_.size() * sizeof(AdaptiveZone));
+}
+
+template <typename T>
+Status AdaptiveZoneMapT<T>::SerializeBinary(persist::Sink& sink) const {
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, num_rows_));
+  ADASKIP_RETURN_IF_ERROR(
+      persist::WriteScalar(sink, static_cast<uint8_t>(mode_)));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, last_probe_bypassed_));
+  ADASKIP_RETURN_IF_ERROR(
+      persist::WriteScalar(sink, allow_splits_this_query_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, query_seq_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, splits_this_query_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, split_count_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, merge_count_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, absorb_count_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, bypassed_probe_count_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, adapt_nanos_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, conservative_zones_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, tail_rows_scanned_));
+  ADASKIP_RETURN_IF_ERROR(
+      persist::WriteScalar(sink, tracker_.skipped_fraction()));
+  ADASKIP_RETURN_IF_ERROR(
+      persist::WriteScalar(sink, tracker_.entries_per_row()));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, tracker_.num_recorded()));
+  ADASKIP_RETURN_IF_ERROR(
+      persist::WriteScalar(sink, static_cast<uint64_t>(zones_.size())));
+  for (const AdaptiveZone& zone : zones_) {
+    ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, zone.begin));
+    ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, zone.end));
+    ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, zone.min));
+    ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, zone.max));
+    ADASKIP_RETURN_IF_ERROR(
+        persist::WriteScalar(sink, zone.last_candidate_seq));
+    ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, zone.conservative));
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status AdaptiveZoneMapT<T>::DeserializeBinary(persist::Source& source) {
+  int64_t num_rows = 0;
+  uint8_t mode_byte = 0;
+  bool last_probe_bypassed = false;
+  bool allow_splits_this_query = true;
+  int64_t query_seq = 0;
+  int64_t splits_this_query = 0;
+  int64_t split_count = 0;
+  int64_t merge_count = 0;
+  int64_t absorb_count = 0;
+  int64_t bypassed_probe_count = 0;
+  int64_t adapt_nanos = 0;
+  int64_t conservative_zones = 0;
+  int64_t tail_rows_scanned = 0;
+  double skipped_fraction = 0.0;
+  double entries_per_row = 0.0;
+  int64_t num_recorded = 0;
+  uint64_t zone_count = 0;
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &num_rows));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &mode_byte));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &last_probe_bypassed));
+  ADASKIP_RETURN_IF_ERROR(
+      persist::ReadScalar(source, &allow_splits_this_query));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &query_seq));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &splits_this_query));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &split_count));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &merge_count));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &absorb_count));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &bypassed_probe_count));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &adapt_nanos));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &conservative_zones));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &tail_rows_scanned));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &skipped_fraction));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &entries_per_row));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &num_recorded));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &zone_count));
+  constexpr size_t kZoneWireBytes =
+      3 * sizeof(int64_t) + 2 * sizeof(T) + 1;
+  const int64_t limit = source.remaining();
+  if (limit >= 0 &&
+      zone_count > static_cast<uint64_t>(limit) / kZoneWireBytes) {
+    return Status::DataLoss("adaptive zone count " +
+                            std::to_string(zone_count) +
+                            " exceeds the bytes left in the source");
+  }
+  std::vector<AdaptiveZone> zones;
+  zones.reserve(static_cast<size_t>(zone_count));
+  int64_t counted_conservative = 0;
+  int64_t cursor = 0;
+  for (uint64_t i = 0; i < zone_count; ++i) {
+    AdaptiveZone zone{};
+    ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &zone.begin));
+    ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &zone.end));
+    ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &zone.min));
+    ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &zone.max));
+    ADASKIP_RETURN_IF_ERROR(
+        persist::ReadScalar(source, &zone.last_candidate_seq));
+    ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &zone.conservative));
+    if (zone.begin != cursor || zone.end <= zone.begin) {
+      return Status::DataLoss("adaptive zonemap snapshot zones do not tile");
+    }
+    cursor = zone.end;
+    if (zone.conservative) ++counted_conservative;
+    zones.push_back(zone);
+  }
+  if (num_rows < 0 || cursor != num_rows || mode_byte > 1 ||
+      counted_conservative != conservative_zones || query_seq < 0 ||
+      split_count < 0 || merge_count < 0 || absorb_count < 0 ||
+      num_recorded < 0) {
+    return Status::DataLoss("adaptive zonemap snapshot is structurally "
+                            "unsound");
+  }
+  num_rows_ = num_rows;
+  mode_ = static_cast<SkippingMode>(mode_byte);
+  last_probe_bypassed_ = last_probe_bypassed;
+  allow_splits_this_query_ = allow_splits_this_query;
+  query_seq_ = query_seq;
+  splits_this_query_ = splits_this_query;
+  split_count_ = split_count;
+  merge_count_ = merge_count;
+  absorb_count_ = absorb_count;
+  bypassed_probe_count_ = bypassed_probe_count;
+  adapt_nanos_ = adapt_nanos;
+  conservative_zones_ = conservative_zones;
+  tail_rows_scanned_ = tail_rows_scanned;
+  tracker_.Restore(skipped_fraction, entries_per_row, num_recorded);
+  zones_ = std::move(zones);
+  return Status::OK();
 }
 
 template <typename T>

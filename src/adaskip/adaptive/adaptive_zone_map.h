@@ -48,6 +48,10 @@ class AdaptiveZoneMapT final : public SkipIndex {
   AdaptiveZoneMapT(const TypedColumn<T>& column,
                    const AdaptiveOptions& options);
 
+  /// Deferred build: an empty shell DeserializeBinary fills.
+  AdaptiveZoneMapT(const TypedColumn<T>& column,
+                   const AdaptiveOptions& options, DeferBuildTag);
+
   std::string_view name() const override { return "adaptive"; }
   std::string Describe() const override {
     return "adaptive: " + std::to_string(zones_.size()) + " zones (" +
@@ -117,6 +121,13 @@ class AdaptiveZoneMapT final : public SkipIndex {
   /// Verifies the structural invariants (tiling, sortedness, bound
   /// soundness against the column payload). O(num_rows); tests only.
   bool CheckInvariants() const;
+
+  /// Serializes the complete adaptation state — zones (including
+  /// conservative flags and candidacy heat), mode, counters, and the
+  /// effectiveness EWMAs — so a restored map makes the same future
+  /// split/merge/bypass decisions as the live one.
+  Status SerializeBinary(persist::Sink& sink) const override;
+  Status DeserializeBinary(persist::Source& source) override;
 
  private:
   /// Index of the zone starting exactly at `begin`, or -1.

@@ -26,6 +26,15 @@ class EffectivenessTracker {
 
   void Reset();
 
+  /// Restores a state captured by the accessors above (snapshot
+  /// deserialization); `alpha` keeps its constructed value.
+  void Restore(double skipped_fraction, double entries_per_row,
+               int64_t num_recorded) {
+    skipped_fraction_ = skipped_fraction;
+    entries_per_row_ = entries_per_row;
+    num_recorded_ = num_recorded;
+  }
+
  private:
   double alpha_;
   double skipped_fraction_ = 0.0;

@@ -3,6 +3,7 @@
 #include "adaskip/adaptive/adaptive_zone_map.h"
 #include "adaskip/obs/event_journal.h"
 #include "adaskip/obs/metrics.h"
+#include "adaskip/storage/type_dispatch.h"
 
 namespace adaskip {
 namespace {
@@ -61,6 +62,45 @@ std::unique_ptr<SkipIndex> MakeSkipIndex(const Column& column,
   __builtin_unreachable();
 }
 
+std::unique_ptr<SkipIndex> MakeSkipIndex(const Column& column,
+                                         const IndexOptions& options,
+                                         DeferBuildTag) {
+  if (options.kind == IndexKind::kFullScan) {
+    // Stateless beyond the row count; DeserializeBinary sets it.
+    return std::make_unique<FullScanIndex>(0);
+  }
+  return DispatchDataType(
+      column.type(), [&](auto tag) -> std::unique_ptr<SkipIndex> {
+        using T = typename decltype(tag)::type;
+        const TypedColumn<T>& typed = *column.As<T>();
+        switch (options.kind) {
+          case IndexKind::kZoneMap:
+            return std::make_unique<ZoneMapT<T>>(typed, options.zone_map,
+                                                 kDeferBuild);
+          case IndexKind::kZoneTree:
+            return std::make_unique<ZoneTreeT<T>>(typed, options.zone_tree,
+                                                  kDeferBuild);
+          case IndexKind::kImprints:
+            return std::make_unique<ColumnImprintsT<T>>(
+                typed, options.imprints, kDeferBuild);
+          case IndexKind::kBloomZoneMap:
+            return std::make_unique<BloomZoneMapT<T>>(typed, options.bloom,
+                                                      kDeferBuild);
+          case IndexKind::kAdaptive:
+            return std::make_unique<AdaptiveZoneMapT<T>>(
+                typed, options.adaptive, kDeferBuild);
+          case IndexKind::kAdaptiveImprints:
+            return std::make_unique<AdaptiveImprintsT<T>>(
+                typed, options.adaptive_imprints, kDeferBuild);
+          case IndexKind::kFullScan:
+            break;  // Handled above.
+        }
+        ADASKIP_LOG(Fatal) << "unknown IndexKind "
+                           << static_cast<int>(options.kind);
+        __builtin_unreachable();
+      });
+}
+
 Status IndexManager::AttachIndex(std::string_view column_name,
                                  const IndexOptions& options) {
   ADASKIP_ASSIGN_OR_RETURN(const Column* column,
@@ -81,7 +121,25 @@ Status IndexManager::AttachIndex(std::string_view column_name,
     event.args.push_back(version);
     ADASKIP_JOURNAL_EVENT(journal_, std::move(event));
   }
-  indexes_[std::string(column_name)] = Entry{std::move(index), version};
+  indexes_[std::string(column_name)] = Entry{std::move(index), version,
+                                             options};
+  return Status::OK();
+}
+
+Status IndexManager::AttachRestoredIndex(std::string_view column_name,
+                                         const IndexOptions& options,
+                                         std::unique_ptr<SkipIndex> index) {
+  ADASKIP_RETURN_IF_ERROR(table_->ColumnByName(column_name).status());
+  const int64_t version = table_->data_version();
+  MutexLock lock(&mu_);
+  // No kIndexAttach emission: the restored index's attach is already in
+  // its (restored) journal history; re-journaling it would double-count
+  // on the next replay.
+  if (journal_ != nullptr) {
+    index->BindJournal(journal_, ScopeFor(column_name));
+  }
+  indexes_[std::string(column_name)] = Entry{std::move(index), version,
+                                             options};
   return Status::OK();
 }
 
@@ -168,6 +226,17 @@ std::vector<std::string> IndexManager::IndexedColumns() const {
   names.reserve(indexes_.size());
   for (const auto& [name, entry] : indexes_) names.push_back(name);
   return names;
+}
+
+std::vector<std::pair<std::string, IndexOptions>>
+IndexManager::IndexedColumnOptions() const {
+  MutexLock lock(&mu_);
+  std::vector<std::pair<std::string, IndexOptions>> out;
+  out.reserve(indexes_.size());
+  for (const auto& [name, entry] : indexes_) {
+    out.emplace_back(name, entry.options);
+  }
+  return out;
 }
 
 int64_t IndexManager::MemoryUsageBytes() const {

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "adaskip/adaptive/adaptation_policy.h"
@@ -66,6 +67,13 @@ struct IndexOptions {
 std::unique_ptr<SkipIndex> MakeSkipIndex(const Column& column,
                                          const IndexOptions& options);
 
+/// Deferred-build overload: wires up the structure shell for
+/// `options.kind` without the O(rows) metadata build, for
+/// DeserializeBinary to fill from a snapshot.
+std::unique_ptr<SkipIndex> MakeSkipIndex(const Column& column,
+                                         const IndexOptions& options,
+                                         DeferBuildTag);
+
 /// Owns the skip indexes of one table, keyed by column name. The manager
 /// (and its indexes) reference the table's columns and must not outlive
 /// the table — the Session ties both lifetimes together.
@@ -101,6 +109,16 @@ class IndexManager {
   Status AttachIndex(std::string_view column_name, const IndexOptions& options)
       ADASKIP_EXCLUDES(mu_);
 
+  /// Attaches an index restored from a snapshot (already deserialized
+  /// over the table's current payload): binds the journal *without*
+  /// emitting a lifecycle event — the index's attach predates this
+  /// process and is already part of its journal history — and records
+  /// the table's current data version.
+  Status AttachRestoredIndex(std::string_view column_name,
+                             const IndexOptions& options,
+                             std::unique_ptr<SkipIndex> index)
+      ADASKIP_EXCLUDES(mu_);
+
   /// Drops the index of `column_name`; fails if none is attached.
   Status DetachIndex(std::string_view column_name) ADASKIP_EXCLUDES(mu_);
 
@@ -130,6 +148,12 @@ class IndexManager {
 
   std::vector<std::string> IndexedColumns() const ADASKIP_EXCLUDES(mu_);
 
+  /// The attached indexes' build options keyed by column name, in map
+  /// order — what the checkpoint manifest records so a restore can
+  /// reconstruct each structure shell before deserializing its state.
+  std::vector<std::pair<std::string, IndexOptions>> IndexedColumnOptions()
+      const ADASKIP_EXCLUDES(mu_);
+
   /// Total metadata footprint across all attached indexes.
   int64_t MemoryUsageBytes() const ADASKIP_EXCLUDES(mu_);
 
@@ -137,6 +161,7 @@ class IndexManager {
   struct Entry {
     std::unique_ptr<SkipIndex> index;
     int64_t data_version = 0;  // Table version the index describes.
+    IndexOptions options;      // Build options (checkpoint manifest).
   };
 
   /// "<scope_prefix>.<column>" under the current binding (mu_ held).

@@ -283,6 +283,12 @@ Result<IndexSnapshot> Session::DescribeIndex(
   snapshot.memory_bytes = index->MemoryUsageBytes();
   snapshot.unindexed_tail_rows = index->UnindexedTailRows();
   snapshot.adaptation = index->GetAdaptationProfile();
+  // Surface the metadata footprint where dashboards already look: the
+  // fig5 bench and telemetry consumers read this instead of estimating
+  // index sizes by hand.
+  ADASKIP_METRIC_GAUGE(memory_gauge, "adaskip.index.memory_bytes",
+                       "Metadata bytes of the most recently described index");
+  memory_gauge.Set(snapshot.memory_bytes);
   return snapshot;
 }
 
@@ -332,6 +338,8 @@ void Session::DumpTelemetry(std::ostream& out) const {
     obs::AppendJsonString(&doc, sample.name);
     if (sample.kind == obs::MetricSample::Kind::kCounter) {
       doc += ",\"kind\":\"counter\",\"value\":" + std::to_string(sample.value);
+    } else if (sample.kind == obs::MetricSample::Kind::kGauge) {
+      doc += ",\"kind\":\"gauge\",\"value\":" + std::to_string(sample.value);
     } else {
       doc += ",\"kind\":\"histogram\",\"count\":" +
              std::to_string(sample.value);
@@ -345,13 +353,6 @@ void Session::DumpTelemetry(std::ostream& out) const {
   }
   doc += "]}";
   out << doc << "\n";
-}
-
-SkipIndex* Session::GetIndex(std::string_view table_name,
-                             std::string_view column_name) const {
-  const TableRuntime* runtime = FindRuntime(table_name);
-  return runtime == nullptr ? nullptr
-                            : runtime->indexes->GetIndex(column_name);
 }
 
 }  // namespace adaskip

@@ -18,10 +18,14 @@
 
 namespace adaskip {
 
+namespace persist {
+class JournalTailWriter;
+class JsonlSpillWriter;
+}  // namespace persist
+
 /// Value-type snapshot of one attached skip index: identity, geometry,
 /// and adaptation state at the moment of the call. This is the supported
-/// introspection surface — unlike the deprecated raw `SkipIndex*` of
-/// `Session::GetIndex`, a snapshot cannot be used to mutate the index
+/// introspection surface — a snapshot cannot be used to mutate the index
 /// past the session's locking discipline, and it stays valid after the
 /// index is detached or replaced.
 struct IndexSnapshot {
@@ -79,7 +83,10 @@ struct Explanation {
 /// racing.
 class Session {
  public:
-  Session() = default;
+  // Both out of line: the inline-defaulted forms would need the persist
+  // writer types complete in every includer.
+  Session();
+  ~Session();
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -168,16 +175,45 @@ class Session {
   Result<IndexSnapshot> DescribeIndex(std::string_view table_name,
                                       std::string_view column_name) const;
 
-  /// The raw index on `table.column`, or nullptr.
+  /// Writes a versioned, checksummed binary snapshot of the whole session
+  /// into `dir` (created if missing): every column in its current
+  /// physical layout (packed segments included), every attached skip
+  /// index with its full adaptation state, the event journal, and a
+  /// manifest tying them together. The manifest is written last, so a
+  /// crash mid-checkpoint leaves no snapshot that Restore would accept.
   ///
-  /// DEPRECATED: returns a mutable pointer that bypasses the session's
-  /// locking discipline and dangles once the index is detached or
-  /// replaced. Use DescribeIndex for introspection (zone counts, mode,
-  /// adaptation actions); this shim is kept for one release and then
-  /// removed.
-  [[deprecated("use Session::DescribeIndex instead")]]
-  SkipIndex* GetIndex(std::string_view table_name,
-                      std::string_view column_name) const;
+  /// After the snapshot is on disk, a journal-tail file inside `dir`
+  /// starts receiving every subsequently journaled event (flushed per
+  /// event); Restore replays that tail so recovered indexes match the
+  /// pre-crash state bit for bit, not just the checkpoint-time state.
+  ///
+  /// The session must be quiesced for the duration of the call: no
+  /// concurrent Execute/Append/DDL on any table (same single-coordinator
+  /// contract as every other mutation).
+  Status Checkpoint(const std::string& dir);
+
+  /// Rebuilds this session from a snapshot written by Checkpoint:
+  /// verifies every block checksum, restores tables/columns (including
+  /// packed segment layouts), restores the journal and re-appends the
+  /// journal-tail events past the snapshot's high-water sequence, then
+  /// reconstructs each skip index from its snapshot state plus a replay
+  /// of its tail events. Requires an empty session (no tables, untouched
+  /// journal). Any corruption surfaces as kDataLoss and the snapshot
+  /// files are left untouched; a torn trailing journal-tail record (the
+  /// expected crash artifact) is silently dropped. Rows appended after
+  /// the checkpoint are not recoverable — events referencing them fail
+  /// the replay loudly rather than restoring an index that lies about
+  /// its column.
+  Status Restore(const std::string& dir);
+
+  /// Routes journal spill evictions to a JSONL file at `path` (appending
+  /// to any existing history, one JournalEvent JSON object per line).
+  /// Replaces any previous spill target.
+  Status EnableJournalSpill(const std::string& path);
+
+  /// Detaches and closes the spill file, surfacing any sticky write
+  /// error. No-op without an active spill.
+  Status DisableJournalSpill();
 
   const Catalog& catalog() const { return catalog_; }
 
@@ -265,6 +301,11 @@ class Session {
       ADASKIP_GUARDED_BY(runtimes_mu_);
   mutable Mutex stats_mu_;
   WorkloadStats stats_ ADASKIP_GUARDED_BY(stats_mu_);
+  // Persistence plumbing (engine/session_persist.cc). Both writers are
+  // referenced by callbacks installed on journal_; the destructor clears
+  // those callbacks before any member is torn down.
+  std::unique_ptr<persist::JournalTailWriter> tail_writer_;
+  std::unique_ptr<persist::JsonlSpillWriter> spill_writer_;
 };
 
 }  // namespace adaskip

@@ -1,0 +1,448 @@
+// Session::Checkpoint / Session::Restore: the checkpoint driver over the
+// persist/ serialization contract. Every persisted object stages its
+// unframed payload into a BufferSink; this file wraps each payload in one
+// CRC-framed block per file (persist/binary_io.h) and ties the files
+// together with a manifest that is written LAST — its presence is the
+// snapshot's validity marker, so a crash mid-checkpoint never leaves a
+// snapshot Restore would accept.
+//
+// Snapshot layout inside the checkpoint directory:
+//   <table>.<column>.col   column payload, current physical layout
+//   <table>.<column>.idx   [kind byte][index state], per attached index
+//   journal.bin            EventJournal state at checkpoint time
+//   journal_tail.bin       per-event framed records appended AFTER the
+//                          checkpoint (crash-recovery replay input)
+//   MANIFEST.bin           snapshot high-water seq + schema + index
+//                          options; written last
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adaskip/adaptive/journal_replay.h"
+#include "adaskip/engine/session.h"
+#include "adaskip/persist/binary_io.h"
+#include "adaskip/persist/journal_io.h"
+#include "adaskip/persist/jsonl_spill.h"
+#include "adaskip/storage/type_dispatch.h"
+
+namespace adaskip {
+namespace {
+
+constexpr uint32_t kManifestTag = persist::FourCC("MNFT");
+constexpr uint32_t kColumnTag = persist::FourCC("COLP");
+constexpr uint32_t kIndexTag = persist::FourCC("SIDX");
+constexpr uint32_t kJournalTag = persist::FourCC("JRNL");
+
+std::string ColumnFile(const std::string& dir, const std::string& table,
+                       const std::string& column) {
+  return dir + "/" + table + "." + column + ".col";
+}
+
+std::string IndexFile(const std::string& dir, const std::string& table,
+                      const std::string& column) {
+  return dir + "/" + table + "." + column + ".idx";
+}
+
+/// One snapshot file = header + a single framed block.
+Status WriteObjectFile(const std::string& path, uint32_t tag,
+                       const std::string& payload) {
+  ADASKIP_ASSIGN_OR_RETURN(std::unique_ptr<persist::FileSink> sink,
+                           persist::FileSink::Open(path));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteSnapshotHeader(*sink));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteBlock(*sink, tag, payload));
+  return sink->Close();
+}
+
+Result<std::string> ReadObjectFile(const std::string& path, uint32_t tag) {
+  ADASKIP_ASSIGN_OR_RETURN(std::unique_ptr<persist::FileSource> source,
+                           persist::FileSource::Open(path));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadSnapshotHeader(*source));
+  std::string payload;
+  ADASKIP_RETURN_IF_ERROR(persist::ReadBlock(*source, tag, &payload));
+  return payload;
+}
+
+/// IndexOptions travel in the manifest so Restore can rebuild each
+/// structure shell (deferred MakeSkipIndex) before deserializing its
+/// state. Every field of every per-structure option struct is written in
+/// a fixed order — an option added without extending this pair is caught
+/// by the round-trip test, not by silent truncation (the manifest block
+/// CRC covers the whole encoding).
+Status WriteIndexOptions(persist::Sink& sink, const IndexOptions& options) {
+  using persist::WriteScalar;
+  ADASKIP_RETURN_IF_ERROR(
+      WriteScalar(sink, static_cast<int8_t>(options.kind)));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, options.zone_map.zone_size));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, options.zone_tree.zone_size));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, options.zone_tree.fanout));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, options.imprints.block_size));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, options.imprints.num_bins));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, options.imprints.sample_size));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, options.bloom.zone_size));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, options.bloom.bits_per_row));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, options.bloom.num_hashes));
+  const AdaptiveOptions& a = options.adaptive;
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, a.initial_zone_size));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, a.min_zone_size));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, a.split_waste_threshold));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, static_cast<int8_t>(a.policy)));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, a.max_zones));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, a.refine_skip_ceiling));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, a.max_splits_per_query));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, a.enable_merging));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, a.merge_check_interval));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, a.merge_cold_age));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, a.merge_trigger_fraction));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, a.merge_max_zone_size));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, a.enable_cost_model));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, a.probe_entry_cost_ratio));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, a.cost_model_warmup_queries));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, a.explore_interval));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, a.ewma_alpha));
+  ADASKIP_RETURN_IF_ERROR(
+      WriteScalar(sink, a.reactivation_benefit_threshold));
+  const AdaptiveImprintsOptions& ai = options.adaptive_imprints;
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, ai.block_size));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, ai.num_bins));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, ai.sample_size));
+  ADASKIP_RETURN_IF_ERROR(
+      WriteScalar(sink, ai.rebin_false_positive_threshold));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, ai.rebin_min_skip));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, ai.rebin_check_interval));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, ai.rebin_cooldown));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, ai.endpoint_reservoir));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, ai.enable_cost_model));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, ai.probe_entry_cost_ratio));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, ai.cost_model_warmup_queries));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, ai.explore_interval));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, ai.ewma_alpha));
+  return WriteScalar(sink, ai.reactivation_benefit_threshold);
+}
+
+Status ReadIndexOptions(persist::Source& source, IndexOptions* out) {
+  using persist::ReadScalar;
+  IndexOptions options;
+  int8_t kind = 0;
+  int8_t policy = 0;
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &kind));
+  if (kind < 0 || kind > static_cast<int8_t>(IndexKind::kAdaptiveImprints)) {
+    return Status::DataLoss("manifest index kind byte out of range: " +
+                            std::to_string(kind));
+  }
+  options.kind = static_cast<IndexKind>(kind);
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &options.zone_map.zone_size));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &options.zone_tree.zone_size));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &options.zone_tree.fanout));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &options.imprints.block_size));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &options.imprints.num_bins));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &options.imprints.sample_size));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &options.bloom.zone_size));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &options.bloom.bits_per_row));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &options.bloom.num_hashes));
+  AdaptiveOptions& a = options.adaptive;
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &a.initial_zone_size));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &a.min_zone_size));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &a.split_waste_threshold));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &policy));
+  if (policy < 0 || policy > static_cast<int8_t>(SplitPolicy::kBudgeted)) {
+    return Status::DataLoss("manifest split policy byte out of range: " +
+                            std::to_string(policy));
+  }
+  a.policy = static_cast<SplitPolicy>(policy);
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &a.max_zones));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &a.refine_skip_ceiling));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &a.max_splits_per_query));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &a.enable_merging));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &a.merge_check_interval));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &a.merge_cold_age));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &a.merge_trigger_fraction));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &a.merge_max_zone_size));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &a.enable_cost_model));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &a.probe_entry_cost_ratio));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &a.cost_model_warmup_queries));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &a.explore_interval));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &a.ewma_alpha));
+  ADASKIP_RETURN_IF_ERROR(
+      ReadScalar(source, &a.reactivation_benefit_threshold));
+  AdaptiveImprintsOptions& ai = options.adaptive_imprints;
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &ai.block_size));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &ai.num_bins));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &ai.sample_size));
+  ADASKIP_RETURN_IF_ERROR(
+      ReadScalar(source, &ai.rebin_false_positive_threshold));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &ai.rebin_min_skip));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &ai.rebin_check_interval));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &ai.rebin_cooldown));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &ai.endpoint_reservoir));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &ai.enable_cost_model));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &ai.probe_entry_cost_ratio));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &ai.cost_model_warmup_queries));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &ai.explore_interval));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &ai.ewma_alpha));
+  ADASKIP_RETURN_IF_ERROR(
+      ReadScalar(source, &ai.reactivation_benefit_threshold));
+  *out = options;
+  return Status::OK();
+}
+
+Status SerializeColumn(const Column& column, persist::Sink& sink) {
+  return DispatchDataType(column.type(), [&](auto tag) -> Status {
+    using T = typename decltype(tag)::type;
+    return column.As<T>()->SerializeBinary(sink);
+  });
+}
+
+Result<std::unique_ptr<Column>> DeserializeColumn(DataType type,
+                                                  persist::Source& source) {
+  return DispatchDataType(
+      type, [&](auto tag) -> Result<std::unique_ptr<Column>> {
+        using T = typename decltype(tag)::type;
+        auto typed = std::make_unique<TypedColumn<T>>();
+        ADASKIP_RETURN_IF_ERROR(typed->DeserializeBinary(source));
+        return std::unique_ptr<Column>(std::move(typed));
+      });
+}
+
+}  // namespace
+
+Session::Session() = default;
+
+Session::~Session() {
+  // Unhook the journal callbacks before any member is torn down: the
+  // writers they capture are about to die, and a stale callback must
+  // never fire.
+  journal_.SetTailSink(nullptr);
+  journal_.SetSpill(nullptr);
+  if (tail_writer_ != nullptr) (void)tail_writer_->Close();
+  if (spill_writer_ != nullptr) (void)spill_writer_->Close();
+}
+
+Status Session::Checkpoint(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("cannot create checkpoint directory: " + dir);
+  }
+  // A new checkpoint supersedes the previous tail file; stop feeding it
+  // before any snapshot byte is written.
+  journal_.SetTailSink(nullptr);
+  if (tail_writer_ != nullptr) {
+    ADASKIP_RETURN_IF_ERROR(tail_writer_->Close());
+    tail_writer_.reset();
+  }
+  // The high-water mark: tail events with seq > snapshot_seq are the ones
+  // Restore replays on top of the snapshot. Captured before anything is
+  // serialized — the quiesce contract means nothing appends in between.
+  const int64_t snapshot_seq = journal_.total_appended();
+
+  persist::BufferSink manifest;
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(manifest, snapshot_seq));
+  const std::vector<std::string> tables = catalog_.TableNames();
+  ADASKIP_RETURN_IF_ERROR(
+      persist::WriteScalar(manifest, static_cast<uint64_t>(tables.size())));
+  for (const std::string& table_name : tables) {
+    ADASKIP_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                             catalog_.GetTable(table_name));
+    ADASKIP_RETURN_IF_ERROR(persist::WriteString(manifest, table_name));
+    const std::vector<Field>& schema = table->schema();
+    ADASKIP_RETURN_IF_ERROR(
+        persist::WriteScalar(manifest, static_cast<uint64_t>(schema.size())));
+    // Indexes live on the table's runtime; a table never queried has no
+    // runtime and therefore no indexes to snapshot.
+    const TableRuntime* runtime = FindRuntime(table_name);
+    std::map<std::string, IndexOptions, std::less<>> indexed;
+    if (runtime != nullptr) {
+      for (auto& [column_name, options] :
+           runtime->indexes->IndexedColumnOptions()) {
+        indexed.emplace(std::move(column_name), options);
+      }
+    }
+    for (size_t c = 0; c < schema.size(); ++c) {
+      const Field& field = schema[c];
+      ADASKIP_RETURN_IF_ERROR(persist::WriteString(manifest, field.name));
+      ADASKIP_RETURN_IF_ERROR(
+          persist::WriteScalar(manifest, static_cast<int8_t>(field.type)));
+      persist::BufferSink column_payload;
+      ADASKIP_RETURN_IF_ERROR(SerializeColumn(
+          table->column(static_cast<int64_t>(c)), column_payload));
+      ADASKIP_RETURN_IF_ERROR(
+          WriteObjectFile(ColumnFile(dir, table_name, field.name),
+                          kColumnTag, column_payload.buffer()));
+      const auto it = indexed.find(field.name);
+      const bool has_index = it != indexed.end();
+      ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(manifest, has_index));
+      if (!has_index) continue;
+      ADASKIP_RETURN_IF_ERROR(WriteIndexOptions(manifest, it->second));
+      SkipIndex* index = runtime->indexes->GetIndex(field.name);
+      ADASKIP_CHECK(index != nullptr);
+      persist::BufferSink index_payload;
+      // Kind byte first so Restore can cross-check the payload against
+      // the manifest's options before trusting it.
+      ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(
+          index_payload, static_cast<int8_t>(it->second.kind)));
+      ADASKIP_RETURN_IF_ERROR(index->SerializeBinary(index_payload));
+      ADASKIP_RETURN_IF_ERROR(
+          WriteObjectFile(IndexFile(dir, table_name, field.name), kIndexTag,
+                          index_payload.buffer()));
+    }
+  }
+
+  persist::BufferSink journal_payload;
+  ADASKIP_RETURN_IF_ERROR(journal_.SerializeBinary(journal_payload));
+  ADASKIP_RETURN_IF_ERROR(WriteObjectFile(dir + "/journal.bin", kJournalTag,
+                                          journal_payload.buffer()));
+  // Manifest last: its presence certifies every file above it.
+  ADASKIP_RETURN_IF_ERROR(WriteObjectFile(dir + "/MANIFEST.bin",
+                                          kManifestTag, manifest.buffer()));
+
+  // From here on, every journaled event also lands in the tail file —
+  // the delta a post-crash Restore replays on top of this snapshot.
+  ADASKIP_ASSIGN_OR_RETURN(
+      tail_writer_, persist::JournalTailWriter::Open(dir + "/journal_tail.bin"));
+  persist::JournalTailWriter* writer = tail_writer_.get();
+  journal_.SetTailSink([writer](const obs::JournalEvent& event) {
+    (void)writer->Append(event);
+  });
+  return Status::OK();
+}
+
+Status Session::Restore(const std::string& dir) {
+  if (catalog_.num_tables() != 0 || journal_.total_appended() != 0) {
+    return Status::FailedPrecondition(
+        "restore requires an empty session: no tables, untouched journal");
+  }
+  ADASKIP_ASSIGN_OR_RETURN(
+      std::string manifest_payload,
+      ReadObjectFile(dir + "/MANIFEST.bin", kManifestTag));
+  persist::BufferSource manifest(manifest_payload);
+  int64_t snapshot_seq = 0;
+  uint64_t num_tables = 0;
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(manifest, &snapshot_seq));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(manifest, &num_tables));
+  if (snapshot_seq < 0) {
+    return Status::DataLoss("manifest snapshot sequence is negative");
+  }
+
+  // Journal first: snapshot window, then the tail events past the
+  // high-water mark (a torn trailing record — the expected artifact of a
+  // crash mid-append — is dropped by ReadJournalTail).
+  ADASKIP_ASSIGN_OR_RETURN(std::string journal_payload,
+                           ReadObjectFile(dir + "/journal.bin", kJournalTag));
+  persist::BufferSource journal_source(journal_payload);
+  ADASKIP_RETURN_IF_ERROR(journal_.DeserializeBinary(journal_source));
+  std::vector<obs::JournalEvent> tail;
+  ADASKIP_RETURN_IF_ERROR(
+      persist::ReadJournalTail(dir + "/journal_tail.bin", &tail));
+  std::vector<obs::JournalEvent> replay;
+  replay.reserve(tail.size());
+  for (obs::JournalEvent& event : tail) {
+    if (event.seq <= snapshot_seq) continue;  // Already in the snapshot.
+    journal_.AppendRestored(event);
+    replay.push_back(std::move(event));
+  }
+  const std::span<const obs::JournalEvent> replay_span(replay);
+
+  for (uint64_t t = 0; t < num_tables; ++t) {
+    std::string table_name;
+    uint64_t num_columns = 0;
+    ADASKIP_RETURN_IF_ERROR(persist::ReadString(manifest, &table_name));
+    ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(manifest, &num_columns));
+    auto table = std::make_shared<Table>(table_name);
+    struct PendingIndex {
+      std::string column;
+      IndexOptions options;
+    };
+    std::vector<PendingIndex> pending;
+    for (uint64_t c = 0; c < num_columns; ++c) {
+      std::string column_name;
+      int8_t type_byte = 0;
+      ADASKIP_RETURN_IF_ERROR(persist::ReadString(manifest, &column_name));
+      ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(manifest, &type_byte));
+      if (type_byte < 0 ||
+          type_byte > static_cast<int8_t>(DataType::kFloat64)) {
+        return Status::DataLoss("manifest column type byte out of range: " +
+                                std::to_string(type_byte));
+      }
+      ADASKIP_ASSIGN_OR_RETURN(
+          std::string column_payload,
+          ReadObjectFile(ColumnFile(dir, table_name, column_name),
+                         kColumnTag));
+      persist::BufferSource column_source(column_payload);
+      ADASKIP_ASSIGN_OR_RETURN(
+          std::unique_ptr<Column> column,
+          DeserializeColumn(static_cast<DataType>(type_byte),
+                            column_source));
+      ADASKIP_RETURN_IF_ERROR(
+          table->AddColumn(column_name, std::move(column)));
+      bool has_index = false;
+      ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(manifest, &has_index));
+      if (has_index) {
+        IndexOptions options;
+        ADASKIP_RETURN_IF_ERROR(ReadIndexOptions(manifest, &options));
+        pending.push_back(PendingIndex{column_name, options});
+      }
+      // Layout decisions journaled after the checkpoint re-pack the
+      // restored (raw-at-snapshot-time) segments, reproducing the
+      // pre-crash physical layout words and all.
+      ADASKIP_RETURN_IF_ERROR(ReplaySegmentLayouts(
+          replay_span, table_name + "." + column_name,
+          table->mutable_column(table->ColumnIndex(column_name))));
+    }
+    ADASKIP_RETURN_IF_ERROR(RegisterTable(table));
+    ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));
+    for (const PendingIndex& p : pending) {
+      ADASKIP_ASSIGN_OR_RETURN(const Column* column,
+                               table->ColumnByName(p.column));
+      ADASKIP_ASSIGN_OR_RETURN(
+          std::string index_payload,
+          ReadObjectFile(IndexFile(dir, table_name, p.column), kIndexTag));
+      persist::BufferSource index_source(index_payload);
+      int8_t kind_byte = 0;
+      ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(index_source, &kind_byte));
+      if (kind_byte != static_cast<int8_t>(p.options.kind)) {
+        return Status::DataLoss(
+            "index snapshot kind byte does not match the manifest for '" +
+            table_name + "." + p.column + "'");
+      }
+      std::unique_ptr<SkipIndex> index =
+          MakeSkipIndex(*column, p.options, kDeferBuild);
+      ADASKIP_RETURN_IF_ERROR(index->DeserializeBinary(index_source));
+      // Replay the post-checkpoint adaptation so the recovered index is
+      // bit-identical to the pre-crash one, not the checkpoint-time one.
+      ADASKIP_RETURN_IF_ERROR(ReplayJournal(
+          replay_span, table_name + "." + p.column, index.get()));
+      ADASKIP_RETURN_IF_ERROR(runtime->indexes->AttachRestoredIndex(
+          p.column, p.options, std::move(index)));
+    }
+  }
+  return Status::OK();
+}
+
+Status Session::EnableJournalSpill(const std::string& path) {
+  ADASKIP_ASSIGN_OR_RETURN(std::unique_ptr<persist::JsonlSpillWriter> writer,
+                           persist::JsonlSpillWriter::Open(path));
+  if (spill_writer_ != nullptr) {
+    journal_.SetSpill(nullptr);
+    ADASKIP_RETURN_IF_ERROR(spill_writer_->Close());
+  }
+  spill_writer_ = std::move(writer);
+  persist::JsonlSpillWriter* raw = spill_writer_.get();
+  journal_.SetSpill(
+      [raw](const obs::JournalEvent& event) { raw->Append(event); });
+  return Status::OK();
+}
+
+Status Session::DisableJournalSpill() {
+  journal_.SetSpill(nullptr);
+  if (spill_writer_ == nullptr) return Status::OK();
+  const Status status = spill_writer_->Close();
+  spill_writer_.reset();
+  return status;
+}
+
+}  // namespace adaskip

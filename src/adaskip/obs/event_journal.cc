@@ -1,11 +1,13 @@
 #include "adaskip/obs/event_journal.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <utility>
 
 #include "adaskip/obs/json.h"
 #include "adaskip/obs/metrics.h"
+#include "adaskip/persist/journal_io.h"
 
 namespace adaskip {
 namespace obs {
@@ -94,6 +96,7 @@ void EventJournal::AppendEvent(JournalEvent event) {
   MutexLock lock(&mu_);
   event.seq = next_seq_++;
   event.nanos = options_.clock ? options_.clock() : MonotonicNanos();
+  if (tail_sink_) tail_sink_(event);
   events_.push_back(std::move(event));
   while (static_cast<int64_t>(events_.size()) > options_.capacity) {
     if (options_.spill) options_.spill(events_.front());
@@ -103,6 +106,79 @@ void EventJournal::AppendEvent(JournalEvent event) {
                            "Journal events evicted to the spill callback");
     spilled.Increment();
   }
+}
+
+void EventJournal::SetSpill(std::function<void(const JournalEvent&)> spill) {
+  MutexLock lock(&mu_);
+  options_.spill = std::move(spill);
+}
+
+void EventJournal::SetTailSink(
+    std::function<void(const JournalEvent&)> tail_sink) {
+  MutexLock lock(&mu_);
+  tail_sink_ = std::move(tail_sink);
+}
+
+void EventJournal::AppendRestored(JournalEvent event) {
+  MutexLock lock(&mu_);
+  next_seq_ = std::max(next_seq_, event.seq + 1);
+  events_.push_back(std::move(event));
+  while (static_cast<int64_t>(events_.size()) > options_.capacity) {
+    if (options_.spill) options_.spill(events_.front());
+    events_.pop_front();
+    ++spilled_;
+  }
+}
+
+Status EventJournal::SerializeBinary(persist::Sink& sink) const {
+  MutexLock lock(&mu_);
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, next_seq_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, spilled_));
+  ADASKIP_RETURN_IF_ERROR(
+      persist::WriteScalar(sink, static_cast<uint64_t>(events_.size())));
+  for (const JournalEvent& event : events_) {
+    ADASKIP_RETURN_IF_ERROR(persist::WriteJournalEvent(sink, event));
+  }
+  return Status::OK();
+}
+
+Status EventJournal::DeserializeBinary(persist::Source& source) {
+  MutexLock lock(&mu_);
+  if (next_seq_ != 1 || !events_.empty()) {
+    return Status::FailedPrecondition(
+        "journal restore requires an untouched journal");
+  }
+  int64_t next_seq = 0;
+  int64_t spilled = 0;
+  uint64_t count = 0;
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &next_seq));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &spilled));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &count));
+  std::deque<JournalEvent> events;
+  int64_t last_seq = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    JournalEvent event;
+    ADASKIP_RETURN_IF_ERROR(persist::ReadJournalEvent(source, &event));
+    if (event.seq <= last_seq || event.seq >= next_seq) {
+      return Status::DataLoss("journal snapshot sequence numbers are not "
+                              "strictly increasing");
+    }
+    last_seq = event.seq;
+    events.push_back(std::move(event));
+  }
+  if (next_seq < 1 || spilled < 0 ||
+      next_seq - 1 < spilled + static_cast<int64_t>(events.size())) {
+    return Status::DataLoss("journal snapshot counters are unsound");
+  }
+  next_seq_ = next_seq;
+  spilled_ = spilled;
+  events_ = std::move(events);
+  while (static_cast<int64_t>(events_.size()) > options_.capacity) {
+    if (options_.spill) options_.spill(events_.front());
+    events_.pop_front();
+    ++spilled_;
+  }
+  return Status::OK();
 }
 
 std::vector<JournalEvent> EventJournal::Snapshot() const {

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "adaskip/util/status.h"
 #include "adaskip/util/thread_annotations.h"
 
 /// The adaptation journal: an append-only, bounded record of every
@@ -28,6 +29,12 @@
 /// and the blessed emission points stay greppable.
 
 namespace adaskip {
+
+namespace persist {
+class Sink;
+class Source;
+}  // namespace persist
+
 namespace obs {
 
 /// What happened. Structural kinds (split/merge/absorb/rebin/extend/
@@ -126,10 +133,40 @@ class EventJournal {
   /// One JSON object per line, oldest first (the retained window only).
   std::string RenderJsonl() const ADASKIP_EXCLUDES(mu_);
 
+  /// Replaces the spill callback at runtime (e.g. when a session enables
+  /// file-backed spill). Same contract as EventJournalOptions::spill.
+  void SetSpill(std::function<void(const JournalEvent&)> spill)
+      ADASKIP_EXCLUDES(mu_);
+
+  /// Installs (or, with nullptr, removes) a per-append tail hook: called
+  /// with every event right after it is stamped, under the journal lock —
+  /// the checkpoint driver's journal-tail file feeds from here. Keep it
+  /// cheap and never call back into the journal.
+  void SetTailSink(std::function<void(const JournalEvent&)> tail_sink)
+      ADASKIP_EXCLUDES(mu_);
+
+  /// Re-inserts an event recovered from a persisted journal tail,
+  /// *preserving* its original sequence number (appends after it resume
+  /// from the highest restored seq). Bypasses the clock, the tail sink,
+  /// and metrics; eviction to the spill callback still applies.
+  void AppendRestored(JournalEvent event) ADASKIP_EXCLUDES(mu_);
+
+  /// Serializes the journal state — sequence counter, spill count, and
+  /// the retained window — for a snapshot (persist/binary_io.h framing
+  /// is the caller's job).
+  Status SerializeBinary(persist::Sink& sink) const ADASKIP_EXCLUDES(mu_);
+
+  /// Restores a state written by SerializeBinary into this journal,
+  /// which must be untouched (no events ever appended). Events beyond
+  /// the configured capacity are evicted oldest-first through the spill
+  /// callback, exactly as a live overflow would be.
+  Status DeserializeBinary(persist::Source& source) ADASKIP_EXCLUDES(mu_);
+
  private:
   EventJournalOptions options_;
   mutable Mutex mu_;
   std::deque<JournalEvent> events_ ADASKIP_GUARDED_BY(mu_);
+  std::function<void(const JournalEvent&)> tail_sink_ ADASKIP_GUARDED_BY(mu_);
   int64_t next_seq_ ADASKIP_GUARDED_BY(mu_) = 1;
   int64_t spilled_ ADASKIP_GUARDED_BY(mu_) = 0;
 };

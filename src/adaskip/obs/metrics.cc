@@ -46,18 +46,39 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
+void MetricsRegistry::CheckNameUnclaimed(std::string_view name,
+                                         std::string_view self) const {
+  ADASKIP_CHECK((self == "counter" || counters_.find(name) == counters_.end()) &&
+                (self == "gauge" || gauges_.find(name) == gauges_.end()) &&
+                (self == "histogram" ||
+                 histograms_.find(name) == histograms_.end()))
+      << "metric '" << std::string(name) << "' already registered as a "
+      << "different kind (registering a " << std::string(self) << ")";
+}
+
 Counter& MetricsRegistry::RegisterCounter(std::string_view name,
                                           std::string_view help) {
   MutexLock lock(&mu_);
   auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
-  ADASKIP_CHECK(histograms_.find(name) == histograms_.end())
-      << "metric '" << std::string(name)
-      << "' already registered as a histogram";
+  CheckNameUnclaimed(name, "counter");
   auto counter = std::unique_ptr<Counter>(
       new Counter(std::string(name), std::string(help)));  // adaskip-lint: allow(naked-new)
   Counter& ref = *counter;
   counters_.emplace(std::string(name), std::move(counter));
+  return ref;
+}
+
+Gauge& MetricsRegistry::RegisterGauge(std::string_view name,
+                                      std::string_view help) {
+  MutexLock lock(&mu_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  CheckNameUnclaimed(name, "gauge");
+  auto gauge = std::unique_ptr<Gauge>(
+      new Gauge(std::string(name), std::string(help)));  // adaskip-lint: allow(naked-new)
+  Gauge& ref = *gauge;
+  gauges_.emplace(std::string(name), std::move(gauge));
   return ref;
 }
 
@@ -66,9 +87,7 @@ HistogramMetric& MetricsRegistry::RegisterHistogram(std::string_view name,
   MutexLock lock(&mu_);
   auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
-  ADASKIP_CHECK(counters_.find(name) == counters_.end())
-      << "metric '" << std::string(name)
-      << "' already registered as a counter";
+  CheckNameUnclaimed(name, "histogram");
   auto histogram = std::unique_ptr<HistogramMetric>(
       new HistogramMetric(std::string(name), std::string(help)));  // adaskip-lint: allow(naked-new)
   HistogramMetric& ref = *histogram;
@@ -82,6 +101,12 @@ int64_t MetricsRegistry::CounterValue(std::string_view name) const {
   return it == counters_.end() ? 0 : it->second->value();
 }
 
+int64_t MetricsRegistry::GaugeValue(std::string_view name) const {
+  MutexLock lock(&mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
 const HistogramMetric* MetricsRegistry::FindHistogram(
     std::string_view name) const {
   MutexLock lock(&mu_);
@@ -92,13 +117,21 @@ const HistogramMetric* MetricsRegistry::FindHistogram(
 std::vector<MetricSample> MetricsRegistry::Snapshot() const {
   MutexLock lock(&mu_);
   std::vector<MetricSample> samples;
-  samples.reserve(counters_.size() + histograms_.size());
+  samples.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, counter] : counters_) {
     MetricSample sample;
     sample.name = name;
     sample.help = counter->help();
     sample.kind = MetricSample::Kind::kCounter;
     sample.value = counter->value();
+    samples.push_back(std::move(sample));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.help = gauge->help();
+    sample.kind = MetricSample::Kind::kGauge;
+    sample.value = gauge->value();
     samples.push_back(std::move(sample));
   }
   for (const auto& [name, histogram] : histograms_) {
@@ -126,7 +159,8 @@ std::string MetricsRegistry::RenderText() const {
   std::string out;
   char buf[256];
   for (const MetricSample& sample : Snapshot()) {
-    if (sample.kind == MetricSample::Kind::kCounter) {
+    if (sample.kind != MetricSample::Kind::kHistogram) {
+      // Counters and gauges share the single-value exposition line.
       std::snprintf(buf, sizeof(buf), "%s %lld  # %s\n", sample.name.c_str(),
                     static_cast<long long>(sample.value),
                     sample.help.c_str());

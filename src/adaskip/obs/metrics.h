@@ -64,6 +64,30 @@ class Counter {
   std::atomic<int64_t> value_{0};
 };
 
+/// Last-write-wins instantaneous value (a memory footprint, a queue
+/// depth). Unlike a Counter it can go down; Set is a relaxed atomic
+/// store, safe from any thread.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+
+  std::string name_;
+  std::string help_;
+  std::atomic<int64_t> value_{0};
+};
+
 /// Fixed-footprint log2-bucketed histogram for non-negative values
 /// (latencies in nanoseconds, row counts). Observation is three relaxed
 /// atomic adds; bucket b holds values v with bit_width(v) == b, i.e.
@@ -123,11 +147,11 @@ class HistogramMetric {
 
 /// One instrument's state at snapshot time.
 struct MetricSample {
-  enum class Kind : int8_t { kCounter = 0, kHistogram = 1 };
+  enum class Kind : int8_t { kCounter = 0, kHistogram = 1, kGauge = 2 };
   std::string name;
   std::string help;
   Kind kind = Kind::kCounter;
-  int64_t value = 0;  // Counter value, or histogram observation count.
+  int64_t value = 0;  // Counter/gauge value, or histogram obs. count.
   int64_t sum = 0;    // Histograms only.
   double mean = 0.0;  // Histograms only.
   int64_t p50 = 0;    // Histograms only (approximate).
@@ -146,6 +170,8 @@ class MetricsRegistry {
 
   Counter& RegisterCounter(std::string_view name, std::string_view help)
       ADASKIP_EXCLUDES(mu_);
+  Gauge& RegisterGauge(std::string_view name, std::string_view help)
+      ADASKIP_EXCLUDES(mu_);
   HistogramMetric& RegisterHistogram(std::string_view name,
                                      std::string_view help)
       ADASKIP_EXCLUDES(mu_);
@@ -153,6 +179,9 @@ class MetricsRegistry {
   /// Current value of the named counter, or 0 if it was never registered.
   /// Convenience for tests and reporting surfaces.
   int64_t CounterValue(std::string_view name) const ADASKIP_EXCLUDES(mu_);
+
+  /// Current value of the named gauge, or 0 if it was never registered.
+  int64_t GaugeValue(std::string_view name) const ADASKIP_EXCLUDES(mu_);
 
   /// The named histogram, or nullptr.
   const HistogramMetric* FindHistogram(std::string_view name) const
@@ -171,8 +200,16 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
+  /// Aborts if `name` is registered under a different instrument kind
+  /// (`mu_` held). `self` names the kind being registered, for the
+  /// message.
+  void CheckNameUnclaimed(std::string_view name, std::string_view self) const
+      ADASKIP_REQUIRES(mu_);
+
   mutable Mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      ADASKIP_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
       ADASKIP_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>>
       histograms_ ADASKIP_GUARDED_BY(mu_);
@@ -186,6 +223,12 @@ class NoopCounter {
  public:
   void Add(int64_t) const {}
   void Increment() const {}
+  int64_t value() const { return 0; }
+};
+
+class NoopGauge {
+ public:
+  void Set(int64_t) const {}
   int64_t value() const { return 0; }
 };
 
@@ -208,6 +251,10 @@ class NoopHistogram {
   static ::adaskip::obs::Counter& var =                             \
       ::adaskip::obs::MetricsRegistry::Global().RegisterCounter(    \
           (metric_name), (metric_help))
+#define ADASKIP_METRIC_GAUGE(var, metric_name, metric_help)         \
+  static ::adaskip::obs::Gauge& var =                               \
+      ::adaskip::obs::MetricsRegistry::Global().RegisterGauge(      \
+          (metric_name), (metric_help))
 #define ADASKIP_METRIC_HISTOGRAM(var, metric_name, metric_help)     \
   static ::adaskip::obs::HistogramMetric& var =                     \
       ::adaskip::obs::MetricsRegistry::Global().RegisterHistogram(  \
@@ -215,6 +262,8 @@ class NoopHistogram {
 #else
 #define ADASKIP_METRIC_COUNTER(var, metric_name, metric_help) \
   static constexpr ::adaskip::obs::NoopCounter var
+#define ADASKIP_METRIC_GAUGE(var, metric_name, metric_help) \
+  static constexpr ::adaskip::obs::NoopGauge var
 #define ADASKIP_METRIC_HISTOGRAM(var, metric_name, metric_help) \
   static constexpr ::adaskip::obs::NoopHistogram var
 #endif  // ADASKIP_NO_METRICS

@@ -1,0 +1,90 @@
+#include "adaskip/persist/journal_io.h"
+
+#include <utility>
+
+namespace adaskip {
+namespace persist {
+
+Status WriteJournalEvent(Sink& sink, const obs::JournalEvent& event) {
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, event.seq));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, event.nanos));
+  ADASKIP_RETURN_IF_ERROR(
+      WriteScalar(sink, static_cast<int8_t>(event.kind)));
+  ADASKIP_RETURN_IF_ERROR(WriteString(sink, event.scope));
+  ADASKIP_RETURN_IF_ERROR(WriteScalar(sink, event.query_seq));
+  ADASKIP_RETURN_IF_ERROR(WriteVector(sink, event.args));
+  ADASKIP_RETURN_IF_ERROR(WriteVector(sink, event.values));
+  return WriteString(sink, event.detail);
+}
+
+Status ReadJournalEvent(Source& source, obs::JournalEvent* event) {
+  obs::JournalEvent out;
+  int8_t kind = 0;
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &out.seq));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &out.nanos));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &kind));
+  if (kind < 0 || kind > static_cast<int8_t>(obs::EventKind::kSegmentLayout)) {
+    return Status::DataLoss("journal event kind byte out of range: " +
+                            std::to_string(kind));
+  }
+  out.kind = static_cast<obs::EventKind>(kind);
+  ADASKIP_RETURN_IF_ERROR(ReadString(source, &out.scope));
+  ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &out.query_seq));
+  ADASKIP_RETURN_IF_ERROR(ReadVector(source, &out.args));
+  ADASKIP_RETURN_IF_ERROR(ReadVector(source, &out.values));
+  ADASKIP_RETURN_IF_ERROR(ReadString(source, &out.detail));
+  *event = std::move(out);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<JournalTailWriter>> JournalTailWriter::Open(
+    const std::string& path) {
+  std::unique_ptr<FileSink> sink;
+  ADASKIP_ASSIGN_OR_RETURN(sink, FileSink::Open(path));
+  ADASKIP_RETURN_IF_ERROR(WriteSnapshotHeader(*sink));
+  ADASKIP_RETURN_IF_ERROR(sink->Flush());
+  // The constructor is private (callers must go through Open), so
+  // std::make_unique cannot reach it.
+  return std::unique_ptr<JournalTailWriter>(
+      // adaskip-lint: allow(naked-new)
+      new JournalTailWriter(std::move(sink)));
+}
+
+Status JournalTailWriter::Append(const obs::JournalEvent& event) {
+  if (!status_.ok()) return status_;
+  BufferSink payload;
+  status_ = WriteJournalEvent(payload, event);
+  if (status_.ok()) {
+    status_ = WriteBlock(*sink_, kJournalEventTag, payload.buffer());
+  }
+  // Flush per append: the tail file is only useful if it survives a
+  // crash that the in-memory journal does not.
+  if (status_.ok()) status_ = sink_->Flush();
+  return status_;
+}
+
+Status JournalTailWriter::Close() {
+  if (!status_.ok()) return status_;
+  status_ = sink_->Close();
+  return status_;
+}
+
+Status ReadJournalTail(const std::string& path,
+                       std::vector<obs::JournalEvent>* events) {
+  Result<std::unique_ptr<FileSource>> opened = FileSource::Open(path);
+  if (!opened.ok()) return Status::OK();  // No tail file: empty tail.
+  std::unique_ptr<FileSource> source = std::move(opened).value();
+  ADASKIP_RETURN_IF_ERROR(ReadSnapshotHeader(*source));
+  while (source->remaining() > 0) {
+    std::string payload;
+    if (!ReadBlock(*source, kJournalEventTag, &payload).ok()) break;
+    BufferSource record(payload);
+    obs::JournalEvent event;
+    if (!ReadJournalEvent(record, &event).ok()) break;
+    events->push_back(std::move(event));
+  }
+  return Status::OK();
+}
+
+}  // namespace persist
+}  // namespace adaskip

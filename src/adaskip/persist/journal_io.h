@@ -1,0 +1,63 @@
+#ifndef ADASKIP_PERSIST_JOURNAL_IO_H_
+#define ADASKIP_PERSIST_JOURNAL_IO_H_
+
+// Journal persistence: the JournalEvent record encoding shared by the
+// snapshot (EventJournal::SerializeBinary) and the journal-tail file, the
+// tail writer itself, and the crash-tolerant tail reader. The tail file
+// is the recovery half of a checkpoint: every event appended after the
+// snapshot is framed and flushed here, so a crash loses at most the
+// event being written — which the reader detects and trims.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaskip/obs/event_journal.h"
+#include "adaskip/persist/binary_io.h"
+
+namespace adaskip {
+namespace persist {
+
+/// Block tag framing one event in the journal-tail file.
+inline constexpr uint32_t kJournalEventTag = FourCC("JEVT");
+
+/// Writes one journal event as unframed primitives.
+Status WriteJournalEvent(Sink& sink, const obs::JournalEvent& event);
+
+/// Reads an event written by WriteJournalEvent; an out-of-range kind
+/// byte is kDataLoss.
+Status ReadJournalEvent(Source& source, obs::JournalEvent* event);
+
+/// Append-only writer for the journal-tail file: each event is framed as
+/// its own CRC'd block and flushed immediately, so the tail survives a
+/// crash mid-run. I/O errors are sticky — the first failure is returned
+/// from every later Append and from Close.
+class JournalTailWriter {
+ public:
+  /// Creates `path` (truncating) and writes the snapshot header.
+  static Result<std::unique_ptr<JournalTailWriter>> Open(
+      const std::string& path);
+
+  Status Append(const obs::JournalEvent& event);
+  Status Close();
+
+ private:
+  explicit JournalTailWriter(std::unique_ptr<FileSink> sink)
+      : sink_(std::move(sink)) {}
+
+  std::unique_ptr<FileSink> sink_;
+  Status status_;
+};
+
+/// Reads the journal-tail file at `path`, appending recovered events to
+/// `*events` oldest first. A missing file is an empty tail (OK); a
+/// truncated or corrupt trailing record — the expected shape of a crash
+/// mid-append — stops the read and keeps every event before it. Only a
+/// bad header (wrong magic/version) is reported as an error.
+Status ReadJournalTail(const std::string& path,
+                       std::vector<obs::JournalEvent>* events);
+
+}  // namespace persist
+}  // namespace adaskip
+
+#endif  // ADASKIP_PERSIST_JOURNAL_IO_H_

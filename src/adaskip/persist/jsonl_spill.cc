@@ -1,0 +1,48 @@
+#include "adaskip/persist/jsonl_spill.h"
+
+#include <cstdio>
+
+namespace adaskip {
+namespace persist {
+
+JsonlSpillWriter::~JsonlSpillWriter() {
+  if (file_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(file_));
+  }
+}
+
+Result<std::unique_ptr<JsonlSpillWriter>> JsonlSpillWriter::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open journal spill file for append: " +
+                            path);
+  }
+  // The constructor is private (callers must go through Open), so
+  // std::make_unique cannot reach it.
+  // adaskip-lint: allow(naked-new)
+  return std::unique_ptr<JsonlSpillWriter>(new JsonlSpillWriter(file, path));
+}
+
+void JsonlSpillWriter::Append(const obs::JournalEvent& event) {
+  if (!status_.ok() || file_ == nullptr) return;
+  std::string line = event.ToJson();
+  line += '\n';
+  std::FILE* file = static_cast<std::FILE*>(file_);
+  if (std::fwrite(line.data(), 1, line.size(), file) != line.size() ||
+      std::fflush(file) != 0) {
+    status_ = Status::Internal("journal spill write failed: " + path_);
+  }
+}
+
+Status JsonlSpillWriter::Close() {
+  if (file_ == nullptr) return status_;
+  if (std::fclose(static_cast<std::FILE*>(file_)) != 0 && status_.ok()) {
+    status_ = Status::Internal("journal spill close failed: " + path_);
+  }
+  file_ = nullptr;
+  return status_;
+}
+
+}  // namespace persist
+}  // namespace adaskip

@@ -1,0 +1,53 @@
+#ifndef ADASKIP_PERSIST_JSONL_SPILL_H_
+#define ADASKIP_PERSIST_JSONL_SPILL_H_
+
+// File-backed journal spill: evicted events are appended to a JSONL file
+// (one JournalEvent::ToJson() object per line), turning the journal's
+// bounded in-memory window into an unbounded on-disk history. JSONL —
+// not the binary block format — because spilled events are a forensic
+// record for humans and external tools, not a replay input; the
+// journal-tail file (journal_io.h) is the recovery path.
+
+#include <memory>
+#include <string>
+
+#include "adaskip/obs/event_journal.h"
+#include "adaskip/util/status.h"
+
+namespace adaskip {
+namespace persist {
+
+/// Appends journal events to a JSONL file, flushing per event. Designed
+/// to sit behind EventJournal's spill callback, which runs with the
+/// journal lock held: Append does one format + one write, nothing else.
+/// I/O errors are sticky and surfaced by status()/Close — the spill
+/// callback itself has no error channel.
+class JsonlSpillWriter {
+ public:
+  ~JsonlSpillWriter();
+
+  /// Opens `path` for appending (the file is created if missing, and an
+  /// existing spill history is extended, not truncated).
+  static Result<std::unique_ptr<JsonlSpillWriter>> Open(
+      const std::string& path);
+
+  void Append(const obs::JournalEvent& event);
+
+  /// First I/O failure, if any (OK while healthy).
+  const Status& status() const { return status_; }
+
+  Status Close();
+
+ private:
+  JsonlSpillWriter(void* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  void* file_;  // FILE*, kept opaque so consumers never include <cstdio>.
+  std::string path_;
+  Status status_;
+};
+
+}  // namespace persist
+}  // namespace adaskip
+
+#endif  // ADASKIP_PERSIST_JSONL_SPILL_H_

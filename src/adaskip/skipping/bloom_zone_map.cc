@@ -51,6 +51,20 @@ BloomZoneMapT<T>::BloomZoneMapT(const TypedColumn<T>& column,
 }
 
 template <typename T>
+BloomZoneMapT<T>::BloomZoneMapT(const TypedColumn<T>& column,
+                                const BloomZoneMapOptions& options,
+                                DeferBuildTag)
+    : column_(&column),
+      zone_size_(options.zone_size),
+      num_rows_(0),
+      num_hashes_(options.num_hashes) {
+  ADASKIP_CHECK_GT(options.zone_size, 0);
+  ADASKIP_CHECK_GT(options.bits_per_row, 0);
+  ADASKIP_CHECK_GT(num_hashes_, 0);
+  bits_per_zone_ = ((options.zone_size * options.bits_per_row + 63) / 64) * 64;
+}
+
+template <typename T>
 void BloomZoneMapT<T>::OnAppend(RowRange appended) {
   num_rows_ = appended.end;
   if (appended.empty()) return;
@@ -132,8 +146,51 @@ void BloomZoneMapT<T>::Probe(const Predicate& pred,
 
 template <typename T>
 int64_t BloomZoneMapT<T>::MemoryUsageBytes() const {
-  return static_cast<int64_t>(zones_.capacity() * sizeof(Zone<T>) +
-                              bloom_words_.capacity() * sizeof(uint64_t));
+  // size(), not capacity(): a restored index must report the same
+  // footprint as the live one it was checkpointed from, and vector
+  // growth slack differs between the two.
+  return static_cast<int64_t>(zones_.size() * sizeof(Zone<T>) +
+                              bloom_words_.size() * sizeof(uint64_t));
+}
+
+template <typename T>
+Status BloomZoneMapT<T>::SerializeBinary(persist::Sink& sink) const {
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, zone_size_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, num_rows_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, bits_per_zone_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, num_hashes_));
+  ADASKIP_RETURN_IF_ERROR(WriteZones(sink, zones_));
+  return persist::WriteVector(sink, bloom_words_);
+}
+
+template <typename T>
+Status BloomZoneMapT<T>::DeserializeBinary(persist::Source& source) {
+  int64_t zone_size = 0;
+  int64_t num_rows = 0;
+  int64_t bits_per_zone = 0;
+  int64_t num_hashes = 0;
+  std::vector<Zone<T>> zones;
+  std::vector<uint64_t> bloom_words;
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &zone_size));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &num_rows));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &bits_per_zone));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &num_hashes));
+  ADASKIP_RETURN_IF_ERROR(ReadZones(source, &zones));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadVector(source, &bloom_words));
+  if (zone_size <= 0 || num_rows < 0 || bits_per_zone <= 0 ||
+      bits_per_zone % 64 != 0 || num_hashes <= 0 ||
+      !ZonesTileRowSpace(zones, num_rows) ||
+      static_cast<int64_t>(bloom_words.size()) !=
+          static_cast<int64_t>(zones.size()) * (bits_per_zone / 64)) {
+    return Status::DataLoss("bloomzonemap snapshot is structurally unsound");
+  }
+  zone_size_ = zone_size;
+  num_rows_ = num_rows;
+  bits_per_zone_ = bits_per_zone;
+  num_hashes_ = num_hashes;
+  zones_ = std::move(zones);
+  bloom_words_ = std::move(bloom_words);
+  return Status::OK();
 }
 
 std::unique_ptr<SkipIndex> MakeBloomZoneMap(const Column& column,

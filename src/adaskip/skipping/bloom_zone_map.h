@@ -30,6 +30,10 @@ class BloomZoneMapT final : public SkipIndex {
   BloomZoneMapT(const TypedColumn<T>& column,
                 const BloomZoneMapOptions& options);
 
+  /// Deferred build: an empty shell DeserializeBinary fills.
+  BloomZoneMapT(const TypedColumn<T>& column,
+                const BloomZoneMapOptions& options, DeferBuildTag);
+
   std::string_view name() const override { return "bloomzonemap"; }
   std::string Describe() const override {
     return "bloomzonemap: " + std::to_string(zones_.size()) +
@@ -59,6 +63,12 @@ class BloomZoneMapT final : public SkipIndex {
   /// Tests zone `zone_index`'s Bloom filter for `value` (exposed for
   /// tests; may false-positive, never false-negative).
   bool BloomMayContain(int64_t zone_index, T value) const;
+
+  /// Serializes geometry, zones, and the raw Bloom filter words — bits
+  /// set by hashed inserts cannot be recomputed cheaply, so they travel
+  /// verbatim (and the hash seeds are compile-time constants).
+  Status SerializeBinary(persist::Sink& sink) const override;
+  Status DeserializeBinary(persist::Source& source) override;
 
  private:
   void BloomInsert(int64_t zone_index, T value);

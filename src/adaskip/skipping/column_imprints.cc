@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "adaskip/persist/binary_io.h"
 #include "adaskip/storage/type_dispatch.h"
 #include "adaskip/util/rng.h"
 
@@ -29,6 +30,19 @@ ColumnImprintsT<T>::ColumnImprintsT(const TypedColumn<T>& column,
     int64_t end = std::min(begin + block_size_, num_rows_);
     imprints_.push_back(BlockMask(begin, end));
   }
+}
+
+template <typename T>
+ColumnImprintsT<T>::ColumnImprintsT(const TypedColumn<T>& column,
+                                    const ImprintsOptions& options,
+                                    DeferBuildTag)
+    : column_(&column),
+      num_rows_(0),
+      block_size_(options.block_size),
+      num_bins_(std::min<int64_t>(options.num_bins, 64)),
+      sample_size_(options.sample_size) {
+  ADASKIP_CHECK_GT(block_size_, 0);
+  ADASKIP_CHECK_GT(num_bins_, 1);
 }
 
 template <typename T>
@@ -127,8 +141,53 @@ void ColumnImprintsT<T>::Probe(const Predicate& pred,
 
 template <typename T>
 int64_t ColumnImprintsT<T>::MemoryUsageBytes() const {
-  return static_cast<int64_t>(imprints_.capacity() * sizeof(uint64_t) +
-                              split_points_.capacity() * sizeof(T));
+  // size(), not capacity(): a restored index must report the same
+  // footprint as the live one it was checkpointed from, and vector
+  // growth slack differs between the two.
+  return static_cast<int64_t>(imprints_.size() * sizeof(uint64_t) +
+                              split_points_.size() * sizeof(T));
+}
+
+template <typename T>
+Status ColumnImprintsT<T>::SerializeBinary(persist::Sink& sink) const {
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, num_rows_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, block_size_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, num_bins_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, sample_size_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteVector(sink, split_points_));
+  return persist::WriteVector(sink, imprints_);
+}
+
+template <typename T>
+Status ColumnImprintsT<T>::DeserializeBinary(persist::Source& source) {
+  int64_t num_rows = 0;
+  int64_t block_size = 0;
+  int64_t num_bins = 0;
+  int64_t sample_size = 0;
+  std::vector<T> split_points;
+  std::vector<uint64_t> imprints;
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &num_rows));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &block_size));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &num_bins));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &sample_size));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadVector(source, &split_points));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadVector(source, &imprints));
+  const int64_t expected_blocks =
+      block_size > 0 ? (num_rows + block_size - 1) / block_size : -1;
+  if (num_rows < 0 || block_size <= 0 || num_bins <= 1 || num_bins > 64 ||
+      sample_size < 0 ||
+      static_cast<int64_t>(split_points.size()) >= num_bins ||
+      static_cast<int64_t>(imprints.size()) != expected_blocks ||
+      !std::is_sorted(split_points.begin(), split_points.end())) {
+    return Status::DataLoss("imprints snapshot is structurally unsound");
+  }
+  num_rows_ = num_rows;
+  block_size_ = block_size;
+  num_bins_ = num_bins;
+  sample_size_ = sample_size;
+  split_points_ = std::move(split_points);
+  imprints_ = std::move(imprints);
+  return Status::OK();
 }
 
 std::unique_ptr<SkipIndex> MakeColumnImprints(const Column& column,

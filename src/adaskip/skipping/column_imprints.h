@@ -35,6 +35,10 @@ class ColumnImprintsT final : public SkipIndex {
  public:
   ColumnImprintsT(const TypedColumn<T>& column, const ImprintsOptions& options);
 
+  /// Deferred build: an empty shell DeserializeBinary fills.
+  ColumnImprintsT(const TypedColumn<T>& column, const ImprintsOptions& options,
+                  DeferBuildTag);
+
   std::string_view name() const override { return "imprints"; }
   std::string Describe() const override {
     return "imprints: " + std::to_string(imprints_.size()) + " blocks of " +
@@ -66,6 +70,12 @@ class ColumnImprintsT final : public SkipIndex {
   /// Bin index of `v`: the number of split points <= is found by binary
   /// search. Exposed for tests.
   int64_t BinOf(T v) const;
+
+  /// Serializes the sampled split points verbatim (re-sampling on restore
+  /// would move bin boundaries and change probe results) plus the imprint
+  /// words.
+  Status SerializeBinary(persist::Sink& sink) const override;
+  Status DeserializeBinary(persist::Source& source) override;
 
  private:
   /// Places equi-depth split points from a uniform sample of the column.

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "adaskip/obs/event_journal.h"
+#include "adaskip/persist/binary_io.h"
 
 namespace adaskip {
 
@@ -26,6 +27,20 @@ void SkipIndex::EmitJournal(obs::EventKind kind, int64_t query_seq,
   event.values = std::move(values);
   event.detail = std::move(detail);
   ADASKIP_JOURNAL_EVENT(journal_, std::move(event));
+}
+
+Status FullScanIndex::SerializeBinary(persist::Sink& sink) const {
+  return persist::WriteScalar(sink, num_rows_);
+}
+
+Status FullScanIndex::DeserializeBinary(persist::Source& source) {
+  int64_t num_rows = 0;
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &num_rows));
+  if (num_rows < 0) {
+    return Status::DataLoss("fullscan snapshot has negative row count");
+  }
+  num_rows_ = num_rows;
+  return Status::OK();
 }
 
 void FullScanIndex::Probe(const Predicate& pred,

@@ -17,6 +17,18 @@ struct JournalEvent;
 class EventJournal;
 }  // namespace obs
 
+namespace persist {
+class Sink;
+class Source;
+}  // namespace persist
+
+/// Tag selecting the deferred-build constructor of a skip structure: the
+/// constructor wires up the column and options but skips the O(rows)
+/// metadata build, leaving an empty shell that DeserializeBinary fills
+/// from a snapshot.
+struct DeferBuildTag {};
+inline constexpr DeferBuildTag kDeferBuild{};
+
 /// Metadata-read accounting for one probe. The paper's central tension is
 /// that these reads are pure overhead when they do not translate into
 /// skipped rows, so every structure reports them honestly.
@@ -152,6 +164,23 @@ class SkipIndex {
   /// Number of zones (metadata granules); 1 for structures without zones.
   virtual int64_t ZoneCount() const = 0;
 
+  // --- Persistence (persist/binary_io.h) ---
+
+  /// Writes the structure's complete state — geometry, bounds, adaptation
+  /// counters, EWMAs, RNG state — as unframed little-endian primitives
+  /// into `sink`. The checkpoint driver wraps the payload in a versioned,
+  /// CRC-checked block; a restored index must be bit-identical to the
+  /// serialized one (same Describe(), same probe results, same future
+  /// adaptation decisions). Mandatory alongside Describe() (adaskip_lint
+  /// rule serialize-binary-pair keeps the pair in sync).
+  virtual Status SerializeBinary(persist::Sink& sink) const = 0;
+
+  /// Fills a deferred-build shell (see kDeferBuild) from a payload
+  /// written by SerializeBinary over the same column content and options.
+  /// Corrupt or mismatched payloads return kDataLoss/kInvalidArgument and
+  /// leave no partially initialized structure behind the interface.
+  virtual Status DeserializeBinary(persist::Source& source) = 0;
+
   // --- Adaptation journal (obs/event_journal.h) ---
 
   /// Binds (or, with nullptr, unbinds) the journal this index emits its
@@ -204,6 +233,9 @@ class FullScanIndex final : public SkipIndex {
 
   int64_t MemoryUsageBytes() const override { return 0; }
   int64_t ZoneCount() const override { return 1; }
+
+  Status SerializeBinary(persist::Sink& sink) const override;
+  Status DeserializeBinary(persist::Source& source) override;
 
  private:
   int64_t num_rows_;

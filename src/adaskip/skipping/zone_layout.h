@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "adaskip/persist/binary_io.h"
 #include "adaskip/scan/simd/kernel_dispatch.h"
 #include "adaskip/storage/column.h"
 
@@ -155,6 +156,46 @@ bool ZoneBoundsAreCorrect(const std::vector<Zone<T>>& zones,
     if (z.min > mm.min || z.max < mm.max) return false;
   }
   return true;
+}
+
+/// Serializes a zone list field-wise (never by memcpy of the struct, so
+/// padding bytes can't leak into checksummed payloads).
+template <typename T>
+Status WriteZones(persist::Sink& sink, const std::vector<Zone<T>>& zones) {
+  ADASKIP_RETURN_IF_ERROR(
+      persist::WriteScalar(sink, static_cast<uint64_t>(zones.size())));
+  for (const Zone<T>& zone : zones) {
+    ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, zone.begin));
+    ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, zone.end));
+    ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, zone.min));
+    ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, zone.max));
+  }
+  return Status::OK();
+}
+
+/// Reads a zone list written by WriteZones. Structural soundness (tiling,
+/// bounds) is the caller's check — it knows the expected row space.
+template <typename T>
+Status ReadZones(persist::Source& source, std::vector<Zone<T>>* zones) {
+  uint64_t count = 0;
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &count));
+  constexpr size_t kZoneWireBytes = 2 * sizeof(int64_t) + 2 * sizeof(T);
+  const int64_t limit = source.remaining();
+  if (limit >= 0 && count > static_cast<uint64_t>(limit) / kZoneWireBytes) {
+    return Status::DataLoss("zone count " + std::to_string(count) +
+                            " exceeds the bytes left in the source");
+  }
+  zones->clear();
+  zones->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    Zone<T> zone;
+    ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &zone.begin));
+    ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &zone.end));
+    ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &zone.min));
+    ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &zone.max));
+    zones->push_back(zone);
+  }
+  return Status::OK();
 }
 
 /// Shared probe loop for flat zone lists: appends coalesced candidate

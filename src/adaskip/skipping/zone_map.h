@@ -29,6 +29,13 @@ class ZoneMapT final : public SkipIndex {
         num_rows_(column.size()),
         zones_(BuildUniformZones(column, options.zone_size)) {}
 
+  /// Deferred build: an empty shell DeserializeBinary fills.
+  ZoneMapT(const TypedColumn<T>& column, const ZoneMapOptions& options,
+           DeferBuildTag)
+      : column_(&column), zone_size_(options.zone_size), num_rows_(0) {
+    ADASKIP_CHECK_GT(zone_size_, 0);
+  }
+
   std::string_view name() const override { return "zonemap"; }
   std::string Describe() const override {
     return "zonemap: " + std::to_string(zones_.size()) + " zones of <=" +
@@ -50,12 +57,38 @@ class ZoneMapT final : public SkipIndex {
     num_rows_ = appended.end;
   }
 
+  // size(), not capacity(): a restored index must report the same
+  // footprint as the live one it was checkpointed from, and vector growth
+  // slack differs between the two.
   int64_t MemoryUsageBytes() const override {
-    return static_cast<int64_t>(zones_.capacity() * sizeof(Zone<T>));
+    return static_cast<int64_t>(zones_.size() * sizeof(Zone<T>));
   }
 
   int64_t ZoneCount() const override {
     return static_cast<int64_t>(zones_.size());
+  }
+
+  Status SerializeBinary(persist::Sink& sink) const override {
+    ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, zone_size_));
+    ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, num_rows_));
+    return WriteZones(sink, zones_);
+  }
+
+  Status DeserializeBinary(persist::Source& source) override {
+    int64_t zone_size = 0;
+    int64_t num_rows = 0;
+    std::vector<Zone<T>> zones;
+    ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &zone_size));
+    ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &num_rows));
+    ADASKIP_RETURN_IF_ERROR(ReadZones(source, &zones));
+    if (zone_size <= 0 || num_rows < 0 ||
+        !ZonesTileRowSpace(zones, num_rows)) {
+      return Status::DataLoss("zonemap snapshot is structurally unsound");
+    }
+    zone_size_ = zone_size;
+    num_rows_ = num_rows;
+    zones_ = std::move(zones);
+    return Status::OK();
   }
 
   const std::vector<Zone<T>>& zones() const { return zones_; }

@@ -19,6 +19,17 @@ ZoneTreeT<T>::ZoneTreeT(const TypedColumn<T>& column,
 }
 
 template <typename T>
+ZoneTreeT<T>::ZoneTreeT(const TypedColumn<T>& column,
+                        const ZoneTreeOptions& options, DeferBuildTag)
+    : column_(&column),
+      zone_size_(options.zone_size),
+      num_rows_(0),
+      fanout_(options.fanout) {
+  ADASKIP_CHECK_GT(zone_size_, 0);
+  ADASKIP_CHECK_GT(fanout_, 1);
+}
+
+template <typename T>
 void ZoneTreeT<T>::OnAppend(RowRange appended) {
   AppendUniformZones(*column_, appended, zone_size_, &leaves_);
   num_rows_ = appended.end;
@@ -136,12 +147,44 @@ void ZoneTreeT<T>::Probe(const Predicate& pred,
 
 template <typename T>
 int64_t ZoneTreeT<T>::MemoryUsageBytes() const {
-  int64_t total =
-      static_cast<int64_t>(leaves_.capacity() * sizeof(Zone<T>));
+  // size(), not capacity(): a restored index must report the same
+  // footprint as the live one it was checkpointed from, and vector
+  // growth slack differs between the two.
+  int64_t total = static_cast<int64_t>(leaves_.size() * sizeof(Zone<T>));
   for (const auto& level : levels_) {
-    total += static_cast<int64_t>(level.capacity() * sizeof(NodeBounds));
+    total += static_cast<int64_t>(level.size() * sizeof(NodeBounds));
   }
   return total;
+}
+
+template <typename T>
+Status ZoneTreeT<T>::SerializeBinary(persist::Sink& sink) const {
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, zone_size_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, num_rows_));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, fanout_));
+  return WriteZones(sink, leaves_);
+}
+
+template <typename T>
+Status ZoneTreeT<T>::DeserializeBinary(persist::Source& source) {
+  int64_t zone_size = 0;
+  int64_t num_rows = 0;
+  int64_t fanout = 0;
+  std::vector<Zone<T>> leaves;
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &zone_size));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &num_rows));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &fanout));
+  ADASKIP_RETURN_IF_ERROR(ReadZones(source, &leaves));
+  if (zone_size <= 0 || num_rows < 0 || fanout <= 1 ||
+      !ZonesTileRowSpace(leaves, num_rows)) {
+    return Status::DataLoss("zonetree snapshot is structurally unsound");
+  }
+  zone_size_ = zone_size;
+  num_rows_ = num_rows;
+  fanout_ = fanout;
+  leaves_ = std::move(leaves);
+  RebuildLevels();
+  return Status::OK();
 }
 
 std::unique_ptr<SkipIndex> MakeZoneTree(const Column& column,

@@ -26,6 +26,10 @@ class ZoneTreeT final : public SkipIndex {
  public:
   ZoneTreeT(const TypedColumn<T>& column, const ZoneTreeOptions& options);
 
+  /// Deferred build: an empty shell DeserializeBinary fills.
+  ZoneTreeT(const TypedColumn<T>& column, const ZoneTreeOptions& options,
+            DeferBuildTag);
+
   std::string_view name() const override { return "zonetree"; }
   std::string Describe() const override {
     return "zonetree: " + std::to_string(leaves_.size()) + " leaves of <=" +
@@ -54,6 +58,11 @@ class ZoneTreeT final : public SkipIndex {
   int64_t LevelCount() const {
     return static_cast<int64_t>(levels_.size()) + 1;
   }
+
+  /// Serializes the leaf zones only; the summary levels are a pure
+  /// function of the leaves and are rebuilt on restore.
+  Status SerializeBinary(persist::Sink& sink) const override;
+  Status DeserializeBinary(persist::Source& source) override;
 
  private:
   struct NodeBounds {

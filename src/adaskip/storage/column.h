@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "adaskip/persist/binary_io.h"
 #include "adaskip/storage/data_type.h"
 #include "adaskip/storage/segment_layout.h"
 #include "adaskip/util/interval_set.h"
@@ -320,6 +321,116 @@ class TypedColumn final : public Column {
 #ifdef ADASKIP_PACKED_DROP_RAW
     DropRawPayload(segment_index);
 #endif
+  }
+
+  /// Writes the column payload — geometry plus every segment in its
+  /// current physical layout (raw, raw+packed, or packed with the raw
+  /// payload dropped) — so a restored column is layout-identical, not
+  /// just value-identical: journaled layout decisions survive a restart
+  /// without re-packing.
+  Status SerializeBinary(persist::Sink& sink) const {
+    ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, segment_rows_));
+    ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, size_));
+    ADASKIP_RETURN_IF_ERROR(
+        persist::WriteScalar(sink, static_cast<uint64_t>(segments_.size())));
+    for (int64_t s = 0; s < num_segments(); ++s) {
+      const std::vector<T>& raw = segments_[static_cast<size_t>(s)];
+      const PackedSegment<T>* packed = packed_segment(s);
+      const uint8_t layout =
+          packed == nullptr ? 0 : (raw.empty() ? 2 : 1);
+      ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, layout));
+      ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, SegmentSize(s)));
+      if (layout != 2) {
+        ADASKIP_RETURN_IF_ERROR(persist::WriteVector(sink, raw));
+      }
+      if (packed != nullptr) {
+        ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, packed->base));
+        ADASKIP_RETURN_IF_ERROR(
+            persist::WriteScalar(sink, static_cast<int32_t>(packed->bits)));
+        ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, packed->rows));
+        ADASKIP_RETURN_IF_ERROR(persist::WriteVector(sink, packed->words));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Fills an empty column from a payload written by SerializeBinary,
+  /// restoring the exact per-segment physical layouts. Refuses on a
+  /// non-empty column; a corrupt payload leaves the column unchanged.
+  Status DeserializeBinary(persist::Source& source) {
+    if (size_ != 0 || !segments_.empty()) {
+      return Status::FailedPrecondition(
+          "column restore requires an empty column");
+    }
+    int64_t segment_rows = 0;
+    int64_t size = 0;
+    uint64_t num_segments = 0;
+    ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &segment_rows));
+    ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &size));
+    ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &num_segments));
+    if (segment_rows <= 0 ||
+        !std::has_single_bit(static_cast<uint64_t>(segment_rows)) ||
+        size < 0 ||
+        num_segments != static_cast<uint64_t>(
+                            (size + segment_rows - 1) / segment_rows)) {
+      return Status::DataLoss("column snapshot geometry is unsound");
+    }
+    std::vector<std::vector<T>> segments;
+    std::vector<std::unique_ptr<PackedSegment<T>>> packed;
+    segments.reserve(static_cast<size_t>(num_segments));
+    packed.resize(static_cast<size_t>(num_segments));
+    for (uint64_t s = 0; s < num_segments; ++s) {
+      uint8_t layout = 0;
+      int64_t rows = 0;
+      ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &layout));
+      ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &rows));
+      const int64_t expected_rows = std::min(
+          segment_rows, size - static_cast<int64_t>(s) * segment_rows);
+      if (layout > 2 || rows != expected_rows || rows <= 0) {
+        return Status::DataLoss("column snapshot segment " +
+                                std::to_string(s) + " is unsound");
+      }
+      std::vector<T> raw;
+      if (layout != 2) {
+        ADASKIP_RETURN_IF_ERROR(persist::ReadVector(source, &raw));
+        if (static_cast<int64_t>(raw.size()) != rows) {
+          return Status::DataLoss("column snapshot segment " +
+                                  std::to_string(s) +
+                                  " payload size mismatch");
+        }
+        // Match the capacity discipline of a live column: every segment
+        // is allocated at full capacity so later appends never realloc.
+        raw.reserve(static_cast<size_t>(segment_rows));
+      }
+      if (layout != 0) {
+        PackedSegment<T> seg;
+        int32_t bits = 0;
+        ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &seg.base));
+        ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &bits));
+        ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &seg.rows));
+        ADASKIP_RETURN_IF_ERROR(persist::ReadVector(source, &seg.words));
+        seg.bits = bits;
+        const bool bits_ok = bits == 1 || bits == 2 || bits == 4 ||
+                             bits == 8 || bits == 16;
+        if (!bits_ok || seg.rows != segment_rows || rows != segment_rows ||
+            static_cast<int64_t>(seg.words.size()) !=
+                (seg.rows * bits + 63) / 64) {
+          return Status::DataLoss("column snapshot segment " +
+                                  std::to_string(s) +
+                                  " packed payload is unsound");
+        }
+        packed[static_cast<size_t>(s)] =
+            std::make_unique<PackedSegment<T>>(std::move(seg));
+      }
+      segments.push_back(std::move(raw));
+    }
+    segment_rows_ = segment_rows;
+    segment_shift_ = std::countr_zero(static_cast<uint64_t>(segment_rows));
+    segment_mask_ = segment_rows - 1;
+    size_ = size;
+    segments_ = std::move(segments);
+    packed_ = std::move(packed);
+    return Status::OK();
   }
 
   /// Frees the raw payload of a segment that adopted a packed layout.

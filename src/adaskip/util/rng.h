@@ -1,6 +1,7 @@
 #ifndef ADASKIP_UTIL_RNG_H_
 #define ADASKIP_UTIL_RNG_H_
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 
@@ -63,6 +64,17 @@ class Rng {
 
   /// Bernoulli trial with success probability `p`.
   bool NextBool(double p) { return NextDouble() < p; }
+
+  /// The raw xoshiro state, for checkpointing a generator mid-stream.
+  std::array<uint64_t, 4> SaveState() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  /// Restores a state captured by SaveState(); the next draws continue
+  /// the saved stream exactly.
+  void RestoreState(const std::array<uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) state_[i] = state[static_cast<size_t>(i)];
+  }
 
  private:
   static uint64_t Rotl(uint64_t x, int k) {

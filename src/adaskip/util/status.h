@@ -21,6 +21,9 @@ enum class StatusCode : int8_t {
   kFailedPrecondition = 5,
   kUnimplemented = 6,
   kInternal = 7,
+  /// Unrecoverable loss or corruption of persisted data: bad magic or
+  /// checksum, truncated snapshot, unknown format version.
+  kDataLoss = 8,
 };
 
 /// Returns a stable, human-readable name for `code` (e.g. "InvalidArgument").
@@ -63,6 +66,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

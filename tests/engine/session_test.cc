@@ -196,10 +196,10 @@ TEST(SessionTest, TelemetryTogglesJournalHealthAndDump) {
   EXPECT_EQ(session.journal().total_appended(), before);
 }
 
-TEST(SessionTest, DeprecatedGetIndexShimStillWorks) {
-  // Session::GetIndex is a deprecated compatibility shim; this is the one
-  // test that exercises it (everything else uses DescribeIndex). The raw
-  // pointer is still the only way to reach type-specific debug hooks.
+TEST(SessionTest, DescribeIndexReportsAdaptationState) {
+  // The value-type snapshot is the introspection surface (the deprecated
+  // raw-pointer GetIndex shim is gone): adaptation actions, geometry, and
+  // footprint all come out of DescribeIndex.
   Session session;
   ASSERT_TRUE(session.CreateTable("t").ok());
   DataGenOptions gen;
@@ -219,17 +219,15 @@ TEST(SessionTest, DeprecatedGetIndexShimStillWorks) {
                                       "x", lo, lo + 150)))
                     .ok());
   }
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  SkipIndex* index = session.GetIndex("t", "x");
-  ASSERT_NE(index, nullptr);
-  EXPECT_EQ(session.GetIndex("t", "nope"), nullptr);
-  EXPECT_EQ(session.GetIndex("other", "x"), nullptr);
-#pragma GCC diagnostic pop
-  auto* adaptive_index = static_cast<AdaptiveZoneMapT<int64_t>*>(index);
-  EXPECT_GT(adaptive_index->split_count(), 0);
-  EXPECT_TRUE(adaptive_index->CheckInvariants());
-  EXPECT_EQ(adaptive_index->query_count(), 10);
+  Result<IndexSnapshot> snapshot = session.DescribeIndex("t", "x");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().kind, "adaptive");
+  EXPECT_EQ(snapshot.value().num_rows, 20000);
+  EXPECT_GT(snapshot.value().adaptation.zones_refined, 0);
+  EXPECT_GT(snapshot.value().zone_count, 0);
+  EXPECT_GT(snapshot.value().memory_bytes, 0);
+  EXPECT_FALSE(session.DescribeIndex("t", "nope").ok());
+  EXPECT_FALSE(session.DescribeIndex("other", "x").ok());
 }
 
 TEST(SessionTest, WorkloadStatsSummaryMentionsQueries) {

@@ -1,0 +1,231 @@
+#include "adaskip/persist/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace adaskip {
+namespace persist {
+namespace {
+
+TEST(ScalarTest, RoundTripsEveryWidth) {
+  BufferSink sink;
+  ASSERT_TRUE(WriteScalar(sink, true).ok());
+  ASSERT_TRUE(WriteScalar(sink, static_cast<int8_t>(-7)).ok());
+  ASSERT_TRUE(WriteScalar(sink, static_cast<uint8_t>(0xAB)).ok());
+  ASSERT_TRUE(WriteScalar(sink, static_cast<int32_t>(-123456)).ok());
+  ASSERT_TRUE(
+      WriteScalar(sink, std::numeric_limits<int64_t>::min()).ok());
+  ASSERT_TRUE(WriteScalar(sink, 3.5f).ok());
+  ASSERT_TRUE(WriteScalar(sink, -0.125).ok());
+
+  BufferSource source(sink.buffer());
+  bool b = false;
+  int8_t i8 = 0;
+  uint8_t u8 = 0;
+  int32_t i32 = 0;
+  int64_t i64 = 0;
+  float f = 0;
+  double d = 0;
+  ASSERT_TRUE(ReadScalar(source, &b).ok());
+  ASSERT_TRUE(ReadScalar(source, &i8).ok());
+  ASSERT_TRUE(ReadScalar(source, &u8).ok());
+  ASSERT_TRUE(ReadScalar(source, &i32).ok());
+  ASSERT_TRUE(ReadScalar(source, &i64).ok());
+  ASSERT_TRUE(ReadScalar(source, &f).ok());
+  ASSERT_TRUE(ReadScalar(source, &d).ok());
+  EXPECT_TRUE(b);
+  EXPECT_EQ(i8, -7);
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(i32, -123456);
+  EXPECT_EQ(i64, std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(f, 3.5f);
+  EXPECT_EQ(d, -0.125);
+  EXPECT_EQ(source.remaining(), 0);
+}
+
+TEST(ScalarTest, EncodingIsLittleEndian) {
+  BufferSink sink;
+  ASSERT_TRUE(WriteScalar(sink, static_cast<uint32_t>(0x01020304)).ok());
+  const std::string& bytes = sink.buffer();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[3]), 0x01);
+}
+
+TEST(ScalarTest, BoolByteOutOfRangeIsDataLoss) {
+  const std::string bytes("\x02", 1);
+  BufferSource source(bytes);
+  bool b = false;
+  EXPECT_EQ(ReadScalar(source, &b).code(), StatusCode::kDataLoss);
+}
+
+TEST(ScalarTest, TruncatedReadIsDataLoss) {
+  const std::string bytes("\x01\x02", 2);
+  BufferSource source(bytes);
+  int64_t value = 0;
+  EXPECT_EQ(ReadScalar(source, &value).code(), StatusCode::kDataLoss);
+}
+
+TEST(StringTest, RoundTripsIncludingEmbeddedNul) {
+  BufferSink sink;
+  const std::string payload("col\0umn", 7);
+  ASSERT_TRUE(WriteString(sink, payload).ok());
+  ASSERT_TRUE(WriteString(sink, "").ok());
+  BufferSource source(sink.buffer());
+  std::string a;
+  std::string b;
+  ASSERT_TRUE(ReadString(source, &a).ok());
+  ASSERT_TRUE(ReadString(source, &b).ok());
+  EXPECT_EQ(a, payload);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(StringTest, LengthBeyondSourceIsDataLoss) {
+  BufferSink sink;
+  // A length field claiming far more bytes than the source holds must be
+  // rejected before any allocation happens.
+  ASSERT_TRUE(WriteScalar(sink, static_cast<uint64_t>(1) << 40).ok());
+  BufferSource source(sink.buffer());
+  std::string out;
+  EXPECT_EQ(ReadString(source, &out).code(), StatusCode::kDataLoss);
+}
+
+TEST(VectorTest, RoundTripsArithmeticTypes) {
+  BufferSink sink;
+  const std::vector<int64_t> ints = {-1, 0, 1, 1 << 30};
+  const std::vector<double> doubles = {0.5, -2.25};
+  const std::vector<uint64_t> empty;
+  ASSERT_TRUE(WriteVector(sink, ints).ok());
+  ASSERT_TRUE(WriteVector(sink, doubles).ok());
+  ASSERT_TRUE(WriteVector(sink, empty).ok());
+  BufferSource source(sink.buffer());
+  std::vector<int64_t> ints_out;
+  std::vector<double> doubles_out;
+  std::vector<uint64_t> empty_out = {99};
+  ASSERT_TRUE(ReadVector(source, &ints_out).ok());
+  ASSERT_TRUE(ReadVector(source, &doubles_out).ok());
+  ASSERT_TRUE(ReadVector(source, &empty_out).ok());
+  EXPECT_EQ(ints_out, ints);
+  EXPECT_EQ(doubles_out, doubles);
+  EXPECT_TRUE(empty_out.empty());
+}
+
+TEST(VectorTest, CountBeyondSourceIsDataLoss) {
+  BufferSink sink;
+  ASSERT_TRUE(WriteScalar(sink, static_cast<uint64_t>(1000)).ok());
+  ASSERT_TRUE(WriteScalar(sink, static_cast<int64_t>(1)).ok());
+  BufferSource source(sink.buffer());
+  std::vector<int64_t> out;
+  EXPECT_EQ(ReadVector(source, &out).code(), StatusCode::kDataLoss);
+}
+
+TEST(Crc32Test, MatchesKnownVectorAndChains) {
+  // The IEEE 802.3 check value for the ASCII string "123456789".
+  const char check[] = "123456789";
+  EXPECT_EQ(Crc32(check, 9), 0xCBF43926u);
+  const uint32_t part = Crc32(check, 4);
+  EXPECT_EQ(Crc32(check + 4, 5, part), 0xCBF43926u);
+}
+
+TEST(BlockTest, RoundTripsAndDetectsTampering) {
+  const uint32_t tag = FourCC("TEST");
+  BufferSink sink;
+  ASSERT_TRUE(WriteBlock(sink, tag, "hello block").ok());
+  {
+    BufferSource source(sink.buffer());
+    std::string payload;
+    ASSERT_TRUE(ReadBlock(source, tag, &payload).ok());
+    EXPECT_EQ(payload, "hello block");
+    EXPECT_EQ(source.remaining(), 0);
+  }
+  {
+    // Wrong expected tag.
+    BufferSource source(sink.buffer());
+    std::string payload;
+    EXPECT_EQ(ReadBlock(source, FourCC("OTHR"), &payload).code(),
+              StatusCode::kDataLoss);
+  }
+  {
+    // One flipped payload bit fails the CRC.
+    std::string tampered = sink.buffer();
+    tampered[sizeof(uint32_t) + sizeof(uint64_t) + 2] ^= 0x10;
+    BufferSource source(tampered);
+    std::string payload;
+    EXPECT_EQ(ReadBlock(source, tag, &payload).code(),
+              StatusCode::kDataLoss);
+  }
+  {
+    // A stale checksum (payload intact, CRC bytes flipped) also fails.
+    std::string tampered = sink.buffer();
+    tampered.back() = static_cast<char>(tampered.back() ^ 0x01);
+    BufferSource source(tampered);
+    std::string payload;
+    EXPECT_EQ(ReadBlock(source, tag, &payload).code(),
+              StatusCode::kDataLoss);
+  }
+  {
+    // Truncated mid-payload.
+    std::string truncated = sink.buffer().substr(0, sink.buffer().size() / 2);
+    BufferSource source(truncated);
+    std::string payload;
+    EXPECT_EQ(ReadBlock(source, tag, &payload).code(),
+              StatusCode::kDataLoss);
+  }
+}
+
+TEST(SnapshotHeaderTest, RoundTripsAndRejectsBadPreamble) {
+  BufferSink sink;
+  ASSERT_TRUE(WriteSnapshotHeader(sink).ok());
+  ASSERT_EQ(sink.buffer().size(), sizeof(kSnapshotMagic) + 1);
+  {
+    BufferSource source(sink.buffer());
+    EXPECT_TRUE(ReadSnapshotHeader(source).ok());
+    EXPECT_EQ(source.remaining(), 0);
+  }
+  {
+    std::string bad_magic = sink.buffer();
+    bad_magic[0] = 'X';
+    BufferSource source(bad_magic);
+    EXPECT_EQ(ReadSnapshotHeader(source).code(), StatusCode::kDataLoss);
+  }
+  {
+    std::string bad_version = sink.buffer();
+    bad_version[sizeof(kSnapshotMagic)] =
+        static_cast<char>(kFormatVersion + 1);
+    BufferSource source(bad_version);
+    EXPECT_EQ(ReadSnapshotHeader(source).code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(FileIoTest, SinkThenSourceRoundTrip) {
+  const std::string path = ::testing::TempDir() + "adaskip_binary_io_file";
+  {
+    Result<std::unique_ptr<FileSink>> sink = FileSink::Open(path);
+    ASSERT_TRUE(sink.ok());
+    ASSERT_TRUE(WriteSnapshotHeader(**sink).ok());
+    ASSERT_TRUE(WriteBlock(**sink, FourCC("FILE"), "payload bytes").ok());
+    ASSERT_TRUE((*sink)->Close().ok());
+  }
+  {
+    Result<std::unique_ptr<FileSource>> source = FileSource::Open(path);
+    ASSERT_TRUE(source.ok());
+    ASSERT_TRUE(ReadSnapshotHeader(**source).ok());
+    std::string payload;
+    ASSERT_TRUE(ReadBlock(**source, FourCC("FILE"), &payload).ok());
+    EXPECT_EQ(payload, "payload bytes");
+    EXPECT_EQ((*source)->remaining(), 0);
+  }
+}
+
+TEST(FileIoTest, MissingFileFailsToOpen) {
+  EXPECT_FALSE(
+      FileSource::Open(::testing::TempDir() + "adaskip_no_such_file").ok());
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace adaskip

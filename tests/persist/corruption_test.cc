@@ -1,0 +1,208 @@
+// Corruption injection against checkpoint directories: truncated files,
+// bit-flipped payloads, wrong format-version bytes, stale checksums, and
+// crash artifacts (missing manifest, torn journal-tail record). Every
+// corruption must surface as a clean Status — kDataLoss for damaged
+// snapshot bytes — never UB or a half-restored session. This suite runs
+// under ASan/UBSan in CI's sanitize matrix.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaskip/engine/session.h"
+#include "adaskip/persist/binary_io.h"
+#include "adaskip/workload/data_generator.h"
+
+namespace adaskip {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Builds a session with one adaptively indexed column (journaling on),
+/// runs a few queries, and checkpoints it into a directory unique to the
+/// current test.
+class CorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "adaskip_corrupt_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    live_ = std::make_unique<Session>();
+    ASSERT_TRUE(live_->CreateTable("t").ok());
+    DataGenOptions gen;
+    gen.order = DataOrder::kSorted;
+    gen.num_rows = 20000;
+    gen.value_range = 20000;
+    ASSERT_TRUE(
+        live_->AddColumn<int64_t>("t", "x", GenerateData<int64_t>(gen))
+            .ok());
+    IndexOptions options;
+    options.kind = IndexKind::kAdaptive;
+    options.adaptive.min_zone_size = 128;
+    ASSERT_TRUE(live_->AttachIndex("t", "x", options).ok());
+    ExecOptions exec;
+    exec.journal_events = true;
+    ASSERT_TRUE(live_->SetExecOptions("t", exec).ok());
+    RunQueries(4, 0);
+    ASSERT_TRUE(live_->Checkpoint(dir_).ok());
+  }
+
+  void RunQueries(int count, int64_t offset) {
+    for (int i = 0; i < count; ++i) {
+      const int64_t lo = offset + 1000 * i;
+      ASSERT_TRUE(live_
+                      ->Execute("t", Query::Count(Predicate::Between<int64_t>(
+                                         "x", lo, lo + 150)))
+                      .ok());
+    }
+  }
+
+  StatusCode RestoreCode() {
+    Session fresh;
+    return fresh.Restore(dir_).code();
+  }
+
+  std::string dir_;
+  std::unique_ptr<Session> live_;
+};
+
+TEST_F(CorruptionTest, PristineSnapshotRestores) {
+  EXPECT_EQ(RestoreCode(), StatusCode::kOk);
+}
+
+TEST_F(CorruptionTest, TruncatedManifestIsDataLoss) {
+  const std::string path = dir_ + "/MANIFEST.bin";
+  const std::string bytes = ReadFileBytes(path);
+  WriteFileBytes(path, bytes.substr(0, bytes.size() / 2));
+  EXPECT_EQ(RestoreCode(), StatusCode::kDataLoss);
+}
+
+TEST_F(CorruptionTest, BitFlippedColumnPayloadIsDataLoss) {
+  const std::string path = dir_ + "/t.x.col";
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  WriteFileBytes(path, bytes);
+  EXPECT_EQ(RestoreCode(), StatusCode::kDataLoss);
+}
+
+TEST_F(CorruptionTest, WrongFormatVersionByteIsDataLoss) {
+  const std::string path = dir_ + "/MANIFEST.bin";
+  std::string bytes = ReadFileBytes(path);
+  // The format-version byte sits right after the 8-byte magic.
+  ASSERT_GT(bytes.size(), sizeof(persist::kSnapshotMagic));
+  bytes[sizeof(persist::kSnapshotMagic)] = 0x7F;
+  WriteFileBytes(path, bytes);
+  EXPECT_EQ(RestoreCode(), StatusCode::kDataLoss);
+}
+
+TEST_F(CorruptionTest, StaleChecksumOnIndexFileIsDataLoss) {
+  const std::string path = dir_ + "/t.x.idx";
+  std::string bytes = ReadFileBytes(path);
+  // The block CRC is the last four bytes; flipping one leaves the payload
+  // intact but the checksum stale.
+  ASSERT_GT(bytes.size(), 4u);
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x01);
+  WriteFileBytes(path, bytes);
+  EXPECT_EQ(RestoreCode(), StatusCode::kDataLoss);
+}
+
+TEST_F(CorruptionTest, MissingManifestMeansNoSnapshot) {
+  // A crash mid-checkpoint leaves every file except MANIFEST.bin, which
+  // is written last; such a directory must not restore.
+  ASSERT_EQ(std::remove((dir_ + "/MANIFEST.bin").c_str()), 0);
+  EXPECT_NE(RestoreCode(), StatusCode::kOk);
+}
+
+TEST_F(CorruptionTest, KindByteMismatchIsDataLoss) {
+  // Re-frame the index file with a flipped kind byte but a VALID header
+  // and CRC: the cross-check against the manifest options must catch what
+  // the checksum cannot.
+  const std::string path = dir_ + "/t.x.idx";
+  std::string payload;
+  {
+    Result<std::unique_ptr<persist::FileSource>> source =
+        persist::FileSource::Open(path);
+    ASSERT_TRUE(source.ok());
+    ASSERT_TRUE(persist::ReadSnapshotHeader(**source).ok());
+    ASSERT_TRUE(
+        persist::ReadBlock(**source, persist::FourCC("SIDX"), &payload)
+            .ok());
+  }
+  ASSERT_FALSE(payload.empty());
+  payload[0] = static_cast<char>(IndexKind::kZoneMap);
+  {
+    Result<std::unique_ptr<persist::FileSink>> sink =
+        persist::FileSink::Open(path);
+    ASSERT_TRUE(sink.ok());
+    ASSERT_TRUE(persist::WriteSnapshotHeader(**sink).ok());
+    ASSERT_TRUE(
+        persist::WriteBlock(**sink, persist::FourCC("SIDX"), payload).ok());
+    ASSERT_TRUE((*sink)->Close().ok());
+  }
+  EXPECT_EQ(RestoreCode(), StatusCode::kDataLoss);
+}
+
+TEST_F(CorruptionTest, TornTrailingTailRecordIsDropped) {
+  // Post-checkpoint adaptation feeds the tail file; chopping bytes off
+  // its end models a crash mid-append. Restore keeps every whole record
+  // and drops the torn one — that is recovery working, not corruption.
+  RunQueries(8, 250);
+  const std::string path = dir_ + "/journal_tail.bin";
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), sizeof(persist::kSnapshotMagic) + 1);
+  WriteFileBytes(path, bytes.substr(0, bytes.size() - 3));
+  Session fresh;
+  EXPECT_TRUE(fresh.Restore(dir_).ok());
+  Result<IndexSnapshot> snapshot = fresh.DescribeIndex("t", "x");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->num_rows, 20000);
+}
+
+TEST_F(CorruptionTest, BitFlippedTailRecordStopsReplayCleanly) {
+  RunQueries(8, 250);
+  const std::string path = dir_ + "/journal_tail.bin";
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 128u);
+  // Damage a record in the middle: replay keeps everything before it and
+  // drops the rest, still yielding a consistent (if older) state.
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x08);
+  WriteFileBytes(path, bytes);
+  Session fresh;
+  EXPECT_TRUE(fresh.Restore(dir_).ok());
+  EXPECT_TRUE(fresh.DescribeIndex("t", "x").ok());
+}
+
+TEST_F(CorruptionTest, MissingColumnFileFailsCleanly) {
+  ASSERT_EQ(std::remove((dir_ + "/t.x.col").c_str()), 0);
+  EXPECT_NE(RestoreCode(), StatusCode::kOk);
+}
+
+TEST_F(CorruptionTest, FailedRestoreLeavesSnapshotReusable) {
+  // A corrupt tail is repaired out-of-band (here: by deleting it); the
+  // snapshot files themselves were never mutated by the failed attempts.
+  const std::string path = dir_ + "/MANIFEST.bin";
+  const std::string pristine = ReadFileBytes(path);
+  WriteFileBytes(path, pristine.substr(0, pristine.size() - 2));
+  EXPECT_EQ(RestoreCode(), StatusCode::kDataLoss);
+  WriteFileBytes(path, pristine);
+  EXPECT_EQ(RestoreCode(), StatusCode::kOk);
+}
+
+}  // namespace
+}  // namespace adaskip

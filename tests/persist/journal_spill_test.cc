@@ -1,0 +1,123 @@
+// File-backed journal spill: evicted events land in a JSONL file, one
+// JournalEvent::ToJson() object per line, surviving the bounded
+// in-memory window. Covers the writer directly and the Session toggle
+// that routes EventJournal evictions through it.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "adaskip/engine/session.h"
+#include "adaskip/obs/event_journal.h"
+#include "adaskip/persist/jsonl_spill.h"
+
+namespace adaskip {
+namespace {
+
+std::string SpillPath(const std::string& name) {
+  const std::string path =
+      ::testing::TempDir() + "adaskip_spill_" + name + ".jsonl";
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string ReadFileText(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+int64_t CountLines(const std::string& text) {
+  int64_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+obs::JournalEvent SplitEvent(int64_t parent_begin) {
+  obs::JournalEvent event;
+  event.kind = obs::EventKind::kZoneSplit;
+  event.scope = "t.x";
+  event.args = {parent_begin, parent_begin + 1024, parent_begin + 512};
+  return event;
+}
+
+TEST(JsonlSpillWriterTest, AppendsOneJsonObjectPerLine) {
+  const std::string path = SpillPath("writer");
+  {
+    Result<std::unique_ptr<persist::JsonlSpillWriter>> writer =
+        persist::JsonlSpillWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    (*writer)->Append(SplitEvent(0));
+    (*writer)->Append(SplitEvent(4096));
+    EXPECT_TRUE((*writer)->status().ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  const std::string text = ReadFileText(path);
+  EXPECT_EQ(CountLines(text), 2);
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_NE(text.find("\"zone_split\""), std::string::npos);
+  // Reopening appends: an existing history is extended, never truncated.
+  {
+    Result<std::unique_ptr<persist::JsonlSpillWriter>> writer =
+        persist::JsonlSpillWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    (*writer)->Append(SplitEvent(8192));
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  EXPECT_EQ(CountLines(ReadFileText(path)), 3);
+}
+
+TEST(JsonlSpillWriterTest, UnwritablePathFailsToOpen) {
+  EXPECT_FALSE(persist::JsonlSpillWriter::Open(
+                   "/nonexistent-dir-adaskip/spill.jsonl")
+                   .ok());
+}
+
+TEST(JournalSpillTest, SessionRoutesEvictionsToFile) {
+  const std::string path = SpillPath("session");
+  Session session;
+  ASSERT_TRUE(session.EnableJournalSpill(path).ok());
+  // The session journal keeps the (default) 4096 most recent events;
+  // overflowing it by `extra` must spill exactly `extra` lines.
+  const int64_t capacity = 4096;
+  const int64_t extra = 37;
+  for (int64_t i = 0; i < capacity + extra; ++i) {
+    // Direct append: this test exercises the eviction path itself.
+    // adaskip-lint: allow(journal-emission)
+    session.journal().AppendEvent(SplitEvent(i));
+  }
+  EXPECT_EQ(session.journal().spilled(), extra);
+  EXPECT_EQ(session.journal().size(), capacity);
+  ASSERT_TRUE(session.DisableJournalSpill().ok());
+  const std::string text = ReadFileText(path);
+  EXPECT_EQ(CountLines(text), extra);
+  // Oldest first: the first spilled event is the first ever appended.
+  EXPECT_NE(text.find("\"seq\":1,"), std::string::npos);
+
+  // After Disable, further evictions do not touch the file.
+  // adaskip-lint: allow(journal-emission)
+  session.journal().AppendEvent(SplitEvent(0));
+  EXPECT_EQ(CountLines(ReadFileText(path)), extra);
+
+  // Re-enabling the same path extends the history.
+  ASSERT_TRUE(session.EnableJournalSpill(path).ok());
+  // adaskip-lint: allow(journal-emission)
+  session.journal().AppendEvent(SplitEvent(0));
+  ASSERT_TRUE(session.DisableJournalSpill().ok());
+  EXPECT_EQ(CountLines(ReadFileText(path)), extra + 1);
+}
+
+TEST(JournalSpillTest, DisableWithoutEnableIsNoop) {
+  Session session;
+  EXPECT_TRUE(session.DisableJournalSpill().ok());
+}
+
+}  // namespace
+}  // namespace adaskip

@@ -351,6 +351,65 @@ void Linter::CheckJournalEmission(const std::string& path,
   }
 }
 
+void Linter::CheckSerializeBinaryPair(const std::string& path,
+                                      const std::string& stripped) {
+  // A class that can write itself but not read itself back (or vice
+  // versa) produces snapshots nothing can restore. Scans every
+  // class/struct body for a one-sided declaration.
+  static const std::regex kClass(R"((class|struct)\s+([A-Za-z_]\w*)[^;{(]*\{)");
+  auto begin = std::sregex_iterator(stripped.begin(), stripped.end(), kClass);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const size_t open = static_cast<size_t>(it->position()) +
+                        static_cast<size_t>(it->length()) - 1;
+    const size_t end = SkipBraceBlock(stripped, open);
+    if (end == std::string::npos) continue;
+    const std::string body = stripped.substr(open, end - open);
+    const bool has_ser = body.find("SerializeBinary") != std::string::npos;
+    const bool has_deser = body.find("DeserializeBinary") != std::string::npos;
+    if (has_ser == has_deser) continue;
+    const std::string name = (*it)[2].str();
+    Report(path, LineOf(stripped, static_cast<size_t>(it->position())),
+           "serialize-binary-pair",
+           "'" + name + "' declares " +
+               (has_ser ? std::string("SerializeBinary without "
+                                      "DeserializeBinary — it writes "
+                                      "snapshots nothing can read back")
+                        : std::string("DeserializeBinary without "
+                                      "SerializeBinary — nothing can "
+                                      "produce the bytes it expects")) +
+               "; persistence round-trips require both halves");
+  }
+}
+
+void Linter::CheckRawBinaryIo(const std::string& path,
+                              const std::string& stripped) {
+  // persist/ holds the Sink/Source implementations and the corruption
+  // tests that deliberately rewrite snapshot bytes.
+  if (PathContains(path, "persist/")) return;
+
+  static const std::regex kCall(R"(\b(fopen|fwrite|fread)\s*\()");
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(), kCall);
+       it != std::sregex_iterator(); ++it) {
+    const size_t off = static_cast<size_t>(it->position());
+    Report(path, LineOf(stripped, off), "raw-binary-io",
+           "raw '" + (*it)[1].str() +
+               "' outside persist/ — binary artifacts go through "
+               "persist::FileSink / FileSource so they carry the versioned "
+               "header and per-block CRC framing Restore depends on");
+  }
+
+  static const std::regex kBinaryStream(R"(\bios\s*::\s*binary\b)");
+  for (auto it = std::sregex_iterator(stripped.begin(), stripped.end(),
+                                      kBinaryStream);
+       it != std::sregex_iterator(); ++it) {
+    const size_t off = static_cast<size_t>(it->position());
+    Report(path, LineOf(stripped, off), "raw-binary-io",
+           "std::ios::binary stream outside persist/ — unframed binary "
+           "files have no format version and no checksum; use "
+           "persist::FileSink / FileSource (text-mode streams are fine)");
+  }
+}
+
 void Linter::CheckSimdIntrinsics(const std::string& path,
                                  const std::string& stripped) {
   // scan/simd/ is the one blessed home of raw intrinsics: the AVX2
@@ -455,6 +514,8 @@ void Linter::LintFile(const std::string& path, const std::string& content) {
   CheckForbiddenTokens(path, stripped);
   CheckMetricRegistration(path, stripped);
   CheckJournalEmission(path, stripped);
+  CheckSerializeBinaryPair(path, stripped);
+  CheckRawBinaryIo(path, stripped);
   CheckSimdIntrinsics(path, stripped);
   HarvestWorkloadStats(path, stripped);
 }

@@ -54,6 +54,20 @@
 ///                         contract ("journal the inputs the mutation
 ///                         was computed from") stays auditable at one
 ///                         macro.
+///   serialize-binary-pair Any class/struct that declares SerializeBinary
+///                         also declares DeserializeBinary (and vice
+///                         versa). A one-sided implementation writes
+///                         snapshots nothing can read back — the drift
+///                         only surfaces as a restore failure after a
+///                         crash, the worst possible moment.
+///   raw-binary-io         No fopen/fwrite/fread or std::ios::binary
+///                         streams outside persist/ — binary artifacts
+///                         are produced through persist::FileSink /
+///                         FileSource so every file gets the versioned
+///                         snapshot header and per-block CRC framing
+///                         that Restore's corruption checks rely on.
+///                         Text-mode streams (logs, JSON reports) are
+///                         fine.
 ///   simd-intrinsics       No <immintrin.h>-style includes, _mm*
 ///                         intrinsics, or __m128/__m256/__m512 vector
 ///                         types outside scan/simd/ — SIMD goes through
@@ -75,7 +89,10 @@
 /// journal-emission (the registry/journal implementations and their
 /// tests must call the raw APIs); files whose path contains "scan/simd/"
 /// are exempt from simd-intrinsics (that directory IS the blessed home
-/// of raw intrinsics); files under "tools/" are never scanned.
+/// of raw intrinsics); files whose path contains "persist/" are exempt
+/// from raw-binary-io (the Sink/Source implementations and the
+/// corruption tests that deliberately mangle snapshot bytes); files
+/// under "tools/" are never scanned.
 
 namespace adaskip_lint {
 
@@ -121,6 +138,10 @@ class Linter {
                                const std::string& stripped);
   void CheckJournalEmission(const std::string& path,
                             const std::string& stripped);
+  void CheckSerializeBinaryPair(const std::string& path,
+                                const std::string& stripped);
+  void CheckRawBinaryIo(const std::string& path,
+                        const std::string& stripped);
   void CheckSimdIntrinsics(const std::string& path,
                            const std::string& stripped);
   void HarvestWorkloadStats(const std::string& path,

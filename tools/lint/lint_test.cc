@@ -184,6 +184,56 @@ TEST(BadFixtures, JournalEmissionSuppressible) {
   EXPECT_TRUE(linter.Finish().empty());
 }
 
+TEST(BadFixtures, SerializeMismatchFlagged) {
+  const std::vector<LintIssue> issues =
+      LintUnderLabel("bad/serialize_mismatch.cc",
+                     "src/adaskip/skipping/serialize_mismatch.cc");
+  // WriteOnlyIndex (serialize only) + ReadOnlyState (deserialize only);
+  // RoundTripIndex and Ephemeral contribute nothing.
+  EXPECT_EQ(CountRule(issues, "serialize-binary-pair"), 2);
+  EXPECT_EQ(issues.size(), 2u);
+  int write_only = 0;
+  for (const LintIssue& issue : issues) {
+    if (issue.message.find("WriteOnlyIndex") != std::string::npos) {
+      ++write_only;
+      EXPECT_NE(issue.message.find("without DeserializeBinary"),
+                std::string::npos);
+    }
+  }
+  EXPECT_EQ(write_only, 1);
+}
+
+TEST(BadFixtures, SerializeMismatchSuppressible) {
+  Linter linter;
+  linter.LintFile("src/adaskip/skipping/s.h",
+                  "// adaskip-lint: allow(serialize-binary-pair)\n"
+                  "class LegacyReader {\n"
+                  " public:\n"
+                  "  Status DeserializeBinary(persist::Source& source);\n"
+                  "};\n");
+  EXPECT_TRUE(linter.Finish().empty());
+}
+
+TEST(BadFixtures, RawBinaryIoFlagged) {
+  const std::vector<LintIssue> issues = LintUnderLabel(
+      "bad/raw_binary_io.cc", "src/adaskip/engine/raw_binary_io.cc");
+  // Two fopen + one fwrite + one fread + one ios::binary; the text-mode
+  // report writer contributes nothing.
+  EXPECT_EQ(CountRule(issues, "raw-binary-io"), 5);
+  EXPECT_EQ(issues.size(), 5u);
+}
+
+TEST(BadFixtures, RawBinaryIoExemptUnderPersist) {
+  // The Sink/Source implementations and the corruption tests that
+  // deliberately mangle snapshot bytes live under persist/ paths.
+  const std::vector<LintIssue> issues = LintUnderLabel(
+      "bad/raw_binary_io.cc", "src/adaskip/persist/raw_binary_io.cc");
+  EXPECT_EQ(CountRule(issues, "raw-binary-io"), 0);
+  const std::vector<LintIssue> test_issues = LintUnderLabel(
+      "bad/raw_binary_io.cc", "tests/persist/raw_binary_io_test.cc");
+  EXPECT_EQ(CountRule(test_issues, "raw-binary-io"), 0);
+}
+
 TEST(BadFixtures, SimdIntrinsicsFlagged) {
   const std::vector<LintIssue> issues = LintUnderLabel(
       "bad/simd_intrinsics.cc", "src/adaskip/engine/simd_intrinsics.cc");

@@ -1,0 +1,33 @@
+// Fixture: ad-hoc binary file I/O that bypasses the persist framing.
+// Linted under the label src/adaskip/engine/raw_binary_io.cc.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace adaskip {
+
+void DumpUnframed(const std::string& path, const std::vector<char>& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");       // raw-binary-io
+  std::fwrite(bytes.data(), 1, bytes.size(), file);       // raw-binary-io
+  std::fclose(file);
+}
+
+void SlurpUnframed(const std::string& path, std::vector<char>* bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");       // raw-binary-io
+  std::fread(bytes->data(), 1, bytes->size(), file);      // raw-binary-io
+  std::fclose(file);
+}
+
+void StreamUnframed(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);              // raw-binary-io
+}
+
+// Text-mode streams (logs, JSON reports, CSV exports) are fine.
+void WriteReport(const std::string& path, const std::string& doc) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  out << doc;
+}
+
+}  // namespace adaskip

@@ -1,0 +1,39 @@
+// Fixture: one-sided serialization contracts. Linted under the label
+// src/adaskip/skipping/serialize_mismatch.cc.
+
+#include <string>
+
+namespace adaskip {
+
+namespace persist {
+class Sink;
+class Source;
+}  // namespace persist
+
+class Status;
+
+// serialize-binary-pair: writes snapshots nothing can read back.
+class WriteOnlyIndex {
+ public:
+  Status SerializeBinary(persist::Sink& sink) const;
+};
+
+// serialize-binary-pair: expects bytes nothing can produce.
+struct ReadOnlyState {
+  Status DeserializeBinary(persist::Source& source);
+};
+
+// Both halves present: the contract every persistent type must meet.
+class RoundTripIndex {
+ public:
+  Status SerializeBinary(persist::Sink& sink) const;
+  Status DeserializeBinary(persist::Source& source);
+};
+
+// Types with no serialization surface at all are of course fine.
+class Ephemeral {
+ public:
+  std::string Describe() const;
+};
+
+}  // namespace adaskip
