@@ -179,11 +179,16 @@ class Session {
   /// into `dir` (created if missing): every column in its current
   /// physical layout (packed segments included), every attached skip
   /// index with its full adaptation state, the event journal, and a
-  /// manifest tying them together. The manifest is written last, so a
-  /// crash mid-checkpoint leaves no snapshot that Restore would accept.
+  /// manifest tying them together. All files are staged under temp names
+  /// and fsynced, then committed by removing the old manifest, renaming
+  /// the payload files into place, and renaming the new manifest last —
+  /// so a crash mid-checkpoint (even over an existing snapshot in the
+  /// same `dir`) leaves either the previous snapshot or no restorable
+  /// snapshot, never a mixed-generation one, and a checkpoint that
+  /// returns an error keeps the previous journal-tail sink installed.
   ///
-  /// After the snapshot is on disk, a journal-tail file inside `dir`
-  /// starts receiving every subsequently journaled event (flushed per
+  /// After the snapshot is committed, a journal-tail file inside `dir`
+  /// starts receiving every subsequently journaled event (fsynced per
   /// event); Restore replays that tail so recovered indexes match the
   /// pre-crash state bit for bit, not just the checkpoint-time state.
   ///
@@ -204,6 +209,12 @@ class Session {
   /// the checkpoint are not recoverable — events referencing them fail
   /// the replay loudly rather than restoring an index that lies about
   /// its column.
+  ///
+  /// On success the session resumes journal-tail durability into `dir`:
+  /// the tail file is rewritten to the replayed events (trimming any
+  /// torn record) and every subsequently journaled event appends behind
+  /// them, so the directory stays restorable without waiting for the
+  /// next explicit Checkpoint.
   Status Restore(const std::string& dir);
 
   /// Routes journal spill evictions to a JSONL file at `path` (appending

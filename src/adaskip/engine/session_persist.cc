@@ -2,9 +2,13 @@
 // persist/ serialization contract. Every persisted object stages its
 // unframed payload into a BufferSink; this file wraps each payload in one
 // CRC-framed block per file (persist/binary_io.h) and ties the files
-// together with a manifest that is written LAST — its presence is the
-// snapshot's validity marker, so a crash mid-checkpoint never leaves a
-// snapshot Restore would accept.
+// together with a manifest whose presence is the snapshot's validity
+// marker. Checkpoint is stage-then-commit: all files are fsynced under
+// ".tmp" names first, then the old manifest is removed, the payload
+// files renamed into place, and the new manifest renamed LAST (directory
+// fsyncs ordering the steps) — so a crash mid-checkpoint leaves either
+// the previous snapshot intact, or no manifest at all, never an old
+// manifest paired with new-generation files.
 //
 // Snapshot layout inside the checkpoint directory:
 //   <table>.<column>.col   column payload, current physical layout
@@ -50,13 +54,21 @@ std::string IndexFile(const std::string& dir, const std::string& table,
   return dir + "/" + table + "." + column + ".idx";
 }
 
-/// One snapshot file = header + a single framed block.
+/// Staged snapshot files carry this suffix until the commit renames
+/// them into place; Restore never looks at a ".tmp" name, so a crash
+/// mid-stage leaves at worst dead bytes, never a readable half-snapshot.
+constexpr char kTmpSuffix[] = ".tmp";
+
+/// One snapshot file = header + a single framed block, fsynced before
+/// close so the payload is on stable storage before the commit rename
+/// makes it reachable.
 Status WriteObjectFile(const std::string& path, uint32_t tag,
                        const std::string& payload) {
   ADASKIP_ASSIGN_OR_RETURN(std::unique_ptr<persist::FileSink> sink,
                            persist::FileSink::Open(path));
   ADASKIP_RETURN_IF_ERROR(persist::WriteSnapshotHeader(*sink));
   ADASKIP_RETURN_IF_ERROR(persist::WriteBlock(*sink, tag, payload));
+  ADASKIP_RETURN_IF_ERROR(sink->Sync());
   return sink->Close();
 }
 
@@ -126,6 +138,8 @@ Status WriteIndexOptions(persist::Sink& sink, const IndexOptions& options) {
   return WriteScalar(sink, ai.reactivation_benefit_threshold);
 }
 
+Status ValidateIndexOptions(const IndexOptions& options);
+
 Status ReadIndexOptions(persist::Source& source, IndexOptions* out) {
   using persist::ReadScalar;
   IndexOptions options;
@@ -188,7 +202,60 @@ Status ReadIndexOptions(persist::Source& source, IndexOptions* out) {
   ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &ai.ewma_alpha));
   ADASKIP_RETURN_IF_ERROR(
       ReadScalar(source, &ai.reactivation_benefit_threshold));
+  ADASKIP_RETURN_IF_ERROR(ValidateIndexOptions(options));
   *out = options;
+  return Status::OK();
+}
+
+/// The deferred-build constructors enforce their numeric preconditions
+/// with process-aborting CHECKs; a forged-but-CRC-valid manifest (or
+/// in-memory corruption) must instead fail like every other bad input:
+/// kDataLoss, process intact. Only the active kind's struct is checked —
+/// the inactive members are never consulted by MakeSkipIndex, and
+/// validating them could reject a snapshot whose unused knobs were
+/// simply left unset.
+Status ValidateIndexOptions(const IndexOptions& options) {
+  const auto bad = [](std::string_view what) {
+    return Status::DataLoss(std::string("manifest index option out of "
+                                        "range: ") +
+                            std::string(what));
+  };
+  switch (options.kind) {
+    case IndexKind::kFullScan:
+      break;
+    case IndexKind::kZoneMap:
+      if (options.zone_map.zone_size < 1) return bad("zone_map.zone_size");
+      break;
+    case IndexKind::kZoneTree:
+      if (options.zone_tree.zone_size < 1) return bad("zone_tree.zone_size");
+      if (options.zone_tree.fanout < 2) return bad("zone_tree.fanout");
+      break;
+    case IndexKind::kImprints:
+      // num_bins is clamped to 64 by the constructor, so only the lower
+      // bound can abort.
+      if (options.imprints.block_size < 1) return bad("imprints.block_size");
+      if (options.imprints.num_bins < 2) return bad("imprints.num_bins");
+      break;
+    case IndexKind::kBloomZoneMap:
+      if (options.bloom.zone_size < 1) return bad("bloom.zone_size");
+      if (options.bloom.bits_per_row < 1) return bad("bloom.bits_per_row");
+      if (options.bloom.num_hashes < 1) return bad("bloom.num_hashes");
+      break;
+    case IndexKind::kAdaptive:
+      if (options.adaptive.min_zone_size < 1) {
+        return bad("adaptive.min_zone_size");
+      }
+      if (options.adaptive.max_zones < 1) return bad("adaptive.max_zones");
+      break;
+    case IndexKind::kAdaptiveImprints: {
+      const AdaptiveImprintsOptions& ai = options.adaptive_imprints;
+      if (ai.block_size < 1) return bad("adaptive_imprints.block_size");
+      if (ai.num_bins < 2 || ai.num_bins > 64) {
+        return bad("adaptive_imprints.num_bins");
+      }
+      break;
+    }
+  }
   return Status::OK();
 }
 
@@ -228,17 +295,23 @@ Status Session::Checkpoint(const std::string& dir) {
   if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
     return Status::Internal("cannot create checkpoint directory: " + dir);
   }
-  // A new checkpoint supersedes the previous tail file; stop feeding it
-  // before any snapshot byte is written.
-  journal_.SetTailSink(nullptr);
-  if (tail_writer_ != nullptr) {
-    ADASKIP_RETURN_IF_ERROR(tail_writer_->Close());
-    tail_writer_.reset();
-  }
   // The high-water mark: tail events with seq > snapshot_seq are the ones
   // Restore replays on top of the snapshot. Captured before anything is
   // serialized — the quiesce contract means nothing appends in between.
   const int64_t snapshot_seq = journal_.total_appended();
+
+  // Stage phase: every snapshot file is written under a ".tmp" name.
+  // Any previous snapshot in `dir` — checkpointing into the same
+  // directory repeatedly is the expected pattern — and the previous
+  // journal-tail sink stay intact and authoritative until the commit
+  // below, so a failure or crash anywhere in here loses nothing.
+  std::vector<std::string> staged;  // Final (post-rename) paths.
+  const auto stage = [&staged](const std::string& path, uint32_t tag,
+                               const std::string& payload) -> Status {
+    ADASKIP_RETURN_IF_ERROR(WriteObjectFile(path + kTmpSuffix, tag, payload));
+    staged.push_back(path);
+    return Status::OK();
+  };
 
   persist::BufferSink manifest;
   ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(manifest, snapshot_seq));
@@ -270,9 +343,8 @@ Status Session::Checkpoint(const std::string& dir) {
       persist::BufferSink column_payload;
       ADASKIP_RETURN_IF_ERROR(SerializeColumn(
           table->column(static_cast<int64_t>(c)), column_payload));
-      ADASKIP_RETURN_IF_ERROR(
-          WriteObjectFile(ColumnFile(dir, table_name, field.name),
-                          kColumnTag, column_payload.buffer()));
+      ADASKIP_RETURN_IF_ERROR(stage(ColumnFile(dir, table_name, field.name),
+                                    kColumnTag, column_payload.buffer()));
       const auto it = indexed.find(field.name);
       const bool has_index = it != indexed.end();
       ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(manifest, has_index));
@@ -286,20 +358,46 @@ Status Session::Checkpoint(const std::string& dir) {
       ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(
           index_payload, static_cast<int8_t>(it->second.kind)));
       ADASKIP_RETURN_IF_ERROR(index->SerializeBinary(index_payload));
-      ADASKIP_RETURN_IF_ERROR(
-          WriteObjectFile(IndexFile(dir, table_name, field.name), kIndexTag,
-                          index_payload.buffer()));
+      ADASKIP_RETURN_IF_ERROR(stage(IndexFile(dir, table_name, field.name),
+                                    kIndexTag, index_payload.buffer()));
     }
   }
 
   persist::BufferSink journal_payload;
   ADASKIP_RETURN_IF_ERROR(journal_.SerializeBinary(journal_payload));
-  ADASKIP_RETURN_IF_ERROR(WriteObjectFile(dir + "/journal.bin", kJournalTag,
-                                          journal_payload.buffer()));
-  // Manifest last: its presence certifies every file above it.
-  ADASKIP_RETURN_IF_ERROR(WriteObjectFile(dir + "/MANIFEST.bin",
+  ADASKIP_RETURN_IF_ERROR(
+      stage(dir + "/journal.bin", kJournalTag, journal_payload.buffer()));
+  const std::string manifest_path = dir + "/MANIFEST.bin";
+  ADASKIP_RETURN_IF_ERROR(WriteObjectFile(manifest_path + kTmpSuffix,
                                           kManifestTag, manifest.buffer()));
 
+  // Commit phase: invalidate the old manifest FIRST — from here until
+  // the new manifest lands the directory holds no restorable snapshot —
+  // then rename the payload files into place, then the manifest that
+  // certifies them, with a directory fsync between the steps so a crash
+  // cannot reorder them. Either the old manifest still pairs with the
+  // old, untouched files; or no manifest exists and Restore refuses; or
+  // the new manifest pairs with the complete new generation. Mixed
+  // generations are unreachable.
+  ADASKIP_RETURN_IF_ERROR(persist::RemoveFileIfExists(manifest_path));
+  ADASKIP_RETURN_IF_ERROR(persist::SyncDir(dir));
+  for (const std::string& path : staged) {
+    ADASKIP_RETURN_IF_ERROR(persist::RenameFile(path + kTmpSuffix, path));
+  }
+  ADASKIP_RETURN_IF_ERROR(persist::SyncDir(dir));
+  ADASKIP_RETURN_IF_ERROR(
+      persist::RenameFile(manifest_path + kTmpSuffix, manifest_path));
+  ADASKIP_RETURN_IF_ERROR(persist::SyncDir(dir));
+
+  // Only now that the new snapshot is committed does the previous tail
+  // stop mattering: swap the writers. A failure before this point left
+  // the old sink installed, so journaled events kept their durability.
+  journal_.SetTailSink(nullptr);
+  Status old_tail_status;
+  if (tail_writer_ != nullptr) {
+    old_tail_status = tail_writer_->Close();
+    tail_writer_.reset();
+  }
   // From here on, every journaled event also lands in the tail file —
   // the delta a post-crash Restore replays on top of this snapshot.
   ADASKIP_ASSIGN_OR_RETURN(
@@ -308,7 +406,10 @@ Status Session::Checkpoint(const std::string& dir) {
   journal_.SetTailSink([writer](const obs::JournalEvent& event) {
     (void)writer->Append(event);
   });
-  return Status::OK();
+  // A sticky error on the superseded tail writer is surfaced, but only
+  // after the new tail is live — the snapshot itself is committed and
+  // durable either way.
+  return old_tail_status;
 }
 
 Status Session::Restore(const std::string& dir) {
@@ -420,6 +521,25 @@ Status Session::Restore(const std::string& dir) {
           p.column, p.options, std::move(index)));
     }
   }
+
+  // Re-establish tail durability: without this, every event journaled
+  // after a restore would exist only in memory until the next explicit
+  // Checkpoint — a second crash would silently lose the post-restore
+  // adaptation. The tail file is rewritten to hold exactly the events
+  // just replayed (trimming any torn trailing record, which would make
+  // appends after it unreachable to the reader) and new events append
+  // behind them, so this directory stays restorable as it grows. Runs
+  // only after every snapshot check passed — a failed Restore mutates
+  // nothing in `dir`.
+  ADASKIP_ASSIGN_OR_RETURN(
+      tail_writer_, persist::JournalTailWriter::Open(dir + "/journal_tail.bin"));
+  for (const obs::JournalEvent& event : replay) {
+    ADASKIP_RETURN_IF_ERROR(tail_writer_->Append(event));
+  }
+  persist::JournalTailWriter* writer = tail_writer_.get();
+  journal_.SetTailSink([writer](const obs::JournalEvent& event) {
+    (void)writer->Append(event);
+  });
   return Status::OK();
 }
 

@@ -1,6 +1,12 @@
 #include "adaskip/persist/binary_io.h"
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include <array>
+#include <cerrno>
 #include <cstdio>
 
 namespace adaskip {
@@ -95,6 +101,16 @@ Status FileSink::Flush() {
   return status_;
 }
 
+Status FileSink::Sync() {
+  if (!Flush().ok()) return status_;
+#ifndef _WIN32
+  if (::fsync(::fileno(AsFile(file_))) != 0) {
+    status_ = Status::Internal("fsync of '" + path_ + "' failed");
+  }
+#endif
+  return status_;
+}
+
 Status FileSink::Close() {
   if (file_ == nullptr) return status_;
   const int rc = std::fclose(AsFile(file_));
@@ -144,6 +160,35 @@ Status FileSource::ReadBytes(void* data, size_t size) {
   return Status::OK();
 }
 
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::Internal("cannot rename '" + from + "' to '" + to + "'");
+  }
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (std::remove(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::Internal("cannot remove '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& dir) {
+#ifndef _WIN32
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal("cannot open directory '" + dir + "' to sync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("fsync of directory '" + dir + "' failed");
+  }
+#endif
+  return Status::OK();
+}
+
 Status WriteString(Sink& sink, std::string_view value) {
   ADASKIP_RETURN_IF_ERROR(
       WriteScalar(sink, static_cast<uint64_t>(value.size())));
@@ -182,8 +227,13 @@ Status ReadBlock(Source& source, uint32_t expected_tag, std::string* payload) {
   }
   uint64_t size = 0;
   ADASKIP_RETURN_IF_ERROR(ReadScalar(source, &size));
+  // Subtract instead of adding sizeof(crc) to `size`: a corrupted size in
+  // [2^64-4, 2^64-1] would wrap the sum and slip past the limit check,
+  // turning into a length_error/bad_alloc below instead of kDataLoss.
   const int64_t limit = source.remaining();
-  if (limit >= 0 && size + sizeof(uint32_t) > static_cast<uint64_t>(limit)) {
+  if (limit >= 0 &&
+      (static_cast<uint64_t>(limit) < sizeof(uint32_t) ||
+       size > static_cast<uint64_t>(limit) - sizeof(uint32_t))) {
     return Status::DataLoss("block payload of " + std::to_string(size) +
                             " bytes exceeds the " + std::to_string(limit) +
                             " bytes left in the source");

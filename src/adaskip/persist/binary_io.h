@@ -110,6 +110,10 @@ class FileSink : public Sink {
   Status WriteBytes(const void* data, size_t size) override;
   /// Flushes buffered bytes to the OS without closing.
   Status Flush();
+  /// Flush() plus fsync: the bytes reach stable storage, not just the OS
+  /// page cache, so they survive a power loss — the durability step of
+  /// every snapshot file and journal-tail append.
+  Status Sync();
   Status Close();
 
  private:
@@ -143,6 +147,21 @@ class FileSource : public Source {
 /// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven. Chainable:
 /// pass the previous return value as `seed` to extend a running checksum.
 uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+/// Atomically replaces `to` with `from` (same-directory rename). The
+/// checkpoint commit step: a staged ".tmp" file becomes the live one in
+/// a single metadata operation, never exposing a half-written file.
+Status RenameFile(const std::string& from, const std::string& to);
+
+/// Removes `path`; a file that does not exist is success, not an error
+/// (used to invalidate a superseded MANIFEST.bin before committing a new
+/// snapshot generation over it).
+Status RemoveFileIfExists(const std::string& path);
+
+/// fsyncs the directory itself so renames/removals inside it are durable
+/// — without this a crash can reorder the manifest commit against the
+/// payload files it certifies.
+Status SyncDir(const std::string& dir);
 
 /// Writes one little-endian fixed-width scalar. Accepts bool, all
 /// fixed-width integers, float and double; enums go through their

@@ -42,7 +42,7 @@ Result<std::unique_ptr<JournalTailWriter>> JournalTailWriter::Open(
   std::unique_ptr<FileSink> sink;
   ADASKIP_ASSIGN_OR_RETURN(sink, FileSink::Open(path));
   ADASKIP_RETURN_IF_ERROR(WriteSnapshotHeader(*sink));
-  ADASKIP_RETURN_IF_ERROR(sink->Flush());
+  ADASKIP_RETURN_IF_ERROR(sink->Sync());
   // The constructor is private (callers must go through Open), so
   // std::make_unique cannot reach it.
   return std::unique_ptr<JournalTailWriter>(
@@ -57,9 +57,11 @@ Status JournalTailWriter::Append(const obs::JournalEvent& event) {
   if (status_.ok()) {
     status_ = WriteBlock(*sink_, kJournalEventTag, payload.buffer());
   }
-  // Flush per append: the tail file is only useful if it survives a
-  // crash that the in-memory journal does not.
-  if (status_.ok()) status_ = sink_->Flush();
+  // Sync (not just flush) per append: the tail file is only useful if it
+  // survives a crash that the in-memory journal does not, and that
+  // includes the kernel — fflush alone leaves the record in the page
+  // cache, where a power loss silently discards it.
+  if (status_.ok()) status_ = sink_->Sync();
   return status_;
 }
 

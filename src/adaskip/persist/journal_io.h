@@ -29,8 +29,9 @@ Status WriteJournalEvent(Sink& sink, const obs::JournalEvent& event);
 Status ReadJournalEvent(Source& source, obs::JournalEvent* event);
 
 /// Append-only writer for the journal-tail file: each event is framed as
-/// its own CRC'd block and flushed immediately, so the tail survives a
-/// crash mid-run. I/O errors are sticky — the first failure is returned
+/// its own CRC'd block and fsynced immediately, so the tail survives a
+/// crash mid-run — including a kernel panic or power loss, not just the
+/// process dying. I/O errors are sticky — the first failure is returned
 /// from every later Append and from Close.
 class JournalTailWriter {
  public:

@@ -177,6 +177,38 @@ TEST(BlockTest, RoundTripsAndDetectsTampering) {
   }
 }
 
+TEST(BlockTest, NearOverflowSizeFieldIsDataLossNotBadAlloc) {
+  // A corrupted size in [2^64-4, 2^64-1] wraps `size + sizeof(crc)`; a
+  // naive limit check passes and the payload allocation throws. The
+  // guard must subtract instead and report kDataLoss.
+  const uint32_t tag = FourCC("TEST");
+  for (uint64_t delta = 1; delta <= 4; ++delta) {
+    BufferSink sink;
+    ASSERT_TRUE(WriteScalar(sink, tag).ok());
+    ASSERT_TRUE(
+        WriteScalar(sink, std::numeric_limits<uint64_t>::max() - delta + 1)
+            .ok());
+    ASSERT_TRUE(WriteScalar(sink, static_cast<uint32_t>(0)).ok());
+    BufferSource source(sink.buffer());
+    std::string payload;
+    EXPECT_EQ(ReadBlock(source, tag, &payload).code(),
+              StatusCode::kDataLoss);
+  }
+}
+
+TEST(BlockTest, SourceShorterThanCrcIsDataLoss) {
+  // remaining() < sizeof(crc) exercises the other side of the subtract-
+  // don't-add guard: the unsigned subtraction must not wrap either.
+  const uint32_t tag = FourCC("TEST");
+  BufferSink sink;
+  ASSERT_TRUE(WriteScalar(sink, tag).ok());
+  ASSERT_TRUE(WriteScalar(sink, static_cast<uint64_t>(0)).ok());
+  const std::string truncated = sink.buffer() + "\x01";  // 1 < sizeof(crc).
+  BufferSource source(truncated);
+  std::string payload;
+  EXPECT_EQ(ReadBlock(source, tag, &payload).code(), StatusCode::kDataLoss);
+}
+
 TEST(SnapshotHeaderTest, RoundTripsAndRejectsBadPreamble) {
   BufferSink sink;
   ASSERT_TRUE(WriteSnapshotHeader(sink).ok());

@@ -6,7 +6,9 @@
 // under ASan/UBSan in CI's sanitize matrix.
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -186,6 +188,80 @@ TEST_F(CorruptionTest, BitFlippedTailRecordStopsReplayCleanly) {
   Session fresh;
   EXPECT_TRUE(fresh.Restore(dir_).ok());
   EXPECT_TRUE(fresh.DescribeIndex("t", "x").ok());
+}
+
+TEST_F(CorruptionTest, StrayTempFilesFromTornCheckpointAreIgnored) {
+  // A crash during the stage phase of a later checkpoint leaves ".tmp"
+  // files next to the committed snapshot. Restore never reads temp
+  // names, so the previous snapshot stays fully restorable.
+  WriteFileBytes(dir_ + "/MANIFEST.bin.tmp", "garbage from a torn stage");
+  WriteFileBytes(dir_ + "/t.x.col.tmp", "half-written column payload");
+  EXPECT_EQ(RestoreCode(), StatusCode::kOk);
+}
+
+TEST_F(CorruptionTest, FailedCheckpointKeepsTailDurability) {
+  // Force a later checkpoint to fail mid-stage: a directory squatting on
+  // a staged file name makes its FileSink::Open fail. The failed call
+  // must leave the PREVIOUS tail sink installed, so events journaled
+  // afterwards still reach dir_'s tail file and restore bit-identical.
+  const std::string second = dir_ + "_second";
+  ASSERT_TRUE(::mkdir(second.c_str(), 0755) == 0 || errno == EEXIST);
+  ASSERT_TRUE(::mkdir((second + "/t.x.col.tmp").c_str(), 0755) == 0 ||
+              errno == EEXIST);
+  ASSERT_FALSE(live_->Checkpoint(second).ok());
+  RunQueries(8, 250);
+
+  Session fresh;
+  ASSERT_TRUE(fresh.Restore(dir_).ok());
+  EXPECT_EQ(fresh.journal().total_appended(),
+            live_->journal().total_appended());
+  Result<IndexSnapshot> a = live_->DescribeIndex("t", "x");
+  Result<IndexSnapshot> b = fresh.DescribeIndex("t", "x");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->description, b->description);
+}
+
+TEST_F(CorruptionTest, OutOfRangeManifestOptionIsDataLoss) {
+  // Zero out adaptive.min_zone_size inside the manifest payload and
+  // re-frame it with a fresh (valid) CRC: a forged-but-checksummed
+  // manifest must come back as kDataLoss, not trip the deferred-build
+  // constructor's process-aborting CHECK.
+  const std::string path = dir_ + "/MANIFEST.bin";
+  std::string payload;
+  {
+    Result<std::unique_ptr<persist::FileSource>> source =
+        persist::FileSource::Open(path);
+    ASSERT_TRUE(source.ok());
+    ASSERT_TRUE(persist::ReadSnapshotHeader(**source).ok());
+    ASSERT_TRUE(
+        persist::ReadBlock(**source, persist::FourCC("MNFT"), &payload)
+            .ok());
+  }
+  // Manifest payload layout up to the field under attack: seq(8),
+  // num_tables(8), "t"(8+1), num_columns(8), "x"(8+1), type(1),
+  // has_index(1), then the options — kind(1) and ten i64 knobs before
+  // adaptive.min_zone_size.
+  const size_t offset = 8 + 8 + (8 + 1) + 8 + (8 + 1) + 1 + 1 + 1 + 10 * 8;
+  ASSERT_GE(payload.size(), offset + 8);
+  // Guard against layout drift: the bytes there must currently decode to
+  // the 128 that SetUp configured.
+  persist::BufferSource probe(
+      std::string_view(payload).substr(offset, 8));
+  int64_t min_zone_size = 0;
+  ASSERT_TRUE(persist::ReadScalar(probe, &min_zone_size).ok());
+  ASSERT_EQ(min_zone_size, 128);
+  for (size_t i = 0; i < 8; ++i) payload[offset + i] = '\0';
+  {
+    Result<std::unique_ptr<persist::FileSink>> sink =
+        persist::FileSink::Open(path);
+    ASSERT_TRUE(sink.ok());
+    ASSERT_TRUE(persist::WriteSnapshotHeader(**sink).ok());
+    ASSERT_TRUE(
+        persist::WriteBlock(**sink, persist::FourCC("MNFT"), payload).ok());
+    ASSERT_TRUE((*sink)->Close().ok());
+  }
+  EXPECT_EQ(RestoreCode(), StatusCode::kDataLoss);
 }
 
 TEST_F(CorruptionTest, MissingColumnFileFailsCleanly) {

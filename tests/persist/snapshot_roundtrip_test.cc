@@ -301,6 +301,72 @@ TEST(SnapshotRoundTripTest, LayoutDecisionsAfterCheckpointReplayFromTail) {
   EXPECT_EQ(a->count, b->count);
 }
 
+TEST(SnapshotRoundTripTest, RecheckpointIntoSameDirectoryRestoresLatest) {
+  // Checkpointing over an existing snapshot is the supported pattern;
+  // the stage/commit protocol must atomically supersede the previous
+  // generation, and the restored state must be the LATEST one.
+  Session live;
+  ASSERT_TRUE(live.CreateTable("t").ok());
+  DataGenOptions gen;
+  gen.order = DataOrder::kSorted;
+  gen.num_rows = 20000;
+  gen.value_range = 20000;
+  ASSERT_TRUE(
+      live.AddColumn<int64_t>("t", "x", GenerateData<int64_t>(gen)).ok());
+  ASSERT_TRUE(
+      live.AttachIndex("t", "x", OptionsFor(IndexKind::kAdaptive)).ok());
+  ExecOptions exec;
+  exec.journal_events = true;
+  ASSERT_TRUE(live.SetExecOptions("t", exec).ok());
+  RunQueries(live, 6);
+
+  const std::string dir = SnapshotDir("recheckpoint");
+  ASSERT_TRUE(live.Checkpoint(dir).ok());
+  RunQueries(live, 10, 250);  // Adapt well past the first snapshot.
+  ASSERT_TRUE(live.Checkpoint(dir).ok());
+
+  Session restored;
+  ASSERT_TRUE(restored.Restore(dir).ok());
+  EXPECT_EQ(restored.journal().total_appended(),
+            live.journal().total_appended());
+  ExpectIdenticalSnapshots(live, restored);
+  ExpectIdenticalQueries(live, restored);
+}
+
+TEST(SnapshotRoundTripTest, PostRestoreAdaptationIsDurableWithoutCheckpoint) {
+  // Restore re-opens the journal tail, so adaptation that happens after
+  // a restore survives a SECOND crash without an intervening Checkpoint:
+  // restoring the same directory again reproduces it.
+  Session live;
+  ASSERT_TRUE(live.CreateTable("t").ok());
+  DataGenOptions gen;
+  gen.order = DataOrder::kSorted;
+  gen.num_rows = 20000;
+  gen.value_range = 20000;
+  ASSERT_TRUE(
+      live.AddColumn<int64_t>("t", "x", GenerateData<int64_t>(gen)).ok());
+  ASSERT_TRUE(
+      live.AttachIndex("t", "x", OptionsFor(IndexKind::kAdaptive)).ok());
+  ExecOptions exec;
+  exec.journal_events = true;
+  ASSERT_TRUE(live.SetExecOptions("t", exec).ok());
+  RunQueries(live, 6);
+  const std::string dir = SnapshotDir("post_restore_tail");
+  ASSERT_TRUE(live.Checkpoint(dir).ok());
+
+  Session first;
+  ASSERT_TRUE(first.Restore(dir).ok());
+  ASSERT_TRUE(first.SetExecOptions("t", exec).ok());
+  RunQueries(first, 10, 250);  // Exists only in `first` and dir's tail.
+
+  Session second;
+  ASSERT_TRUE(second.Restore(dir).ok());
+  EXPECT_EQ(second.journal().total_appended(),
+            first.journal().total_appended());
+  ExpectIdenticalSnapshots(first, second);
+  ExpectIdenticalQueries(first, second);
+}
+
 TEST(SnapshotRoundTripTest, RestoreRequiresEmptySession) {
   Session live;
   ASSERT_TRUE(live.CreateTable("t").ok());
