@@ -19,7 +19,7 @@
 
 #include "adaskip/obs/json.h"
 #include "adaskip/scan/simd/kernel_dispatch.h"
-#include "adaskip/storage/segment_layout.h"
+#include "adaskip/scan/packed_kernels.h"
 #include "adaskip/util/stopwatch.h"
 
 namespace adaskip {

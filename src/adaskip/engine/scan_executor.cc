@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <limits>
 #include <type_traits>
+#include <utility>
 
 #include "adaskip/obs/metrics.h"
+#include "adaskip/scan/packed_kernels.h"
 #include "adaskip/scan/scan_kernel.h"
 #include "adaskip/scan/simd/kernel_dispatch.h"
-#include "adaskip/storage/segment_layout.h"
 #include "adaskip/storage/type_dispatch.h"
 #include "adaskip/util/interval_set.h"
 #include "adaskip/util/stopwatch.h"
@@ -45,6 +46,20 @@ std::string Query::ToString() const {
 }
 
 namespace {
+
+/// ParallelFor plus pool job metrics. The metrics live here rather than
+/// in util/thread_pool.cc because util/ sits below obs/ in the layering
+/// DAG; the executor is the pool's only production driver.
+template <typename F>
+void InstrumentedParallelFor(ThreadPool* pool, int64_t num_tasks, F&& fn) {
+  ADASKIP_METRIC_COUNTER(jobs, "adaskip.pool.jobs",
+                         "Parallel jobs submitted to thread pools");
+  ADASKIP_METRIC_HISTOGRAM(tasks, "adaskip.pool.tasks_per_job",
+                           "Task count per submitted parallel job");
+  jobs.Increment();
+  tasks.Observe(num_tasks);
+  pool->ParallelFor(num_tasks, std::forward<F>(fn));
+}
 
 /// The aggregation target column of `query` (defaults to the first
 /// predicate's column).
@@ -359,8 +374,9 @@ void ScanExecutor::ScanSingleParallel(const Query& query,
   std::vector<int64_t> worker_nanos(
       static_cast<size_t>(workers->num_workers()), 0);
 
-  workers->ParallelFor(
-      static_cast<int64_t>(morsels.size()), [&](int64_t m, int worker) {
+  InstrumentedParallelFor(
+      workers, static_cast<int64_t>(morsels.size()),
+      [&](int64_t m, int worker) {
         Stopwatch scan_timer;
         const RowRange rows = morsels[static_cast<size_t>(m)].rows;
         // Each morsel is segment-contained (BuildMorsels), so it is one
@@ -737,13 +753,13 @@ Result<QueryResult> ScanExecutor::ExecuteConjunction(const Query& query) {
     stats.parallel_workers = workers->num_workers();
     std::vector<int64_t> worker_nanos(
         static_cast<size_t>(workers->num_workers()), 0);
-    workers->ParallelFor(static_cast<int64_t>(morsels.size()),
-                         [&](int64_t m, int worker) {
-                           Stopwatch morsel_timer;
-                           scan_morsel(m, worker);
-                           worker_nanos[static_cast<size_t>(worker)] +=
-                               morsel_timer.ElapsedNanos();
-                         });
+    InstrumentedParallelFor(workers, static_cast<int64_t>(morsels.size()),
+                            [&](int64_t m, int worker) {
+                              Stopwatch morsel_timer;
+                              scan_morsel(m, worker);
+                              worker_nanos[static_cast<size_t>(worker)] +=
+                                  morsel_timer.ElapsedNanos();
+                            });
     for (int64_t nanos : worker_nanos) stats.scan_nanos += nanos;
   } else {
     for (int64_t m = 0; m < static_cast<int64_t>(morsels.size()); ++m) {

@@ -1,20 +1,17 @@
 #include "adaskip/engine/session.h"
 
-#include <chrono>
 #include <ostream>
 
 #include "adaskip/obs/json.h"
 #include "adaskip/obs/metrics.h"
+#include "adaskip/scan/packed_kernels.h"
 #include "adaskip/storage/segment_layout.h"
+#include "adaskip/util/stopwatch.h"
 
 namespace adaskip {
 namespace {
 
-int64_t TelemetryNanos() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+int64_t TelemetryNanos() { return MonotonicNanos(); }
 
 /// Runs the layout decision on every newly sealed segment of one integer
 /// column, adopting packed layouts and journaling each decision.

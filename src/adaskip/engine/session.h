@@ -18,10 +18,10 @@
 
 namespace adaskip {
 
-namespace persist {
+namespace obs {
 class JournalTailWriter;
 class JsonlSpillWriter;
-}  // namespace persist
+}  // namespace obs
 
 /// Value-type snapshot of one attached skip index: identity, geometry,
 /// and adaptation state at the moment of the call. This is the supported
@@ -315,8 +315,8 @@ class Session {
   // Persistence plumbing (engine/session_persist.cc). Both writers are
   // referenced by callbacks installed on journal_; the destructor clears
   // those callbacks before any member is torn down.
-  std::unique_ptr<persist::JournalTailWriter> tail_writer_;
-  std::unique_ptr<persist::JsonlSpillWriter> spill_writer_;
+  std::unique_ptr<obs::JournalTailWriter> tail_writer_;
+  std::unique_ptr<obs::JsonlSpillWriter> spill_writer_;
 };
 
 }  // namespace adaskip

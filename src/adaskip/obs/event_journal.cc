@@ -7,7 +7,7 @@
 
 #include "adaskip/obs/json.h"
 #include "adaskip/obs/metrics.h"
-#include "adaskip/persist/journal_io.h"
+#include "adaskip/obs/journal_io.h"
 
 namespace adaskip {
 namespace obs {
@@ -137,7 +137,7 @@ Status EventJournal::SerializeBinary(persist::Sink& sink) const {
   ADASKIP_RETURN_IF_ERROR(
       persist::WriteScalar(sink, static_cast<uint64_t>(events_.size())));
   for (const JournalEvent& event : events_) {
-    ADASKIP_RETURN_IF_ERROR(persist::WriteJournalEvent(sink, event));
+    ADASKIP_RETURN_IF_ERROR(WriteJournalEvent(sink, event));
   }
   return Status::OK();
 }
@@ -158,7 +158,7 @@ Status EventJournal::DeserializeBinary(persist::Source& source) {
   int64_t last_seq = 0;
   for (uint64_t i = 0; i < count; ++i) {
     JournalEvent event;
-    ADASKIP_RETURN_IF_ERROR(persist::ReadJournalEvent(source, &event));
+    ADASKIP_RETURN_IF_ERROR(ReadJournalEvent(source, &event));
     if (event.seq <= last_seq || event.seq >= next_seq) {
       return Status::DataLoss("journal snapshot sequence numbers are not "
                               "strictly increasing");

@@ -1,0 +1,93 @@
+#include "adaskip/obs/journal_io.h"
+
+#include <utility>
+
+namespace adaskip {
+namespace obs {
+
+Status WriteJournalEvent(persist::Sink& sink, const obs::JournalEvent& event) {
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, event.seq));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, event.nanos));
+  ADASKIP_RETURN_IF_ERROR(
+      persist::WriteScalar(sink, static_cast<int8_t>(event.kind)));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteString(sink, event.scope));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteScalar(sink, event.query_seq));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteVector(sink, event.args));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteVector(sink, event.values));
+  return persist::WriteString(sink, event.detail);
+}
+
+Status ReadJournalEvent(persist::Source& source, obs::JournalEvent* event) {
+  obs::JournalEvent out;
+  int8_t kind = 0;
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &out.seq));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &out.nanos));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &kind));
+  if (kind < 0 || kind > static_cast<int8_t>(obs::EventKind::kSegmentLayout)) {
+    return Status::DataLoss("journal event kind byte out of range: " +
+                            std::to_string(kind));
+  }
+  out.kind = static_cast<obs::EventKind>(kind);
+  ADASKIP_RETURN_IF_ERROR(persist::ReadString(source, &out.scope));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadScalar(source, &out.query_seq));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadVector(source, &out.args));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadVector(source, &out.values));
+  ADASKIP_RETURN_IF_ERROR(persist::ReadString(source, &out.detail));
+  *event = std::move(out);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<JournalTailWriter>> JournalTailWriter::Open(
+    const std::string& path) {
+  std::unique_ptr<persist::FileSink> sink;
+  ADASKIP_ASSIGN_OR_RETURN(sink, persist::FileSink::Open(path));
+  ADASKIP_RETURN_IF_ERROR(persist::WriteSnapshotHeader(*sink));
+  ADASKIP_RETURN_IF_ERROR(sink->Sync());
+  // The constructor is private (callers must go through Open), so
+  // std::make_unique cannot reach it.
+  return std::unique_ptr<JournalTailWriter>(
+      // adaskip-lint: allow(naked-new)
+      new JournalTailWriter(std::move(sink)));
+}
+
+Status JournalTailWriter::Append(const obs::JournalEvent& event) {
+  if (!status_.ok()) return status_;
+  persist::BufferSink payload;
+  status_ = WriteJournalEvent(payload, event);
+  if (status_.ok()) {
+    status_ = persist::WriteBlock(*sink_, kJournalEventTag, payload.buffer());
+  }
+  // Sync (not just flush) per append: the tail file is only useful if it
+  // survives a crash that the in-memory journal does not, and that
+  // includes the kernel — fflush alone leaves the record in the page
+  // cache, where a power loss silently discards it.
+  if (status_.ok()) status_ = sink_->Sync();
+  return status_;
+}
+
+Status JournalTailWriter::Close() {
+  if (!status_.ok()) return status_;
+  status_ = sink_->Close();
+  return status_;
+}
+
+Status ReadJournalTail(const std::string& path,
+                       std::vector<obs::JournalEvent>* events) {
+  Result<std::unique_ptr<persist::FileSource>> opened =
+      persist::FileSource::Open(path);
+  if (!opened.ok()) return Status::OK();  // No tail file: empty tail.
+  std::unique_ptr<persist::FileSource> source = std::move(opened).value();
+  ADASKIP_RETURN_IF_ERROR(persist::ReadSnapshotHeader(*source));
+  while (source->remaining() > 0) {
+    std::string payload;
+    if (!persist::ReadBlock(*source, kJournalEventTag, &payload).ok()) break;
+    persist::BufferSource record(payload);
+    obs::JournalEvent event;
+    if (!ReadJournalEvent(record, &event).ok()) break;
+    events->push_back(std::move(event));
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace adaskip

@@ -1,5 +1,5 @@
-#ifndef ADASKIP_PERSIST_JOURNAL_IO_H_
-#define ADASKIP_PERSIST_JOURNAL_IO_H_
+#ifndef ADASKIP_OBS_JOURNAL_IO_H_
+#define ADASKIP_OBS_JOURNAL_IO_H_
 
 // Journal persistence: the JournalEvent record encoding shared by the
 // snapshot (EventJournal::SerializeBinary) and the journal-tail file, the
@@ -16,17 +16,17 @@
 #include "adaskip/persist/binary_io.h"
 
 namespace adaskip {
-namespace persist {
+namespace obs {
 
 /// Block tag framing one event in the journal-tail file.
-inline constexpr uint32_t kJournalEventTag = FourCC("JEVT");
+inline constexpr uint32_t kJournalEventTag = persist::FourCC("JEVT");
 
 /// Writes one journal event as unframed primitives.
-Status WriteJournalEvent(Sink& sink, const obs::JournalEvent& event);
+Status WriteJournalEvent(persist::Sink& sink, const obs::JournalEvent& event);
 
 /// Reads an event written by WriteJournalEvent; an out-of-range kind
 /// byte is kDataLoss.
-Status ReadJournalEvent(Source& source, obs::JournalEvent* event);
+Status ReadJournalEvent(persist::Source& source, obs::JournalEvent* event);
 
 /// Append-only writer for the journal-tail file: each event is framed as
 /// its own CRC'd block and fsynced immediately, so the tail survives a
@@ -43,10 +43,10 @@ class JournalTailWriter {
   Status Close();
 
  private:
-  explicit JournalTailWriter(std::unique_ptr<FileSink> sink)
+  explicit JournalTailWriter(std::unique_ptr<persist::FileSink> sink)
       : sink_(std::move(sink)) {}
 
-  std::unique_ptr<FileSink> sink_;
+  std::unique_ptr<persist::FileSink> sink_;
   Status status_;
 };
 
@@ -58,7 +58,7 @@ class JournalTailWriter {
 Status ReadJournalTail(const std::string& path,
                        std::vector<obs::JournalEvent>* events);
 
-}  // namespace persist
+}  // namespace obs
 }  // namespace adaskip
 
-#endif  // ADASKIP_PERSIST_JOURNAL_IO_H_
+#endif  // ADASKIP_OBS_JOURNAL_IO_H_

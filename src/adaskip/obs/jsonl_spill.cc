@@ -1,9 +1,9 @@
-#include "adaskip/persist/jsonl_spill.h"
+#include "adaskip/obs/jsonl_spill.h"
 
 #include <cstdio>
 
 namespace adaskip {
-namespace persist {
+namespace obs {
 
 JsonlSpillWriter::~JsonlSpillWriter() {
   if (file_ != nullptr) {
@@ -13,6 +13,9 @@ JsonlSpillWriter::~JsonlSpillWriter() {
 
 Result<std::unique_ptr<JsonlSpillWriter>> JsonlSpillWriter::Open(
     const std::string& path) {
+  // The spill is line-oriented TEXT (one JSON object per line), not a
+  // binary artifact: CRC block framing would defeat its purpose as a
+  // greppable forensic record. adaskip-analyze: allow(raw-binary-io)
   std::FILE* file = std::fopen(path.c_str(), "a");
   if (file == nullptr) {
     return Status::NotFound("cannot open journal spill file for append: " +
@@ -29,6 +32,7 @@ void JsonlSpillWriter::Append(const obs::JournalEvent& event) {
   std::string line = event.ToJson();
   line += '\n';
   std::FILE* file = static_cast<std::FILE*>(file_);
+  // Text spill, see Open(). adaskip-analyze: allow(raw-binary-io)
   if (std::fwrite(line.data(), 1, line.size(), file) != line.size() ||
       std::fflush(file) != 0) {
     status_ = Status::Internal("journal spill write failed: " + path_);
@@ -44,5 +48,5 @@ Status JsonlSpillWriter::Close() {
   return status_;
 }
 
-}  // namespace persist
+}  // namespace obs
 }  // namespace adaskip

@@ -1,5 +1,5 @@
-#ifndef ADASKIP_PERSIST_JSONL_SPILL_H_
-#define ADASKIP_PERSIST_JSONL_SPILL_H_
+#ifndef ADASKIP_OBS_JSONL_SPILL_H_
+#define ADASKIP_OBS_JSONL_SPILL_H_
 
 // File-backed journal spill: evicted events are appended to a JSONL file
 // (one JournalEvent::ToJson() object per line), turning the journal's
@@ -15,7 +15,7 @@
 #include "adaskip/util/status.h"
 
 namespace adaskip {
-namespace persist {
+namespace obs {
 
 /// Appends journal events to a JSONL file, flushing per event. Designed
 /// to sit behind EventJournal's spill callback, which runs with the
@@ -47,7 +47,7 @@ class JsonlSpillWriter {
   Status status_;
 };
 
-}  // namespace persist
+}  // namespace obs
 }  // namespace adaskip
 
-#endif  // ADASKIP_PERSIST_JSONL_SPILL_H_
+#endif  // ADASKIP_OBS_JSONL_SPILL_H_

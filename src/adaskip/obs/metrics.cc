@@ -146,11 +146,16 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
     sample.p99 = histogram->ApproxPercentile(99);
     samples.push_back(std::move(sample));
   }
-  // Both maps are sorted; merge order (counters then histograms) is made
-  // globally sorted here so the exposition is stable.
+  // The three maps are each sorted; the merged exposition is re-sorted
+  // globally so it is stable. Kind breaks name ties: the families live in
+  // separate maps, so one name can exist as (say) both a counter and a
+  // gauge, and without the tie-break their relative order would be left
+  // to the sort implementation — nondeterministic output in a telemetry
+  // document that diff-based tooling treats as canonical.
   std::sort(samples.begin(), samples.end(),
             [](const MetricSample& a, const MetricSample& b) {
-              return a.name < b.name;
+              if (a.name != b.name) return a.name < b.name;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
             });
   return samples;
 }

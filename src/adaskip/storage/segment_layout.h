@@ -5,11 +5,6 @@
 #include <span>
 #include <vector>
 
-#include "adaskip/scan/predicate.h"
-#include "adaskip/scan/scan_kernel.h"
-#include "adaskip/util/interval_set.h"
-#include "adaskip/util/selection_vector.h"
-
 /// Per-segment hybrid physical layouts (ByteStore-style). A sealed
 /// segment whose value range fits 16 bits or fewer can adopt a
 /// frame-of-reference bit-packed layout: value = base + code, codes
@@ -17,13 +12,11 @@
 /// (widths divide 64, so codes never straddle a word; widths 8/16 are
 /// byte-addressable and scan through the AVX2 packed-code kernels).
 ///
-/// The packed-domain kernels below translate a value-space predicate
-/// interval into code space once, then scan codes directly. They are
-/// exact integer computations, bit-identical to running the dispatched
-/// raw kernels over the same rows (the sum reconstructs
-/// base * count + sum(codes) in int64 and converts once; the
-/// kMaxPackedMagnitude eligibility guard keeps that arithmetic exact and
-/// inside the repo's 2^53 integer-sum contract).
+/// This header owns only the passive layout: the packed representation,
+/// its eligibility constants, and the packer. Everything that EVALUATES
+/// predicates over packed codes — PlanSegmentPack's min/max pass and the
+/// packed-domain scan kernels — lives in scan/packed_kernels.h, one
+/// layer up, so storage/ never depends on the scan subsystem.
 ///
 /// Layout selection is the adaptive cost model's job
 /// (adaptive/cost_model.h: DecideSegmentLayout), wired up at
@@ -76,7 +69,8 @@ int PackedBitsForRange(uint64_t range);
 int BitsRequiredForRange(uint64_t range);
 
 /// Everything the cost model and the packer need to know about one
-/// sealed segment's values, computed in one min/max pass.
+/// sealed segment's values, computed in one min/max pass
+/// (scan/packed_kernels.h: PlanSegmentPack).
 template <typename T>
 struct SegmentPackPlan {
   bool value_range_ok = false;  // Packable: magnitude + width both fit.
@@ -86,36 +80,10 @@ struct SegmentPackPlan {
   int bits_required = 0;        // Exact width the range needs (may be >16).
 };
 
-template <typename T>
-SegmentPackPlan<T> PlanSegmentPack(std::span<const T> values);
-
 /// Packs `values` (all >= base, all codes fitting `bits`) into a
 /// PackedSegment. `bits` must come from PackedBitsForRange.
 template <typename T>
 PackedSegment<T> PackSegment(std::span<const T> values, T base, int bits);
-
-/// Packed-domain kernels. `range` is in segment-local coordinates
-/// ([0, seg.rows)); results are bit-identical to the dispatched raw
-/// kernels over the same rows. `base_row` in PackedMaterializeMatches
-/// maps local positions back to global row ids, exactly like the raw
-/// MaterializeMatches `base` parameter.
-template <typename T>
-int64_t PackedCountMatches(const PackedSegment<T>& seg, RowRange range,
-                           ValueInterval<T> interval);
-
-template <typename T>
-SumCount<T> PackedSumMatchesCounted(const PackedSegment<T>& seg,
-                                    RowRange range, ValueInterval<T> interval);
-
-template <typename T>
-MinMaxCount<T> PackedMinMaxMatchesCounted(const PackedSegment<T>& seg,
-                                          RowRange range,
-                                          ValueInterval<T> interval);
-
-template <typename T>
-int64_t PackedMaterializeMatches(const PackedSegment<T>& seg, RowRange range,
-                                 ValueInterval<T> interval,
-                                 SelectionVector* out, int64_t base_row);
 
 }  // namespace adaskip
 

@@ -36,6 +36,17 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
+/// Monotonic time since an arbitrary epoch, in nanoseconds. The single
+/// clock seam for library code: the det-wall-clock analyzer rule bans
+/// direct clock reads outside util/ and obs/, so timestamps that land in
+/// telemetry or the journal all flow through here (or Stopwatch) and can
+/// be reasoned about — and stubbed — in one place.
+inline int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace adaskip
 
 #endif  // ADASKIP_UTIL_STOPWATCH_H_

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "adaskip/obs/metrics.h"
 #include "adaskip/util/logging.h"
 
 namespace adaskip {
@@ -71,12 +70,9 @@ void ThreadPool::RunTasks(int worker_index) {
 
 void ThreadPool::Run(int64_t num_tasks, TaskFn fn, void* ctx) {
   if (num_tasks <= 0) return;
-  ADASKIP_METRIC_COUNTER(jobs, "adaskip.pool.jobs",
-                         "Parallel jobs submitted to thread pools");
-  ADASKIP_METRIC_HISTOGRAM(tasks, "adaskip.pool.tasks_per_job",
-                           "Task count per submitted parallel job");
-  jobs.Increment();
-  tasks.Observe(num_tasks);
+  // Job metrics ("adaskip.pool.jobs", "adaskip.pool.tasks_per_job") are
+  // emitted by the submitting layer (engine/scan_executor.cc): util/
+  // sits below obs/ in the layering DAG and cannot reach the registry.
   if (threads_.empty() || num_tasks == 1) {
     // Inline fast path; exceptions propagate directly.
     for (int64_t task = 0; task < num_tasks; ++task) fn(ctx, task, 0);

@@ -13,7 +13,7 @@
 
 #include "adaskip/engine/session.h"
 #include "adaskip/obs/event_journal.h"
-#include "adaskip/persist/jsonl_spill.h"
+#include "adaskip/obs/jsonl_spill.h"
 
 namespace adaskip {
 namespace {
@@ -51,8 +51,8 @@ obs::JournalEvent SplitEvent(int64_t parent_begin) {
 TEST(JsonlSpillWriterTest, AppendsOneJsonObjectPerLine) {
   const std::string path = SpillPath("writer");
   {
-    Result<std::unique_ptr<persist::JsonlSpillWriter>> writer =
-        persist::JsonlSpillWriter::Open(path);
+    Result<std::unique_ptr<obs::JsonlSpillWriter>> writer =
+        obs::JsonlSpillWriter::Open(path);
     ASSERT_TRUE(writer.ok());
     (*writer)->Append(SplitEvent(0));
     (*writer)->Append(SplitEvent(4096));
@@ -65,8 +65,8 @@ TEST(JsonlSpillWriterTest, AppendsOneJsonObjectPerLine) {
   EXPECT_NE(text.find("\"zone_split\""), std::string::npos);
   // Reopening appends: an existing history is extended, never truncated.
   {
-    Result<std::unique_ptr<persist::JsonlSpillWriter>> writer =
-        persist::JsonlSpillWriter::Open(path);
+    Result<std::unique_ptr<obs::JsonlSpillWriter>> writer =
+        obs::JsonlSpillWriter::Open(path);
     ASSERT_TRUE(writer.ok());
     (*writer)->Append(SplitEvent(8192));
     ASSERT_TRUE((*writer)->Close().ok());
@@ -75,7 +75,7 @@ TEST(JsonlSpillWriterTest, AppendsOneJsonObjectPerLine) {
 }
 
 TEST(JsonlSpillWriterTest, UnwritablePathFailsToOpen) {
-  EXPECT_FALSE(persist::JsonlSpillWriter::Open(
+  EXPECT_FALSE(obs::JsonlSpillWriter::Open(
                    "/nonexistent-dir-adaskip/spill.jsonl")
                    .ok());
 }

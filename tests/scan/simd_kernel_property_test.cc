@@ -18,7 +18,7 @@
 
 #include "adaskip/scan/scan_kernel.h"
 #include "adaskip/scan/simd/kernel_dispatch.h"
-#include "adaskip/storage/segment_layout.h"
+#include "adaskip/scan/packed_kernels.h"
 
 namespace adaskip {
 namespace {

@@ -4,6 +4,7 @@
 // adopted layouts onto a fresh column (journal-the-inputs contract of
 // adaptive/journal_replay.h).
 
+#include "adaskip/scan/packed_kernels.h"
 #include "adaskip/storage/segment_layout.h"
 
 #include <cmath>

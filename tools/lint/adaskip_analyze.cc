@@ -1,0 +1,134 @@
+// adaskip_analyze — repo-specific static analysis. Usage:
+//
+//   adaskip_analyze [--json=findings.json] [--dot=layering.dot]
+//                   <dir-or-file>...
+//
+// Recursively scans .h/.cc/.cpp files under each argument, prints
+// findings as `file:line: [rule] message`, and exits non-zero if any
+// rule fired. `--json=` additionally writes the findings as a JSON
+// array for CI annotation; `--dot=` writes the observed subsystem
+// include graph (violations highlighted) as Graphviz DOT. See
+// analyzer.h for the rule catalog and suppression syntax. Wired up as
+// the `adaskip_analyze_repo` ctest and as a CI step.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasSourceExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+// Skips generated/VCS trees when an argument directory contains them.
+bool SkippedDir(const fs::path& path) {
+  const std::string name = path.filename().string();
+  return name == "build" || name == ".git" || (!name.empty() && name[0] == '.');
+}
+
+void Collect(const fs::path& root, std::vector<fs::path>* files) {
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    if (HasSourceExtension(root)) files->push_back(root);
+    return;
+  }
+  if (!fs::is_directory(root, ec)) {
+    std::fprintf(stderr, "adaskip_analyze: cannot read %s\n", root.c_str());
+    return;
+  }
+  fs::recursive_directory_iterator it(root, ec), end;
+  while (it != end) {
+    if (it->is_directory() && SkippedDir(it->path())) {
+      it.disable_recursion_pending();
+    } else if (it->is_regular_file() && HasSourceExtension(it->path())) {
+      files->push_back(it->path());
+    }
+    it.increment(ec);
+    if (ec) break;
+  }
+}
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool WriteFileOrDie(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "adaskip_analyze: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string dot_path;
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--dot=", 0) == 0) {
+      dot_path = arg.substr(6);
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr,
+                 "usage: adaskip_analyze [--json=out.json] [--dot=out.dot] "
+                 "<dir-or-file>...\n");
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& root : roots) Collect(root, &files);
+  std::sort(files.begin(), files.end());
+
+  adaskip_analyze::Analyzer analyzer;
+  for (const fs::path& file : files) {
+    analyzer.AddFile(file.generic_string(), ReadFile(file));
+  }
+
+  const std::vector<adaskip_analyze::Finding> findings = analyzer.Run();
+  for (const adaskip_analyze::Finding& f : findings) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+
+  bool io_ok = true;
+  if (!json_path.empty()) {
+    io_ok &= WriteFileOrDie(json_path,
+                            adaskip_analyze::FindingsToJson(findings));
+  }
+  if (!dot_path.empty()) {
+    io_ok &= WriteFileOrDie(dot_path, analyzer.LayeringDot());
+  }
+  if (!io_ok) return 2;
+
+  if (!findings.empty()) {
+    std::fprintf(stderr, "adaskip_analyze: %zu finding(s) in %zu file(s)\n",
+                 findings.size(), analyzer.NumFiles());
+    return 1;
+  }
+  std::printf("adaskip_analyze: %zu file(s) clean\n", analyzer.NumFiles());
+  return 0;
+}

@@ -1,0 +1,418 @@
+// Self-test for adaskip_analyze: every rule family is exercised against
+// the testdata fixtures (violating, clean, suppressed) plus inline
+// snippets for the suppression mechanics, path scoping, the JSON
+// findings encoding, and the layering DOT artifact. The fixture files
+// live in ADASKIP_LINT_TESTDATA; each is analyzed under a synthetic
+// src/... label so path scoping behaves as it would in the real tree.
+
+#include "analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace adaskip_analyze {
+namespace {
+
+std::string ReadFixture(const std::string& relative) {
+  const std::string path = std::string(ADASKIP_LINT_TESTDATA) + "/" + relative;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<Finding> Analyze(const std::string& label,
+                             const std::string& content) {
+  Analyzer analyzer;
+  analyzer.AddFile(label, content);
+  return analyzer.Run();
+}
+
+std::vector<Finding> AnalyzeFixture(const std::string& relative,
+                                    const std::string& label) {
+  return Analyze(label, ReadFixture(relative));
+}
+
+int CountRule(const std::vector<Finding>& findings, std::string_view rule) {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+int CountMessage(const std::vector<Finding>& findings,
+                 std::string_view needle) {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.message.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------
+// Ported rules against the original fixtures.
+
+TEST(AnalyzeTest, MissingOverridesAllFiveSurfaces) {
+  const auto findings = AnalyzeFixture(
+      "bad/missing_overrides.cc", "src/adaskip/skipping/missing_overrides.cc");
+  // BrokenIndex misses all five surfaces, HalfIndex all but OnAppend.
+  EXPECT_EQ(CountRule(findings, "skip-index-overrides"), 9);
+  EXPECT_EQ(CountMessage(findings, "does not override OnAppend"), 1);
+  EXPECT_EQ(CountMessage(findings, "does not override Describe"), 2);
+  EXPECT_EQ(CountMessage(findings, "does not override MemoryUsageBytes"), 2);
+  EXPECT_EQ(CountMessage(findings, "does not override SerializeBinary"), 2);
+  EXPECT_EQ(CountMessage(findings, "does not override DeserializeBinary"), 2);
+  EXPECT_EQ(findings.size(), 9u);
+}
+
+TEST(AnalyzeTest, ForbiddenTokens) {
+  const auto findings = AnalyzeFixture(
+      "bad/forbidden_tokens.cc", "src/adaskip/engine/forbidden_tokens.cc");
+  EXPECT_EQ(CountRule(findings, "naked-new"), 2);
+  EXPECT_EQ(CountRule(findings, "raw-thread"), 1);
+  EXPECT_EQ(CountRule(findings, "raw-sync-primitive"), 1);
+  EXPECT_EQ(CountRule(findings, "static-mutable-state"), 1);
+  EXPECT_EQ(findings.size(), 5u);
+}
+
+TEST(AnalyzeTest, ForbiddenTokensExemptInUtil) {
+  const auto findings = AnalyzeFixture("bad/forbidden_tokens.cc",
+                                       "src/adaskip/util/forbidden_tokens.cc");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(AnalyzeTest, AdhocMetricRegistration) {
+  const auto findings = AnalyzeFixture("bad/adhoc_metric.cc",
+                                       "src/adaskip/engine/adhoc_metric.cc");
+  EXPECT_EQ(CountRule(findings, "metric-registration"), 2);
+  EXPECT_TRUE(AnalyzeFixture("bad/adhoc_metric.cc",
+                             "src/adaskip/obs/adhoc_metric.cc")
+                  .empty());
+}
+
+TEST(AnalyzeTest, AdhocJournalEmission) {
+  const auto findings = AnalyzeFixture("bad/adhoc_journal.cc",
+                                       "src/adaskip/adaptive/adhoc_journal.cc");
+  EXPECT_EQ(CountRule(findings, "journal-emission"), 2);
+  EXPECT_TRUE(AnalyzeFixture("bad/adhoc_journal.cc",
+                             "src/adaskip/obs/adhoc_journal.cc")
+                  .empty());
+}
+
+TEST(AnalyzeTest, SerializeBinaryPairMismatch) {
+  const auto findings = AnalyzeFixture(
+      "bad/serialize_mismatch.cc", "src/adaskip/skipping/serialize_mismatch.cc");
+  EXPECT_EQ(CountRule(findings, "serialize-binary-pair"), 2);
+  EXPECT_EQ(CountMessage(findings, "SerializeBinary without"), 1);
+  EXPECT_EQ(CountMessage(findings, "DeserializeBinary without"), 1);
+}
+
+TEST(AnalyzeTest, RawBinaryIo) {
+  const auto findings = AnalyzeFixture("bad/raw_binary_io.cc",
+                                       "src/adaskip/engine/raw_binary_io.cc");
+  EXPECT_EQ(CountRule(findings, "raw-binary-io"), 5);
+  EXPECT_TRUE(AnalyzeFixture("bad/raw_binary_io.cc",
+                             "src/adaskip/persist/raw_binary_io.cc")
+                  .empty());
+}
+
+TEST(AnalyzeTest, SimdIntrinsics) {
+  const auto findings = AnalyzeFixture("bad/simd_intrinsics.cc",
+                                       "src/adaskip/engine/simd_intrinsics.cc");
+  // Header, _mm256_loadu_si256, and two __m256i uses; the suppressed
+  // movemask/cast line adds none.
+  EXPECT_EQ(CountRule(findings, "simd-intrinsics"), 4);
+  EXPECT_TRUE(AnalyzeFixture("bad/simd_intrinsics.cc",
+                             "src/adaskip/scan/simd/simd_intrinsics.cc")
+                  .empty());
+}
+
+TEST(AnalyzeTest, ExecStatsDrift) {
+  const auto findings = AnalyzeFixture("bad/stats_drift.cc",
+                                       "src/adaskip/engine/stats_drift.cc");
+  EXPECT_EQ(CountRule(findings, "exec-stats-sync"), 2);
+  EXPECT_EQ(CountMessage(findings, "not accumulated"), 1);
+  EXPECT_EQ(CountMessage(findings, "not reset"), 1);
+  EXPECT_EQ(CountMessage(findings, "probe_nanos_"), 2);
+}
+
+TEST(AnalyzeTest, CleanFixtureStaysClean) {
+  EXPECT_TRUE(
+      AnalyzeFixture("good/clean.cc", "src/adaskip/engine/clean.cc").empty());
+}
+
+// ---------------------------------------------------------------------
+// Suppression mechanics.
+
+TEST(AnalyzeTest, TrailingSuppressionSilencesOwnLine) {
+  const auto findings = Analyze(
+      "src/adaskip/engine/x.cc",
+      "void F() { auto* p = new int; }  // adaskip-analyze: allow(naked-new)\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(AnalyzeTest, LegacySpellingStillHonoured) {
+  const auto findings = Analyze(
+      "src/adaskip/engine/x.cc",
+      "void F() { auto* p = new int; }  // adaskip-lint: allow(naked-new)\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(AnalyzeTest, StandaloneSuppressionSilencesNextLine) {
+  const auto findings =
+      Analyze("src/adaskip/engine/x.cc",
+              "// adaskip-analyze: allow(naked-new)\n"
+              "void F() { auto* p = new int; }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(AnalyzeTest, StandaloneBlockCommentTargetsLineAfterClose) {
+  const auto findings =
+      Analyze("src/adaskip/engine/x.cc",
+              "/* justification spanning\n"
+              "   lines: adaskip-analyze: allow(naked-new) */\n"
+              "void F() { auto* p = new int; }\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(AnalyzeTest, SuppressionIsRuleSpecific) {
+  const auto findings = Analyze(
+      "src/adaskip/engine/x.cc",
+      "void F() { auto* p = new int; }  // adaskip-analyze: allow(raw-thread)\n");
+  EXPECT_EQ(CountRule(findings, "naked-new"), 1);
+}
+
+TEST(AnalyzeTest, SuppressionOnWrongLineDoesNotLeak) {
+  const auto findings =
+      Analyze("src/adaskip/engine/x.cc",
+              "// adaskip-analyze: allow(naked-new)\n"
+              "int unrelated;\n"
+              "void F() { auto* p = new int; }\n");
+  EXPECT_EQ(CountRule(findings, "naked-new"), 1);
+}
+
+// ---------------------------------------------------------------------
+// Determinism family.
+
+TEST(AnalyzeTest, DetUnorderedContainer) {
+  const auto findings = AnalyzeFixture("bad/det_unordered.cc",
+                                       "src/adaskip/engine/det_unordered.cc");
+  // Two includes + two member declarations.
+  EXPECT_EQ(CountRule(findings, "det-unordered-container"), 4);
+  EXPECT_EQ(findings.size(), 4u);
+  EXPECT_TRUE(AnalyzeFixture("suppressed/det_unordered.cc",
+                             "src/adaskip/engine/det_unordered.cc")
+                  .empty());
+  // Library-only: tests may use hash maps freely.
+  EXPECT_TRUE(AnalyzeFixture("bad/det_unordered.cc",
+                             "tests/engine/det_unordered.cc")
+                  .empty());
+}
+
+TEST(AnalyzeTest, DetWallClock) {
+  const auto findings = AnalyzeFixture("bad/det_wall_clock.cc",
+                                       "src/adaskip/engine/det_wall_clock.cc");
+  // steady_clock, system_clock, std::time — the member named time() is
+  // not a wall-clock read.
+  EXPECT_EQ(CountRule(findings, "det-wall-clock"), 3);
+  EXPECT_EQ(findings.size(), 3u);
+  EXPECT_TRUE(AnalyzeFixture("suppressed/det_wall_clock.cc",
+                             "src/adaskip/engine/det_wall_clock.cc")
+                  .empty());
+  // util/ and obs/ are the blessed clock seams.
+  EXPECT_TRUE(AnalyzeFixture("bad/det_wall_clock.cc",
+                             "src/adaskip/util/det_wall_clock.cc")
+                  .empty());
+  EXPECT_TRUE(AnalyzeFixture("bad/det_wall_clock.cc",
+                             "src/adaskip/obs/det_wall_clock.cc")
+                  .empty());
+}
+
+TEST(AnalyzeTest, DetRng) {
+  const auto findings =
+      AnalyzeFixture("bad/det_rng.cc", "src/adaskip/engine/det_rng.cc");
+  // random_device, mt19937, std::rand.
+  EXPECT_EQ(CountRule(findings, "det-rng"), 3);
+  EXPECT_EQ(findings.size(), 3u);
+  EXPECT_TRUE(AnalyzeFixture("suppressed/det_rng.cc",
+                             "src/adaskip/engine/det_rng.cc")
+                  .empty());
+  // workload/ is the seeded-RNG seam.
+  EXPECT_TRUE(AnalyzeFixture("bad/det_rng.cc",
+                             "src/adaskip/workload/det_rng.cc")
+                  .empty());
+}
+
+TEST(AnalyzeTest, DetPointerOrder) {
+  const auto findings = AnalyzeFixture(
+      "bad/det_pointer_order.cc", "src/adaskip/engine/det_pointer_order.cc");
+  EXPECT_EQ(CountRule(findings, "det-pointer-order"), 3);
+  EXPECT_EQ(findings.size(), 3u);
+  EXPECT_TRUE(AnalyzeFixture("suppressed/det_pointer_order.cc",
+                             "src/adaskip/engine/det_pointer_order.cc")
+                  .empty());
+}
+
+TEST(AnalyzeTest, DetCleanFixtureStaysClean) {
+  EXPECT_TRUE(AnalyzeFixture("good/det_clean.cc",
+                             "src/adaskip/engine/det_clean.cc")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------
+// status-must-use.
+
+TEST(AnalyzeTest, StatusMustUseCatchesBothEscapes) {
+  const auto findings = AnalyzeFixture("bad/status_drop.cc",
+                                       "src/adaskip/engine/status_drop.cc");
+  EXPECT_EQ(CountRule(findings, "status-must-use"), 4);
+  EXPECT_EQ(CountMessage(findings, "'(void)' discards"), 2);
+  EXPECT_EQ(CountMessage(findings, "comma operator discards"), 2);
+  EXPECT_EQ(findings.size(), 4u);
+}
+
+TEST(AnalyzeTest, StatusMustUseSuppressedAndClean) {
+  EXPECT_TRUE(AnalyzeFixture("suppressed/status_drop.cc",
+                             "src/adaskip/engine/status_drop.cc")
+                  .empty());
+  EXPECT_TRUE(AnalyzeFixture("good/status_ok.cc",
+                             "src/adaskip/engine/status_ok.cc")
+                  .empty());
+}
+
+TEST(AnalyzeTest, StatusMustUseHarvestsAcrossFiles) {
+  Analyzer analyzer;
+  analyzer.AddFile("src/adaskip/persist/writer.h",
+                   "class Status;\nStatus FlushFramed();\n");
+  analyzer.AddFile("src/adaskip/engine/caller.cc",
+                   "void F() { (void)FlushFramed(); }\n");
+  const auto findings = analyzer.Run();
+  EXPECT_EQ(CountRule(findings, "status-must-use"), 1);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].file, "src/adaskip/engine/caller.cc");
+}
+
+// ---------------------------------------------------------------------
+// index-kind-exhaustive.
+
+TEST(AnalyzeTest, IndexKindExhaustive) {
+  const auto findings = AnalyzeFixture(
+      "bad/kind_exhaustive.cc", "src/adaskip/adaptive/kind_exhaustive.cc");
+  EXPECT_EQ(CountRule(findings, "index-kind-exhaustive"), 2);
+  EXPECT_EQ(CountMessage(findings, "kZoneMap is not handled"), 1);
+  EXPECT_EQ(CountMessage(findings, "ValidateIndexOptions"), 1);
+  EXPECT_TRUE(AnalyzeFixture("good/kind_exhaustive.cc",
+                             "src/adaskip/adaptive/kind_exhaustive.cc")
+                  .empty());
+  EXPECT_TRUE(AnalyzeFixture("suppressed/kind_exhaustive.cc",
+                             "src/adaskip/adaptive/kind_exhaustive.cc")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------
+// layering-dag.
+
+TEST(AnalyzeTest, LayeringBackEdgeAndUnknownSubsystem) {
+  const auto findings =
+      AnalyzeFixture("bad/layering.cc", "src/adaskip/util/layering.cc");
+  EXPECT_EQ(CountRule(findings, "layering-dag"), 2);
+  EXPECT_EQ(CountMessage(findings, "'util' may not depend on 'engine'"), 1);
+  EXPECT_EQ(CountMessage(findings, "unknown subsystem"), 1);
+  EXPECT_TRUE(AnalyzeFixture("suppressed/layering.cc",
+                             "src/adaskip/util/layering.cc")
+                  .empty());
+  EXPECT_TRUE(AnalyzeFixture("good/layering_ok.cc",
+                             "src/adaskip/engine/layering_ok.cc")
+                  .empty());
+}
+
+TEST(AnalyzeTest, LayeringDownEdgesAreFine) {
+  const auto findings = Analyze("src/adaskip/engine/scan_executor.cc",
+                                "#include \"adaskip/storage/column.h\"\n"
+                                "#include \"adaskip/util/status.h\"\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(AnalyzeTest, LayeringDotArtifact) {
+  Analyzer analyzer;
+  analyzer.AddFile("src/adaskip/util/bad.cc",
+                   "#include \"adaskip/engine/session.h\"\n");
+  analyzer.AddFile("src/adaskip/engine/good.cc",
+                   "#include \"adaskip/util/status.h\"\n");
+  const auto findings = analyzer.Run();
+  EXPECT_EQ(CountRule(findings, "layering-dag"), 1);
+  const std::string dot = analyzer.LayeringDot();
+  EXPECT_NE(dot.find("digraph adaskip_layering"), std::string::npos);
+  EXPECT_NE(dot.find("\"util\" -> \"engine\""), std::string::npos);
+  EXPECT_NE(dot.find("VIOLATION"), std::string::npos);
+  EXPECT_NE(dot.find("\"engine\" -> \"util\";"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// JSON findings output.
+
+TEST(AnalyzeTest, FindingsToJsonShape) {
+  const auto findings =
+      Analyze("src/adaskip/engine/x.cc", "void F() { auto* p = new int; }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string json = FindingsToJson(findings);
+  EXPECT_NE(json.find("\"file\": \"src/adaskip/engine/x.cc\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"naked-new\""), std::string::npos);
+  EXPECT_NE(json.find("\"message\": "), std::string::npos);
+
+  // Quotes and backslashes in messages must be escaped.
+  const std::vector<Finding> tricky = {
+      {"a.cc", 3, "r", "say \"hi\" \\ bye"}};
+  const std::string escaped = FindingsToJson(tricky);
+  EXPECT_NE(escaped.find("say \\\"hi\\\" \\\\ bye"), std::string::npos);
+}
+
+TEST(AnalyzeTest, FindingsAreSortedByFileLineRule) {
+  Analyzer analyzer;
+  analyzer.AddFile("src/adaskip/engine/b.cc",
+                   "void F() { auto* p = new int; }\n");
+  analyzer.AddFile("src/adaskip/engine/a.cc",
+                   "void G() { delete nullptr; }\n"
+                   "void H() { auto* q = new int; }\n");
+  const auto findings = analyzer.Run();
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].file, "src/adaskip/engine/a.cc");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].file, "src/adaskip/engine/a.cc");
+  EXPECT_EQ(findings[1].line, 2);
+  EXPECT_EQ(findings[2].file, "src/adaskip/engine/b.cc");
+}
+
+// ---------------------------------------------------------------------
+// Path scoping edges.
+
+TEST(AnalyzeTest, ToolsAreNeverScanned) {
+  Analyzer analyzer;
+  analyzer.AddFile("tools/lint/testgen.cc",
+                   "void F() { auto* p = new int; }\n");
+  EXPECT_TRUE(analyzer.Run().empty());
+  EXPECT_EQ(analyzer.NumFiles(), 0u);
+}
+
+TEST(AnalyzeTest, BenchAndTestsGetStyleRulesButNotDetRules) {
+  // Style rules apply outside src/ (same as the old linter)...
+  const auto style = Analyze("tests/engine/foo_test.cc",
+                             "void F() { auto* p = new int; }\n");
+  EXPECT_EQ(CountRule(style, "naked-new"), 1);
+  // ...but determinism rules are library-only.
+  const auto det = Analyze("bench/bench_foo.cc",
+                           "#include <random>\n"
+                           "void F() { std::mt19937 gen(42); }\n");
+  EXPECT_TRUE(det.empty());
+}
+
+}  // namespace
+}  // namespace adaskip_analyze

@@ -1,0 +1,292 @@
+#include "analyzer.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "rules.h"
+
+namespace adaskip_analyze {
+
+namespace {
+
+const Token& SentinelToken() {
+  static const Token kSentinel{};
+  return kSentinel;
+}
+
+/// Hand-rolled suppression parser (no <regex>: GCC's implementation
+/// trips -Wmaybe-uninitialized in sanitized -Werror builds, and a
+/// linear scan is faster anyway). Recognises both the current
+/// `adaskip-analyze: allow(<rule>)` spelling and the legacy
+/// `adaskip-lint: allow(<rule>)` one.
+void HarvestSuppressions(const std::string& comment, int target_line,
+                         std::vector<std::pair<int, std::string>>* out) {
+  static constexpr std::string_view kMarkers[] = {"adaskip-analyze:",
+                                                  "adaskip-lint:"};
+  for (std::string_view marker : kMarkers) {
+    size_t pos = 0;
+    while ((pos = comment.find(marker, pos)) != std::string::npos) {
+      size_t p = pos + marker.size();
+      while (p < comment.size() &&
+             std::isspace(static_cast<unsigned char>(comment[p])) != 0) {
+        ++p;
+      }
+      static constexpr std::string_view kAllow = "allow(";
+      if (comment.compare(p, kAllow.size(), kAllow) == 0) {
+        p += kAllow.size();
+        const size_t close = comment.find(')', p);
+        if (close != std::string::npos && close > p) {
+          const std::string rule = comment.substr(p, close - p);
+          const bool well_formed =
+              std::all_of(rule.begin(), rule.end(), [](char c) {
+                return std::islower(static_cast<unsigned char>(c)) != 0 ||
+                       std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+                       c == '-';
+              });
+          if (well_formed) out->emplace_back(target_line, rule);
+        }
+      }
+      pos += marker.size();
+    }
+  }
+}
+
+}  // namespace
+
+bool PathContains(std::string_view path, std::string_view needle) {
+  return path.find(needle) != std::string_view::npos;
+}
+
+bool SourceFile::Suppressed(int line, std::string_view rule) const {
+  for (const auto& [sline, srule] : suppressions) {
+    if (sline == line && srule == rule) return true;
+  }
+  return false;
+}
+
+const Token& SourceFile::Code(int i) const {
+  if (i < 0 || i >= NumCode()) return SentinelToken();
+  return tokens[static_cast<size_t>(code[static_cast<size_t>(i)])];
+}
+
+bool SourceFile::CodeIs(int i, std::string_view text) const {
+  return Code(i).text == text;
+}
+
+bool SourceFile::CodeIs(int i, TokKind kind, std::string_view text) const {
+  const Token& t = Code(i);
+  return t.kind == kind && t.text == text;
+}
+
+int SourceFile::MatchBrace(int open) const {
+  int depth = 0;
+  for (int i = open; i < NumCode(); ++i) {
+    const Token& t = Code(i);
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "{") ++depth;
+    if (t.text == "}" && --depth == 0) return i;
+  }
+  return -1;
+}
+
+int MatchParen(const SourceFile& file, int open) {
+  int depth = 0;
+  for (int i = open; i < file.NumCode(); ++i) {
+    const Token& t = file.Code(i);
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(") ++depth;
+    if (t.text == ")" && --depth == 0) return i;
+  }
+  return -1;
+}
+
+bool IdentThenParen(const SourceFile& file, int i) {
+  return file.Code(i).kind == TokKind::kIdent &&
+         file.CodeIs(i + 1, TokKind::kPunct, "(");
+}
+
+void ForEachWordInText(const std::string& text,
+                       const std::function<void(std::string_view)>& fn) {
+  size_t i = 0;
+  const auto is_word = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+  };
+  while (i < text.size()) {
+    if (!is_word(text[i])) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j < text.size() && is_word(text[j])) ++j;
+    fn(std::string_view(text).substr(i, j - i));
+    i = j;
+  }
+}
+
+std::string IncludeOperand(const std::string& text) {
+  size_t p = 0;
+  const auto skip_ws = [&] {
+    while (p < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[p])) != 0) {
+      ++p;
+    }
+  };
+  skip_ws();
+  if (p >= text.size() || text[p] != '#') return "";
+  ++p;
+  skip_ws();
+  static constexpr std::string_view kInclude = "include";
+  if (text.compare(p, kInclude.size(), kInclude) != 0) return "";
+  p += kInclude.size();
+  skip_ws();
+  if (p >= text.size()) return "";
+  char close = '\0';
+  if (text[p] == '"') close = '"';
+  if (text[p] == '<') close = '>';
+  if (close == '\0') return "";
+  const size_t begin = p + 1;
+  const size_t end = text.find(close, begin);
+  if (end == std::string::npos) return "";
+  return text.substr(begin, end - begin);
+}
+
+void Reporter::Report(const SourceFile& file, int line, std::string_view rule,
+                      std::string message) {
+  if (file.Suppressed(line, rule)) return;
+  out_->push_back({file.path, line, std::string(rule), std::move(message)});
+}
+
+void Reporter::ReportAt(const std::string& path, int line,
+                        std::string_view rule, std::string message) {
+  const auto it = files_->find(path);
+  if (it != files_->end() && it->second->Suppressed(line, rule)) return;
+  out_->push_back({path, line, std::string(rule), std::move(message)});
+}
+
+Analyzer::Analyzer() {
+  AddStyleRules(&rules_);
+  AddContractRules(&rules_);
+  AddDeterminismRules(&rules_);
+  auto layering = std::make_unique<LayeringDagRule>();
+  layering_ = layering.get();
+  rules_.push_back(std::move(layering));
+}
+
+Analyzer::~Analyzer() = default;
+
+void Analyzer::AddFile(const std::string& path, const std::string& content) {
+  if (PathContains(path, "tools/")) return;  // Polices, not itself.
+  auto file = std::make_unique<SourceFile>();
+  file->path = path;
+  file->tokens = Tokenize(content);
+  const Token* prev_any = nullptr;
+  for (size_t i = 0; i < file->tokens.size(); ++i) {
+    const Token& t = file->tokens[i];
+    if (t.kind == TokKind::kLineComment || t.kind == TokKind::kBlockComment) {
+      // A comment with nothing but whitespace before it on its line
+      // targets the line after its END (matters for block comments); a
+      // trailing comment targets its own first line.
+      const bool standalone =
+          prev_any == nullptr || prev_any->end_line < t.line;
+      HarvestSuppressions(t.text, standalone ? t.end_line + 1 : t.line,
+                          &file->suppressions);
+    } else if (t.kind != TokKind::kPreproc) {
+      file->code.push_back(static_cast<int>(i));
+    }
+    prev_any = &t;
+  }
+  by_path_[file->path] = file.get();
+  files_.push_back(std::move(file));
+}
+
+std::vector<Finding> Analyzer::Run() {
+  std::vector<Finding> findings;
+  Reporter reporter(&by_path_, &findings);
+  for (const auto& rule : rules_) {
+    for (const auto& file : files_) rule->Collect(*file);
+  }
+  for (const auto& rule : rules_) {
+    for (const auto& file : files_) rule->Check(*file, reporter);
+  }
+  for (const auto& rule : rules_) rule->Finish(reporter);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  return findings;
+}
+
+std::string Analyzer::LayeringDot() const {
+  // Declared order as ranked nodes; observed edges solid, violations
+  // red and bold so the artifact highlights the back-edge.
+  std::string dot = "digraph adaskip_layering {\n  rankdir=BT;\n";
+  for (const std::string& sub : LayeringDagRule::DeclaredOrder()) {
+    dot += "  \"" + sub + "\";\n";
+  }
+  if (layering_ != nullptr) {
+    for (const auto& edge : layering_->edges()) {
+      dot += "  \"" + edge.from + "\" -> \"" + edge.to + "\"";
+      if (edge.violation) {
+        dot += " [color=red, penwidth=2, label=\"VIOLATION\"]";
+      }
+      dot += ";\n";
+    }
+  }
+  dot += "}\n";
+  return dot;
+}
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char kHex[] = "0123456789abcdef";
+          *out += "\\u00";
+          out->push_back(kHex[(c >> 4) & 0xF]);
+          out->push_back(kHex[c & 0xF]);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string FindingsToJson(const std::vector<Finding>& findings) {
+  std::string out = "[\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "  {\"file\": ";
+    AppendJsonString(f.file, &out);
+    out += ", \"line\": " + std::to_string(f.line) + ", \"rule\": ";
+    AppendJsonString(f.rule, &out);
+    out += ", \"message\": ";
+    AppendJsonString(f.message, &out);
+    out += i + 1 < findings.size() ? "},\n" : "}\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace adaskip_analyze

@@ -1,0 +1,189 @@
+#ifndef ADASKIP_TOOLS_LINT_ANALYZER_H_
+#define ADASKIP_TOOLS_LINT_ANALYZER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cpp_tokenizer.h"
+
+/// adaskip_analyze: repo-specific static analysis that neither the
+/// compiler nor clang-tidy knows about. Token-level (cpp_tokenizer.h),
+/// no libclang — it builds everywhere the project builds and runs in
+/// milliseconds as a ctest and a CI step.
+///
+/// Rule catalog (ids used in findings and suppression comments):
+///
+/// Contract rules
+///   skip-index-overrides  Every `class X : public SkipIndex` overrides
+///                         all five contract surfaces: OnAppend,
+///                         Describe, MemoryUsageBytes, SerializeBinary,
+///                         DeserializeBinary. A missing surface breaks
+///                         live-append, introspection, accounting, or —
+///                         worst — crash restore.
+///   exec-stats-sync       Every WorkloadStats field appears in
+///                         Record(), and Clear() either resets the whole
+///                         object or names every field.
+///   serialize-binary-pair Any class declaring SerializeBinary also
+///                         declares DeserializeBinary, and vice versa.
+///   index-kind-exhaustive Every enumerator of `enum class IndexKind`
+///                         appears in every kind-dispatch site
+///                         (IndexKindToString, each MakeSkipIndex
+///                         definition, ValidateIndexOptions) — adding an
+///                         eighth structure with a missing surface fails
+///                         CI, not a restore in production.
+///   status-must-use       No silent drops of [[nodiscard]] Status /
+///                         Result returns via the `(void)`-cast or
+///                         comma-operator escapes the compiler cannot
+///                         flag consistently across GCC/Clang.
+///
+/// Style/ownership rules (ported from adaskip_lint)
+///   naked-new, raw-thread, raw-sync-primitive, static-mutable-state,
+///   metric-registration, journal-emission, raw-binary-io,
+///   simd-intrinsics — semantics unchanged; see the rule implementations
+///   for the rationale strings.
+///
+/// Determinism rules (the scalar/SIMD/serial/parallel/replay/restore
+/// bit-identity contract, enforced statically)
+///   det-unordered-container  No std::unordered_{map,set,multimap,
+///                         multiset} in library code: iteration order
+///                         leaks into RenderText/journal/results.
+///   det-wall-clock        No clock reads outside util/ + obs/: time
+///                         flows through util::MonotonicNanos and the
+///                         obs timestamp seams so replay stays
+///                         deterministic.
+///   det-rng               No rand()/std::random_device/engine
+///                         construction outside workload/ (the seeded
+///                         RNG seam) and util/.
+///   det-pointer-order     No ordered containers or comparators keyed on
+///                         raw pointer values — allocation order is not
+///                         deterministic across runs.
+///
+/// Architecture rule
+///   layering-dag          `#include "adaskip/..."` edges must follow
+///                         the declared subsystem DAG (util → persist →
+///                         obs → storage → scan → skipping → adaptive →
+///                         engine → workload); back-edges and unknown
+///                         subsystems are findings. The accumulated
+///                         graph is exported as DOT (--dot=).
+///
+/// Suppressions: a trailing comment `adaskip-analyze: allow(<rule-id>)`
+/// silences that rule on its own line; a standalone comment (nothing but
+/// whitespace before it) silences the line directly below it. The
+/// legacy `adaskip-lint: allow(...)` spelling is honoured identically.
+///
+/// Path scoping: files whose path contains "util/" are exempt from
+/// naked-new / raw-thread / raw-sync-primitive / static-mutable-state
+/// (util/ is where the blessed wrappers live); "obs/" is exempt from
+/// metric-registration and journal-emission; "scan/simd/" from
+/// simd-intrinsics; "persist/" from raw-binary-io. The det-* rules,
+/// status-must-use, index-kind-exhaustive, and layering-dag apply to
+/// library code only (paths containing "src/"), with det-wall-clock
+/// additionally exempting util/ + obs/ and det-rng exempting util/ +
+/// workload/. Files under "tools/" are never scanned.
+namespace adaskip_analyze {
+
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based.
+  std::string rule;
+  std::string message;
+};
+
+/// One tokenized input file plus the per-file indexes rules work from.
+struct SourceFile {
+  std::string path;
+  std::vector<Token> tokens;  // Every token, comments/preproc included.
+  std::vector<int> code;      // Indices of code tokens (no comments, no
+                              // preprocessor directives), in order.
+  // Suppression targets harvested from comments: (line, rule-id).
+  std::vector<std::pair<int, std::string>> suppressions;
+
+  bool Suppressed(int line, std::string_view rule) const;
+
+  /// Code-token accessors: i indexes `code`. Out-of-range returns a
+  /// sentinel empty punct token so matchers can look ahead freely.
+  const Token& Code(int i) const;
+  int NumCode() const { return static_cast<int>(code.size()); }
+  bool CodeIs(int i, std::string_view text) const;
+  bool CodeIs(int i, TokKind kind, std::string_view text) const;
+  /// Code-token index of the '}' matching the '{' at `open` (-1 if
+  /// unbalanced).
+  int MatchBrace(int open) const;
+};
+
+/// Collects findings, applying the reported-against file's suppression
+/// comments. Cross-file rules report through ReportAt with the path of
+/// the file the finding belongs to.
+class Reporter {
+ public:
+  Reporter(const std::map<std::string, const SourceFile*>* files,
+           std::vector<Finding>* out)
+      : files_(files), out_(out) {}
+
+  void Report(const SourceFile& file, int line, std::string_view rule,
+              std::string message);
+  void ReportAt(const std::string& path, int line, std::string_view rule,
+                std::string message);
+
+ private:
+  const std::map<std::string, const SourceFile*>* files_;
+  std::vector<Finding>* out_;
+};
+
+/// A rule sees every file twice: Collect() harvests cross-file state
+/// (declarations, enums, the include graph), then Check() reports
+/// per-file findings, then Finish() resolves anything that needed the
+/// whole tree.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual std::string_view id() const = 0;
+  virtual void Collect(const SourceFile& file) { (void)file; }
+  virtual void Check(const SourceFile& file, Reporter& reporter) {
+    (void)file;
+    (void)reporter;
+  }
+  virtual void Finish(Reporter& reporter) { (void)reporter; }
+};
+
+class Analyzer {
+ public:
+  Analyzer();  // Installs the full rule catalog.
+  ~Analyzer();
+
+  /// Tokenizes and stores one file. `path` labels findings and drives
+  /// path scoping. Files under tools/ are ignored (the analyzer
+  /// polices, not itself).
+  void AddFile(const std::string& path, const std::string& content);
+
+  /// Runs Collect over all files, Check over all files, then Finish,
+  /// and returns all findings sorted by (file, line, rule).
+  std::vector<Finding> Run();
+
+  /// DOT rendering of the include graph accumulated by layering-dag
+  /// during Run() (empty digraph before Run).
+  std::string LayeringDot() const;
+
+  size_t NumFiles() const { return files_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<SourceFile>> files_;
+  std::map<std::string, const SourceFile*> by_path_;
+  std::vector<std::unique_ptr<Rule>> rules_;
+  class LayeringDagRule* layering_ = nullptr;  // Owned by rules_.
+};
+
+/// Renders findings as a JSON array (stable field order, sorted input
+/// preserved) for CI annotation.
+std::string FindingsToJson(const std::vector<Finding>& findings);
+
+/// True if `path` contains `needle` (path scoping helper).
+bool PathContains(std::string_view path, std::string_view needle);
+
+}  // namespace adaskip_analyze
+
+#endif  // ADASKIP_TOOLS_LINT_ANALYZER_H_

@@ -1,0 +1,305 @@
+#include "cpp_tokenizer.h"
+
+#include <cctype>
+
+namespace adaskip_analyze {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// String-literal encoding prefixes; an identifier that spells one of
+/// these and is immediately followed by a quote fuses into the literal.
+bool IsStringPrefix(std::string_view ident) {
+  return ident == "R" || ident == "L" || ident == "u" || ident == "U" ||
+         ident == "u8" || ident == "LR" || ident == "uR" || ident == "UR" ||
+         ident == "u8R";
+}
+
+/// Phase 1: delete every backslash-newline pair and remember the source
+/// line of every surviving byte, so phase 2 never has to think about
+/// continuations (in identifiers, strings, comments, or directives).
+struct Spliced {
+  std::string text;
+  std::vector<int> line;  // text[i] came from source line line[i]
+  std::vector<int> col;   // ... at 1-based column col[i]
+};
+
+Spliced SpliceLines(std::string_view src) {
+  Spliced out;
+  out.text.reserve(src.size());
+  out.line.reserve(src.size());
+  out.col.reserve(src.size());
+  int line = 1;
+  int col = 1;
+  for (size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    if (c == '\\') {
+      size_t j = i + 1;
+      if (j < src.size() && src[j] == '\r') ++j;
+      if (j < src.size() && src[j] == '\n') {
+        i = j;  // Swallow the pair; the next byte continues this token.
+        ++line;
+        col = 1;
+        continue;
+      }
+    }
+    out.text.push_back(c);
+    out.line.push_back(line);
+    out.col.push_back(col);
+    if (c == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+  }
+  return out;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const Spliced& s) : s_(s) {}
+
+  std::vector<Token> Run() {
+    while (pos_ < s_.text.size()) {
+      const char c = s_.text[pos_];
+      if (c == '\n') {
+        at_line_start_ = true;
+        ++pos_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        LexPreproc();
+        continue;
+      }
+      at_line_start_ = false;
+      if (IsIdentStart(c)) {
+        LexIdentOrPrefixedString();
+      } else if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        LexNumber();
+      } else if (c == '"') {
+        LexString(pos_, /*raw=*/false);
+      } else if (c == '\'') {
+        LexCharLit();
+      } else {
+        LexPunct();
+      }
+    }
+    return std::move(tokens_);
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    const size_t p = pos_ + ahead;
+    return p < s_.text.size() ? s_.text[p] : '\0';
+  }
+
+  void Emit(TokKind kind, size_t begin, size_t end) {
+    // Escape handling can step past end-of-input on truncated literals.
+    if (end > s_.text.size()) end = s_.text.size();
+    Token t;
+    t.kind = kind;
+    t.text.assign(s_.text, begin, end - begin);
+    t.line = s_.line[begin];
+    t.col = s_.col[begin];
+    t.end_line = s_.line[end - 1];
+    tokens_.push_back(std::move(t));
+  }
+
+  void LexLineComment() {
+    const size_t begin = pos_;
+    while (pos_ < s_.text.size() && s_.text[pos_] != '\n') ++pos_;
+    Emit(TokKind::kLineComment, begin, pos_);
+    // at_line_start_ is untouched: a comment does not make `#` on the
+    // same line a mid-line hash, and the '\n' handler resets it anyway.
+  }
+
+  void LexBlockComment() {
+    const size_t begin = pos_;
+    pos_ += 2;
+    while (pos_ < s_.text.size() &&
+           !(s_.text[pos_] == '*' && Peek(1) == '/')) {
+      ++pos_;
+    }
+    if (pos_ < s_.text.size()) pos_ += 2;
+    Emit(TokKind::kBlockComment, begin, pos_);
+    const Token& t = tokens_.back();
+    // `/* ... \n */ #if` — the hash still opens a directive.
+    if (t.end_line > t.line) at_line_start_ = true;
+  }
+
+  /// One whole directive. Strings inside are honoured (so a `//` in a
+  /// macro body string does not truncate the directive); a real `//` or
+  /// `/*` comment ends the directive text and is lexed as its own token
+  /// (suppression comments on `#include` lines stay visible as
+  /// comments).
+  void LexPreproc() {
+    const size_t begin = pos_;
+    while (pos_ < s_.text.size() && s_.text[pos_] != '\n') {
+      const char c = s_.text[pos_];
+      if (c == '/' && (Peek(1) == '/' || Peek(1) == '*')) break;
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        ++pos_;
+        while (pos_ < s_.text.size() && s_.text[pos_] != '\n') {
+          if (s_.text[pos_] == '\\') {
+            pos_ += 2;
+            continue;
+          }
+          if (s_.text[pos_] == quote) {
+            ++pos_;
+            break;
+          }
+          ++pos_;
+        }
+        continue;
+      }
+      ++pos_;
+    }
+    Emit(TokKind::kPreproc, begin, pos_);
+  }
+
+  void LexIdentOrPrefixedString() {
+    const size_t begin = pos_;
+    while (pos_ < s_.text.size() && IsIdentChar(s_.text[pos_])) ++pos_;
+    const std::string_view ident(s_.text.data() + begin, pos_ - begin);
+    if (pos_ < s_.text.size() && s_.text[pos_] == '"' &&
+        IsStringPrefix(ident)) {
+      LexString(begin, /*raw=*/ident.back() == 'R');
+      return;
+    }
+    Emit(TokKind::kIdent, begin, pos_);
+  }
+
+  void LexNumber() {
+    const size_t begin = pos_;
+    ++pos_;
+    while (pos_ < s_.text.size()) {
+      const char c = s_.text[pos_];
+      if (IsIdentChar(c) || c == '.') {
+        ++pos_;
+      } else if (c == '\'' && IsIdentChar(Peek(1))) {
+        pos_ += 2;  // Digit separator: 1'000'000.
+      } else if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = s_.text[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;  // Exponent sign: 1.5e-3.
+        } else {
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+    Emit(TokKind::kNumber, begin, pos_);
+  }
+
+  /// `begin` points at the prefix (if any); pos_ is at the opening '"'.
+  void LexString(size_t begin, bool raw) {
+    if (raw) {
+      // R"delim( ... )delim"
+      ++pos_;  // past '"'
+      std::string delim;
+      while (pos_ < s_.text.size() && s_.text[pos_] != '(') {
+        delim.push_back(s_.text[pos_]);
+        ++pos_;
+      }
+      const std::string close = ")" + delim + "\"";
+      while (pos_ < s_.text.size() &&
+             s_.text.compare(pos_, close.size(), close) != 0) {
+        ++pos_;
+      }
+      if (pos_ < s_.text.size()) pos_ += close.size();
+      Emit(TokKind::kRawString, begin, pos_);
+      return;
+    }
+    ++pos_;  // past '"'
+    while (pos_ < s_.text.size()) {
+      const char c = s_.text[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      ++pos_;
+      if (c == '"') break;
+    }
+    Emit(TokKind::kString, begin, pos_);
+  }
+
+  void LexCharLit() {
+    const size_t begin = pos_;
+    ++pos_;  // past '\''
+    while (pos_ < s_.text.size()) {
+      const char c = s_.text[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      ++pos_;
+      if (c == '\'') break;
+    }
+    Emit(TokKind::kCharLit, begin, pos_);
+  }
+
+  void LexPunct() {
+    static constexpr std::string_view kThree[] = {"<<=", ">>=", "->*",
+                                                  "...", "<=>"};
+    static constexpr std::string_view kTwo[] = {
+        "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+        "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", ".*"};
+    const size_t begin = pos_;
+    size_t len = 1;
+    for (std::string_view p : kThree) {
+      if (s_.text.compare(pos_, p.size(), p) == 0) {
+        len = 3;
+        break;
+      }
+    }
+    if (len == 1) {
+      for (std::string_view p : kTwo) {
+        if (s_.text.compare(pos_, p.size(), p) == 0) {
+          len = 2;
+          break;
+        }
+      }
+    }
+    pos_ += len;
+    Emit(TokKind::kPunct, begin, pos_);
+  }
+
+  const Spliced& s_;
+  size_t pos_ = 0;
+  bool at_line_start_ = true;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view src) {
+  const Spliced spliced = SpliceLines(src);
+  if (spliced.text.empty()) return {};
+  return Lexer(spliced).Run();
+}
+
+}  // namespace adaskip_analyze

@@ -1,0 +1,61 @@
+#ifndef ADASKIP_TOOLS_LINT_CPP_TOKENIZER_H_
+#define ADASKIP_TOOLS_LINT_CPP_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// A real (if deliberately small) C++ tokenizer for adaskip_analyze.
+/// Unlike the comment-/string-stripping scanner it replaces, every
+/// construct survives as a structured token: comments keep their text
+/// (suppression harvesting reads them), string/char literals keep their
+/// spelling (so nothing inside them can ever look like code), and each
+/// preprocessor directive arrives as ONE token holding its whole logical
+/// line (so `#include` edges and macro-smuggled intrinsics are
+/// inspectable without line-reassembly in every rule).
+///
+/// Faithfulness notes (all irrelevant for static-analysis purposes, all
+/// deliberate):
+///   - Backslash-newline splicing happens everywhere, including inside
+///     raw string literals (the standard exempts them). Rules never look
+///     inside string bodies, and splicing first keeps the lexer simple.
+///   - Keywords are not distinguished from identifiers; rules match on
+///     spelling.
+///   - Numbers are lexed as pp-numbers (digit separators, exponent
+///     signs, and suffixes included in one token).
+///   - `::` and the other multi-char operators are single punct tokens
+///     (maximal munch), so `std :: thread` and `std::thread` tokenize
+///     identically.
+namespace adaskip_analyze {
+
+enum class TokKind : std::uint8_t {
+  kIdent,         // identifiers and keywords
+  kNumber,        // pp-numbers: 0x1F, 1'000'000, 1.5e-3f
+  kString,        // "..." with optional encoding prefix (u8"...", L"...")
+  kRawString,     // R"delim(...)delim" with optional encoding prefix
+  kCharLit,       // 'x', u'\n'
+  kPunct,         // operators and punctuation, maximal munch
+  kLineComment,   // // ... (text includes the slashes)
+  kBlockComment,  // /* ... */ (text includes the delimiters)
+  kPreproc,       // one whole directive logical line, continuations spliced
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;   // Spelling (see kind-specific notes above).
+  int line = 1;       // 1-based line of the first character.
+  int col = 1;        // 1-based column of the first character.
+  int end_line = 1;   // 1-based line of the last character (block
+                      // comments, raw strings, and spliced directives
+                      // can span lines).
+};
+
+/// Tokenizes `src`. Never fails: unterminated constructs produce a final
+/// token running to end-of-input (a linter must keep going on files that
+/// do not compile yet).
+std::vector<Token> Tokenize(std::string_view src);
+
+}  // namespace adaskip_analyze
+
+#endif  // ADASKIP_TOOLS_LINT_CPP_TOKENIZER_H_

@@ -1,0 +1,70 @@
+#ifndef ADASKIP_TOOLS_LINT_RULES_H_
+#define ADASKIP_TOOLS_LINT_RULES_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+
+/// Internal wiring between the Analyzer and the rule implementation
+/// translation units. Each Add*Rules call appends its family to the
+/// catalog; AddLayeringRule also hands back a pointer so the Analyzer
+/// can render the DOT artifact after Run().
+namespace adaskip_analyze {
+
+class LayeringDagRule : public Rule {
+ public:
+  std::string_view id() const override { return "layering-dag"; }
+  void Check(const SourceFile& file, Reporter& reporter) override;
+
+  /// Include edges seen so far, as (from-subsystem, to-subsystem),
+  /// deduplicated, with a violation flag per edge.
+  struct Edge {
+    std::string from;
+    std::string to;
+    bool violation = false;
+  };
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// The declared normative order; a subsystem may include itself and
+  /// anything earlier in the list. Exposed for the DOT renderer and the
+  /// self-check in the constructor.
+  static const std::vector<std::string>& DeclaredOrder();
+
+  LayeringDagRule();  // Verifies the declared adjacency is acyclic.
+
+ private:
+  void RecordEdge(const std::string& from, const std::string& to,
+                  bool violation);
+  std::vector<Edge> edges_;
+};
+
+void AddStyleRules(std::vector<std::unique_ptr<Rule>>* rules);
+void AddContractRules(std::vector<std::unique_ptr<Rule>>* rules);
+void AddDeterminismRules(std::vector<std::unique_ptr<Rule>>* rules);
+
+/// Shared matcher helpers used across rule TUs. All operate on the
+/// code-token view of `file`.
+
+/// True if the code token at `i` is an identifier immediately followed
+/// by '(' — i.e. spelled like a call or a function declarator.
+bool IdentThenParen(const SourceFile& file, int i);
+
+/// Code index of the ')' matching the '(' at code index `open`
+/// (-1 if unbalanced).
+int MatchParen(const SourceFile& file, int open);
+
+/// Scans identifier-shaped words inside free text (a preprocessor
+/// directive's logical line) and invokes fn(word) for each.
+void ForEachWordInText(const std::string& text,
+                       const std::function<void(std::string_view)>& fn);
+
+/// If the preprocessor directive `text` is an #include, returns the
+/// operand with its delimiters ("..." or <...>) stripped; otherwise "".
+std::string IncludeOperand(const std::string& text);
+
+}  // namespace adaskip_analyze
+
+#endif  // ADASKIP_TOOLS_LINT_RULES_H_

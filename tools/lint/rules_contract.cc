@@ -1,0 +1,561 @@
+// Contract rules: the SkipIndex surface contract, WorkloadStats merge
+// drift, serialization pairing, IndexKind dispatch exhaustiveness, and
+// the status-must-use escape hatch audit. These are the rules that make
+// "add the eighth skipping structure" a compile-time conversation with
+// CI instead of a restore failure in production.
+
+#include <array>
+#include <cctype>
+#include <set>
+
+#include "rules.h"
+
+namespace adaskip_analyze {
+
+namespace {
+
+/// skip-index-overrides: every `class X : public SkipIndex` overrides
+/// all five contract surfaces. OnAppend keeps the live-append superset
+/// contract; Describe keeps introspection; MemoryUsageBytes keeps the
+/// cost model honest; SerializeBinary/DeserializeBinary keep crash
+/// restore complete.
+class SkipIndexOverridesRule : public Rule {
+ public:
+  std::string_view id() const override { return "skip-index-overrides"; }
+
+  void Check(const SourceFile& file, Reporter& reporter) override {
+    for (int i = 0; i + 1 < file.NumCode(); ++i) {
+      if (!file.CodeIs(i, TokKind::kIdent, "class")) continue;
+      if (file.Code(i + 1).kind != TokKind::kIdent) continue;
+      const std::string& name = file.Code(i + 1).text;
+      // Scan the class head for `: ... public SkipIndex` before '{'.
+      bool subclass = false;
+      int open = -1;
+      for (int j = i + 2; j < file.NumCode(); ++j) {
+        const Token& t = file.Code(j);
+        if (t.kind == TokKind::kPunct && (t.text == ";" || t.text == "(")) {
+          break;  // Forward declaration or something else entirely.
+        }
+        if (t.kind == TokKind::kPunct && t.text == "{") {
+          open = j;
+          break;
+        }
+        if (t.kind == TokKind::kIdent && t.text == "SkipIndex" && j > i + 2) {
+          subclass = true;
+        }
+      }
+      if (!subclass || open < 0) continue;
+      const int close = file.MatchBrace(open);
+      if (close < 0) continue;
+      const int line = file.Code(i).line;
+      struct Surface {
+        std::string_view name;
+        std::string_view why;
+      };
+      static constexpr std::array<Surface, 5> kSurfaces = {{
+          {"OnAppend", "appends would break the superset contract"},
+          {"Describe", "introspection surfaces would lose it"},
+          {"MemoryUsageBytes", "memory accounting would undercount it"},
+          {"SerializeBinary", "checkpoints would silently omit its state"},
+          {"DeserializeBinary", "crash restore could not rebuild it"},
+      }};
+      for (const Surface& surface : kSurfaces) {
+        if (!HasOverride(file, open, close, surface.name)) {
+          reporter.Report(file, line, id(),
+                          "SkipIndex subclass '" + name +
+                              "' does not override " +
+                              std::string(surface.name) + " — " +
+                              std::string(surface.why));
+        }
+      }
+      i = close;
+    }
+  }
+
+ private:
+  /// True if `surface` is declared with `override` inside [open, close].
+  static bool HasOverride(const SourceFile& file, int open, int close,
+                          std::string_view surface) {
+    for (int i = open + 1; i < close; ++i) {
+      if (file.Code(i).text != surface || !file.CodeIs(i + 1, "(")) continue;
+      const int paren_close = MatchParen(file, i + 1);
+      if (paren_close < 0) continue;
+      for (int j = paren_close + 1; j < close; ++j) {
+        const Token& t = file.Code(j);
+        if (t.kind == TokKind::kPunct &&
+            (t.text == ";" || t.text == "{" || t.text == "=")) {
+          break;
+        }
+        if (t.kind == TokKind::kIdent && t.text == "override") return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// exec-stats-sync: every WorkloadStats field appears in Record(), and
+/// Clear() either resets the whole object or names every field.
+class ExecStatsSyncRule : public Rule {
+ public:
+  std::string_view id() const override { return "exec-stats-sync"; }
+
+  void Collect(const SourceFile& file) override {
+    HarvestFields(file);
+    HarvestMethod(file, "Record", &record_);
+    HarvestMethod(file, "Clear", &clear_);
+  }
+
+  void Finish(Reporter& reporter) override {
+    if (fields_.empty()) return;
+    if (!record_.idents.empty()) {
+      for (const std::string& field : fields_) {
+        if (record_.idents.count(field) == 0) {
+          reporter.ReportAt(
+              record_.file, record_.line, id(),
+              "WorkloadStats field '" + field +
+                  "' is not accumulated in WorkloadStats::Record — new stats "
+                  "must be added to the merge logic");
+        }
+      }
+    }
+    if (!clear_.idents.empty() && !clear_.whole_object_reset) {
+      for (const std::string& field : fields_) {
+        if (clear_.idents.count(field) == 0) {
+          reporter.ReportAt(
+              clear_.file, clear_.line, id(),
+              "WorkloadStats field '" + field +
+                  "' is not reset in WorkloadStats::Clear — either reset "
+                  "every field or assign a fresh WorkloadStats()");
+        }
+      }
+    }
+  }
+
+ private:
+  struct MethodBody {
+    std::string file;
+    int line = 0;
+    std::set<std::string> idents;
+    bool whole_object_reset = false;  // Body contains `WorkloadStats()`.
+  };
+
+  void HarvestFields(const SourceFile& file) {
+    for (int i = 0; i + 1 < file.NumCode(); ++i) {
+      if (!file.CodeIs(i, TokKind::kIdent, "class") ||
+          !file.CodeIs(i + 1, TokKind::kIdent, "WorkloadStats")) {
+        continue;
+      }
+      int open = -1;
+      for (int j = i + 2; j < file.NumCode(); ++j) {
+        const std::string& t = file.Code(j).text;
+        if (t == ";") break;
+        if (t == "{") {
+          open = j;
+          break;
+        }
+      }
+      if (open < 0) continue;
+      const int close = file.MatchBrace(open);
+      if (close < 0) continue;
+      // Depth-1 statements without parentheses are field declarations;
+      // harvest the trailing-underscore identifiers they declare.
+      int depth = 1;
+      bool stmt_has_paren = false;
+      std::string last_underscore_ident;
+      for (int j = open + 1; j < close; ++j) {
+        const Token& t = file.Code(j);
+        if (t.kind == TokKind::kPunct) {
+          if (t.text == "{") ++depth;
+          if (t.text == "}") --depth;
+          if (t.text == "(") stmt_has_paren = true;
+          if (t.text == ";" && depth == 1) {
+            if (!stmt_has_paren && !last_underscore_ident.empty()) {
+              fields_.push_back(last_underscore_ident);
+            }
+            stmt_has_paren = false;
+            last_underscore_ident.clear();
+          }
+        } else if (t.kind == TokKind::kIdent && depth == 1 &&
+                   t.text.size() > 1 && t.text.back() == '_' &&
+                   last_underscore_ident.empty()) {
+          last_underscore_ident = t.text;
+        }
+      }
+      return;
+    }
+  }
+
+  void HarvestMethod(const SourceFile& file, std::string_view method,
+                     MethodBody* out) {
+    for (int i = 0; i + 3 < file.NumCode(); ++i) {
+      if (!file.CodeIs(i, TokKind::kIdent, "WorkloadStats") ||
+          !file.CodeIs(i + 1, "::") || file.Code(i + 2).text != method ||
+          !file.CodeIs(i + 3, "(")) {
+        continue;
+      }
+      int open = -1;
+      for (int j = i + 3; j < file.NumCode(); ++j) {
+        if (file.CodeIs(j, TokKind::kPunct, "{")) {
+          open = j;
+          break;
+        }
+      }
+      if (open < 0) return;
+      const int close = file.MatchBrace(open);
+      if (close < 0) return;
+      out->file = file.path;
+      out->line = file.Code(i).line;
+      for (int j = open + 1; j < close; ++j) {
+        const Token& t = file.Code(j);
+        if (t.kind == TokKind::kIdent) {
+          out->idents.insert(t.text);
+          if (t.text == "WorkloadStats" && file.CodeIs(j + 1, "(")) {
+            out->whole_object_reset = true;
+          }
+        }
+      }
+      return;
+    }
+  }
+
+  std::vector<std::string> fields_;
+  MethodBody record_;
+  MethodBody clear_;
+};
+
+/// serialize-binary-pair: any class/struct declaring SerializeBinary
+/// also declares DeserializeBinary, and vice versa.
+class SerializeBinaryPairRule : public Rule {
+ public:
+  std::string_view id() const override { return "serialize-binary-pair"; }
+
+  void Check(const SourceFile& file, Reporter& reporter) override {
+    for (int i = 0; i + 1 < file.NumCode(); ++i) {
+      const Token& kw = file.Code(i);
+      if (kw.kind != TokKind::kIdent ||
+          (kw.text != "class" && kw.text != "struct")) {
+        continue;
+      }
+      if (file.CodeIs(i - 1, TokKind::kIdent, "enum")) continue;
+      if (file.Code(i + 1).kind != TokKind::kIdent) continue;
+      const std::string& name = file.Code(i + 1).text;
+      int open = -1;
+      for (int j = i + 2; j < file.NumCode(); ++j) {
+        const std::string& t = file.Code(j).text;
+        if (t == ";" || t == "(") break;  // Fwd decl / not a class head.
+        if (t == "{") {
+          open = j;
+          break;
+        }
+      }
+      if (open < 0) continue;
+      const int close = file.MatchBrace(open);
+      if (close < 0) continue;
+      bool has_ser = false;
+      bool has_deser = false;
+      for (int j = open + 1; j < close; ++j) {
+        const Token& t = file.Code(j);
+        if (t.kind != TokKind::kIdent) continue;
+        if (t.text == "SerializeBinary") has_ser = true;
+        if (t.text == "DeserializeBinary") has_deser = true;
+      }
+      if (has_ser != has_deser) {
+        reporter.Report(
+            file, kw.line, id(),
+            "'" + name + "' declares " +
+                (has_ser ? std::string("SerializeBinary without "
+                                       "DeserializeBinary — it writes "
+                                       "snapshots nothing can read back")
+                         : std::string("DeserializeBinary without "
+                                       "SerializeBinary — nothing can "
+                                       "produce the bytes it expects")) +
+                "; persistence round-trips require both halves");
+      }
+      // Do not skip the body: nested classes are scanned by the outer
+      // loop exactly like the stripped-lexical predecessor did.
+    }
+  }
+};
+
+/// index-kind-exhaustive: harvest `enum class IndexKind` and verify
+/// every enumerator appears in every kind-dispatch definition
+/// (IndexKindToString, each MakeSkipIndex overload, and
+/// ValidateIndexOptions — the serde/factory/validation registry). The
+/// five per-kind behavioral surfaces (OnAppend, Describe,
+/// MemoryUsageBytes, SerializeBinary, DeserializeBinary) are virtuals,
+/// so their per-kind coverage is enforced by skip-index-overrides.
+class IndexKindExhaustiveRule : public Rule {
+ public:
+  std::string_view id() const override { return "index-kind-exhaustive"; }
+
+  void Collect(const SourceFile& file) override {
+    if (!PathContains(file.path, "src/")) return;
+    HarvestEnum(file);
+    for (std::string_view site : kSites) HarvestSite(file, site);
+  }
+
+  void Finish(Reporter& reporter) override {
+    if (enumerators_.empty()) return;
+    for (std::string_view site : kSites) {
+      bool found = false;
+      for (const SiteDef& def : defs_) {
+        if (def.name == site) found = true;
+      }
+      if (!found) {
+        reporter.ReportAt(enum_file_, enum_line_, id(),
+                          "no definition of IndexKind dispatch site '" +
+                              std::string(site) +
+                              "' was found — every kind-dispatch surface "
+                              "must exist and be scanned");
+      }
+    }
+    for (const SiteDef& def : defs_) {
+      for (const std::string& enumerator : enumerators_) {
+        if (def.idents.count(enumerator) == 0) {
+          reporter.ReportAt(
+              def.file, def.line, id(),
+              "IndexKind::" + enumerator + " is not handled in '" + def.name +
+                  "' — every enumerator must appear in every dispatch site "
+                  "(adding a kind with a missing surface fails here, not in "
+                  "a restore)");
+        }
+      }
+    }
+  }
+
+ private:
+  static constexpr std::array<std::string_view, 3> kSites = {
+      "IndexKindToString", "MakeSkipIndex", "ValidateIndexOptions"};
+
+  struct SiteDef {
+    std::string name;
+    std::string file;
+    int line = 0;
+    std::set<std::string> idents;
+  };
+
+  void HarvestEnum(const SourceFile& file) {
+    for (int i = 0; i + 2 < file.NumCode(); ++i) {
+      if (!file.CodeIs(i, TokKind::kIdent, "enum") ||
+          !file.CodeIs(i + 1, TokKind::kIdent, "class") ||
+          !file.CodeIs(i + 2, TokKind::kIdent, "IndexKind")) {
+        continue;
+      }
+      int open = -1;
+      for (int j = i + 3; j < file.NumCode(); ++j) {
+        const std::string& t = file.Code(j).text;
+        if (t == ";") break;  // Opaque-enum declaration.
+        if (t == "{") {
+          open = j;
+          break;
+        }
+      }
+      if (open < 0) continue;
+      const int close = file.MatchBrace(open);
+      if (close < 0) continue;
+      enum_file_ = file.path;
+      enum_line_ = file.Code(i).line;
+      // Enumerator, optionally `= value`, separated by commas.
+      int j = open + 1;
+      while (j < close) {
+        if (file.Code(j).kind == TokKind::kIdent) {
+          enumerators_.push_back(file.Code(j).text);
+        }
+        while (j < close && file.Code(j).text != ",") ++j;
+        ++j;
+      }
+      return;
+    }
+  }
+
+  void HarvestSite(const SourceFile& file, std::string_view site) {
+    for (int i = 0; i < file.NumCode(); ++i) {
+      if (file.Code(i).text != site || !file.CodeIs(i + 1, "(")) continue;
+      const int paren_close = MatchParen(file, i + 1);
+      if (paren_close < 0) continue;
+      // A definition: only identifiers (const, noexcept, ...) between
+      // the parameter list and the '{'. Anything else is a call site or
+      // a declaration.
+      int open = -1;
+      for (int j = paren_close + 1; j < file.NumCode(); ++j) {
+        const Token& t = file.Code(j);
+        if (t.kind == TokKind::kPunct && t.text == "{") {
+          open = j;
+          break;
+        }
+        if (t.kind != TokKind::kIdent) break;
+      }
+      if (open < 0) continue;
+      const int close = file.MatchBrace(open);
+      if (close < 0) continue;
+      SiteDef def;
+      def.name = std::string(site);
+      def.file = file.path;
+      def.line = file.Code(i).line;
+      for (int j = open + 1; j < close; ++j) {
+        if (file.Code(j).kind == TokKind::kIdent) {
+          def.idents.insert(file.Code(j).text);
+        }
+      }
+      defs_.push_back(std::move(def));
+      i = close;
+    }
+  }
+
+  std::vector<std::string> enumerators_;
+  std::string enum_file_;
+  int enum_line_ = 0;
+  std::vector<SiteDef> defs_;
+};
+
+/// status-must-use: Status and Result are [[nodiscard]], but two
+/// escapes silence the compiler inconsistently across GCC/Clang: the
+/// `(void)`-cast and the comma operator. Harvest every function that
+/// returns Status/Result (library headers and sources), then flag those
+/// escapes at call sites in library and example code.
+class StatusMustUseRule : public Rule {
+ public:
+  std::string_view id() const override { return "status-must-use"; }
+
+  void Collect(const SourceFile& file) override {
+    if (!PathContains(file.path, "src/")) return;
+    for (int i = 0; i < file.NumCode(); ++i) {
+      const Token& t = file.Code(i);
+      if (t.kind != TokKind::kIdent) continue;
+      int name_idx = -1;
+      if (t.text == "Status") {
+        name_idx = i + 1;
+      } else if (t.text == "Result" && file.CodeIs(i + 1, "<")) {
+        // Skip the template argument list (tracking nested <>, with
+        // `>>` closing two).
+        int depth = 0;
+        int j = i + 1;
+        for (; j < file.NumCode(); ++j) {
+          const std::string& p = file.Code(j).text;
+          if (p == "<") ++depth;
+          if (p == ">") --depth;
+          if (p == ">>") depth -= 2;
+          if (depth <= 0 && j > i + 1) break;
+          if (p == ";" || p == "{") break;  // Malformed; bail.
+        }
+        name_idx = j + 1;
+      } else {
+        continue;
+      }
+      const Token& name = file.Code(name_idx);
+      if (name.kind != TokKind::kIdent ||
+          !file.CodeIs(name_idx + 1, TokKind::kPunct, "(")) {
+        continue;
+      }
+      // PascalCase filter: repo functions are PascalCase; this skips
+      // local-variable declarations like `Status s(...)`.
+      if (std::isupper(static_cast<unsigned char>(name.text[0])) == 0) {
+        continue;
+      }
+      returns_status_.insert(name.text);
+    }
+  }
+
+  void Check(const SourceFile& file, Reporter& reporter) override {
+    if (!PathContains(file.path, "src/") &&
+        !PathContains(file.path, "examples/")) {
+      return;
+    }
+    for (int i = 0; i < file.NumCode(); ++i) {
+      CheckVoidCast(file, i, reporter);
+      CheckCommaEscape(file, i, reporter);
+    }
+  }
+
+ private:
+  /// `(void)expr` and `static_cast<void>(expr)` where expr's first call
+  /// is to a Status/Result-returning function.
+  void CheckVoidCast(const SourceFile& file, int i, Reporter& reporter) {
+    int expr_start = -1;
+    if (file.CodeIs(i, TokKind::kPunct, "(") &&
+        file.CodeIs(i + 1, TokKind::kIdent, "void") &&
+        file.CodeIs(i + 2, TokKind::kPunct, ")")) {
+      expr_start = i + 3;
+    } else if (file.CodeIs(i, TokKind::kIdent, "static_cast") &&
+               file.CodeIs(i + 1, "<") &&
+               file.CodeIs(i + 2, TokKind::kIdent, "void") &&
+               file.CodeIs(i + 3, ">") && file.CodeIs(i + 4, "(")) {
+      expr_start = i + 5;
+    }
+    if (expr_start < 0) return;
+    // Walk the member-access chain to the first call.
+    std::string callee;
+    for (int j = expr_start; j < file.NumCode(); ++j) {
+      const Token& t = file.Code(j);
+      if (t.kind == TokKind::kIdent) {
+        callee = t.text;
+        continue;
+      }
+      if (t.kind == TokKind::kPunct &&
+          (t.text == "::" || t.text == "." || t.text == "->" ||
+           t.text == "*")) {
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == "(" && !callee.empty()) {
+        if (returns_status_.count(callee) != 0) {
+          reporter.Report(
+              file, file.Code(i).line, id(),
+              "'(void)' discards the Status/Result returned by '" + callee +
+                  "' — handle the error, or suppress with an explicit "
+                  "rationale (adaskip-analyze: allow(status-must-use))");
+        }
+        return;
+      }
+      return;  // Not a plain call chain.
+    }
+  }
+
+  /// `Foo(...), rest` at statement level (or directly inside an
+  /// if/while/for/switch condition): the comma operator discards the
+  /// call's value and [[nodiscard]] cannot see through it.
+  void CheckCommaEscape(const SourceFile& file, int i, Reporter& reporter) {
+    if (!IdentThenParen(file, i)) return;
+    const std::string& callee = file.Code(i).text;
+    if (returns_status_.count(callee) == 0) return;
+    const Token& prev = file.Code(i - 1);
+    bool stmt_start = i == 0;
+    if (prev.kind == TokKind::kPunct &&
+        (prev.text == ";" || prev.text == "{" || prev.text == "}" ||
+         prev.text == ":")) {
+      stmt_start = true;
+    }
+    if (prev.kind == TokKind::kIdent &&
+        (prev.text == "else" || prev.text == "do")) {
+      stmt_start = true;
+    }
+    bool in_condition = false;
+    if (prev.kind == TokKind::kPunct && prev.text == "(") {
+      const Token& kw = file.Code(i - 2);
+      in_condition = kw.kind == TokKind::kIdent &&
+                     (kw.text == "if" || kw.text == "while" ||
+                      kw.text == "for" || kw.text == "switch");
+    }
+    if (!stmt_start && !in_condition) return;
+    const int close = MatchParen(file, i + 1);
+    if (close < 0 || !file.CodeIs(close + 1, TokKind::kPunct, ",")) return;
+    reporter.Report(
+        file, file.Code(i).line, id(),
+        "comma operator discards the Status/Result returned by '" + callee +
+            "' — [[nodiscard]] cannot see through this escape; handle the "
+            "error");
+  }
+
+  std::set<std::string> returns_status_;
+};
+
+}  // namespace
+
+void AddContractRules(std::vector<std::unique_ptr<Rule>>* rules) {
+  rules->push_back(std::make_unique<SkipIndexOverridesRule>());
+  rules->push_back(std::make_unique<ExecStatsSyncRule>());
+  rules->push_back(std::make_unique<SerializeBinaryPairRule>());
+  rules->push_back(std::make_unique<IndexKindExhaustiveRule>());
+  rules->push_back(std::make_unique<StatusMustUseRule>());
+}
+
+}  // namespace adaskip_analyze

@@ -1,0 +1,236 @@
+// Determinism rules. The system's headline invariant is bit-identical
+// results and telemetry across serial/parallel execution, scalar/SIMD
+// kernels, journal replay, and crash restore. Tests defend it at one
+// thread count and one CPU; these rules defend it against the three
+// classic nondeterminism sources a diff can't see: hash-map iteration
+// order, wall-clock reads, and unseeded randomness — plus the subtler
+// one, ordering on raw pointer values.
+
+#include "rules.h"
+
+namespace adaskip_analyze {
+
+namespace {
+
+bool InLibrary(const SourceFile& file) {
+  return PathContains(file.path, "src/");
+}
+
+/// det-unordered-container: std::unordered_* iteration order depends on
+/// hashing, bucket counts, and insertion history — none of which are
+/// part of the replay/restore contract. One `for (auto& kv : umap)`
+/// feeding RenderText, the journal, or a result set breaks bit-identity
+/// in a way no single-configuration test can catch.
+class DetUnorderedContainerRule : public Rule {
+ public:
+  std::string_view id() const override { return "det-unordered-container"; }
+
+  void Check(const SourceFile& file, Reporter& reporter) override {
+    if (!InLibrary(file)) return;
+    static constexpr std::string_view kBanned[] = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    for (int i = 0; i < file.NumCode(); ++i) {
+      const Token& t = file.Code(i);
+      if (t.kind != TokKind::kIdent) continue;
+      for (std::string_view banned : kBanned) {
+        if (t.text == banned) {
+          reporter.Report(
+              file, t.line, id(),
+              "std::" + t.text +
+                  " in library code — hash-map iteration order is "
+                  "nondeterministic and leaks into telemetry/journal/"
+                  "results; use std::map (or sort before iterating)");
+          break;
+        }
+      }
+    }
+    for (const Token& t : file.tokens) {
+      if (t.kind != TokKind::kPreproc) continue;
+      const std::string operand = IncludeOperand(t.text);
+      if (operand == "unordered_map" || operand == "unordered_set") {
+        reporter.Report(file, t.line, id(),
+                        "#include <" + operand +
+                            "> in library code — nothing deterministic "
+                            "comes out of it; use <map> / <set>");
+      }
+    }
+  }
+};
+
+/// det-wall-clock: time must flow through the injectable seams
+/// (util::MonotonicNanos / the Stopwatch clock in util/, and the obs
+/// timestamp plumbing), never be read inline. An inline clock read in
+/// engine code timestamps journal events differently on every run and
+/// desynchronizes replay.
+class DetWallClockRule : public Rule {
+ public:
+  std::string_view id() const override { return "det-wall-clock"; }
+
+  void Check(const SourceFile& file, Reporter& reporter) override {
+    if (!InLibrary(file)) return;
+    if (PathContains(file.path, "util/") || PathContains(file.path, "obs/")) {
+      return;  // The blessed clock seams live here.
+    }
+    static constexpr std::string_view kClockTypes[] = {
+        "system_clock", "steady_clock", "high_resolution_clock"};
+    static constexpr std::string_view kClockCalls[] = {
+        "time",          "clock",     "gettimeofday", "clock_gettime",
+        "localtime",     "gmtime",    "mktime",       "ctime",
+        "strftime",      "timespec_get"};
+    for (int i = 0; i < file.NumCode(); ++i) {
+      const Token& t = file.Code(i);
+      if (t.kind != TokKind::kIdent) continue;
+      for (std::string_view type : kClockTypes) {
+        if (t.text == type) {
+          reporter.Report(
+              file, t.line, id(),
+              "std::chrono::" + t.text +
+                  " outside util//obs/ — read time through "
+                  "util::MonotonicNanos (util/stopwatch.h) so replay and "
+                  "telemetry stay deterministic behind one seam");
+          break;
+        }
+      }
+      if (!file.CodeIs(i + 1, TokKind::kPunct, "(")) continue;
+      // Qualified calls (std::time) always count. Bare names only when
+      // they cannot be a member access (`ev.time()`) or a declaration
+      // (`int64_t time() const`): the previous token must be neither an
+      // accessor nor an identifier.
+      const Token& prev = file.Code(i - 1);
+      const bool qualified = prev.kind == TokKind::kPunct && prev.text == "::";
+      const bool decl_or_member =
+          prev.kind == TokKind::kIdent ||
+          (prev.kind == TokKind::kPunct &&
+           (prev.text == "." || prev.text == "->" || prev.text == "~"));
+      if (!qualified && decl_or_member) continue;
+      for (std::string_view call : kClockCalls) {
+        if (t.text == call) {
+          reporter.Report(file, t.line, id(),
+                          "wall-clock call '" + t.text +
+                              "(...)' outside util//obs/ — route time "
+                              "through util::MonotonicNanos");
+          break;
+        }
+      }
+    }
+  }
+};
+
+/// det-rng: randomness is a workload-generation concern, and every
+/// engine there is seeded from the workload config. rand()/
+/// std::random_device anywhere else (or engine construction outside the
+/// seam) makes runs unrepeatable.
+class DetRngRule : public Rule {
+ public:
+  std::string_view id() const override { return "det-rng"; }
+
+  void Check(const SourceFile& file, Reporter& reporter) override {
+    if (!InLibrary(file)) return;
+    if (PathContains(file.path, "util/") ||
+        PathContains(file.path, "workload/")) {
+      return;  // The seeded-RNG seam.
+    }
+    static constexpr std::string_view kEngines[] = {
+        "random_device",  "mt19937",        "mt19937_64",
+        "minstd_rand",    "minstd_rand0",   "default_random_engine",
+        "knuth_b",        "ranlux24",       "ranlux48",
+        "ranlux24_base",  "ranlux48_base"};
+    static constexpr std::string_view kCalls[] = {"rand",    "srand",
+                                                  "random",  "rand_r",
+                                                  "drand48", "lrand48"};
+    for (int i = 0; i < file.NumCode(); ++i) {
+      const Token& t = file.Code(i);
+      if (t.kind != TokKind::kIdent) continue;
+      for (std::string_view engine : kEngines) {
+        if (t.text == engine) {
+          reporter.Report(
+              file, t.line, id(),
+              "std::" + t.text +
+                  " outside workload/ — randomness lives behind the seeded "
+                  "workload RNG seam; pass values in, don't generate them");
+          break;
+        }
+      }
+      if (!file.CodeIs(i + 1, TokKind::kPunct, "(")) continue;
+      // Same qualification logic as det-wall-clock: qualified calls
+      // always count, bare names only when they cannot be a member
+      // access or a declaration.
+      const Token& prev = file.Code(i - 1);
+      const bool qualified = prev.kind == TokKind::kPunct && prev.text == "::";
+      const bool decl_or_member =
+          prev.kind == TokKind::kIdent ||
+          (prev.kind == TokKind::kPunct &&
+           (prev.text == "." || prev.text == "->" || prev.text == "~"));
+      if (!qualified && decl_or_member) continue;
+      for (std::string_view call : kCalls) {
+        if (t.text == call) {
+          reporter.Report(file, t.line, id(),
+                          "'" + t.text +
+                              "(...)' outside workload/ — unseeded C RNG "
+                              "makes runs unrepeatable; use the seeded "
+                              "workload generators");
+          break;
+        }
+      }
+    }
+  }
+};
+
+/// det-pointer-order: an ordered container or comparator keyed on a raw
+/// pointer orders by allocation address, which varies run to run (ASLR,
+/// allocator state). Key on a stable identity (name, index) instead.
+class DetPointerOrderRule : public Rule {
+ public:
+  std::string_view id() const override { return "det-pointer-order"; }
+
+  void Check(const SourceFile& file, Reporter& reporter) override {
+    if (!InLibrary(file)) return;
+    static constexpr std::string_view kOrdered[] = {
+        "set", "map", "multiset", "multimap", "less", "greater"};
+    for (int i = 0; i + 1 < file.NumCode(); ++i) {
+      const Token& t = file.Code(i);
+      if (t.kind != TokKind::kIdent || !file.CodeIs(i + 1, "<")) continue;
+      bool ordered = false;
+      for (std::string_view name : kOrdered) {
+        if (t.text == name) ordered = true;
+      }
+      if (!ordered) continue;
+      // First template argument: tokens until the ',' or '>' that
+      // brings the angle depth back to this list's level.
+      int depth = 1;
+      const Token* last = nullptr;
+      for (int j = i + 2; j < file.NumCode(); ++j) {
+        const Token& a = file.Code(j);
+        if (a.kind == TokKind::kPunct) {
+          if (a.text == "<") ++depth;
+          if (a.text == ">") --depth;
+          if (a.text == ">>") depth -= 2;
+          if ((a.text == "," && depth == 1) || depth <= 0) break;
+          if (a.text == ";" || a.text == "{" || a.text == "(") break;
+        }
+        last = &a;
+      }
+      if (last != nullptr && last->kind == TokKind::kPunct &&
+          last->text == "*") {
+        reporter.Report(
+            file, t.line, id(),
+            "std::" + t.text +
+                " keyed on a raw pointer — iteration order follows "
+                "allocation addresses, which change every run; key on a "
+                "stable identity (name, index, id) instead");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void AddDeterminismRules(std::vector<std::unique_ptr<Rule>>* rules) {
+  rules->push_back(std::make_unique<DetUnorderedContainerRule>());
+  rules->push_back(std::make_unique<DetWallClockRule>());
+  rules->push_back(std::make_unique<DetRngRule>());
+  rules->push_back(std::make_unique<DetPointerOrderRule>());
+}
+
+}  // namespace adaskip_analyze

@@ -1,0 +1,146 @@
+// layering-dag: the subsystem dependency architecture, enforced from
+// `#include "adaskip/..."` edges instead of convention.
+//
+// The declared normative order is a linear backbone — each subsystem
+// may include itself and anything earlier:
+//
+//   util → persist → obs → storage → scan → skipping → adaptive
+//        → engine → workload
+//
+// Rationale for the two placements that differ from a naive reading of
+// the runtime dataflow:
+//   - persist sits LOW (right after util): persist/ holds only the
+//     framed binary-IO primitives (Sink/Source, CRC framing), which the
+//     serialization methods of obs/storage/skipping/adaptive all
+//     implement against. Checkpoint/restore ORCHESTRATION lives in
+//     engine/session_persist.cc, at the top where it belongs.
+//   - scan sits between storage and skipping: predicates and kernels
+//     are vocabulary types consumed by every index implementation and
+//     by the adaptive layer.
+//
+// The adjacency is declared explicitly below and verified acyclic at
+// construction (a cycle in the DECLARATION is a programming error and
+// throws); observed back-edges in the tree are findings. The
+// accumulated graph is exported as a DOT artifact (--dot=) with
+// violations highlighted, making the check's output double as the
+// architecture diagram in DESIGN.md.
+
+#include <map>
+#include <stdexcept>
+
+#include "rules.h"
+
+namespace adaskip_analyze {
+
+namespace {
+
+/// Subsystem of a library path ("src/adaskip/<sub>/..." or an include
+/// operand "adaskip/<sub>/..."), or "" if the path is not library code.
+std::string SubsystemOf(std::string_view path, std::string_view prefix) {
+  const size_t at = path.find(prefix);
+  if (at == std::string_view::npos) return "";
+  const size_t begin = at + prefix.size();
+  const size_t end = path.find('/', begin);
+  if (end == std::string_view::npos) return "";
+  return std::string(path.substr(begin, end - begin));
+}
+
+}  // namespace
+
+const std::vector<std::string>& LayeringDagRule::DeclaredOrder() {
+  static const std::vector<std::string> kOrder = {
+      "util",     "persist",  "obs",    "storage",  "scan",
+      "skipping", "adaptive", "engine", "workload"};
+  return kOrder;
+}
+
+LayeringDagRule::LayeringDagRule() {
+  // Self-check: the declared adjacency (each subsystem depends on
+  // everything earlier) must be a DAG. Trivially true for a linear
+  // order, but verified generically so a future sparse adjacency edit
+  // cannot silently declare a cycle the enforcement would then bless.
+  const std::vector<std::string>& order = DeclaredOrder();
+  std::map<std::string, std::vector<std::string>> deps;
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) deps[order[i]].push_back(order[j]);
+  }
+  // Kahn's algorithm over the declared edges.
+  std::map<std::string, int> in_degree;
+  for (const std::string& sub : order) in_degree[sub] = 0;
+  for (const auto& [sub, targets] : deps) {
+    (void)sub;
+    for (const std::string& target : targets) ++in_degree[target];
+  }
+  std::vector<std::string> ready;
+  for (const auto& [sub, degree] : in_degree) {
+    if (degree == 0) ready.push_back(sub);
+  }
+  size_t visited = 0;
+  while (!ready.empty()) {
+    const std::string sub = ready.back();
+    ready.pop_back();
+    ++visited;
+    for (const std::string& target : deps[sub]) {
+      if (--in_degree[target] == 0) ready.push_back(target);
+    }
+  }
+  if (visited != order.size()) {
+    throw std::logic_error("layering-dag: declared adjacency has a cycle");
+  }
+}
+
+void LayeringDagRule::RecordEdge(const std::string& from,
+                                 const std::string& to, bool violation) {
+  for (const Edge& e : edges_) {
+    if (e.from == from && e.to == to) return;
+  }
+  edges_.push_back({from, to, violation});
+}
+
+void LayeringDagRule::Check(const SourceFile& file, Reporter& reporter) {
+  const std::string from = SubsystemOf(file.path, "src/adaskip/");
+  if (from.empty()) return;
+  const std::vector<std::string>& order = DeclaredOrder();
+  int from_rank = -1;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == from) from_rank = static_cast<int>(i);
+  }
+  for (const Token& t : file.tokens) {
+    if (t.kind != TokKind::kPreproc) continue;
+    const std::string operand = IncludeOperand(t.text);
+    const std::string to = SubsystemOf(operand, "adaskip/");
+    if (to.empty() || to == from) continue;
+    int to_rank = -1;
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == to) to_rank = static_cast<int>(i);
+    }
+    if (from_rank < 0) {
+      reporter.Report(file, t.line, id(),
+                      "file is in unknown subsystem '" + from +
+                          "' — add it to the declared layering order "
+                          "(rules_layering.cc) or move it");
+      RecordEdge(from, to, /*violation=*/true);
+      continue;
+    }
+    if (to_rank < 0) {
+      reporter.Report(file, t.line, id(),
+                      "#include of unknown subsystem 'adaskip/" + to +
+                          "/' — add it to the declared layering order "
+                          "(rules_layering.cc) or fix the include");
+      RecordEdge(from, to, /*violation=*/true);
+      continue;
+    }
+    const bool violation = to_rank > from_rank;
+    RecordEdge(from, to, violation);
+    if (violation) {
+      reporter.Report(
+          file, t.line, id(),
+          "layering violation: '" + from + "' may not depend on '" + to +
+              "' (the declared order is util → persist → obs → storage → "
+              "scan → skipping → adaptive → engine → workload; dependencies "
+              "point left)");
+    }
+  }
+}
+
+}  // namespace adaskip_analyze

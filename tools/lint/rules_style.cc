@@ -1,0 +1,316 @@
+// Style/ownership rules ported from the stripped-lexical adaskip_lint
+// onto the tokenizer. Semantics and message strings are preserved; the
+// matching is now structural (real tokens, so string literals and
+// comments can never false-positive, and `std :: thread` split across
+// whitespace matches exactly like `std::thread`).
+
+#include <cctype>
+
+#include "rules.h"
+
+namespace adaskip_analyze {
+
+namespace {
+
+bool IsConstishKeyword(const std::string& text) {
+  // const, constexpr, consteval, constinit all make a static safe.
+  return text.rfind("const", 0) == 0;
+}
+
+/// naked-new: no `new` / `delete` outside util/ — ownership goes
+/// through std::unique_ptr / containers.
+class NakedNewRule : public Rule {
+ public:
+  std::string_view id() const override { return "naked-new"; }
+
+  void Check(const SourceFile& file, Reporter& reporter) override {
+    if (PathContains(file.path, "util/")) return;
+    for (int i = 0; i < file.NumCode(); ++i) {
+      const Token& t = file.Code(i);
+      if (t.kind != TokKind::kIdent) continue;
+      if (t.text == "new") {
+        reporter.Report(file, t.line, id(),
+                        "naked 'new' outside util/ — use std::make_unique or "
+                        "a container");
+      } else if (t.text == "delete" && !file.CodeIs(i - 1, "=")) {
+        reporter.Report(file, t.line, id(),
+                        "naked 'delete' outside util/ — ownership belongs to "
+                        "std::unique_ptr");
+      }
+    }
+  }
+};
+
+/// raw-thread: no std::thread spawned outside util/ (static-member
+/// access such as std::thread::hardware_concurrency is fine).
+class RawThreadRule : public Rule {
+ public:
+  std::string_view id() const override { return "raw-thread"; }
+
+  void Check(const SourceFile& file, Reporter& reporter) override {
+    if (PathContains(file.path, "util/")) return;
+    for (int i = 0; i + 2 < file.NumCode(); ++i) {
+      if (file.CodeIs(i, TokKind::kIdent, "std") && file.CodeIs(i + 1, "::") &&
+          file.CodeIs(i + 2, TokKind::kIdent, "thread") &&
+          !file.CodeIs(i + 3, "::")) {
+        reporter.Report(file, file.Code(i).line, id(),
+                        "std::thread outside util/ — parallel work goes "
+                        "through ThreadPool");
+      }
+    }
+  }
+};
+
+/// raw-sync-primitive: no raw standard-library synchronization types
+/// outside util/ — the annotated Mutex/MutexLock/CondVar wrappers keep
+/// Clang Thread Safety Analysis in the loop.
+class RawSyncPrimitiveRule : public Rule {
+ public:
+  std::string_view id() const override { return "raw-sync-primitive"; }
+
+  void Check(const SourceFile& file, Reporter& reporter) override {
+    if (PathContains(file.path, "util/")) return;
+    static constexpr std::string_view kSyncTypes[] = {
+        "mutex",         "recursive_mutex",
+        "shared_mutex",  "timed_mutex",
+        "condition_variable", "condition_variable_any",
+        "lock_guard",    "unique_lock",
+        "scoped_lock",   "shared_lock"};
+    for (int i = 0; i + 2 < file.NumCode(); ++i) {
+      if (!file.CodeIs(i, TokKind::kIdent, "std") || !file.CodeIs(i + 1, "::")) {
+        continue;
+      }
+      const Token& t = file.Code(i + 2);
+      if (t.kind != TokKind::kIdent) continue;
+      for (std::string_view sync : kSyncTypes) {
+        if (t.text == sync) {
+          reporter.Report(
+              file, file.Code(i).line, id(),
+              "raw std::" + t.text +
+                  " outside util/ — use the annotated Mutex/MutexLock/CondVar "
+                  "(thread_annotations.h) so Clang Thread Safety Analysis "
+                  "sees the lock");
+          break;
+        }
+      }
+    }
+  }
+};
+
+/// static-mutable-state: no non-const, non-atomic `static` variables in
+/// library code outside util/.
+class StaticMutableStateRule : public Rule {
+ public:
+  std::string_view id() const override { return "static-mutable-state"; }
+
+  void Check(const SourceFile& file, Reporter& reporter) override {
+    if (PathContains(file.path, "util/")) return;
+    for (int i = 0; i < file.NumCode(); ++i) {
+      if (!file.CodeIs(i, TokKind::kIdent, "static")) continue;
+      // Scan the declaration statement: a `(` anywhere marks a function
+      // declaration or a constructor call with per-call semantics the
+      // line-based predecessor skipped too; const*/atomic/thread_local
+      // make the static safe. A `{`/`}` before the `;` means this was a
+      // function definition, not a variable.
+      bool safe = false;
+      bool is_decl = false;
+      for (int j = i + 1; j < file.NumCode() && j < i + 64; ++j) {
+        const Token& t = file.Code(j);
+        if (t.kind == TokKind::kPunct &&
+            (t.text == "(" || t.text == "{" || t.text == "}")) {
+          safe = true;
+          break;
+        }
+        if (t.kind == TokKind::kIdent &&
+            (IsConstishKeyword(t.text) || t.text == "thread_local" ||
+             t.text == "atomic")) {
+          safe = true;
+        }
+        if (t.kind == TokKind::kPunct && t.text == ";") {
+          is_decl = true;
+          break;
+        }
+      }
+      if (is_decl && !safe) {
+        reporter.Report(
+            file, file.Code(i).line, id(),
+            "non-const, non-atomic static variable outside util/ — shared "
+            "counters in executor code must be std::atomic or live in a "
+            "class guarded by a Mutex");
+      }
+    }
+  }
+};
+
+/// metric-registration: no direct registry calls outside obs/ —
+/// instruments go through ADASKIP_METRIC_COUNTER / _HISTOGRAM.
+class MetricRegistrationRule : public Rule {
+ public:
+  std::string_view id() const override { return "metric-registration"; }
+
+  void Check(const SourceFile& file, Reporter& reporter) override {
+    if (PathContains(file.path, "obs/")) return;
+    for (int i = 0; i < file.NumCode(); ++i) {
+      if (!IdentThenParen(file, i)) continue;
+      const Token& t = file.Code(i);
+      if (t.text != "RegisterCounter" && t.text != "RegisterHistogram") {
+        continue;
+      }
+      reporter.Report(
+          file, t.line, id(),
+          "direct MetricsRegistry::" + t.text +
+              " call outside obs/ — declare instruments with "
+              "ADASKIP_METRIC_COUNTER / ADASKIP_METRIC_HISTOGRAM "
+              "(obs/metrics.h) so they share the central naming scheme and "
+              "compile out under ADASKIP_NO_METRICS");
+    }
+  }
+};
+
+/// journal-emission: no direct EventJournal::AppendEvent outside obs/ —
+/// adaptation events go through ADASKIP_JOURNAL_EVENT.
+class JournalEmissionRule : public Rule {
+ public:
+  std::string_view id() const override { return "journal-emission"; }
+
+  void Check(const SourceFile& file, Reporter& reporter) override {
+    if (PathContains(file.path, "obs/")) return;
+    for (int i = 0; i < file.NumCode(); ++i) {
+      if (!IdentThenParen(file, i)) continue;
+      if (file.Code(i).text != "AppendEvent") continue;
+      reporter.Report(
+          file, file.Code(i).line, id(),
+          "direct EventJournal::AppendEvent call outside obs/ — emit "
+          "adaptation events with ADASKIP_JOURNAL_EVENT "
+          "(obs/event_journal.h) so the null-journal guard and the replay "
+          "contract are enforced at one macro");
+    }
+  }
+};
+
+/// raw-binary-io: no fopen/fwrite/fread or std::ios::binary streams
+/// outside persist/ — binary artifacts go through FileSink/FileSource.
+class RawBinaryIoRule : public Rule {
+ public:
+  std::string_view id() const override { return "raw-binary-io"; }
+
+  void Check(const SourceFile& file, Reporter& reporter) override {
+    if (PathContains(file.path, "persist/")) return;
+    for (int i = 0; i < file.NumCode(); ++i) {
+      const Token& t = file.Code(i);
+      if (t.kind != TokKind::kIdent) continue;
+      if ((t.text == "fopen" || t.text == "fwrite" || t.text == "fread") &&
+          file.CodeIs(i + 1, TokKind::kPunct, "(")) {
+        reporter.Report(
+            file, t.line, id(),
+            "raw '" + t.text +
+                "' outside persist/ — binary artifacts go through "
+                "persist::FileSink / FileSource so they carry the versioned "
+                "header and per-block CRC framing Restore depends on");
+      }
+      if (t.text == "ios" && file.CodeIs(i + 1, "::") &&
+          file.CodeIs(i + 2, TokKind::kIdent, "binary")) {
+        reporter.Report(
+            file, t.line, id(),
+            "std::ios::binary stream outside persist/ — unframed binary "
+            "files have no format version and no checksum; use "
+            "persist::FileSink / FileSource (text-mode streams are fine)");
+      }
+    }
+  }
+};
+
+/// simd-intrinsics: no intrinsics headers, _mm* calls, or __m### vector
+/// types outside scan/simd/. The only ported rule that also inspects
+/// preprocessor tokens: intrinsics can hide in `#include` operands and
+/// macro bodies.
+class SimdIntrinsicsRule : public Rule {
+ public:
+  std::string_view id() const override { return "simd-intrinsics"; }
+
+  void Check(const SourceFile& file, Reporter& reporter) override {
+    if (PathContains(file.path, "scan/simd/")) return;
+    for (const Token& t : file.tokens) {
+      if (t.kind == TokKind::kPreproc) {
+        CheckPreproc(file, t, reporter);
+      } else if (t.kind == TokKind::kIdent) {
+        CheckWord(file, t.text, t.line, reporter);
+      }
+    }
+  }
+
+ private:
+  static bool IsIntrinsicCall(std::string_view word) {
+    // _mm_*, _mm256_*, _mm512_*
+    if (word.rfind("_mm", 0) != 0) return false;
+    size_t p = 3;
+    while (p < word.size() &&
+           std::isdigit(static_cast<unsigned char>(word[p])) != 0) {
+      ++p;
+    }
+    return p + 1 < word.size() && word[p] == '_';
+  }
+
+  static bool IsVectorType(std::string_view word) {
+    if (word.rfind("__m", 0) != 0) return false;
+    std::string_view rest = word.substr(3);
+    if (!rest.empty() && (rest.back() == 'i' || rest.back() == 'd')) {
+      rest.remove_suffix(1);
+    }
+    return rest == "128" || rest == "256" || rest == "512";
+  }
+
+  void CheckWord(const SourceFile& file, const std::string& word, int line,
+                 Reporter& reporter) {
+    if (IsIntrinsicCall(word)) {
+      reporter.Report(
+          file, line, id(),
+          "raw '" + word +
+              "' intrinsic outside scan/simd/ — it bypasses the runtime "
+              "CPU check, ADASKIP_FORCE_SCALAR, and the bit-identity "
+              "equivalence tests; use the simd:: dispatch wrappers");
+    } else if (IsVectorType(word)) {
+      reporter.Report(file, line, id(),
+                      "raw '" + word +
+                          "' vector type outside scan/simd/ — keep "
+                          "vector-register code behind the dispatch layer");
+    }
+  }
+
+  void CheckPreproc(const SourceFile& file, const Token& t,
+                    Reporter& reporter) {
+    const std::string operand = IncludeOperand(t.text);
+    if (!operand.empty()) {
+      // <immintrin.h>, <x86intrin.h>, <emmintrin.h>, ...
+      static constexpr std::string_view kSuffix = "intrin.h";
+      if (operand.size() >= kSuffix.size() &&
+          operand.compare(operand.size() - kSuffix.size(), kSuffix.size(),
+                          kSuffix) == 0) {
+        reporter.Report(
+            file, t.line, id(),
+            "intrinsics header outside scan/simd/ — SIMD goes through the "
+            "simd:: dispatch wrappers (scan/simd/kernel_dispatch.h)");
+      }
+      return;
+    }
+    // Macro bodies: #define FAST(x) _mm256_add_epi32(...)
+    ForEachWordInText(t.text, [&](std::string_view word) {
+      CheckWord(file, std::string(word), t.line, reporter);
+    });
+  }
+};
+
+}  // namespace
+
+void AddStyleRules(std::vector<std::unique_ptr<Rule>>* rules) {
+  rules->push_back(std::make_unique<NakedNewRule>());
+  rules->push_back(std::make_unique<RawThreadRule>());
+  rules->push_back(std::make_unique<RawSyncPrimitiveRule>());
+  rules->push_back(std::make_unique<StaticMutableStateRule>());
+  rules->push_back(std::make_unique<MetricRegistrationRule>());
+  rules->push_back(std::make_unique<JournalEmissionRule>());
+  rules->push_back(std::make_unique<RawBinaryIoRule>());
+  rules->push_back(std::make_unique<SimdIntrinsicsRule>());
+}
+
+}  // namespace adaskip_analyze

@@ -1,0 +1,25 @@
+// Fixture for det-pointer-order: ordered containers keyed on raw
+// pointer values, whose iteration order follows allocation addresses.
+// Linted under the label src/adaskip/engine/det_pointer_order.cc.
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+namespace adaskip {
+
+class SkipIndex;
+
+class IndexRoster {
+ private:
+  std::set<const SkipIndex*> live_;              // det-pointer-order
+  std::map<SkipIndex*, int> probe_counts_;       // det-pointer-order
+  std::less<SkipIndex*> by_address_;             // det-pointer-order
+
+  // GOOD: keyed on a stable identity instead.
+  std::map<std::string, SkipIndex*> by_name_;
+  std::set<int> zone_ids_;
+};
+
+}  // namespace adaskip

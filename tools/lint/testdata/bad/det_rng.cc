@@ -1,0 +1,19 @@
+// Fixture for det-rng: randomness outside the seeded workload seam.
+// Linted under the label src/adaskip/engine/det_rng.cc.
+
+#include <cstdlib>
+#include <random>
+
+namespace adaskip {
+
+int NondeterministicPick(int bound) {
+  std::random_device entropy;            // det-rng (hardware entropy)
+  std::mt19937 gen(entropy());           // det-rng (engine outside seam)
+  return static_cast<int>(gen() % static_cast<unsigned>(bound));
+}
+
+int LegacyPick(int bound) {
+  return std::rand() % bound;            // det-rng (unseeded C RNG)
+}
+
+}  // namespace adaskip

@@ -1,0 +1,17 @@
+// Fixture for det-unordered-container: hash-map state in library code
+// whose iteration order would leak into telemetry output. Linted under
+// the label src/adaskip/engine/det_unordered.cc.
+
+#include <string>
+#include <unordered_map>  // det-unordered-container (include)
+#include <unordered_set>  // det-unordered-container (include)
+
+namespace adaskip {
+
+class TelemetryCache {
+ private:
+  std::unordered_map<std::string, int> counts_;   // det-unordered-container
+  std::unordered_set<std::string> seen_;          // det-unordered-container
+};
+
+}  // namespace adaskip

@@ -1,0 +1,31 @@
+// Fixture for det-wall-clock: inline clock reads outside the util/obs
+// seams. Linted under the label src/adaskip/engine/det_wall_clock.cc.
+
+#include <chrono>
+#include <ctime>
+#include <cstdint>
+
+namespace adaskip {
+
+int64_t StampNow() {
+  // BAD: inline monotonic read — replay sees different timestamps.
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+int64_t WallSeconds() {
+  // BAD: wall clock, doubly nondeterministic.
+  const auto at = std::chrono::system_clock::now();
+  (void)at;
+  return static_cast<int64_t>(std::time(nullptr));
+}
+
+struct Event {
+  int64_t time() const { return 0; }
+};
+
+int64_t MemberNamedTimeIsFine(const Event& event) {
+  // GOOD: member access, not the C library wall clock.
+  return event.time();
+}
+
+}  // namespace adaskip

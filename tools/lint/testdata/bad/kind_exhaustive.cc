@@ -1,0 +1,38 @@
+// Fixture for index-kind-exhaustive: an IndexKind enum whose dispatch
+// sites drifted. IndexKindToString forgot kZoneMap, and the
+// ValidateIndexOptions site does not exist at all. Linted under the
+// label src/adaskip/adaptive/kind_exhaustive.cc.
+
+#include <memory>
+#include <string>
+
+namespace adaskip {
+
+class SkipIndex;
+
+enum class IndexKind : int {
+  kFullScan = 0,
+  kZoneMap = 1,
+};
+
+const char* IndexKindToString(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kFullScan:
+      return "full-scan";
+    default:
+      // BAD: kZoneMap stringifies as "?" — introspection drifted.
+      return "?";
+  }
+}
+
+std::unique_ptr<SkipIndex> MakeSkipIndex(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kFullScan:
+      return nullptr;
+    case IndexKind::kZoneMap:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace adaskip

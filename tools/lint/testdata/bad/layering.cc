@@ -1,0 +1,13 @@
+// Fixture for layering-dag: a util/ file reaching up into engine/ and
+// into a subsystem that does not exist. Linted under the label
+// src/adaskip/util/layering.cc.
+
+#include "adaskip/engine/session.h"    // layering-dag (back-edge)
+#include "adaskip/telepathy/psychic.h" // layering-dag (unknown subsystem)
+#include "adaskip/util/status.h"       // fine: intra-subsystem
+
+namespace adaskip {
+
+void Helper() {}
+
+}  // namespace adaskip

@@ -1,0 +1,40 @@
+// Fixture for status-must-use: the two discard escapes [[nodiscard]]
+// cannot flag consistently across compilers. Linted under the label
+// src/adaskip/engine/status_drop.cc.
+
+namespace adaskip {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status Flush();
+Status CloseOutput();
+
+void DropWithVoidCast() {
+  (void)Flush();                  // status-must-use
+}
+
+void DropWithStaticCast() {
+  static_cast<void>(CloseOutput());  // status-must-use
+}
+
+void DropWithComma() {
+  Flush(), CloseOutput();         // status-must-use (comma escape)
+}
+
+void DropInCondition() {
+  if (Flush(), true) {            // status-must-use (comma in condition)
+  }
+}
+
+void HandledProperly() {
+  // GOOD: the value is consumed.
+  const Status status = Flush();
+  if (!status.ok()) {
+    return;
+  }
+}
+
+}  // namespace adaskip

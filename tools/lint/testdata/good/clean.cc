@@ -11,11 +11,14 @@ namespace adaskip {
 
 class SkipIndex;
 
-// Both overrides present (declaration-only is fine).
+// All five contract surfaces present (declaration-only is fine).
 class GoodIndex final : public SkipIndex {
  public:
   void OnAppend(RowRange appended) override;
   std::string Describe() const override;
+  size_t MemoryUsageBytes() const override;
+  Status SerializeBinary(persist::Sink& sink) const override;
+  Status DeserializeBinary(persist::Source& source) override;
 
   // Deleted functions are not naked deletes.
   GoodIndex(const GoodIndex&) = delete;

@@ -1,0 +1,17 @@
+// Fixture: an engine/ file depending only on subsystems earlier in the
+// declared order — exactly how the DAG is meant to be used. Must
+// produce ZERO findings under the label src/adaskip/engine/layering_ok.cc.
+
+#include "adaskip/adaptive/index_manager.h"
+#include "adaskip/obs/metrics.h"
+#include "adaskip/persist/binary_io.h"
+#include "adaskip/scan/predicate.h"
+#include "adaskip/skipping/skip_index.h"
+#include "adaskip/storage/column.h"
+#include "adaskip/util/status.h"
+
+namespace adaskip {
+
+void Orchestrate() {}
+
+}  // namespace adaskip

@@ -1,0 +1,32 @@
+// Fixture: Status/Result values that are all genuinely consumed — the
+// status-must-use rule must stay quiet. Must produce ZERO findings
+// under the label src/adaskip/engine/status_ok.cc.
+
+namespace adaskip {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status Flush();
+Status CloseOutput();
+
+Status PropagateDirectly() { return Flush(); }
+
+void BranchOnIt() {
+  const Status status = Flush();
+  if (!status.ok()) {
+    return;
+  }
+  if (const Status closed = CloseOutput(); closed.ok()) {
+    return;
+  }
+}
+
+// A void-returning function may be (void)-cast freely; only harvested
+// Status/Result returners are protected.
+void Touch();
+void CastTheVoidOne() { (void)Touch(); }
+
+}  // namespace adaskip

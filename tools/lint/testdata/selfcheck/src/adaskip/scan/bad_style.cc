@@ -1,0 +1,13 @@
+// Second seeded-violation file for the CI self-check (see
+// util/bad_layering.cc for the full rationale). The naked-new seed
+// lives here, NOT next to the layering seed: the naked-new rule exempts
+// util/ (where the low-level allocators legitimately live), and the
+// layering back-edge needs a util/ file to be a violation at all. scan/
+// gets neither exemption, so both style and determinism rules are
+// proven live by this file.
+
+namespace adaskip {
+
+inline int* LeakyAlloc() { return new int(7); }
+
+}  // namespace adaskip

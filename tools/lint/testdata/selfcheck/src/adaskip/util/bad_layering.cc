@@ -1,0 +1,23 @@
+// Seeded violations for the analyzer's CI self-check: this tree is
+// scanned with the same binary and flags as the real repo, and the run
+// MUST fail (WILL_FAIL in ctest; `!` in the workflow). If the analyzer
+// ever goes blind — a tokenizer regression, a rule accidentally
+// disabled, path scoping broken — this file stops finding anything and
+// the self-check turns red before a real violation can slip through.
+//
+// Three families are seeded on purpose:
+//   layering-dag            — util/ reaching UP to engine/ (a back-edge)
+//   det-unordered-container — hash-map iteration order in library code
+//   naked-new               — in scan/bad_style.cc (util/ is exempt)
+
+#include "adaskip/engine/session.h"
+
+#include <unordered_map>
+
+namespace adaskip {
+
+inline int CountDistinct(const std::unordered_map<int, int>& m) {
+  return static_cast<int>(m.size());
+}
+
+}  // namespace adaskip

@@ -1,0 +1,22 @@
+// Fixture: every det-pointer-order violation from the bad twin,
+// silenced. Must produce ZERO findings under the label
+// src/adaskip/engine/det_pointer_order.cc.
+
+#include <functional>
+#include <map>
+#include <set>
+
+namespace adaskip {
+
+class SkipIndex;
+
+class IndexRoster {
+ private:
+  // Order never observed: used only for membership checks.
+  // adaskip-analyze: allow(det-pointer-order)
+  std::set<const SkipIndex*> live_;
+  std::map<SkipIndex*, int> probe_counts_;  // adaskip-analyze: allow(det-pointer-order)
+  std::less<SkipIndex*> by_address_;        // adaskip-analyze: allow(det-pointer-order)
+};
+
+}  // namespace adaskip

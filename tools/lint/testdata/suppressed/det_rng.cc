@@ -1,0 +1,20 @@
+// Fixture: every det-rng violation from the bad twin, silenced (legacy
+// adaskip-lint spelling on one line to prove both spellings work).
+// Must produce ZERO findings under src/adaskip/engine/det_rng.cc.
+
+#include <cstdlib>
+#include <random>
+
+namespace adaskip {
+
+int NondeterministicPick(int bound) {
+  std::random_device entropy;   // adaskip-analyze: allow(det-rng)
+  std::mt19937 gen(entropy());  // adaskip-lint: allow(det-rng)
+  return static_cast<int>(gen() % static_cast<unsigned>(bound));
+}
+
+int LegacyPick(int bound) {
+  return std::rand() % bound;   // adaskip-analyze: allow(det-rng)
+}
+
+}  // namespace adaskip

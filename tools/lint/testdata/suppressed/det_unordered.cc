@@ -1,0 +1,20 @@
+// Fixture: every det-unordered-container violation from the bad twin,
+// each silenced with a structured suppression. Must produce ZERO
+// findings under the label src/adaskip/engine/det_unordered.cc.
+
+#include <string>
+#include <unordered_map>  // adaskip-analyze: allow(det-unordered-container)
+#include <unordered_set>  // adaskip-analyze: allow(det-unordered-container)
+
+namespace adaskip {
+
+class TelemetryCache {
+ private:
+  // Iteration order never escapes: snapshots are sorted before render.
+  // adaskip-analyze: allow(det-unordered-container)
+  std::unordered_map<std::string, int> counts_;
+  // adaskip-analyze: allow(det-unordered-container)
+  std::unordered_set<std::string> seen_;
+};
+
+}  // namespace adaskip

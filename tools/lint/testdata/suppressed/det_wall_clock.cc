@@ -1,0 +1,21 @@
+// Fixture: every det-wall-clock violation from the bad twin, silenced.
+// Must produce ZERO findings under src/adaskip/engine/det_wall_clock.cc.
+
+#include <chrono>
+#include <ctime>
+#include <cstdint>
+
+namespace adaskip {
+
+int64_t StampNow() {
+  // adaskip-analyze: allow(det-wall-clock)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+int64_t WallSeconds() {
+  const auto at = std::chrono::system_clock::now();  // adaskip-analyze: allow(det-wall-clock)
+  (void)at;
+  return static_cast<int64_t>(std::time(nullptr));  // adaskip-analyze: allow(det-wall-clock)
+}
+
+}  // namespace adaskip

@@ -1,0 +1,42 @@
+// Fixture: the index-kind-exhaustive violations from the bad twin,
+// silenced. The missing-site finding lands on the enum declaration
+// line; the missing-enumerator finding lands on the dispatch
+// definition line. Must produce ZERO findings under the label
+// src/adaskip/adaptive/kind_exhaustive.cc.
+
+#include <memory>
+#include <string>
+
+namespace adaskip {
+
+class SkipIndex;
+
+// Validation is intentionally out of scope for this fixture.
+// adaskip-analyze: allow(index-kind-exhaustive)
+enum class IndexKind : int {
+  kFullScan = 0,
+  kZoneMap = 1,
+};
+
+// kZoneMap intentionally stringifies via the default arm here.
+// adaskip-analyze: allow(index-kind-exhaustive)
+const char* IndexKindToString(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kFullScan:
+      return "full-scan";
+    default:
+      return "?";
+  }
+}
+
+std::unique_ptr<SkipIndex> MakeSkipIndex(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kFullScan:
+      return nullptr;
+    case IndexKind::kZoneMap:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace adaskip

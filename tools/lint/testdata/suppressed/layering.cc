@@ -1,0 +1,12 @@
+// Fixture: the layering-dag violations from the bad twin, silenced.
+// Must produce ZERO findings under src/adaskip/util/layering.cc.
+
+#include "adaskip/engine/session.h"    // adaskip-analyze: allow(layering-dag)
+#include "adaskip/telepathy/psychic.h" // adaskip-analyze: allow(layering-dag)
+#include "adaskip/util/status.h"
+
+namespace adaskip {
+
+void Helper() {}
+
+}  // namespace adaskip

@@ -1,0 +1,34 @@
+// Fixture: every status-must-use violation from the bad twin, silenced
+// with a rationale. Must produce ZERO findings under the label
+// src/adaskip/engine/status_drop.cc.
+
+namespace adaskip {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status Flush();
+Status CloseOutput();
+
+void DropWithVoidCast() {
+  // Errors are sticky and surfaced by the next CloseOutput call.
+  // adaskip-analyze: allow(status-must-use)
+  (void)Flush();
+}
+
+void DropWithStaticCast() {
+  static_cast<void>(CloseOutput());  // adaskip-analyze: allow(status-must-use)
+}
+
+void DropWithComma() {
+  Flush(), CloseOutput();  // adaskip-analyze: allow(status-must-use)
+}
+
+void DropInCondition() {
+  if (Flush(), true) {  // adaskip-analyze: allow(status-must-use)
+  }
+}
+
+}  // namespace adaskip

@@ -1,0 +1,224 @@
+// Unit tests for the adaskip_analyze C++ tokenizer: the constructs a
+// stripped-lexical scanner historically got wrong — raw strings,
+// digraph-looking text inside strings, line continuations (including
+// mid-identifier and inside directives), and comment/string nesting.
+
+#include "cpp_tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace adaskip_analyze {
+namespace {
+
+std::vector<Token> Lex(std::string_view src) { return Tokenize(src); }
+
+std::vector<Token> LexKind(std::string_view src, TokKind kind) {
+  std::vector<Token> out;
+  for (const Token& t : Tokenize(src)) {
+    if (t.kind == kind) out.push_back(t);
+  }
+  return out;
+}
+
+TEST(TokenizerTest, BasicKindsAndPositions) {
+  const auto tokens = Lex("int x = 42;\nreturn x;");
+  ASSERT_EQ(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0].kind, TokKind::kIdent);
+  EXPECT_EQ(tokens[0].text, "int");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].col, 1);
+  EXPECT_EQ(tokens[2].kind, TokKind::kPunct);
+  EXPECT_EQ(tokens[2].text, "=");
+  EXPECT_EQ(tokens[3].kind, TokKind::kNumber);
+  EXPECT_EQ(tokens[3].text, "42");
+  EXPECT_EQ(tokens[5].text, "return");
+  EXPECT_EQ(tokens[5].line, 2);
+}
+
+TEST(TokenizerTest, MaximalMunchPunct) {
+  const auto tokens = Lex("std::thread a<<=b; c<=>d; e->f;");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].text, "::");
+  EXPECT_EQ(tokens[4].text, "<<=");
+  bool spaceship = false;
+  bool arrow = false;
+  for (const Token& t : tokens) {
+    if (t.text == "<=>") spaceship = true;
+    if (t.text == "->") arrow = true;
+  }
+  EXPECT_TRUE(spaceship);
+  EXPECT_TRUE(arrow);
+}
+
+TEST(TokenizerTest, RawStringsWithDelimiters) {
+  const auto strings =
+      LexKind("auto s = R\"(a \"quoted\" )b)\";", TokKind::kRawString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0].text, "R\"(a \"quoted\" )b)\"");
+
+  // A custom delimiter keeps an embedded `)"` from closing the literal.
+  const auto custom =
+      LexKind("auto s = R\"xy(inner )\" still inside)xy\";",
+              TokKind::kRawString);
+  ASSERT_EQ(custom.size(), 1u);
+  EXPECT_EQ(custom[0].text, "R\"xy(inner )\" still inside)xy\"");
+
+  // Encoding prefixes fuse into the literal.
+  const auto prefixed = LexKind("auto s = u8R\"(x)\";", TokKind::kRawString);
+  ASSERT_EQ(prefixed.size(), 1u);
+  EXPECT_EQ(prefixed[0].text, "u8R\"(x)\"");
+}
+
+TEST(TokenizerTest, MultiLineRawStringTracksEndLine) {
+  const auto tokens = Lex("auto s = R\"(line one\nline two)\";\nint x;");
+  const auto strings = LexKind("auto s = R\"(line one\nline two)\";\nint x;",
+                               TokKind::kRawString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0].line, 1);
+  EXPECT_EQ(strings[0].end_line, 2);
+  // The identifier after the literal lands on line 3.
+  EXPECT_EQ(tokens.back().text, ";");
+  bool found_x = false;
+  for (const Token& t : tokens) {
+    if (t.text == "x") {
+      EXPECT_EQ(t.line, 3);
+      found_x = true;
+    }
+  }
+  EXPECT_TRUE(found_x);
+}
+
+TEST(TokenizerTest, DigraphsInsideStringsStayStrings) {
+  const auto tokens = Lex("const char* s = \"<% %> <: :> %:\"; int x;");
+  const auto strings =
+      LexKind("const char* s = \"<% %> <: :> %:\"; int x;", TokKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0].text, "\"<% %> <: :> %:\"");
+  // Nothing inside the literal leaked out as punctuation.
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::kPunct) {
+      EXPECT_NE(t.text, "<%");
+      EXPECT_NE(t.text, "%");
+    }
+  }
+}
+
+TEST(TokenizerTest, LineContinuationInsideIdentifier) {
+  // Backslash-newline splices mid-identifier: one token, line 1.
+  const auto tokens = Lex("ab\\\ncd = 1;");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokKind::kIdent);
+  EXPECT_EQ(tokens[0].text, "abcd");
+  EXPECT_EQ(tokens[0].line, 1);
+}
+
+TEST(TokenizerTest, LineContinuationInsideLineComment) {
+  // A line comment ending in backslash swallows the next line too.
+  const auto tokens = Lex("// part one \\\npart two\nint x;");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokKind::kLineComment);
+  EXPECT_NE(tokens[0].text.find("part two"), std::string::npos);
+  EXPECT_EQ(tokens[1].text, "int");
+  EXPECT_EQ(tokens[1].line, 3);
+}
+
+TEST(TokenizerTest, PreprocessorDirectiveIsOneLogicalLine) {
+  const auto tokens = Lex("#define ADD(a, b) \\\n  ((a) + (b))\nint x;");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokKind::kPreproc);
+  // Continuation spliced: the macro body is part of the directive text.
+  EXPECT_NE(tokens[0].text.find("((a) + (b))"), std::string::npos);
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].end_line, 2);
+  EXPECT_EQ(tokens[1].text, "int");
+  EXPECT_EQ(tokens[1].line, 3);
+}
+
+TEST(TokenizerTest, PreprocessorKeepsTrailingCommentSeparate) {
+  const auto tokens = Lex("#include <map> // adaskip-analyze: allow(x)\n");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokKind::kPreproc);
+  EXPECT_EQ(tokens[0].text, "#include <map> ");
+  EXPECT_EQ(tokens[1].kind, TokKind::kLineComment);
+  EXPECT_NE(tokens[1].text.find("allow(x)"), std::string::npos);
+}
+
+TEST(TokenizerTest, HashMidLineIsNotADirective) {
+  const auto tokens = Lex("int a = x # y;\n#define REAL 1\n");
+  int preproc_count = 0;
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::kPreproc) {
+      ++preproc_count;
+      EXPECT_EQ(t.text, "#define REAL 1");
+    }
+  }
+  EXPECT_EQ(preproc_count, 1);
+}
+
+TEST(TokenizerTest, CommentLookalikesInsideStringsStayStrings) {
+  const auto strings =
+      LexKind("auto s = \"/* not a comment */ // nor this\";",
+              TokKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0].text, "\"/* not a comment */ // nor this\"");
+}
+
+TEST(TokenizerTest, StringLookalikesInsideCommentsStayComments) {
+  const auto tokens = Lex("/* \"quoted\" 'c' R\"(raw)\" */ int x;");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokKind::kBlockComment);
+  EXPECT_EQ(tokens[1].text, "int");
+  const auto strings =
+      LexKind("/* \"quoted\" 'c' R\"(raw)\" */ int x;", TokKind::kString);
+  EXPECT_TRUE(strings.empty());
+}
+
+TEST(TokenizerTest, DigitSeparatorsAndCharLiterals) {
+  const auto tokens = Lex("int64_t n = 1'000'000; char c = 'x';");
+  const auto numbers =
+      LexKind("int64_t n = 1'000'000; char c = 'x';", TokKind::kNumber);
+  ASSERT_EQ(numbers.size(), 1u);
+  EXPECT_EQ(numbers[0].text, "1'000'000");
+  const auto chars =
+      LexKind("int64_t n = 1'000'000; char c = 'x';", TokKind::kCharLit);
+  ASSERT_EQ(chars.size(), 1u);
+  EXPECT_EQ(chars[0].text, "'x'");
+  EXPECT_EQ(tokens.back().text, ";");
+}
+
+TEST(TokenizerTest, ExponentSignsStayInOneNumber) {
+  const auto numbers = LexKind("double d = 1.5e-3;", TokKind::kNumber);
+  ASSERT_EQ(numbers.size(), 1u);
+  EXPECT_EQ(numbers[0].text, "1.5e-3");
+}
+
+TEST(TokenizerTest, StringEncodingPrefixes) {
+  const auto strings = LexKind("auto a = L\"wide\"; auto b = u8\"utf\";",
+                               TokKind::kString);
+  ASSERT_EQ(strings.size(), 2u);
+  EXPECT_EQ(strings[0].text, "L\"wide\"");
+  EXPECT_EQ(strings[1].text, "u8\"utf\"");
+}
+
+TEST(TokenizerTest, UnterminatedConstructsDoNotCrash) {
+  EXPECT_FALSE(Lex("auto s = \"never closed").empty());
+  EXPECT_FALSE(Lex("/* never closed").empty());
+  EXPECT_FALSE(Lex("auto s = R\"(never closed").empty());
+  EXPECT_TRUE(Lex("").empty());
+  EXPECT_FALSE(Lex("#define TRAILING \\").empty());
+}
+
+TEST(TokenizerTest, BlockCommentSpanningLinesKeepsDirectiveDetection) {
+  // The hash after a multi-line block comment is still line-start.
+  const auto tokens = Lex("/* one\ntwo */ #include \"x.h\"\n");
+  bool preproc = false;
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::kPreproc) preproc = true;
+  }
+  EXPECT_TRUE(preproc);
+}
+
+}  // namespace
+}  // namespace adaskip_analyze
