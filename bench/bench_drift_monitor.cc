@@ -48,7 +48,7 @@ MonitorOutcome RunMonitoredArm(const std::vector<int64_t>& data,
   obs::HealthVerdict last = obs::HealthVerdict::kHealthy;
   std::printf("  %-10s verdict timeline:\n", label.c_str());
   for (size_t i = 0; i < queries.size(); ++i) {
-    Result<QueryResult> result = session->Execute("t", queries[i]);
+    Result<QueryResult> result = session->ExecuteSpec(QuerySpec::Simple("t", queries[i]));
     ADASKIP_CHECK_OK(result);
     outcome.checksum += static_cast<double>(result.value().count);
     const obs::IndexHealth health = session->health_monitor().Health("t.x");

@@ -1,0 +1,269 @@
+// bench_query_server: throughput and tail latency of the shared-scan
+// QueryServer versus naive one-query-at-a-time submission, at 1 / 16 /
+// 256 / 4096 closed-loop clients.
+//
+// Both arms drive the identical deterministic spec stream through the
+// concurrent driver; only the submission seam differs:
+//   naive  — one mutex around Session::ExecuteSpec (what the old
+//            blocking Execute API forced every multi-client caller into);
+//   shared — QueryServer::Execute, which groups same-table specs inside
+//            the batching window into ONE shared adaptive pass.
+// The hot-region (skewed) query pattern is the regime the server is
+// built for: concurrent queries overlap, so the union scan touches far
+// fewer rows than the sum of standalone scans while the replay keeps
+// index adaptation bit-identical to serial execution.
+//
+// CI bench-smoke runs this at tiny scale (ADASKIP_BENCH_ROWS /
+// ADASKIP_BENCH_QUERIES) and archives --json=bench_query_server.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adaskip/engine/query_server.h"
+#include "adaskip/engine/session.h"
+#include "adaskip/obs/json.h"
+#include "adaskip/util/logging.h"
+#include "adaskip/util/thread_annotations.h"
+#include "adaskip/workload/concurrent_driver.h"
+#include "bench/common/bench_util.h"
+
+namespace adaskip {
+namespace bench {
+namespace {
+
+constexpr int64_t kClientTiers[] = {1, 16, 256, 4096};
+
+/// One client tier, both arms, plus the shared arm's server accounting.
+struct TierOutcome {
+  int64_t clients = 0;
+  int64_t total_queries = 0;
+  ConcurrentRunResult naive;
+  ConcurrentRunResult shared;
+  ServerStats server;
+};
+
+/// Fresh engine state per arm so adaptation never leaks across arms.
+void SetUpSession(Session* session, const std::vector<int64_t>& data) {
+  ADASKIP_CHECK_OK(session->CreateTable("t"));
+  ADASKIP_CHECK_OK(session->AddColumn<int64_t>("t", "x", data));
+  IndexOptions index;
+  index.kind = IndexKind::kAdaptive;
+  ADASKIP_CHECK_OK(session->AttachIndex("t", "x", index));
+}
+
+/// Dashboard-shaped stream: every query instantiates one of a small set
+/// of fixed COUNT templates (hot-region skewed ranges), drawn per query
+/// by a deterministic LCG. Real monitoring fleets refresh the same
+/// handful of panels, so concurrent batches are full of repeated
+/// predicates — exactly the duplicate-predicate groups ExecuteShared
+/// answers with ONE scan each.
+constexpr int64_t kQueryTemplates = 8;
+
+std::vector<QuerySpec> MakeSpecStream(const BenchConfig& config,
+                                      const std::vector<int64_t>& data,
+                                      int64_t total_queries) {
+  QueryGenOptions qgen;
+  qgen.pattern = QueryPattern::kSkewed;
+  qgen.selectivity = config.selectivity;
+  qgen.seed = config.query_seed;
+  QueryGenerator<int64_t> generator("x", std::span<const int64_t>(data), qgen);
+  std::vector<Query> templates;
+  templates.reserve(kQueryTemplates);
+  for (int64_t i = 0; i < kQueryTemplates; ++i) {
+    templates.push_back(Query::Count(generator.Next()));
+  }
+  std::vector<QuerySpec> specs;
+  specs.reserve(static_cast<size_t>(total_queries));
+  uint64_t state = static_cast<uint64_t>(config.query_seed) * 2654435761u + 99;
+  for (int64_t i = 0; i < total_queries; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    specs.push_back(QuerySpec::Simple(
+        "t", templates[(state >> 33) % templates.size()]));
+  }
+  return specs;
+}
+
+TierOutcome RunTier(const BenchConfig& config,
+                    const std::vector<int64_t>& data, int64_t clients) {
+  // Queries scale with the tier so every client has work, and with
+  // ADASKIP_BENCH_QUERIES so CI smoke stays quick. Enough per client
+  // that the adaptive index reaches steady state inside the tier.
+  const int64_t per_client = std::max<int64_t>(1, config.num_queries / 8);
+  TierOutcome tier;
+  tier.clients = clients;
+  tier.total_queries = clients * per_client;
+
+  const std::vector<QuerySpec> specs =
+      MakeSpecStream(config, data, tier.total_queries);
+  const std::vector<std::vector<QuerySpec>> streams =
+      PartitionSpecs(specs, clients);
+
+  {
+    Session session;
+    SetUpSession(&session, data);
+    Mutex mu;
+    Result<ConcurrentRunResult> run = RunConcurrentClients(
+        streams,
+        [&session, &mu](QuerySpec spec) {
+          MutexLock lock(&mu);
+          return session.ExecuteSpec(spec);
+        },
+        "naive-serialized");
+    ADASKIP_CHECK_OK(run);
+    tier.naive = std::move(run).value();
+  }
+  {
+    Session session;
+    SetUpSession(&session, data);
+    QueryServerOptions options;
+    // Closed loop: offered concurrency == clients, so size admission so
+    // the bench measures batching, not shedding — and let one pass drain
+    // a whole tier's worth of waiters (dedup gains grow with width).
+    options.max_queue = std::max<int64_t>(options.max_queue, clients * 2);
+    options.max_batch_width = std::max<int64_t>(options.max_batch_width,
+                                                std::min<int64_t>(clients, 256));
+    QueryServer server(&session, options);
+    Result<ConcurrentRunResult> run = RunConcurrentClients(
+        streams,
+        [&server](QuerySpec spec) { return server.Execute(std::move(spec)); },
+        "shared-queryserver");
+    ADASKIP_CHECK_OK(run);
+    server.Shutdown();
+    tier.shared = std::move(run).value();
+    tier.server = server.stats();
+  }
+
+  // A bench must never report timings for wrong answers: every query
+  // completed in both arms, and the order-independent answer digests
+  // agree.
+  ADASKIP_CHECK(tier.naive.failures == 0 && tier.shared.failures == 0)
+      << "arm reported failures: naive " << tier.naive.failures
+      << ", shared " << tier.shared.failures;
+  ADASKIP_CHECK(tier.naive.result_checksum == tier.shared.result_checksum)
+      << "arms disagree: " << tier.naive.result_checksum << " vs "
+      << tier.shared.result_checksum;
+  return tier;
+}
+
+void PrintRunRow(const ConcurrentRunResult& run,
+                 const ConcurrentRunResult* baseline) {
+  std::printf("    %-20s qps %10.0f  mean %9.1f us  p99 %9.1f us",
+              run.label.c_str(), run.qps(), run.latency_micros.Mean(),
+              run.p99_micros());
+  if (baseline != nullptr && baseline->qps() > 0) {
+    std::printf("  speedup %5.2fx", run.qps() / baseline->qps());
+  }
+  std::printf("\n");
+}
+
+void PrintTier(const TierOutcome& tier) {
+  std::printf("  clients %4lld  (%lld queries)\n",
+              static_cast<long long>(tier.clients),
+              static_cast<long long>(tier.total_queries));
+  PrintRunRow(tier.naive, nullptr);
+  PrintRunRow(tier.shared, &tier.naive);
+  std::printf("    %-20s batches %6lld  mean width %5.1f  saved rows %lld"
+              " (%.1f%% of serial)\n",
+              "server", static_cast<long long>(tier.server.batches()),
+              tier.server.batch_width_histogram().Mean(),
+              static_cast<long long>(tier.server.saved_rows()),
+              tier.server.serial_equivalent_rows() > 0
+                  ? 100.0 * static_cast<double>(tier.server.saved_rows()) /
+                        static_cast<double>(
+                            tier.server.serial_equivalent_rows())
+                  : 0.0);
+}
+
+void AppendRunJson(std::string* doc, const ConcurrentRunResult& run) {
+  *doc += "{\"label\":";
+  obs::AppendJsonString(doc, run.label);
+  *doc += ",\"clients\":" + std::to_string(run.clients);
+  *doc += ",\"queries\":" + std::to_string(run.queries);
+  *doc += ",\"failures\":" + std::to_string(run.failures);
+  *doc += ",\"wall_seconds\":";
+  obs::AppendJsonDouble(doc, run.wall_seconds);
+  *doc += ",\"qps\":";
+  obs::AppendJsonDouble(doc, run.qps());
+  *doc += ",\"mean_us\":";
+  obs::AppendJsonDouble(doc, run.latency_micros.Mean());
+  *doc += ",\"p99_us\":";
+  obs::AppendJsonDouble(doc, run.p99_micros());
+  *doc += ",\"checksum\":";
+  obs::AppendJsonDouble(doc, run.result_checksum);
+  *doc += '}';
+}
+
+void WriteReport(const std::string& path, const BenchConfig& config,
+                 const std::vector<TierOutcome>& tiers) {
+  if (path.empty()) return;
+  std::string doc = "{\"experiment\":\"bench_query_server\",\"config\":{";
+  doc += "\"rows\":" + std::to_string(config.num_rows);
+  doc += ",\"queries_knob\":" + std::to_string(config.num_queries);
+  doc += ",\"selectivity_pct\":";
+  obs::AppendJsonDouble(&doc, config.selectivity * 100.0);
+  doc += "},\"tiers\":[";
+  for (size_t i = 0; i < tiers.size(); ++i) {
+    const TierOutcome& tier = tiers[i];
+    if (i > 0) doc += ',';
+    doc += "{\"clients\":" + std::to_string(tier.clients);
+    doc += ",\"total_queries\":" + std::to_string(tier.total_queries);
+    doc += ",\"naive\":";
+    AppendRunJson(&doc, tier.naive);
+    doc += ",\"shared\":";
+    AppendRunJson(&doc, tier.shared);
+    doc += ",\"speedup\":";
+    obs::AppendJsonDouble(
+        &doc, tier.naive.qps() > 0 ? tier.shared.qps() / tier.naive.qps()
+                                   : 0.0);
+    doc += ",\"server\":{\"batches\":" +
+           std::to_string(tier.server.batches());
+    doc += ",\"shared_queries\":" +
+           std::to_string(tier.server.shared_queries());
+    doc += ",\"solo_queries\":" + std::to_string(tier.server.solo_queries());
+    doc += ",\"shed\":" + std::to_string(tier.server.shed());
+    doc += ",\"expired\":" + std::to_string(tier.server.expired());
+    doc += ",\"mean_batch_width\":";
+    obs::AppendJsonDouble(&doc, tier.server.batch_width_histogram().Mean());
+    doc += ",\"kernel_rows\":" + std::to_string(tier.server.kernel_rows());
+    doc += ",\"serial_equivalent_rows\":" +
+           std::to_string(tier.server.serial_equivalent_rows());
+    doc += ",\"saved_rows\":" + std::to_string(tier.server.saved_rows());
+    doc += "}}";
+  }
+  doc += "]}\n";
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  ADASKIP_CHECK(file.good()) << "cannot open --json path '" << path << "'";
+  file << doc;
+  file.flush();
+  ADASKIP_CHECK(file.good()) << "failed writing --json path '" << path << "'";
+}
+
+int Main(int argc, char** argv) {
+  const BenchConfig config = BenchConfig::FromEnv();
+  const std::string json_path = JsonPathFromArgs(argc, argv);
+
+  PrintHeader("bench_query_server  (shared-scan server vs naive submission)",
+              "batching concurrent queries into one adaptive pass multiplies "
+              "throughput without hurting tail latency",
+              config);
+
+  const std::vector<int64_t> data = MakeData(config, DataOrder::kClustered);
+  std::vector<TierOutcome> tiers;
+  for (int64_t clients : kClientTiers) {
+    tiers.push_back(RunTier(config, data, clients));
+    PrintTier(tiers.back());
+  }
+
+  WriteReport(json_path, config, tiers);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace adaskip
+
+int main(int argc, char** argv) { return adaskip::bench::Main(argc, argv); }

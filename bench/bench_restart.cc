@@ -69,7 +69,7 @@ std::vector<int64_t> LoadSourceFile(const std::string& path,
 }
 
 int64_t FirstQuery(Session& session, const Query& query) {
-  Result<QueryResult> result = session.Execute("t", query);
+  Result<QueryResult> result = session.ExecuteSpec(QuerySpec::Simple("t", query));
   ADASKIP_CHECK_OK(result);
   return result->count;
 }
@@ -103,7 +103,7 @@ void Run(const std::string& json_path) {
     ADASKIP_CHECK_OK(live.AddColumn<int64_t>("t", "x", data));
     ADASKIP_CHECK_OK(live.AttachIndex("t", "x", index));
     for (const Query& query : queries) {
-      ADASKIP_CHECK_OK(live.Execute("t", query));
+      ADASKIP_CHECK_OK(live.ExecuteSpec(QuerySpec::Simple("t", query)));
     }
     ADASKIP_CHECK_OK(live.Checkpoint(dir));
   }
@@ -147,7 +147,7 @@ void Run(const std::string& json_path) {
         "t", "x", LoadSourceFile(source_path, config.num_rows)));
     ADASKIP_CHECK_OK(session.AttachIndex("t", "x", index));
     for (const Query& query : queries) {
-      ADASKIP_CHECK_OK(session.Execute("t", query));
+      ADASKIP_CHECK_OK(session.ExecuteSpec(QuerySpec::Simple("t", query)));
     }
     arm.first_query_count = FirstQuery(session, first_query);
     arm.cold_start_seconds = SecondsSince(start);

@@ -54,7 +54,7 @@ int main() {
   // Query 1: ticks in the opening hour.
   Query opening = Query::Count(
       Predicate::Between<int64_t>("ts", 0, 3'600'000));
-  Result<QueryResult> q1 = session.Execute("ticks", opening);
+  Result<QueryResult> q1 = session.ExecuteSpec(QuerySpec::Simple("ticks", opening));
   ADASKIP_CHECK_OK(q1);
   std::printf("[1] %s\n    -> %lld ticks | %s\n\n", opening.ToString().c_str(),
               static_cast<long long>(q1->count), q1->stats.ToString().c_str());
@@ -62,7 +62,7 @@ int main() {
   // Query 2: all ticks of one symbol (point predicate; Bloom zones prune
   // zones whose min/max straddles the id but which never saw it).
   Query symbol = Query::Count(Predicate::Equal<int64_t>("symbol_id", 1024));
-  Result<QueryResult> q2 = session.Execute("ticks", symbol);
+  Result<QueryResult> q2 = session.ExecuteSpec(QuerySpec::Simple("ticks", symbol));
   ADASKIP_CHECK_OK(q2);
   std::printf("[2] %s\n    -> %lld ticks | %s\n\n", symbol.ToString().c_str(),
               static_cast<long long>(q2->count), q2->stats.ToString().c_str());
@@ -72,7 +72,7 @@ int main() {
   Query band = Query::Max(
       Predicate::Between<int64_t>("price_milli", 240'000, 260'000));
   for (int i = 0; i < 5; ++i) {
-    Result<QueryResult> q3 = session.Execute("ticks", band);
+    Result<QueryResult> q3 = session.ExecuteSpec(QuerySpec::Simple("ticks", band));
     ADASKIP_CHECK_OK(q3);
     if (i == 0 || i == 4) {
       std::printf("[3.%d] %s\n    -> max %.0f over %lld ticks | %s\n", i,
@@ -94,7 +94,7 @@ int main() {
   };
   combo.aggregate = AggregateKind::kSum;
   combo.aggregate_column = "price_milli";
-  Result<QueryResult> q4 = session.Execute("ticks", combo);
+  Result<QueryResult> q4 = session.ExecuteSpec(QuerySpec::Simple("ticks", combo));
   ADASKIP_CHECK_OK(q4);
   std::printf("[4] %s\n    -> notional sum %.0f over %lld ticks | %s\n\n",
               combo.ToString().c_str(), q4->sum,

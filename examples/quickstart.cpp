@@ -3,9 +3,9 @@
 //
 //   $ ./examples/quickstart
 //
-// Walks the core public API: Session, DataGenerator, Predicate, Query,
-// QueryResult/QueryStats, EXPLAIN, and adaptive-index introspection via
-// IndexSnapshot.
+// Walks the core public API: Session, DataGenerator, Predicate,
+// QueryBuilder/QuerySpec, QueryResult/QueryStats, EXPLAIN, and
+// adaptive-index introspection via IndexSnapshot.
 
 #include <cstdio>
 
@@ -32,14 +32,19 @@ int main() {
   ADASKIP_CHECK_OK(session.AttachIndex("events", "ts",
                                        IndexOptions::Adaptive()));
 
-  // 3. Run the same time-range query repeatedly and watch the scan
-  //    footprint shrink as the index cracks zones around the range and
-  //    isolates the late-arrival outliers that poison zone bounds.
-  Query query = Query::Count(
-      Predicate::Between<int64_t>("ts", 5'000'000, 5'100'000));
-  std::printf("query: %s\n\n", query.ToString().c_str());
+  // 3. Build the query as a QuerySpec — the submission unit of the query
+  //    API — then run it repeatedly and watch the scan footprint shrink
+  //    as the index cracks zones around the range and isolates the
+  //    late-arrival outliers that poison zone bounds.
+  Result<QuerySpec> spec =
+      QueryBuilder("events")
+          .Where(Predicate::Between<int64_t>("ts", 5'000'000, 5'100'000))
+          .Count()
+          .Build();
+  ADASKIP_CHECK_OK(spec);
+  std::printf("query: %s\n\n", spec->ToString().c_str());
   for (int i = 0; i < 32; ++i) {
-    Result<QueryResult> result = session.Execute("events", query);
+    Result<QueryResult> result = session.ExecuteSpec(*spec);
     ADASKIP_CHECK_OK(result);
     if (i < 4 || (i + 1) % 8 == 0) {
       std::printf("run %2d: count=%lld  %s\n", i,
@@ -62,14 +67,18 @@ int main() {
 
   // 4b. EXPLAIN one query: the per-query trace shows candidate vs skipped
   //     zones and the adaptation actions the query itself triggered.
-  Result<Explanation> explained = session.Explain("events", query);
+  Result<Explanation> explained = session.Explain("events", spec->query);
   ADASKIP_CHECK_OK(explained);
   std::printf("\n%s\n", explained->text.c_str());
 
-  // 5. Other aggregates work the same way.
-  Result<QueryResult> sum = session.Execute(
-      "events",
-      Query::Sum(Predicate::Between<int64_t>("ts", 5'000'000, 5'100'000)));
+  // 5. Other aggregates work the same way through the builder.
+  Result<QuerySpec> sum_spec =
+      QueryBuilder("events")
+          .Where(Predicate::Between<int64_t>("ts", 5'000'000, 5'100'000))
+          .Sum()
+          .Build();
+  ADASKIP_CHECK_OK(sum_spec);
+  Result<QueryResult> sum = session.ExecuteSpec(*sum_spec);
   ADASKIP_CHECK_OK(sum);
   std::printf("SUM over the range: %.0f (from %lld rows)\n", sum->sum,
               static_cast<long long>(sum->count));

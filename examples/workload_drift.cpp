@@ -71,7 +71,7 @@ int main() {
     report.name = name;
     for (int i = 0; i < queries; ++i) {
       Result<QueryResult> result =
-          session.Execute("orders", Query::Count(generator.Next()));
+          session.ExecuteSpec(QuerySpec::Simple("orders", Query::Count(generator.Next())));
       ADASKIP_CHECK_OK(result);
       report.mean_skip += result->stats.SkippedFraction();
       report.mean_micros +=
@@ -99,9 +99,9 @@ int main() {
   // the kill switch must keep them near raw-scan cost.
   std::printf("\n  full-range reporting queries (nothing to skip):\n");
   for (int i = 0; i < 40; ++i) {
-    Result<QueryResult> result = session.Execute(
+    Result<QueryResult> result = session.ExecuteSpec(QuerySpec::Simple(
         "orders",
-        Query::Count(Predicate::Between<int64_t>("id", 0, 50'000'000)));
+        Query::Count(Predicate::Between<int64_t>("id", 0, 50'000'000))));
     ADASKIP_CHECK_OK(result);
     if (i == 39) {
       std::printf("  last reporting query: %s\n",

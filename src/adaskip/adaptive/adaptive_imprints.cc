@@ -268,6 +268,40 @@ void AdaptiveImprintsT<T>::Probe(const Predicate& pred,
 }
 
 template <typename T>
+void AdaptiveImprintsT<T>::PeekCandidates(const Predicate& pred,
+                                          std::vector<RowRange>* candidates)
+    const {
+  // Side-effect-free: no query_seq_, no endpoint reservoir sample, no
+  // bypass accounting. Imprint bits are a union over the block's values
+  // under fixed split points, so the mask overlap (plus the un-imprinted
+  // tail) is a superset of the matching rows regardless of mode.
+  if (num_rows_ == 0) return;
+  const ValueInterval<T> interval = pred.ToInterval<T>();
+  int64_t bin_lo = BinOf(interval.lo);
+  int64_t bin_hi = BinOf(interval.hi);
+  uint64_t query_mask = 0;
+  for (int64_t b = bin_lo; b <= bin_hi; ++b) query_mask |= uint64_t{1} << b;
+  for (size_t block = 0; block < imprints_.size(); ++block) {
+    if ((imprints_[block] & query_mask) != 0) {
+      int64_t begin = static_cast<int64_t>(block) * options_.block_size;
+      int64_t end = std::min(begin + options_.block_size, imprinted_rows_);
+      if (!candidates->empty() && candidates->back().end == begin) {
+        candidates->back().end = end;
+      } else {
+        candidates->push_back({begin, end});
+      }
+    }
+  }
+  if (imprinted_rows_ < num_rows_) {
+    if (!candidates->empty() && candidates->back().end == imprinted_rows_) {
+      candidates->back().end = num_rows_;
+    } else {
+      candidates->push_back({imprinted_rows_, num_rows_});
+    }
+  }
+}
+
+template <typename T>
 void AdaptiveImprintsT<T>::OnQueryComplete(const Predicate& pred,
                                            const QueryFeedback& feedback) {
   ADASKIP_DCHECK_SERIAL(mutation_serial_);

@@ -87,6 +87,8 @@ class AdaptiveImprintsT final : public SkipIndex {
 
   void Probe(const Predicate& pred, std::vector<RowRange>* candidates,
              ProbeStats* stats) override;
+  void PeekCandidates(const Predicate& pred,
+                      std::vector<RowRange>* candidates) const override;
   void OnRangeScanned(const Predicate& pred,
                       const RangeFeedback& feedback) override;
   void OnQueryComplete(const Predicate& pred,

@@ -152,6 +152,31 @@ void AdaptiveZoneMapT<T>::Probe(const Predicate& pred,
 }
 
 template <typename T>
+void AdaptiveZoneMapT<T>::PeekCandidates(const Predicate& pred,
+                                         std::vector<RowRange>* candidates)
+    const {
+  // Unlike Probe, this advances nothing: no query_seq_, no bypass
+  // accounting, no candidacy stamps. Zone bounds are always correct
+  // (conservative tail zones span the type's full range), so the
+  // overlap set is a superset of the matching rows in every mode —
+  // including kBypass, where the real Probe answers the full range.
+  // Adjacent candidates are coalesced here; the shared pass normalizes
+  // its planning union anyway, and per-zone exactness only matters for
+  // the replayed feedback, which uses the real Probe's ranges.
+  if (num_rows_ == 0) return;
+  const ValueInterval<T> interval = pred.ToInterval<T>();
+  for (const AdaptiveZone& zone : zones_) {
+    if (zone.max >= interval.lo && zone.min <= interval.hi) {
+      if (!candidates->empty() && candidates->back().end == zone.begin) {
+        candidates->back().end = zone.end;
+      } else {
+        candidates->push_back({zone.begin, zone.end});
+      }
+    }
+  }
+}
+
+template <typename T>
 int64_t AdaptiveZoneMapT<T>::FindZoneIndex(int64_t begin) const {
   auto it = std::lower_bound(
       zones_.begin(), zones_.end(), begin,

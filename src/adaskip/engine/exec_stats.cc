@@ -31,11 +31,17 @@ std::string QueryStats::ToString() const {
                   static_cast<double>(merge_nanos) / 1e3);
     out += buf;
   }
+  if (shared_batch_width > 0) {
+    std::snprintf(buf, sizeof(buf), " [shared, width %lld]",
+                  static_cast<long long>(shared_batch_width));
+    out += buf;
+  }
   return out;
 }
 
 void WorkloadStats::Record(const QueryStats& stats) {
   ++num_queries_;
+  if (stats.shared_batch_width > 0) ++queries_shared_;
   rows_scanned_ += stats.rows_scanned;
   rows_scanned_packed_ += stats.rows_scanned_packed;
   rows_total_ += stats.rows_total;

@@ -42,6 +42,14 @@ struct QueryStats {
   int64_t merge_nanos = 0;   // Coordinator time merging per-morsel partials
                              // and replaying buffered index feedback.
 
+  // Number of queries that shared the scan pass this query was answered
+  // from (ScanExecutor::ExecuteShared); 0 when the query ran standalone.
+  // For shared queries, rows_scanned stays serial-equivalent (the rows a
+  // standalone execution would have touched — the currency of adaptation
+  // feedback and skip metrics), while scan_nanos/rows_scanned_packed
+  // report this query's share of the physical shared kernels.
+  int64_t shared_batch_width = 0;
+
   /// Fraction of the column the skip structure avoided scanning.
   double SkippedFraction() const {
     if (rows_total == 0) return 0.0;
@@ -61,6 +69,7 @@ class WorkloadStats {
   void Clear();
 
   int64_t num_queries() const { return num_queries_; }
+  int64_t queries_shared() const { return queries_shared_; }
   int64_t rows_scanned() const { return rows_scanned_; }
   int64_t rows_scanned_packed() const { return rows_scanned_packed_; }
   int64_t rows_total() const { return rows_total_; }
@@ -93,6 +102,7 @@ class WorkloadStats {
 
  private:
   int64_t num_queries_ = 0;
+  int64_t queries_shared_ = 0;  // Of num_queries_, answered from a shared pass.
   int64_t rows_scanned_ = 0;
   int64_t rows_scanned_packed_ = 0;
   int64_t rows_total_ = 0;

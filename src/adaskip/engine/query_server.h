@@ -1,0 +1,222 @@
+#ifndef ADASKIP_ENGINE_QUERY_SERVER_H_
+#define ADASKIP_ENGINE_QUERY_SERVER_H_
+
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaskip/engine/query_spec.h"
+#include "adaskip/engine/session.h"
+#include "adaskip/util/background_thread.h"
+#include "adaskip/util/histogram.h"
+#include "adaskip/util/status.h"
+#include "adaskip/util/thread_annotations.h"
+
+namespace adaskip {
+
+/// Batching and admission knobs of a QueryServer.
+struct QueryServerOptions {
+  /// How long a batch accumulates behind its first pending query before
+  /// the dispatcher forms it, in nanoseconds. Larger windows trade
+  /// first-query latency for wider (more shared) batches; 0 dispatches
+  /// as soon as the dispatcher wakes.
+  int64_t batching_window_nanos = 200'000;  // 200us.
+
+  /// Widest shared batch. Bounds both fairness (one pass cannot
+  /// monopolize a table indefinitely) and per-pass memory (each shared
+  /// query materializes its match positions).
+  int64_t max_batch_width = 64;
+
+  /// Admission bound: Submit sheds with kResourceExhausted once this
+  /// many queries are queued and not yet dispatched.
+  int64_t max_queue = 4096;
+
+  /// Run the background dispatcher thread. Tests turn this off and pump
+  /// DispatchNow() deterministically.
+  bool auto_dispatch = true;
+};
+
+/// Validates server knobs: a non-negative window, max_batch_width >= 1,
+/// max_queue >= 1. Returns InvalidArgument naming the offending knob.
+Status ValidateQueryServerOptions(const QueryServerOptions& options);
+
+/// Cumulative server-side accounting, merged one dispatch/admission
+/// event at a time. Mirrors the WorkloadStats shape on purpose: the
+/// adaskip_analyze exec-stats-sync rule harvests this class too, so a
+/// field added here without Record()/Clear() coverage fails CI.
+class ServerStats {
+ public:
+  /// One admission or dispatch event's deltas.
+  struct Sample {
+    int64_t submitted = 0;       // Queries accepted into the queue.
+    int64_t shed = 0;            // Rejected at admission (queue full).
+    int64_t expired = 0;         // Deadline passed while queued; not run.
+    int64_t batches = 0;         // Shared passes dispatched.
+    int64_t batch_width = 0;     // Queries answered by this pass's scan.
+    int64_t solo_queries = 0;    // Batch members executed standalone.
+    int64_t failed_queries = 0;  // Batch members that failed alone.
+    int64_t kernel_rows = 0;     // Physical rows the shared pass touched.
+    int64_t serial_equivalent_rows = 0;  // What standalone runs would touch.
+    int64_t queue_depth = 0;     // Depth observed at this event.
+  };
+
+  ServerStats() = default;
+
+  void Record(const Sample& sample);
+  void Clear();
+
+  int64_t submitted() const { return submitted_; }
+  int64_t shed() const { return shed_; }
+  int64_t expired() const { return expired_; }
+  int64_t batches() const { return batches_; }
+  int64_t shared_queries() const { return shared_queries_; }
+  int64_t solo_queries() const { return solo_queries_; }
+  int64_t failed_queries() const { return failed_queries_; }
+  int64_t kernel_rows() const { return kernel_rows_; }
+  int64_t serial_equivalent_rows() const { return serial_equivalent_rows_; }
+  int64_t max_queue_depth() const { return max_queue_depth_; }
+
+  /// Row touches the shared passes avoided versus standalone execution.
+  int64_t saved_rows() const { return serial_equivalent_rows_ - kernel_rows_; }
+
+  /// Distribution of shared-batch widths.
+  const Histogram& batch_width_histogram() const { return batch_width_; }
+
+  std::string Summary() const;
+
+ private:
+  int64_t submitted_ = 0;
+  int64_t shed_ = 0;
+  int64_t expired_ = 0;
+  int64_t batches_ = 0;
+  int64_t shared_queries_ = 0;
+  int64_t solo_queries_ = 0;
+  int64_t failed_queries_ = 0;
+  int64_t kernel_rows_ = 0;
+  int64_t serial_equivalent_rows_ = 0;
+  int64_t max_queue_depth_ = 0;
+  Histogram batch_width_;
+};
+
+/// Bounded per-batch trace record (QueryServer::RecentBatches): what the
+/// dispatcher decided and what the shared pass delivered, for
+/// observability without attaching a QueryTrace to every query.
+struct BatchTraceEntry {
+  int64_t batch_seq = 0;
+  std::string table;
+  int64_t width = 0;          // Shared queries in the pass.
+  int64_t solo = 0;
+  int64_t failed = 0;
+  int64_t expired = 0;        // Resolved kDeadlineExceeded this dispatch.
+  int64_t kernel_rows = 0;
+  int64_t saved_rows = 0;
+  int64_t scan_nanos = 0;
+  int64_t queue_depth_after = 0;
+};
+
+/// The concurrent submission front-end of the engine: accepts QuerySpecs
+/// from many client threads, groups same-table, same-priority specs that
+/// arrive within a batching window, and executes each group as ONE
+/// shared adaptive pass (Session::ExecuteShared) — probing skip indexes
+/// once per query per batch, scanning the union of candidate ranges
+/// once, and replaying adaptation feedback in submission order, so the
+/// index state after any batch is bit-identical to serial execution in
+/// submission order.
+///
+/// Scheduling: interactive-class specs always dispatch before
+/// batch-class specs; classes never mix within one shared pass. Within a
+/// class, dispatch is FIFO by submission sequence, and a batch takes at
+/// most max_batch_width members. A spec still queued when its deadline
+/// passes is resolved with kDeadlineExceeded without executing (no
+/// probe, no adaptation feedback). When the queue holds max_queue
+/// entries, Submit sheds immediately with kResourceExhausted.
+///
+/// Threading: Submit/stats/queue_depth/RecentBatches are safe from any
+/// thread. The server serializes dispatches internally and must be the
+/// only query driver of the tables it serves while running (the
+/// session's per-table single-coordinator contract; appends and DDL
+/// still require external quiescence, as everywhere).
+class QueryServer {
+ public:
+  /// `session` must outlive the server. Options must validate
+  /// (ValidateQueryServerOptions) — a nonsensical configuration is a
+  /// programming error and CHECK-fails.
+  explicit QueryServer(Session* session, const QueryServerOptions& options = {});
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Shutdown(), then joins the dispatcher.
+  ~QueryServer();
+
+  /// Queues `spec` and returns the future of its result. The future is
+  /// resolved by a later dispatch — with the query's answer, its own
+  /// failure (bad spec, unknown column, stale index: one query's failure
+  /// never poisons its batch), kDeadlineExceeded if the deadline passed
+  /// while queued, or kResourceExhausted if the queue was full at
+  /// submission (the shed path; nothing was enqueued). After Shutdown,
+  /// submissions fail with kFailedPrecondition.
+  std::future<Result<QueryResult>> Submit(QuerySpec spec);
+
+  /// Synchronous convenience: Submit + wait on the future.
+  Result<QueryResult> Execute(QuerySpec spec) {
+    return Submit(std::move(spec)).get();
+  }
+
+  /// Forms and executes at most one batch right now, on the calling
+  /// thread (the manual pump for auto_dispatch=false tests; safe to call
+  /// concurrently with the dispatcher). Returns the number of queries
+  /// resolved — batch members plus deadline-expired entries — or 0 when
+  /// the queue was empty.
+  int64_t DispatchNow();
+
+  /// Stops admissions, drains every queued query (dispatching remaining
+  /// batches), and joins the dispatcher. Idempotent; called by the
+  /// destructor.
+  void Shutdown();
+
+  QueryServerOptions options() const { return options_; }
+
+  /// Snapshot copies (a reference would escape the lock).
+  ServerStats stats() const ADASKIP_EXCLUDES(mu_);
+  int64_t queue_depth() const ADASKIP_EXCLUDES(mu_);
+  std::vector<BatchTraceEntry> RecentBatches() const ADASKIP_EXCLUDES(mu_);
+
+ private:
+  struct Pending {
+    QuerySpec spec;
+    std::promise<Result<QueryResult>> promise;
+    int64_t seq = 0;
+    int64_t deadline_at = 0;  // MonotonicNanos() expiry; 0 = no deadline.
+  };
+
+  void DispatcherLoop();
+
+  /// Retained batch-trace entries.
+  static constexpr size_t kBatchTraceCapacity = 64;
+
+  Session* const session_;
+  const QueryServerOptions options_;
+
+  mutable Mutex mu_;
+  CondVar work_cv_;  // Signaled on submit and on shutdown.
+  std::deque<Pending> queue_ ADASKIP_GUARDED_BY(mu_);
+  bool shutting_down_ ADASKIP_GUARDED_BY(mu_) = false;
+  int64_t next_seq_ ADASKIP_GUARDED_BY(mu_) = 0;
+  int64_t next_batch_seq_ ADASKIP_GUARDED_BY(mu_) = 0;
+  ServerStats stats_ ADASKIP_GUARDED_BY(mu_);
+  std::deque<BatchTraceEntry> batch_trace_ ADASKIP_GUARDED_BY(mu_);
+
+  /// Held across batch formation + execution: dispatches are serialized
+  /// (the executor is single-coordinator), while mu_ stays free for
+  /// Submit during the scan itself.
+  Mutex dispatch_mu_ ADASKIP_ACQUIRED_BEFORE(mu_);
+
+  std::unique_ptr<BackgroundThread> dispatcher_;
+};
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_ENGINE_QUERY_SERVER_H_

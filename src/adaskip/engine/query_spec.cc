@@ -1,0 +1,71 @@
+#include "adaskip/engine/query_spec.h"
+
+namespace adaskip {
+
+std::string_view QueryPriorityToString(QueryPriority priority) {
+  switch (priority) {
+    case QueryPriority::kBatch:
+      return "batch";
+    case QueryPriority::kInteractive:
+      return "interactive";
+  }
+  return "?";
+}
+
+std::string QuerySpec::ToString() const {
+  std::string out = "table='" + table + "' " + query.ToString() +
+                    " [prio=" + std::string(QueryPriorityToString(priority));
+  if (deadline_nanos > 0) {
+    out += " deadline=" + std::to_string(deadline_nanos) + "ns";
+  }
+  if (trace_level.has_value()) {
+    out += " trace=" + std::to_string(static_cast<int>(*trace_level));
+  }
+  out += "]";
+  return out;
+}
+
+Status ValidateQuerySpec(const QuerySpec& spec) {
+  if (spec.table.empty()) {
+    return Status::InvalidArgument("query spec needs a table name");
+  }
+  if (spec.query.predicates.empty()) {
+    return Status::InvalidArgument("query spec needs at least one predicate");
+  }
+  switch (spec.query.aggregate) {
+    case AggregateKind::kCount:
+    case AggregateKind::kSum:
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+    case AggregateKind::kMaterialize:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "query spec carries an undefined aggregate kind: " +
+          std::to_string(static_cast<int>(spec.query.aggregate)));
+  }
+  if (spec.deadline_nanos < 0) {
+    return Status::InvalidArgument(
+        "deadline_nanos must be >= 0 (0 = no deadline); got " +
+        std::to_string(spec.deadline_nanos));
+  }
+  if (!QueryPriorityIsValid(spec.priority)) {
+    return Status::InvalidArgument(
+        "priority is not a valid QueryPriority; got " +
+        std::to_string(static_cast<int>(spec.priority)));
+  }
+  if (spec.trace_level.has_value() &&
+      !obs::TraceLevelIsValid(*spec.trace_level)) {
+    return Status::InvalidArgument(
+        "trace_level override is not a valid TraceLevel; got " +
+        std::to_string(static_cast<int>(*spec.trace_level)));
+  }
+  return Status::OK();
+}
+
+Result<QuerySpec> QueryBuilder::Build() const {
+  ADASKIP_RETURN_IF_ERROR(ValidateQuerySpec(spec_));
+  return spec_;
+}
+
+}  // namespace adaskip

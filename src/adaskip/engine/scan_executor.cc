@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
+#include <string>
 #include <type_traits>
 #include <utility>
 
@@ -235,6 +237,43 @@ int64_t ScanPiece(const TypedColumn<T>& column, RowRange piece,
   return 0;
 }
 
+/// Per-query fleet metrics, emitted once per completed query by both the
+/// standalone path (Execute) and the shared pass (ExecuteShared) — a
+/// query batched into a shared pass counts exactly like a standalone
+/// one, with its serial-equivalent rows_scanned, so skip-rate dashboards
+/// stay comparable across submission modes.
+void RecordQueryMetrics(const QueryStats& stats) {
+  ADASKIP_METRIC_COUNTER(queries, "adaskip.exec.queries",
+                         "Queries executed to completion");
+  ADASKIP_METRIC_COUNTER(scanned, "adaskip.exec.rows_scanned",
+                         "Rows touched by scan kernels");
+  ADASKIP_METRIC_COUNTER(skipped, "adaskip.exec.rows_skipped",
+                         "Rows pruned by skip indexes before scanning");
+  ADASKIP_METRIC_HISTOGRAM(latency, "adaskip.exec.query_nanos",
+                           "End-to-end query latency in nanoseconds");
+  queries.Increment();
+  scanned.Add(stats.rows_scanned);
+  skipped.Add(std::max<int64_t>(stats.rows_total - stats.rows_scanned, 0));
+  latency.Observe(stats.total_nanos);
+}
+
+/// Calls `fn(piece)` for every maximal sub-range of `window` covered by
+/// the canonical interval set `ranges` — the per-morsel intersection
+/// step of the shared pass. Binary-searches to the first overlapping
+/// range, so cost is O(log |ranges| + overlaps).
+template <typename Fn>
+void ForEachOverlap(const std::vector<RowRange>& ranges, RowRange window,
+                    Fn&& fn) {
+  auto it = std::lower_bound(
+      ranges.begin(), ranges.end(), window.begin,
+      [](const RowRange& r, int64_t begin) { return r.end <= begin; });
+  for (; it != ranges.end() && it->begin < window.end; ++it) {
+    const RowRange piece{std::max(it->begin, window.begin),
+                         std::min(it->end, window.end)};
+    if (!piece.empty()) fn(piece);
+  }
+}
+
 }  // namespace
 
 Status ValidateExecOptions(const ExecOptions& options) {
@@ -306,22 +345,389 @@ Result<QueryResult> ScanExecutor::Execute(const Query& query) {
   ADASKIP_RETURN_IF_ERROR(ValidateQuery(query));
 
   Result<QueryResult> result = ExecuteValidated(query);
-  if (result.ok()) {
-    ADASKIP_METRIC_COUNTER(queries, "adaskip.exec.queries",
-                           "Queries executed to completion");
-    ADASKIP_METRIC_COUNTER(scanned, "adaskip.exec.rows_scanned",
-                           "Rows touched by scan kernels");
-    ADASKIP_METRIC_COUNTER(skipped, "adaskip.exec.rows_skipped",
-                           "Rows pruned by skip indexes before scanning");
-    ADASKIP_METRIC_HISTOGRAM(latency, "adaskip.exec.query_nanos",
-                             "End-to-end query latency in nanoseconds");
-    const QueryStats& stats = result.value().stats;
-    queries.Increment();
-    scanned.Add(stats.rows_scanned);
-    skipped.Add(std::max<int64_t>(stats.rows_total - stats.rows_scanned, 0));
-    latency.Observe(stats.total_nanos);
-  }
+  if (result.ok()) RecordQueryMetrics(result.value().stats);
   return result;
+}
+
+SharedBatchResult ScanExecutor::ExecuteShared(
+    const std::vector<SharedQueryRequest>& batch) {
+  // The shared pass is still one coordinator's work: planning, the
+  // morsel barrier, and the submission-order replay all assume it.
+  ADASKIP_DCHECK_SERIAL(exec_serial_);
+  SharedBatchResult out;
+  const size_t n = batch.size();
+  out.pass.queries = static_cast<int64_t>(n);
+  if (n == 0) return out;
+
+  // --- Plan: classify each query; peek candidates for shared ones. ---
+  //
+  // PeekCandidates is side-effect free, so peeking every query up front
+  // does not disturb the adaptive state the replay below depends on.
+  // Peeked sets only promise to be supersets of each query's matches —
+  // exactness is not needed for planning, only for feedback, which the
+  // replay reconstructs from the real Probe.
+  enum class Lane : uint8_t { kShared, kSolo, kFailed };
+  struct Slot {
+    Lane lane = Lane::kSolo;
+    Status error;  // kFailed: this query's own failure; batch proceeds.
+    // kShared only:
+    const Column* column = nullptr;
+    SkipIndex* index = nullptr;  // nullptr scans the peeked full range.
+    std::vector<RowRange> peek;  // Canonical planning candidates.
+    SelectionVector matches;     // Global match rows, ascending.
+    int64_t kernel_nanos = 0;    // This predicate's shared-kernel time.
+    int64_t kernel_rows = 0;
+    int64_t packed_rows = 0;
+    size_t share_of = 0;     // Slot whose scan answers this query (leader).
+    int64_t group_size = 1;  // Queries sharing this slot's scan (leaders).
+  };
+  std::vector<Slot> slots(n);
+  // Identical predicates share one scan: the first submission becomes
+  // the group leader, later copies skip peek and kernels and read the
+  // leader's match positions at replay. Matches are value-determined,
+  // so a repeated predicate has exactly the same match set no matter
+  // which copy scanned — while probes and feedback stay per-query, so
+  // the index still adapts as if every copy ran standalone. Dashboards
+  // and monitors — the server's target workloads — repeat predicates
+  // heavily, and this is where a batch's kernel work collapses.
+  std::map<std::string, size_t> leader_by_predicate;
+  int64_t min_segment_rows = std::numeric_limits<int64_t>::max();
+  int64_t shared_count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Query& query = *batch[i].query;
+    Slot& slot = slots[i];
+    slot.share_of = i;
+    if (Status validation = ValidateQuery(query); !validation.ok()) {
+      slot.lane = Lane::kFailed;
+      slot.error = std::move(validation);
+      continue;
+    }
+    const bool aggregates_predicate_column =
+        query.aggregate == AggregateKind::kCount ||
+        query.aggregate == AggregateKind::kMaterialize ||
+        AggregateColumnOf(query) == query.predicates[0].column;
+    if (query.predicates.size() > 1 || !aggregates_predicate_column) {
+      slot.lane = Lane::kSolo;  // Runs standalone at its submission turn.
+      continue;
+    }
+    const Predicate& pred = query.predicates[0];
+    slot.column = table_->ColumnByName(pred.column).value();
+    if (indexes_ != nullptr) {
+      Result<SkipIndex*> synced = indexes_->GetSyncedIndex(pred.column);
+      if (!synced.ok()) {
+        // Stale index: standalone execution would fail this query the
+        // same way, so it fails alone and the batch proceeds.
+        slot.lane = Lane::kFailed;
+        slot.error = synced.status();
+        continue;
+      }
+      slot.index = synced.value();
+    }
+    slot.lane = Lane::kShared;
+    ++shared_count;
+    const auto [leader_it, is_leader] =
+        leader_by_predicate.emplace(pred.ToString(), i);
+    if (!is_leader) {
+      slot.share_of = leader_it->second;
+      ++slots[leader_it->second].group_size;
+      continue;
+    }
+    if (slot.index != nullptr) {
+      slot.index->PeekCandidates(pred, &slot.peek);
+    } else if (slot.column->size() > 0) {
+      slot.peek.push_back({0, slot.column->size()});
+    }
+    NormalizeRanges(&slot.peek);
+    ADASKIP_DCHECK(CandidatesAreWellFormed(slot.peek, slot.column->size()));
+    min_segment_rows = std::min(min_segment_rows, slot.column->segment_rows());
+  }
+
+  // --- Shared scan: one pass over the union of all peeked sets. ---
+  //
+  // Morsels split at multiples of the smallest shared column's segment
+  // size (powers of two: a boundary for every shared column), so each
+  // per-query piece below sits inside one segment of its own column and
+  // ScanPiece can route it through that segment's layout. Workers only
+  // read and only write their own morsel's hit list; every index
+  // mutation happens in the replay, on this thread.
+  struct Hit {
+    size_t slot;
+    SelectionVector sel;  // Match rows inside this morsel, ascending.
+    int64_t rows = 0;
+    int64_t packed_rows = 0;
+    int64_t nanos = 0;
+  };
+  std::vector<Morsel> morsels;
+  std::vector<std::vector<Hit>> morsel_hits;
+  if (shared_count > 0) {
+    std::vector<RowRange> union_ranges;
+    for (size_t i = 0; i < n; ++i) {
+      if (slots[i].lane == Lane::kShared && slots[i].share_of == i) {
+        union_ranges = UnionRanges(union_ranges, slots[i].peek);
+      }
+    }
+    out.pass.unique_rows = TotalRows(union_ranges);
+    morsels =
+        BuildMorsels(union_ranges, options_.morsel_rows, min_segment_rows);
+    out.pass.morsels = static_cast<int64_t>(morsels.size());
+    morsel_hits.resize(morsels.size());
+
+    auto scan_morsel = [&](int64_t m, int /*worker*/) {
+      const RowRange window = morsels[static_cast<size_t>(m)].rows;
+      std::vector<Hit>& hits = morsel_hits[static_cast<size_t>(m)];
+      for (size_t i = 0; i < n; ++i) {
+        const Slot& slot = slots[i];
+        if (slot.lane != Lane::kShared || slot.share_of != i) continue;
+        Stopwatch hit_timer;
+        Hit hit{i, {}, 0, 0, 0};
+        DispatchDataType(slot.column->type(), [&](auto tag) {
+          using T = typename decltype(tag)::type;
+          const TypedColumn<T>& typed = *slot.column->As<T>();
+          const ValueInterval<T> interval =
+              batch[i].query->predicates[0].ToInterval<T>();
+          ForEachOverlap(slot.peek, window, [&](RowRange piece) {
+            hit.rows += piece.size();
+            ScanPiece(typed, piece, AggregateKind::kMaterialize, interval,
+                      PieceAccumulators<T>{nullptr, nullptr, nullptr, &hit.sel,
+                                           &hit.packed_rows});
+          });
+        });
+        if (hit.rows == 0) continue;  // This query skips this morsel.
+        hit.nanos = hit_timer.ElapsedNanos();
+        hits.push_back(std::move(hit));
+      }
+    };
+
+    if (options_.num_threads > 1 &&
+        TotalRows(union_ranges) > options_.morsel_rows) {
+      InstrumentedParallelFor(pool(), static_cast<int64_t>(morsels.size()),
+                              scan_morsel);
+    } else {
+      for (int64_t m = 0; m < static_cast<int64_t>(morsels.size()); ++m) {
+        scan_morsel(m, 0);
+      }
+    }
+
+    // Deterministic merge, coordinator-side: morsels ascend in row order
+    // and each morsel's hits ascend in slot order, so every query's
+    // match positions come out sorted — the property the per-range
+    // feedback reconstruction below binary-searches on.
+    for (std::vector<Hit>& hits : morsel_hits) {
+      for (Hit& hit : hits) {
+        Slot& slot = slots[hit.slot];
+        for (int64_t r = 0; r < hit.sel.size(); ++r) {
+          slot.matches.Append(hit.sel[r]);
+        }
+        slot.kernel_rows += hit.rows;
+        slot.packed_rows += hit.packed_rows;
+        slot.kernel_nanos += hit.nanos;
+        out.pass.kernel_rows += hit.rows;
+        out.pass.scan_nanos += hit.nanos;
+      }
+    }
+  }
+
+  // --- Replay, in submission order. ---
+  //
+  // Each query's turn runs the REAL Probe (advancing query sequence
+  // numbers, bypass accounting, and predicate sampling exactly as a
+  // standalone execution at this point in the order would), then feeds
+  // the index per-range counts reconstructed from the shared match
+  // positions. Matches are correct per range because every match lies
+  // inside the peeked set (scanned above) and inside the probe's
+  // candidates (superset contract), in whatever state the index has
+  // reached by this turn. Solo queries execute here too, keeping the
+  // whole batch's index-mutation order identical to serial submission.
+  out.results.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Slot& slot = slots[i];
+    if (slot.lane == Lane::kFailed) {
+      ++out.pass.failed_queries;
+      out.results.emplace_back(std::move(slot.error));
+      continue;
+    }
+    if (slot.lane == Lane::kSolo) {
+      ++out.pass.solo_queries;
+      const obs::TraceLevel saved = options_.trace_level;
+      options_.trace_level = batch[i].trace_level;
+      Result<QueryResult> solo = ExecuteValidated(*batch[i].query);
+      options_.trace_level = saved;
+      if (solo.ok()) RecordQueryMetrics(solo.value().stats);
+      out.results.push_back(std::move(solo));
+      continue;
+    }
+
+    ++out.pass.shared_queries;
+    Stopwatch replay_timer;
+    // The slot whose kernels answered this query: itself, or — for a
+    // repeated predicate — its group leader. Physical attribution is
+    // split evenly across the group (the scan ran once for all of them).
+    Slot& owner = slots[slot.share_of];
+    const int64_t kernel_nanos_share = owner.kernel_nanos / owner.group_size;
+    const int64_t packed_rows_share = owner.packed_rows / owner.group_size;
+    const Query& query = *batch[i].query;
+    const Predicate& pred = query.predicates[0];
+    QueryResult result;
+    result.aggregate = query.aggregate;
+    QueryStats& stats = result.stats;
+    stats.rows_total = slot.column->size();
+    stats.shared_batch_width = shared_count;
+    stats.index_name =
+        slot.index != nullptr ? std::string(slot.index->name()) : "none";
+    stats.tail_rows =
+        slot.index != nullptr ? slot.index->UnindexedTailRows() : 0;
+
+    std::shared_ptr<obs::QueryTrace> trace;
+    if (batch[i].trace_level != obs::TraceLevel::kOff) {
+      trace = std::make_shared<obs::QueryTrace>(batch[i].trace_level);
+      trace->root().Set("query", query.ToString());
+      trace->root().Set("shared_batch_width", shared_count);
+    }
+    AdaptationProfile profile_before;
+    std::string describe_before;
+    if (trace != nullptr && slot.index != nullptr) {
+      profile_before = slot.index->GetAdaptationProfile();
+      if (trace->detail()) describe_before = slot.index->Describe();
+    }
+
+    std::vector<RowRange> candidates;
+    Stopwatch probe_timer;
+    if (slot.index != nullptr) {
+      slot.index->Probe(pred, &candidates, &stats.probe);
+    } else if (slot.column->size() > 0) {
+      candidates.push_back({0, slot.column->size()});
+      stats.probe.zones_candidate = 1;
+    }
+    stats.probe_nanos = probe_timer.ElapsedNanos();
+    stats.candidate_ranges = static_cast<int64_t>(candidates.size());
+    ADASKIP_DCHECK(CandidatesAreWellFormed(candidates, slot.column->size()));
+    if (trace != nullptr) trace->root().AddChild(MakeProbeSpan(stats));
+
+    // Serial-equivalent feedback: rows_scanned counts this probe's own
+    // candidate rows — what a standalone scan would have touched — not
+    // the shared kernels' physical coverage, so EWMAs and skip metrics
+    // evolve exactly as under serial execution.
+    const std::vector<int64_t>& match_rows = owner.matches.rows();
+    int64_t replayed_matches = 0;
+    auto cursor = match_rows.begin();
+    for (const RowRange& range : candidates) {
+      // Candidate ranges ascend, so each range's matches begin where the
+      // previous range's ended: searching only the remaining suffix keeps
+      // the reconstruction near-linear instead of log(n) from scratch per
+      // range.
+      const auto lo = std::lower_bound(cursor, match_rows.end(), range.begin);
+      const auto hi = std::lower_bound(lo, match_rows.end(), range.end);
+      cursor = hi;
+      const int64_t range_matches = static_cast<int64_t>(hi - lo);
+      replayed_matches += range_matches;
+      stats.rows_scanned += range.size();
+      if (slot.index != nullptr) {
+        slot.index->OnRangeScanned(pred, RangeFeedback{range, range_matches});
+      }
+    }
+    // Superset contract check: every shared match must fall inside this
+    // probe's candidate set, or the feedback above undercounted.
+    ADASKIP_DCHECK(replayed_matches == owner.matches.size());
+    stats.rows_matched = owner.matches.size();
+    stats.scan_nanos = kernel_nanos_share;
+    stats.rows_scanned_packed = packed_rows_share;
+    out.pass.serial_equivalent_rows += stats.rows_scanned;
+
+    result.count = owner.matches.size();
+    // Field-for-field what the standalone typed path produces: sum only
+    // accumulates for kSum, min/max only for kMin/kMax, and — matching
+    // the standalone quirk — min/max are cast from their untouched
+    // sentinels for the other kinds whenever anything matched.
+    DispatchDataType(slot.column->type(), [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      const TypedColumn<T>& typed = *slot.column->As<T>();
+      double sum = 0.0;
+      T min_v = std::numeric_limits<T>::max();
+      T max_v = std::numeric_limits<T>::lowest();
+      if (query.aggregate == AggregateKind::kSum) {
+        for (int64_t r = 0; r < owner.matches.size(); ++r) {
+          sum += static_cast<double>(typed.Get(owner.matches[r]));
+        }
+      } else if (query.aggregate == AggregateKind::kMin ||
+                 query.aggregate == AggregateKind::kMax) {
+        for (int64_t r = 0; r < owner.matches.size(); ++r) {
+          const T v = typed.Get(owner.matches[r]);
+          min_v = std::min(min_v, v);
+          max_v = std::max(max_v, v);
+        }
+      }
+      result.sum = sum;
+      if (owner.matches.size() > 0) {
+        result.min = static_cast<double>(min_v);
+        result.max = static_cast<double>(max_v);
+      }
+    });
+
+    if (trace != nullptr) {
+      obs::TraceSpan scan_span("scan");
+      scan_span.duration_nanos = stats.scan_nanos;
+      scan_span.Set("rows_scanned", stats.rows_scanned)
+          .Set("rows_scanned_packed", stats.rows_scanned_packed)
+          .Set("rows_matched", stats.rows_matched)
+          .Set("kernel_path", simd::ActiveKernelPathName())
+          .Set("shared", true)
+          .Set("shared_kernel_rows", owner.kernel_rows)
+          .Set("shared_group_size", owner.group_size)
+          .Set("morsels", out.pass.morsels);
+      trace->root().AddChild(std::move(scan_span));
+    }
+
+    if (slot.index != nullptr) {
+      QueryFeedback feedback;
+      feedback.rows_total = stats.rows_total;
+      feedback.rows_scanned = stats.rows_scanned;
+      feedback.rows_matched = stats.rows_matched;
+      feedback.probe = stats.probe;
+      slot.index->OnQueryComplete(pred, feedback);
+      stats.adapt_nanos = slot.index->TakeAdaptationNanos();
+      stats.tail_rows_scanned = slot.index->TakeTailRowsScanned();
+      if (trace != nullptr) {
+        obs::TraceSpan adapt_span =
+            MakeAdaptSpan(*slot.index, profile_before, trace->detail(),
+                          std::move(describe_before));
+        adapt_span.duration_nanos = stats.adapt_nanos;
+        adapt_span.Set("tail_rows_scanned", stats.tail_rows_scanned);
+        trace->root().AddChild(std::move(adapt_span));
+      }
+    }
+
+    if (query.aggregate == AggregateKind::kMaterialize) {
+      if (owner.group_size == 1) {
+        result.rows = std::move(owner.matches);
+      } else {
+        result.rows = owner.matches;  // Other group members still need it.
+      }
+    }
+
+    // Attributed time, not wall clock: this query's replay work plus its
+    // share of the shared kernels (the batch has one wall clock).
+    stats.total_nanos = replay_timer.ElapsedNanos() + kernel_nanos_share;
+    if (trace != nullptr) {
+      trace->root().duration_nanos = stats.total_nanos;
+      result.trace = std::move(trace);
+    }
+    RecordQueryMetrics(stats);
+    out.results.push_back(std::move(result));
+  }
+
+  ADASKIP_METRIC_COUNTER(batches, "adaskip.exec.shared.batches",
+                         "Shared scan passes executed");
+  ADASKIP_METRIC_HISTOGRAM(width, "adaskip.exec.shared.batch_width",
+                           "Queries answered per shared scan pass");
+  ADASKIP_METRIC_COUNTER(kernel_rows, "adaskip.exec.shared.kernel_rows",
+                         "Rows touched by shared scan kernels");
+  ADASKIP_METRIC_COUNTER(saved, "adaskip.exec.shared.saved_rows",
+                         "Row touches avoided versus standalone execution");
+  batches.Increment();
+  width.Observe(out.pass.shared_queries);
+  kernel_rows.Add(out.pass.kernel_rows);
+  saved.Add(std::max<int64_t>(out.pass.saved_rows(), 0));
+  return out;
 }
 
 Result<QueryResult> ScanExecutor::ExecuteValidated(const Query& query) {

@@ -78,6 +78,47 @@ struct QueryResult {
   std::shared_ptr<const obs::QueryTrace> trace;
 };
 
+/// One member of a shared batch (ScanExecutor::ExecuteShared): the query
+/// plus its effective per-query trace level. The pointed-to Query must
+/// outlive the call; requests carry pointers so a server front-end can
+/// batch without copying predicate lists.
+struct SharedQueryRequest {
+  const Query* query = nullptr;
+  obs::TraceLevel trace_level = obs::TraceLevel::kOff;
+};
+
+/// Physical accounting of one shared pass, batch-level (per-query
+/// numbers live in each QueryResult::stats). The headline number is
+/// saved_rows(): how many kernel-row touches the shared pass avoided
+/// relative to running every shared query standalone.
+struct SharedPassStats {
+  int64_t queries = 0;         // Batch width as submitted.
+  int64_t shared_queries = 0;  // Answered from the shared scan.
+  int64_t solo_queries = 0;    // Conjunctions etc., executed at their turn.
+  int64_t failed_queries = 0;  // Validation/index failures; failed alone.
+  int64_t morsels = 0;         // Morsels of the shared scan.
+  /// Rows in the union of all peeked candidate sets (each row once).
+  int64_t unique_rows = 0;
+  /// Rows the shared kernels touched: each row once per DISTINCT shared
+  /// predicate whose candidates covered it — repeated predicates share
+  /// one scan, so this drops well below serial_equivalent_rows when
+  /// clients submit the same query concurrently.
+  int64_t kernel_rows = 0;
+  /// Sum over shared queries of serial-equivalent rows_scanned — what
+  /// standalone executions would have touched in total.
+  int64_t serial_equivalent_rows = 0;
+  int64_t scan_nanos = 0;  // Summed shared-kernel time (CPU, not wall).
+
+  int64_t saved_rows() const { return serial_equivalent_rows - kernel_rows; }
+};
+
+/// Answer of ScanExecutor::ExecuteShared: one Result per submitted
+/// query, in submission order, plus the batch-level pass accounting.
+struct SharedBatchResult {
+  std::vector<Result<QueryResult>> results;
+  SharedPassStats pass;
+};
+
 /// Executes filter-and-aggregate queries over one table, consulting the
 /// table's skip indexes: probe → candidate ranges → scan kernels →
 /// adaptation feedback. This is the component that turns a SkipIndex's
@@ -121,6 +162,30 @@ class ScanExecutor {
   ScanExecutor& operator=(const ScanExecutor&) = delete;
 
   Result<QueryResult> Execute(const Query& query);
+
+  /// Executes a batch of queries in one shared adaptive pass. Each
+  /// query's skip index is peeked once (side-effect free) at batch
+  /// start; the union of all candidate sets is scanned morsel-wise,
+  /// evaluating every DISTINCT shared predicate over its own candidate
+  /// rows and materializing per-predicate match positions — queries
+  /// repeating a predicate already in the batch (the dashboard pattern)
+  /// reuse the first copy's scan outright. Afterwards the
+  /// queries are replayed in submission order: the REAL Probe runs at
+  /// each query's turn (advancing adaptive probe-side state exactly as
+  /// standalone execution would), per-range feedback is reconstructed
+  /// from the shared match positions, and the adaptation summary is
+  /// delivered — so after the batch, every index is bit-identical to
+  /// what serial submission-order execution would have produced, and so
+  /// are the per-query results (for float columns, SUM is exact-equal
+  /// only when row sums are exactly representable in double — the same
+  /// caveat the parallel scan carries).
+  ///
+  /// Per-query failure isolation: a query that fails validation (or
+  /// whose index is stale) gets its own error entry and the rest of the
+  /// batch proceeds. Conjunctions and cross-column aggregates execute
+  /// standalone at their submission turn, preserving batch-wide
+  /// ordering. An empty batch returns an empty result.
+  SharedBatchResult ExecuteShared(const std::vector<SharedQueryRequest>& batch);
 
   /// Reconfigures execution after validating the knobs
   /// (ValidateExecOptions); invalid options are rejected with

@@ -13,6 +13,36 @@ namespace {
 
 int64_t TelemetryNanos() { return MonotonicNanos(); }
 
+/// Knob sanity of a segment-layout policy, shared by the direct setter
+/// and Session::Configure.
+Status ValidateSegmentLayoutPolicy(const SegmentLayoutPolicy& policy) {
+  if (policy.min_rows < 1 || policy.max_bits < 1 ||
+      policy.max_bits > kMaxPackedBits || policy.feedback_warmup < 0 ||
+      policy.skip_saturation < 0.0 || policy.skip_saturation > 1.0) {
+    return Status::InvalidArgument("invalid segment layout policy");
+  }
+  return Status::OK();
+}
+
+/// Knob sanity of the health-monitor thresholds (the loose setter
+/// predates validation and accepts anything; Configure does not).
+Status ValidateHealthMonitorOptions(const obs::HealthMonitorOptions& options) {
+  if (options.window_queries < 1 || options.window_capacity < 1 ||
+      options.min_windows < 1) {
+    return Status::InvalidArgument(
+        "health monitor window geometry must be >= 1");
+  }
+  if (options.degrade_drop < 0.0 || options.degrade_drop > 1.0 ||
+      options.adapting_cost_fraction < 0.0 ||
+      options.adapting_cost_fraction > 1.0 ||
+      options.adapting_skip_delta < 0.0 ||
+      options.adapting_skip_delta > 1.0) {
+    return Status::InvalidArgument(
+        "health monitor thresholds are fractions in [0, 1]");
+  }
+  return Status::OK();
+}
+
 /// Runs the layout decision on every newly sealed segment of one integer
 /// column, adopting packed layouts and journaling each decision.
 /// `evaluated` is the column's sticky progress cursor (segments
@@ -119,12 +149,7 @@ Status Session::Append(std::string_view table_name,
 
 Status Session::SetSegmentLayoutOptions(std::string_view table_name,
                                         const SegmentLayoutOptions& options) {
-  const SegmentLayoutPolicy& policy = options.policy;
-  if (policy.min_rows < 1 || policy.max_bits < 1 ||
-      policy.max_bits > kMaxPackedBits || policy.feedback_warmup < 0 ||
-      policy.skip_saturation < 0.0 || policy.skip_saturation > 1.0) {
-    return Status::InvalidArgument("invalid segment layout policy");
-  }
+  ADASKIP_RETURN_IF_ERROR(ValidateSegmentLayoutPolicy(options.policy));
   ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));
   ADASKIP_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
                            catalog_.GetTable(table_name));
@@ -202,16 +227,14 @@ Status Session::SetExecOptions(std::string_view table_name,
   return Status::OK();
 }
 
-Result<QueryResult> Session::Execute(std::string_view table_name,
-                                     const Query& query) {
-  ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));
-  ADASKIP_ASSIGN_OR_RETURN(QueryResult result,
-                           runtime->executor->Execute(query));
+void Session::RecordQueryOutcome(std::string_view table_name,
+                                 const Query& query, const QueryResult& result,
+                                 const TableRuntime& runtime) {
   {
     MutexLock lock(&stats_mu_);
     stats_.Record(result.stats);
   }
-  if (runtime->executor->exec_options().time_series) {
+  if (runtime.executor->exec_options().time_series) {
     // One health sample per predicated column. Conjunctions share the
     // query-level skipped fraction across their columns — coarse, but
     // drift on any member index still drags its windowed ratio down.
@@ -223,7 +246,129 @@ Result<QueryResult> Session::Execute(std::string_view table_name,
           result.stats.total_nanos);
     }
   }
+}
+
+Result<QueryResult> Session::ExecuteSpec(const QuerySpec& spec) {
+  ADASKIP_RETURN_IF_ERROR(ValidateQuerySpec(spec));
+  ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(spec.table));
+  // The trace override borrows Explain's swap trick: the table's
+  // single-coordinator contract means nothing else can observe the
+  // temporary options.
+  const ExecOptions saved = runtime->executor->exec_options();
+  const bool override_trace =
+      spec.trace_level.has_value() && *spec.trace_level != saved.trace_level;
+  if (override_trace) {
+    ExecOptions overridden = saved;
+    overridden.trace_level = *spec.trace_level;
+    ADASKIP_RETURN_IF_ERROR(runtime->executor->set_exec_options(overridden));
+  }
+  Result<QueryResult> result = runtime->executor->Execute(spec.query);
+  if (override_trace) {
+    ADASKIP_CHECK_OK(runtime->executor->set_exec_options(saved));
+  }
+  ADASKIP_RETURN_IF_ERROR(result.status());
+  RecordQueryOutcome(spec.table, spec.query, result.value(), *runtime);
   return result;
+}
+
+std::vector<Result<QueryResult>> Session::ExecuteShared(
+    std::string_view table_name, const std::vector<QuerySpec>& batch,
+    SharedPassStats* pass) {
+  std::vector<Result<QueryResult>> results;
+  results.reserve(batch.size());
+  Result<TableRuntime*> runtime_or = GetRuntime(table_name);
+  if (!runtime_or.ok()) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      results.emplace_back(runtime_or.status());
+    }
+    return results;
+  }
+  TableRuntime* runtime = runtime_or.value();
+
+  // Spec-level screening: a spec that is malformed or aimed at another
+  // table fails alone, here, without ever reaching the executor. The
+  // survivors go down in one shared pass (which applies query-level
+  // validation with the same failure isolation).
+  const obs::TraceLevel table_level =
+      runtime->executor->exec_options().trace_level;
+  std::vector<std::optional<Status>> spec_errors(batch.size());
+  std::vector<SharedQueryRequest> requests;
+  requests.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Status screened = ValidateQuerySpec(batch[i]);
+    if (screened.ok() && batch[i].table != table_name) {
+      screened = Status::InvalidArgument(
+          "spec targets table '" + batch[i].table +
+          "' but the batch executes against '" + std::string(table_name) +
+          "'");
+    }
+    if (!screened.ok()) {
+      spec_errors[i] = std::move(screened);
+      continue;
+    }
+    requests.push_back(
+        {&batch[i].query, batch[i].trace_level.value_or(table_level)});
+  }
+
+  SharedBatchResult shared = runtime->executor->ExecuteShared(requests);
+  if (pass != nullptr) *pass = shared.pass;
+
+  size_t next = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (spec_errors[i].has_value()) {
+      results.emplace_back(std::move(*spec_errors[i]));
+      continue;
+    }
+    Result<QueryResult> result = std::move(shared.results[next++]);
+    if (result.ok()) {
+      RecordQueryOutcome(table_name, batch[i].query, result.value(), *runtime);
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+Status Session::Configure(const SessionOptions& options) {
+  // Phase 1: validate everything — knobs and table existence — before
+  // touching any state.
+  for (const auto& [table_name, table_options] : options.tables) {
+    ADASKIP_RETURN_IF_ERROR(catalog_.GetTable(table_name).status());
+    if (table_options.exec.has_value()) {
+      ADASKIP_RETURN_IF_ERROR(ValidateExecOptions(*table_options.exec));
+    }
+    if (table_options.layout.has_value()) {
+      ADASKIP_RETURN_IF_ERROR(
+          ValidateSegmentLayoutPolicy(table_options.layout->policy));
+    }
+  }
+  if (options.health.has_value()) {
+    ADASKIP_RETURN_IF_ERROR(ValidateHealthMonitorOptions(*options.health));
+  }
+
+  // Phase 2: apply. The spill target goes first — it is the only piece
+  // that can still fail (file I/O), and failing before any table knob
+  // changed keeps the session unmodified.
+  if (options.journal_spill_path.has_value()) {
+    if (options.journal_spill_path->empty()) {
+      ADASKIP_RETURN_IF_ERROR(DisableJournalSpill());
+    } else {
+      ADASKIP_RETURN_IF_ERROR(EnableJournalSpill(*options.journal_spill_path));
+    }
+  }
+  if (options.health.has_value()) {
+    SetHealthMonitorOptions(*options.health);
+  }
+  for (const auto& [table_name, table_options] : options.tables) {
+    if (table_options.exec.has_value()) {
+      ADASKIP_RETURN_IF_ERROR(
+          SetExecOptions(table_name, *table_options.exec));
+    }
+    if (table_options.layout.has_value()) {
+      ADASKIP_RETURN_IF_ERROR(
+          SetSegmentLayoutOptions(table_name, *table_options.layout));
+    }
+  }
+  return Status::OK();
 }
 
 Result<Explanation> Session::Explain(std::string_view table_name,

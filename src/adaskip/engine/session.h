@@ -4,12 +4,14 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "adaskip/adaptive/cost_model.h"
 #include "adaskip/adaptive/index_manager.h"
 #include "adaskip/engine/exec_stats.h"
+#include "adaskip/engine/query_spec.h"
 #include "adaskip/engine/scan_executor.h"
 #include "adaskip/obs/event_journal.h"
 #include "adaskip/obs/health_monitor.h"
@@ -53,6 +55,31 @@ struct SegmentLayoutOptions {
   SegmentLayoutPolicy policy;
 };
 
+/// One-call session configuration (Session::Configure): the surface that
+/// replaces the grown setter sprawl (SetExecOptions +
+/// SetSegmentLayoutOptions + SetHealthMonitorOptions +
+/// EnableJournalSpill/DisableJournalSpill) with a single validated value.
+/// Every field is optional — unset pieces leave the session untouched —
+/// and Configure validates the whole object (knob sanity AND table
+/// existence) before applying any piece of it, so a typo in one table's
+/// options cannot half-configure the session.
+struct SessionOptions {
+  struct TableOptions {
+    std::optional<ExecOptions> exec;
+    std::optional<SegmentLayoutOptions> layout;
+  };
+
+  /// Per-table knobs, keyed by table name.
+  std::map<std::string, TableOptions, std::less<>> tables;
+
+  std::optional<obs::HealthMonitorOptions> health;
+
+  /// Journal spill target: a path routes spill evictions to that JSONL
+  /// file (replacing any previous target), "" detaches the active spill,
+  /// unset leaves spill routing as it is.
+  std::optional<std::string> journal_spill_path;
+};
+
 /// What Session::Explain returns: the query's answer plus its execution
 /// trace rendered both for humans and for machines.
 struct Explanation {
@@ -70,8 +97,12 @@ struct Explanation {
 ///   ADASKIP_CHECK_OK(session.AddColumn("readings", "temp", values));
 ///   ADASKIP_CHECK_OK(session.AttachIndex("readings", "temp",
 ///                                        IndexOptions::Adaptive()));
-///   auto result = session.Execute(
-///       "readings", Query::Count(Predicate::Between("temp", 10.0, 20.0)));
+///   ADASKIP_ASSIGN_OR_RETURN(
+///       QuerySpec spec, QueryBuilder("readings")
+///                           .Where(Predicate::Between("temp", 10.0, 20.0))
+///                           .Count()
+///                           .Build());
+///   auto result = session.ExecuteSpec(spec);
 ///
 /// Threading: operations on ONE table (Execute / Append / index DDL /
 /// SetExecOptions) must be serialized by the caller — the executor's
@@ -150,10 +181,47 @@ class Session {
   Status SetSegmentLayoutOptions(std::string_view table_name,
                                  const SegmentLayoutOptions& options);
 
-  /// Runs `query` against `table_name`, recording its stats into the
-  /// session's cumulative WorkloadStats.
+  /// Applies a whole SessionOptions in one validated step — the
+  /// replacement for calling the per-knob setters one by one. Validation
+  /// covers every piece (exec knobs, layout policies, health thresholds,
+  /// and the existence of every named table) BEFORE anything is applied;
+  /// on a validation error the session is untouched. Only an I/O failure
+  /// opening a spill file can surface after partial application (the
+  /// spill target is applied first, so table knobs stay untouched then).
+  /// The per-knob setters remain and forward to the same machinery.
+  Status Configure(const SessionOptions& options);
+
+  /// Runs one QuerySpec to completion, blocking the caller: the spec is
+  /// validated (ValidateQuerySpec), its trace-level override (if any) is
+  /// applied for just this query, and the result's stats feed the
+  /// session's WorkloadStats and health monitor. The spec's deadline and
+  /// priority are scheduling hints for the queued submission path
+  /// (QueryServer); a blocking call starts immediately, so they do not
+  /// apply here beyond validation.
+  Result<QueryResult> ExecuteSpec(const QuerySpec& spec);
+
+  /// Executes a batch of specs against `table_name` in ONE shared
+  /// adaptive pass (see ScanExecutor::ExecuteShared): skip indexes are
+  /// peeked once per query up front, the union of candidate ranges is
+  /// scanned once, and adaptation feedback is replayed in submission
+  /// order — results AND index state come out bit-identical to calling
+  /// ExecuteSpec on each spec in order. Returns one Result per spec, in
+  /// order; a spec that fails validation (or targets a different table)
+  /// fails alone without poisoning the batch. `pass` (optional) receives
+  /// the batch-level accounting. Same single-coordinator contract as
+  /// Execute: one batch at a time per table.
+  std::vector<Result<QueryResult>> ExecuteShared(
+      std::string_view table_name, const std::vector<QuerySpec>& batch,
+      SharedPassStats* pass = nullptr);
+
+  /// DEPRECATED: the pre-QuerySpec submission surface, kept as a shim so
+  /// existing callers migrate on their own schedule. Identical to
+  /// ExecuteSpec(QuerySpec::Simple(table_name, query)).
+  [[deprecated("build a QuerySpec (QueryBuilder) and call ExecuteSpec")]]
   Result<QueryResult> Execute(std::string_view table_name,
-                              const Query& query);
+                              const Query& query) {
+    return ExecuteSpec(QuerySpec::Simple(std::string(table_name), query));
+  }
 
   /// Runs `query` with full (kDetail) tracing regardless of the table's
   /// configured trace level and renders the captured plan/trace: how many
@@ -299,6 +367,14 @@ class Session {
   /// built.
   const TableRuntime* FindRuntime(std::string_view table_name) const
       ADASKIP_EXCLUDES(runtimes_mu_);
+
+  /// Post-execution bookkeeping shared by every submission surface:
+  /// records the result's stats into the cumulative WorkloadStats and,
+  /// when the table opted into time series, one health sample per
+  /// predicated column.
+  void RecordQueryOutcome(std::string_view table_name, const Query& query,
+                          const QueryResult& result,
+                          const TableRuntime& runtime);
 
   Catalog catalog_;
   // Temporal observability: both internally synchronized, shared by all

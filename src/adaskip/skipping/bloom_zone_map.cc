@@ -145,6 +145,27 @@ void BloomZoneMapT<T>::Probe(const Predicate& pred,
 }
 
 template <typename T>
+void BloomZoneMapT<T>::PeekCandidates(const Predicate& pred,
+                                      std::vector<RowRange>* candidates) const {
+  ValueInterval<T> interval = pred.ToInterval<T>();
+  const bool is_point = pred.op == CompareOp::kEqual;
+  for (size_t z = 0; z < zones_.size(); ++z) {
+    const Zone<T>& zone = zones_[z];
+    bool candidate = zone.Overlaps(interval);
+    if (candidate && is_point) {
+      candidate = BloomMayContain(static_cast<int64_t>(z), interval.lo);
+    }
+    if (candidate) {
+      if (!candidates->empty() && candidates->back().end == zone.begin) {
+        candidates->back().end = zone.end;
+      } else {
+        candidates->push_back({zone.begin, zone.end});
+      }
+    }
+  }
+}
+
+template <typename T>
 int64_t BloomZoneMapT<T>::MemoryUsageBytes() const {
   // size(), not capacity(): a restored index must report the same
   // footprint as the live one it was checkpointed from, and vector

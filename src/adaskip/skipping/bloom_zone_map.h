@@ -48,6 +48,9 @@ class BloomZoneMapT final : public SkipIndex {
   void Probe(const Predicate& pred, std::vector<RowRange>* candidates,
              ProbeStats* stats) override;
 
+  void PeekCandidates(const Predicate& pred,
+                      std::vector<RowRange>* candidates) const override;
+
   /// Extends zones like the plain zonemap (widen the trailing partial
   /// zone, add fresh zones clipped at segment boundaries) and inserts the
   /// appended values into the affected zones' Bloom filters. Existing

@@ -140,6 +140,28 @@ void ColumnImprintsT<T>::Probe(const Predicate& pred,
 }
 
 template <typename T>
+void ColumnImprintsT<T>::PeekCandidates(
+    const Predicate& pred, std::vector<RowRange>* candidates) const {
+  if (num_rows_ == 0) return;
+  ValueInterval<T> interval = pred.ToInterval<T>();
+  int64_t bin_lo = BinOf(interval.lo);
+  int64_t bin_hi = BinOf(interval.hi);
+  uint64_t query_mask = 0;
+  for (int64_t b = bin_lo; b <= bin_hi; ++b) query_mask |= uint64_t{1} << b;
+  for (size_t block = 0; block < imprints_.size(); ++block) {
+    if ((imprints_[block] & query_mask) != 0) {
+      int64_t begin = static_cast<int64_t>(block) * block_size_;
+      int64_t end = std::min(begin + block_size_, num_rows_);
+      if (!candidates->empty() && candidates->back().end == begin) {
+        candidates->back().end = end;
+      } else {
+        candidates->push_back({begin, end});
+      }
+    }
+  }
+}
+
+template <typename T>
 int64_t ColumnImprintsT<T>::MemoryUsageBytes() const {
   // size(), not capacity(): a restored index must report the same
   // footprint as the live one it was checkpointed from, and vector

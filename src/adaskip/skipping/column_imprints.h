@@ -52,6 +52,9 @@ class ColumnImprintsT final : public SkipIndex {
   void Probe(const Predicate& pred, std::vector<RowRange>* candidates,
              ProbeStats* stats) override;
 
+  void PeekCandidates(const Predicate& pred,
+                      std::vector<RowRange>* candidates) const override;
+
   /// Extends the imprint words over the new tail: the partial boundary
   /// block ORs in the new rows' bins (existing bits stay — a union, so no
   /// recompute), full new blocks get fresh words. Split points are never

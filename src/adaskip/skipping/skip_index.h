@@ -119,6 +119,22 @@ class SkipIndex {
   virtual void Probe(const Predicate& pred, std::vector<RowRange>* candidates,
                      ProbeStats* stats) = 0;
 
+  /// Side-effect-free candidate lookup: appends ranges whose union is a
+  /// superset of the rows matching `pred`, advancing NO state — no query
+  /// sequence, no bypass accounting, no candidacy stamps, no metrics, no
+  /// journal. The shared-scan pass uses it to plan a batch's data
+  /// coverage up front, then replays the real `Probe` (and its feedback)
+  /// once per query in submission order, so adaptation observes exactly
+  /// the serial protocol. The result need not equal what `Probe` would
+  /// return (a bypassed probe answers the full range; a peek may still
+  /// consult the metadata) — only the superset contract binds it.
+  /// Default: the conservative full range.
+  virtual void PeekCandidates(const Predicate& pred,
+                              std::vector<RowRange>* candidates) const {
+    (void)pred;
+    if (num_rows() > 0) candidates->push_back({0, num_rows()});
+  }
+
   virtual void OnRangeScanned(const Predicate& pred,
                               const RangeFeedback& feedback) {
     (void)pred;

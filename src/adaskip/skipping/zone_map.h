@@ -52,6 +52,14 @@ class ZoneMapT final : public SkipIndex {
                    &stats->zones_skipped, &stats->zones_candidate);
   }
 
+  void PeekCandidates(const Predicate& pred,
+                      std::vector<RowRange>* candidates) const override {
+    ValueInterval<T> interval = pred.ToInterval<T>();
+    ProbeStats scratch;
+    ProbeFlatZones(zones_, interval, candidates, &scratch.entries_read,
+                   &scratch.zones_skipped, &scratch.zones_candidate);
+  }
+
   void OnAppend(RowRange appended) override {
     AppendUniformZones(*column_, appended, zone_size_, &zones_);
     num_rows_ = appended.end;

@@ -146,6 +146,26 @@ void ZoneTreeT<T>::Probe(const Predicate& pred,
 }
 
 template <typename T>
+void ZoneTreeT<T>::PeekCandidates(const Predicate& pred,
+                                  std::vector<RowRange>* candidates) const {
+  // Same descent as Probe into scratch stats: the tree is static, so the
+  // only thing Probe does that a peek must not is account.
+  ProbeStats scratch;
+  ValueInterval<T> interval = pred.ToInterval<T>();
+  if (levels_.empty()) {
+    for (int64_t i = 0; i < static_cast<int64_t>(leaves_.size()); ++i) {
+      Descend(-1, i, interval, candidates, &scratch);
+    }
+    return;
+  }
+  int64_t top = static_cast<int64_t>(levels_.size()) - 1;
+  int64_t root_count = static_cast<int64_t>(levels_.back().size());
+  for (int64_t i = 0; i < root_count; ++i) {
+    Descend(top, i, interval, candidates, &scratch);
+  }
+}
+
+template <typename T>
 int64_t ZoneTreeT<T>::MemoryUsageBytes() const {
   // size(), not capacity(): a restored index must report the same
   // footprint as the live one it was checkpointed from, and vector

@@ -43,6 +43,9 @@ class ZoneTreeT final : public SkipIndex {
   void Probe(const Predicate& pred, std::vector<RowRange>* candidates,
              ProbeStats* stats) override;
 
+  void PeekCandidates(const Predicate& pred,
+                      std::vector<RowRange>* candidates) const override;
+
   /// Extends the leaf zones for the new tail, then rebuilds the summary
   /// levels. Rebuilding the levels is O(zones) over plain min/max pairs —
   /// cheap next to the per-row work of the leaf extension — and keeps the

@@ -1,0 +1,43 @@
+#ifndef ADASKIP_UTIL_BACKGROUND_THREAD_H_
+#define ADASKIP_UTIL_BACKGROUND_THREAD_H_
+
+#include <functional>
+#include <thread>
+#include <utility>
+
+namespace adaskip {
+
+/// Owns one long-lived worker thread running a caller-supplied loop.
+/// This is the only sanctioned way for code above util/ to own a thread
+/// (the adaskip_lint rule `raw-thread` bans std::thread elsewhere, for
+/// the same reason raw mutexes are banned: lifetime and join discipline
+/// belong in one audited place).
+///
+/// The wrapper deliberately has no stop flag: the loop's shutdown
+/// protocol (a guarded bool + CondVar, a queue sentinel, ...) belongs to
+/// the owner, which must make the loop return before destroying this
+/// object — the destructor joins, so a loop that never exits deadlocks
+/// loudly rather than leaking a detached thread.
+class BackgroundThread {
+ public:
+  /// Starts the thread immediately.
+  explicit BackgroundThread(std::function<void()> loop)
+      : thread_(std::move(loop)) {}
+
+  BackgroundThread(const BackgroundThread&) = delete;
+  BackgroundThread& operator=(const BackgroundThread&) = delete;
+
+  /// Blocks until the loop returns. Idempotent.
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  ~BackgroundThread() { Join(); }
+
+ private:
+  std::thread thread_;
+};
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_UTIL_BACKGROUND_THREAD_H_

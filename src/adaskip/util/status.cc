@@ -25,6 +25,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "UnknownCode";
 }

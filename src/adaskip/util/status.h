@@ -24,6 +24,11 @@ enum class StatusCode : int8_t {
   /// Unrecoverable loss or corruption of persisted data: bad magic or
   /// checksum, truncated snapshot, unknown format version.
   kDataLoss = 8,
+  /// A bounded resource (e.g. the query server's admission queue) is
+  /// full; the operation was shed, not attempted. Retryable by design.
+  kResourceExhausted = 9,
+  /// The operation's deadline passed before it ran; no work was done.
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a stable, human-readable name for `code` (e.g. "InvalidArgument").
@@ -69,6 +74,12 @@ class [[nodiscard]] Status {
   }
   static Status DataLoss(std::string message) {
     return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,6 +2,7 @@
 #define ADASKIP_UTIL_THREAD_ANNOTATIONS_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -133,6 +134,19 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // Ownership stays with the caller's scope.
+  }
+
+  /// Timed wait: blocks at most `timeout_nanos` (a non-positive timeout
+  /// returns immediately). Returns true if notified before the timeout
+  /// expired. Subject to spurious wakeups like Wait — callers must
+  /// re-check their condition either way.
+  bool WaitFor(Mutex& mu, int64_t timeout_nanos) ADASKIP_REQUIRES(mu) {
+    if (timeout_nanos <= 0) return false;
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(lock, std::chrono::nanoseconds(timeout_nanos));
+    lock.release();  // Ownership stays with the caller's scope.
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -1,0 +1,90 @@
+#include "adaskip/workload/concurrent_driver.h"
+
+#include <memory>
+#include <utility>
+
+#include "adaskip/util/background_thread.h"
+#include "adaskip/util/stopwatch.h"
+
+namespace adaskip {
+
+namespace {
+
+/// Thread-local accounting of one client; merged after its thread joins,
+/// so the hot loop never synchronizes.
+struct ClientTally {
+  int64_t ok = 0;
+  int64_t failed = 0;
+  double checksum = 0.0;
+  Histogram latency_micros;
+};
+
+}  // namespace
+
+Result<ConcurrentRunResult> RunConcurrentClients(
+    const std::vector<std::vector<QuerySpec>>& per_client_specs,
+    const SubmitFn& submit, std::string label) {
+  if (per_client_specs.empty()) {
+    return Status::InvalidArgument(
+        "RunConcurrentClients needs at least one client stream");
+  }
+  if (submit == nullptr) {
+    return Status::InvalidArgument(
+        "RunConcurrentClients needs a submit callback");
+  }
+
+  const size_t clients = per_client_specs.size();
+  std::vector<ClientTally> tallies(clients);
+
+  const int64_t start_nanos = MonotonicNanos();
+  {
+    // Each BackgroundThread runs one client loop to completion; the
+    // vector's destruction joins them all before we read the tallies.
+    std::vector<std::unique_ptr<BackgroundThread>> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.push_back(std::make_unique<BackgroundThread>(
+          [&specs = per_client_specs[c], &tally = tallies[c], &submit] {
+            for (const QuerySpec& spec : specs) {
+              const int64_t t0 = MonotonicNanos();
+              Result<QueryResult> result = submit(spec);
+              const int64_t t1 = MonotonicNanos();
+              tally.latency_micros.Add(static_cast<double>(t1 - t0) / 1000.0);
+              if (result.ok()) {
+                ++tally.ok;
+                tally.checksum += static_cast<double>(result.value().count) +
+                                  result.value().sum;
+              } else {
+                ++tally.failed;
+              }
+            }
+          }));
+    }
+    for (auto& thread : threads) thread->Join();
+  }
+  const int64_t end_nanos = MonotonicNanos();
+
+  ConcurrentRunResult run;
+  run.label = std::move(label);
+  run.clients = static_cast<int64_t>(clients);
+  run.wall_seconds = static_cast<double>(end_nanos - start_nanos) / 1e9;
+  for (const ClientTally& tally : tallies) {
+    run.queries += tally.ok;
+    run.failures += tally.failed;
+    run.result_checksum += tally.checksum;
+    run.latency_micros.Merge(tally.latency_micros);
+  }
+  return run;
+}
+
+std::vector<std::vector<QuerySpec>> PartitionSpecs(
+    const std::vector<QuerySpec>& specs, int64_t clients) {
+  std::vector<std::vector<QuerySpec>> streams(
+      static_cast<size_t>(clients > 0 ? clients : 1));
+  for (size_t i = 0; i < specs.size(); ++i) {
+    streams[i % streams.size()].push_back(specs[i]);
+  }
+  return streams;
+}
+
+}  // namespace adaskip

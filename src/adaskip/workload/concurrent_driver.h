@@ -1,0 +1,67 @@
+#ifndef ADASKIP_WORKLOAD_CONCURRENT_DRIVER_H_
+#define ADASKIP_WORKLOAD_CONCURRENT_DRIVER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "adaskip/engine/query_spec.h"
+#include "adaskip/engine/scan_executor.h"
+#include "adaskip/util/histogram.h"
+#include "adaskip/util/status.h"
+
+namespace adaskip {
+
+/// The submission seam of the concurrent driver: one blocking call that
+/// takes a spec and returns the query's outcome. The two arms of the
+/// query-server benchmark plug in here —
+///   shared:  [&server](QuerySpec s) { return server.Execute(std::move(s)); }
+///   naive:   one mutex around session.ExecuteSpec (serialized execution,
+///            which is what the old one-query-at-a-time API forced).
+/// The callback is invoked concurrently from every client thread and
+/// must be thread safe.
+using SubmitFn = std::function<Result<QueryResult>(QuerySpec)>;
+
+/// Outcome of one closed-loop concurrent run.
+struct ConcurrentRunResult {
+  std::string label;
+  int64_t clients = 0;
+  int64_t queries = 0;    // Completed with an OK result.
+  int64_t failures = 0;   // Non-OK results (shed, deadline, errors).
+  double wall_seconds = 0.0;
+  Histogram latency_micros;  // Per-query submit-to-result latency.
+
+  /// Order-independent answer digest (sum of counts + sums over OK
+  /// results): equal across arms iff both arms computed the same
+  /// answers, regardless of interleaving.
+  double result_checksum = 0.0;
+
+  double qps() const {
+    return wall_seconds > 0 ? static_cast<double>(queries) / wall_seconds : 0.0;
+  }
+  double p99_micros() const { return latency_micros.Percentile(99.0); }
+};
+
+/// Runs a closed-loop concurrent workload: one client thread per entry
+/// of `per_client_specs`, each submitting its specs in order through
+/// `submit` and waiting for every result before sending the next (the
+/// classic closed-loop model, so offered concurrency == client count).
+/// Per-client latency/checksum accounting is thread-local and merged
+/// after all clients join, so the driver adds no synchronization on the
+/// submission path. Failures are counted, not fatal — admission shedding
+/// and deadline expiry are expected outcomes under load.
+///
+/// Returns InvalidArgument when there are no clients or a null submit.
+Result<ConcurrentRunResult> RunConcurrentClients(
+    const std::vector<std::vector<QuerySpec>>& per_client_specs,
+    const SubmitFn& submit, std::string label);
+
+/// Deals `specs` round-robin into `clients` per-client streams (the
+/// usual way to build RunConcurrentClients input from one generated
+/// query stream).
+std::vector<std::vector<QuerySpec>> PartitionSpecs(
+    const std::vector<QuerySpec>& specs, int64_t clients);
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_WORKLOAD_CONCURRENT_DRIVER_H_

@@ -146,7 +146,8 @@ Result<MixedRunResult> RunMixedWorkload(Session* session,
     }
     ADASKIP_ASSIGN_OR_RETURN(
         QueryResult result,
-        session->Execute(table_name, Query::Count(op.query)));
+        session->ExecuteSpec(QuerySpec::Simple(std::string(table_name),
+                                               Query::Count(op.query))));
     run.stats.Record(result.stats);
     run.per_query_micros.push_back(
         static_cast<double>(result.stats.total_nanos) / 1e3);

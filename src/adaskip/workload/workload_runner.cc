@@ -13,8 +13,9 @@ Result<ArmResult> RunWorkload(Session* session, std::string_view table_name,
   session->ResetWorkloadStats();
 
   for (const Query& query : queries) {
-    ADASKIP_ASSIGN_OR_RETURN(QueryResult result,
-                             session->Execute(table_name, query));
+    ADASKIP_ASSIGN_OR_RETURN(
+        QueryResult result,
+        session->ExecuteSpec(QuerySpec::Simple(std::string(table_name), query)));
     arm.stats.Record(result.stats);
     arm.per_query_micros.push_back(
         static_cast<double>(result.stats.total_nanos) / 1e3);

@@ -84,7 +84,7 @@ void ExpectSameAnswer(const QueryResult& a, const QueryResult& b) {
 }
 
 QueryResult Exec(Session& session, const Query& query) {
-  Result<QueryResult> result = session.Execute("t", query);
+  Result<QueryResult> result = session.ExecuteSpec(QuerySpec::Simple("t", query));
   ADASKIP_CHECK_OK(result.status());
   return *std::move(result);
 }
@@ -202,7 +202,7 @@ TEST(StaleIndexTest, DirectTableAppendFailsFastUntilReattach) {
   ASSERT_TRUE(session.AttachIndex("t", "x", IndexOptions::ZoneMap(64)).ok());
 
   Query count_all = Query::Count(Predicate::Between<int64_t>("x", 0, 100000));
-  Result<QueryResult> before = session.Execute("t", count_all);
+  Result<QueryResult> before = session.ExecuteSpec(QuerySpec::Simple("t", count_all));
   ASSERT_TRUE(before.ok());
   EXPECT_EQ(before->count, 1000);
 
@@ -214,19 +214,19 @@ TEST(StaleIndexTest, DirectTableAppendFailsFastUntilReattach) {
   batch.Add<int64_t>("x", std::vector<int64_t>(500, 42));
   ASSERT_TRUE(table->Append(batch).ok());
 
-  Result<QueryResult> stale = session.Execute("t", count_all);
+  Result<QueryResult> stale = session.ExecuteSpec(QuerySpec::Simple("t", count_all));
   EXPECT_EQ(stale.status().code(), StatusCode::kFailedPrecondition);
 
   // Re-attaching rebuilds against the current data version and recovers.
   ASSERT_TRUE(session.AttachIndex("t", "x", IndexOptions::ZoneMap(64)).ok());
-  Result<QueryResult> after = session.Execute("t", count_all);
+  Result<QueryResult> after = session.ExecuteSpec(QuerySpec::Simple("t", count_all));
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(after->count, 1500);
 
   // The supported ingest path keeps working and stays in sync.
   ASSERT_TRUE(
       session.Append<int64_t>("t", "x", std::vector<int64_t>(250, 7)).ok());
-  Result<QueryResult> synced = session.Execute("t", count_all);
+  Result<QueryResult> synced = session.ExecuteSpec(QuerySpec::Simple("t", count_all));
   ASSERT_TRUE(synced.ok());
   EXPECT_EQ(synced->count, 1750);
 }

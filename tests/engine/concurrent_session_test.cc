@@ -60,9 +60,9 @@ TEST(ParallelSessionStatsTest, ConcurrentExecuteAcrossTablesSumsStats) {
   pool.ParallelFor(kNumTables, [&](int64_t t, int) {
     for (int q = 0; q < kQueriesPerTable; ++q) {
       int64_t lo = (q * 523) % rows;
-      Result<QueryResult> result = session.Execute(
+      Result<QueryResult> result = session.ExecuteSpec(QuerySpec::Simple(
           TableName(t),
-          Query::Count(Predicate::Between<int64_t>("x", lo, lo + 200)));
+          Query::Count(Predicate::Between<int64_t>("x", lo, lo + 200))));
       if (!result.ok()) {
         ++per_table[static_cast<size_t>(t)].failures;
         continue;
@@ -103,8 +103,8 @@ TEST(ParallelSessionStatsTest, ConcurrentLazyRuntimeCreationIsSafe) {
   std::vector<int64_t> counts(kNumTables, -1);
   ThreadPool pool(kNumTables);
   pool.ParallelFor(kNumTables, [&](int64_t t, int) {
-    Result<QueryResult> result = session.Execute(
-        TableName(t), Query::Count(Predicate::Between<int64_t>("x", 2, 4)));
+    Result<QueryResult> result = session.ExecuteSpec(QuerySpec::Simple(
+        TableName(t), Query::Count(Predicate::Between<int64_t>("x", 2, 4))));
     if (result.ok()) counts[static_cast<size_t>(t)] = result->count;
   });
   for (int64_t c : counts) EXPECT_EQ(c, 3);

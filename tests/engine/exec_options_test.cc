@@ -86,8 +86,8 @@ TEST(ExecOptionsValidationTest, SessionRejectsAndKeepsPreviousOptions) {
             StatusCode::kInvalidArgument);
 
   // The rejected call left the previous (traced) options in force.
-  Result<QueryResult> result = session.Execute(
-      "t", Query::Count(Predicate::Between<int64_t>("x", 1, 3)));
+  Result<QueryResult> result = session.ExecuteSpec(QuerySpec::Simple(
+      "t", Query::Count(Predicate::Between<int64_t>("x", 1, 3))));
   ASSERT_TRUE(result.ok());
   ASSERT_NE(result->trace, nullptr);
   EXPECT_EQ(result->trace->level(), obs::TraceLevel::kSummary);

@@ -26,8 +26,8 @@ void FillSession(Session* session, int64_t rows = 100000) {
 TEST(ExplainTest, NoTraceAtDefaultOff) {
   Session session;
   FillSession(&session);
-  Result<QueryResult> result = session.Execute(
-      "t", Query::Count(Predicate::Between<int64_t>("x", 100, 200)));
+  Result<QueryResult> result = session.ExecuteSpec(QuerySpec::Simple(
+      "t", Query::Count(Predicate::Between<int64_t>("x", 100, 200))));
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->trace, nullptr);
 }
@@ -39,8 +39,8 @@ TEST(ExplainTest, SummaryTraceHasProbeScanAdaptSpans) {
   ExecOptions exec;
   exec.trace_level = obs::TraceLevel::kSummary;
   ASSERT_TRUE(session.SetExecOptions("t", exec).ok());
-  Result<QueryResult> result = session.Execute(
-      "t", Query::Count(Predicate::Between<int64_t>("x", 1000, 2000)));
+  Result<QueryResult> result = session.ExecuteSpec(QuerySpec::Simple(
+      "t", Query::Count(Predicate::Between<int64_t>("x", 1000, 2000))));
   ASSERT_TRUE(result.ok());
   ASSERT_NE(result->trace, nullptr);
   EXPECT_EQ(result->trace->level(), obs::TraceLevel::kSummary);
@@ -71,8 +71,8 @@ TEST(ExplainTest, DetailTraceBoundsPerRangeChildren) {
   exec.trace_level = obs::TraceLevel::kDetail;
   ASSERT_TRUE(session.SetExecOptions("t", exec).ok());
   // Wide query: many candidate ranges would explode an unbounded trace.
-  Result<QueryResult> result = session.Execute(
-      "t", Query::Count(Predicate::Between<int64_t>("x", 0, 100000)));
+  Result<QueryResult> result = session.ExecuteSpec(QuerySpec::Simple(
+      "t", Query::Count(Predicate::Between<int64_t>("x", 0, 100000))));
   ASSERT_TRUE(result.ok());
   ASSERT_NE(result->trace, nullptr);
   const obs::TraceSpan* scan = result->trace->root().FindChild("scan");
@@ -133,7 +133,7 @@ TEST(ExplainTest, ExplainRestoresCallerExecOptions) {
   Query query = Query::Count(Predicate::Between<int64_t>("x", 10, 20));
   ASSERT_TRUE(session.Explain("t", query).ok());
   // Follow-up Execute is back at kOff: no trace allocated.
-  Result<QueryResult> result = session.Execute("t", query);
+  Result<QueryResult> result = session.ExecuteSpec(QuerySpec::Simple("t", query));
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->trace, nullptr);
 }

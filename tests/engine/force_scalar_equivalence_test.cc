@@ -105,7 +105,7 @@ Outcome RunWorkload(bool force_scalar, int num_threads) {
 
   Outcome outcome;
   auto run = [&](const Query& query) {
-    Result<QueryResult> result = session.Execute("t", query);
+    Result<QueryResult> result = session.ExecuteSpec(QuerySpec::Simple("t", query));
     ADASKIP_CHECK_OK(result);
     outcome.results.push_back(Capture(result.value()));
   };

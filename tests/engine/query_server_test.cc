@@ -1,0 +1,377 @@
+#include "adaskip/engine/query_server.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "adaskip/util/background_thread.h"
+#include "adaskip/util/stopwatch.h"
+#include "adaskip/workload/data_generator.h"
+
+namespace adaskip {
+namespace {
+
+// A session with one indexed int64 table of `rows` rows in [0, range).
+std::unique_ptr<Session> MakeSession(int64_t rows = 20000) {
+  auto session = std::make_unique<Session>();
+  ADASKIP_CHECK_OK(session->CreateTable("t"));
+  DataGenOptions gen;
+  gen.order = DataOrder::kClustered;
+  gen.num_rows = rows;
+  gen.value_range = rows;
+  gen.seed = 7;
+  ADASKIP_CHECK_OK(
+      session->AddColumn<int64_t>("t", "x", GenerateData<int64_t>(gen)));
+  ADASKIP_CHECK_OK(
+      session->AttachIndex("t", "x", IndexOptions::Adaptive()));
+  return session;
+}
+
+QuerySpec CountBetween(int64_t lo, int64_t hi) {
+  return QuerySpec::Simple(
+      "t", Query::Count(Predicate::Between<int64_t>("x", lo, hi)));
+}
+
+TEST(QueryServerOptionsTest, ValidateRejectsBadKnobs) {
+  QueryServerOptions ok;
+  EXPECT_TRUE(ValidateQueryServerOptions(ok).ok());
+
+  QueryServerOptions bad_window;
+  bad_window.batching_window_nanos = -1;
+  EXPECT_EQ(ValidateQueryServerOptions(bad_window).code(),
+            StatusCode::kInvalidArgument);
+
+  QueryServerOptions bad_width;
+  bad_width.max_batch_width = 0;
+  EXPECT_EQ(ValidateQueryServerOptions(bad_width).code(),
+            StatusCode::kInvalidArgument);
+
+  QueryServerOptions bad_queue;
+  bad_queue.max_queue = 0;
+  EXPECT_EQ(ValidateQueryServerOptions(bad_queue).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServerTest, SubmitAndDispatchAnswersQueries) {
+  auto session = MakeSession();
+  QueryServerOptions options;
+  options.auto_dispatch = false;
+  QueryServer server(session.get(), options);
+
+  std::vector<std::future<Result<QueryResult>>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(server.Submit(CountBetween(i * 100, i * 100 + 500)));
+  }
+  EXPECT_EQ(server.queue_depth(), 8);
+  EXPECT_EQ(server.DispatchNow(), 8);
+  EXPECT_EQ(server.queue_depth(), 0);
+
+  for (int i = 0; i < 8; ++i) {
+    Result<QueryResult> result = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(result.ok()) << result.status();
+    // Same answer as direct execution.
+    Result<QueryResult> direct =
+        session->ExecuteSpec(CountBetween(i * 100, i * 100 + 500));
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(result->count, direct->count);
+    EXPECT_EQ(result->stats.shared_batch_width, 8);
+  }
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted(), 8);
+  EXPECT_EQ(stats.batches(), 1);
+  EXPECT_EQ(stats.shared_queries(), 8);
+  EXPECT_EQ(stats.shed(), 0);
+
+  std::vector<BatchTraceEntry> batches = server.RecentBatches();
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].table, "t");
+  EXPECT_EQ(batches[0].width, 8);
+}
+
+TEST(QueryServerTest, DuplicatePredicatesShareOneScan) {
+  auto session = MakeSession();
+  QueryServerOptions options;
+  options.auto_dispatch = false;
+  QueryServer server(session.get(), options);
+
+  // The dashboard pattern: every client refreshes the same panel. The
+  // pass scans the predicate once; each copy still gets its own answer
+  // and its own adaptation feedback.
+  std::vector<std::future<Result<QueryResult>>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(server.Submit(CountBetween(4000, 5000)));
+  }
+  EXPECT_EQ(server.DispatchNow(), 16);
+
+  Result<QueryResult> direct = session->ExecuteSpec(CountBetween(4000, 5000));
+  ASSERT_TRUE(direct.ok());
+  for (auto& future : futures) {
+    Result<QueryResult> result = future.get();
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->count, direct->count);
+  }
+
+  // One physical scan answered all 16 queries: the pass's kernel rows
+  // are a fraction of what 16 standalone executions would have touched.
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.shared_queries(), 16);
+  EXPECT_GT(stats.serial_equivalent_rows(), 0);
+  EXPECT_LE(stats.kernel_rows() * 8, stats.serial_equivalent_rows());
+  EXPECT_GT(stats.saved_rows(), 0);
+}
+
+TEST(QueryServerTest, OneBadQueryInABatchFailsAlone) {
+  auto session = MakeSession();
+  QueryServerOptions options;
+  options.auto_dispatch = false;
+  QueryServer server(session.get(), options);
+
+  std::future<Result<QueryResult>> good1 =
+      server.Submit(CountBetween(0, 1000));
+  // Unknown column: passes spec validation (schema is the executor's
+  // job), fails inside the batch.
+  std::future<Result<QueryResult>> bad = server.Submit(QuerySpec::Simple(
+      "t", Query::Count(Predicate::Between<int64_t>("nope", 0, 1))));
+  std::future<Result<QueryResult>> good2 =
+      server.Submit(CountBetween(500, 1500));
+
+  EXPECT_EQ(server.DispatchNow(), 3);
+
+  Result<QueryResult> r1 = good1.get();
+  Result<QueryResult> rb = bad.get();
+  Result<QueryResult> r2 = good2.get();
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  EXPECT_EQ(rb.status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(r2.ok()) << r2.status();
+
+  Result<QueryResult> d1 = session->ExecuteSpec(CountBetween(0, 1000));
+  Result<QueryResult> d2 = session->ExecuteSpec(CountBetween(500, 1500));
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  EXPECT_EQ(r1->count, d1->count);
+  EXPECT_EQ(r2->count, d2->count);
+  EXPECT_EQ(server.stats().failed_queries(), 1);
+}
+
+TEST(QueryServerTest, InvalidSpecFailsWithoutTakingAQueueSlot) {
+  auto session = MakeSession();
+  QueryServerOptions options;
+  options.auto_dispatch = false;
+  QueryServer server(session.get(), options);
+
+  QuerySpec invalid;  // No table, no predicates.
+  Result<QueryResult> result = server.Submit(std::move(invalid)).get();
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.queue_depth(), 0);
+  EXPECT_EQ(server.stats().submitted(), 0);
+}
+
+TEST(QueryServerTest, ShedsWithResourceExhaustedWhenQueueIsFull) {
+  auto session = MakeSession();
+  QueryServerOptions options;
+  options.auto_dispatch = false;
+  options.max_queue = 2;
+  QueryServer server(session.get(), options);
+
+  std::future<Result<QueryResult>> a = server.Submit(CountBetween(0, 100));
+  std::future<Result<QueryResult>> b = server.Submit(CountBetween(0, 200));
+  std::future<Result<QueryResult>> c = server.Submit(CountBetween(0, 300));
+
+  // The third submission resolved immediately, rejected at admission.
+  Result<QueryResult> shed = c.get();
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(server.queue_depth(), 2);
+  EXPECT_EQ(server.stats().shed(), 1);
+
+  EXPECT_EQ(server.DispatchNow(), 2);
+  EXPECT_TRUE(a.get().ok());
+  EXPECT_TRUE(b.get().ok());
+}
+
+TEST(QueryServerTest, ExpiredDeadlineFailsWithoutExecuting) {
+  auto session = MakeSession();
+  QueryServerOptions options;
+  options.auto_dispatch = false;
+  QueryServer server(session.get(), options);
+
+  QuerySpec doomed = CountBetween(0, 1000);
+  doomed.deadline_nanos = 1;  // Expires effectively immediately.
+  std::future<Result<QueryResult>> expired = server.Submit(doomed);
+  std::future<Result<QueryResult>> alive =
+      server.Submit(CountBetween(0, 1000));
+
+  // Let the 1ns deadline pass, then dispatch.
+  Stopwatch wait;
+  while (wait.ElapsedNanos() < 1'000'000) {
+  }
+  EXPECT_EQ(server.DispatchNow(), 2);
+
+  Result<QueryResult> dead = expired.get();
+  EXPECT_EQ(dead.status().code(), StatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(alive.get().ok());
+
+  // The expired query never executed: only the live one reached the
+  // session's workload stats.
+  EXPECT_EQ(session->workload_stats().num_queries(), 1);
+  EXPECT_EQ(server.stats().expired(), 1);
+}
+
+TEST(QueryServerTest, InteractiveClassDispatchesBeforeBatchClass) {
+  auto session = MakeSession();
+  QueryServerOptions options;
+  options.auto_dispatch = false;
+  QueryServer server(session.get(), options);
+
+  QuerySpec background = CountBetween(0, 500);
+  background.priority = QueryPriority::kBatch;
+  std::future<Result<QueryResult>> slow1 = server.Submit(background);
+  std::future<Result<QueryResult>> slow2 = server.Submit(background);
+
+  QuerySpec urgent = CountBetween(0, 900);
+  urgent.priority = QueryPriority::kInteractive;
+  std::future<Result<QueryResult>> fast = server.Submit(urgent);
+
+  // First dispatch takes ONLY the interactive query, though it arrived
+  // last; the batch-class pair waits for the second dispatch.
+  EXPECT_EQ(server.DispatchNow(), 1);
+  ASSERT_TRUE(fast.get().ok());
+  EXPECT_EQ(server.queue_depth(), 2);
+
+  EXPECT_EQ(server.DispatchNow(), 2);
+  ASSERT_TRUE(slow1.get().ok());
+  ASSERT_TRUE(slow2.get().ok());
+}
+
+TEST(QueryServerTest, BatchWidthIsCapped) {
+  auto session = MakeSession();
+  QueryServerOptions options;
+  options.auto_dispatch = false;
+  options.max_batch_width = 4;
+  QueryServer server(session.get(), options);
+
+  std::vector<std::future<Result<QueryResult>>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(server.Submit(CountBetween(i * 50, i * 50 + 500)));
+  }
+  EXPECT_EQ(server.DispatchNow(), 4);
+  EXPECT_EQ(server.DispatchNow(), 4);
+  EXPECT_EQ(server.DispatchNow(), 2);
+  EXPECT_EQ(server.DispatchNow(), 0);
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(server.stats().batches(), 3);
+}
+
+TEST(QueryServerTest, SubmitAfterShutdownFailsPrecondition) {
+  auto session = MakeSession();
+  QueryServerOptions options;
+  options.auto_dispatch = false;
+  QueryServer server(session.get(), options);
+  server.Shutdown();
+  Result<QueryResult> result = server.Submit(CountBetween(0, 100)).get();
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(QueryServerTest, ShutdownDrainsPendingQueries) {
+  auto session = MakeSession();
+  QueryServerOptions options;
+  options.auto_dispatch = false;
+  options.max_batch_width = 2;
+  QueryServer server(session.get(), options);
+  std::vector<std::future<Result<QueryResult>>> futures;
+  for (int i = 0; i < 7; ++i) {
+    futures.push_back(server.Submit(CountBetween(i * 100, i * 100 + 300)));
+  }
+  server.Shutdown();  // Drains all 7 across 4 capped batches.
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(session->workload_stats().num_queries(), 7);
+}
+
+TEST(QueryServerTest, AutoDispatcherAnswersSubmissions) {
+  auto session = MakeSession();
+  QueryServerOptions options;
+  options.batching_window_nanos = 100'000;
+  QueryServer server(session.get(), options);
+
+  std::vector<std::future<Result<QueryResult>>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(server.Submit(CountBetween(i * 100, i * 100 + 400)));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<QueryResult> result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_GE(result->stats.shared_batch_width, 0);
+  }
+  EXPECT_EQ(server.stats().submitted(), 16);
+}
+
+// Many client threads hammering Submit while the dispatcher drains:
+// the TSan CI tier runs this to prove the server's locking discipline.
+TEST(QueryServerTest, ConcurrentSubmissionsFromManyThreads) {
+  auto session = MakeSession();
+  QueryServerOptions options;
+  options.batching_window_nanos = 50'000;
+  QueryServer server(session.get(), options);
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 25;
+  std::vector<int64_t> ok_counts(kClients, 0);
+  {
+    std::vector<std::unique_ptr<BackgroundThread>> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.push_back(std::make_unique<BackgroundThread>(
+          [&server, &ok = ok_counts[static_cast<size_t>(c)], c] {
+            for (int i = 0; i < kPerClient; ++i) {
+              const int64_t lo = (c * kPerClient + i) * 37 % 15000;
+              Result<QueryResult> result =
+                  server.Submit(CountBetween(lo, lo + 500)).get();
+              if (result.ok()) ++ok;
+            }
+          }));
+    }
+    for (auto& t : clients) t->Join();
+  }
+  int64_t total_ok = 0;
+  for (int64_t n : ok_counts) total_ok += n;
+  EXPECT_EQ(total_ok, kClients * kPerClient);
+  EXPECT_EQ(server.stats().submitted(), kClients * kPerClient);
+  EXPECT_EQ(server.stats().shed(), 0);
+  // Everything the server admitted reached the session exactly once.
+  EXPECT_EQ(session->workload_stats().num_queries(), kClients * kPerClient);
+}
+
+TEST(ServerStatsTest, RecordAccumulatesAndClearResets) {
+  ServerStats stats;
+  ServerStats::Sample admit;
+  admit.submitted = 1;
+  admit.queue_depth = 3;
+  stats.Record(admit);
+  ServerStats::Sample dispatch;
+  dispatch.batches = 1;
+  dispatch.batch_width = 4;
+  dispatch.solo_queries = 1;
+  dispatch.failed_queries = 2;
+  dispatch.kernel_rows = 100;
+  dispatch.serial_equivalent_rows = 400;
+  dispatch.queue_depth = 1;
+  stats.Record(dispatch);
+
+  EXPECT_EQ(stats.submitted(), 1);
+  EXPECT_EQ(stats.batches(), 1);
+  EXPECT_EQ(stats.shared_queries(), 4);
+  EXPECT_EQ(stats.solo_queries(), 1);
+  EXPECT_EQ(stats.failed_queries(), 2);
+  EXPECT_EQ(stats.saved_rows(), 300);
+  EXPECT_EQ(stats.max_queue_depth(), 3);
+  EXPECT_EQ(stats.batch_width_histogram().count(), 1);
+  EXPECT_NE(stats.Summary().find("batches=1"), std::string::npos);
+
+  stats.Clear();
+  EXPECT_EQ(stats.submitted(), 0);
+  EXPECT_EQ(stats.batches(), 0);
+  EXPECT_EQ(stats.batch_width_histogram().count(), 0);
+}
+
+}  // namespace
+}  // namespace adaskip

@@ -1,0 +1,117 @@
+#include "adaskip/engine/query_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace adaskip {
+namespace {
+
+TEST(QuerySpecTest, SimpleCarriesOldExecuteSemantics) {
+  QuerySpec spec = QuerySpec::Simple(
+      "t", Query::Count(Predicate::Between<int64_t>("x", 1, 9)));
+  EXPECT_EQ(spec.table, "t");
+  EXPECT_EQ(spec.deadline_nanos, 0);
+  EXPECT_EQ(spec.priority, QueryPriority::kInteractive);
+  EXPECT_FALSE(spec.trace_level.has_value());
+  EXPECT_TRUE(ValidateQuerySpec(spec).ok());
+}
+
+TEST(QuerySpecTest, ValidateRejectsMalformedSpecs) {
+  QuerySpec empty_table = QuerySpec::Simple(
+      "", Query::Count(Predicate::Equal<int64_t>("x", 1)));
+  EXPECT_EQ(ValidateQuerySpec(empty_table).code(),
+            StatusCode::kInvalidArgument);
+
+  QuerySpec no_predicates;
+  no_predicates.table = "t";
+  EXPECT_EQ(ValidateQuerySpec(no_predicates).code(),
+            StatusCode::kInvalidArgument);
+
+  QuerySpec bad_deadline = QuerySpec::Simple(
+      "t", Query::Count(Predicate::Equal<int64_t>("x", 1)));
+  bad_deadline.deadline_nanos = -5;
+  EXPECT_EQ(ValidateQuerySpec(bad_deadline).code(),
+            StatusCode::kInvalidArgument);
+
+  QuerySpec bad_priority = QuerySpec::Simple(
+      "t", Query::Count(Predicate::Equal<int64_t>("x", 1)));
+  bad_priority.priority = static_cast<QueryPriority>(42);
+  EXPECT_EQ(ValidateQuerySpec(bad_priority).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(QueryBuilderTest, FluentChainBuildsValidatedSpec) {
+  Result<QuerySpec> spec =
+      QueryBuilder("readings")
+          .Where(Predicate::Between<double>("temp", 10.0, 20.0))
+          .Count()
+          .Priority(QueryPriority::kBatch)
+          .Deadline(1'000'000)
+          .TraceLevel(obs::TraceLevel::kSummary)
+          .Build();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->table, "readings");
+  ASSERT_EQ(spec->query.predicates.size(), 1u);
+  EXPECT_EQ(spec->query.aggregate, AggregateKind::kCount);
+  EXPECT_EQ(spec->priority, QueryPriority::kBatch);
+  EXPECT_EQ(spec->deadline_nanos, 1'000'000);
+  ASSERT_TRUE(spec->trace_level.has_value());
+  EXPECT_EQ(*spec->trace_level, obs::TraceLevel::kSummary);
+}
+
+TEST(QueryBuilderTest, WhereAccumulatesConjunctionTerms) {
+  Result<QuerySpec> spec =
+      QueryBuilder("t")
+          .Where(Predicate::Between<int64_t>("x", 0, 10))
+          .Where(Predicate::Between<int64_t>("y", 5, 15))
+          .Count()
+          .Build();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->query.predicates.size(), 2u);
+}
+
+TEST(QueryBuilderTest, AggregateVariantsSetKindAndColumn) {
+  Result<QuerySpec> sum = QueryBuilder("t")
+                              .Where(Predicate::Equal<int64_t>("x", 1))
+                              .Sum("y")
+                              .Build();
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->query.aggregate, AggregateKind::kSum);
+  EXPECT_EQ(sum->query.aggregate_column, "y");
+
+  Result<QuerySpec> min = QueryBuilder("t")
+                              .Where(Predicate::Equal<int64_t>("x", 1))
+                              .Min()
+                              .Build();
+  ASSERT_TRUE(min.ok());
+  EXPECT_EQ(min->query.aggregate, AggregateKind::kMin);
+  EXPECT_TRUE(min->query.aggregate_column.empty());
+
+  Result<QuerySpec> rows = QueryBuilder("t")
+                               .Where(Predicate::Equal<int64_t>("x", 1))
+                               .Materialize()
+                               .Build();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->query.aggregate, AggregateKind::kMaterialize);
+}
+
+TEST(QueryBuilderTest, BuildRejectsEmptySpecAndStaysReusable) {
+  QueryBuilder builder("t");
+  EXPECT_EQ(builder.Build().status().code(), StatusCode::kInvalidArgument);
+  builder.Where(Predicate::Equal<int64_t>("x", 1));
+  EXPECT_TRUE(builder.Build().ok());
+  // Build returns a copy; a second Build yields an equivalent spec.
+  EXPECT_TRUE(builder.Build().ok());
+}
+
+TEST(QuerySpecTest, ToStringMentionsTableAndScheduling) {
+  QuerySpec spec = QuerySpec::Simple(
+      "ticks", Query::Count(Predicate::Between<int64_t>("px", 1, 2)));
+  spec.priority = QueryPriority::kBatch;
+  spec.deadline_nanos = 5'000'000;
+  const std::string text = spec.ToString();
+  EXPECT_NE(text.find("ticks"), std::string::npos);
+  EXPECT_NE(text.find("batch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adaskip

@@ -73,8 +73,8 @@ TEST(SessionTest, ExecuteAccumulatesWorkloadStats) {
   ASSERT_TRUE(session.AttachIndex("t", "x", IndexOptions::ZoneMap(500)).ok());
 
   for (int i = 0; i < 5; ++i) {
-    Result<QueryResult> result = session.Execute(
-        "t", Query::Count(Predicate::Between<int64_t>("x", 100, 200)));
+    Result<QueryResult> result = session.ExecuteSpec(QuerySpec::Simple(
+        "t", Query::Count(Predicate::Between<int64_t>("x", 100, 200))));
     ASSERT_TRUE(result.ok());
   }
   EXPECT_EQ(session.workload_stats().num_queries(), 5);
@@ -88,8 +88,8 @@ TEST(SessionTest, ExecuteAccumulatesWorkloadStats) {
 TEST(SessionTest, ExecuteOnMissingTableFails) {
   Session session;
   EXPECT_EQ(session
-                .Execute("nope",
-                         Query::Count(Predicate::Between<int64_t>("x", 0, 1)))
+                .ExecuteSpec(QuerySpec::Simple("nope",
+                         Query::Count(Predicate::Between<int64_t>("x", 0, 1))))
                 .status()
                 .code(),
             StatusCode::kNotFound);
@@ -112,8 +112,8 @@ TEST(SessionTest, AdaptiveIndexIsIntrospectable) {
   for (int i = 0; i < 10; ++i) {
     int64_t lo = 1000 * i;
     ASSERT_TRUE(session
-                    .Execute("t", Query::Count(Predicate::Between<int64_t>(
-                                      "x", lo, lo + 150)))
+                    .ExecuteSpec(QuerySpec::Simple("t", Query::Count(Predicate::Between<int64_t>(
+                                      "x", lo, lo + 150))))
                     .ok());
   }
   Result<IndexSnapshot> snapshot = session.DescribeIndex("t", "x");
@@ -141,8 +141,8 @@ TEST(SessionTest, TelemetryTogglesJournalHealthAndDump) {
   // Both toggles default off: queries leave the journal and the health
   // monitor untouched.
   ASSERT_TRUE(session
-                  .Execute("t", Query::Count(
-                                    Predicate::Between<int64_t>("x", 0, 150)))
+                  .ExecuteSpec(QuerySpec::Simple("t", Query::Count(
+                                    Predicate::Between<int64_t>("x", 0, 150))))
                   .ok());
   EXPECT_EQ(session.journal().total_appended(), 0);
   EXPECT_TRUE(session.HealthReport().empty());
@@ -158,8 +158,8 @@ TEST(SessionTest, TelemetryTogglesJournalHealthAndDump) {
   for (int i = 0; i < 12; ++i) {
     int64_t lo = 1000 * i;
     ASSERT_TRUE(session
-                    .Execute("t", Query::Count(Predicate::Between<int64_t>(
-                                      "x", lo, lo + 150)))
+                    .ExecuteSpec(QuerySpec::Simple("t", Query::Count(Predicate::Between<int64_t>(
+                                      "x", lo, lo + 150))))
                     .ok());
   }
   // The adaptive index split under this workload, and every structural
@@ -189,8 +189,8 @@ TEST(SessionTest, TelemetryTogglesJournalHealthAndDump) {
   for (int i = 0; i < 12; ++i) {
     int64_t lo = 500 + 1000 * i;
     ASSERT_TRUE(session
-                    .Execute("t", Query::Count(Predicate::Between<int64_t>(
-                                      "x", lo, lo + 150)))
+                    .ExecuteSpec(QuerySpec::Simple("t", Query::Count(Predicate::Between<int64_t>(
+                                      "x", lo, lo + 150))))
                     .ok());
   }
   EXPECT_EQ(session.journal().total_appended(), before);
@@ -215,8 +215,8 @@ TEST(SessionTest, DescribeIndexReportsAdaptationState) {
   for (int i = 0; i < 10; ++i) {
     int64_t lo = 1000 * i;
     ASSERT_TRUE(session
-                    .Execute("t", Query::Count(Predicate::Between<int64_t>(
-                                      "x", lo, lo + 150)))
+                    .ExecuteSpec(QuerySpec::Simple("t", Query::Count(Predicate::Between<int64_t>(
+                                      "x", lo, lo + 150))))
                     .ok());
   }
   Result<IndexSnapshot> snapshot = session.DescribeIndex("t", "x");
@@ -235,10 +235,129 @@ TEST(SessionTest, WorkloadStatsSummaryMentionsQueries) {
   ASSERT_TRUE(session.CreateTable("t").ok());
   ASSERT_TRUE(session.AddColumn<int64_t>("t", "x", {1, 2, 3}).ok());
   ASSERT_TRUE(
-      session.Execute("t", Query::Count(Predicate::Equal<int64_t>("x", 2)))
+      session.ExecuteSpec(QuerySpec::Simple("t", Query::Count(Predicate::Equal<int64_t>("x", 2))))
           .ok());
   EXPECT_NE(session.workload_stats().Summary().find("1 queries"),
             std::string::npos);
+}
+
+// The ONE sanctioned use of the deprecated one-query-at-a-time entry
+// point: prove the shim forwards to ExecuteSpec unchanged. Every other
+// call site has been migrated; new code builds a QuerySpec.
+TEST(SessionTest, DeprecatedExecuteShimForwardsToExecuteSpec) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t").ok());
+  ASSERT_TRUE(session.AddColumn<int64_t>("t", "x", {1, 2, 3, 4, 5}).ok());
+  const Query query = Query::Count(Predicate::Between<int64_t>("x", 2, 4));
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  Result<QueryResult> via_shim = session.Execute("t", query);
+#pragma GCC diagnostic pop
+  Result<QueryResult> via_spec =
+      session.ExecuteSpec(QuerySpec::Simple("t", query));
+  ASSERT_TRUE(via_shim.ok());
+  ASSERT_TRUE(via_spec.ok());
+  EXPECT_EQ(via_shim->count, 3);
+  EXPECT_EQ(via_spec->count, via_shim->count);
+  EXPECT_EQ(session.workload_stats().num_queries(), 2);
+}
+
+TEST(SessionTest, ExecuteSpecRejectsInvalidSpec) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t").ok());
+  ASSERT_TRUE(session.AddColumn<int64_t>("t", "x", {1, 2, 3}).ok());
+  QuerySpec no_predicates;
+  no_predicates.table = "t";
+  EXPECT_EQ(session.ExecuteSpec(no_predicates).status().code(),
+            StatusCode::kInvalidArgument);
+  QuerySpec negative_deadline = QuerySpec::Simple(
+      "t", Query::Count(Predicate::Equal<int64_t>("x", 1)));
+  negative_deadline.deadline_nanos = -1;
+  EXPECT_EQ(session.ExecuteSpec(negative_deadline).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionTest, ExecuteSpecHonorsTraceOverride) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t").ok());
+  ASSERT_TRUE(session.AddColumn<int64_t>("t", "x", {1, 2, 3, 4, 5}).ok());
+  QuerySpec spec = QuerySpec::Simple(
+      "t", Query::Count(Predicate::Between<int64_t>("x", 1, 3)));
+  // Table default is kOff: no trace captured.
+  Result<QueryResult> plain = session.ExecuteSpec(spec);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->trace, nullptr);
+  // Per-query override captures a trace without touching table state.
+  spec.trace_level = obs::TraceLevel::kSummary;
+  Result<QueryResult> traced = session.ExecuteSpec(spec);
+  ASSERT_TRUE(traced.ok());
+  EXPECT_NE(traced->trace, nullptr);
+  // And the table's configured level is back to kOff afterwards.
+  spec.trace_level.reset();
+  Result<QueryResult> after = session.ExecuteSpec(spec);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->trace, nullptr);
+}
+
+TEST(SessionConfigureTest, AppliesOptionsAtomically) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t").ok());
+  ASSERT_TRUE(session.AddColumn<int64_t>("t", "x", {1, 2, 3}).ok());
+
+  SessionOptions options;
+  ExecOptions exec;
+  exec.num_threads = 2;
+  exec.morsel_rows = 4096;
+  options.tables["t"].exec = exec;
+  obs::HealthMonitorOptions health;
+  health.window_queries = 8;
+  options.health = health;
+  ASSERT_TRUE(session.Configure(options).ok());
+
+  // The per-table exec options actually landed.
+  ASSERT_TRUE(
+      session
+          .ExecuteSpec(QuerySpec::Simple(
+              "t", Query::Count(Predicate::Equal<int64_t>("x", 2))))
+          .ok());
+}
+
+TEST(SessionConfigureTest, RejectsUnknownTableWithoutApplyingAnything) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t").ok());
+  ASSERT_TRUE(session.AddColumn<int64_t>("t", "x", {1, 2, 3}).ok());
+
+  SessionOptions options;
+  ExecOptions good;
+  good.num_threads = 2;
+  options.tables["t"].exec = good;
+  options.tables["missing"].exec = ExecOptions();
+  EXPECT_EQ(session.Configure(options).code(), StatusCode::kNotFound);
+}
+
+TEST(SessionConfigureTest, RejectsInvalidKnobsInValidationPhase) {
+  Session session;
+  ASSERT_TRUE(session.CreateTable("t").ok());
+  ASSERT_TRUE(session.AddColumn<int64_t>("t", "x", {1, 2, 3}).ok());
+
+  SessionOptions bad_exec;
+  ExecOptions exec;
+  exec.num_threads = 0;
+  bad_exec.tables["t"].exec = exec;
+  EXPECT_EQ(session.Configure(bad_exec).code(), StatusCode::kInvalidArgument);
+
+  SessionOptions bad_health;
+  obs::HealthMonitorOptions health;
+  health.window_queries = 0;
+  bad_health.health = health;
+  EXPECT_EQ(session.Configure(bad_health).code(),
+            StatusCode::kInvalidArgument);
+
+  SessionOptions bad_drop;
+  obs::HealthMonitorOptions drop;
+  drop.degrade_drop = 1.5;
+  bad_drop.health = drop;
+  EXPECT_EQ(session.Configure(bad_drop).code(), StatusCode::kInvalidArgument);
 }
 
 TEST(QueryStatsTest, ToStringContainsIndexName) {

@@ -213,7 +213,7 @@ TEST(IntegrationTest, MultiColumnConjunctionWithMixedIndexes) {
   query.predicates = {Predicate::Between<int64_t>("time", 20000, 40000),
                       Predicate::Between<int64_t>("value", 30000, 70000)};
   query.aggregate = AggregateKind::kCount;
-  Result<QueryResult> with_index = session.Execute("t", query);
+  Result<QueryResult> with_index = session.ExecuteSpec(QuerySpec::Simple("t", query));
   ASSERT_TRUE(with_index.ok());
 
   // Same question without indexes must agree.
@@ -227,7 +227,7 @@ TEST(IntegrationTest, MultiColumnConjunctionWithMixedIndexes) {
   gen.seed = 2;
   ADASKIP_CHECK_OK(
       bare.AddColumn<int64_t>("t", "value", GenerateData<int64_t>(gen)));
-  Result<QueryResult> without_index = bare.Execute("t", query);
+  Result<QueryResult> without_index = bare.ExecuteSpec(QuerySpec::Simple("t", query));
   ASSERT_TRUE(without_index.ok());
   EXPECT_EQ(with_index->count, without_index->count);
   // The sorted time zonemap restricts the scan.

@@ -68,8 +68,8 @@ class CorruptionTest : public ::testing::Test {
     for (int i = 0; i < count; ++i) {
       const int64_t lo = offset + 1000 * i;
       ASSERT_TRUE(live_
-                      ->Execute("t", Query::Count(Predicate::Between<int64_t>(
-                                         "x", lo, lo + 150)))
+                      ->ExecuteSpec(QuerySpec::Simple("t", Query::Count(Predicate::Between<int64_t>(
+                                         "x", lo, lo + 150))))
                       .ok());
     }
   }

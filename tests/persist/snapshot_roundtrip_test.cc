@@ -36,8 +36,8 @@ void RunQueries(Session& session, int count, int64_t offset = 0) {
   for (int i = 0; i < count; ++i) {
     const int64_t lo = offset + 1000 * i;
     ASSERT_TRUE(session
-                    .Execute("t", Query::Count(Predicate::Between<int64_t>(
-                                      "x", lo, lo + 150)))
+                    .ExecuteSpec(QuerySpec::Simple("t", Query::Count(Predicate::Between<int64_t>(
+                                      "x", lo, lo + 150))))
                     .ok());
   }
 }
@@ -49,8 +49,8 @@ void ExpectIdenticalQueries(Session& live, Session& restored) {
     const int64_t lo = 500 + 1500 * i;
     const Query query =
         Query::Count(Predicate::Between<int64_t>("x", lo, lo + 300));
-    Result<QueryResult> a = live.Execute("t", query);
-    Result<QueryResult> b = restored.Execute("t", query);
+    Result<QueryResult> a = live.ExecuteSpec(QuerySpec::Simple("t", query));
+    Result<QueryResult> b = restored.ExecuteSpec(QuerySpec::Simple("t", query));
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
     EXPECT_EQ(a->count, b->count);
@@ -130,8 +130,8 @@ TEST(SnapshotRoundTripTest, FloatingPointColumn) {
   ASSERT_TRUE(live.AddColumn<double>("t", "x", std::move(values)).ok());
   ASSERT_TRUE(
       live.AttachIndex("t", "x", OptionsFor(IndexKind::kZoneMap)).ok());
-  ASSERT_TRUE(live.Execute("t", Query::Count(Predicate::Between<double>(
-                                    "x", 100.5, 400.25)))
+  ASSERT_TRUE(live.ExecuteSpec(QuerySpec::Simple("t", Query::Count(Predicate::Between<double>(
+                                    "x", 100.5, 400.25))))
                   .ok());
 
   const std::string dir = SnapshotDir("double_column");
@@ -141,8 +141,8 @@ TEST(SnapshotRoundTripTest, FloatingPointColumn) {
   ExpectIdenticalSnapshots(live, restored);
   const Query query =
       Query::Sum(Predicate::Between<double>("x", 10.5, 99.75), "x");
-  Result<QueryResult> a = live.Execute("t", query);
-  Result<QueryResult> b = restored.Execute("t", query);
+  Result<QueryResult> a = live.ExecuteSpec(QuerySpec::Simple("t", query));
+  Result<QueryResult> b = restored.ExecuteSpec(QuerySpec::Simple("t", query));
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(a->count, b->count);
@@ -181,11 +181,11 @@ TEST(SnapshotRoundTripTest, MultipleTablesAndColumns) {
   ASSERT_TRUE(u_restored.ok());
   EXPECT_EQ(u_live->description, u_restored->description);
   // The unindexed column came back with its payload intact.
-  Result<QueryResult> c = restored.Execute(
-      "u", Query::Count(Predicate::Between<int64_t>("y", 0, 5000)));
+  Result<QueryResult> c = restored.ExecuteSpec(QuerySpec::Simple(
+      "u", Query::Count(Predicate::Between<int64_t>("y", 0, 5000))));
   ASSERT_TRUE(c.ok());
-  Result<QueryResult> c_live = live.Execute(
-      "u", Query::Count(Predicate::Between<int64_t>("y", 0, 5000)));
+  Result<QueryResult> c_live = live.ExecuteSpec(QuerySpec::Simple(
+      "u", Query::Count(Predicate::Between<int64_t>("y", 0, 5000))));
   ASSERT_TRUE(c_live.ok());
   EXPECT_EQ(c->count, c_live->count);
 }
@@ -219,8 +219,8 @@ TEST(SnapshotRoundTripTest, PackedSegmentsSurviveCheckpoint) {
   EXPECT_EQ((*restored_table)->MemoryUsageBytes(), live_bytes);
   const Query query =
       Query::Count(Predicate::Between<int64_t>("x", 10, 60));
-  Result<QueryResult> a = live.Execute("t", query);
-  Result<QueryResult> b = restored.Execute("t", query);
+  Result<QueryResult> a = live.ExecuteSpec(QuerySpec::Simple("t", query));
+  Result<QueryResult> b = restored.ExecuteSpec(QuerySpec::Simple("t", query));
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(a->count, b->count);
@@ -294,8 +294,8 @@ TEST(SnapshotRoundTripTest, LayoutDecisionsAfterCheckpointReplayFromTail) {
             table->MemoryUsageBytes());
   const Query query =
       Query::Count(Predicate::Between<int64_t>("x", 10, 60));
-  Result<QueryResult> a = live.Execute("t", query);
-  Result<QueryResult> b = restored.Execute("t", query);
+  Result<QueryResult> a = live.ExecuteSpec(QuerySpec::Simple("t", query));
+  Result<QueryResult> b = restored.ExecuteSpec(QuerySpec::Simple("t", query));
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(a->count, b->count);

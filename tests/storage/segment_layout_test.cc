@@ -147,8 +147,8 @@ TEST(SegmentLayoutSessionTest, CostModelAdoptsPackedLayoutsAndJournalsThem) {
         Query::Min(Predicate::Between<int64_t>("x", 5010, 5290)),
         Query::Max(Predicate::Between<int64_t>("x", 5010, 5290)),
         Query::Materialize(Predicate::Between<int64_t>("x", 5295, 5299))}) {
-    Result<QueryResult> got = session.Execute("t", query);
-    Result<QueryResult> want = twin.Execute("t", query);
+    Result<QueryResult> got = session.ExecuteSpec(QuerySpec::Simple("t", query));
+    Result<QueryResult> want = twin.ExecuteSpec(QuerySpec::Simple("t", query));
     ADASKIP_CHECK_OK(got);
     ADASKIP_CHECK_OK(want);
     EXPECT_EQ(got.value().count, want.value().count);
@@ -449,8 +449,8 @@ TEST(SegmentLayoutReplayTest, RejectsJournalAgainstDriftedData) {
 
 void ExpectSameResults(Session& got_session, Session& want_session,
                        const Query& query) {
-  Result<QueryResult> got = got_session.Execute("t", query);
-  Result<QueryResult> want = want_session.Execute("t", query);
+  Result<QueryResult> got = got_session.ExecuteSpec(QuerySpec::Simple("t", query));
+  Result<QueryResult> want = want_session.ExecuteSpec(QuerySpec::Simple("t", query));
   ADASKIP_CHECK_OK(got);
   ADASKIP_CHECK_OK(want);
   EXPECT_EQ(got.value().count, want.value().count);

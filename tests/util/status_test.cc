@@ -32,6 +32,11 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
       {Status::Unimplemented("f"), StatusCode::kUnimplemented,
        "Unimplemented"},
       {Status::Internal("g"), StatusCode::kInternal, "Internal"},
+      {Status::DataLoss("h"), StatusCode::kDataLoss, "DataLoss"},
+      {Status::ResourceExhausted("i"), StatusCode::kResourceExhausted,
+       "ResourceExhausted"},
+      {Status::DeadlineExceeded("j"), StatusCode::kDeadlineExceeded,
+       "DeadlineExceeded"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());

@@ -146,7 +146,7 @@ TEST(MixedWorkloadTest, MixedRunMatchesAllUpfrontRun) {
         continue;
       }
       Result<QueryResult> result =
-          session.Execute("t", Query::Count(op.query));
+          session.ExecuteSpec(QuerySpec::Simple("t", Query::Count(op.query)));
       ADASKIP_CHECK_OK(result.status());
       if (appends_done == 3) counts.push_back(result->count);
     }

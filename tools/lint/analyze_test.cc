@@ -142,6 +142,15 @@ TEST(AnalyzeTest, ExecStatsDrift) {
   EXPECT_EQ(CountMessage(findings, "probe_nanos_"), 2);
 }
 
+TEST(AnalyzeTest, ServerStatsDrift) {
+  const auto findings =
+      AnalyzeFixture("bad/server_stats_drift.cc",
+                     "src/adaskip/engine/server_stats_drift.cc");
+  EXPECT_EQ(CountRule(findings, "exec-stats-sync"), 2);
+  EXPECT_EQ(CountMessage(findings, "ServerStats"), 2);
+  EXPECT_EQ(CountMessage(findings, "shed_"), 2);
+}
+
 TEST(AnalyzeTest, CleanFixtureStaysClean) {
   EXPECT_TRUE(
       AnalyzeFixture("good/clean.cc", "src/adaskip/engine/clean.cc").empty());

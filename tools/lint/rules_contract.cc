@@ -93,39 +93,44 @@ class SkipIndexOverridesRule : public Rule {
   }
 };
 
-/// exec-stats-sync: every WorkloadStats field appears in Record(), and
+/// exec-stats-sync: for every execution-stats accumulator class
+/// (WorkloadStats, ServerStats), each field appears in Record(), and
 /// Clear() either resets the whole object or names every field.
 class ExecStatsSyncRule : public Rule {
  public:
   std::string_view id() const override { return "exec-stats-sync"; }
 
   void Collect(const SourceFile& file) override {
-    HarvestFields(file);
-    HarvestMethod(file, "Record", &record_);
-    HarvestMethod(file, "Clear", &clear_);
+    for (ClassSync& cls : classes_) {
+      HarvestFields(file, cls);
+      HarvestMethod(file, cls.name, "Record", &cls.record);
+      HarvestMethod(file, cls.name, "Clear", &cls.clear);
+    }
   }
 
   void Finish(Reporter& reporter) override {
-    if (fields_.empty()) return;
-    if (!record_.idents.empty()) {
-      for (const std::string& field : fields_) {
-        if (record_.idents.count(field) == 0) {
-          reporter.ReportAt(
-              record_.file, record_.line, id(),
-              "WorkloadStats field '" + field +
-                  "' is not accumulated in WorkloadStats::Record — new stats "
-                  "must be added to the merge logic");
+    for (const ClassSync& cls : classes_) {
+      if (cls.fields.empty()) continue;
+      if (!cls.record.idents.empty()) {
+        for (const std::string& field : cls.fields) {
+          if (cls.record.idents.count(field) == 0) {
+            reporter.ReportAt(
+                cls.record.file, cls.record.line, id(),
+                cls.name + " field '" + field + "' is not accumulated in " +
+                    cls.name + "::Record — new stats must be added to the "
+                    "merge logic");
+          }
         }
       }
-    }
-    if (!clear_.idents.empty() && !clear_.whole_object_reset) {
-      for (const std::string& field : fields_) {
-        if (clear_.idents.count(field) == 0) {
-          reporter.ReportAt(
-              clear_.file, clear_.line, id(),
-              "WorkloadStats field '" + field +
-                  "' is not reset in WorkloadStats::Clear — either reset "
-                  "every field or assign a fresh WorkloadStats()");
+      if (!cls.clear.idents.empty() && !cls.clear.whole_object_reset) {
+        for (const std::string& field : cls.fields) {
+          if (cls.clear.idents.count(field) == 0) {
+            reporter.ReportAt(
+                cls.clear.file, cls.clear.line, id(),
+                cls.name + " field '" + field + "' is not reset in " +
+                    cls.name + "::Clear — either reset every field or "
+                    "assign a fresh " + cls.name + "()");
+          }
         }
       }
     }
@@ -136,13 +141,21 @@ class ExecStatsSyncRule : public Rule {
     std::string file;
     int line = 0;
     std::set<std::string> idents;
-    bool whole_object_reset = false;  // Body contains `WorkloadStats()`.
+    bool whole_object_reset = false;  // Body contains `<ClassName>()`.
   };
 
-  void HarvestFields(const SourceFile& file) {
+  /// One tracked accumulator class and everything harvested about it.
+  struct ClassSync {
+    std::string name;
+    std::vector<std::string> fields;
+    MethodBody record;
+    MethodBody clear;
+  };
+
+  void HarvestFields(const SourceFile& file, ClassSync& cls) {
     for (int i = 0; i + 1 < file.NumCode(); ++i) {
       if (!file.CodeIs(i, TokKind::kIdent, "class") ||
-          !file.CodeIs(i + 1, TokKind::kIdent, "WorkloadStats")) {
+          !file.CodeIs(i + 1, TokKind::kIdent, cls.name)) {
         continue;
       }
       int open = -1;
@@ -170,7 +183,7 @@ class ExecStatsSyncRule : public Rule {
           if (t.text == "(") stmt_has_paren = true;
           if (t.text == ";" && depth == 1) {
             if (!stmt_has_paren && !last_underscore_ident.empty()) {
-              fields_.push_back(last_underscore_ident);
+              cls.fields.push_back(last_underscore_ident);
             }
             stmt_has_paren = false;
             last_underscore_ident.clear();
@@ -185,10 +198,10 @@ class ExecStatsSyncRule : public Rule {
     }
   }
 
-  void HarvestMethod(const SourceFile& file, std::string_view method,
-                     MethodBody* out) {
+  void HarvestMethod(const SourceFile& file, const std::string& cls_name,
+                     std::string_view method, MethodBody* out) {
     for (int i = 0; i + 3 < file.NumCode(); ++i) {
-      if (!file.CodeIs(i, TokKind::kIdent, "WorkloadStats") ||
+      if (!file.CodeIs(i, TokKind::kIdent, cls_name) ||
           !file.CodeIs(i + 1, "::") || file.Code(i + 2).text != method ||
           !file.CodeIs(i + 3, "(")) {
         continue;
@@ -209,7 +222,7 @@ class ExecStatsSyncRule : public Rule {
         const Token& t = file.Code(j);
         if (t.kind == TokKind::kIdent) {
           out->idents.insert(t.text);
-          if (t.text == "WorkloadStats" && file.CodeIs(j + 1, "(")) {
+          if (t.text == cls_name && file.CodeIs(j + 1, "(")) {
             out->whole_object_reset = true;
           }
         }
@@ -218,9 +231,7 @@ class ExecStatsSyncRule : public Rule {
     }
   }
 
-  std::vector<std::string> fields_;
-  MethodBody record_;
-  MethodBody clear_;
+  std::vector<ClassSync> classes_ = {{"WorkloadStats"}, {"ServerStats"}};
 };
 
 /// serialize-binary-pair: any class/struct declaring SerializeBinary

@@ -1,0 +1,30 @@
+// Fixture: a ServerStats whose Record/Clear drifted from the fields —
+// exec-stats-sync tracks the server accumulator exactly like
+// WorkloadStats. Linted under src/adaskip/engine/server_stats_drift.cc.
+
+#include <cstdint>
+
+namespace adaskip {
+
+class ServerStats {
+ public:
+  void Record(int64_t width);
+  void Clear();
+
+ private:
+  int64_t submitted_ = 0;
+  int64_t batches_ = 0;
+  int64_t shed_ = 0;  // Added later; merge/reset never updated.
+};
+
+void ServerStats::Record(int64_t width) {
+  submitted_ += width;
+  ++batches_;
+}
+
+void ServerStats::Clear() {
+  submitted_ = 0;
+  batches_ = 0;
+}
+
+}  // namespace adaskip
