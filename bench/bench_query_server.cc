@@ -17,15 +17,19 @@
 // ADASKIP_BENCH_QUERIES) and archives --json=bench_query_server.json.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "adaskip/engine/query_server.h"
 #include "adaskip/engine/session.h"
 #include "adaskip/obs/json.h"
+#include "adaskip/obs/telemetry_server.h"
 #include "adaskip/util/logging.h"
 #include "adaskip/util/thread_annotations.h"
 #include "adaskip/workload/concurrent_driver.h"
@@ -245,11 +249,34 @@ void WriteReport(const std::string& path, const BenchConfig& config,
 int Main(int argc, char** argv) {
   const BenchConfig config = BenchConfig::FromEnv();
   const std::string json_path = JsonPathFromArgs(argc, argv);
+  const int64_t telemetry_port =
+      IntFlagFromArgs(argc, argv, "--telemetry_port=", -1);
+  const int64_t linger_millis =
+      IntFlagFromArgs(argc, argv, "--telemetry_linger_millis=", 2000);
 
   PrintHeader("bench_query_server  (shared-scan server vs naive submission)",
               "batching concurrent queries into one adaptive pass multiplies "
               "throughput without hurting tail latency",
               config);
+
+  // --telemetry_port=N exposes the process metrics registry over HTTP
+  // for the duration of the run (plus --telemetry_linger_millis, so a
+  // scraper started alongside the bench always gets the final state).
+  // This is what the CI bench-smoke job curls and pipes through
+  // tools/promcheck. The exposition server needs no session: /metrics
+  // reads the process-global registry both arms write into.
+  std::unique_ptr<obs::TelemetryServer> telemetry;
+  if (telemetry_port >= 0) {
+    obs::TelemetryServerOptions options;
+    options.port = static_cast<int>(telemetry_port);
+    Result<std::unique_ptr<obs::TelemetryServer>> server =
+        obs::TelemetryServer::Start(options);
+    ADASKIP_CHECK_OK(server.status());
+    telemetry = std::move(server).value();
+    telemetry->RegisterHandler("/metrics", obs::MakeMetricsHandler());
+    std::printf("  telemetry: serving /metrics on port %d\n",
+                telemetry->port());
+  }
 
   const std::vector<int64_t> data = MakeData(config, DataOrder::kClustered);
   std::vector<TierOutcome> tiers;
@@ -259,6 +286,9 @@ int Main(int argc, char** argv) {
   }
 
   WriteReport(json_path, config, tiers);
+  if (telemetry != nullptr && linger_millis > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_millis));
+  }
   return 0;
 }
 

@@ -86,17 +86,23 @@ inline std::vector<Query> MakeQueries(const BenchConfig& config,
 /// Builds a fresh session around `data` with `index` on column x and runs
 /// the query stream. Each arm gets its own session so adaptation state
 /// never leaks across arms. `exec` selects serial (default) or
-/// morsel-parallel execution for the arm.
+/// morsel-parallel execution for the arm; `recorder` (when set)
+/// reconfigures the session's always-on flight recorder — the obs
+/// overhead bench passes capacity 0 to isolate its cost.
 inline ArmResult RunArm(const std::vector<int64_t>& data,
                         const IndexOptions& index,
                         const std::vector<Query>& queries,
                         const std::string& label,
-                        const ExecOptions& exec = {}) {
+                        const ExecOptions& exec = {},
+                        const obs::FlightRecorderOptions* recorder = nullptr) {
   Session session;
   ADASKIP_CHECK_OK(session.CreateTable("t"));
   ADASKIP_CHECK_OK(session.AddColumn<int64_t>("t", "x", data));
   ADASKIP_CHECK_OK(session.AttachIndex("t", "x", index));
   ADASKIP_CHECK_OK(session.SetExecOptions("t", exec));
+  if (recorder != nullptr) {
+    ADASKIP_CHECK_OK(session.SetFlightRecorderOptions(*recorder));
+  }
   Result<ArmResult> arm = RunWorkload(&session, "t", "x", queries, label);
   ADASKIP_CHECK_OK(arm);
   return std::move(arm).value();
@@ -154,6 +160,23 @@ inline std::string JsonPathFromArgs(int argc, char** argv) {
     }
   }
   return std::string();
+}
+
+/// Value of an integer `--name=N` flag, or `fallback` when absent or
+/// unparseable. `prefix` includes the equals sign ("--telemetry_port=").
+inline int64_t IntFlagFromArgs(int argc, char** argv, std::string_view prefix,
+                               int64_t fallback) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.substr(0, prefix.size()) != prefix) continue;
+    const std::string value(arg.substr(prefix.size()));
+    char* end = nullptr;
+    const long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && !value.empty()) {
+      return static_cast<int64_t>(parsed);
+    }
+  }
+  return fallback;
 }
 
 /// Writes the run's machine-readable report — config plus one object per

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "adaskip/obs/metrics.h"
+#include "adaskip/obs/query_trace.h"
 #include "adaskip/util/logging.h"
 #include "adaskip/util/stopwatch.h"
 
@@ -40,6 +43,8 @@ void ServerStats::Record(const Sample& sample) {
   kernel_rows_ += sample.kernel_rows;
   serial_equivalent_rows_ += sample.serial_equivalent_rows;
   max_queue_depth_ = std::max(max_queue_depth_, sample.queue_depth);
+  queue_wait_nanos_ += sample.queue_wait_nanos;
+  batch_window_nanos_ += sample.batch_window_nanos;
   if (sample.batches > 0) {
     batch_width_.Add(static_cast<double>(sample.batch_width));
   }
@@ -48,11 +53,11 @@ void ServerStats::Record(const Sample& sample) {
 void ServerStats::Clear() { *this = ServerStats(); }
 
 std::string ServerStats::Summary() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "submitted=%lld shed=%lld expired=%lld batches=%lld "
                 "shared=%lld solo=%lld failed=%lld saved_rows=%lld "
-                "max_queue_depth=%lld",
+                "max_queue_depth=%lld queue_wait=%lldns batch_window=%lldns",
                 static_cast<long long>(submitted_),
                 static_cast<long long>(shed_),
                 static_cast<long long>(expired_),
@@ -61,7 +66,9 @@ std::string ServerStats::Summary() const {
                 static_cast<long long>(solo_queries_),
                 static_cast<long long>(failed_queries_),
                 static_cast<long long>(saved_rows()),
-                static_cast<long long>(max_queue_depth_));
+                static_cast<long long>(max_queue_depth_),
+                static_cast<long long>(queue_wait_nanos_),
+                static_cast<long long>(batch_window_nanos_));
   return buf;
 }
 
@@ -69,10 +76,15 @@ namespace {
 
 // One registration site for every adaskip.server.* metric, so the
 // metric-registration lint rule sees a single block and dashboards get a
-// stable inventory.
-void RecordServerMetrics(int64_t submitted, int64_t shed, int64_t expired,
-                         int64_t batches, int64_t batch_width,
-                         int64_t saved_rows, int64_t queue_depth) {
+// stable inventory. Every ServerStats field is exported here as a
+// first-class registry metric (the adaskip_analyze exec-stats-sync rule
+// asserts the mapping is exhaustive): monotonic fields as counters,
+// the observed queue depth as a gauge, distributions as histograms.
+// `queue_wait_nanos` carries one per-member wait per dispatched query so
+// the histogram sees individual waits, not the batch sum.
+void RecordServerMetrics(const ServerStats::Sample& sample,
+                         int64_t saved_rows,
+                         const std::vector<int64_t>& queue_wait_nanos) {
   ADASKIP_METRIC_COUNTER(submitted_metric, "adaskip.server.submitted",
                          "Queries admitted into the server queue");
   ADASKIP_METRIC_COUNTER(shed_metric, "adaskip.server.shed",
@@ -83,17 +95,94 @@ void RecordServerMetrics(int64_t submitted, int64_t shed, int64_t expired,
                          "Shared batches dispatched");
   ADASKIP_METRIC_HISTOGRAM(width_metric, "adaskip.server.batch_width",
                            "Shared queries per dispatched batch");
+  ADASKIP_METRIC_COUNTER(shared_metric, "adaskip.server.shared_queries",
+                         "Batch members answered by a shared scan");
+  ADASKIP_METRIC_COUNTER(solo_metric, "adaskip.server.solo_queries",
+                         "Batch members executed standalone at their turn");
+  ADASKIP_METRIC_COUNTER(failed_metric, "adaskip.server.failed_queries",
+                         "Batch members that failed alone");
+  ADASKIP_METRIC_COUNTER(kernel_metric, "adaskip.server.kernel_rows",
+                         "Physical rows touched by server-dispatched passes");
+  ADASKIP_METRIC_COUNTER(serial_metric,
+                         "adaskip.server.serial_equivalent_rows",
+                         "Rows standalone execution would have touched");
   ADASKIP_METRIC_COUNTER(saved_metric, "adaskip.server.saved_rows",
                          "Kernel-row touches avoided by scan sharing");
   ADASKIP_METRIC_GAUGE(depth_metric, "adaskip.server.queue_depth",
                        "Queries queued and not yet dispatched");
+  ADASKIP_METRIC_HISTOGRAM(wait_metric, "adaskip.server.queue_wait_nanos",
+                           "Per-query submission-to-dispatch wait");
+  ADASKIP_METRIC_HISTOGRAM(window_metric, "adaskip.server.batch_window_nanos",
+                           "Batch accumulation window behind the oldest member");
+  const int64_t submitted = sample.submitted;
+  const int64_t shed = sample.shed;
+  const int64_t expired = sample.expired;
+  const int64_t batches = sample.batches;
+  const int64_t batch_width = sample.batch_width;
+  // Record() folds batch_width into shared_queries_; mirror that here.
+  const int64_t shared_queries = sample.batch_width;
+  const int64_t solo_queries = sample.solo_queries;
+  const int64_t failed_queries = sample.failed_queries;
+  const int64_t kernel_rows = sample.kernel_rows;
+  const int64_t serial_equivalent_rows = sample.serial_equivalent_rows;
+  // The gauge tracks the depth observed at this event; scrapes see the
+  // latest value, the cumulative max lives in ServerStats.
+  const int64_t max_queue_depth = sample.queue_depth;
+  const int64_t batch_window_nanos = sample.batch_window_nanos;
   submitted_metric.Add(submitted);
   shed_metric.Add(shed);
   expired_metric.Add(expired);
   batches_metric.Add(batches);
   if (batches > 0) width_metric.Observe(batch_width);
+  shared_metric.Add(shared_queries);
+  solo_metric.Add(solo_queries);
+  failed_metric.Add(failed_queries);
+  kernel_metric.Add(kernel_rows);
+  serial_metric.Add(serial_equivalent_rows);
   saved_metric.Add(std::max<int64_t>(saved_rows, 0));
-  depth_metric.Set(queue_depth);
+  depth_metric.Set(max_queue_depth);
+  for (const int64_t wait : queue_wait_nanos) wait_metric.Observe(wait);
+  if (batches > 0) window_metric.Observe(batch_window_nanos);
+}
+
+// Wraps a batch member's captured trace with the server-side request
+// lifecycle: a "server" span recording queue wait, the batching window,
+// admission, and the shared pass's peek/scan/replay phases. The
+// executor's trace is published as shared const, so the wrap copies the
+// span tree into a fresh QueryTrace instead of mutating it.
+void AttachServerSpan(Result<QueryResult>* result, int64_t queue_wait_nanos,
+                      int64_t batch_window_nanos, int64_t batch_seq,
+                      const SharedPassStats& pass) {
+  if (!result->ok()) return;
+  QueryResult& value = result->value();
+  if (value.trace == nullptr) return;
+  auto wrapped = std::make_shared<obs::QueryTrace>(value.trace->level());
+  wrapped->root() = value.trace->root();
+  obs::TraceSpan server("server");
+  server.duration_nanos = queue_wait_nanos;
+  server.Set("admission", "admitted")
+      .Set("batch_seq", batch_seq)
+      .Set("batch_width", pass.shared_queries)
+      .Set("solo_queries", pass.solo_queries)
+      .Set("failed_queries", pass.failed_queries)
+      .Set("saved_rows", pass.saved_rows());
+  obs::TraceSpan queue_span("queue_wait");
+  queue_span.duration_nanos = queue_wait_nanos;
+  server.AddChild(std::move(queue_span));
+  obs::TraceSpan window_span("batch_window");
+  window_span.duration_nanos = batch_window_nanos;
+  server.AddChild(std::move(window_span));
+  obs::TraceSpan peek_span("peek");
+  peek_span.duration_nanos = pass.peek_nanos;
+  server.AddChild(std::move(peek_span));
+  obs::TraceSpan scan_span("shared_scan");
+  scan_span.duration_nanos = pass.scan_nanos;
+  server.AddChild(std::move(scan_span));
+  obs::TraceSpan replay_span("replay");
+  replay_span.duration_nanos = pass.replay_nanos;
+  server.AddChild(std::move(replay_span));
+  wrapped->root().AddChild(std::move(server));
+  value.trace = std::move(wrapped);
 }
 
 }  // namespace
@@ -140,8 +229,10 @@ std::future<Result<QueryResult>> QueryServer::Submit(QuerySpec spec) {
       pending.spec = std::move(spec);
       pending.promise = std::move(promise);
       pending.seq = next_seq_++;
+      pending.submitted_at = MonotonicNanos();
       pending.deadline_at = pending.spec.deadline_nanos > 0
-                                ? MonotonicNanos() + pending.spec.deadline_nanos
+                                ? pending.submitted_at +
+                                      pending.spec.deadline_nanos
                                 : 0;
       queue_.push_back(std::move(pending));
       ServerStats::Sample sample;
@@ -151,17 +242,15 @@ std::future<Result<QueryResult>> QueryServer::Submit(QuerySpec spec) {
       work_cv_.NotifyOne();
     }
   }
+  ServerStats::Sample admission;
+  admission.shed = shed ? 1 : 0;
+  admission.submitted = shed ? 0 : 1;
+  admission.queue_depth = queue_depth();
+  RecordServerMetrics(admission, /*saved_rows=*/0, /*queue_wait_nanos=*/{});
   if (shed) {
-    RecordServerMetrics(/*submitted=*/0, /*shed=*/1, /*expired=*/0,
-                        /*batches=*/0, /*batch_width=*/0, /*saved_rows=*/0,
-                        queue_depth());
     promise.set_value(Status::ResourceExhausted(
         "QueryServer queue is full (max_queue=" +
         std::to_string(options_.max_queue) + "); query shed"));
-  } else {
-    RecordServerMetrics(/*submitted=*/1, /*shed=*/0, /*expired=*/0,
-                        /*batches=*/0, /*batch_width=*/0, /*saved_rows=*/0,
-                        queue_depth());
   }
   return future;
 }
@@ -174,6 +263,7 @@ int64_t QueryServer::DispatchNow() {
 
   std::vector<Pending> expired;
   std::vector<Pending> batch;
+  int64_t batch_seq = -1;
   {
     MutexLock lock(&mu_);
     if (queue_.empty()) return 0;
@@ -219,6 +309,7 @@ int64_t QueryServer::DispatchNow() {
           ++it;
         }
       }
+      if (!batch.empty()) batch_seq = next_batch_seq_++;
     }
   }
 
@@ -228,8 +319,28 @@ int64_t QueryServer::DispatchNow() {
         "ns passed while queued; query not executed"));
   }
 
+  // Request-lifecycle attribution: each member's queue wait is its
+  // submission-to-dispatch span; the batch window is how long the batch
+  // accumulated behind its oldest member. Both are measured once here —
+  // the shared pass has one wall clock.
   SharedPassStats pass;
+  std::vector<int64_t> queue_waits;
+  int64_t batch_window_nanos = 0;
+  int64_t queue_wait_total = 0;
   if (!batch.empty()) {
+    const int64_t dispatch_start = MonotonicNanos();
+    queue_waits.reserve(batch.size());
+    int64_t oldest_submitted_at = dispatch_start;
+    for (const Pending& pending : batch) {
+      const int64_t wait =
+          std::max<int64_t>(dispatch_start - pending.submitted_at, 0);
+      queue_waits.push_back(wait);
+      queue_wait_total += wait;
+      oldest_submitted_at =
+          std::min(oldest_submitted_at, pending.submitted_at);
+    }
+    batch_window_nanos = dispatch_start - oldest_submitted_at;
+
     std::vector<QuerySpec> specs;
     specs.reserve(batch.size());
     for (const Pending& pending : batch) specs.push_back(pending.spec);
@@ -237,14 +348,15 @@ int64_t QueryServer::DispatchNow() {
         session_->ExecuteShared(batch.front().spec.table, specs, &pass);
     ADASKIP_CHECK(results.size() == batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
+      AttachServerSpan(&results[i], queue_waits[i], batch_window_nanos,
+                       batch_seq, pass);
       batch[i].promise.set_value(std::move(results[i]));
     }
   }
 
-  int64_t depth_after = 0;
+  ServerStats::Sample sample;
   {
     MutexLock lock(&mu_);
-    ServerStats::Sample sample;
     sample.expired = static_cast<int64_t>(expired.size());
     if (!batch.empty()) {
       sample.batches = 1;
@@ -253,14 +365,15 @@ int64_t QueryServer::DispatchNow() {
       sample.failed_queries = pass.failed_queries;
       sample.kernel_rows = pass.kernel_rows;
       sample.serial_equivalent_rows = pass.serial_equivalent_rows;
+      sample.queue_wait_nanos = queue_wait_total;
+      sample.batch_window_nanos = batch_window_nanos;
     }
     sample.queue_depth = static_cast<int64_t>(queue_.size());
     stats_.Record(sample);
-    depth_after = sample.queue_depth;
 
     if (!batch.empty()) {
       BatchTraceEntry entry;
-      entry.batch_seq = next_batch_seq_++;
+      entry.batch_seq = batch_seq;
       entry.table = batch.front().spec.table;
       entry.width = pass.shared_queries;
       entry.solo = pass.solo_queries;
@@ -269,7 +382,10 @@ int64_t QueryServer::DispatchNow() {
       entry.kernel_rows = pass.kernel_rows;
       entry.saved_rows = pass.saved_rows();
       entry.scan_nanos = pass.scan_nanos;
-      entry.queue_depth_after = depth_after;
+      entry.peek_nanos = pass.peek_nanos;
+      entry.replay_nanos = pass.replay_nanos;
+      entry.batch_window_nanos = batch_window_nanos;
+      entry.queue_depth_after = sample.queue_depth;
       batch_trace_.push_back(std::move(entry));
       while (batch_trace_.size() > kBatchTraceCapacity) {
         batch_trace_.pop_front();
@@ -277,10 +393,8 @@ int64_t QueryServer::DispatchNow() {
     }
   }
 
-  RecordServerMetrics(/*submitted=*/0, /*shed=*/0,
-                      static_cast<int64_t>(expired.size()),
-                      batch.empty() ? 0 : 1, pass.shared_queries,
-                      batch.empty() ? 0 : pass.saved_rows(), depth_after);
+  RecordServerMetrics(sample, batch.empty() ? 0 : pass.saved_rows(),
+                      queue_waits);
 
   return static_cast<int64_t>(batch.size() + expired.size());
 }

@@ -60,6 +60,12 @@ class ServerStats {
     int64_t kernel_rows = 0;     // Physical rows the shared pass touched.
     int64_t serial_equivalent_rows = 0;  // What standalone runs would touch.
     int64_t queue_depth = 0;     // Depth observed at this event.
+    /// Summed submission-to-dispatch wait of every query this dispatch
+    /// resolved by executing (nanoseconds).
+    int64_t queue_wait_nanos = 0;
+    /// How long this dispatch's batch accumulated behind its oldest
+    /// member before forming (nanoseconds); 0 for non-dispatch events.
+    int64_t batch_window_nanos = 0;
   };
 
   ServerStats() = default;
@@ -77,6 +83,8 @@ class ServerStats {
   int64_t kernel_rows() const { return kernel_rows_; }
   int64_t serial_equivalent_rows() const { return serial_equivalent_rows_; }
   int64_t max_queue_depth() const { return max_queue_depth_; }
+  int64_t queue_wait_nanos() const { return queue_wait_nanos_; }
+  int64_t batch_window_nanos() const { return batch_window_nanos_; }
 
   /// Row touches the shared passes avoided versus standalone execution.
   int64_t saved_rows() const { return serial_equivalent_rows_ - kernel_rows_; }
@@ -97,6 +105,8 @@ class ServerStats {
   int64_t kernel_rows_ = 0;
   int64_t serial_equivalent_rows_ = 0;
   int64_t max_queue_depth_ = 0;
+  int64_t queue_wait_nanos_ = 0;
+  int64_t batch_window_nanos_ = 0;
   Histogram batch_width_;
 };
 
@@ -113,6 +123,9 @@ struct BatchTraceEntry {
   int64_t kernel_rows = 0;
   int64_t saved_rows = 0;
   int64_t scan_nanos = 0;
+  int64_t peek_nanos = 0;          // Shared pass plan/peek phase.
+  int64_t replay_nanos = 0;        // Shared pass replay phase.
+  int64_t batch_window_nanos = 0;  // Oldest member's wait before forming.
   int64_t queue_depth_after = 0;
 };
 
@@ -189,7 +202,8 @@ class QueryServer {
     QuerySpec spec;
     std::promise<Result<QueryResult>> promise;
     int64_t seq = 0;
-    int64_t deadline_at = 0;  // MonotonicNanos() expiry; 0 = no deadline.
+    int64_t deadline_at = 0;    // MonotonicNanos() expiry; 0 = no deadline.
+    int64_t submitted_at = 0;   // MonotonicNanos() at admission.
   };
 
   void DispatcherLoop();

@@ -1,5 +1,8 @@
 #include "adaskip/engine/query_spec.h"
 
+#include <cstdint>
+#include <string_view>
+
 namespace adaskip {
 
 std::string_view QueryPriorityToString(QueryPriority priority) {
@@ -23,6 +26,25 @@ std::string QuerySpec::ToString() const {
   }
   out += "]";
   return out;
+}
+
+uint64_t SpecDigest(const QuerySpec& spec) {
+  // FNV-1a, 64-bit. Hashes only the semantic identity: the table name,
+  // the rendered query (predicates + aggregate render deterministically
+  // through Query::ToString), nothing from the scheduling knobs.
+  constexpr uint64_t kOffset = 14695981039346656037ull;
+  constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t hash = kOffset;
+  const auto mix = [&hash](std::string_view bytes) {
+    for (const char c : bytes) {
+      hash ^= static_cast<uint8_t>(c);
+      hash *= kPrime;
+    }
+  };
+  mix(spec.table);
+  mix("\x1f");  // Separator so "ab"+"c" != "a"+"bc".
+  mix(spec.query.ToString());
+  return hash;
 }
 
 Status ValidateQuerySpec(const QuerySpec& spec) {

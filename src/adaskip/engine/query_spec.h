@@ -1,6 +1,7 @@
 #ifndef ADASKIP_ENGINE_QUERY_SPEC_H_
 #define ADASKIP_ENGINE_QUERY_SPEC_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -64,6 +65,15 @@ struct QuerySpec {
   /// "table='t' COUNT(c) WHERE ... [prio=interactive deadline=1ms]".
   std::string ToString() const;
 };
+
+/// Stable 64-bit digest of a spec's semantic identity (table + rendered
+/// query + aggregate), FNV-1a over the ToString-stable fields. The
+/// flight recorder keys its slow-query promotion log on this: two
+/// submissions of the same logical query — the recurring-dashboard
+/// pattern — collide on purpose, while scheduling knobs (priority,
+/// deadline, trace level) are deliberately excluded so a re-run with
+/// tracing forced on still matches its slow first occurrence.
+uint64_t SpecDigest(const QuerySpec& spec);
 
 /// Session-independent validation: non-empty table, at least one
 /// predicate, a defined aggregate/priority/trace level, a non-negative

@@ -366,6 +366,7 @@ SharedBatchResult ScanExecutor::ExecuteShared(
   // Peeked sets only promise to be supersets of each query's matches —
   // exactness is not needed for planning, only for feedback, which the
   // replay reconstructs from the real Probe.
+  Stopwatch peek_timer;
   enum class Lane : uint8_t { kShared, kSolo, kFailed };
   struct Slot {
     Lane lane = Lane::kSolo;
@@ -441,6 +442,7 @@ SharedBatchResult ScanExecutor::ExecuteShared(
     ADASKIP_DCHECK(CandidatesAreWellFormed(slot.peek, slot.column->size()));
     min_segment_rows = std::min(min_segment_rows, slot.column->segment_rows());
   }
+  out.pass.peek_nanos = peek_timer.ElapsedNanos();
 
   // --- Shared scan: one pass over the union of all peeked sets. ---
   //
@@ -538,6 +540,7 @@ SharedBatchResult ScanExecutor::ExecuteShared(
   // candidates (superset contract), in whatever state the index has
   // reached by this turn. Solo queries execute here too, keeping the
   // whole batch's index-mutation order identical to serial submission.
+  Stopwatch replay_phase_timer;
   out.results.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     Slot& slot = slots[i];
@@ -714,6 +717,7 @@ SharedBatchResult ScanExecutor::ExecuteShared(
     RecordQueryMetrics(stats);
     out.results.push_back(std::move(result));
   }
+  out.pass.replay_nanos = replay_phase_timer.ElapsedNanos();
 
   ADASKIP_METRIC_COUNTER(batches, "adaskip.exec.shared.batches",
                          "Shared scan passes executed");
@@ -723,10 +727,19 @@ SharedBatchResult ScanExecutor::ExecuteShared(
                          "Rows touched by shared scan kernels");
   ADASKIP_METRIC_COUNTER(saved, "adaskip.exec.shared.saved_rows",
                          "Row touches avoided versus standalone execution");
+  ADASKIP_METRIC_HISTOGRAM(peek_hist, "adaskip.exec.shared.peek_nanos",
+                           "Shared pass plan/peek phase wall time");
+  ADASKIP_METRIC_HISTOGRAM(scan_hist, "adaskip.exec.shared.scan_nanos",
+                           "Shared pass summed kernel scan time");
+  ADASKIP_METRIC_HISTOGRAM(replay_hist, "adaskip.exec.shared.replay_nanos",
+                           "Shared pass submission-order replay wall time");
   batches.Increment();
   width.Observe(out.pass.shared_queries);
   kernel_rows.Add(out.pass.kernel_rows);
   saved.Add(std::max<int64_t>(out.pass.saved_rows(), 0));
+  peek_hist.Observe(out.pass.peek_nanos);
+  scan_hist.Observe(out.pass.scan_nanos);
+  replay_hist.Observe(out.pass.replay_nanos);
   return out;
 }
 

@@ -108,6 +108,13 @@ struct SharedPassStats {
   /// standalone executions would have touched in total.
   int64_t serial_equivalent_rows = 0;
   int64_t scan_nanos = 0;  // Summed shared-kernel time (CPU, not wall).
+  /// Wall time of the plan/peek phase (classify queries, dedup repeated
+  /// predicates, side-effect-free index peeks). Feeds the server
+  /// request-lifecycle trace spans and the shared-scan phase histograms.
+  int64_t peek_nanos = 0;
+  /// Wall time of the submission-order replay phase (real probes,
+  /// feedback delivery, per-query result assembly).
+  int64_t replay_nanos = 0;
 
   int64_t saved_rows() const { return serial_equivalent_rows - kernel_rows; }
 };

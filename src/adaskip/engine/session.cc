@@ -248,24 +248,52 @@ void Session::RecordQueryOutcome(std::string_view table_name,
   }
 }
 
+void Session::RecordFlight(uint64_t digest, int64_t latency_nanos,
+                           const Result<QueryResult>& result,
+                           int64_t batch_seq, int32_t batch_width) {
+  obs::FlightRecord record;
+  record.spec_digest = digest;
+  record.latency_nanos = latency_nanos;
+  record.batch_seq = batch_seq;
+  record.batch_width = batch_width;
+  record.status = result.status().code();
+  if (result.ok()) {
+    const QueryStats& stats = result.value().stats;
+    record.rows_scanned = stats.rows_scanned;
+    record.rows_skipped = stats.rows_total - stats.rows_scanned;
+    record.traced = result.value().trace != nullptr;
+  }
+  flight_recorder_.Record(record);
+}
+
 Result<QueryResult> Session::ExecuteSpec(const QuerySpec& spec) {
   ADASKIP_RETURN_IF_ERROR(ValidateQuerySpec(spec));
   ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(spec.table));
+  const uint64_t digest = SpecDigest(spec);
   // The trace override borrows Explain's swap trick: the table's
   // single-coordinator contract means nothing else can observe the
-  // temporary options.
+  // temporary options. A digest the flight recorder flagged as slow runs
+  // at full detail once — the promotion is consumed here, so the next
+  // occurrence of the outlier arrives with a complete span tree.
   const ExecOptions saved = runtime->executor->exec_options();
-  const bool override_trace =
-      spec.trace_level.has_value() && *spec.trace_level != saved.trace_level;
+  obs::TraceLevel effective = spec.trace_level.value_or(saved.trace_level);
+  if (effective != obs::TraceLevel::kDetail &&
+      flight_recorder_.ConsumePromotion(digest)) {
+    effective = obs::TraceLevel::kDetail;
+  }
+  const bool override_trace = effective != saved.trace_level;
   if (override_trace) {
     ExecOptions overridden = saved;
-    overridden.trace_level = *spec.trace_level;
+    overridden.trace_level = effective;
     ADASKIP_RETURN_IF_ERROR(runtime->executor->set_exec_options(overridden));
   }
+  Stopwatch latency;
   Result<QueryResult> result = runtime->executor->Execute(spec.query);
   if (override_trace) {
     ADASKIP_CHECK_OK(runtime->executor->set_exec_options(saved));
   }
+  RecordFlight(digest, latency.ElapsedNanos(), result, /*batch_seq=*/-1,
+               /*batch_width=*/1);
   ADASKIP_RETURN_IF_ERROR(result.status());
   RecordQueryOutcome(spec.table, spec.query, result.value(), *runtime);
   return result;
@@ -292,9 +320,11 @@ std::vector<Result<QueryResult>> Session::ExecuteShared(
   const obs::TraceLevel table_level =
       runtime->executor->exec_options().trace_level;
   std::vector<std::optional<Status>> spec_errors(batch.size());
+  std::vector<uint64_t> digests(batch.size(), 0);
   std::vector<SharedQueryRequest> requests;
   requests.reserve(batch.size());
   for (size_t i = 0; i < batch.size(); ++i) {
+    digests[i] = SpecDigest(batch[i]);
     Status screened = ValidateQuerySpec(batch[i]);
     if (screened.ok() && batch[i].table != table_name) {
       screened = Status::InvalidArgument(
@@ -306,20 +336,41 @@ std::vector<Result<QueryResult>> Session::ExecuteShared(
       spec_errors[i] = std::move(screened);
       continue;
     }
-    requests.push_back(
-        {&batch[i].query, batch[i].trace_level.value_or(table_level)});
+    // Slow-query promotion applies to batched submissions too: the next
+    // occurrence of a flagged digest runs at full detail.
+    obs::TraceLevel effective = batch[i].trace_level.value_or(table_level);
+    if (effective != obs::TraceLevel::kDetail &&
+        flight_recorder_.ConsumePromotion(digests[i])) {
+      effective = obs::TraceLevel::kDetail;
+    }
+    requests.push_back({&batch[i].query, effective});
   }
 
   SharedBatchResult shared = runtime->executor->ExecuteShared(requests);
   if (pass != nullptr) *pass = shared.pass;
 
+  int64_t batch_seq = 0;
+  {
+    MutexLock lock(&stats_mu_);
+    batch_seq = next_flight_batch_++;
+  }
+  const int32_t batch_width =
+      static_cast<int32_t>(shared.pass.shared_queries);
   size_t next = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
     if (spec_errors[i].has_value()) {
-      results.emplace_back(std::move(*spec_errors[i]));
+      Result<QueryResult> screened(std::move(*spec_errors[i]));
+      RecordFlight(digests[i], /*latency_nanos=*/0, screened, batch_seq,
+                   batch_width);
+      results.push_back(std::move(screened));
       continue;
     }
     Result<QueryResult> result = std::move(shared.results[next++]);
+    // Latency is the query's attributed time (its replay work plus its
+    // share of the shared kernels) — the batch has one wall clock.
+    RecordFlight(digests[i],
+                 result.ok() ? result.value().stats.total_nanos : 0, result,
+                 batch_seq, batch_width);
     if (result.ok()) {
       RecordQueryOutcome(table_name, batch[i].query, result.value(), *runtime);
     }
@@ -344,6 +395,10 @@ Status Session::Configure(const SessionOptions& options) {
   if (options.health.has_value()) {
     ADASKIP_RETURN_IF_ERROR(ValidateHealthMonitorOptions(*options.health));
   }
+  if (options.flight_recorder.has_value()) {
+    ADASKIP_RETURN_IF_ERROR(
+        obs::ValidateFlightRecorderOptions(*options.flight_recorder));
+  }
 
   // Phase 2: apply. The spill target goes first — it is the only piece
   // that can still fail (file I/O), and failing before any table knob
@@ -357,6 +412,9 @@ Status Session::Configure(const SessionOptions& options) {
   }
   if (options.health.has_value()) {
     SetHealthMonitorOptions(*options.health);
+  }
+  if (options.flight_recorder.has_value()) {
+    flight_recorder_.SetOptions(*options.flight_recorder);
   }
   for (const auto& [table_name, table_options] : options.tables) {
     if (table_options.exec.has_value()) {
@@ -434,6 +492,82 @@ Result<IndexSnapshot> Session::DescribeIndex(
   return snapshot;
 }
 
+Status Session::SetFlightRecorderOptions(
+    const obs::FlightRecorderOptions& options) {
+  ADASKIP_RETURN_IF_ERROR(obs::ValidateFlightRecorderOptions(options));
+  flight_recorder_.SetOptions(options);
+  return Status::OK();
+}
+
+obs::HttpResponse Session::IndexesResponse() const {
+  std::string body = "{\"indexes\":[";
+  bool first = true;
+  for (const std::string& table_name : catalog_.TableNames()) {
+    const Result<std::shared_ptr<Table>> table = catalog_.GetTable(table_name);
+    if (!table.ok()) continue;
+    for (const Field& field : table.value()->schema()) {
+      const Result<IndexSnapshot> snapshot_or =
+          DescribeIndex(table_name, field.name);
+      if (!snapshot_or.ok()) continue;  // NotFound: column has no index.
+      const IndexSnapshot& snapshot = snapshot_or.value();
+      if (!first) body += ",";
+      first = false;
+      body += "{\"table\":";
+      obs::AppendJsonString(&body, snapshot.table);
+      body += ",\"column\":";
+      obs::AppendJsonString(&body, snapshot.column);
+      body += ",\"kind\":";
+      obs::AppendJsonString(&body, snapshot.kind);
+      body += ",\"num_rows\":" + std::to_string(snapshot.num_rows);
+      body += ",\"zone_count\":" + std::to_string(snapshot.zone_count);
+      body += ",\"memory_bytes\":" + std::to_string(snapshot.memory_bytes);
+      body += ",\"unindexed_tail_rows\":" +
+              std::to_string(snapshot.unindexed_tail_rows);
+      body += ",\"queries_observed\":" +
+              std::to_string(snapshot.adaptation.queries_observed);
+      body += ",\"skipped_fraction_ewma\":";
+      obs::AppendJsonDouble(&body, snapshot.adaptation.skipped_fraction_ewma);
+      body += ",\"bypass\":";
+      body += snapshot.adaptation.bypass ? "true" : "false";
+      body += "}";
+    }
+  }
+  body += "]}";
+  obs::HttpResponse response;
+  response.content_type = "application/json";
+  response.body = std::move(body);
+  return response;
+}
+
+Result<int> Session::StartTelemetryServer(
+    const obs::TelemetryServerOptions& options) {
+  if (telemetry_server_ != nullptr) {
+    return Status::FailedPrecondition(
+        "telemetry server already running on port " +
+        std::to_string(telemetry_server_->port()));
+  }
+  ADASKIP_ASSIGN_OR_RETURN(std::unique_ptr<obs::TelemetryServer> server,
+                           obs::TelemetryServer::Start(options));
+  server->RegisterHandler("/metrics", obs::MakeMetricsHandler());
+  server->RegisterHandler("/healthz", obs::MakeHealthzHandler(&health_));
+  server->RegisterHandler("/journal", obs::MakeJournalHandler(&journal_));
+  server->RegisterHandler("/flightrecorder",
+                          obs::MakeFlightRecorderHandler(&flight_recorder_));
+  // The engine-side endpoint: registered here, at the seam, so the obs/
+  // server never needs an engine header (layering DAG).
+  server->RegisterHandler("/indexes", [this](const obs::HttpRequest&) {
+    return IndexesResponse();
+  });
+  telemetry_server_ = std::move(server);
+  return telemetry_server_->port();
+}
+
+void Session::StopTelemetryServer() {
+  if (telemetry_server_ == nullptr) return;
+  telemetry_server_->Stop();
+  telemetry_server_.reset();
+}
+
 void Session::DumpTelemetry(std::ostream& out) const {
   // Most recent journal entries carried inline; the full stream (when it
   // matters) is the spill callback's business.
@@ -489,11 +623,14 @@ void Session::DumpTelemetry(std::ostream& out) const {
       doc += ",\"mean\":";
       obs::AppendJsonDouble(&doc, sample.mean);
       doc += ",\"p50\":" + std::to_string(sample.p50);
+      doc += ",\"p95\":" + std::to_string(sample.p95);
       doc += ",\"p99\":" + std::to_string(sample.p99);
     }
     doc += '}';
   }
-  doc += "]}";
+  doc += "],\"flight_recorder\":";
+  doc += flight_recorder_.ToJson();
+  doc += "}";
   out << doc << "\n";
 }
 

@@ -14,7 +14,9 @@
 #include "adaskip/engine/query_spec.h"
 #include "adaskip/engine/scan_executor.h"
 #include "adaskip/obs/event_journal.h"
+#include "adaskip/obs/flight_recorder.h"
 #include "adaskip/obs/health_monitor.h"
+#include "adaskip/obs/telemetry_server.h"
 #include "adaskip/storage/catalog.h"
 #include "adaskip/util/thread_annotations.h"
 
@@ -73,6 +75,11 @@ struct SessionOptions {
   std::map<std::string, TableOptions, std::less<>> tables;
 
   std::optional<obs::HealthMonitorOptions> health;
+
+  /// Flight recorder reconfiguration (ring capacity, slow-query
+  /// threshold). The recorder is always on by default; capacity 0
+  /// disables capture entirely.
+  std::optional<obs::FlightRecorderOptions> flight_recorder;
 
   /// Journal spill target: a path routes spill evictions to that JSONL
   /// file (replacing any previous target), "" detaches the active spill,
@@ -321,6 +328,45 @@ class Session {
 
   const obs::IndexHealthMonitor& health_monitor() const { return health_; }
 
+  /// The always-on flight recorder: a bounded ring of compact per-query
+  /// records captured on every submission surface (ExecuteSpec,
+  /// ExecuteShared, and therefore every QueryServer dispatch) even at
+  /// trace_level=kOff. A query whose latency crosses the configured
+  /// slow-query threshold flags its spec digest; the NEXT submission of
+  /// the same logical spec through ExecuteSpec/ExecuteShared is promoted
+  /// to full (kDetail) tracing, so the outlier's successor arrives with
+  /// a complete span tree attached. Internally synchronized.
+  obs::FlightRecorder& flight_recorder() { return flight_recorder_; }
+  const obs::FlightRecorder& flight_recorder() const {
+    return flight_recorder_;
+  }
+
+  /// Reconfigures the flight recorder after validating the options
+  /// (ValidateFlightRecorderOptions). Changing capacity clears the ring.
+  Status SetFlightRecorderOptions(const obs::FlightRecorderOptions& options);
+
+  /// Starts the embedded telemetry HTTP server and registers the stock
+  /// endpoints over this session's observability surfaces:
+  ///   /metrics        Prometheus text exposition of the registry
+  ///   /healthz        index health verdicts (503 when any is degraded)
+  ///   /journal?n=K    journal tail as JSONL
+  ///   /flightrecorder flight-recorder ring as JSON
+  ///   /indexes        IndexSnapshot list (quiescent diagnostics: reads
+  ///                   index state outside the per-table coordinator, so
+  ///                   scrape it between queries, not during them)
+  /// Returns the bound port (options.port == 0 binds an ephemeral one).
+  /// One server per session: a second Start without a Stop fails with
+  /// FailedPrecondition, as does a port already in use.
+  Result<int> StartTelemetryServer(
+      const obs::TelemetryServerOptions& options = {});
+
+  /// Stops and destroys the telemetry server. No-op when not running.
+  void StopTelemetryServer();
+
+  /// The running server, or nullptr. Use RegisterHandler to add
+  /// application endpoints next to the stock ones.
+  obs::TelemetryServer* telemetry_server() { return telemetry_server_.get(); }
+
   /// Writes the session's temporal telemetry as one JSON document:
   /// the journal tail (most recent events plus append/spill totals), the
   /// per-index health report, the windowed time series behind it, and a
@@ -376,6 +422,16 @@ class Session {
                           const QueryResult& result,
                           const TableRuntime& runtime);
 
+  /// Builds one FlightRecord for `result` (success or failure) and hands
+  /// it to the recorder. `batch_seq` is -1 for standalone submissions.
+  void RecordFlight(uint64_t digest, int64_t latency_nanos,
+                    const Result<QueryResult>& result, int64_t batch_seq,
+                    int32_t batch_width);
+
+  /// JSON body of the /indexes telemetry endpoint: every attached
+  /// index's IndexSnapshot across every catalog table.
+  obs::HttpResponse IndexesResponse() const;
+
   Catalog catalog_;
   // Temporal observability: both internally synchronized, shared by all
   // of the session's tables. Indexes hold raw pointers into journal_, so
@@ -383,16 +439,23 @@ class Session {
   // declaration order, keeping the journal alive past every runtime.
   obs::EventJournal journal_;
   obs::IndexHealthMonitor health_;
+  obs::FlightRecorder flight_recorder_;
   mutable Mutex runtimes_mu_;
   std::map<std::string, TableRuntime, std::less<>> runtimes_
       ADASKIP_GUARDED_BY(runtimes_mu_);
   mutable Mutex stats_mu_;
   WorkloadStats stats_ ADASKIP_GUARDED_BY(stats_mu_);
+  /// Session-local id of the next shared pass, stamped into flight
+  /// records so an operator can group one batch's members.
+  int64_t next_flight_batch_ ADASKIP_GUARDED_BY(stats_mu_) = 0;
   // Persistence plumbing (engine/session_persist.cc). Both writers are
   // referenced by callbacks installed on journal_; the destructor clears
   // those callbacks before any member is torn down.
   std::unique_ptr<obs::JournalTailWriter> tail_writer_;
   std::unique_ptr<obs::JsonlSpillWriter> spill_writer_;
+  /// Declared last: the server's handlers close over the members above,
+  /// so it must stop (destroy) before any of them is torn down.
+  std::unique_ptr<obs::TelemetryServer> telemetry_server_;
 };
 
 }  // namespace adaskip

@@ -283,6 +283,9 @@ Result<std::unique_ptr<Column>> DeserializeColumn(DataType type,
 Session::Session() = default;
 
 Session::~Session() {
+  // The telemetry server's handlers close over journal_/health_/this;
+  // stop serving before anything they read starts shutting down.
+  StopTelemetryServer();
   // Unhook the journal callbacks before any member is torn down: the
   // writers they capture are about to die, and a stale callback must
   // never fire.

@@ -1,0 +1,174 @@
+#include "adaskip/obs/flight_recorder.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "adaskip/obs/json.h"
+#include "adaskip/obs/metrics.h"
+#include "adaskip/util/logging.h"
+#include "adaskip/util/stopwatch.h"
+
+namespace adaskip {
+namespace obs {
+
+namespace {
+
+void AppendRecordJson(std::string* out, const FlightRecord& record) {
+  char buf[64];
+  *out += "{\"seq\":";
+  *out += std::to_string(record.seq);
+  *out += ",\"nanos\":";
+  *out += std::to_string(record.nanos);
+  *out += ",\"digest\":";
+  std::snprintf(buf, sizeof(buf), "\"%016llx\"",
+                static_cast<unsigned long long>(record.spec_digest));
+  *out += buf;
+  *out += ",\"latency_nanos\":";
+  *out += std::to_string(record.latency_nanos);
+  *out += ",\"rows_scanned\":";
+  *out += std::to_string(record.rows_scanned);
+  *out += ",\"rows_skipped\":";
+  *out += std::to_string(record.rows_skipped);
+  *out += ",\"batch_seq\":";
+  *out += std::to_string(record.batch_seq);
+  *out += ",\"batch_width\":";
+  *out += std::to_string(record.batch_width);
+  *out += ",\"traced\":";
+  *out += record.traced ? "true" : "false";
+  *out += ",\"status\":";
+  AppendJsonString(out, StatusCodeToString(record.status));
+  *out += "}";
+}
+
+}  // namespace
+
+Status ValidateFlightRecorderOptions(const FlightRecorderOptions& options) {
+  if (options.capacity < 0) {
+    return Status::InvalidArgument("flight recorder capacity must be >= 0");
+  }
+  if (options.slow_query_nanos < 0) {
+    return Status::InvalidArgument("slow_query_nanos must be >= 0");
+  }
+  if (options.max_pending_promotions < 0) {
+    return Status::InvalidArgument("max_pending_promotions must be >= 0");
+  }
+  return Status::OK();
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_(options) {
+  ADASKIP_CHECK_OK(ValidateFlightRecorderOptions(options));
+  ring_.reserve(static_cast<size_t>(options_.capacity));
+}
+
+void FlightRecorder::SetOptions(const FlightRecorderOptions& options) {
+  ADASKIP_CHECK_OK(ValidateFlightRecorderOptions(options));
+  MutexLock lock(&mu_);
+  if (options.capacity != options_.capacity) {
+    ring_.clear();
+    ring_.reserve(static_cast<size_t>(options.capacity));
+  }
+  options_ = options;
+}
+
+FlightRecorderOptions FlightRecorder::options() const {
+  MutexLock lock(&mu_);
+  return options_;
+}
+
+void FlightRecorder::Record(FlightRecord record) {
+  ADASKIP_METRIC_COUNTER(records, "adaskip.flightrecorder.records",
+                         "Queries captured by the flight recorder");
+  ADASKIP_METRIC_COUNTER(slow, "adaskip.flightrecorder.slow_queries",
+                         "Queries over the slow-query log threshold");
+  bool was_slow = false;
+  {
+    MutexLock lock(&mu_);
+    if (options_.capacity <= 0) return;
+    record.seq = next_seq_++;
+    record.nanos = MonotonicNanos();
+    if (static_cast<int64_t>(ring_.size()) < options_.capacity) {
+      ring_.push_back(record);
+    } else {
+      ring_[static_cast<size_t>(record.seq % options_.capacity)] = record;
+    }
+    if (options_.slow_query_nanos > 0 &&
+        record.latency_nanos >= options_.slow_query_nanos) {
+      was_slow = true;
+      ++slow_queries_;
+      if (static_cast<int64_t>(pending_promotions_.size()) <
+              options_.max_pending_promotions ||
+          pending_promotions_.count(record.spec_digest) > 0) {
+        pending_promotions_[record.spec_digest] = true;
+      }
+    }
+  }
+  records.Increment();
+  if (was_slow) slow.Increment();
+}
+
+bool FlightRecorder::ConsumePromotion(uint64_t digest) {
+  MutexLock lock(&mu_);
+  auto it = pending_promotions_.find(digest);
+  if (it == pending_promotions_.end()) return false;
+  pending_promotions_.erase(it);
+  return true;
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  MutexLock lock(&mu_);
+  std::vector<FlightRecord> out;
+  out.reserve(ring_.size());
+  if (options_.capacity > 0 && next_seq_ > options_.capacity) {
+    // The ring has wrapped: the oldest record sits right after the most
+    // recently overwritten slot.
+    const size_t head = static_cast<size_t>(next_seq_ % options_.capacity);
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(head + i) % ring_.size()]);
+    }
+  } else {
+    out = ring_;
+  }
+  return out;
+}
+
+std::string FlightRecorder::ToJson() const {
+  const std::vector<FlightRecord> records = Snapshot();
+  FlightRecorderOptions options;
+  int64_t total = 0;
+  int64_t slow = 0;
+  {
+    MutexLock lock(&mu_);
+    options = options_;
+    total = next_seq_;
+    slow = slow_queries_;
+  }
+  std::string out = "{\"capacity\":";
+  out += std::to_string(options.capacity);
+  out += ",\"slow_query_nanos\":";
+  out += std::to_string(options.slow_query_nanos);
+  out += ",\"total_recorded\":";
+  out += std::to_string(total);
+  out += ",\"slow_queries\":";
+  out += std::to_string(slow);
+  out += ",\"records\":[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendRecordJson(&out, records[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+int64_t FlightRecorder::total_recorded() const {
+  MutexLock lock(&mu_);
+  return next_seq_;
+}
+
+int64_t FlightRecorder::slow_queries() const {
+  MutexLock lock(&mu_);
+  return slow_queries_;
+}
+
+}  // namespace obs
+}  // namespace adaskip

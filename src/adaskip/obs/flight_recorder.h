@@ -1,0 +1,109 @@
+#ifndef ADASKIP_OBS_FLIGHT_RECORDER_H_
+#define ADASKIP_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adaskip/util/status.h"
+#include "adaskip/util/thread_annotations.h"
+
+/// Always-on flight recorder: a bounded ring of compact per-query
+/// records that keeps filling even at `trace_level=kOff`, so the last N
+/// queries before an incident are reconstructable without having paid
+/// for span-tree tracing. A record is ~100 bytes of plain integers — no
+/// strings, no allocation on the hot path beyond the fixed ring — and
+/// recording is one short critical section, which keeps the measured
+/// overhead-when-on within the bench_obs_overhead ≤2% budget.
+///
+/// The recorder doubles as the slow-query log: queries whose latency
+/// crosses `slow_query_nanos` have their spec digest remembered, and the
+/// session promotes the *next* occurrence of that digest to full detail
+/// tracing (see Session::ExecuteSpec) — the recurring outlier explains
+/// itself on its second appearance.
+
+namespace adaskip {
+namespace obs {
+
+/// One query's black-box record. All engine context arrives pre-digested
+/// as integers; the recorder never sees specs or traces.
+struct FlightRecord {
+  int64_t seq = 0;           // Recorder-assigned, monotonically increasing.
+  int64_t nanos = 0;         // MonotonicNanos() at record time.
+  uint64_t spec_digest = 0;  // SpecDigest() of the submitted query.
+  int64_t latency_nanos = 0;
+  int64_t rows_scanned = 0;  // Rows the kernels actually touched.
+  int64_t rows_skipped = 0;  // Rows skip indexes pruned.
+  int64_t batch_seq = -1;    // Shared-scan batch id; -1 = standalone.
+  int32_t batch_width = 1;   // Queries in the shared pass.
+  bool traced = false;       // Ran with a trace attached (any level).
+  StatusCode status = StatusCode::kOk;
+};
+
+struct FlightRecorderOptions {
+  /// Ring capacity in records; 0 disables the recorder entirely (used by
+  /// the bench baseline arm to isolate its cost).
+  int64_t capacity = 1024;
+
+  /// Latency threshold for the slow-query log; 0 disables promotion.
+  int64_t slow_query_nanos = 0;
+
+  /// Bound on distinct digests awaiting trace promotion; when full, new
+  /// slow queries are still counted but not promoted.
+  int64_t max_pending_promotions = 64;
+};
+
+Status ValidateFlightRecorderOptions(const FlightRecorderOptions& options);
+
+/// Internally synchronized; one recorder serves all of a session's
+/// tables and the query server's dispatcher concurrently.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options = {});
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Replaces the options. Resizing the ring clears it (records are not
+  /// rebucketed); counters and pending promotions survive.
+  void SetOptions(const FlightRecorderOptions& options) ADASKIP_EXCLUDES(mu_);
+
+  FlightRecorderOptions options() const ADASKIP_EXCLUDES(mu_);
+
+  /// Appends one record (seq and nanos are stamped here). When the
+  /// latency crosses the slow-query threshold, the digest is queued for
+  /// trace promotion. No-op when capacity is 0.
+  void Record(FlightRecord record) ADASKIP_EXCLUDES(mu_);
+
+  /// True exactly once per queued promotion of `digest`: the caller
+  /// should run this query with full detail tracing. Consuming resets
+  /// the queue entry.
+  bool ConsumePromotion(uint64_t digest) ADASKIP_EXCLUDES(mu_);
+
+  /// The retained records, oldest first.
+  std::vector<FlightRecord> Snapshot() const ADASKIP_EXCLUDES(mu_);
+
+  /// {"capacity":...,"total_recorded":...,"slow_queries":...,
+  ///  "records":[...]} — digests render as fixed-width hex strings
+  /// (uint64 does not survive a double round-trip).
+  std::string ToJson() const ADASKIP_EXCLUDES(mu_);
+
+  int64_t total_recorded() const ADASKIP_EXCLUDES(mu_);
+  int64_t slow_queries() const ADASKIP_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  FlightRecorderOptions options_ ADASKIP_GUARDED_BY(mu_);
+  std::vector<FlightRecord> ring_ ADASKIP_GUARDED_BY(mu_);
+  int64_t next_seq_ ADASKIP_GUARDED_BY(mu_) = 0;
+  int64_t slow_queries_ ADASKIP_GUARDED_BY(mu_) = 0;
+  /// Digests awaiting their promoted re-run. std::map keeps Snapshot/
+  /// ToJson deterministic (no unordered containers, repo-wide rule).
+  std::map<uint64_t, bool> pending_promotions_ ADASKIP_GUARDED_BY(mu_);
+};
+
+}  // namespace obs
+}  // namespace adaskip
+
+#endif  // ADASKIP_OBS_FLIGHT_RECORDER_H_

@@ -143,6 +143,7 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
     sample.sum = histogram->sum();
     sample.mean = histogram->mean();
     sample.p50 = histogram->ApproxPercentile(50);
+    sample.p95 = histogram->ApproxPercentile(95);
     sample.p99 = histogram->ApproxPercentile(99);
     samples.push_back(std::move(sample));
   }
@@ -171,12 +172,107 @@ std::string MetricsRegistry::RenderText() const {
                     sample.help.c_str());
     } else {
       std::snprintf(buf, sizeof(buf),
-                    "%s count=%lld mean=%.1f p50~%lld p99~%lld  # %s\n",
+                    "%s count=%lld mean=%.1f p50~%lld p95~%lld p99~%lld"
+                    "  # %s\n",
                     sample.name.c_str(), static_cast<long long>(sample.value),
                     sample.mean, static_cast<long long>(sample.p50),
+                    static_cast<long long>(sample.p95),
                     static_cast<long long>(sample.p99), sample.help.c_str());
     }
     out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+/// Maps an adaskip metric name onto the Prometheus name charset:
+/// dots (our namespace separator) become underscores, as does anything
+/// else outside [a-zA-Z0-9_:].
+std::string PrometheusName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  return out;
+}
+
+void AppendPrometheusHeader(std::string* out, const std::string& name,
+                            std::string_view help, std::string_view type) {
+  *out += "# HELP ";
+  *out += name;
+  *out += " ";
+  for (const char c : help) {
+    // The exposition format escapes backslash and newline in HELP text.
+    if (c == '\\') {
+      *out += "\\\\";
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      *out += c;
+    }
+  }
+  *out += "\n# TYPE ";
+  *out += name;
+  *out += " ";
+  *out += type;
+  *out += "\n";
+}
+
+void AppendPrometheusValueLine(std::string* out, const std::string& name,
+                               int64_t value) {
+  *out += name;
+  *out += " ";
+  *out += std::to_string(value);
+  *out += "\n";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  MutexLock lock(&mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PrometheusName(name);
+    AppendPrometheusHeader(&out, prom, counter->help(), "counter");
+    AppendPrometheusValueLine(&out, prom, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PrometheusName(name);
+    AppendPrometheusHeader(&out, prom, gauge->help(), "gauge");
+    AppendPrometheusValueLine(&out, prom, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string prom = PrometheusName(name);
+    AppendPrometheusHeader(&out, prom, histogram->help(), "histogram");
+    const std::vector<int64_t> buckets = histogram->BucketCounts();
+    int highest = -1;
+    for (int b = 0; b < HistogramMetric::kNumBuckets; ++b) {
+      if (buckets[static_cast<size_t>(b)] > 0) highest = b;
+    }
+    int64_t cumulative = 0;
+    for (int b = 0; b <= highest; ++b) {
+      cumulative += buckets[static_cast<size_t>(b)];
+      // Bucket 0 holds v <= 0; bucket b >= 1 holds [2^(b-1), 2^b), so
+      // its inclusive upper bound is 2^b - 1. Unsigned arithmetic: the
+      // top bucket's bound does not fit in int64.
+      const uint64_t le = b == 0 ? 0 : (uint64_t{1} << b) - 1;
+      out += prom;
+      out += "_bucket{le=\"";
+      out += std::to_string(le);
+      out += "\"} ";
+      out += std::to_string(cumulative);
+      out += "\n";
+    }
+    out += prom;
+    out += "_bucket{le=\"+Inf\"} ";
+    out += std::to_string(histogram->count());
+    out += "\n";
+    AppendPrometheusValueLine(&out, prom + "_sum", histogram->sum());
+    AppendPrometheusValueLine(&out, prom + "_count", histogram->count());
   }
   return out;
 }

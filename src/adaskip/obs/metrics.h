@@ -155,6 +155,7 @@ struct MetricSample {
   int64_t sum = 0;    // Histograms only.
   double mean = 0.0;  // Histograms only.
   int64_t p50 = 0;    // Histograms only (approximate).
+  int64_t p95 = 0;    // Histograms only (approximate).
   int64_t p99 = 0;    // Histograms only (approximate).
 };
 
@@ -191,8 +192,16 @@ class MetricsRegistry {
   std::vector<MetricSample> Snapshot() const ADASKIP_EXCLUDES(mu_);
 
   /// Text exposition: one `name value  # help` line per instrument,
-  /// sorted by name (histograms render count/mean/p50/p99).
+  /// sorted by name (histograms render count/mean/p50/p95/p99).
   std::string RenderText() const ADASKIP_EXCLUDES(mu_);
+
+  /// Prometheus text exposition (format version 0.0.4): `# HELP` and
+  /// `# TYPE` headers per instrument, dots in metric names mapped to
+  /// underscores, and full histogram exposition — cumulative
+  /// `_bucket{le="..."}` series over the log2 bucket upper bounds plus
+  /// `_sum`/`_count`. This is what the telemetry server serves at
+  /// /metrics.
+  std::string RenderPrometheus() const ADASKIP_EXCLUDES(mu_);
 
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;

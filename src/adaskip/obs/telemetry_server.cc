@@ -1,0 +1,324 @@
+#include "adaskip/obs/telemetry_server.h"
+
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "adaskip/obs/event_journal.h"
+#include "adaskip/obs/flight_recorder.h"
+#include "adaskip/obs/health_monitor.h"
+#include "adaskip/obs/json.h"
+#include "adaskip/obs/metrics.h"
+
+namespace adaskip {
+namespace obs {
+
+namespace {
+
+constexpr std::string_view kTextPlain = "text/plain; charset=utf-8";
+constexpr std::string_view kApplicationJson = "application/json";
+
+std::string_view ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 414: return "URI Too Long";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string RenderHttpResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += " ";
+  out += ReasonPhrase(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpResponse ErrorResponse(int status, std::string message) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = kTextPlain;
+  response.body = std::move(message);
+  response.body += "\n";
+  return response;
+}
+
+/// Splits the raw target into path + query parameters. No URL decoding:
+/// the telemetry endpoints only take small integer parameters.
+void ParseTarget(std::string_view target, HttpRequest* request) {
+  request->target = std::string(target);
+  const size_t question = target.find('?');
+  request->path = std::string(target.substr(0, question));
+  if (question == std::string_view::npos) return;
+  std::string_view query = target.substr(question + 1);
+  while (!query.empty()) {
+    const size_t amp = query.find('&');
+    std::string_view pair = query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view()
+                                          : query.substr(amp + 1);
+    if (pair.empty()) continue;
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      request->params[std::string(pair)] = "";
+    } else {
+      request->params[std::string(pair.substr(0, eq))] =
+          std::string(pair.substr(eq + 1));
+    }
+  }
+}
+
+}  // namespace
+
+int64_t HttpRequest::ParamInt(std::string_view key, int64_t fallback) const {
+  const auto it = params.find(key);
+  if (it == params.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+Status ValidateTelemetryServerOptions(const TelemetryServerOptions& options) {
+  if (options.port < 0 || options.port > 65535) {
+    return Status::InvalidArgument("telemetry port out of range: " +
+                                   std::to_string(options.port));
+  }
+  if (options.max_request_bytes < 64) {
+    return Status::InvalidArgument("max_request_bytes must be >= 64");
+  }
+  if (options.poll_millis <= 0) {
+    return Status::InvalidArgument("poll_millis must be positive");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<TelemetryServer>> TelemetryServer::Start(
+    const TelemetryServerOptions& options) {
+  ADASKIP_RETURN_IF_ERROR(ValidateTelemetryServerOptions(options));
+  ADASKIP_ASSIGN_OR_RETURN(TcpListener listener,
+                           TcpListener::Listen(options.port));
+  // The constructor is private (Start is the sole entry point), so
+  // std::make_unique cannot reach it.
+  std::unique_ptr<TelemetryServer> server(
+      // adaskip-analyze: allow(naked-new)
+      new TelemetryServer(options, std::move(listener)));
+  TelemetryServer* raw = server.get();
+  server->thread_ =
+      std::make_unique<BackgroundThread>([raw] { raw->ServeLoop(); });
+  return server;
+}
+
+TelemetryServer::TelemetryServer(const TelemetryServerOptions& options,
+                                 TcpListener listener)
+    : options_(options), listener_(std::move(listener)) {}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+void TelemetryServer::RegisterHandler(std::string path, HttpHandler handler) {
+  MutexLock lock(&mu_);
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+void TelemetryServer::Stop() {
+  {
+    MutexLock lock(&mu_);
+    stopping_ = true;
+    if (joined_) return;
+    joined_ = true;
+  }
+  if (thread_ != nullptr) thread_->Join();
+  listener_.Close();
+}
+
+int64_t TelemetryServer::requests_served() const {
+  MutexLock lock(&mu_);
+  return requests_served_;
+}
+
+void TelemetryServer::ServeLoop() {
+  for (;;) {
+    {
+      MutexLock lock(&mu_);
+      if (stopping_) return;
+    }
+    Result<TcpConn> conn = listener_.AcceptWithTimeout(options_.poll_millis);
+    if (!conn.ok()) {
+      // Socket-level failure (not a timeout): the accept loop cannot
+      // recover a broken listener, so it exits rather than spin.
+      return;
+    }
+    if (!conn->valid()) continue;  // Timeout tick: re-check stopping_.
+    HandleConn(std::move(*conn));
+  }
+}
+
+HttpResponse TelemetryServer::Dispatch(const HttpRequest& request) {
+  HttpHandler handler;
+  {
+    MutexLock lock(&mu_);
+    const auto it = handlers_.find(request.path);
+    if (it != handlers_.end()) handler = it->second;
+  }
+  if (handler) return handler(request);
+  if (request.path == "/") {
+    // Built-in index of registered endpoints, for operators poking
+    // around with curl.
+    std::string body = "adaskip telemetry endpoints:\n";
+    MutexLock lock(&mu_);
+    for (const auto& [path, unused] : handlers_) {
+      (void)unused;
+      body += "  ";
+      body += path;
+      body += "\n";
+    }
+    HttpResponse response;
+    response.content_type = kTextPlain;
+    response.body = std::move(body);
+    return response;
+  }
+  return ErrorResponse(404, "no handler for " + request.path);
+}
+
+void TelemetryServer::HandleConn(TcpConn conn) {
+  ADASKIP_METRIC_COUNTER(requests, "adaskip.telemetry.requests",
+                         "HTTP requests answered by the telemetry server");
+  ADASKIP_METRIC_COUNTER(errors, "adaskip.telemetry.request_errors",
+                         "Telemetry requests answered with a 4xx/5xx status");
+
+  std::string buf;
+  char chunk[2048];
+  for (;;) {
+    if (static_cast<int64_t>(buf.size()) > options_.max_request_bytes) break;
+    const Result<int64_t> n =
+        conn.ReadSome(chunk, static_cast<int64_t>(sizeof(chunk)));
+    if (!n.ok() || *n == 0) break;
+    buf.append(chunk, static_cast<size_t>(*n));
+    if (buf.find("\r\n\r\n") != std::string::npos) break;
+  }
+  if (buf.empty()) return;  // Peer connected and left; nothing to answer.
+
+  HttpResponse response;
+  const size_t line_end = buf.find("\r\n");
+  if (line_end == std::string::npos) {
+    // The request line never terminated within the byte budget — in
+    // practice an oversized URI (the line is capped well above any sane
+    // method + path) or a peer that gave up mid-line.
+    response = static_cast<int64_t>(buf.size()) > options_.max_request_bytes
+                   ? ErrorResponse(414, "request line too long")
+                   : ErrorResponse(400, "malformed request line");
+  } else {
+    const std::string_view line = std::string_view(buf).substr(0, line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+        sp2 == sp1 + 1 || sp2 + 1 >= line.size() ||
+        line.substr(sp2 + 1).substr(0, 5) != "HTTP/") {
+      response = ErrorResponse(400, "malformed request line");
+    } else {
+      HttpRequest request;
+      request.method = std::string(line.substr(0, sp1));
+      ParseTarget(line.substr(sp1 + 1, sp2 - sp1 - 1), &request);
+      if (request.method != "GET") {
+        response = ErrorResponse(405, "only GET is supported");
+      } else if (request.path.empty() || request.path[0] != '/') {
+        response = ErrorResponse(400, "request target must be absolute");
+      } else {
+        response = Dispatch(request);
+      }
+    }
+  }
+
+  // Best-effort write; a scraper that hung up early is its own problem.
+  const Status write_status = conn.WriteAll(RenderHttpResponse(response));
+  (void)write_status;
+  requests.Increment();
+  if (response.status >= 400) errors.Increment();
+  MutexLock lock(&mu_);
+  ++requests_served_;
+}
+
+HttpHandler MakeMetricsHandler() {
+  return [](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = MetricsRegistry::Global().RenderPrometheus();
+    return response;
+  };
+}
+
+HttpHandler MakeHealthzHandler(const IndexHealthMonitor* monitor) {
+  return [monitor](const HttpRequest&) {
+    const std::vector<IndexHealth> report = monitor->Report();
+    bool degraded = false;
+    std::string body = "{\"status\":";
+    std::string entries;
+    for (const IndexHealth& health : report) {
+      if (health.verdict == HealthVerdict::kDegraded) degraded = true;
+      if (!entries.empty()) entries += ",";
+      entries += "{\"scope\":";
+      AppendJsonString(&entries, health.scope);
+      entries += ",\"verdict\":";
+      AppendJsonString(&entries, HealthVerdictToString(health.verdict));
+      entries += ",\"queries_observed\":";
+      entries += std::to_string(health.queries_observed);
+      entries += ",\"windows_completed\":";
+      entries += std::to_string(health.windows_completed);
+      entries += ",\"last_window_skip\":";
+      AppendJsonDouble(&entries, health.last_window_skip);
+      entries += ",\"best_window_skip\":";
+      AppendJsonDouble(&entries, health.best_window_skip);
+      entries += ",\"last_window_adapt_cost\":";
+      AppendJsonDouble(&entries, health.last_window_adapt_cost);
+      entries += "}";
+    }
+    AppendJsonString(&body, degraded ? "degraded" : "ok");
+    body += ",\"health\":[";
+    body += entries;
+    body += "]}";
+    HttpResponse response;
+    response.status = degraded ? 503 : 200;
+    response.content_type = kApplicationJson;
+    response.body = std::move(body);
+    return response;
+  };
+}
+
+HttpHandler MakeJournalHandler(const EventJournal* journal) {
+  return [journal](const HttpRequest& request) {
+    int64_t n = request.ParamInt("n", 64);
+    if (n < 0) n = 0;
+    const std::vector<JournalEvent> events = journal->Tail(n);
+    std::string body;
+    for (const JournalEvent& event : events) {
+      body += event.ToJson();
+      body += "\n";
+    }
+    HttpResponse response;
+    response.content_type = "application/x-ndjson";
+    response.body = std::move(body);
+    return response;
+  };
+}
+
+HttpHandler MakeFlightRecorderHandler(const FlightRecorder* recorder) {
+  return [recorder](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = kApplicationJson;
+    response.body = recorder->ToJson();
+    return response;
+  };
+}
+
+}  // namespace obs
+}  // namespace adaskip

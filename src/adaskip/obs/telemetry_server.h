@@ -1,0 +1,150 @@
+#ifndef ADASKIP_OBS_TELEMETRY_SERVER_H_
+#define ADASKIP_OBS_TELEMETRY_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "adaskip/util/background_thread.h"
+#include "adaskip/util/socket.h"
+#include "adaskip/util/status.h"
+#include "adaskip/util/thread_annotations.h"
+
+/// The operator-facing telemetry plane: a minimal, dependency-free
+/// blocking HTTP/1.1 server that exposes the in-process observability
+/// surfaces (metrics registry, health monitor, event journal, flight
+/// recorder) over a port. One background accept loop, one connection at
+/// a time, `Connection: close` on every response — deliberately the
+/// simplest thing that `curl` and a Prometheus scraper can talk to.
+/// Sizing rationale in DESIGN.md "The telemetry plane": scrape traffic
+/// is a few requests per second, so concurrency machinery would be pure
+/// liability here.
+///
+/// Layering: this file is obs/, so it may serve anything obs/ and below
+/// can see. Endpoints that need engine state (`/indexes`) are registered
+/// by the Session as closures at the engine seam — the server itself is
+/// a generic path→handler table and never includes engine headers.
+
+namespace adaskip {
+namespace obs {
+
+/// One parsed request. Only the request line is interpreted; headers are
+/// read to find the end of the request but otherwise ignored. Query
+/// parameters are split on '&' and '=' without URL decoding (the
+/// telemetry endpoints only take small integers).
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string target;  // Raw request target, e.g. "/journal?n=16".
+  std::string path;    // Target up to '?', e.g. "/journal".
+  std::map<std::string, std::string, std::less<>> params;
+
+  /// The integer value of query parameter `key`, or `fallback` when
+  /// absent or unparseable.
+  int64_t ParamInt(std::string_view key, int64_t fallback) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct TelemetryServerOptions {
+  /// Port to listen on; 0 binds an ephemeral port (see port()).
+  int port = 0;
+
+  /// Hard cap on request bytes read before the header terminator; a
+  /// request-line longer than this is answered 414 and dropped.
+  int64_t max_request_bytes = 8192;
+
+  /// Accept-poll granularity; bounds Stop() latency.
+  int poll_millis = 50;
+};
+
+Status ValidateTelemetryServerOptions(const TelemetryServerOptions& options);
+
+/// The embedded HTTP server. Start() binds, listens, and spawns the
+/// accept loop; Stop() (also run by the destructor) joins it. Handlers
+/// may be registered before or after Start, from any thread.
+class TelemetryServer {
+ public:
+  /// Binds and starts serving. A port already in use surfaces as
+  /// Status::FailedPrecondition.
+  static Result<std::unique_ptr<TelemetryServer>> Start(
+      const TelemetryServerOptions& options);
+
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// The bound port (useful with options.port == 0).
+  int port() const { return listener_.port(); }
+
+  /// Maps GET `path` to `handler`. Re-registering a path replaces its
+  /// handler. Handlers run on the server thread; they must be internally
+  /// synchronized with whatever state they read.
+  void RegisterHandler(std::string path, HttpHandler handler)
+      ADASKIP_EXCLUDES(mu_);
+
+  /// Stops accepting, joins the accept loop, closes the listener.
+  /// Idempotent.
+  void Stop() ADASKIP_EXCLUDES(mu_);
+
+  /// Requests answered so far (any status).
+  int64_t requests_served() const ADASKIP_EXCLUDES(mu_);
+
+ private:
+  TelemetryServer(const TelemetryServerOptions& options,
+                  TcpListener listener);
+
+  void ServeLoop() ADASKIP_EXCLUDES(mu_);
+  void HandleConn(TcpConn conn) ADASKIP_EXCLUDES(mu_);
+  HttpResponse Dispatch(const HttpRequest& request) ADASKIP_EXCLUDES(mu_);
+
+  const TelemetryServerOptions options_;
+  TcpListener listener_;
+
+  mutable Mutex mu_;
+  bool stopping_ ADASKIP_GUARDED_BY(mu_) = false;
+  bool joined_ ADASKIP_GUARDED_BY(mu_) = false;
+  std::map<std::string, HttpHandler, std::less<>> handlers_
+      ADASKIP_GUARDED_BY(mu_);
+  int64_t requests_served_ ADASKIP_GUARDED_BY(mu_) = 0;
+
+  /// Declared last so it is destroyed first; Stop() joins before any
+  /// other member goes away regardless.
+  std::unique_ptr<BackgroundThread> thread_;
+};
+
+class FlightRecorder;
+class IndexHealthMonitor;
+class EventJournal;
+
+/// Stock handlers for the obs-level surfaces. The Session wires these to
+/// their conventional paths (/metrics, /healthz, /journal,
+/// /flightrecorder) plus its own engine-side /indexes closure.
+
+/// Prometheus text exposition of the global MetricsRegistry.
+HttpHandler MakeMetricsHandler();
+
+/// {"status":"ok"|"degraded","health":[...]}; HTTP 503 when any index
+/// verdict is kDegraded — a fleet health checker needs only the status
+/// code.
+HttpHandler MakeHealthzHandler(const IndexHealthMonitor* monitor);
+
+/// Journal tail as JSONL; `?n=K` bounds the tail (default 64).
+HttpHandler MakeJournalHandler(const EventJournal* journal);
+
+/// FlightRecorder::ToJson().
+HttpHandler MakeFlightRecorderHandler(const FlightRecorder* recorder);
+
+}  // namespace obs
+}  // namespace adaskip
+
+#endif  // ADASKIP_OBS_TELEMETRY_SERVER_H_

@@ -1,0 +1,168 @@
+#include "adaskip/util/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace adaskip {
+
+namespace {
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Result<int64_t> TcpConn::ReadSome(char* buf, int64_t buf_len) {
+  if (fd_ < 0) return Status::FailedPrecondition("read on closed socket");
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, static_cast<size_t>(buf_len), 0);
+    if (n >= 0) return static_cast<int64_t>(n);
+    if (errno == EINTR) continue;
+    return Status::Internal(ErrnoMessage("recv"));
+  }
+}
+
+Status TcpConn::WriteAll(std::string_view data) {
+  if (fd_ < 0) return Status::FailedPrecondition("write on closed socket");
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Internal(ErrnoMessage("send"));
+  }
+  return Status::OK();
+}
+
+void TcpConn::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpListener> TcpListener::Listen(int port) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port out of range: " +
+                                   std::to_string(port));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(ErrnoMessage("socket"));
+
+  // SO_REUSEADDR so restarts do not trip over TIME_WAIT remnants of the
+  // previous server instance. Genuinely-live listeners still conflict.
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const bool in_use = errno == EADDRINUSE;
+    const std::string message = ErrnoMessage("bind");
+    ::close(fd);
+    if (in_use) {
+      return Status::FailedPrecondition("port " + std::to_string(port) +
+                                        " already in use");
+    }
+    return Status::Internal(message);
+  }
+  if (::listen(fd, 64) != 0) {
+    const std::string message = ErrnoMessage("listen");
+    ::close(fd);
+    return Status::Internal(message);
+  }
+
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const std::string message = ErrnoMessage("getsockname");
+    ::close(fd);
+    return Status::Internal(message);
+  }
+
+  TcpListener listener;
+  listener.fd_ = fd;
+  listener.port_ = static_cast<int>(ntohs(bound.sin_port));
+  return listener;
+}
+
+Result<TcpConn> TcpListener::AcceptWithTimeout(int timeout_millis) {
+  if (fd_ < 0) return Status::FailedPrecondition("accept on closed listener");
+  pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  const int ready = ::poll(&pfd, 1, timeout_millis);
+  if (ready < 0) {
+    if (errno == EINTR) return TcpConn();  // Treat as a timeout tick.
+    return Status::Internal(ErrnoMessage("poll"));
+  }
+  if (ready == 0) return TcpConn();  // Timeout: caller re-checks its flag.
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return TcpConn();
+    return Status::Internal(ErrnoMessage("accept"));
+  }
+  return TcpConn(conn);
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::string> HttpGet(int port, std::string_view target) {
+  std::string request = "GET ";
+  request += target;
+  request += " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  return HttpExchange(port, request);
+}
+
+Result<std::string> HttpExchange(int port, std::string_view raw_request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(ErrnoMessage("socket"));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string message = ErrnoMessage("connect");
+    ::close(fd);
+    return Status::Internal(message);
+  }
+  TcpConn conn(fd);
+  ADASKIP_RETURN_IF_ERROR(conn.WriteAll(raw_request));
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    ADASKIP_ASSIGN_OR_RETURN(
+        const int64_t n,
+        conn.ReadSome(buf, static_cast<int64_t>(sizeof(buf))));
+    if (n == 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  return response;
+}
+
+}  // namespace adaskip

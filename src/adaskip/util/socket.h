@@ -1,0 +1,117 @@
+#ifndef ADASKIP_UTIL_SOCKET_H_
+#define ADASKIP_UTIL_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "adaskip/util/status.h"
+
+/// Minimal POSIX TCP primitives for the embedded telemetry server (see
+/// obs/telemetry_server.h). Deliberately tiny: blocking I/O, IPv4
+/// loopback-or-any binding, no TLS, no non-blocking state machines. The
+/// telemetry plane serves a handful of operator scrapes per second, not
+/// user traffic, so one blocking accept loop on a background thread is
+/// the whole design (DESIGN.md "The telemetry plane").
+///
+/// Like the thread/mutex wrappers in this directory, these classes exist
+/// so raw file descriptors are owned in exactly one audited place; code
+/// above util/ never sees an fd.
+
+namespace adaskip {
+
+/// RAII wrapper around one connected TCP socket. Movable, not copyable;
+/// closes on destruction.
+class TcpConn {
+ public:
+  TcpConn() = default;
+  explicit TcpConn(int fd) : fd_(fd) {}
+  ~TcpConn() { Close(); }
+
+  TcpConn(TcpConn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpConn& operator=(TcpConn&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Reads up to `buf_len` bytes into `buf`. Returns the byte count
+  /// (0 means the peer closed the connection) or a Status on error.
+  Result<int64_t> ReadSome(char* buf, int64_t buf_len);
+
+  /// Writes all of `data`, looping over partial sends.
+  Status WriteAll(std::string_view data);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// RAII wrapper around one listening TCP socket bound to 0.0.0.0.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { Close(); }
+
+  TcpListener(TcpListener&& other) noexcept
+      : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  TcpListener& operator=(TcpListener&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      port_ = other.port_;
+      other.fd_ = -1;
+      other.port_ = 0;
+    }
+    return *this;
+  }
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on `port` (0 picks an ephemeral port; the bound
+  /// port is available from port()). A port already in use surfaces as
+  /// Status::FailedPrecondition so callers can report it rather than
+  /// abort.
+  static Result<TcpListener> Listen(int port);
+
+  bool valid() const { return fd_ >= 0; }
+  int port() const { return port_; }
+
+  /// Waits up to `timeout_millis` for an incoming connection. Returns an
+  /// invalid TcpConn on timeout (the accept loop uses this to poll its
+  /// shutdown flag), a valid one on success, a Status on socket error.
+  Result<TcpConn> AcceptWithTimeout(int timeout_millis);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+/// Blocking HTTP/1.1 GET against 127.0.0.1:`port`; returns the raw
+/// response bytes (status line, headers, body). Shared by the telemetry
+/// tests and examples so they need no external HTTP client; not meant
+/// for production use.
+Result<std::string> HttpGet(int port, std::string_view target);
+
+/// Writes `raw_request` verbatim to 127.0.0.1:`port` and returns
+/// everything the peer sends back until it closes. HttpGet is this with
+/// a well-formed request line; the error-path tests use it directly to
+/// send malformed, oversized, and non-GET requests.
+Result<std::string> HttpExchange(int port, std::string_view raw_request);
+
+}  // namespace adaskip
+
+#endif  // ADASKIP_UTIL_SOCKET_H_

@@ -1,0 +1,297 @@
+// Engine-level tests of the telemetry plane: the session-wired HTTP
+// endpoints, the always-on flight recorder across both submission
+// surfaces, slow-query trace promotion, and scraping while a query
+// server is under load (the TSan target for the whole plane).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adaskip/engine/query_server.h"
+#include "adaskip/engine/session.h"
+#include "adaskip/util/background_thread.h"
+#include "adaskip/util/socket.h"
+#include "adaskip/util/thread_pool.h"
+#include "adaskip/workload/data_generator.h"
+
+namespace adaskip {
+namespace {
+
+// A session with one indexed int64 table of `rows` rows in [0, rows).
+std::unique_ptr<Session> MakeSession(int64_t rows = 20000) {
+  auto session = std::make_unique<Session>();
+  ADASKIP_CHECK_OK(session->CreateTable("t"));
+  DataGenOptions gen;
+  gen.order = DataOrder::kClustered;
+  gen.num_rows = rows;
+  gen.value_range = rows;
+  gen.seed = 7;
+  ADASKIP_CHECK_OK(
+      session->AddColumn<int64_t>("t", "x", GenerateData<int64_t>(gen)));
+  ADASKIP_CHECK_OK(session->AttachIndex("t", "x", IndexOptions::Adaptive()));
+  return session;
+}
+
+QuerySpec CountBetween(int64_t lo, int64_t hi) {
+  return QuerySpec::Simple(
+      "t", Query::Count(Predicate::Between<int64_t>("x", lo, hi)));
+}
+
+int StatusOf(const std::string& response) {
+  if (response.size() < 12 || response.compare(0, 9, "HTTP/1.1 ") != 0) {
+    return -1;
+  }
+  return std::atoi(response.c_str() + 9);
+}
+
+TEST(SessionTelemetryTest, StartServerWiresStockEndpoints) {
+  auto session = MakeSession();
+  ASSERT_TRUE(session->ExecuteSpec(CountBetween(100, 500)).ok());
+
+  Result<int> port = session->StartTelemetryServer();
+  ASSERT_TRUE(port.ok()) << port.status();
+  ASSERT_GT(*port, 0);
+  ASSERT_NE(session->telemetry_server(), nullptr);
+
+  // A second server on the same session is refused.
+  Result<int> second = session->StartTelemetryServer();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+
+  Result<std::string> metrics = HttpGet(*port, "/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(StatusOf(*metrics), 200);
+  EXPECT_NE(metrics->find("# TYPE adaskip_exec_queries counter"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("adaskip_flightrecorder_records"),
+            std::string::npos);
+
+  Result<std::string> healthz = HttpGet(*port, "/healthz");
+  ASSERT_TRUE(healthz.ok()) << healthz.status();
+  EXPECT_EQ(StatusOf(*healthz), 200);
+  EXPECT_NE(healthz->find("\"status\":\"ok\""), std::string::npos);
+
+  Result<std::string> indexes = HttpGet(*port, "/indexes");
+  ASSERT_TRUE(indexes.ok()) << indexes.status();
+  EXPECT_EQ(StatusOf(*indexes), 200);
+  EXPECT_NE(indexes->find("\"table\":\"t\""), std::string::npos);
+  EXPECT_NE(indexes->find("\"column\":\"x\""), std::string::npos);
+  EXPECT_NE(indexes->find("\"kind\":\"adaptive\""), std::string::npos);
+
+  Result<std::string> flights = HttpGet(*port, "/flightrecorder");
+  ASSERT_TRUE(flights.ok()) << flights.status();
+  EXPECT_EQ(StatusOf(*flights), 200);
+  EXPECT_NE(flights->find("\"total_recorded\":1"), std::string::npos);
+
+  Result<std::string> journal = HttpGet(*port, "/journal?n=4");
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  EXPECT_EQ(StatusOf(*journal), 200);
+
+  session->StopTelemetryServer();
+  EXPECT_EQ(session->telemetry_server(), nullptr);
+  session->StopTelemetryServer();  // Idempotent.
+}
+
+TEST(SessionTelemetryTest, FlightRecorderCapturesEveryQueryAtTraceOff) {
+  auto session = MakeSession();
+  for (int i = 0; i < 6; ++i) {
+    Result<QueryResult> result =
+        session->ExecuteSpec(CountBetween(i * 100, i * 100 + 500));
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->trace, nullptr);  // Table default is kOff.
+  }
+
+  // Every query landed in the ring despite tracing being off.
+  EXPECT_EQ(session->flight_recorder().total_recorded(), 6);
+  const std::vector<obs::FlightRecord> records =
+      session->flight_recorder().Snapshot();
+  ASSERT_EQ(records.size(), 6u);
+  for (const obs::FlightRecord& record : records) {
+    EXPECT_NE(record.spec_digest, 0u);
+    EXPECT_GT(record.latency_nanos, 0);
+    EXPECT_GT(record.rows_scanned + record.rows_skipped, 0);
+    EXPECT_EQ(record.batch_seq, -1);  // Standalone submissions.
+    EXPECT_EQ(record.batch_width, 1);
+    EXPECT_FALSE(record.traced);
+    EXPECT_EQ(record.status, StatusCode::kOk);
+  }
+  // Identical specs digest identically; distinct specs do not.
+  EXPECT_NE(records[0].spec_digest, records[1].spec_digest);
+
+  // A failed query is recorded too, with its status code.
+  EXPECT_FALSE(session
+                   ->ExecuteSpec(QuerySpec::Simple(
+                       "t", Query::Count(
+                                Predicate::Between<int64_t>("nope", 0, 1))))
+                   .ok());
+  const std::vector<obs::FlightRecord> after =
+      session->flight_recorder().Snapshot();
+  ASSERT_EQ(after.size(), 7u);
+  EXPECT_EQ(after.back().status, StatusCode::kNotFound);
+}
+
+TEST(SessionTelemetryTest, SharedBatchesStampBatchSeqAndWidth) {
+  auto session = MakeSession();
+  std::vector<QuerySpec> batch = {CountBetween(0, 500),
+                                  CountBetween(400, 900),
+                                  CountBetween(800, 1300)};
+  std::vector<Result<QueryResult>> results =
+      session->ExecuteShared("t", batch);
+  ASSERT_EQ(results.size(), 3u);
+  for (const Result<QueryResult>& result : results) {
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+
+  const std::vector<obs::FlightRecord> records =
+      session->flight_recorder().Snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  const int64_t batch_seq = records[0].batch_seq;
+  EXPECT_GE(batch_seq, 0);
+  for (const obs::FlightRecord& record : records) {
+    EXPECT_EQ(record.batch_seq, batch_seq);  // One shared pass.
+    EXPECT_EQ(record.batch_width, 3);
+  }
+
+  // The next batch gets a fresh id.
+  (void)session->ExecuteShared("t", batch);
+  EXPECT_NE(session->flight_recorder().Snapshot().back().batch_seq,
+            batch_seq);
+}
+
+TEST(SessionTelemetryTest, SlowQueryPromotesNextOccurrenceToDetailTrace) {
+  auto session = MakeSession();
+  obs::FlightRecorderOptions options;
+  options.slow_query_nanos = 1;  // Everything is "slow".
+  ASSERT_TRUE(session->SetFlightRecorderOptions(options).ok());
+
+  // First run: no trace (table is kOff), but the digest gets flagged.
+  Result<QueryResult> first = session->ExecuteSpec(CountBetween(100, 900));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->trace, nullptr);
+  EXPECT_GE(session->flight_recorder().slow_queries(), 1);
+
+  // Second run of the SAME spec arrives with a full detail trace.
+  Result<QueryResult> second = session->ExecuteSpec(CountBetween(100, 900));
+  ASSERT_TRUE(second.ok());
+  ASSERT_NE(second->trace, nullptr);
+  EXPECT_EQ(second->trace->level(), obs::TraceLevel::kDetail);
+
+  // A different spec was never flagged-and-consumed for this digest; its
+  // own first run is untraced (then flagged in turn).
+  Result<QueryResult> other = session->ExecuteSpec(CountBetween(5000, 5100));
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other->trace, nullptr);
+
+  const std::vector<obs::FlightRecord> records =
+      session->flight_recorder().Snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_FALSE(records[0].traced);
+  EXPECT_TRUE(records[1].traced);  // The promoted re-run.
+  EXPECT_FALSE(records[2].traced);
+}
+
+TEST(SessionTelemetryTest, DumpTelemetryCarriesFlightRecorderAndPercentiles) {
+  auto session = MakeSession();
+  ASSERT_TRUE(session->ExecuteSpec(CountBetween(100, 500)).ok());
+
+  std::ostringstream out;
+  session->DumpTelemetry(out);
+  const std::string doc = out.str();
+  EXPECT_NE(doc.find("\"flight_recorder\""), std::string::npos);
+  EXPECT_NE(doc.find("\"total_recorded\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"p95\""), std::string::npos);
+  EXPECT_NE(doc.find("\"journal\""), std::string::npos);
+  EXPECT_NE(doc.find("\"metrics\""), std::string::npos);
+}
+
+// Queries dispatched through the QueryServer carry the server lifecycle
+// span: queue wait, batching window, and the shared pass's phases.
+TEST(ServerSpanTelemetryTest, TracedServerQueryCarriesLifecycleSpans) {
+  auto session = MakeSession();
+  QueryServerOptions options;
+  options.auto_dispatch = false;
+  QueryServer server(session.get(), options);
+
+  QuerySpec spec = CountBetween(1000, 2000);
+  spec.trace_level = obs::TraceLevel::kSummary;
+  std::future<Result<QueryResult>> future = server.Submit(std::move(spec));
+  EXPECT_EQ(server.DispatchNow(), 1);
+
+  Result<QueryResult> result = future.get();
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_NE(result->trace, nullptr);
+  const std::string json = result->trace->ToJson();
+  EXPECT_NE(json.find("\"server\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"batch_window\""), std::string::npos);
+  EXPECT_NE(json.find("\"peek\""), std::string::npos);
+  EXPECT_NE(json.find("\"shared_scan\""), std::string::npos);
+  EXPECT_NE(json.find("\"replay\""), std::string::npos);
+}
+
+// The whole plane under concurrency: driver threads push queries through
+// the auto-dispatching server while a scraper hammers every endpoint.
+// This is the test the CI TSan job runs to prove the handlers' reads of
+// live engine state are race-free.
+TEST(TelemetryScrapeUnderLoadTest, ConcurrentScrapesStayValid) {
+  auto session = MakeSession();
+  Result<int> port = session->StartTelemetryServer();
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  QueryServerOptions options;
+  options.batching_window_nanos = 50'000;
+  QueryServer server(session.get(), options);
+
+  constexpr int kDrivers = 3;
+  constexpr int kQueriesPerDriver = 40;
+  std::atomic<int> failures{0};
+
+  // Scrape every endpoint except /indexes (documented quiescent-only)
+  // while the drivers run.
+  std::atomic<bool> done{false};
+  std::atomic<int> scrape_errors{0};
+  BackgroundThread scraper([&done, &scrape_errors, port = *port] {
+    const char* targets[] = {"/metrics", "/healthz", "/journal?n=8",
+                             "/flightrecorder"};
+    size_t turn = 0;
+    while (!done.load()) {
+      const Result<std::string> response =
+          HttpGet(port, targets[turn++ % 4]);
+      if (!response.ok() || StatusOf(*response) < 200) {
+        scrape_errors.fetch_add(1);
+      }
+    }
+  });
+
+  ThreadPool drivers(kDrivers);
+  drivers.ParallelFor(kDrivers, [&server, &failures](int64_t d, int) {
+    for (int i = 0; i < kQueriesPerDriver; ++i) {
+      const int64_t lo = (d * 1000 + i * 37) % 15000;
+      Result<QueryResult> result = server.Execute(QuerySpec::Simple(
+          "t",
+          Query::Count(Predicate::Between<int64_t>("x", lo, lo + 400))));
+      if (!result.ok()) failures.fetch_add(1);
+    }
+  });
+  done.store(true);
+  scraper.Join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(scrape_errors.load(), 0);
+  EXPECT_EQ(session->flight_recorder().total_recorded(),
+            kDrivers * kQueriesPerDriver);
+
+  // A final scrape reflects the finished workload.
+  Result<std::string> metrics = HttpGet(*port, "/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_NE(metrics->find("adaskip_server_submitted"), std::string::npos);
+  EXPECT_NE(metrics->find("adaskip_server_queue_wait_nanos_bucket"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace adaskip

@@ -1,0 +1,180 @@
+#include "adaskip/obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace adaskip {
+namespace obs {
+namespace {
+
+FlightRecord MakeRecord(uint64_t digest, int64_t latency_nanos) {
+  FlightRecord record;
+  record.spec_digest = digest;
+  record.latency_nanos = latency_nanos;
+  record.rows_scanned = 100;
+  record.rows_skipped = 900;
+  return record;
+}
+
+TEST(FlightRecorderOptionsTest, ValidateRejectsNegativeKnobs) {
+  EXPECT_TRUE(ValidateFlightRecorderOptions({}).ok());
+
+  FlightRecorderOptions bad_capacity;
+  bad_capacity.capacity = -1;
+  EXPECT_EQ(ValidateFlightRecorderOptions(bad_capacity).code(),
+            StatusCode::kInvalidArgument);
+
+  FlightRecorderOptions bad_threshold;
+  bad_threshold.slow_query_nanos = -1;
+  EXPECT_EQ(ValidateFlightRecorderOptions(bad_threshold).code(),
+            StatusCode::kInvalidArgument);
+
+  FlightRecorderOptions bad_pending;
+  bad_pending.max_pending_promotions = -1;
+  EXPECT_EQ(ValidateFlightRecorderOptions(bad_pending).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FlightRecorderTest, RecordsStampSequenceAndTimestamp) {
+  FlightRecorder recorder;
+  recorder.Record(MakeRecord(0xaa, 10));
+  recorder.Record(MakeRecord(0xbb, 20));
+
+  std::vector<FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].seq, 0);
+  EXPECT_EQ(records[1].seq, 1);
+  EXPECT_GT(records[0].nanos, 0);
+  EXPECT_GE(records[1].nanos, records[0].nanos);
+  EXPECT_EQ(records[0].spec_digest, 0xaau);
+  EXPECT_EQ(records[1].spec_digest, 0xbbu);
+  EXPECT_EQ(recorder.total_recorded(), 2);
+}
+
+TEST(FlightRecorderTest, RingWrapsKeepingNewestOldestFirst) {
+  FlightRecorderOptions options;
+  options.capacity = 4;
+  FlightRecorder recorder(options);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record(MakeRecord(static_cast<uint64_t>(i), i));
+  }
+
+  // Only the newest 4 survive, returned oldest first.
+  std::vector<FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(records[static_cast<size_t>(i)].seq, 6 + i);
+    EXPECT_EQ(records[static_cast<size_t>(i)].spec_digest,
+              static_cast<uint64_t>(6 + i));
+  }
+  // The counter keeps the true total, not the retained count.
+  EXPECT_EQ(recorder.total_recorded(), 10);
+}
+
+TEST(FlightRecorderTest, CapacityZeroDisablesCapture) {
+  FlightRecorderOptions options;
+  options.capacity = 0;
+  options.slow_query_nanos = 1;
+  FlightRecorder recorder(options);
+  recorder.Record(MakeRecord(0x1, 1000));
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  EXPECT_EQ(recorder.total_recorded(), 0);
+  EXPECT_FALSE(recorder.ConsumePromotion(0x1));
+}
+
+TEST(FlightRecorderTest, SlowQueryPromotionConsumesExactlyOnce) {
+  FlightRecorderOptions options;
+  options.slow_query_nanos = 1000;
+  FlightRecorder recorder(options);
+
+  recorder.Record(MakeRecord(0xfa57, 999));  // Below threshold: no flag.
+  EXPECT_EQ(recorder.slow_queries(), 0);
+  EXPECT_FALSE(recorder.ConsumePromotion(0xfa57));
+
+  recorder.Record(MakeRecord(0x510, 1000));  // At threshold: flagged.
+  EXPECT_EQ(recorder.slow_queries(), 1);
+  EXPECT_TRUE(recorder.ConsumePromotion(0x510));
+  EXPECT_FALSE(recorder.ConsumePromotion(0x510));  // Consumed.
+
+  // A later slow occurrence re-arms the same digest.
+  recorder.Record(MakeRecord(0x510, 5000));
+  EXPECT_EQ(recorder.slow_queries(), 2);
+  EXPECT_TRUE(recorder.ConsumePromotion(0x510));
+}
+
+TEST(FlightRecorderTest, ThresholdZeroDisablesPromotion) {
+  FlightRecorder recorder;  // Default slow_query_nanos = 0.
+  recorder.Record(MakeRecord(0x1, 1'000'000'000));
+  EXPECT_EQ(recorder.slow_queries(), 0);
+  EXPECT_FALSE(recorder.ConsumePromotion(0x1));
+}
+
+TEST(FlightRecorderTest, PendingPromotionsAreBounded) {
+  FlightRecorderOptions options;
+  options.slow_query_nanos = 1;
+  options.max_pending_promotions = 2;
+  FlightRecorder recorder(options);
+  for (uint64_t digest = 1; digest <= 5; ++digest) {
+    recorder.Record(MakeRecord(digest, 100));
+  }
+  // All five counted as slow, but only the first two queued promotions.
+  EXPECT_EQ(recorder.slow_queries(), 5);
+  EXPECT_TRUE(recorder.ConsumePromotion(1));
+  EXPECT_TRUE(recorder.ConsumePromotion(2));
+  EXPECT_FALSE(recorder.ConsumePromotion(3));
+  EXPECT_FALSE(recorder.ConsumePromotion(4));
+  EXPECT_FALSE(recorder.ConsumePromotion(5));
+}
+
+TEST(FlightRecorderTest, ResizeClearsRingButKeepsCounters) {
+  FlightRecorderOptions options;
+  options.capacity = 8;
+  options.slow_query_nanos = 1;
+  FlightRecorder recorder(options);
+  recorder.Record(MakeRecord(0x1, 100));
+  recorder.Record(MakeRecord(0x2, 100));
+  EXPECT_EQ(recorder.Snapshot().size(), 2u);
+
+  options.capacity = 16;
+  recorder.SetOptions(options);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+  // Counters and queued promotions survive the resize.
+  EXPECT_EQ(recorder.total_recorded(), 2);
+  EXPECT_EQ(recorder.slow_queries(), 2);
+  EXPECT_TRUE(recorder.ConsumePromotion(0x1));
+
+  // Same capacity: the ring is left alone.
+  recorder.Record(MakeRecord(0x3, 100));
+  recorder.SetOptions(options);
+  EXPECT_EQ(recorder.Snapshot().size(), 1u);
+}
+
+TEST(FlightRecorderTest, ToJsonCarriesCountersAndHexDigests) {
+  FlightRecorderOptions options;
+  options.capacity = 4;
+  options.slow_query_nanos = 50;
+  FlightRecorder recorder(options);
+  FlightRecord record = MakeRecord(0xdeadbeef, 100);
+  record.batch_seq = 7;
+  record.batch_width = 3;
+  record.traced = true;
+  record.status = StatusCode::kNotFound;
+  recorder.Record(record);
+
+  const std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("\"capacity\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"total_recorded\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"slow_queries\":1"), std::string::npos);
+  // uint64 digests render as fixed-width hex strings, not JSON numbers.
+  EXPECT_NE(json.find("\"digest\":\"00000000deadbeef\""), std::string::npos);
+  EXPECT_NE(json.find("\"batch_seq\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"batch_width\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"traced\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"NotFound\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace adaskip

@@ -108,6 +108,104 @@ TEST(RegistryTest, InstrumentMacroBindsOnce) {
             before + 3);
 }
 
+TEST(GaugeTest, SetAndSnapshot) {
+  Gauge& g = MetricsRegistry::Global().RegisterGauge(
+      "test.gauge.depth", "test gauge");
+  g.Set(42);
+  EXPECT_EQ(g.value(), 42);
+  EXPECT_EQ(MetricsRegistry::Global().GaugeValue("test.gauge.depth"), 42);
+  g.Set(7);  // Gauges move both ways, unlike counters.
+  EXPECT_EQ(g.value(), 7);
+
+  bool found = false;
+  for (const MetricSample& sample : MetricsRegistry::Global().Snapshot()) {
+    if (sample.name != "test.gauge.depth") continue;
+    found = true;
+    EXPECT_EQ(sample.kind, MetricSample::Kind::kGauge);
+    EXPECT_EQ(sample.value, 7);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(HistogramTest, SnapshotCarriesApproximatePercentiles) {
+  HistogramMetric& h = MetricsRegistry::Global().RegisterHistogram(
+      "test.histogram.percentiles", "latency-shaped distribution");
+  // 90 fast observations (bucket [8,16), upper bound 15) and 10 slow
+  // ones (bucket [512,1024), upper bound 1023): the median sits in the
+  // fast bucket, the tail percentiles in the slow one.
+  for (int i = 0; i < 90; ++i) h.Observe(10);
+  for (int i = 0; i < 10; ++i) h.Observe(1000);
+
+  EXPECT_EQ(h.ApproxPercentile(50), 15);
+  EXPECT_EQ(h.ApproxPercentile(95), 1023);
+  EXPECT_EQ(h.ApproxPercentile(99), 1023);
+
+  bool found = false;
+  for (const MetricSample& sample : MetricsRegistry::Global().Snapshot()) {
+    if (sample.name != "test.histogram.percentiles") continue;
+    found = true;
+    EXPECT_EQ(sample.kind, MetricSample::Kind::kHistogram);
+    EXPECT_EQ(sample.value, 100);
+    EXPECT_EQ(sample.sum, 90 * 10 + 10 * 1000);
+    EXPECT_DOUBLE_EQ(sample.mean, static_cast<double>(sample.sum) / 100.0);
+    EXPECT_EQ(sample.p50, 15);
+    EXPECT_EQ(sample.p95, 1023);
+    EXPECT_EQ(sample.p99, 1023);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  HistogramMetric& h = MetricsRegistry::Global().RegisterHistogram(
+      "test.histogram.percentile_edges", "edge cases");
+  EXPECT_EQ(h.ApproxPercentile(95), 0);  // Empty: no observations.
+  h.Observe(0);
+  EXPECT_EQ(h.ApproxPercentile(50), 0);  // Bucket 0 reports 0.
+  h.Observe(100);
+  EXPECT_EQ(h.ApproxPercentile(200.0), 127);  // Clamped to p100.
+  EXPECT_EQ(h.ApproxPercentile(-5.0), 0);     // Clamped to the low rank.
+}
+
+TEST(RenderPrometheusTest, RendersTypedFamiliesWithSanitizedNames) {
+  Counter& c = MetricsRegistry::Global().RegisterCounter(
+      "test.prom.requests", "requests seen");
+  c.Increment();
+  Gauge& g = MetricsRegistry::Global().RegisterGauge(
+      "test.prom.depth", "current depth");
+  g.Set(3);
+
+  const std::string out = MetricsRegistry::Global().RenderPrometheus();
+  // Dots sanitize to underscores; every family gets # HELP and # TYPE.
+  EXPECT_NE(out.find("# HELP test_prom_requests requests seen"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE test_prom_requests counter"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE test_prom_depth gauge"), std::string::npos);
+  EXPECT_NE(out.find("test_prom_depth 3\n"), std::string::npos);
+  EXPECT_EQ(out.find("test.prom"), std::string::npos);
+}
+
+TEST(RenderPrometheusTest, RendersCumulativeHistogramSeries) {
+  HistogramMetric& h = MetricsRegistry::Global().RegisterHistogram(
+      "test.prom.latency", "latency");
+  h.Observe(1);     // Bucket [1,2), le="1".
+  h.Observe(10);    // Bucket [8,16), le="15".
+  h.Observe(10);
+
+  const std::string out = MetricsRegistry::Global().RenderPrometheus();
+  EXPECT_NE(out.find("# TYPE test_prom_latency histogram"),
+            std::string::npos);
+  // Buckets are cumulative over the log2 upper bounds and terminate at
+  // +Inf, which agrees with _count.
+  EXPECT_NE(out.find("test_prom_latency_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("test_prom_latency_bucket{le=\"15\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("test_prom_latency_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("test_prom_latency_sum 21\n"), std::string::npos);
+  EXPECT_NE(out.find("test_prom_latency_count 3\n"), std::string::npos);
+}
+
 // The fast path is relaxed-atomic: concurrent adds from pool workers must
 // not lose updates (and run clean under TSan).
 TEST(ParallelMetricsTest, ConcurrentAddsDoNotLoseUpdates) {

@@ -1,0 +1,262 @@
+#include "adaskip/obs/telemetry_server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "adaskip/obs/event_journal.h"
+#include "adaskip/obs/flight_recorder.h"
+#include "adaskip/obs/health_monitor.h"
+#include "adaskip/obs/metrics.h"
+#include "adaskip/util/logging.h"
+#include "adaskip/util/socket.h"
+
+namespace adaskip {
+namespace obs {
+namespace {
+
+// The HTTP status code of a raw response ("HTTP/1.1 404 ..." -> 404).
+int StatusOf(const std::string& response) {
+  if (response.size() < 12 || response.compare(0, 9, "HTTP/1.1 ") != 0) {
+    return -1;
+  }
+  return std::atoi(response.c_str() + 9);
+}
+
+// The body of a raw response (everything past the header terminator).
+std::string BodyOf(const std::string& response) {
+  const size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? std::string() : response.substr(at + 4);
+}
+
+std::unique_ptr<TelemetryServer> StartEphemeral(
+    TelemetryServerOptions options = {}) {
+  options.port = 0;
+  Result<std::unique_ptr<TelemetryServer>> server =
+      TelemetryServer::Start(options);
+  ADASKIP_CHECK_OK(server.status());
+  return std::move(*server);
+}
+
+TEST(TelemetryServerOptionsTest, ValidateRejectsBadKnobs) {
+  EXPECT_TRUE(ValidateTelemetryServerOptions({}).ok());
+
+  TelemetryServerOptions bad_port;
+  bad_port.port = 65536;
+  EXPECT_EQ(ValidateTelemetryServerOptions(bad_port).code(),
+            StatusCode::kInvalidArgument);
+
+  TelemetryServerOptions bad_budget;
+  bad_budget.max_request_bytes = 63;
+  EXPECT_EQ(ValidateTelemetryServerOptions(bad_budget).code(),
+            StatusCode::kInvalidArgument);
+
+  TelemetryServerOptions bad_poll;
+  bad_poll.poll_millis = 0;
+  EXPECT_EQ(ValidateTelemetryServerOptions(bad_poll).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TelemetryServerTest, ServesRegisteredHandlerOnEphemeralPort) {
+  auto server = StartEphemeral();
+  ASSERT_GT(server->port(), 0);
+  server->RegisterHandler("/ping", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "pong";
+    return response;
+  });
+
+  Result<std::string> response = HttpGet(server->port(), "/ping");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(StatusOf(*response), 200);
+  EXPECT_EQ(BodyOf(*response), "pong");
+  EXPECT_NE(response->find("Connection: close"), std::string::npos);
+  EXPECT_EQ(server->requests_served(), 1);
+
+  server->Stop();
+  server->Stop();  // Idempotent.
+}
+
+TEST(TelemetryServerTest, RootListsEndpointsAndUnknownPathIs404) {
+  auto server = StartEphemeral();
+  server->RegisterHandler("/ping", [](const HttpRequest&) {
+    return HttpResponse();
+  });
+
+  Result<std::string> index = HttpGet(server->port(), "/");
+  ASSERT_TRUE(index.ok()) << index.status();
+  EXPECT_EQ(StatusOf(*index), 200);
+  EXPECT_NE(index->find("/ping"), std::string::npos);
+
+  Result<std::string> missing = HttpGet(server->port(), "/nope");
+  ASSERT_TRUE(missing.ok()) << missing.status();
+  EXPECT_EQ(StatusOf(*missing), 404);
+  EXPECT_EQ(server->requests_served(), 2);
+}
+
+TEST(TelemetryServerTest, MetricsEndpointServesPrometheusText) {
+  // Make sure at least one family exists in the process registry.
+  Counter& counter = MetricsRegistry::Global().RegisterCounter(
+      "test.telemetry.scrapes", "Scrapes observed by this test");
+  counter.Increment();
+
+  auto server = StartEphemeral();
+  server->RegisterHandler("/metrics", MakeMetricsHandler());
+
+  Result<std::string> response = HttpGet(server->port(), "/metrics");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(StatusOf(*response), 200);
+  EXPECT_NE(response->find("text/plain; version=0.0.4"), std::string::npos);
+  const std::string body = BodyOf(*response);
+  EXPECT_NE(body.find("# TYPE test_telemetry_scrapes counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("test_telemetry_scrapes "), std::string::npos);
+}
+
+TEST(TelemetryServerTest, MalformedRequestLineIs400) {
+  auto server = StartEphemeral();
+  Result<std::string> response =
+      HttpExchange(server->port(), "GARBAGE\r\n\r\n");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(StatusOf(*response), 400);
+}
+
+TEST(TelemetryServerTest, NonGetMethodIs405) {
+  auto server = StartEphemeral();
+  Result<std::string> response = HttpExchange(
+      server->port(), "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(StatusOf(*response), 405);
+}
+
+TEST(TelemetryServerTest, NonAbsoluteTargetIs400) {
+  auto server = StartEphemeral();
+  Result<std::string> response =
+      HttpExchange(server->port(), "GET metrics HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(StatusOf(*response), 400);
+}
+
+TEST(TelemetryServerTest, OversizedRequestLineIs414) {
+  TelemetryServerOptions options;
+  options.max_request_bytes = 64;  // The validated minimum.
+  auto server = StartEphemeral(options);
+
+  // A request line that blows the byte budget before ever terminating.
+  // The server answers 414 and drops the connection; depending on timing
+  // the client can see the response or a reset, so the authoritative
+  // assertion is server-side.
+  const std::string endless_line(512, 'A');
+  Result<std::string> response = HttpExchange(server->port(), endless_line);
+  if (response.ok() && !response->empty()) {
+    EXPECT_EQ(StatusOf(*response), 414);
+  }
+  // The request was counted either way; the increment may land a moment
+  // after the client sees the connection drop.
+  for (int i = 0; i < 200 && server->requests_served() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server->requests_served(), 1);
+}
+
+TEST(TelemetryServerTest, PortAlreadyInUseFailsPrecondition) {
+  auto server = StartEphemeral();
+  TelemetryServerOptions options;
+  options.port = server->port();
+  Result<std::unique_ptr<TelemetryServer>> second =
+      TelemetryServer::Start(options);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(second.status().message().find("already in use"),
+            std::string::npos);
+}
+
+TEST(TelemetryServerTest, JournalHandlerServesJsonlTail) {
+  EventJournal journal;
+  for (int i = 0; i < 5; ++i) {
+    JournalEvent event;
+    event.kind = EventKind::kIndexAttach;
+    event.scope = "t.x" + std::to_string(i);
+    journal.AppendEvent(std::move(event));
+  }
+
+  auto server = StartEphemeral();
+  server->RegisterHandler("/journal", MakeJournalHandler(&journal));
+
+  // Default tail: all five events, one JSON object per line.
+  Result<std::string> all = HttpGet(server->port(), "/journal");
+  ASSERT_TRUE(all.ok()) << all.status();
+  EXPECT_EQ(StatusOf(*all), 200);
+  EXPECT_NE(all->find("application/x-ndjson"), std::string::npos);
+  EXPECT_NE(BodyOf(*all).find("t.x0"), std::string::npos);
+  EXPECT_NE(BodyOf(*all).find("t.x4"), std::string::npos);
+
+  // ?n=2 keeps only the newest two.
+  Result<std::string> tail = HttpGet(server->port(), "/journal?n=2");
+  ASSERT_TRUE(tail.ok()) << tail.status();
+  const std::string body = BodyOf(*tail);
+  EXPECT_EQ(body.find("t.x0"), std::string::npos);
+  EXPECT_NE(body.find("t.x3"), std::string::npos);
+  EXPECT_NE(body.find("t.x4"), std::string::npos);
+}
+
+TEST(TelemetryServerTest, HealthzFlipsTo503WhenAnIndexDegrades) {
+  HealthMonitorOptions options;
+  options.window_queries = 4;
+  options.min_windows = 2;
+  IndexHealthMonitor monitor(options);
+
+  auto server = StartEphemeral();
+  server->RegisterHandler("/healthz", MakeHealthzHandler(&monitor));
+
+  // Two strong windows: healthy, HTTP 200.
+  for (int i = 0; i < 8; ++i) {
+    monitor.RecordQuery("t.x", /*nanos=*/i, /*skipped_fraction=*/0.9,
+                        /*adapt_nanos=*/0, /*total_nanos=*/1000);
+  }
+  Result<std::string> healthy = HttpGet(server->port(), "/healthz");
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  EXPECT_EQ(StatusOf(*healthy), 200);
+  EXPECT_NE(BodyOf(*healthy).find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(BodyOf(*healthy).find("\"scope\":\"t.x\""), std::string::npos);
+
+  // Skip effectiveness collapses: the verdict degrades and the endpoint
+  // flips to 503 so a fleet checker needs only the status code.
+  for (int i = 0; i < 8; ++i) {
+    monitor.RecordQuery("t.x", /*nanos=*/100 + i, /*skipped_fraction=*/0.3,
+                        /*adapt_nanos=*/0, /*total_nanos=*/1000);
+  }
+  Result<std::string> degraded = HttpGet(server->port(), "/healthz");
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_EQ(StatusOf(*degraded), 503);
+  EXPECT_NE(BodyOf(*degraded).find("\"status\":\"degraded\""),
+            std::string::npos);
+}
+
+TEST(TelemetryServerTest, FlightRecorderHandlerServesRingJson) {
+  FlightRecorder recorder;
+  FlightRecord record;
+  record.spec_digest = 0xabc;
+  recorder.Record(record);
+
+  auto server = StartEphemeral();
+  server->RegisterHandler("/flightrecorder",
+                          MakeFlightRecorderHandler(&recorder));
+
+  Result<std::string> response = HttpGet(server->port(), "/flightrecorder");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(StatusOf(*response), 200);
+  EXPECT_NE(response->find("application/json"), std::string::npos);
+  const std::string body = BodyOf(*response);
+  EXPECT_NE(body.find("\"total_recorded\":1"), std::string::npos);
+  EXPECT_NE(body.find("\"digest\":\"0000000000000abc\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace adaskip

@@ -105,6 +105,24 @@ TEST(AnalyzeTest, AdhocJournalEmission) {
                   .empty());
 }
 
+TEST(AnalyzeTest, MetricNameStyle) {
+  const auto findings = AnalyzeFixture("bad/metric_name.cc",
+                                       "src/adaskip/engine/metric_name.cc");
+  // Unprefixed, uppercase segment, dashed segment, computed name; the
+  // conforming declaration adds nothing.
+  EXPECT_EQ(CountRule(findings, "metric-name-style"), 4);
+  EXPECT_EQ(CountMessage(findings, "not one plain string literal"), 1);
+  EXPECT_EQ(CountMessage(findings, "violates the naming scheme"), 3);
+  EXPECT_EQ(findings.size(), 4u);
+  EXPECT_TRUE(AnalyzeFixture("suppressed/metric_name.cc",
+                             "src/adaskip/engine/metric_name.cc")
+                  .empty());
+  // Library-only: tests and benches declare scratch instruments freely.
+  EXPECT_TRUE(AnalyzeFixture("bad/metric_name.cc",
+                             "tests/obs/metric_name.cc")
+                  .empty());
+}
+
 TEST(AnalyzeTest, SerializeBinaryPairMismatch) {
   const auto findings = AnalyzeFixture(
       "bad/serialize_mismatch.cc", "src/adaskip/skipping/serialize_mismatch.cc");
@@ -146,9 +164,30 @@ TEST(AnalyzeTest, ServerStatsDrift) {
   const auto findings =
       AnalyzeFixture("bad/server_stats_drift.cc",
                      "src/adaskip/engine/server_stats_drift.cc");
-  EXPECT_EQ(CountRule(findings, "exec-stats-sync"), 2);
-  EXPECT_EQ(CountMessage(findings, "ServerStats"), 2);
-  EXPECT_EQ(CountMessage(findings, "shed_"), 2);
+  // shed_ drifted out of Record, Clear, and the metric-export site.
+  EXPECT_EQ(CountRule(findings, "exec-stats-sync"), 3);
+  EXPECT_EQ(CountMessage(findings, "ServerStats"), 3);
+  EXPECT_EQ(CountMessage(findings, "shed_"), 3);
+  EXPECT_EQ(CountMessage(findings, "not exported in RecordServerMetrics"), 1);
+}
+
+TEST(AnalyzeTest, ServerStatsWithoutMetricExportSite) {
+  // A ServerStats whose Record/Clear are complete but which never
+  // reaches RecordServerMetrics: the exposition mapping is a required
+  // third surface, so its absence is itself a finding.
+  const auto findings = Analyze(
+      "src/adaskip/engine/server_stats.cc",
+      "class ServerStats {\n"
+      " public:\n"
+      "  void Record(long v);\n"
+      "  void Clear();\n"
+      " private:\n"
+      "  long submitted_ = 0;\n"
+      "};\n"
+      "void ServerStats::Record(long v) { submitted_ += v; }\n"
+      "void ServerStats::Clear() { submitted_ = 0; }\n");
+  EXPECT_EQ(CountRule(findings, "exec-stats-sync"), 1);
+  EXPECT_EQ(CountMessage(findings, "has no RecordServerMetrics"), 1);
 }
 
 TEST(AnalyzeTest, CleanFixtureStaysClean) {

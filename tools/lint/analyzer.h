@@ -24,9 +24,14 @@
 ///                         DeserializeBinary. A missing surface breaks
 ///                         live-append, introspection, accounting, or —
 ///                         worst — crash restore.
-///   exec-stats-sync       Every WorkloadStats field appears in
-///                         Record(), and Clear() either resets the whole
-///                         object or names every field.
+///   exec-stats-sync       Every WorkloadStats/ServerStats field appears
+///                         in Record(), and Clear() either resets the
+///                         whole object or names every field. ServerStats
+///                         adds a third synchronized surface: each
+///                         field's base-name must appear in the
+///                         RecordServerMetrics registration site, so
+///                         every server stat is exported as a registry
+///                         metric the /metrics exposition can render.
 ///   serialize-binary-pair Any class declaring SerializeBinary also
 ///                         declares DeserializeBinary, and vice versa.
 ///   index-kind-exhaustive Every enumerator of `enum class IndexKind`
@@ -45,6 +50,13 @@
 ///   metric-registration, journal-emission, raw-binary-io,
 ///   simd-intrinsics — semantics unchanged; see the rule implementations
 ///   for the rationale strings.
+///   metric-name-style     The name handed to an ADASKIP_METRIC_* macro
+///                         in library code is one plain string literal
+///                         of the form adaskip.<seg>.<seg>... with
+///                         lowercase snake_case segments — the
+///                         Prometheus exposition derives family names
+///                         from these literals, so the scheme is
+///                         operator API.
 ///
 /// Determinism rules (the scalar/SIMD/serial/parallel/replay/restore
 /// bit-identity contract, enforced statically)
@@ -79,7 +91,9 @@
 /// naked-new / raw-thread / raw-sync-primitive / static-mutable-state
 /// (util/ is where the blessed wrappers live); "obs/" is exempt from
 /// metric-registration and journal-emission; "scan/simd/" from
-/// simd-intrinsics; "persist/" from raw-binary-io. The det-* rules,
+/// simd-intrinsics; "persist/" from raw-binary-io; metric-name-style
+/// applies to library code only (paths containing "src/", so tests and
+/// benches may declare scratch instruments). The det-* rules,
 /// status-must-use, index-kind-exhaustive, and layering-dag apply to
 /// library code only (paths containing "src/"), with det-wall-clock
 /// additionally exempting util/ + obs/ and det-rng exempting util/ +

@@ -95,7 +95,12 @@ class SkipIndexOverridesRule : public Rule {
 
 /// exec-stats-sync: for every execution-stats accumulator class
 /// (WorkloadStats, ServerStats), each field appears in Record(), and
-/// Clear() either resets the whole object or names every field.
+/// Clear() either resets the whole object or names every field. For
+/// ServerStats there is a third synchronized surface: every field's
+/// base-name (trailing '_' stripped) must appear in the
+/// RecordServerMetrics registration site, so each server stat is also
+/// exported as a first-class registry metric on /metrics — a stat that
+/// exists only in the Summary() string is invisible to dashboards.
 class ExecStatsSyncRule : public Rule {
  public:
   std::string_view id() const override { return "exec-stats-sync"; }
@@ -105,6 +110,9 @@ class ExecStatsSyncRule : public Rule {
       HarvestFields(file, cls);
       HarvestMethod(file, cls.name, "Record", &cls.record);
       HarvestMethod(file, cls.name, "Clear", &cls.clear);
+      if (!cls.export_fn.empty()) {
+        HarvestFreeFunction(file, cls.export_fn, &cls.exports);
+      }
     }
   }
 
@@ -133,6 +141,27 @@ class ExecStatsSyncRule : public Rule {
           }
         }
       }
+      if (cls.export_fn.empty()) continue;
+      if (cls.exports.idents.empty()) {
+        reporter.ReportAt(
+            cls.fields_file, cls.fields_line, id(),
+            cls.name + " has no " + cls.export_fn + " definition — every " +
+                cls.name + " field must be exported as a registry metric at "
+                "one registration site the /metrics exposition can render");
+        continue;
+      }
+      for (const std::string& field : cls.fields) {
+        std::string base = field;
+        if (!base.empty() && base.back() == '_') base.pop_back();
+        if (cls.exports.idents.count(base) == 0) {
+          reporter.ReportAt(
+              cls.exports.file, cls.exports.line, id(),
+              cls.name + " field '" + field + "' is not exported in " +
+                  cls.export_fn + " — every server stat must surface as a "
+                  "first-class registry metric (counter, gauge, or "
+                  "histogram), not only in the Summary() string");
+        }
+      }
     }
   }
 
@@ -147,9 +176,15 @@ class ExecStatsSyncRule : public Rule {
   /// One tracked accumulator class and everything harvested about it.
   struct ClassSync {
     std::string name;
+    /// Free function that must export every field as a registry metric
+    /// (empty when the class has no exposition contract).
+    std::string export_fn;
     std::vector<std::string> fields;
+    std::string fields_file;
+    int fields_line = 0;
     MethodBody record;
     MethodBody clear;
+    MethodBody exports;
   };
 
   void HarvestFields(const SourceFile& file, ClassSync& cls) {
@@ -170,6 +205,8 @@ class ExecStatsSyncRule : public Rule {
       if (open < 0) continue;
       const int close = file.MatchBrace(open);
       if (close < 0) continue;
+      cls.fields_file = file.path;
+      cls.fields_line = file.Code(i).line;
       // Depth-1 statements without parentheses are field declarations;
       // harvest the trailing-underscore identifiers they declare.
       int depth = 1;
@@ -231,7 +268,40 @@ class ExecStatsSyncRule : public Rule {
     }
   }
 
-  std::vector<ClassSync> classes_ = {{"WorkloadStats"}, {"ServerStats"}};
+  /// Harvests the definition of free function `fn` (parameters included,
+  /// so a field exported straight from a parameter still counts). Call
+  /// sites and declarations — nothing but identifiers may sit between
+  /// the parameter list's ')' and the body's '{' — are skipped.
+  void HarvestFreeFunction(const SourceFile& file, const std::string& fn,
+                           MethodBody* out) {
+    for (int i = 0; i < file.NumCode(); ++i) {
+      if (file.Code(i).text != fn || !file.CodeIs(i + 1, "(")) continue;
+      const int paren_close = MatchParen(file, i + 1);
+      if (paren_close < 0) continue;
+      int open = -1;
+      for (int j = paren_close + 1; j < file.NumCode(); ++j) {
+        const Token& t = file.Code(j);
+        if (t.kind == TokKind::kPunct && t.text == "{") {
+          open = j;
+          break;
+        }
+        if (t.kind != TokKind::kIdent) break;
+      }
+      if (open < 0) continue;
+      const int close = file.MatchBrace(open);
+      if (close < 0) continue;
+      out->file = file.path;
+      out->line = file.Code(i).line;
+      for (int j = i + 2; j < close; ++j) {
+        const Token& t = file.Code(j);
+        if (t.kind == TokKind::kIdent) out->idents.insert(t.text);
+      }
+      return;
+    }
+  }
+
+  std::vector<ClassSync> classes_ = {{"WorkloadStats", ""},
+                                     {"ServerStats", "RecordServerMetrics"}};
 };
 
 /// serialize-binary-pair: any class/struct declaring SerializeBinary

@@ -167,6 +167,100 @@ class MetricRegistrationRule : public Rule {
   }
 };
 
+/// metric-name-style: the metric name handed to an ADASKIP_METRIC_*
+/// macro in library code must be one plain string literal of the form
+/// `adaskip.<segment>.<segment>...` with lowercase snake_case segments.
+/// The Prometheus exposition derives metric-family names from these
+/// literals (dots become underscores), so the naming scheme is operator
+/// API — and the CI inventory greps them, so computed names are opaque.
+class MetricNameStyleRule : public Rule {
+ public:
+  std::string_view id() const override { return "metric-name-style"; }
+
+  void Check(const SourceFile& file, Reporter& reporter) override {
+    // Library-only: tests and benches declare scratch instruments.
+    if (!PathContains(file.path, "src/")) return;
+    for (int i = 0; i < file.NumCode(); ++i) {
+      const Token& t = file.Code(i);
+      if (t.kind != TokKind::kIdent ||
+          t.text.rfind("ADASKIP_METRIC_", 0) != 0 ||
+          !file.CodeIs(i + 1, "(")) {
+        continue;
+      }
+      const int close = MatchParen(file, i + 1);
+      if (close < 0) continue;
+      // The name is the second macro argument: the token after the
+      // first top-level comma of the invocation.
+      int name_idx = -1;
+      int depth = 0;
+      for (int j = i + 1; j < close; ++j) {
+        const Token& arg = file.Code(j);
+        if (arg.kind != TokKind::kPunct) continue;
+        if (arg.text == "(" || arg.text == "[" || arg.text == "{") ++depth;
+        if (arg.text == ")" || arg.text == "]" || arg.text == "}") --depth;
+        if (arg.text == "," && depth == 1) {
+          name_idx = j + 1;
+          break;
+        }
+      }
+      if (name_idx < 0) continue;  // Arity misuse; the compiler's problem.
+      const Token& name = file.Code(name_idx);
+      if (name.kind != TokKind::kString) {
+        reporter.Report(
+            file, t.line, id(),
+            "metric name passed to " + t.text + " is not one plain string "
+                "literal — names are the operator-facing exposition "
+                "inventory and must be greppable, not computed");
+        continue;
+      }
+      const std::string spelled = Unquote(name.text);
+      if (!ValidName(spelled)) {
+        reporter.Report(
+            file, t.line, id(),
+            "metric name \"" + spelled + "\" violates the naming scheme — "
+                "names are 'adaskip.'-prefixed lowercase snake_case "
+                "segments separated by dots (like "
+                "adaskip.server.queue_wait_nanos), so every family renders "
+                "to a valid, predictable Prometheus name");
+      }
+    }
+  }
+
+ private:
+  /// Strips the quotes (and any encoding prefix) off a string token.
+  static std::string Unquote(const std::string& spelling) {
+    const size_t open = spelling.find('"');
+    if (open == std::string::npos || spelling.size() < open + 2) return "";
+    return spelling.substr(open + 1, spelling.size() - open - 2);
+  }
+
+  static bool ValidSegment(std::string_view segment) {
+    if (segment.empty()) return false;
+    if (std::islower(static_cast<unsigned char>(segment[0])) == 0) {
+      return false;
+    }
+    for (const char c : segment) {
+      const auto u = static_cast<unsigned char>(c);
+      if (std::islower(u) == 0 && std::isdigit(u) == 0 && c != '_') {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static bool ValidName(std::string_view name) {
+    static constexpr std::string_view kPrefix = "adaskip.";
+    if (name.rfind(kPrefix, 0) != 0) return false;
+    std::string_view rest = name.substr(kPrefix.size());
+    while (true) {
+      const size_t dot = rest.find('.');
+      if (!ValidSegment(rest.substr(0, dot))) return false;
+      if (dot == std::string_view::npos) return true;
+      rest = rest.substr(dot + 1);
+    }
+  }
+};
+
 /// journal-emission: no direct EventJournal::AppendEvent outside obs/ —
 /// adaptation events go through ADASKIP_JOURNAL_EVENT.
 class JournalEmissionRule : public Rule {
@@ -308,6 +402,7 @@ void AddStyleRules(std::vector<std::unique_ptr<Rule>>* rules) {
   rules->push_back(std::make_unique<RawSyncPrimitiveRule>());
   rules->push_back(std::make_unique<StaticMutableStateRule>());
   rules->push_back(std::make_unique<MetricRegistrationRule>());
+  rules->push_back(std::make_unique<MetricNameStyleRule>());
   rules->push_back(std::make_unique<JournalEmissionRule>());
   rules->push_back(std::make_unique<RawBinaryIoRule>());
   rules->push_back(std::make_unique<SimdIntrinsicsRule>());

@@ -1,0 +1,18 @@
+// Fixture: metric-name-style violations — a name missing the adaskip.
+// prefix, an uppercase segment, a dash where the scheme wants an
+// underscore, and a computed (non-literal) name. The conforming
+// declaration at the end adds no finding. Linted under
+// src/adaskip/engine/metric_name.cc.
+
+void RegisterFixtureMetrics(const char* dynamic_name) {
+  ADASKIP_METRIC_COUNTER(unprefixed, "server.queries",
+                         "Missing the adaskip. prefix");
+  ADASKIP_METRIC_COUNTER(uppercase, "adaskip.Server.queries",
+                         "Segment is not lowercase");
+  ADASKIP_METRIC_HISTOGRAM(dashed, "adaskip.server.queue-wait",
+                           "Dash instead of underscore");
+  ADASKIP_METRIC_GAUGE(computed, dynamic_name,
+                       "Name is not one plain string literal");
+  ADASKIP_METRIC_COUNTER(fine, "adaskip.server.queries",
+                         "Conforming name; no finding");
+}

@@ -27,4 +27,12 @@ void ServerStats::Clear() {
   batches_ = 0;
 }
 
+// Exposition drift: the registration site exports submitted and batches
+// but never shed — a stat that exists only inside the accumulator is
+// invisible to /metrics and to every dashboard built on it.
+void RecordServerMetrics(int64_t submitted, int64_t batches) {
+  (void)submitted;
+  (void)batches;
+}
+
 }  // namespace adaskip

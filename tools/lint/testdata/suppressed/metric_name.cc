@@ -1,0 +1,9 @@
+// Fixture: every metric-name-style violation carries a suppression, so
+// the file analyzes clean. Mirrors bad/metric_name.cc.
+
+void RegisterFixtureMetrics(const char* dynamic_name) {
+  ADASKIP_METRIC_COUNTER(unprefixed, "server.queries", "x");  // adaskip-analyze: allow(metric-name-style)
+  ADASKIP_METRIC_COUNTER(uppercase, "adaskip.Server.queries", "x");  // adaskip-analyze: allow(metric-name-style)
+  ADASKIP_METRIC_HISTOGRAM(dashed, "adaskip.server.queue-wait", "x");  // adaskip-analyze: allow(metric-name-style)
+  ADASKIP_METRIC_GAUGE(computed, dynamic_name, "x");  // adaskip-analyze: allow(metric-name-style)
+}

@@ -1,0 +1,386 @@
+#include "promcheck.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+
+namespace adaskip_promcheck {
+
+namespace {
+
+bool IsMetricNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == ':';
+}
+
+bool IsMetricNameChar(char c) {
+  return IsMetricNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+bool IsLabelNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsLabelNameChar(char c) {
+  return IsLabelNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+bool ValidMetricName(std::string_view name) {
+  if (name.empty() || !IsMetricNameStart(name[0])) return false;
+  for (const char c : name) {
+    if (!IsMetricNameChar(c)) return false;
+  }
+  return true;
+}
+
+/// Parses a Prometheus float: ordinary strtod syntax plus the literal
+/// +Inf / -Inf / Inf / NaN spellings.
+std::optional<double> ParseValue(std::string_view text) {
+  if (text == "+Inf" || text == "Inf") {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (text == "-Inf") return -std::numeric_limits<double>::infinity();
+  if (text == "NaN") return std::nan("");
+  const std::string owned(text);
+  char* end = nullptr;
+  const double value = std::strtod(owned.c_str(), &end);
+  if (end == owned.c_str() || *end != '\0') return std::nullopt;
+  return value;
+}
+
+struct Sample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0;
+};
+
+/// One metric family's accumulated state across the document.
+struct Family {
+  bool has_help = false;
+  bool has_type = false;
+  std::string type = "untyped";
+  int type_line = 0;
+  bool has_samples = false;
+  bool closed = false;  // A different family's sample has appeared since.
+  // Histogram series, in order of appearance.
+  std::vector<std::pair<std::string, double>> buckets;  // (le, value)
+  std::optional<double> sum;
+  std::optional<double> count;
+  int first_sample_line = 0;
+};
+
+class Validator {
+ public:
+  std::vector<Issue> Run(std::string_view text) {
+    int line_no = 0;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+      const size_t nl = text.find('\n', pos);
+      std::string_view line = text.substr(
+          pos, nl == std::string_view::npos ? std::string_view::npos
+                                            : nl - pos);
+      ++line_no;
+      if (!(nl == std::string_view::npos && line.empty())) {
+        CheckLine(line, line_no);
+      }
+      if (nl == std::string_view::npos) break;
+      pos = nl + 1;
+    }
+    FinishFamilies();
+    if (total_samples_ == 0) {
+      issues_.push_back({0, "document contains no samples — the scraped "
+                            "process exported nothing"});
+    }
+    return std::move(issues_);
+  }
+
+ private:
+  void Report(int line, std::string message) {
+    issues_.push_back({line, std::move(message)});
+  }
+
+  void CheckLine(std::string_view line, int line_no) {
+    if (line.empty()) return;
+    if (line.back() == '\r') {
+      Report(line_no, "carriage return — the exposition format is LF-only");
+      return;
+    }
+    if (line[0] == '#') {
+      CheckComment(line, line_no);
+      return;
+    }
+    CheckSample(line, line_no);
+  }
+
+  static std::string_view TakeWord(std::string_view& rest) {
+    size_t i = 0;
+    while (i < rest.size() && rest[i] != ' ') ++i;
+    const std::string_view word = rest.substr(0, i);
+    while (i < rest.size() && rest[i] == ' ') ++i;
+    rest = rest.substr(i);
+    return word;
+  }
+
+  void CheckComment(std::string_view line, int line_no) {
+    std::string_view rest = line.substr(1);
+    while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+    const std::string_view keyword = TakeWord(rest);
+    if (keyword != "HELP" && keyword != "TYPE") return;  // Free comment.
+    const std::string name(TakeWord(rest));
+    if (!ValidMetricName(name)) {
+      Report(line_no, "# " + std::string(keyword) +
+                          " names an invalid metric '" + name + "'");
+      return;
+    }
+    Family& family = families_[name];
+    if (keyword == "HELP") {
+      if (family.has_help) {
+        Report(line_no, "duplicate # HELP for metric '" + name + "'");
+      }
+      family.has_help = true;
+      return;
+    }
+    static const std::set<std::string_view> kTypes = {
+        "counter", "gauge", "histogram", "summary", "untyped"};
+    const std::string type(TakeWord(rest));
+    if (kTypes.count(type) == 0) {
+      Report(line_no, "# TYPE for '" + name + "' names unknown type '" +
+                          type + "'");
+    }
+    if (family.has_type) {
+      Report(line_no, "duplicate # TYPE for metric '" + name + "'");
+    }
+    if (family.has_samples) {
+      Report(line_no, "# TYPE for '" + name +
+                          "' appears after the family's samples — metadata "
+                          "must precede them");
+    }
+    family.has_type = true;
+    family.type = type;
+    family.type_line = line_no;
+  }
+
+  /// Parses `name{labels} value [timestamp]`, reporting charset and
+  /// structure issues, and folds the sample into its family.
+  void CheckSample(std::string_view line, int line_no) {
+    size_t i = 0;
+    while (i < line.size() && IsMetricNameChar(line[i])) ++i;
+    const std::string name(line.substr(0, i));
+    if (!ValidMetricName(name)) {
+      Report(line_no, "sample line does not start with a valid metric name");
+      return;
+    }
+    Sample sample;
+    sample.name = name;
+    if (i < line.size() && line[i] == '{') {
+      if (!ParseLabels(line, &i, &sample, line_no)) return;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      Report(line_no, "expected ' ' before the value of '" + name + "'");
+      return;
+    }
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::string_view rest = line.substr(i);
+    const std::string_view value_text = TakeWord(rest);
+    const std::optional<double> value = ParseValue(value_text);
+    if (!value.has_value()) {
+      Report(line_no, "value '" + std::string(value_text) + "' of '" + name +
+                          "' is not a valid Prometheus float");
+      return;
+    }
+    sample.value = *value;
+    if (!rest.empty()) {
+      // Optional timestamp: integer milliseconds.
+      const std::string_view ts = TakeWord(rest);
+      bool ok = !ts.empty();
+      for (size_t j = 0; j < ts.size(); ++j) {
+        if (j == 0 && (ts[j] == '-' || ts[j] == '+')) continue;
+        if (std::isdigit(static_cast<unsigned char>(ts[j])) == 0) ok = false;
+      }
+      if (!ok || !rest.empty()) {
+        Report(line_no, "trailing garbage after the value of '" + name + "'");
+        return;
+      }
+    }
+    ++total_samples_;
+    Record(sample, line_no);
+  }
+
+  bool ParseLabels(std::string_view line, size_t* pos, Sample* sample,
+                   int line_no) {
+    size_t i = *pos + 1;  // Past '{'.
+    while (true) {
+      if (i < line.size() && line[i] == '}') break;  // Also accepts {}.
+      size_t start = i;
+      while (i < line.size() && IsLabelNameChar(line[i])) ++i;
+      const std::string label(line.substr(start, i - start));
+      if (label.empty() || !IsLabelNameStart(label[0])) {
+        Report(line_no, "invalid label name in '" + sample->name + "'");
+        return false;
+      }
+      if (i >= line.size() || line[i] != '=') {
+        Report(line_no, "expected '=' after label '" + label + "'");
+        return false;
+      }
+      ++i;
+      if (i >= line.size() || line[i] != '"') {
+        Report(line_no, "label '" + label + "' value is not quoted");
+        return false;
+      }
+      ++i;
+      std::string value;
+      bool terminated = false;
+      for (; i < line.size(); ++i) {
+        const char c = line[i];
+        if (c == '"') {
+          terminated = true;
+          ++i;
+          break;
+        }
+        if (c == '\\') {
+          if (i + 1 >= line.size() ||
+              (line[i + 1] != '\\' && line[i + 1] != '"' &&
+               line[i + 1] != 'n')) {
+            Report(line_no, "illegal escape in label '" + label +
+                                "' — only \\\\, \\\" and \\n are defined");
+            return false;
+          }
+          value.push_back(line[i + 1] == 'n' ? '\n' : line[i + 1]);
+          ++i;
+          continue;
+        }
+        value.push_back(c);
+      }
+      if (!terminated) {
+        Report(line_no, "unterminated value for label '" + label + "'");
+        return false;
+      }
+      if (sample->labels.count(label) != 0) {
+        Report(line_no, "label '" + label + "' repeated on '" +
+                            sample->name + "'");
+        return false;
+      }
+      sample->labels[label] = std::move(value);
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < line.size() && line[i] == '}') break;
+      Report(line_no, "expected ',' or '}' in the label set of '" +
+                          sample->name + "'");
+      return false;
+    }
+    *pos = i + 1;  // Past '}'.
+    return true;
+  }
+
+  /// Resolves the owning family (histogram/summary series attach to
+  /// their base family), enforces contiguous grouping, and accumulates
+  /// histogram series for the end-of-document checks.
+  void Record(const Sample& sample, int line_no) {
+    std::string base = sample.name;
+    std::string suffix;
+    for (const std::string_view candidate : {"_bucket", "_sum", "_count"}) {
+      if (base.size() > candidate.size() &&
+          base.compare(base.size() - candidate.size(), candidate.size(),
+                       candidate) == 0) {
+        const std::string stripped =
+            base.substr(0, base.size() - candidate.size());
+        const auto it = families_.find(stripped);
+        if (it != families_.end() && it->second.has_type &&
+            (it->second.type == "histogram" || it->second.type == "summary")) {
+          base = stripped;
+          suffix = std::string(candidate);
+        }
+        break;
+      }
+    }
+    Family& family = families_[base];
+    if (family.closed) {
+      Report(line_no, "samples of '" + base +
+                          "' are not contiguous — all lines of one family "
+                          "must form a single group");
+    }
+    if (!family.has_samples) family.first_sample_line = line_no;
+    family.has_samples = true;
+    // Close every other family that already has samples.
+    for (auto& [name, other] : families_) {
+      if (name != base && other.has_samples) other.closed = true;
+    }
+    if (family.type != "histogram") return;
+    if (suffix == "_bucket") {
+      const auto le = sample.labels.find("le");
+      if (le == sample.labels.end()) {
+        Report(line_no, "histogram series '" + sample.name +
+                            "' is missing the 'le' label");
+        return;
+      }
+      family.buckets.emplace_back(le->second, sample.value);
+    } else if (suffix == "_sum") {
+      family.sum = sample.value;
+    } else if (suffix == "_count") {
+      family.count = sample.value;
+    } else if (sample.name == base) {
+      Report(line_no, "histogram '" + base +
+                          "' has a bare sample — histograms expose only "
+                          "_bucket, _sum and _count series");
+    }
+  }
+
+  void FinishFamilies() {
+    for (const auto& [name, family] : families_) {
+      // Metadata-only families are legal; only histograms with samples
+      // carry cross-series invariants worth checking here.
+      if (family.type != "histogram" || !family.has_samples) continue;
+      const int line = family.first_sample_line;
+      if (family.buckets.empty()) {
+        Report(line, "histogram '" + name + "' has no _bucket series");
+        continue;
+      }
+      double prev = -1;
+      bool cumulative = true;
+      for (const auto& [le, value] : family.buckets) {
+        if (!ParseValue(le).has_value()) {
+          Report(line, "histogram '" + name + "' bucket le=\"" + le +
+                           "\" is not a valid float");
+        }
+        if (value < prev) cumulative = false;
+        prev = value;
+      }
+      if (!cumulative) {
+        Report(line, "histogram '" + name +
+                         "' buckets are not cumulative non-decreasing");
+      }
+      if (family.buckets.back().first != "+Inf") {
+        Report(line, "histogram '" + name +
+                         "' does not end with an le=\"+Inf\" bucket");
+      }
+      if (!family.sum.has_value()) {
+        Report(line, "histogram '" + name + "' is missing its _sum series");
+      }
+      if (!family.count.has_value()) {
+        Report(line, "histogram '" + name + "' is missing its _count series");
+      } else if (family.buckets.back().first == "+Inf" &&
+                 *family.count != family.buckets.back().second) {
+        Report(line, "histogram '" + name +
+                         "' _count disagrees with its +Inf bucket");
+      }
+    }
+  }
+
+  std::map<std::string, Family> families_;
+  std::vector<Issue> issues_;
+  int total_samples_ = 0;
+};
+
+}  // namespace
+
+std::vector<Issue> ValidateExposition(std::string_view text) {
+  return Validator().Run(text);
+}
+
+}  // namespace adaskip_promcheck

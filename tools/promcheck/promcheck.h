@@ -1,0 +1,43 @@
+#ifndef ADASKIP_TOOLS_PROMCHECK_PROMCHECK_H_
+#define ADASKIP_TOOLS_PROMCHECK_PROMCHECK_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// promcheck: a dependency-free validator for the Prometheus text
+/// exposition format (version 0.0.4), sized for CI. The bench-smoke job
+/// scrapes the live /metrics endpoint of a running telemetry server and
+/// feeds the body through this checker, so a rendering regression in
+/// MetricsRegistry::RenderPrometheus fails the workflow instead of
+/// silently producing a page real scrapers reject.
+///
+/// Checked properties:
+///   - every line is a comment, blank, `# HELP`/`# TYPE` metadata, or a
+///     well-formed sample `name{labels} value [timestamp]`
+///   - metric and label names use the legal charsets; label values are
+///     quoted with only the \\, \", \n escapes; sample values parse as
+///     Prometheus floats (including +Inf/-Inf/NaN)
+///   - `# TYPE` names one of counter/gauge/histogram/summary/untyped,
+///     appears before the family's samples, and at most once (same for
+///     `# HELP`)
+///   - all samples of a family form one contiguous group
+///   - histogram families carry `_bucket` series with an `le` label,
+///     cumulative non-decreasing bucket values ending in `le="+Inf"`,
+///     plus `_sum` and `_count` with count equal to the +Inf bucket
+namespace adaskip_promcheck {
+
+struct Issue {
+  int line = 0;  // 1-based; 0 for whole-document issues.
+  std::string message;
+};
+
+/// Validates one exposition document. Returns every issue found (empty
+/// means valid). A document with no samples at all is reported: CI
+/// scrapes an instrumented process, so an empty page means the registry
+/// was not wired up.
+std::vector<Issue> ValidateExposition(std::string_view text);
+
+}  // namespace adaskip_promcheck
+
+#endif  // ADASKIP_TOOLS_PROMCHECK_PROMCHECK_H_

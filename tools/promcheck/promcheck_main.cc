@@ -1,0 +1,50 @@
+// promcheck — validates Prometheus text exposition documents. Usage:
+//
+//   promcheck <file>...        validate each file
+//   promcheck                  validate stdin
+//
+// Prints `file:line: message` per issue and exits non-zero if any input
+// is invalid, so a CI step can pipe a scraped /metrics body straight
+// through it.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "promcheck.h"
+
+namespace {
+
+int Validate(const std::string& label, const std::string& body) {
+  const auto issues = adaskip_promcheck::ValidateExposition(body);
+  for (const adaskip_promcheck::Issue& issue : issues) {
+    std::cerr << label << ":" << issue.line << ": " << issue.message << "\n";
+  }
+  return issues.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int failures = 0;
+  if (argc < 2) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    failures += Validate("<stdin>", buffer.str());
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in.good()) {
+      std::cerr << argv[i] << ": cannot open\n";
+      ++failures;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    failures += Validate(argv[i], buffer.str());
+  }
+  if (failures == 0) std::cerr << "promcheck: OK\n";
+  return failures == 0 ? 0 : 1;
+}

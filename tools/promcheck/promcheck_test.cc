@@ -1,0 +1,133 @@
+// promcheck self-tests: the validator must accept the renderer's real
+// output shape and reject the classic text-format mistakes CI exists to
+// catch (broken histograms, bad names, interleaved families).
+
+#include "promcheck.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace adaskip_promcheck {
+namespace {
+
+int CountContaining(const std::vector<Issue>& issues,
+                    std::string_view needle) {
+  int n = 0;
+  for (const Issue& issue : issues) {
+    if (issue.message.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+constexpr char kValid[] =
+    "# HELP adaskip_server_submitted Queries admitted\n"
+    "# TYPE adaskip_server_submitted counter\n"
+    "adaskip_server_submitted 128\n"
+    "# HELP adaskip_server_queue_depth Queue depth\n"
+    "# TYPE adaskip_server_queue_depth gauge\n"
+    "adaskip_server_queue_depth 3\n"
+    "# HELP adaskip_exec_query_nanos Latency\n"
+    "# TYPE adaskip_exec_query_nanos histogram\n"
+    "adaskip_exec_query_nanos_bucket{le=\"0\"} 0\n"
+    "adaskip_exec_query_nanos_bucket{le=\"1023\"} 5\n"
+    "adaskip_exec_query_nanos_bucket{le=\"+Inf\"} 9\n"
+    "adaskip_exec_query_nanos_sum 81234\n"
+    "adaskip_exec_query_nanos_count 9\n";
+
+TEST(PromcheckTest, AcceptsRenderedShape) {
+  EXPECT_TRUE(ValidateExposition(kValid).empty());
+}
+
+TEST(PromcheckTest, AcceptsLabelsEscapesAndSpecialValues) {
+  const auto issues = ValidateExposition(
+      "# TYPE up gauge\n"
+      "up{instance=\"host \\\"a\\\"\",job=\"x\\ny\"} 1 1699999999000\n"
+      "# TYPE temp gauge\n"
+      "temp{site=\"lab\"} -Inf\n"
+      "temp{site=\"roof\"} NaN\n");
+  EXPECT_TRUE(issues.empty());
+}
+
+TEST(PromcheckTest, RejectsEmptyDocument) {
+  const auto issues = ValidateExposition("");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(CountContaining(issues, "no samples"), 1);
+}
+
+TEST(PromcheckTest, RejectsBadNamesAndValues) {
+  const auto issues = ValidateExposition(
+      "2bad_name 1\n"
+      "fine{9lbl=\"x\"} 1\n"
+      "also_fine not_a_number\n");
+  EXPECT_EQ(CountContaining(issues, "valid metric name"), 1);
+  EXPECT_EQ(CountContaining(issues, "invalid label name"), 1);
+  EXPECT_EQ(CountContaining(issues, "not a valid Prometheus float"), 1);
+}
+
+TEST(PromcheckTest, RejectsUnknownTypeAndDuplicateMetadata) {
+  const auto issues = ValidateExposition(
+      "# TYPE foo widget\n"
+      "# TYPE foo counter\n"
+      "# HELP foo once\n"
+      "# HELP foo twice\n"
+      "foo 1\n");
+  EXPECT_EQ(CountContaining(issues, "unknown type"), 1);
+  EXPECT_EQ(CountContaining(issues, "duplicate # TYPE"), 1);
+  EXPECT_EQ(CountContaining(issues, "duplicate # HELP"), 1);
+}
+
+TEST(PromcheckTest, RejectsTypeAfterSamples) {
+  const auto issues = ValidateExposition(
+      "foo 1\n"
+      "# TYPE foo counter\n");
+  EXPECT_EQ(CountContaining(issues, "after the family's samples"), 1);
+}
+
+TEST(PromcheckTest, RejectsInterleavedFamilies) {
+  const auto issues = ValidateExposition(
+      "foo 1\n"
+      "bar 1\n"
+      "foo 2\n");
+  EXPECT_EQ(CountContaining(issues, "not contiguous"), 1);
+}
+
+TEST(PromcheckTest, RejectsBrokenHistograms) {
+  // Non-cumulative buckets, no +Inf, count mismatch, and a missing sum.
+  const auto issues = ValidateExposition(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 5\n"
+      "h_bucket{le=\"2\"} 3\n"
+      "h_count 4\n");
+  EXPECT_EQ(CountContaining(issues, "not cumulative"), 1);
+  EXPECT_EQ(CountContaining(issues, "+Inf"), 1);
+  EXPECT_EQ(CountContaining(issues, "missing its _sum"), 1);
+}
+
+TEST(PromcheckTest, RejectsCountBucketDisagreement) {
+  const auto issues = ValidateExposition(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"+Inf\"} 9\n"
+      "h_sum 10\n"
+      "h_count 4\n");
+  EXPECT_EQ(CountContaining(issues, "_count disagrees"), 1);
+}
+
+TEST(PromcheckTest, RejectsBucketWithoutLe) {
+  const auto issues = ValidateExposition(
+      "# TYPE h histogram\n"
+      "h_bucket{eq=\"1\"} 1\n");
+  EXPECT_EQ(CountContaining(issues, "missing the 'le' label"), 1);
+}
+
+TEST(PromcheckTest, SuffixedNamesWithoutHistogramTypeAreOrdinary) {
+  // _sum/_count/_bucket only fold into a family that is declared a
+  // histogram (or summary); otherwise they are independent metrics.
+  const auto issues = ValidateExposition(
+      "# TYPE rows_sum counter\n"
+      "rows_sum 10\n");
+  EXPECT_TRUE(issues.empty());
+}
+
+}  // namespace
+}  // namespace adaskip_promcheck
