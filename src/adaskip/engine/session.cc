@@ -139,6 +139,7 @@ Status Session::Append(std::string_view table_name,
   ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));
   ADASKIP_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
                            catalog_.GetTable(table_name));
+  MutexLock coord(runtime->coord_mu.get());
   ADASKIP_ASSIGN_OR_RETURN(RowRange appended, table->Append(batch));
   if (appended.size() > 0) runtime->indexes->OnAppend(appended);
   if (runtime->layout_options.enabled) {
@@ -153,6 +154,7 @@ Status Session::SetSegmentLayoutOptions(std::string_view table_name,
   ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));
   ADASKIP_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
                            catalog_.GetTable(table_name));
+  MutexLock coord(runtime->coord_mu.get());
   runtime->layout_options = options;
   if (options.enabled) {
     EvaluateSegmentLayouts(table_name, runtime, table.get());
@@ -203,12 +205,14 @@ Status Session::AttachIndex(std::string_view table_name,
                             std::string_view column_name,
                             const IndexOptions& options) {
   ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));
+  MutexLock coord(runtime->coord_mu.get());
   return runtime->indexes->AttachIndex(column_name, options);
 }
 
 Status Session::DetachIndex(std::string_view table_name,
                             std::string_view column_name) {
   ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));
+  MutexLock coord(runtime->coord_mu.get());
   return runtime->indexes->DetachIndex(column_name);
 }
 
@@ -218,6 +222,7 @@ Status Session::SetExecOptions(std::string_view table_name,
   // call is side-effect free.
   ADASKIP_RETURN_IF_ERROR(ValidateExecOptions(options));
   ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));
+  MutexLock coord(runtime->coord_mu.get());
   ADASKIP_RETURN_IF_ERROR(runtime->executor->set_exec_options(options));
   // Bind (or unbind) the session journal: every index attached to this
   // table — current and future — emits adaptation events under the scope
@@ -270,10 +275,15 @@ Result<QueryResult> Session::ExecuteSpec(const QuerySpec& spec) {
   ADASKIP_RETURN_IF_ERROR(ValidateQuerySpec(spec));
   ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(spec.table));
   const uint64_t digest = SpecDigest(spec);
-  // The trace override borrows Explain's swap trick: the table's
-  // single-coordinator contract means nothing else can observe the
-  // temporary options. A digest the flight recorder flagged as slow runs
-  // at full detail once — the promotion is consumed here, so the next
+  // The coordinator lock serializes this query against every other
+  // mutating entry point on the table AND against telemetry snapshots
+  // (DescribeIndex / the /indexes endpoint), which read the index state
+  // this execution rewrites.
+  MutexLock coord(runtime->coord_mu.get());
+  // The trace override borrows Explain's swap trick: holding the
+  // coordinator lock means nothing else can observe the temporary
+  // options. A digest the flight recorder flagged as slow runs at full
+  // detail once — the promotion is consumed here, so the next
   // occurrence of the outlier arrives with a complete span tree.
   const ExecOptions saved = runtime->executor->exec_options();
   obs::TraceLevel effective = spec.trace_level.value_or(saved.trace_level);
@@ -312,6 +322,9 @@ std::vector<Result<QueryResult>> Session::ExecuteShared(
     return results;
   }
   TableRuntime* runtime = runtime_or.value();
+  // Same coordinator lock as ExecuteSpec: one batch at a time per
+  // table, and telemetry snapshots wait for the pass to finish.
+  MutexLock coord(runtime->coord_mu.get());
 
   // Spec-level screening: a spec that is malformed or aimed at another
   // table fails alone, here, without ever reaching the executor. The
@@ -432,9 +445,10 @@ Status Session::Configure(const SessionOptions& options) {
 Result<Explanation> Session::Explain(std::string_view table_name,
                                      const Query& query) {
   ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));
-  // Run at full detail, then restore the caller's knobs — Explain shares
-  // the table's single-coordinator discipline with Execute, so nothing
-  // else can observe the temporary options.
+  // Run at full detail, then restore the caller's knobs — Explain holds
+  // the table's coordinator lock like Execute, so nothing else can
+  // observe the temporary options.
+  MutexLock coord(runtime->coord_mu.get());
   const ExecOptions saved = runtime->executor->exec_options();
   ExecOptions detailed = saved;
   detailed.trace_level = obs::TraceLevel::kDetail;
@@ -466,9 +480,17 @@ Result<Explanation> Session::Explain(std::string_view table_name,
 Result<IndexSnapshot> Session::DescribeIndex(
     std::string_view table_name, std::string_view column_name) const {
   const TableRuntime* runtime = FindRuntime(table_name);
-  SkipIndex* index = runtime != nullptr
-                         ? runtime->indexes->GetIndex(column_name)
-                         : nullptr;
+  if (runtime == nullptr) {
+    return Status::NotFound("no index on '" + std::string(table_name) + "." +
+                            std::string(column_name) + "'");
+  }
+  // Snapshot under the table's coordinator lock: Describe / ZoneCount /
+  // MemoryUsageBytes / GetAdaptationProfile read mutable adaptive state
+  // that in-flight queries and appends rewrite, so an unsynchronized
+  // read here (the /indexes endpoint scrapes on its own thread) would
+  // be a data race.
+  MutexLock coord(runtime->coord_mu.get());
+  SkipIndex* index = runtime->indexes->GetIndex(column_name);
   if (index == nullptr) {
     return Status::NotFound("no index on '" + std::string(table_name) + "." +
                             std::string(column_name) + "'");

@@ -112,13 +112,19 @@ struct Explanation {
 ///   auto result = session.ExecuteSpec(spec);
 ///
 /// Threading: operations on ONE table (Execute / Append / index DDL /
-/// SetExecOptions) must be serialized by the caller — the executor's
-/// adaptive feedback loop is deliberately single-coordinator (see
-/// DESIGN.md). The cross-table surface is safe to share: per-table
-/// runtimes are registered under `runtimes_mu_` and the cumulative
-/// WorkloadStats accumulator is guarded by `stats_mu_`, so sessions
-/// driving different tables from different threads record stats without
-/// racing.
+/// SetExecOptions) are serialized by a per-table coordinator mutex —
+/// the executor's adaptive feedback loop is deliberately
+/// single-coordinator (see DESIGN.md), and the lock makes concurrent
+/// callers queue rather than corrupt state. Callers that care about
+/// adaptation order should still submit from one thread per table (or
+/// through QueryServer, which defines the order); the mutex guarantees
+/// safety, not a particular interleaving. It also makes the telemetry
+/// readers (DescribeIndex and the /indexes endpoint) safe to run while
+/// queries and appends are in flight. The cross-table surface is safe
+/// to share: per-table runtimes are registered under `runtimes_mu_` and
+/// the cumulative WorkloadStats accumulator is guarded by `stats_mu_`,
+/// so sessions driving different tables from different threads record
+/// stats without racing.
 class Session {
  public:
   // Both out of line: the inline-defaulted forms would need the persist
@@ -246,7 +252,9 @@ class Session {
 
   /// Snapshot of the index on `table.column`: kind, geometry, footprint,
   /// and adaptation state. NotFound if the table is unknown or the column
-  /// has no attached index.
+  /// has no attached index. Taken under the table's coordinator lock, so
+  /// it is safe to call while queries/appends run on the table (this is
+  /// what the /indexes telemetry endpoint does).
   Result<IndexSnapshot> DescribeIndex(std::string_view table_name,
                                       std::string_view column_name) const;
 
@@ -351,9 +359,9 @@ class Session {
   ///   /healthz        index health verdicts (503 when any is degraded)
   ///   /journal?n=K    journal tail as JSONL
   ///   /flightrecorder flight-recorder ring as JSON
-  ///   /indexes        IndexSnapshot list (quiescent diagnostics: reads
-  ///                   index state outside the per-table coordinator, so
-  ///                   scrape it between queries, not during them)
+  ///   /indexes        IndexSnapshot list (safe during live traffic:
+  ///                   each table's snapshot is taken under that
+  ///                   table's coordinator lock)
   /// Returns the bound port (options.port == 0 binds an ephemeral one).
   /// One server per session: a second Start without a Stop fails with
   /// FailedPrecondition, as does a port already in use.
@@ -387,6 +395,18 @@ class Session {
 
  private:
   struct TableRuntime {
+    /// The table's coordinator lock: every mutating session entry point
+    /// on this table (ExecuteSpec / ExecuteShared / Append / index DDL /
+    /// SetExecOptions / Explain) holds it for the duration of the
+    /// operation, and the telemetry readers (DescribeIndex, and through
+    /// it the /indexes endpoint) hold it while they snapshot index
+    /// state — so a scrape during live query/ingest traffic reads
+    /// consistent state instead of racing the coordinator. Behind a
+    /// unique_ptr because TableRuntime is moved into the registry map
+    /// and a Mutex is pinned. Uncontended in the sanctioned
+    /// one-coordinator-per-table regime, so the hot path pays one
+    /// uncontended lock/unlock per query.
+    std::unique_ptr<Mutex> coord_mu = std::make_unique<Mutex>();
     std::unique_ptr<IndexManager> indexes;
     std::unique_ptr<ScanExecutor> executor;
     SegmentLayoutOptions layout_options;
@@ -397,7 +417,7 @@ class Session {
 
   /// Runs the layout decision over every not-yet-evaluated sealed
   /// segment of every column of `table`. Caller holds the table's
-  /// single-coordinator serialization (Append / SetSegmentLayoutOptions).
+  /// coordinator lock (Append / SetSegmentLayoutOptions do).
   void EvaluateSegmentLayouts(std::string_view table_name,
                               TableRuntime* runtime, Table* table);
 

@@ -516,6 +516,11 @@ Status Session::Restore(const std::string& dir) {
     }
     ADASKIP_RETURN_IF_ERROR(RegisterTable(table));
     ADASKIP_ASSIGN_OR_RETURN(TableRuntime * runtime, GetRuntime(table_name));
+    // The table is registered and therefore visible to a running
+    // telemetry server's /indexes scrape; attach the restored indexes
+    // under the coordinator lock so a scrape cannot observe a
+    // half-attached set.
+    MutexLock coord(runtime->coord_mu.get());
     for (const PendingIndex& p : pending) {
       ADASKIP_ASSIGN_OR_RETURN(const Column* column,
                                table->ColumnByName(p.column));

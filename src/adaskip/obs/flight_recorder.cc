@@ -67,6 +67,7 @@ void FlightRecorder::SetOptions(const FlightRecorderOptions& options) {
   if (options.capacity != options_.capacity) {
     ring_.clear();
     ring_.reserve(static_cast<size_t>(options.capacity));
+    base_seq_ = next_seq_;  // Slot 0 of the fresh ring = the next record.
   }
   options_ = options;
 }
@@ -88,9 +89,10 @@ void FlightRecorder::Record(FlightRecord record) {
     record.seq = next_seq_++;
     record.nanos = MonotonicNanos();
     if (static_cast<int64_t>(ring_.size()) < options_.capacity) {
-      ring_.push_back(record);
+      ring_.push_back(record);  // Filling: slot == seq - base_seq_.
     } else {
-      ring_[static_cast<size_t>(record.seq % options_.capacity)] = record;
+      ring_[static_cast<size_t>((record.seq - base_seq_) %
+                                options_.capacity)] = record;
     }
     if (options_.slow_query_nanos > 0 &&
         record.latency_nanos >= options_.slow_query_nanos) {
@@ -119,10 +121,11 @@ std::vector<FlightRecord> FlightRecorder::Snapshot() const {
   MutexLock lock(&mu_);
   std::vector<FlightRecord> out;
   out.reserve(ring_.size());
-  if (options_.capacity > 0 && next_seq_ > options_.capacity) {
+  if (options_.capacity > 0 && next_seq_ - base_seq_ > options_.capacity) {
     // The ring has wrapped: the oldest record sits right after the most
     // recently overwritten slot.
-    const size_t head = static_cast<size_t>(next_seq_ % options_.capacity);
+    const size_t head =
+        static_cast<size_t>((next_seq_ - base_seq_) % options_.capacity);
     for (size_t i = 0; i < ring_.size(); ++i) {
       out.push_back(ring_[(head + i) % ring_.size()]);
     }

@@ -97,6 +97,13 @@ class FlightRecorder {
   FlightRecorderOptions options_ ADASKIP_GUARDED_BY(mu_);
   std::vector<FlightRecord> ring_ ADASKIP_GUARDED_BY(mu_);
   int64_t next_seq_ ADASKIP_GUARDED_BY(mu_) = 0;
+  /// Seq of ring slot 0's first occupant: slot position is always
+  /// (seq - base_seq_) % capacity. Reset to next_seq_ whenever a
+  /// capacity change clears the ring, so the refill after a resize
+  /// places records consistently with the wrap arithmetic (without
+  /// this, Snapshot interleaved old-slot and new-slot orderings until
+  /// every slot had been overwritten).
+  int64_t base_seq_ ADASKIP_GUARDED_BY(mu_) = 0;
   int64_t slow_queries_ ADASKIP_GUARDED_BY(mu_) = 0;
   /// Digests awaiting their promoted re-run. std::map keeps Snapshot/
   /// ToJson deterministic (no unordered containers, repo-wide rule).

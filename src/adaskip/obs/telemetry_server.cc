@@ -9,6 +9,7 @@
 #include "adaskip/obs/health_monitor.h"
 #include "adaskip/obs/json.h"
 #include "adaskip/obs/metrics.h"
+#include "adaskip/util/stopwatch.h"
 
 namespace adaskip {
 namespace obs {
@@ -99,14 +100,18 @@ Status ValidateTelemetryServerOptions(const TelemetryServerOptions& options) {
   if (options.poll_millis <= 0) {
     return Status::InvalidArgument("poll_millis must be positive");
   }
+  if (options.io_timeout_millis <= 0) {
+    return Status::InvalidArgument("io_timeout_millis must be positive");
+  }
   return Status::OK();
 }
 
 Result<std::unique_ptr<TelemetryServer>> TelemetryServer::Start(
     const TelemetryServerOptions& options) {
   ADASKIP_RETURN_IF_ERROR(ValidateTelemetryServerOptions(options));
-  ADASKIP_ASSIGN_OR_RETURN(TcpListener listener,
-                           TcpListener::Listen(options.port));
+  ADASKIP_ASSIGN_OR_RETURN(
+      TcpListener listener,
+      TcpListener::Listen(options.port, options.bind_any));
   // The constructor is private (Start is the sole entry point), so
   // std::make_unique cannot reach it.
   std::unique_ptr<TelemetryServer> server(
@@ -133,11 +138,17 @@ void TelemetryServer::Stop() {
   {
     MutexLock lock(&mu_);
     stopping_ = true;
-    if (joined_) return;
-    joined_ = true;
   }
+  // Holding join_mu_ across the join means every Stop() caller —
+  // including the second of two racing ones — returns only once the
+  // accept loop is truly gone, so destroying the server right after
+  // Stop() is always safe. The accept thread never takes join_mu_, so
+  // waiting for it here cannot deadlock.
+  MutexLock join_lock(&join_mu_);
+  if (joined_) return;
   if (thread_ != nullptr) thread_->Join();
   listener_.Close();
+  joined_ = true;
 }
 
 int64_t TelemetryServer::requests_served() const {
@@ -195,6 +206,17 @@ void TelemetryServer::HandleConn(TcpConn conn) {
   ADASKIP_METRIC_COUNTER(errors, "adaskip.telemetry.request_errors",
                          "Telemetry requests answered with a 4xx/5xx status");
 
+  // Everything on this connection runs under an I/O deadline: the accept
+  // loop is single-threaded, so a peer that connects and goes silent
+  // (`nc host port`) would otherwise block recv forever — no further
+  // scrapes, and Stop() hung on a join that never returns. The per-call
+  // SO_RCVTIMEO bounds each recv; the stopwatch bounds the whole header
+  // read, so a byte-at-a-time dribbler cannot stretch it either.
+  if (!conn.SetIoTimeoutMillis(options_.io_timeout_millis).ok()) return;
+  const int64_t deadline_nanos =
+      static_cast<int64_t>(options_.io_timeout_millis) * 1'000'000;
+  Stopwatch read_clock;
+
   std::string buf;
   char chunk[2048];
   for (;;) {
@@ -204,8 +226,9 @@ void TelemetryServer::HandleConn(TcpConn conn) {
     if (!n.ok() || *n == 0) break;
     buf.append(chunk, static_cast<size_t>(*n));
     if (buf.find("\r\n\r\n") != std::string::npos) break;
+    if (read_clock.ElapsedNanos() > deadline_nanos) break;
   }
-  if (buf.empty()) return;  // Peer connected and left; nothing to answer.
+  if (buf.empty()) return;  // Peer connected and left (or timed out).
 
   HttpResponse response;
   const size_t line_end = buf.find("\r\n");

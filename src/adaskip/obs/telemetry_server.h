@@ -58,12 +58,24 @@ struct TelemetryServerOptions {
   /// Port to listen on; 0 binds an ephemeral port (see port()).
   int port = 0;
 
+  /// Bind 0.0.0.0 instead of the default 127.0.0.1. The endpoints are
+  /// unauthenticated (metrics, journal contents, query digests, index
+  /// layout), so exposing them beyond the host is a deliberate operator
+  /// decision, never the default.
+  bool bind_any = false;
+
   /// Hard cap on request bytes read before the header terminator; a
   /// request-line longer than this is answered 414 and dropped.
   int64_t max_request_bytes = 8192;
 
   /// Accept-poll granularity; bounds Stop() latency.
   int poll_millis = 50;
+
+  /// Per-connection I/O deadline: a peer that connects and sends
+  /// nothing (or stops draining the response) is dropped after this
+  /// long, so one silent connection can never wedge the accept loop or
+  /// make Stop() wait unboundedly.
+  int io_timeout_millis = 2000;
 };
 
 Status ValidateTelemetryServerOptions(const TelemetryServerOptions& options);
@@ -93,8 +105,10 @@ class TelemetryServer {
       ADASKIP_EXCLUDES(mu_);
 
   /// Stops accepting, joins the accept loop, closes the listener.
-  /// Idempotent.
-  void Stop() ADASKIP_EXCLUDES(mu_);
+  /// Idempotent, and safe against concurrent callers: every Stop()
+  /// blocks until the accept loop has actually been joined, so a caller
+  /// that proceeds to destroy the server cannot race an in-flight join.
+  void Stop() ADASKIP_EXCLUDES(mu_, join_mu_);
 
   /// Requests answered so far (any status).
   int64_t requests_served() const ADASKIP_EXCLUDES(mu_);
@@ -112,10 +126,16 @@ class TelemetryServer {
 
   mutable Mutex mu_;
   bool stopping_ ADASKIP_GUARDED_BY(mu_) = false;
-  bool joined_ ADASKIP_GUARDED_BY(mu_) = false;
   std::map<std::string, HttpHandler, std::less<>> handlers_
       ADASKIP_GUARDED_BY(mu_);
   int64_t requests_served_ ADASKIP_GUARDED_BY(mu_) = 0;
+
+  /// Serializes the join itself (separate from mu_, which the accept
+  /// loop needs while we wait for it): the first Stop() joins while
+  /// holding join_mu_, so concurrent Stop() callers block on the lock
+  /// until the join has completed rather than returning early.
+  Mutex join_mu_;
+  bool joined_ ADASKIP_GUARDED_BY(join_mu_) = false;
 
   /// Declared last so it is destroyed first; Stop() joins before any
   /// other member goes away regardless.

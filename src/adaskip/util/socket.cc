@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -26,6 +27,9 @@ Result<int64_t> TcpConn::ReadSome(char* buf, int64_t buf_len) {
     const ssize_t n = ::recv(fd_, buf, static_cast<size_t>(buf_len), 0);
     if (n >= 0) return static_cast<int64_t>(n);
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("recv timed out");
+    }
     return Status::Internal(ErrnoMessage("recv"));
   }
 }
@@ -41,7 +45,29 @@ Status TcpConn::WriteAll(std::string_view data) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::DeadlineExceeded("send timed out");
+    }
     return Status::Internal(ErrnoMessage("send"));
+  }
+  return Status::OK();
+}
+
+Status TcpConn::SetIoTimeoutMillis(int millis) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("set timeout on closed socket");
+  }
+  if (millis <= 0) {
+    return Status::InvalidArgument("I/O timeout must be positive");
+  }
+  timeval tv;
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::Internal(ErrnoMessage("setsockopt(SO_RCVTIMEO)"));
+  }
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::Internal(ErrnoMessage("setsockopt(SO_SNDTIMEO)"));
   }
   return Status::OK();
 }
@@ -53,7 +79,7 @@ void TcpConn::Close() {
   }
 }
 
-Result<TcpListener> TcpListener::Listen(int port) {
+Result<TcpListener> TcpListener::Listen(int port, bool bind_any) {
   if (port < 0 || port > 65535) {
     return Status::InvalidArgument("port out of range: " +
                                    std::to_string(port));
@@ -69,7 +95,10 @@ Result<TcpListener> TcpListener::Listen(int port) {
   sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  // Loopback unless the caller deliberately exposes the port: the
+  // telemetry surfaces are unauthenticated, so off-host reachability is
+  // an explicit operator decision, never a default.
+  addr.sin_addr.s_addr = htonl(bind_any ? INADDR_ANY : INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<uint16_t>(port));
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {

@@ -9,10 +9,11 @@
 
 /// Minimal POSIX TCP primitives for the embedded telemetry server (see
 /// obs/telemetry_server.h). Deliberately tiny: blocking I/O, IPv4
-/// loopback-or-any binding, no TLS, no non-blocking state machines. The
-/// telemetry plane serves a handful of operator scrapes per second, not
-/// user traffic, so one blocking accept loop on a background thread is
-/// the whole design (DESIGN.md "The telemetry plane").
+/// binding (loopback by default, all interfaces only on request), no
+/// TLS, no non-blocking state machines. The telemetry plane serves a
+/// handful of operator scrapes per second, not user traffic, so one
+/// blocking accept loop on a background thread is the whole design
+/// (DESIGN.md "The telemetry plane").
 ///
 /// Like the thread/mutex wrappers in this directory, these classes exist
 /// so raw file descriptors are owned in exactly one audited place; code
@@ -43,11 +44,21 @@ class TcpConn {
   bool valid() const { return fd_ >= 0; }
 
   /// Reads up to `buf_len` bytes into `buf`. Returns the byte count
-  /// (0 means the peer closed the connection) or a Status on error.
+  /// (0 means the peer closed the connection) or a Status on error —
+  /// DeadlineExceeded when an I/O timeout (SetIoTimeoutMillis) expired
+  /// with no bytes available.
   Result<int64_t> ReadSome(char* buf, int64_t buf_len);
 
-  /// Writes all of `data`, looping over partial sends.
+  /// Writes all of `data`, looping over partial sends. DeadlineExceeded
+  /// when an I/O timeout expired with the peer not draining.
   Status WriteAll(std::string_view data);
+
+  /// Bounds every subsequent recv/send on this socket to `millis`
+  /// (SO_RCVTIMEO/SO_SNDTIMEO): a peer that connects and goes silent
+  /// surfaces as DeadlineExceeded instead of blocking the caller
+  /// forever. The telemetry accept loop sets this on every accepted
+  /// connection so `nc host port` cannot wedge the plane.
+  Status SetIoTimeoutMillis(int millis);
 
   void Close();
 
@@ -55,7 +66,11 @@ class TcpConn {
   int fd_ = -1;
 };
 
-/// RAII wrapper around one listening TCP socket bound to 0.0.0.0.
+/// RAII wrapper around one listening TCP socket. Binds 127.0.0.1 by
+/// default; binding all interfaces (0.0.0.0) is an explicit opt-in —
+/// the telemetry endpoints expose metrics, journal contents, and index
+/// layout unauthenticated, so nothing should reach them off-host unless
+/// an operator deliberately asked for that.
 class TcpListener {
  public:
   TcpListener() = default;
@@ -80,10 +95,11 @@ class TcpListener {
   TcpListener& operator=(const TcpListener&) = delete;
 
   /// Binds and listens on `port` (0 picks an ephemeral port; the bound
-  /// port is available from port()). A port already in use surfaces as
+  /// port is available from port()). Binds loopback unless `bind_any`
+  /// is set. A port already in use surfaces as
   /// Status::FailedPrecondition so callers can report it rather than
   /// abort.
-  static Result<TcpListener> Listen(int port);
+  static Result<TcpListener> Listen(int port, bool bind_any = false);
 
   bool valid() const { return fd_ >= 0; }
   int port() const { return port_; }

@@ -234,9 +234,12 @@ TEST(ServerSpanTelemetryTest, TracedServerQueryCarriesLifecycleSpans) {
 }
 
 // The whole plane under concurrency: driver threads push queries through
-// the auto-dispatching server while a scraper hammers every endpoint.
-// This is the test the CI TSan job runs to prove the handlers' reads of
-// live engine state are race-free.
+// the auto-dispatching server and an ingest thread appends rows — both
+// mutating live index state — while a scraper hammers every endpoint,
+// /indexes included (its snapshots are taken under the per-table
+// coordinator lock, so scraping during traffic is supported, not merely
+// tolerated). This is the test the CI TSan job runs to prove the
+// handlers' reads of live engine state are race-free.
 TEST(TelemetryScrapeUnderLoadTest, ConcurrentScrapesStayValid) {
   auto session = MakeSession();
   Result<int> port = session->StartTelemetryServer();
@@ -250,19 +253,31 @@ TEST(TelemetryScrapeUnderLoadTest, ConcurrentScrapesStayValid) {
   constexpr int kQueriesPerDriver = 40;
   std::atomic<int> failures{0};
 
-  // Scrape every endpoint except /indexes (documented quiescent-only)
-  // while the drivers run.
   std::atomic<bool> done{false};
   std::atomic<int> scrape_errors{0};
   BackgroundThread scraper([&done, &scrape_errors, port = *port] {
     const char* targets[] = {"/metrics", "/healthz", "/journal?n=8",
-                             "/flightrecorder"};
+                             "/flightrecorder", "/indexes"};
     size_t turn = 0;
     while (!done.load()) {
       const Result<std::string> response =
-          HttpGet(port, targets[turn++ % 4]);
+          HttpGet(port, targets[turn++ % 5]);
       if (!response.ok() || StatusOf(*response) < 200) {
         scrape_errors.fetch_add(1);
+      }
+    }
+  });
+
+  // Live ingest alongside the queries: appends rewrite exactly the
+  // index state (zone metadata, unindexed tail) /indexes snapshots.
+  std::atomic<int> append_errors{0};
+  BackgroundThread ingester([&done, &append_errors, &session] {
+    int64_t next = 20000;
+    while (!done.load()) {
+      std::vector<int64_t> rows;
+      for (int i = 0; i < 64; ++i) rows.push_back(next++);
+      if (!session->Append<int64_t>("t", "x", std::move(rows)).ok()) {
+        append_errors.fetch_add(1);
       }
     }
   });
@@ -279,9 +294,11 @@ TEST(TelemetryScrapeUnderLoadTest, ConcurrentScrapesStayValid) {
   });
   done.store(true);
   scraper.Join();
+  ingester.Join();
 
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(scrape_errors.load(), 0);
+  EXPECT_EQ(append_errors.load(), 0);
   EXPECT_EQ(session->flight_recorder().total_recorded(),
             kDrivers * kQueriesPerDriver);
 

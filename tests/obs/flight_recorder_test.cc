@@ -151,6 +151,39 @@ TEST(FlightRecorderTest, ResizeClearsRingButKeepsCounters) {
   EXPECT_EQ(recorder.Snapshot().size(), 1u);
 }
 
+TEST(FlightRecorderTest, SnapshotStaysOldestFirstAcrossResize) {
+  FlightRecorderOptions options;
+  options.capacity = 4;
+  FlightRecorder recorder(options);
+  for (int i = 0; i < 6; ++i) {  // Wrap the first ring (seqs 0..5).
+    recorder.Record(MakeRecord(static_cast<uint64_t>(i), i));
+  }
+
+  // Shrink: the ring clears, and the refill must place records by the
+  // post-resize base — during the refill AND after the new ring wraps,
+  // Snapshot stays strictly oldest-first (seqs continue from 6).
+  options.capacity = 3;
+  recorder.SetOptions(options);
+  for (int i = 6; i < 8; ++i) {  // Partial refill: 2 of 3 slots.
+    recorder.Record(MakeRecord(static_cast<uint64_t>(i), i));
+  }
+  std::vector<FlightRecord> partial = recorder.Snapshot();
+  ASSERT_EQ(partial.size(), 2u);
+  EXPECT_EQ(partial[0].seq, 6);
+  EXPECT_EQ(partial[1].seq, 7);
+
+  for (int i = 8; i < 13; ++i) {  // Fill and wrap the resized ring.
+    recorder.Record(MakeRecord(static_cast<uint64_t>(i), i));
+  }
+  std::vector<FlightRecord> wrapped = recorder.Snapshot();
+  ASSERT_EQ(wrapped.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(wrapped[static_cast<size_t>(i)].seq, 10 + i);
+    EXPECT_EQ(wrapped[static_cast<size_t>(i)].spec_digest,
+              static_cast<uint64_t>(10 + i));
+  }
+}
+
 TEST(FlightRecorderTest, ToJsonCarriesCountersAndHexDigests) {
   FlightRecorderOptions options;
   options.capacity = 4;

@@ -13,6 +13,7 @@
 #include "adaskip/obs/flight_recorder.h"
 #include "adaskip/obs/health_monitor.h"
 #include "adaskip/obs/metrics.h"
+#include "adaskip/util/background_thread.h"
 #include "adaskip/util/logging.h"
 #include "adaskip/util/socket.h"
 
@@ -59,6 +60,11 @@ TEST(TelemetryServerOptionsTest, ValidateRejectsBadKnobs) {
   TelemetryServerOptions bad_poll;
   bad_poll.poll_millis = 0;
   EXPECT_EQ(ValidateTelemetryServerOptions(bad_poll).code(),
+            StatusCode::kInvalidArgument);
+
+  TelemetryServerOptions bad_io_timeout;
+  bad_io_timeout.io_timeout_millis = 0;
+  EXPECT_EQ(ValidateTelemetryServerOptions(bad_io_timeout).code(),
             StatusCode::kInvalidArgument);
 }
 
@@ -162,6 +168,75 @@ TEST(TelemetryServerTest, OversizedRequestLineIs414) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   EXPECT_EQ(server->requests_served(), 1);
+}
+
+// A peer that connects and sends nothing ("nc host port") must not wedge
+// the single-threaded accept loop: the I/O deadline drops it, later
+// requests are answered, and Stop() stays bounded.
+TEST(TelemetryServerTest, IdleConnectionIsDroppedAndServingContinues) {
+  TelemetryServerOptions options;
+  options.io_timeout_millis = 50;
+  auto server = StartEphemeral(options);
+  server->RegisterHandler("/ping", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "pong";
+    return response;
+  });
+
+  // HttpExchange with an empty request writes nothing and then blocks
+  // reading until the peer closes — so returning at all proves the
+  // server dropped the silent connection rather than waiting forever.
+  Result<std::string> idle = HttpExchange(server->port(), "");
+  ASSERT_TRUE(idle.ok()) << idle.status();
+  EXPECT_TRUE(idle->empty());  // Dropped without a response.
+
+  // The plane is still alive for real scrapers.
+  Result<std::string> response = HttpGet(server->port(), "/ping");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(StatusOf(*response), 200);
+  EXPECT_EQ(BodyOf(*response), "pong");
+
+  server->Stop();  // Bounded: no connection can pin the accept loop.
+}
+
+// An unterminated-but-parsable request line is still answered once the
+// read deadline passes; the 4xx taxonomy applies to what did arrive.
+TEST(TelemetryServerTest, HalfSentRequestTimesOutInto400) {
+  TelemetryServerOptions options;
+  options.io_timeout_millis = 50;
+  auto server = StartEphemeral(options);
+  Result<std::string> response =
+      HttpExchange(server->port(), "GET /nope");  // No CRLF, ever.
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(StatusOf(*response), 400);
+}
+
+// Two racing Stop() callers must BOTH block until the accept loop is
+// joined — a second caller returning early while the first is still
+// joining would let its thread destroy the server under the join. TSan
+// (CI filter: Telemetry) watches this interleaving.
+TEST(TelemetryServerTest, ConcurrentStopCallersBothWaitForTheJoin) {
+  auto server = StartEphemeral();
+  {
+    BackgroundThread other([&server] { server->Stop(); });
+    server->Stop();
+  }  // Joining `other` here would hang if either Stop() did.
+  server->Stop();  // Still idempotent afterwards.
+}
+
+// bind_any is the explicit opt-in for off-host exposure; loopback
+// clients are served either way (the default bind is 127.0.0.1, which
+// every other test in this file exercises).
+TEST(TelemetryServerTest, BindAnyOptInStillServesLoopback) {
+  TelemetryServerOptions options;
+  options.bind_any = true;
+  auto server = StartEphemeral(options);
+  server->RegisterHandler("/ping", [](const HttpRequest&) {
+    return HttpResponse();
+  });
+  Result<std::string> response = HttpGet(server->port(), "/ping");
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(StatusOf(*response), 200);
 }
 
 TEST(TelemetryServerTest, PortAlreadyInUseFailsPrecondition) {
